@@ -1,0 +1,27 @@
+//! Ablation: chunk count vs throughput and per-PE memory footprint.
+use criterion::{criterion_group, criterion_main, Criterion};
+use wse_stencil::experiments::{ablation_chunks, render_table};
+use wse_stencil::benchmarks::{Benchmark, ProblemSize};
+use wse_stencil::Compiler;
+
+fn bench(c: &mut Criterion) {
+    for benchmark in [Benchmark::Seismic25, Benchmark::Diffusion] {
+        let rows = ablation_chunks(benchmark).expect("ablation");
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| vec![r.num_chunks.to_string(), format!("{:.0}", r.gpts), format!("{}", r.bytes_per_pe)])
+            .collect();
+        println!("\nAblation (chunk count) — {}\n{}", benchmark.name(),
+            render_table(&["num_chunks", "GPts/s", "bytes per PE"], &table));
+    }
+
+    let mut group = c.benchmark_group("ablation_chunks");
+    group.sample_size(10);
+    group.bench_function("compile_seismic_2_chunks", |b| {
+        let program = Benchmark::Seismic25.program(ProblemSize::Medium);
+        b.iter(|| Compiler::new().num_chunks(2).compile(&program).unwrap())
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation: effect of the linalg-fuse-multiply-add pass (@fmacs generation).
+use criterion::{criterion_group, criterion_main, Criterion};
+use wse_stencil::experiments::{ablation_fusion, render_table};
+use wse_stencil::benchmarks::{Benchmark, ProblemSize};
+use wse_stencil::Compiler;
+
+fn bench(c: &mut Criterion) {
+    let rows = ablation_fusion().expect("ablation");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.benchmark.clone(), format!("{:.0}", r.fused_gpts), format!("{:.0}", r.unfused_gpts), format!("{:.2}x", r.fused_gpts / r.unfused_gpts), r.fmacs.to_string()])
+        .collect();
+    println!("\nAblation (fmac fusion)\n{}",
+        render_table(&["benchmark", "fused GPts/s", "unfused GPts/s", "gain", "@fmacs count"], &table));
+
+    let mut group = c.benchmark_group("ablation_fusion");
+    group.sample_size(10);
+    group.bench_function("compile_diffusion_fused", |b| {
+        let program = Benchmark::Diffusion.program(ProblemSize::Medium);
+        b.iter(|| Compiler::new().compile(&program).unwrap())
+    });
+    group.bench_function("compile_diffusion_unfused", |b| {
+        let program = Benchmark::Diffusion.program(ProblemSize::Medium);
+        b.iter(|| Compiler::new().fmac_fusion(false).compile(&program).unwrap())
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 7: roofline placement of the five benchmarks on the WSE3 and the
+//! acoustic benchmark on a single A100.
+use criterion::{criterion_group, criterion_main, Criterion};
+use wse_stencil::experiments::{fig7_roofline, is_compute_bound, render_table};
+
+fn bench(c: &mut Criterion) {
+    let points = fig7_roofline().expect("figure 7");
+    let table: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.label.clone(), format!("{:.3}", p.arithmetic_intensity), format!("{:.3e}", p.flops), format!("{:.3e}", p.attainable_flops), if is_compute_bound(p) { "compute-bound".into() } else { "memory-bound".into() }])
+        .collect();
+    println!("\nFigure 7 — roofline points\n{}",
+        render_table(&["kernel", "AI [FLOP/B]", "achieved FLOP/s", "attainable FLOP/s", "bound"], &table));
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("roofline_all_points", |b| b.iter(|| fig7_roofline().unwrap()));
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

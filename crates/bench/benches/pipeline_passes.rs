@@ -1,0 +1,24 @@
+//! Micro-benchmarks of the lowering pipeline itself (compile times per
+//! benchmark and functional-simulation throughput on a tiny grid).
+use criterion::{criterion_group, criterion_main, Criterion};
+use wse_stencil::benchmarks::Benchmark;
+use wse_stencil::Compiler;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for benchmark in Benchmark::ALL {
+        group.bench_function(format!("lower_{}", benchmark.name().replace(' ', "_")), |b| {
+            let program = benchmark.tiny_program();
+            b.iter(|| Compiler::new().num_chunks(2).compile(&program).unwrap())
+        });
+    }
+    group.bench_function("functional_simulation_jacobian_tiny", |b| {
+        let program = Benchmark::Jacobian.tiny_program();
+        let artifact = Compiler::new().compile(&program).unwrap();
+        b.iter(|| artifact.validate_against_reference().unwrap())
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Benchmark harness helpers for regenerating the paper's tables/figures.
+//!
+//! The heavy lifting lives in [`wse_stencil::experiments`]; this crate's
+//! benches and the `reproduce` binary print those results and measure the
+//! compilation pipeline itself with Criterion.
+
+/// Formats a floating point value with a fixed number of decimals.
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}

@@ -1,0 +1,99 @@
+//! The compiled artifact: generated CSL sources plus everything needed to
+//! simulate and report on the kernel.
+
+use wse_csl::CslSources;
+use wse_frontends::StencilProgram;
+use wse_lowering::{LoweredProgram, PipelineOptions};
+use wse_sim::LoadedProgram;
+
+/// Lines-of-code report for one benchmark (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocReport {
+    /// Lines of the generated CSL kernel only (`pe_program.csl`).
+    pub csl_kernel: usize,
+    /// Lines of the entire generated artifact (kernel + layout + runtime
+    /// communication library).
+    pub csl_entire: usize,
+    /// Lines of the DSL source the user wrote.
+    pub dsl: usize,
+}
+
+/// The result of compiling one stencil program for the WSE.
+#[derive(Debug)]
+pub struct CslArtifact {
+    pub(crate) program: StencilProgram,
+    pub(crate) options: PipelineOptions,
+    pub(crate) lowered: LoweredProgram,
+    pub(crate) loaded: LoadedProgram,
+}
+
+impl CslArtifact {
+    pub(crate) fn new(
+        program: StencilProgram,
+        options: PipelineOptions,
+        lowered: LoweredProgram,
+        loaded: LoadedProgram,
+    ) -> Self {
+        Self { program, options, lowered, loaded }
+    }
+
+    /// The front-end program this artifact was compiled from.
+    pub fn program(&self) -> &StencilProgram {
+        &self.program
+    }
+
+    /// The pipeline options used.
+    pub fn options(&self) -> &PipelineOptions {
+        &self.options
+    }
+
+    /// The generated CSL source files.
+    pub fn sources(&self) -> &CslSources {
+        &self.lowered.sources
+    }
+
+    /// Lines-of-code comparison for Table 1.
+    pub fn loc_report(&self) -> LocReport {
+        LocReport {
+            csl_kernel: self.lowered.sources.kernel_loc(),
+            csl_entire: self.lowered.sources.total_loc(),
+            dsl: self.program.source_loc(),
+        }
+    }
+
+    /// Names of the passes the pipeline ran, in order.
+    pub fn pass_names(&self) -> &[String] {
+        &self.lowered.pass_names
+    }
+
+    /// Per-PE memory footprint of the generated buffers in bytes.
+    pub fn bytes_per_pe(&self) -> u64 {
+        self.loaded.bytes_per_pe()
+    }
+
+    /// Number of `@fmacs` builtins in the generated program.
+    pub fn fmac_count(&self) -> usize {
+        self.loaded.fmac_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Compiler;
+    use wse_frontends::benchmarks::Benchmark;
+
+    #[test]
+    fn loc_report_orders_as_in_table1() {
+        let program = Benchmark::Diffusion.tiny_program();
+        let artifact = Compiler::new().compile(&program).unwrap();
+        let report = artifact.loc_report();
+        // DSL « generated kernel « entire artifact, as in Table 1.
+        assert!(report.dsl < report.csl_kernel);
+        assert!(report.csl_kernel < report.csl_entire);
+        assert!(!artifact.pass_names().is_empty());
+        assert!(artifact.bytes_per_pe() > 0);
+        assert_eq!(artifact.program().name, "diffusion");
+        assert!(artifact.options().enable_fmac_fusion);
+        assert!(artifact.fmac_count() > 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! The compiler facade: compile a front-end stencil program to CSL, run it
+//! on the simulator and estimate its wafer-scale performance.
+
+use wse_frontends::StencilProgram;
+use wse_lowering::{lower_program, LoweredProgram, PipelineOptions, WseTarget};
+use wse_sim::{
+    estimate_performance, load_program, max_abs_difference, run_reference, LoadedProgram,
+    PerfEstimate, WseGeneration, WseGridSim,
+};
+
+use crate::artifact::CslArtifact;
+
+/// Errors produced by the compiler facade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// Which stage failed.
+    pub stage: String,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} failed: {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The compiler: a thin builder over the lowering pipeline options.
+#[derive(Debug, Clone, Copy)]
+pub struct Compiler {
+    options: PipelineOptions,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Compiler {
+    /// A compiler targeting the WSE3 with default optimizations.
+    pub fn new() -> Self {
+        Self { options: PipelineOptions::default() }
+    }
+
+    /// Selects the target WSE generation.
+    pub fn target(mut self, target: WseTarget) -> Self {
+        self.options.target = target;
+        self
+    }
+
+    /// Sets the number of chunks per halo exchange.
+    pub fn num_chunks(mut self, num_chunks: i64) -> Self {
+        self.options.num_chunks = num_chunks.max(1);
+        self
+    }
+
+    /// Enables or disables `@fmacs` fusion.
+    pub fn fmac_fusion(mut self, enabled: bool) -> Self {
+        self.options.enable_fmac_fusion = enabled;
+        self
+    }
+
+    /// Enables or disables stencil inlining.
+    pub fn inlining(mut self, enabled: bool) -> Self {
+        self.options.enable_inlining = enabled;
+        self
+    }
+
+    /// Enables or disables coefficient promotion into the receive path.
+    pub fn coefficient_promotion(mut self, enabled: bool) -> Self {
+        self.options.promote_coefficients = enabled;
+        self
+    }
+
+    /// Enables IR verification after every pass.
+    pub fn verify_each(mut self, enabled: bool) -> Self {
+        self.options.verify_each = enabled;
+        self
+    }
+
+    /// The underlying pipeline options.
+    pub fn options(&self) -> &PipelineOptions {
+        &self.options
+    }
+
+    /// Compiles a program to CSL, returning the generated artifact.
+    ///
+    /// # Errors
+    /// Returns a [`CompileError`] if emission or any lowering pass fails.
+    pub fn compile(&self, program: &StencilProgram) -> Result<CslArtifact, CompileError> {
+        let lowered = lower_program(program, &self.options)
+            .map_err(|e| CompileError { stage: e.pass, message: e.message })?;
+        let loaded = load_program(&lowered.ctx, lowered.module)
+            .map_err(|e| CompileError { stage: "load".into(), message: e.message })?;
+        Ok(CslArtifact::new(program.clone(), self.options, lowered, loaded))
+    }
+
+    /// The machine model corresponding to the selected target.
+    pub fn machine(&self) -> wse_sim::WseMachine {
+        match self.options.target {
+            WseTarget::Wse2 => WseGeneration::Wse2.machine(),
+            WseTarget::Wse3 => WseGeneration::Wse3.machine(),
+        }
+    }
+}
+
+impl CslArtifact {
+    /// Estimates the artifact's performance on the machine it was compiled
+    /// for (Figures 4-6 of the paper).
+    pub fn estimate(&self) -> PerfEstimate {
+        let machine = match self.options.target {
+            WseTarget::Wse2 => WseGeneration::Wse2.machine(),
+            WseTarget::Wse3 => WseGeneration::Wse3.machine(),
+        };
+        estimate_performance(
+            &self.loaded,
+            &machine,
+            (self.program.grid.x, self.program.grid.y, self.program.grid.z),
+            self.program.timesteps,
+            self.program.flops_per_point(),
+        )
+    }
+
+    /// Runs the compiled program functionally on the simulated PE grid and
+    /// returns the maximum deviation from the sequential reference executor.
+    ///
+    /// Only sensible for small problem instances (the functional simulator
+    /// allocates every PE's buffers).
+    ///
+    /// # Errors
+    /// Returns a [`CompileError`] if the simulation itself fails.
+    pub fn validate_against_reference(&self) -> Result<f32, CompileError> {
+        let mut sim = WseGridSim::new(self.loaded.clone());
+        sim.run(None)
+            .map_err(|e| CompileError { stage: "simulate".into(), message: e.message })?;
+        let reference = run_reference(&self.program, None);
+        Ok(max_abs_difference(&sim.grid_state(), &reference))
+    }
+
+    /// The executable per-PE program extracted from the generated CSL.
+    pub fn loaded_program(&self) -> &LoadedProgram {
+        &self.loaded
+    }
+
+    /// The lowered IR (for inspection, e.g. printing the generic form).
+    pub fn lowered(&self) -> &LoweredProgram {
+        &self.lowered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_frontends::benchmarks::Benchmark;
+
+    #[test]
+    fn compile_and_validate_quickstart() {
+        let program = Benchmark::Jacobian.tiny_program();
+        let artifact = Compiler::new().num_chunks(2).verify_each(true).compile(&program).unwrap();
+        assert!(artifact.sources().kernel_loc() > 0);
+        let error = artifact.validate_against_reference().unwrap();
+        assert!(error < 1e-4, "deviation {error}");
+        let estimate = artifact.estimate();
+        assert!(estimate.gpts_per_sec > 0.0);
+    }
+
+    #[test]
+    fn builder_options_are_applied() {
+        let compiler = Compiler::new()
+            .target(WseTarget::Wse2)
+            .num_chunks(0)
+            .fmac_fusion(false)
+            .inlining(false)
+            .coefficient_promotion(false);
+        assert_eq!(compiler.options().target, WseTarget::Wse2);
+        assert_eq!(compiler.options().num_chunks, 1, "chunk count is clamped to >= 1");
+        assert!(!compiler.options().enable_fmac_fusion);
+        assert!(compiler.machine().self_transmit);
+    }
+
+    #[test]
+    fn compile_error_reports_stage() {
+        // An invalid program (zero timesteps) fails at emission.
+        let mut program = Benchmark::Diffusion.tiny_program();
+        program.timesteps = 0;
+        let err = Compiler::new().compile(&program).unwrap_err();
+        assert_eq!(err.stage, "emit-stencil-ir");
+        assert!(err.to_string().contains("emit-stencil-ir"));
+    }
+}

@@ -1,0 +1,662 @@
+//! The `csl` dialect: a re-implementation of a large subset of the CSL
+//! programming language (Section 4.3 of the paper).
+//!
+//! Constructs present in CSL are represented one-to-one by operations in
+//! this dialect — modules, functions, tasks, activations, Data Structure
+//! Descriptors (DSDs) and the DSD arithmetic builtins — so that printing
+//! CSL source from the IR is a direct translation, and so that the WSE
+//! simulator can execute the lowered program without further lowering.
+
+use wse_ir::{
+    Attribute, BlockId, DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, Type, ValueId,
+};
+
+// ----------------------------------------------------------------- modules
+
+/// `csl.module`: a CSL translation unit (kind = "program" or "layout").
+pub const MODULE: &str = "csl.module";
+/// `csl.param`: a compile-time parameter of a module.
+pub const PARAM: &str = "csl.param";
+/// `csl.import_module`: `@import_module("<...>")`.
+pub const IMPORT_MODULE: &str = "csl.import_module";
+
+// --------------------------------------------------------- funcs and tasks
+
+/// `csl.func`: a CSL `fn`.
+pub const FUNC: &str = "csl.func";
+/// `csl.task`: a CSL `task` (local, data or control).
+pub const TASK: &str = "csl.task";
+/// `csl.call`: a direct call to a `csl.func`.
+pub const CALL: &str = "csl.call";
+/// `csl.member_call`: a call to a function of an imported module.
+pub const MEMBER_CALL: &str = "csl.member_call";
+/// `csl.activate`: `@activate(task_id)`.
+pub const ACTIVATE: &str = "csl.activate";
+/// `csl.return`: return from a func or task.
+pub const RETURN: &str = "csl.return";
+/// `csl.if`: an `if (cond) { } else { }` statement (two regions).
+pub const IF: &str = "csl.if";
+
+// -------------------------------------------------------- state and buffers
+
+/// `csl.var`: a module-level mutable variable.
+pub const VAR: &str = "csl.var";
+/// `csl.load_var`: reads a `csl.var`.
+pub const LOAD_VAR: &str = "csl.load_var";
+/// `csl.store_var`: writes a `csl.var`.
+pub const STORE_VAR: &str = "csl.store_var";
+/// `csl.zeros`: `@zeros([N]f32)` buffer allocation.
+pub const ZEROS: &str = "csl.zeros";
+/// `csl.constants`: `@constants([N]f32, value)` buffer allocation.
+pub const CONSTANTS: &str = "csl.constants";
+
+// ----------------------------------------------------------------- DSD ops
+
+/// `csl.get_mem_dsd`: builds a memory DSD over (a view of) a buffer.
+pub const GET_MEM_DSD: &str = "csl.get_mem_dsd";
+/// `csl.fadds`: `@fadds(dest, src1, src2)` elementwise add.
+pub const FADDS: &str = "csl.fadds";
+/// `csl.fsubs`: `@fsubs(dest, src1, src2)` elementwise subtract.
+pub const FSUBS: &str = "csl.fsubs";
+/// `csl.fmuls`: `@fmuls(dest, src1, src2)` elementwise multiply.
+pub const FMULS: &str = "csl.fmuls";
+/// `csl.fmacs`: `@fmacs(dest, acc, src, coeff)` fused multiply-accumulate.
+pub const FMACS: &str = "csl.fmacs";
+/// `csl.fmovs`: `@fmovs(dest, src)` move / broadcast.
+pub const FMOVS: &str = "csl.fmovs";
+
+/// All DSD compute builtins.
+pub const DSD_BUILTINS: &[&str] = &[FADDS, FSUBS, FMULS, FMACS, FMOVS];
+
+// ------------------------------------------------------------- layout ops
+
+/// `csl.set_rectangle`: layout call fixing the PE rectangle.
+pub const SET_RECTANGLE: &str = "csl.set_rectangle";
+/// `csl.set_tile_code`: layout call assigning a program to a PE.
+pub const SET_TILE_CODE: &str = "csl.set_tile_code";
+/// `csl.export`: makes a symbol visible to the host runtime.
+pub const EXPORT: &str = "csl.export";
+/// `csl.rpc`: unblocks the host command stream (memcpy RPC launch).
+pub const RPC: &str = "csl.rpc";
+
+/// The type of an imported module value.
+pub fn imported_module_type() -> Type {
+    Type::dialect("csl", "imported_module", vec![])
+}
+
+/// The type of a DSD value.
+pub fn dsd_type() -> Type {
+    Type::dialect("csl", "dsd", vec![Attribute::str("mem1d_dsd")])
+}
+
+/// Kinds of CSL tasks (Section 2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Triggered internally via `@activate`.
+    Local,
+    /// Triggered by an arriving data wavelet.
+    Data,
+    /// Triggered by an arriving control wavelet.
+    Control,
+}
+
+impl TaskKind {
+    /// Attribute string used to encode the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TaskKind::Local => "local",
+            TaskKind::Data => "data",
+            TaskKind::Control => "control",
+        }
+    }
+
+    /// Parses the attribute string form.
+    pub fn from_str(s: &str) -> Option<TaskKind> {
+        match s {
+            "local" => Some(TaskKind::Local),
+            "data" => Some(TaskKind::Data),
+            "control" => Some(TaskKind::Control),
+            _ => None,
+        }
+    }
+}
+
+/// Module kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModuleKind {
+    /// The per-PE program.
+    Program,
+    /// The layout metaprogram.
+    Layout,
+}
+
+impl ModuleKind {
+    /// Attribute string used to encode the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModuleKind::Program => "program",
+            ModuleKind::Layout => "layout",
+        }
+    }
+
+    /// Parses the attribute string form.
+    pub fn from_str(s: &str) -> Option<ModuleKind> {
+        match s {
+            "program" => Some(ModuleKind::Program),
+            "layout" => Some(ModuleKind::Layout),
+            _ => None,
+        }
+    }
+}
+
+// ----------------------------------------------------------------- builders
+
+/// Builds a `csl.module` and returns the op and its body block.
+pub fn build_module(b: &mut OpBuilder<'_>, name: &str, kind: ModuleKind) -> (OpId, BlockId) {
+    let op = b.insert(
+        OpSpec::new(MODULE)
+            .attr("sym_name", Attribute::str(name))
+            .attr("kind", Attribute::str(kind.as_str()))
+            .regions(1),
+    );
+    let region = b.ctx_ref().op_region(op, 0);
+    let body = b.ctx().add_block(region, vec![]);
+    (op, body)
+}
+
+/// Builds a `csl.param` (compile-time module parameter).
+pub fn param(b: &mut OpBuilder<'_>, name: &str, default: Option<i64>, ty: Type) -> ValueId {
+    let mut spec = OpSpec::new(PARAM).results([ty]).attr("name", Attribute::str(name));
+    if let Some(d) = default {
+        spec = spec.attr("default", Attribute::int(d));
+    }
+    b.insert_value(spec)
+}
+
+/// Builds a `csl.import_module` of the named CSL library.
+pub fn import_module(b: &mut OpBuilder<'_>, module: &str) -> ValueId {
+    b.insert_value(
+        OpSpec::new(IMPORT_MODULE)
+            .results([imported_module_type()])
+            .attr("module", Attribute::str(module)),
+    )
+}
+
+/// Builds a `csl.func` named `name` and returns the op and its body block.
+pub fn build_func(b: &mut OpBuilder<'_>, name: &str, arg_types: Vec<Type>) -> (OpId, BlockId) {
+    let op = b.insert(OpSpec::new(FUNC).attr("sym_name", Attribute::str(name)).regions(1));
+    let region = b.ctx_ref().op_region(op, 0);
+    let body = b.ctx().add_block(region, arg_types);
+    (op, body)
+}
+
+/// Builds a `csl.task` named `name` of the given kind and id.
+pub fn build_task(
+    b: &mut OpBuilder<'_>,
+    name: &str,
+    kind: TaskKind,
+    id: i64,
+    arg_types: Vec<Type>,
+) -> (OpId, BlockId) {
+    let op = b.insert(
+        OpSpec::new(TASK)
+            .attr("sym_name", Attribute::str(name))
+            .attr("kind", Attribute::str(kind.as_str()))
+            .attr("id", Attribute::int(id))
+            .regions(1),
+    );
+    let region = b.ctx_ref().op_region(op, 0);
+    let body = b.ctx().add_block(region, arg_types);
+    (op, body)
+}
+
+/// Builds a `csl.call` to the function named `callee`.
+pub fn call(b: &mut OpBuilder<'_>, callee: &str, operands: Vec<ValueId>) -> OpId {
+    b.insert(
+        OpSpec::new(CALL)
+            .attr("callee", Attribute::SymbolRef(callee.to_string()))
+            .operands(operands),
+    )
+}
+
+/// Builds a `csl.member_call` on an imported module: `callee.field(args)`.
+/// Callback symbols (used by the communication library) are passed through
+/// the `callbacks` attribute.
+pub fn member_call(
+    b: &mut OpBuilder<'_>,
+    field: &str,
+    import: ValueId,
+    operands: Vec<ValueId>,
+    callbacks: &[&str],
+    results: Vec<Type>,
+) -> OpId {
+    let mut all_operands = vec![import];
+    all_operands.extend(operands);
+    b.insert(
+        OpSpec::new(MEMBER_CALL)
+            .attr("field", Attribute::str(field))
+            .attr(
+                "callbacks",
+                Attribute::Array(
+                    callbacks.iter().map(|c| Attribute::SymbolRef((*c).to_string())).collect(),
+                ),
+            )
+            .operands(all_operands)
+            .results(results),
+    )
+}
+
+/// Builds a `csl.activate` of the task named `task`.
+pub fn activate(b: &mut OpBuilder<'_>, task: &str, id: i64) -> OpId {
+    b.insert(
+        OpSpec::new(ACTIVATE)
+            .attr("task", Attribute::SymbolRef(task.to_string()))
+            .attr("id", Attribute::int(id)),
+    )
+}
+
+/// Appends a `csl.return` to a block.
+pub fn build_return(ctx: &mut IrContext, block: BlockId, values: Vec<ValueId>) -> OpId {
+    let mut b = OpBuilder::at_end(ctx, block);
+    b.insert(OpSpec::new(RETURN).operands(values))
+}
+
+/// Builds a `csl.if` with a then-block and an else-block.
+pub fn build_if(b: &mut OpBuilder<'_>, condition: ValueId) -> (OpId, BlockId, BlockId) {
+    let op = b.insert(OpSpec::new(IF).operands([condition]).regions(2));
+    let then_region = b.ctx_ref().op_region(op, 0);
+    let then_block = b.ctx().add_block(then_region, vec![]);
+    let else_region = b.ctx_ref().op_region(op, 1);
+    let else_block = b.ctx().add_block(else_region, vec![]);
+    (op, then_block, else_block)
+}
+
+/// Builds a module-level mutable `csl.var`.
+pub fn var(b: &mut OpBuilder<'_>, name: &str, ty: Type, init: i64) -> OpId {
+    b.insert(
+        OpSpec::new(VAR)
+            .attr("sym_name", Attribute::str(name))
+            .attr("type", Attribute::Type(ty))
+            .attr("init", Attribute::int(init)),
+    )
+}
+
+/// Builds a `csl.load_var` of the variable named `name`.
+pub fn load_var(b: &mut OpBuilder<'_>, name: &str, ty: Type) -> ValueId {
+    b.insert_value(
+        OpSpec::new(LOAD_VAR).results([ty]).attr("var", Attribute::SymbolRef(name.to_string())),
+    )
+}
+
+/// Builds a `csl.store_var` of `value` into the variable named `name`.
+pub fn store_var(b: &mut OpBuilder<'_>, name: &str, value: ValueId) -> OpId {
+    b.insert(
+        OpSpec::new(STORE_VAR)
+            .operands([value])
+            .attr("var", Attribute::SymbolRef(name.to_string())),
+    )
+}
+
+/// Builds a `csl.zeros` buffer of the given memref type.
+pub fn zeros(b: &mut OpBuilder<'_>, name: &str, ty: Type) -> ValueId {
+    b.insert_value(
+        OpSpec::new(ZEROS).results([ty]).attr("sym_name", Attribute::str(name)),
+    )
+}
+
+/// Builds a `csl.constants` buffer filled with `value`.
+pub fn constants(b: &mut OpBuilder<'_>, name: &str, ty: Type, value: f32) -> ValueId {
+    b.insert_value(
+        OpSpec::new(CONSTANTS)
+            .results([ty])
+            .attr("sym_name", Attribute::str(name))
+            .attr("value", Attribute::f32(value)),
+    )
+}
+
+/// Builds a `csl.get_mem_dsd` view over `buffer` (`offset`, `length`).
+pub fn get_mem_dsd(b: &mut OpBuilder<'_>, buffer: ValueId, offset: i64, length: i64) -> ValueId {
+    b.insert_value(
+        OpSpec::new(GET_MEM_DSD)
+            .operands([buffer])
+            .results([dsd_type()])
+            .attr("offset", Attribute::int(offset))
+            .attr("length", Attribute::int(length)),
+    )
+}
+
+/// Builds a `csl.get_mem_dsd` whose base offset is computed at runtime
+/// (`static offset + dynamic offset`), used for chunk-indexed accumulator
+/// views inside receive-chunk tasks.
+pub fn get_mem_dsd_dynamic(
+    b: &mut OpBuilder<'_>,
+    buffer: ValueId,
+    dynamic_offset: ValueId,
+    offset: i64,
+    length: i64,
+) -> ValueId {
+    b.insert_value(
+        OpSpec::new(GET_MEM_DSD)
+            .operands([buffer, dynamic_offset])
+            .results([dsd_type()])
+            .attr("offset", Attribute::int(offset))
+            .attr("length", Attribute::int(length)),
+    )
+}
+
+/// Builds a DSD builtin with a destination and sources (`@fadds`, ...).
+pub fn dsd_builtin(b: &mut OpBuilder<'_>, name: &str, operands: Vec<ValueId>) -> OpId {
+    b.insert(OpSpec::new(name).operands(operands))
+}
+
+/// Builds a layout `csl.set_rectangle`.
+pub fn set_rectangle(b: &mut OpBuilder<'_>, width: i64, height: i64) -> OpId {
+    b.insert(
+        OpSpec::new(SET_RECTANGLE)
+            .attr("width", Attribute::int(width))
+            .attr("height", Attribute::int(height)),
+    )
+}
+
+/// Builds a layout `csl.set_tile_code` assigning `file` with params.
+pub fn set_tile_code(b: &mut OpBuilder<'_>, file: &str, params: Vec<(String, Attribute)>) -> OpId {
+    let mut dict = std::collections::BTreeMap::new();
+    for (k, v) in params {
+        dict.insert(k, v);
+    }
+    b.insert(
+        OpSpec::new(SET_TILE_CODE)
+            .attr("file", Attribute::str(file))
+            .attr("params", Attribute::Dict(dict)),
+    )
+}
+
+/// Builds a `csl.export` of a symbol (host-visible buffer or function).
+pub fn export(b: &mut OpBuilder<'_>, symbol: &str, kind: &str) -> OpId {
+    b.insert(
+        OpSpec::new(EXPORT)
+            .attr("symbol", Attribute::SymbolRef(symbol.to_string()))
+            .attr("kind", Attribute::str(kind)),
+    )
+}
+
+// ---------------------------------------------------------------- accessors
+
+/// Symbol name of a func/task/module/var.
+pub fn symbol_name(ctx: &IrContext, op: OpId) -> Option<&str> {
+    ctx.attr_str(op, "sym_name")
+}
+
+/// Kind of a `csl.task`.
+pub fn task_kind(ctx: &IrContext, op: OpId) -> Option<TaskKind> {
+    ctx.attr_str(op, "kind").and_then(TaskKind::from_str)
+}
+
+/// Kind of a `csl.module`.
+pub fn module_kind(ctx: &IrContext, op: OpId) -> Option<ModuleKind> {
+    ctx.attr_str(op, "kind").and_then(ModuleKind::from_str)
+}
+
+/// Body block of a func/task/module.
+pub fn body_block(ctx: &IrContext, op: OpId) -> Option<BlockId> {
+    ctx.entry_block(ctx.op_region(op, 0))
+}
+
+/// Callee of a `csl.call` or `csl.activate` (the `task` attribute).
+pub fn callee(ctx: &IrContext, op: OpId) -> Option<&str> {
+    ctx.attr_str(op, "callee").or_else(|| ctx.attr_str(op, "task"))
+}
+
+/// Callback symbols of a `csl.member_call`.
+pub fn callbacks(ctx: &IrContext, op: OpId) -> Vec<String> {
+    ctx.attr(op, "callbacks")
+        .and_then(Attribute::as_array)
+        .map(|a| a.iter().filter_map(|x| x.as_str().map(str::to_string)).collect())
+        .unwrap_or_default()
+}
+
+/// Finds a `csl.func` or `csl.task` by symbol name under `root`.
+pub fn find_callable(ctx: &IrContext, root: OpId, name: &str) -> Option<OpId> {
+    ctx.walk(root)
+        .into_iter()
+        .filter(|&o| ctx.op_name(o) == FUNC || ctx.op_name(o) == TASK)
+        .find(|&o| symbol_name(ctx, o) == Some(name))
+}
+
+// ---------------------------------------------------------------- verifiers
+
+fn verify_symbol_op(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if symbol_name(ctx, op).is_none() {
+        return Err(format!("{} requires a sym_name attribute", ctx.op_name(op)));
+    }
+    Ok(())
+}
+
+fn verify_task(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    verify_symbol_op(ctx, op)?;
+    let Some(kind) = task_kind(ctx, op) else {
+        return Err("csl.task requires a kind attribute (local/data/control)".into());
+    };
+    let id = ctx.attr_int(op, "id").ok_or("csl.task requires an id attribute")?;
+    // The WSE exposes 24 programmer-visible colors / task ids per PE.
+    if !(0..=23).contains(&id) {
+        return Err(format!("task id {id} is outside the architectural range 0..=23"));
+    }
+    if kind == TaskKind::Data && body_block(ctx, op).map(|b| ctx.block_args(b).len()) == Some(0) {
+        return Err("data tasks receive a wavelet payload and need at least one argument".into());
+    }
+    Ok(())
+}
+
+fn verify_module(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    verify_symbol_op(ctx, op)?;
+    if module_kind(ctx, op).is_none() {
+        return Err("csl.module requires a kind attribute (program/layout)".into());
+    }
+    Ok(())
+}
+
+fn verify_dsd_builtin(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    let expected = match ctx.op_name(op) {
+        FMACS => 4,
+        FMOVS => 2,
+        _ => 3,
+    };
+    if ctx.operands(op).len() != expected {
+        return Err(format!(
+            "{} requires {expected} operands, found {}",
+            ctx.op_name(op),
+            ctx.operands(op).len()
+        ));
+    }
+    let dest_ty = ctx.value_type(ctx.operand(op, 0));
+    if dest_ty != &dsd_type() && !dest_ty.is_memref() {
+        return Err(format!("destination of {} must be a DSD or memref, got {dest_ty}", ctx.op_name(op)));
+    }
+    Ok(())
+}
+
+fn verify_get_mem_dsd(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).is_empty() || ctx.operands(op).len() > 2 {
+        return Err("csl.get_mem_dsd takes a buffer and an optional dynamic offset".into());
+    }
+    let buf_ty = ctx.value_type(ctx.operand(op, 0));
+    if !buf_ty.is_memref() {
+        return Err(format!("csl.get_mem_dsd operand must be a memref, got {buf_ty}"));
+    }
+    let offset = ctx.attr_int(op, "offset").unwrap_or(0);
+    let length = ctx.attr_int(op, "length").unwrap_or(0);
+    if length <= 0 {
+        return Err("csl.get_mem_dsd requires a positive length".into());
+    }
+    // Static views are bounds-checked; dynamic views are checked by the
+    // simulator at runtime.
+    if ctx.operands(op).len() == 1 {
+        if let Some(&dim) = buf_ty.shape().and_then(|s| s.last()) {
+            if dim >= 0 && offset + length > dim {
+                return Err(format!(
+                    "DSD view [{offset}, {}) exceeds the buffer extent {dim}",
+                    offset + length
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verify_if(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).len() != 1 {
+        return Err("csl.if requires exactly one condition operand".into());
+    }
+    if ctx.op_regions(op).len() != 2 {
+        return Err("csl.if requires a then and an else region".into());
+    }
+    Ok(())
+}
+
+fn verify_member_call(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.attr_str(op, "field").is_none() {
+        return Err("csl.member_call requires a field attribute".into());
+    }
+    if ctx.operands(op).is_empty() {
+        return Err("csl.member_call requires the imported module as its first operand".into());
+    }
+    Ok(())
+}
+
+/// Registers the dialect's verifiers.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register_dialect("csl");
+    registry.register_op_verifier(MODULE, verify_module);
+    registry.register_op_verifier(FUNC, verify_symbol_op);
+    registry.register_op_verifier(TASK, verify_task);
+    registry.register_op_verifier(VAR, verify_symbol_op);
+    registry.register_op_verifier(ZEROS, verify_symbol_op);
+    registry.register_op_verifier(CONSTANTS, verify_symbol_op);
+    registry.register_op_verifier(GET_MEM_DSD, verify_get_mem_dsd);
+    registry.register_op_verifier(IF, verify_if);
+    registry.register_op_verifier(MEMBER_CALL, verify_member_call);
+    for name in DSD_BUILTINS {
+        registry.register_op_verifier(*name, verify_dsd_builtin);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_dialects::builtin;
+    use wse_ir::verify;
+
+    fn registry() -> DialectRegistry {
+        let mut r = wse_dialects::register_all();
+        register(&mut r);
+        r
+    }
+
+    #[test]
+    fn task_and_func_construction() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let (csl_mod, mod_body) = build_module(&mut b, "pe_program", ModuleKind::Program);
+        let mut mb = OpBuilder::at_end(&mut ctx, mod_body);
+        var(&mut mb, "step", Type::int(16), 0);
+        let (func_op, func_body) = build_func(&mut mb, "f_main", vec![]);
+        let (task_op, task_body) = build_task(&mut mb, "for_cond0", TaskKind::Local, 3, vec![]);
+        let mut fb = OpBuilder::at_end(&mut ctx, func_body);
+        activate(&mut fb, "for_cond0", 3);
+        build_return(&mut ctx, func_body, vec![]);
+        build_return(&mut ctx, task_body, vec![]);
+
+        assert_eq!(module_kind(&ctx, csl_mod), Some(ModuleKind::Program));
+        assert_eq!(symbol_name(&ctx, func_op), Some("f_main"));
+        assert_eq!(task_kind(&ctx, task_op), Some(TaskKind::Local));
+        assert_eq!(find_callable(&ctx, module, "for_cond0"), Some(task_op));
+        assert_eq!(find_callable(&ctx, module, "f_main"), Some(func_op));
+        assert!(verify(&ctx, module, &registry()).is_empty());
+    }
+
+    #[test]
+    fn dsd_builtins_and_buffers() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let buf_ty = Type::memref(vec![512], Type::f32());
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let a = zeros(&mut b, "a", buf_ty.clone());
+        let c = constants(&mut b, "coeff", buf_ty.clone(), 0.12345);
+        let da = get_mem_dsd(&mut b, a, 1, 510);
+        let dc = get_mem_dsd(&mut b, c, 0, 510);
+        dsd_builtin(&mut b, FADDS, vec![da, da, dc]);
+        dsd_builtin(&mut b, FMOVS, vec![da, dc]);
+        let coeff = wse_dialects::arith::constant_f32(&mut b, 0.5, Type::f32());
+        dsd_builtin(&mut b, FMACS, vec![da, da, dc, coeff]);
+        assert!(verify(&ctx, module, &registry()).is_empty());
+    }
+
+    #[test]
+    fn oversized_dsd_rejected() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let buf_ty = Type::memref(vec![16], Type::f32());
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let a = zeros(&mut b, "a", buf_ty);
+        get_mem_dsd(&mut b, a, 10, 10);
+        let errors = verify(&ctx, module, &registry());
+        assert!(errors.iter().any(|e| e.message.contains("exceeds the buffer extent")));
+    }
+
+    #[test]
+    fn task_id_range_checked() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let (_t, tb) = build_task(&mut b, "too_big", TaskKind::Local, 31, vec![]);
+        build_return(&mut ctx, tb, vec![]);
+        let errors = verify(&ctx, module, &registry());
+        assert!(errors.iter().any(|e| e.message.contains("architectural range")));
+    }
+
+    #[test]
+    fn data_task_needs_payload_argument() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let (_t, tb) = build_task(&mut b, "recv", TaskKind::Data, 1, vec![]);
+        build_return(&mut ctx, tb, vec![]);
+        let errors = verify(&ctx, module, &registry());
+        assert!(errors.iter().any(|e| e.message.contains("wavelet payload")));
+    }
+
+    #[test]
+    fn kind_string_roundtrip() {
+        for kind in [TaskKind::Local, TaskKind::Data, TaskKind::Control] {
+            assert_eq!(TaskKind::from_str(kind.as_str()), Some(kind));
+        }
+        assert_eq!(TaskKind::from_str("bogus"), None);
+        for kind in [ModuleKind::Program, ModuleKind::Layout] {
+            assert_eq!(ModuleKind::from_str(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ModuleKind::from_str("bogus"), None);
+    }
+
+    #[test]
+    fn member_call_callbacks_roundtrip() {
+        let mut ctx = IrContext::new();
+        let (_module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let comms = import_module(&mut b, "stencil_comms.csl");
+        let mc = member_call(
+            &mut b,
+            "communicate",
+            comms,
+            vec![],
+            &["receive_chunk_cb0", "done_exchange_cb0"],
+            vec![],
+        );
+        assert_eq!(
+            callbacks(&ctx, mc),
+            vec!["receive_chunk_cb0".to_string(), "done_exchange_cb0".to_string()]
+        );
+        assert_eq!(ctx.attr_str(mc, "field"), Some("communicate"));
+    }
+}

@@ -1,0 +1,332 @@
+//! The `csl_stencil` dialect: WSE-specific stencil communication+compute.
+//!
+//! `csl_stencil.apply` (Listing 4 of the paper) combines the halo exchange
+//! and the stencil computation.  It has two regions:
+//!
+//! 1. the *receive-chunk* region, executed once per incoming chunk of
+//!    remote data, which partially reduces the chunk into an accumulator;
+//! 2. the *done-exchange* region, executed once after all chunks from all
+//!    neighbors have arrived, which combines the accumulator with locally
+//!    held data.
+
+use wse_dialects::dmp::Exchange;
+use wse_dialects::stencil;
+use wse_ir::{
+    Attribute, BlockId, DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, Type, ValueId,
+};
+
+/// `csl_stencil.prefetch`: fetches remote halo data into a local buffer.
+pub const PREFETCH: &str = "csl_stencil.prefetch";
+/// `csl_stencil.apply`: chunked communicate-and-compute (two regions).
+pub const APPLY: &str = "csl_stencil.apply";
+/// `csl_stencil.access`: neighbor access (local memory or receive buffer).
+pub const ACCESS: &str = "csl_stencil.access";
+/// `csl_stencil.yield`: terminator of both apply regions.
+pub const YIELD: &str = "csl_stencil.yield";
+
+/// Encodes a list of exchanges into the `swaps` attribute.
+pub fn swaps_attr(exchanges: &[Exchange]) -> Attribute {
+    Attribute::Array(exchanges.iter().map(Exchange::to_attr).collect())
+}
+
+/// Decodes the `swaps` attribute of an op.
+pub fn swaps_of(ctx: &IrContext, op: OpId) -> Vec<Exchange> {
+    ctx.attr(op, "swaps")
+        .and_then(Attribute::as_array)
+        .map(|attrs| attrs.iter().filter_map(Exchange::from_attr).collect())
+        .unwrap_or_default()
+}
+
+/// Builds a `csl_stencil.prefetch` of `input`, producing a receive buffer
+/// of type `tensor<num_neighbors x chunk_z x f32>`.
+pub fn prefetch(
+    b: &mut OpBuilder<'_>,
+    input: ValueId,
+    exchanges: &[Exchange],
+    num_chunks: i64,
+    buffer_type: Type,
+) -> ValueId {
+    b.insert_value(
+        OpSpec::new(PREFETCH)
+            .operands([input])
+            .results([buffer_type])
+            .attr("swaps", swaps_attr(exchanges))
+            .attr("num_chunks", Attribute::int(num_chunks)),
+    )
+}
+
+/// Configuration of a `csl_stencil.apply`.
+#[derive(Debug, Clone)]
+pub struct ApplyConfig {
+    /// The halo exchanges performed by this apply.
+    pub exchanges: Vec<Exchange>,
+    /// Number of chunks each neighbor's column is split into.
+    pub num_chunks: i64,
+    /// Extent of the z (tensorized) dimension processed per cell.
+    pub z_extent: i64,
+}
+
+/// Builds a `csl_stencil.apply`.
+///
+/// * `inputs` are the local columns (each a
+///   `!stencil.temp<... x tensor<z x f32>>`),
+/// * `acc_init` is the initial accumulator value (a `tensor<z x f32>`),
+/// * region 0 (receive-chunk) gets arguments `(chunk_buffer, offset, acc)`,
+/// * region 1 (done-exchange) gets arguments `(inputs..., acc)`,
+/// * the result types are the stencil temps produced by the apply.
+///
+/// Returns `(op, receive_chunk_block, done_exchange_block)`.
+pub fn build_apply(
+    b: &mut OpBuilder<'_>,
+    inputs: Vec<ValueId>,
+    acc_init: ValueId,
+    config: &ApplyConfig,
+    chunk_buffer_type: Type,
+    result_types: Vec<Type>,
+) -> (OpId, BlockId, BlockId) {
+    let input_tys: Vec<Type> =
+        inputs.iter().map(|&v| b.ctx_ref().value_type(v).clone()).collect();
+    let acc_ty = b.ctx_ref().value_type(acc_init).clone();
+    let mut operands = inputs;
+    operands.push(acc_init);
+    let op = b.insert(
+        OpSpec::new(APPLY)
+            .operands(operands)
+            .results(result_types)
+            .regions(2)
+            .attr("swaps", swaps_attr(&config.exchanges))
+            .attr("num_chunks", Attribute::int(config.num_chunks))
+            .attr("z_extent", Attribute::int(config.z_extent)),
+    );
+    let recv_region = b.ctx_ref().op_region(op, 0);
+    let recv_block = b
+        .ctx()
+        .add_block(recv_region, vec![chunk_buffer_type, Type::index(), acc_ty.clone()]);
+    let done_region = b.ctx_ref().op_region(op, 1);
+    let mut done_args = input_tys;
+    done_args.push(acc_ty);
+    let done_block = b.ctx().add_block(done_region, done_args);
+    (op, recv_block, done_block)
+}
+
+/// Builds a `csl_stencil.access` at `offset`.
+pub fn access(b: &mut OpBuilder<'_>, source: ValueId, offset: &[i64], result: Type) -> ValueId {
+    b.insert_value(
+        OpSpec::new(ACCESS)
+            .operands([source])
+            .results([result])
+            .attr("offset", Attribute::IndexArray(offset.to_vec())),
+    )
+}
+
+/// Appends a `csl_stencil.yield` to a region block.
+pub fn build_yield(ctx: &mut IrContext, block: BlockId, values: Vec<ValueId>) -> OpId {
+    let mut b = OpBuilder::at_end(ctx, block);
+    b.insert(OpSpec::new(YIELD).operands(values))
+}
+
+/// The offset of a `csl_stencil.access`.
+pub fn access_offset(ctx: &IrContext, op: OpId) -> Option<Vec<i64>> {
+    ctx.attr(op, "offset")?.as_index_array().map(<[i64]>::to_vec)
+}
+
+/// The `num_chunks` attribute of an apply or prefetch.
+pub fn num_chunks(ctx: &IrContext, op: OpId) -> i64 {
+    ctx.attr_int(op, "num_chunks").unwrap_or(1)
+}
+
+/// The receive-chunk block (region 0) of an apply.
+pub fn receive_chunk_block(ctx: &IrContext, op: OpId) -> Option<BlockId> {
+    ctx.entry_block(ctx.op_region(op, 0))
+}
+
+/// The done-exchange block (region 1) of an apply.
+pub fn done_exchange_block(ctx: &IrContext, op: OpId) -> Option<BlockId> {
+    ctx.entry_block(ctx.op_region(op, 1))
+}
+
+fn verify_apply(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.op_regions(op).len() != 2 {
+        return Err("csl_stencil.apply requires exactly two regions".into());
+    }
+    if ctx.operands(op).len() < 2 {
+        return Err("csl_stencil.apply requires input and accumulator operands".into());
+    }
+    let chunks = num_chunks(ctx, op);
+    if chunks < 1 {
+        return Err(format!("num_chunks must be >= 1, found {chunks}"));
+    }
+    let z = ctx.attr_int(op, "z_extent").unwrap_or(0);
+    if z > 0 && chunks > 0 && z % chunks != 0 {
+        return Err(format!("z extent {z} must be divisible by num_chunks {chunks}"));
+    }
+    let recv = receive_chunk_block(ctx, op).ok_or("missing receive-chunk block")?;
+    if ctx.block_args(recv).len() != 3 {
+        return Err("receive-chunk region must have (buffer, offset, acc) arguments".into());
+    }
+    let done = done_exchange_block(ctx, op).ok_or("missing done-exchange block")?;
+    if ctx.block_args(done).len() != ctx.operands(op).len() {
+        return Err("done-exchange region must have (inputs..., acc) arguments".into());
+    }
+    for block in [recv, done] {
+        match ctx.block_ops(block).last() {
+            Some(&last) if ctx.op_name(last) == YIELD => {}
+            _ => return Err("both csl_stencil.apply regions must end with csl_stencil.yield".into()),
+        }
+    }
+    let swaps = swaps_of(ctx, op);
+    if swaps.is_empty() {
+        return Err("csl_stencil.apply requires a non-empty swaps attribute".into());
+    }
+    Ok(())
+}
+
+fn verify_access(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).len() != 1 {
+        return Err("csl_stencil.access requires exactly one operand".into());
+    }
+    if access_offset(ctx, op).is_none() {
+        return Err("csl_stencil.access requires an offset attribute".into());
+    }
+    Ok(())
+}
+
+fn verify_prefetch(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).len() != 1 || ctx.results(op).len() != 1 {
+        return Err("csl_stencil.prefetch requires one operand and one result".into());
+    }
+    if swaps_of(ctx, op).is_empty() {
+        return Err("csl_stencil.prefetch requires a non-empty swaps attribute".into());
+    }
+    Ok(())
+}
+
+/// Registers the dialect's verifiers.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register_dialect("csl_stencil");
+    registry.register_op_verifier(APPLY, verify_apply);
+    registry.register_op_verifier(ACCESS, verify_access);
+    registry.register_op_verifier(PREFETCH, verify_prefetch);
+}
+
+/// Helper producing the iteration bounds of the apply results: all results
+/// share the bounds of the first result temp.
+pub fn result_bounds(ctx: &IrContext, op: OpId) -> Option<stencil::Bounds> {
+    ctx.results(op).first().and_then(|&r| stencil::type_bounds(ctx.value_type(r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_dialects::{arith, builtin, tensor};
+    use wse_ir::verify;
+
+    fn registry() -> DialectRegistry {
+        let mut r = wse_dialects::register_all();
+        register(&mut r);
+        r
+    }
+
+    /// Builds the paper's Listing 4: a two-chunk apply whose receive-chunk
+    /// region packs incoming data into the accumulator and whose
+    /// done-exchange region adds local data and scales by a constant.
+    fn build_listing4(ctx: &mut IrContext) -> OpId {
+        let (_module, body) = builtin::module(ctx);
+        let z = 510;
+        let bounds = stencil::Bounds::new(vec![-1, -1], vec![2, 2]);
+        let temp_ty = stencil::temp_type(&bounds, Type::tensor(vec![z], Type::f32()));
+        let acc_ty = Type::tensor(vec![z], Type::f32());
+        let chunk_ty = Type::tensor(vec![4, z / 2], Type::f32());
+
+        let mut b = OpBuilder::at_end(ctx, body);
+        let input = b.insert_value(OpSpec::new("tensor.empty").results([temp_ty.clone()]));
+        let acc = arith::constant_f32(&mut b, 0.0, acc_ty.clone());
+        let config = ApplyConfig {
+            exchanges: vec![
+                Exchange::new(1, 0, 1),
+                Exchange::new(-1, 0, 1),
+                Exchange::new(0, 1, 1),
+                Exchange::new(0, -1, 1),
+            ],
+            num_chunks: 2,
+            z_extent: z,
+        };
+        let (apply, recv, done) =
+            build_apply(&mut b, vec![input], acc, &config, chunk_ty, vec![temp_ty]);
+
+        // Receive-chunk region: reduce the east neighbor's chunk into acc.
+        let recv_args = ctx.block_args(recv).to_vec();
+        let mut rb = OpBuilder::at_end(ctx, recv);
+        let east = access(&mut rb, recv_args[0], &[1, 0], Type::tensor(vec![z / 2], Type::f32()));
+        let packed = tensor::insert_slice(&mut rb, east, recv_args[2], recv_args[1], z / 2);
+        build_yield(ctx, recv, vec![packed]);
+
+        // Done-exchange region: add the local value and scale.
+        let done_args = ctx.block_args(done).to_vec();
+        let mut db = OpBuilder::at_end(ctx, done);
+        let c = arith::constant_f32(&mut db, 0.12345, acc_ty.clone());
+        let local = access(&mut db, done_args[0], &[0, 0], acc_ty.clone());
+        let sum = arith::addf(&mut db, done_args[1], local);
+        let scaled = arith::mulf(&mut db, sum, c);
+        build_yield(ctx, done, vec![scaled]);
+        apply
+    }
+
+    #[test]
+    fn listing4_builds_and_verifies() {
+        let mut ctx = IrContext::new();
+        let apply = build_listing4(&mut ctx);
+        let module = ctx.ancestor_of_name(apply, builtin::MODULE).unwrap();
+        let errors = verify(&ctx, module, &registry());
+        assert!(errors.is_empty(), "unexpected errors: {errors:?}");
+        assert_eq!(num_chunks(&ctx, apply), 2);
+        assert_eq!(swaps_of(&ctx, apply).len(), 4);
+        assert!(receive_chunk_block(&ctx, apply).is_some());
+        assert!(done_exchange_block(&ctx, apply).is_some());
+        assert_eq!(
+            result_bounds(&ctx, apply),
+            Some(stencil::Bounds::new(vec![-1, -1], vec![2, 2]))
+        );
+    }
+
+    #[test]
+    fn indivisible_chunking_rejected() {
+        let mut ctx = IrContext::new();
+        let apply = build_listing4(&mut ctx);
+        ctx.set_attr(apply, "num_chunks", Attribute::int(4));
+        ctx.set_attr(apply, "z_extent", Attribute::int(510)); // 510 % 4 != 0
+        let module = ctx.ancestor_of_name(apply, builtin::MODULE).unwrap();
+        let errors = verify(&ctx, module, &registry());
+        assert!(errors.iter().any(|e| e.message.contains("divisible")));
+    }
+
+    #[test]
+    fn empty_swaps_rejected() {
+        let mut ctx = IrContext::new();
+        let apply = build_listing4(&mut ctx);
+        ctx.set_attr(apply, "swaps", Attribute::Array(vec![]));
+        let module = ctx.ancestor_of_name(apply, builtin::MODULE).unwrap();
+        let errors = verify(&ctx, module, &registry());
+        assert!(errors.iter().any(|e| e.message.contains("non-empty swaps")));
+    }
+
+    #[test]
+    fn prefetch_builds() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let t = b.insert_value(
+            OpSpec::new("tensor.empty").results([Type::tensor(vec![512], Type::f32())]),
+        );
+        let buf = prefetch(
+            &mut b,
+            t,
+            &[Exchange::new(1, 0, 1)],
+            2,
+            Type::tensor(vec![4, 256], Type::f32()),
+        );
+        let op = ctx.defining_op(buf).unwrap();
+        assert_eq!(num_chunks(&ctx, op), 2);
+        assert!(verify(&ctx, module, &registry()).is_empty());
+    }
+}

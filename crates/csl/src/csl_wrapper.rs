@@ -1,0 +1,216 @@
+//! The `csl_wrapper` dialect: staged-compilation packaging.
+//!
+//! CSL programs consist of a *layout* metaprogram (placement, routing and
+//! compile-time parameters) and one or more *PE programs*.
+//! `csl_wrapper.module` packages both together: its first region holds the
+//! layout description, its second region the program that is mapped onto
+//! every PE (Section 4.2 of the paper).
+
+use wse_ir::{
+    Attribute, BlockId, DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, ValueId,
+};
+
+/// `csl_wrapper.module`: packages layout and program regions plus params.
+pub const MODULE: &str = "csl_wrapper.module";
+/// `csl_wrapper.import`: imports a CSL library (e.g. the memcpy library).
+pub const IMPORT: &str = "csl_wrapper.import";
+/// `csl_wrapper.yield`: terminator for wrapper regions.
+pub const YIELD: &str = "csl_wrapper.yield";
+
+/// Program-wide parameters carried by the wrapper module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrapperParams {
+    /// PE-grid extent in x.
+    pub width: i64,
+    /// PE-grid extent in y.
+    pub height: i64,
+    /// Length of the per-PE column (z extent).
+    pub z_dim: i64,
+    /// Stencil pattern radius (1 for a star-1 stencil, 2 for 25-point, ...).
+    pub pattern: i64,
+    /// Number of chunks per halo exchange.
+    pub num_chunks: i64,
+    /// Chunk size in elements.
+    pub chunk_size: i64,
+    /// Number of fields communicated per timestep.
+    pub fields: i64,
+}
+
+impl WrapperParams {
+    /// Encodes the parameters as attributes on the module op.
+    fn apply_to(&self, spec: OpSpec) -> OpSpec {
+        spec.attr("width", Attribute::int(self.width))
+            .attr("height", Attribute::int(self.height))
+            .attr("z_dim", Attribute::int(self.z_dim))
+            .attr("pattern", Attribute::int(self.pattern))
+            .attr("num_chunks", Attribute::int(self.num_chunks))
+            .attr("chunk_size", Attribute::int(self.chunk_size))
+            .attr("fields", Attribute::int(self.fields))
+    }
+
+    /// Decodes the parameters from a wrapper module op.
+    pub fn from_op(ctx: &IrContext, op: OpId) -> Option<WrapperParams> {
+        Some(WrapperParams {
+            width: ctx.attr_int(op, "width")?,
+            height: ctx.attr_int(op, "height")?,
+            z_dim: ctx.attr_int(op, "z_dim")?,
+            pattern: ctx.attr_int(op, "pattern")?,
+            num_chunks: ctx.attr_int(op, "num_chunks")?,
+            chunk_size: ctx.attr_int(op, "chunk_size")?,
+            fields: ctx.attr_int(op, "fields")?,
+        })
+    }
+}
+
+/// Builds a `csl_wrapper.module` with empty layout and program blocks.
+///
+/// Returns `(op, layout_block, program_block)`.
+pub fn build_module(
+    b: &mut OpBuilder<'_>,
+    name: &str,
+    params: &WrapperParams,
+) -> (OpId, BlockId, BlockId) {
+    let spec = params
+        .apply_to(OpSpec::new(MODULE).attr("sym_name", Attribute::str(name)))
+        .regions(2);
+    let op = b.insert(spec);
+    let layout_region = b.ctx_ref().op_region(op, 0);
+    let layout = b.ctx().add_block(layout_region, vec![]);
+    let program_region = b.ctx_ref().op_region(op, 1);
+    let program = b.ctx().add_block(program_region, vec![]);
+    (op, layout, program)
+}
+
+/// Builds a `csl_wrapper.import` of the named CSL library.
+pub fn import(b: &mut OpBuilder<'_>, module_name: &str, fields: &[&str]) -> OpId {
+    b.insert(
+        OpSpec::new(IMPORT)
+            .attr("module", Attribute::str(module_name))
+            .attr(
+                "fields",
+                Attribute::Array(fields.iter().map(|f| Attribute::str(*f)).collect()),
+            ),
+    )
+}
+
+/// Appends a `csl_wrapper.yield`.
+pub fn build_yield(ctx: &mut IrContext, block: BlockId, values: Vec<ValueId>) -> OpId {
+    let mut b = OpBuilder::at_end(ctx, block);
+    b.insert(OpSpec::new(YIELD).operands(values))
+}
+
+/// The layout block of a wrapper module.
+pub fn layout_block(ctx: &IrContext, op: OpId) -> Option<BlockId> {
+    ctx.entry_block(ctx.op_region(op, 0))
+}
+
+/// The program block of a wrapper module.
+pub fn program_block(ctx: &IrContext, op: OpId) -> Option<BlockId> {
+    ctx.entry_block(ctx.op_region(op, 1))
+}
+
+/// Finds the first wrapper module nested under `root`.
+pub fn find_wrapper(ctx: &IrContext, root: OpId) -> Option<OpId> {
+    ctx.walk_named(root, MODULE).into_iter().next()
+}
+
+fn verify_module(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.op_regions(op).len() != 2 {
+        return Err("csl_wrapper.module requires layout and program regions".into());
+    }
+    let params = WrapperParams::from_op(ctx, op)
+        .ok_or("csl_wrapper.module requires width/height/z_dim/pattern/num_chunks/chunk_size/fields attributes")?;
+    if params.width <= 0 || params.height <= 0 {
+        return Err("csl_wrapper.module width/height must be positive".into());
+    }
+    if params.z_dim <= 0 {
+        return Err("csl_wrapper.module z_dim must be positive".into());
+    }
+    if params.num_chunks <= 0 || params.chunk_size <= 0 {
+        return Err("csl_wrapper.module chunking parameters must be positive".into());
+    }
+    if params.pattern < 1 {
+        return Err("csl_wrapper.module pattern (stencil radius) must be >= 1".into());
+    }
+    Ok(())
+}
+
+fn verify_import(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.attr_str(op, "module").is_none() {
+        return Err("csl_wrapper.import requires a module attribute".into());
+    }
+    Ok(())
+}
+
+/// Registers the dialect's verifiers.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register_dialect("csl_wrapper");
+    registry.register_op_verifier(MODULE, verify_module);
+    registry.register_op_verifier(IMPORT, verify_import);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_dialects::builtin;
+    use wse_ir::verify;
+
+    fn params() -> WrapperParams {
+        WrapperParams {
+            width: 750,
+            height: 994,
+            z_dim: 450,
+            pattern: 2,
+            num_chunks: 1,
+            chunk_size: 450,
+            fields: 1,
+        }
+    }
+
+    #[test]
+    fn wrapper_module_roundtrip() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let (wrapper, layout, program) = build_module(&mut b, "seismic", &params());
+        let mut lb = OpBuilder::at_end(&mut ctx, layout);
+        import(&mut lb, "<memcpy/get_params>", &["width", "height"]);
+        build_yield(&mut ctx, layout, vec![]);
+        build_yield(&mut ctx, program, vec![]);
+
+        assert_eq!(WrapperParams::from_op(&ctx, wrapper), Some(params()));
+        assert_eq!(layout_block(&ctx, wrapper), Some(layout));
+        assert_eq!(program_block(&ctx, wrapper), Some(program));
+        assert_eq!(find_wrapper(&ctx, module), Some(wrapper));
+
+        let mut registry = wse_dialects::register_all();
+        register(&mut registry);
+        assert!(verify(&ctx, module, &registry).is_empty());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut bad = params();
+        bad.z_dim = 0;
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        build_module(&mut b, "bad", &bad);
+        let mut registry = wse_dialects::register_all();
+        register(&mut registry);
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("z_dim")));
+    }
+
+    #[test]
+    fn import_requires_module_name() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        b.insert(OpSpec::new(IMPORT));
+        let mut registry = wse_dialects::register_all();
+        register(&mut registry);
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("module attribute")));
+    }
+}

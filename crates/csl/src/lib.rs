@@ -1,0 +1,56 @@
+//! # wse-csl — CSL-targeting dialects and code generation
+//!
+//! This crate contains the three WSE-specific dialects introduced by the
+//! paper and the final code-generation stage:
+//!
+//! * [`csl_stencil`] — chunked communicate-and-compute stencil operations
+//!   (Section 4.1);
+//! * [`csl_wrapper`] — packaging of the layout metaprogram and the PE
+//!   program for CSL's staged compilation (Section 4.2);
+//! * [`csl`] — a re-implementation of a large subset of the CSL language
+//!   from which source text is printed (Section 4.3);
+//! * [`printer`] — the CSL source printer;
+//! * [`runtime_lib`] — the chunked halo-exchange runtime library shipped
+//!   with every generated kernel (Section 5.6).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csl;
+pub mod csl_stencil;
+pub mod csl_wrapper;
+pub mod printer;
+pub mod runtime_lib;
+
+pub use printer::{print_csl, CslSourceFile, CslSources};
+pub use runtime_lib::{stencil_comms_library, stencil_comms_library_with, CommsLibraryConfig};
+
+use wse_ir::DialectRegistry;
+
+/// Registers the three CSL dialects into an existing registry.
+pub fn register_into(registry: &mut DialectRegistry) {
+    csl_stencil::register(registry);
+    csl_wrapper::register(registry);
+    csl::register(registry);
+}
+
+/// Builds a registry containing every dialect used by the full pipeline
+/// (core dialects plus the CSL dialects).
+pub fn register_all() -> DialectRegistry {
+    let mut registry = wse_dialects::register_all();
+    register_into(&mut registry);
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_csl_dialects() {
+        let registry = register_all();
+        for dialect in ["csl", "csl_stencil", "csl_wrapper", "stencil", "arith"] {
+            assert!(registry.has_dialect(dialect), "missing {dialect}");
+        }
+    }
+}

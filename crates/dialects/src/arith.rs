@@ -1,0 +1,207 @@
+//! The `arith` dialect: constants and elementwise arithmetic.
+//!
+//! Arithmetic operations are rank-polymorphic, as in MLIR: the same
+//! `arith.addf` operates on `f32` scalars before tensorization and on
+//! `tensor<512xf32>` values afterwards (Listing 3 of the paper).
+
+use wse_ir::{Attribute, DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, Type, ValueId};
+
+/// `arith.constant`: materializes a compile-time constant.
+pub const CONSTANT: &str = "arith.constant";
+/// `arith.addf`: floating point addition.
+pub const ADDF: &str = "arith.addf";
+/// `arith.subf`: floating point subtraction.
+pub const SUBF: &str = "arith.subf";
+/// `arith.mulf`: floating point multiplication.
+pub const MULF: &str = "arith.mulf";
+/// `arith.divf`: floating point division.
+pub const DIVF: &str = "arith.divf";
+/// `arith.negf`: floating point negation.
+pub const NEGF: &str = "arith.negf";
+/// `arith.addi`: integer addition.
+pub const ADDI: &str = "arith.addi";
+/// `arith.muli`: integer multiplication.
+pub const MULI: &str = "arith.muli";
+/// `arith.cmpi`: integer comparison (predicate attribute).
+pub const CMPI: &str = "arith.cmpi";
+
+/// All binary floating-point op names.
+pub const BINARY_FLOAT_OPS: &[&str] = &[ADDF, SUBF, MULF, DIVF];
+
+/// Builds an `arith.constant` with a float value of type `ty` (scalar or a
+/// dense splat for tensor types).
+pub fn constant_f32(b: &mut OpBuilder<'_>, value: f32, ty: Type) -> ValueId {
+    let attr = if ty.is_tensor() || ty.is_memref() {
+        Attribute::dense_splat_f32(value, ty.clone())
+    } else {
+        Attribute::f32(value)
+    };
+    b.insert_value(OpSpec::new(CONSTANT).results([ty]).attr("value", attr))
+}
+
+/// Builds an index-typed `arith.constant`.
+pub fn constant_index(b: &mut OpBuilder<'_>, value: i64) -> ValueId {
+    b.insert_value(
+        OpSpec::new(CONSTANT).results([Type::index()]).attr("value", Attribute::index(value)),
+    )
+}
+
+/// Builds an integer `arith.constant` of type `ty`.
+pub fn constant_int(b: &mut OpBuilder<'_>, value: i64, ty: Type) -> ValueId {
+    b.insert_value(
+        OpSpec::new(CONSTANT)
+            .results([ty.clone()])
+            .attr("value", Attribute::int_typed(value, ty)),
+    )
+}
+
+/// Builds a binary arithmetic op (the result type is the lhs type).
+pub fn binary(b: &mut OpBuilder<'_>, name: &str, lhs: ValueId, rhs: ValueId) -> ValueId {
+    let ty = b.ctx_ref().value_type(lhs).clone();
+    b.insert_value(OpSpec::new(name).operands([lhs, rhs]).results([ty]))
+}
+
+/// Builds an `arith.addf`.
+pub fn addf(b: &mut OpBuilder<'_>, lhs: ValueId, rhs: ValueId) -> ValueId {
+    binary(b, ADDF, lhs, rhs)
+}
+
+/// Builds an `arith.subf`.
+pub fn subf(b: &mut OpBuilder<'_>, lhs: ValueId, rhs: ValueId) -> ValueId {
+    binary(b, SUBF, lhs, rhs)
+}
+
+/// Builds an `arith.mulf`.
+pub fn mulf(b: &mut OpBuilder<'_>, lhs: ValueId, rhs: ValueId) -> ValueId {
+    binary(b, MULF, lhs, rhs)
+}
+
+/// Builds an `arith.divf`.
+pub fn divf(b: &mut OpBuilder<'_>, lhs: ValueId, rhs: ValueId) -> ValueId {
+    binary(b, DIVF, lhs, rhs)
+}
+
+/// Builds an `arith.addi`.
+pub fn addi(b: &mut OpBuilder<'_>, lhs: ValueId, rhs: ValueId) -> ValueId {
+    binary(b, ADDI, lhs, rhs)
+}
+
+/// The constant value of an `arith.constant` as `f64`, if it is a float or
+/// splat constant.
+pub fn constant_float_value(ctx: &IrContext, op: OpId) -> Option<f64> {
+    if ctx.op_name(op) != CONSTANT {
+        return None;
+    }
+    ctx.attr(op, "value").and_then(Attribute::as_float)
+}
+
+/// The constant value of an `arith.constant` as `i64`, if it is an integer
+/// constant.
+pub fn constant_int_value(ctx: &IrContext, op: OpId) -> Option<i64> {
+    if ctx.op_name(op) != CONSTANT {
+        return None;
+    }
+    ctx.attr(op, "value").and_then(Attribute::as_int)
+}
+
+/// Returns true if the op is a binary float arithmetic op.
+pub fn is_binary_float_op(name: &str) -> bool {
+    BINARY_FLOAT_OPS.contains(&name)
+}
+
+fn verify_constant(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.attr(op, "value").is_none() {
+        return Err("arith.constant requires a value attribute".into());
+    }
+    if ctx.results(op).len() != 1 {
+        return Err("arith.constant must produce exactly one result".into());
+    }
+    Ok(())
+}
+
+fn verify_binary(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).len() != 2 {
+        return Err(format!("{} requires exactly two operands", ctx.op_name(op)));
+    }
+    if ctx.results(op).len() != 1 {
+        return Err(format!("{} must produce exactly one result", ctx.op_name(op)));
+    }
+    let lhs = ctx.value_type(ctx.operand(op, 0));
+    let rhs = ctx.value_type(ctx.operand(op, 1));
+    if lhs != rhs {
+        return Err(format!("operand types differ: {lhs} vs {rhs}"));
+    }
+    Ok(())
+}
+
+/// Registers the dialect's verifiers.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register_dialect("arith");
+    registry.register_op_verifier(CONSTANT, verify_constant);
+    for name in [ADDF, SUBF, MULF, DIVF, ADDI, MULI] {
+        registry.register_op_verifier(name, verify_binary);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+    use wse_ir::verify;
+
+    #[test]
+    fn constants_and_binaries() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let c = constant_f32(&mut b, 0.12345, Type::f32());
+        let i = constant_index(&mut b, 42);
+        let sum = addf(&mut b, c, c);
+        let prod = mulf(&mut b, sum, c);
+        assert_eq!(ctx.value_type(prod), &Type::f32());
+        assert_eq!(ctx.value_type(i), &Type::index());
+        let c_op = ctx.defining_op(c).unwrap();
+        assert_eq!(constant_float_value(&ctx, c_op), Some(f64::from(0.12345f32)));
+        let i_op = ctx.defining_op(i).unwrap();
+        assert_eq!(constant_int_value(&ctx, i_op), Some(42));
+
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        builtin::register(&mut registry);
+        assert!(verify(&ctx, module, &registry).is_empty());
+    }
+
+    #[test]
+    fn tensor_constant_uses_dense_splat() {
+        let mut ctx = IrContext::new();
+        let (_module, body) = builtin::module(&mut ctx);
+        let ty = Type::tensor(vec![510], Type::f32());
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let c = constant_f32(&mut b, 0.5, ty.clone());
+        let op = ctx.defining_op(c).unwrap();
+        assert!(matches!(ctx.attr(op, "value"), Some(Attribute::DenseSplat(_, _))));
+        assert_eq!(ctx.value_type(c), &ty);
+    }
+
+    #[test]
+    fn mismatched_operand_types_rejected() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let a = constant_f32(&mut b, 1.0, Type::f32());
+        let i = constant_index(&mut b, 1);
+        b.insert(OpSpec::new(ADDF).operands([a, i]).results([Type::f32()]));
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("operand types differ")));
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(is_binary_float_op(ADDF));
+        assert!(is_binary_float_op(MULF));
+        assert!(!is_binary_float_op(CONSTANT));
+        assert!(!is_binary_float_op(ADDI));
+    }
+}

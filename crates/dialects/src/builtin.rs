@@ -1,0 +1,66 @@
+//! The `builtin` dialect: the top-level `builtin.module` operation.
+
+use wse_ir::{AttrMap, BlockId, DialectRegistry, IrContext, OpId};
+
+/// Name of the module operation.
+pub const MODULE: &str = "builtin.module";
+
+/// Creates an empty `builtin.module` with a single-block body and returns
+/// the op and its body block.
+pub fn module(ctx: &mut IrContext) -> (OpId, BlockId) {
+    let module = ctx.create_op(MODULE, vec![], vec![], AttrMap::new(), 1);
+    let body = ctx.add_block(ctx.op_region(module, 0), vec![]);
+    (module, body)
+}
+
+/// Returns the body block of a module.
+///
+/// # Panics
+/// Panics if `op` is not a `builtin.module` or has no body block.
+pub fn module_body(ctx: &IrContext, op: OpId) -> BlockId {
+    assert_eq!(ctx.op_name(op), MODULE, "expected builtin.module");
+    ctx.entry_block(ctx.op_region(op, 0)).expect("module must have a body block")
+}
+
+fn verify_module(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if !ctx.operands(op).is_empty() || !ctx.results(op).is_empty() {
+        return Err("builtin.module takes no operands and produces no results".into());
+    }
+    if ctx.op_regions(op).len() != 1 {
+        return Err("builtin.module must have exactly one region".into());
+    }
+    Ok(())
+}
+
+/// Registers the dialect's verifiers.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register_dialect("builtin");
+    registry.register_op_verifier(MODULE, verify_module);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_ir::verify;
+
+    #[test]
+    fn module_roundtrip() {
+        let mut ctx = IrContext::new();
+        let (m, body) = module(&mut ctx);
+        assert_eq!(ctx.op_name(m), MODULE);
+        assert_eq!(module_body(&ctx, m), body);
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        assert!(verify(&ctx, m, &registry).is_empty());
+    }
+
+    #[test]
+    fn module_with_results_is_invalid() {
+        let mut ctx = IrContext::new();
+        let bad = ctx.create_op(MODULE, vec![], vec![wse_ir::Type::f32()], AttrMap::new(), 1);
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        let errors = verify(&ctx, bad, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("no operands")));
+    }
+}

@@ -1,0 +1,211 @@
+//! The `dmp` (distributed-memory parallelism) dialect.
+//!
+//! `dmp.swap` marks the halo exchanges that must happen before a
+//! `stencil.apply` can run (Listing 3 of the paper).  It was designed for
+//! MPI-style clusters, but the same abstract description of "which
+//! neighbors must send how much data" applies unchanged to the WSE's 2-D
+//! grid of PEs, which is exactly how the paper reuses the distribute
+//! stencil pass.
+
+use wse_ir::{Attribute, DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, ValueId};
+
+/// `dmp.swap`: describes halo exchanges required before a stencil apply.
+pub const SWAP: &str = "dmp.swap";
+
+/// One halo exchange with a neighboring rank / PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Exchange {
+    /// Offset of the neighbor in the process grid (e.g. `(1, 0)` = east).
+    pub neighbor: (i64, i64),
+    /// Halo width (number of cells) exchanged with this neighbor.
+    pub width: i64,
+}
+
+impl Exchange {
+    /// Creates an exchange descriptor.
+    pub fn new(dx: i64, dy: i64, width: i64) -> Self {
+        Self { neighbor: (dx, dy), width }
+    }
+
+    /// Encodes the exchange as a `#dmp.exchange<...>` attribute.
+    pub fn to_attr(&self) -> Attribute {
+        Attribute::dialect(
+            "dmp",
+            "exchange",
+            vec![
+                Attribute::IndexArray(vec![self.neighbor.0, self.neighbor.1]),
+                Attribute::int(self.width),
+            ],
+        )
+    }
+
+    /// Decodes an exchange from its attribute form.
+    pub fn from_attr(attr: &Attribute) -> Option<Exchange> {
+        let d = attr.as_dialect()?;
+        if d.dialect != "dmp" || d.name != "exchange" {
+            return None;
+        }
+        let n = d.params.first()?.as_index_array()?;
+        let width = d.params.get(1)?.as_int()?;
+        Some(Exchange { neighbor: (*n.first()?, *n.get(1)?), width })
+    }
+}
+
+/// The 2-D decomposition topology (number of PEs in x and y).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    /// Grid extent in x.
+    pub x: i64,
+    /// Grid extent in y.
+    pub y: i64,
+}
+
+impl Topology {
+    /// Creates a topology.
+    pub fn new(x: i64, y: i64) -> Self {
+        Self { x, y }
+    }
+
+    /// Encodes the topology as a `#dmp.topo<...>` attribute.
+    pub fn to_attr(&self) -> Attribute {
+        Attribute::dialect("dmp", "topo", vec![Attribute::int(self.x), Attribute::int(self.y)])
+    }
+
+    /// Decodes the topology from its attribute form.
+    pub fn from_attr(attr: &Attribute) -> Option<Topology> {
+        let d = attr.as_dialect()?;
+        if d.dialect != "dmp" || d.name != "topo" {
+            return None;
+        }
+        Some(Topology { x: d.params.first()?.as_int()?, y: d.params.get(1)?.as_int()? })
+    }
+}
+
+/// Builds a `dmp.swap` on `input` (result has the same type).
+pub fn swap(
+    b: &mut OpBuilder<'_>,
+    input: ValueId,
+    topology: Topology,
+    exchanges: &[Exchange],
+) -> ValueId {
+    let ty = b.ctx_ref().value_type(input).clone();
+    b.insert_value(
+        OpSpec::new(SWAP)
+            .operands([input])
+            .results([ty])
+            .attr("topo", topology.to_attr())
+            .attr("swaps", Attribute::Array(exchanges.iter().map(Exchange::to_attr).collect())),
+    )
+}
+
+/// Reads the topology of a `dmp.swap`.
+pub fn swap_topology(ctx: &IrContext, op: OpId) -> Option<Topology> {
+    ctx.attr(op, "topo").and_then(Topology::from_attr)
+}
+
+/// Reads the exchange list of a `dmp.swap`.
+pub fn swap_exchanges(ctx: &IrContext, op: OpId) -> Vec<Exchange> {
+    ctx.attr(op, "swaps")
+        .and_then(Attribute::as_array)
+        .map(|attrs| attrs.iter().filter_map(Exchange::from_attr).collect())
+        .unwrap_or_default()
+}
+
+fn verify_swap(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).len() != 1 || ctx.results(op).len() != 1 {
+        return Err("dmp.swap requires exactly one operand and one result".into());
+    }
+    if ctx.value_type(ctx.operand(op, 0)) != ctx.value_type(ctx.result(op, 0)) {
+        return Err("dmp.swap result type must match its operand type".into());
+    }
+    if swap_topology(ctx, op).is_none() {
+        return Err("dmp.swap requires a topo attribute".into());
+    }
+    let exchanges = swap_exchanges(ctx, op);
+    for e in &exchanges {
+        if e.width <= 0 {
+            return Err(format!("exchange with neighbor {:?} has non-positive width", e.neighbor));
+        }
+        let (dx, dy) = e.neighbor;
+        if (dx == 0 && dy == 0) || (dx != 0 && dy != 0) {
+            return Err(format!(
+                "exchange neighbor {:?} is not a cardinal direction",
+                e.neighbor
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Registers the dialect's verifiers.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register_dialect("dmp");
+    registry.register_op_verifier(SWAP, verify_swap);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{builtin, stencil};
+    use wse_ir::{verify, Type};
+
+    #[test]
+    fn exchange_attr_roundtrip() {
+        let e = Exchange::new(1, 0, 2);
+        assert_eq!(Exchange::from_attr(&e.to_attr()), Some(e));
+        let t = Topology::new(254, 254);
+        assert_eq!(Topology::from_attr(&t.to_attr()), Some(t));
+        assert_eq!(Exchange::from_attr(&Attribute::int(3)), None);
+        assert_eq!(Topology::from_attr(&Attribute::Unit), None);
+    }
+
+    #[test]
+    fn swap_builds_and_verifies() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let bounds = stencil::Bounds::new(vec![-1, -1], vec![2, 2]);
+        let ty = stencil::temp_type(&bounds, Type::tensor(vec![512], Type::f32()));
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let input = b.insert_value(OpSpec::new("tensor.empty").results([ty]));
+        let exchanges = [
+            Exchange::new(1, 0, 1),
+            Exchange::new(-1, 0, 1),
+            Exchange::new(0, 1, 1),
+            Exchange::new(0, -1, 1),
+        ];
+        let out = swap(&mut b, input, Topology::new(254, 254), &exchanges);
+        let swap_op = ctx.defining_op(out).unwrap();
+        assert_eq!(swap_topology(&ctx, swap_op), Some(Topology::new(254, 254)));
+        assert_eq!(swap_exchanges(&ctx, swap_op).len(), 4);
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        builtin::register(&mut registry);
+        assert!(verify(&ctx, module, &registry).is_empty());
+    }
+
+    #[test]
+    fn diagonal_exchange_rejected() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let input = b.insert_value(OpSpec::new("tensor.empty").results([Type::f32()]));
+        swap(&mut b, input, Topology::new(4, 4), &[Exchange::new(1, 1, 1)]);
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("cardinal")));
+    }
+
+    #[test]
+    fn zero_width_exchange_rejected() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let input = b.insert_value(OpSpec::new("tensor.empty").results([Type::f32()]));
+        swap(&mut b, input, Topology::new(4, 4), &[Exchange::new(1, 0, 0)]);
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("non-positive width")));
+    }
+}

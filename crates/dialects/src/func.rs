@@ -1,0 +1,182 @@
+//! The `func` dialect: functions, returns and calls.
+
+use wse_ir::{
+    Attribute, BlockId, DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, Type, ValueId,
+};
+
+/// `func.func`: a named function with a single-region body.
+pub const FUNC: &str = "func.func";
+/// `func.return`: terminator returning values from a function.
+pub const RETURN: &str = "func.return";
+/// `func.call`: direct call to a named function.
+pub const CALL: &str = "func.call";
+
+/// Creates a `func.func` named `name` with the given signature inside
+/// `block` (usually a module body) and returns the function op and its
+/// entry block (whose arguments match `inputs`).
+pub fn build_func(
+    ctx: &mut IrContext,
+    block: BlockId,
+    name: &str,
+    inputs: Vec<Type>,
+    results: Vec<Type>,
+) -> (OpId, BlockId) {
+    let mut b = OpBuilder::at_end(ctx, block);
+    let func = b.insert(
+        OpSpec::new(FUNC)
+            .attr("sym_name", Attribute::str(name))
+            .attr(
+                "function_type",
+                Attribute::Type(Type::function(inputs.clone(), results)),
+            )
+            .regions(1),
+    );
+    let entry = ctx.add_block(ctx.op_region(func, 0), inputs);
+    (func, entry)
+}
+
+/// Appends a `func.return` to `block`.
+pub fn build_return(ctx: &mut IrContext, block: BlockId, values: Vec<ValueId>) -> OpId {
+    let mut b = OpBuilder::at_end(ctx, block);
+    b.insert(OpSpec::new(RETURN).operands(values))
+}
+
+/// Builds a `func.call` to `callee`.
+pub fn build_call(
+    b: &mut OpBuilder<'_>,
+    callee: &str,
+    operands: Vec<ValueId>,
+    results: Vec<Type>,
+) -> OpId {
+    b.insert(
+        OpSpec::new(CALL)
+            .attr("callee", Attribute::SymbolRef(callee.to_string()))
+            .operands(operands)
+            .results(results),
+    )
+}
+
+/// The symbol name of a function.
+pub fn func_name(ctx: &IrContext, func: OpId) -> Option<&str> {
+    ctx.attr_str(func, "sym_name")
+}
+
+/// The function type of a function op.
+pub fn func_type(ctx: &IrContext, func: OpId) -> Option<&Type> {
+    ctx.attr(func, "function_type").and_then(Attribute::as_type)
+}
+
+/// The entry block of a function.
+pub fn func_body(ctx: &IrContext, func: OpId) -> Option<BlockId> {
+    ctx.entry_block(ctx.op_region(func, 0))
+}
+
+/// Finds a function with the given symbol name nested under `root`.
+pub fn find_func(ctx: &IrContext, root: OpId, name: &str) -> Option<OpId> {
+    ctx.walk_named(root, FUNC).into_iter().find(|&f| func_name(ctx, f) == Some(name))
+}
+
+/// The callee symbol of a `func.call`.
+pub fn call_callee(ctx: &IrContext, call: OpId) -> Option<&str> {
+    ctx.attr_str(call, "callee")
+}
+
+fn verify_func(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    let name = func_name(ctx, op).ok_or("func.func requires a sym_name attribute")?;
+    if name.is_empty() {
+        return Err("func.func sym_name must not be empty".into());
+    }
+    let ty = func_type(ctx, op).ok_or("func.func requires a function_type attribute")?;
+    let Type::Function { inputs, .. } = ty else {
+        return Err("function_type must be a function type".into());
+    };
+    if let Some(entry) = func_body(ctx, op) {
+        if ctx.block_args(entry).len() != inputs.len() {
+            return Err(format!(
+                "entry block has {} arguments but the function type has {} inputs",
+                ctx.block_args(entry).len(),
+                inputs.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn verify_call(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if call_callee(ctx, op).is_none() {
+        return Err("func.call requires a callee symbol".into());
+    }
+    Ok(())
+}
+
+/// Registers the dialect's verifiers.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register_dialect("func");
+    registry.register_op_verifier(FUNC, verify_func);
+    registry.register_op_verifier(CALL, verify_call);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+    use wse_ir::verify;
+
+    #[test]
+    fn build_and_find_function() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let (func, entry) =
+            build_func(&mut ctx, body, "kernel", vec![Type::f32(), Type::f32()], vec![Type::f32()]);
+        assert_eq!(func_name(&ctx, func), Some("kernel"));
+        assert_eq!(ctx.block_args(entry).len(), 2);
+        assert_eq!(find_func(&ctx, module, "kernel"), Some(func));
+        assert_eq!(find_func(&ctx, module, "missing"), None);
+        let args = ctx.block_args(entry).to_vec();
+        build_return(&mut ctx, entry, vec![args[0]]);
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        builtin::register(&mut registry);
+        assert!(verify(&ctx, module, &registry).is_empty());
+    }
+
+    #[test]
+    fn func_without_name_is_invalid() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        b.insert(OpSpec::new(FUNC).regions(1));
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("sym_name")));
+    }
+
+    #[test]
+    fn entry_block_arity_mismatch_is_invalid() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let (func, _entry) = build_func(&mut ctx, body, "k", vec![Type::f32()], vec![]);
+        // Corrupt the signature: claims two inputs.
+        ctx.set_attr(
+            func,
+            "function_type",
+            Attribute::Type(Type::function(vec![Type::f32(), Type::f32()], vec![])),
+        );
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("entry block has")));
+    }
+
+    #[test]
+    fn call_helpers() {
+        let mut ctx = IrContext::new();
+        let (_module, body) = builtin::module(&mut ctx);
+        let (_func, entry) = build_func(&mut ctx, body, "main", vec![], vec![]);
+        let mut b = OpBuilder::at_end(&mut ctx, entry);
+        let call = build_call(&mut b, "helper", vec![], vec![Type::f32()]);
+        assert_eq!(call_callee(&ctx, call), Some("helper"));
+        assert_eq!(ctx.results(call).len(), 1);
+    }
+}

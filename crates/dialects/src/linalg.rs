@@ -1,0 +1,185 @@
+//! The `linalg` dialect: destination-passing-style (DPS) elementwise
+//! operations used after bufferization (Group 3 of the paper).
+//!
+//! CSL's DSD builtins operate on physical memory, reading inputs from and
+//! storing results to buffers passed as operands.  The `linalg` ops model
+//! exactly that: `ins(...) outs(dest)` where `dest` is a memref that is
+//! overwritten.  The final operand of every op is the destination.
+
+use wse_ir::{DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, ValueId};
+
+/// `linalg.add`: `out[i] = a[i] + b[i]`.
+pub const ADD: &str = "linalg.add";
+/// `linalg.sub`: `out[i] = a[i] - b[i]`.
+pub const SUB: &str = "linalg.sub";
+/// `linalg.mul`: `out[i] = a[i] * b[i]`.
+pub const MUL: &str = "linalg.mul";
+/// `linalg.fmac`: fused multiply-accumulate `out[i] = acc[i] + a[i] * b[i]`.
+pub const FMAC: &str = "linalg.fmac";
+/// `linalg.fill`: `out[i] = scalar`.
+pub const FILL: &str = "linalg.fill";
+/// `linalg.copy`: `out[i] = a[i]`.
+pub const COPY: &str = "linalg.copy";
+
+/// All binary DPS op names (two inputs + one destination).
+pub const BINARY_OPS: &[&str] = &[ADD, SUB, MUL];
+
+/// Builds a binary DPS op `name` with inputs `a`, `b` writing to `out`.
+pub fn binary(b: &mut OpBuilder<'_>, name: &str, a: ValueId, rhs: ValueId, out: ValueId) -> OpId {
+    b.insert(OpSpec::new(name).operands([a, rhs, out]))
+}
+
+/// Builds `linalg.add`.
+pub fn add(b: &mut OpBuilder<'_>, a: ValueId, rhs: ValueId, out: ValueId) -> OpId {
+    binary(b, ADD, a, rhs, out)
+}
+
+/// Builds `linalg.sub`.
+pub fn sub(b: &mut OpBuilder<'_>, a: ValueId, rhs: ValueId, out: ValueId) -> OpId {
+    binary(b, SUB, a, rhs, out)
+}
+
+/// Builds `linalg.mul`.
+pub fn mul(b: &mut OpBuilder<'_>, a: ValueId, rhs: ValueId, out: ValueId) -> OpId {
+    binary(b, MUL, a, rhs, out)
+}
+
+/// Builds `linalg.fmac` (`out = acc + a * b`; `acc` may alias `out`).
+pub fn fmac(b: &mut OpBuilder<'_>, acc: ValueId, a: ValueId, rhs: ValueId, out: ValueId) -> OpId {
+    b.insert(OpSpec::new(FMAC).operands([acc, a, rhs, out]))
+}
+
+/// Builds `linalg.fill`.
+pub fn fill(b: &mut OpBuilder<'_>, scalar: ValueId, out: ValueId) -> OpId {
+    b.insert(OpSpec::new(FILL).operands([scalar, out]))
+}
+
+/// Builds `linalg.copy`.
+pub fn copy(b: &mut OpBuilder<'_>, a: ValueId, out: ValueId) -> OpId {
+    b.insert(OpSpec::new(COPY).operands([a, out]))
+}
+
+/// Input operands of a DPS op (everything except the destination).
+pub fn inputs(ctx: &IrContext, op: OpId) -> &[ValueId] {
+    let operands = ctx.operands(op);
+    &operands[..operands.len().saturating_sub(1)]
+}
+
+/// The destination operand of a DPS op.
+pub fn output(ctx: &IrContext, op: OpId) -> Option<ValueId> {
+    ctx.operands(op).last().copied()
+}
+
+/// Returns true for binary DPS ops.
+pub fn is_binary(name: &str) -> bool {
+    BINARY_OPS.contains(&name)
+}
+
+fn verify_dps(ctx: &IrContext, op: OpId, expected_operands: usize) -> Result<(), String> {
+    if ctx.operands(op).len() != expected_operands {
+        return Err(format!(
+            "{} requires {expected_operands} operands (inputs + destination), found {}",
+            ctx.op_name(op),
+            ctx.operands(op).len()
+        ));
+    }
+    if !ctx.results(op).is_empty() {
+        return Err(format!("{} writes to its destination and has no results", ctx.op_name(op)));
+    }
+    let out = output(ctx, op).expect("checked operand count");
+    let out_ty = ctx.value_type(out);
+    if !out_ty.is_memref() {
+        return Err(format!("destination must be a memref, got {out_ty}"));
+    }
+    Ok(())
+}
+
+fn verify_binary_op(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    verify_dps(ctx, op, 3)
+}
+
+fn verify_fmac(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    verify_dps(ctx, op, 4)
+}
+
+fn verify_fill(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    verify_dps(ctx, op, 2)
+}
+
+fn verify_copy(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    verify_dps(ctx, op, 2)
+}
+
+/// Registers the dialect's verifiers.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register_dialect("linalg");
+    for name in BINARY_OPS {
+        registry.register_op_verifier(*name, verify_binary_op);
+    }
+    registry.register_op_verifier(FMAC, verify_fmac);
+    registry.register_op_verifier(FILL, verify_fill);
+    registry.register_op_verifier(COPY, verify_copy);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arith, builtin, memref};
+    use wse_ir::{verify, Type};
+
+    #[test]
+    fn dps_ops_build_and_verify() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let ty = Type::memref(vec![510], Type::f32());
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let a = memref::alloc(&mut b, ty.clone());
+        let c = memref::alloc(&mut b, ty.clone());
+        let out = memref::alloc(&mut b, ty.clone());
+        let scalar = arith::constant_f32(&mut b, 0.0, Type::f32());
+        fill(&mut b, scalar, out);
+        let add_op = add(&mut b, a, c, out);
+        let fmac_op = fmac(&mut b, out, a, c, out);
+        copy(&mut b, out, a);
+
+        assert_eq!(inputs(&ctx, add_op), &[a, c]);
+        assert_eq!(output(&ctx, add_op), Some(out));
+        assert_eq!(inputs(&ctx, fmac_op).len(), 3);
+        assert!(is_binary(ADD));
+        assert!(!is_binary(FMAC));
+
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        arith::register(&mut registry);
+        memref::register(&mut registry);
+        builtin::register(&mut registry);
+        assert!(verify(&ctx, module, &registry).is_empty());
+    }
+
+    #[test]
+    fn tensor_destination_rejected() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let t = crate::tensor::empty(&mut b, Type::tensor(vec![4], Type::f32()));
+        b.insert(OpSpec::new(ADD).operands([t, t, t]));
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("destination must be a memref")));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let buf = memref::alloc(&mut b, Type::memref(vec![4], Type::f32()));
+        b.insert(OpSpec::new(FMAC).operands([buf, buf]));
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        memref::register(&mut registry);
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("requires 4 operands")));
+    }
+}

@@ -1,0 +1,207 @@
+//! The `memref` dialect: reference-semantics buffers produced by
+//! bufferization (Group 3 of the paper).
+
+use wse_ir::{Attribute, DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, Type, ValueId};
+
+/// `memref.alloc`: allocates a buffer in PE-local memory.
+pub const ALLOC: &str = "memref.alloc";
+/// `memref.dealloc`: releases a buffer.
+pub const DEALLOC: &str = "memref.dealloc";
+/// `memref.global`: a module-level buffer definition.
+pub const GLOBAL: &str = "memref.global";
+/// `memref.get_global`: obtains a reference to a `memref.global`.
+pub const GET_GLOBAL: &str = "memref.get_global";
+/// `memref.subview`: a view into a region of a buffer.
+pub const SUBVIEW: &str = "memref.subview";
+/// `memref.copy`: copies one buffer into another.
+pub const COPY: &str = "memref.copy";
+
+/// Builds a `memref.alloc` of the given memref type.
+pub fn alloc(b: &mut OpBuilder<'_>, ty: Type) -> ValueId {
+    debug_assert!(ty.is_memref(), "memref.alloc requires a memref type");
+    b.insert_value(OpSpec::new(ALLOC).results([ty]))
+}
+
+/// Builds a module-level `memref.global` named `name`.
+pub fn global(b: &mut OpBuilder<'_>, name: &str, ty: Type, init: Option<f32>) -> OpId {
+    let mut spec = OpSpec::new(GLOBAL)
+        .attr("sym_name", Attribute::str(name))
+        .attr("type", Attribute::Type(ty.clone()));
+    if let Some(v) = init {
+        spec = spec.attr("initial_value", Attribute::dense_splat_f32(v, ty));
+    }
+    b.insert(spec)
+}
+
+/// Builds a `memref.get_global` referencing `name`.
+pub fn get_global(b: &mut OpBuilder<'_>, name: &str, ty: Type) -> ValueId {
+    b.insert_value(
+        OpSpec::new(GET_GLOBAL).results([ty]).attr("name", Attribute::SymbolRef(name.to_string())),
+    )
+}
+
+/// Builds a 1-D static `memref.subview` of `source`.
+pub fn subview(b: &mut OpBuilder<'_>, source: ValueId, offset: i64, size: i64) -> ValueId {
+    let elem =
+        b.ctx_ref().value_type(source).element_type().cloned().unwrap_or(Type::f32());
+    b.insert_value(
+        OpSpec::new(SUBVIEW)
+            .operands([source])
+            .results([Type::memref(vec![size], elem)])
+            .attr("static_offsets", Attribute::IndexArray(vec![offset]))
+            .attr("static_sizes", Attribute::IndexArray(vec![size])),
+    )
+}
+
+/// Builds a 1-D `memref.subview` of `source` at a dynamic `offset` value.
+pub fn subview_dynamic(
+    b: &mut OpBuilder<'_>,
+    source: ValueId,
+    offset: ValueId,
+    size: i64,
+) -> ValueId {
+    let elem =
+        b.ctx_ref().value_type(source).element_type().cloned().unwrap_or(Type::f32());
+    b.insert_value(
+        OpSpec::new(SUBVIEW)
+            .operands([source, offset])
+            .results([Type::memref(vec![size], elem)])
+            .attr("static_sizes", Attribute::IndexArray(vec![size])),
+    )
+}
+
+/// Builds a `memref.copy` from `source` to `dest`.
+pub fn copy(b: &mut OpBuilder<'_>, source: ValueId, dest: ValueId) -> OpId {
+    b.insert(OpSpec::new(COPY).operands([source, dest]))
+}
+
+/// Static offset of a subview.
+pub fn subview_offset(ctx: &IrContext, op: OpId) -> Option<i64> {
+    ctx.attr(op, "static_offsets")?.as_index_array()?.first().copied()
+}
+
+/// Static size of a subview.
+pub fn subview_size(ctx: &IrContext, op: OpId) -> Option<i64> {
+    ctx.attr(op, "static_sizes")?.as_index_array()?.first().copied()
+}
+
+fn verify_alloc(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.results(op).len() != 1 {
+        return Err("memref.alloc must produce exactly one result".into());
+    }
+    if !ctx.value_type(ctx.result(op, 0)).is_memref() {
+        return Err("memref.alloc result must be a memref".into());
+    }
+    Ok(())
+}
+
+fn verify_global(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.attr_str(op, "sym_name").is_none() {
+        return Err("memref.global requires a sym_name".into());
+    }
+    if ctx.attr(op, "type").and_then(Attribute::as_type).map(Type::is_memref) != Some(true) {
+        return Err("memref.global requires a memref `type` attribute".into());
+    }
+    Ok(())
+}
+
+fn verify_subview(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).is_empty() || ctx.operands(op).len() > 2 {
+        return Err("memref.subview requires a source and an optional dynamic offset".into());
+    }
+    let src = ctx.value_type(ctx.operand(op, 0));
+    if !src.is_memref() {
+        return Err(format!("memref.subview source must be a memref, got {src}"));
+    }
+    let Some(size) = subview_size(ctx, op) else {
+        return Err("memref.subview requires static_sizes".into());
+    };
+    // Static-offset subviews are bounds-checked; dynamic offsets are checked
+    // at runtime by the simulator.
+    if ctx.operands(op).len() == 1 {
+        let Some(offset) = subview_offset(ctx, op) else {
+            return Err("memref.subview without a dynamic offset requires static_offsets".into());
+        };
+        if let Some(&dim) = src.shape().and_then(|s| s.last()) {
+            if dim >= 0 && offset + size > dim {
+                return Err(format!(
+                    "subview [{offset}, {}) is out of bounds for dimension {dim}",
+                    offset + size
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verify_copy(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).len() != 2 {
+        return Err("memref.copy requires source and dest operands".into());
+    }
+    Ok(())
+}
+
+/// Registers the dialect's verifiers.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register_dialect("memref");
+    registry.register_op_verifier(ALLOC, verify_alloc);
+    registry.register_op_verifier(GLOBAL, verify_global);
+    registry.register_op_verifier(SUBVIEW, verify_subview);
+    registry.register_op_verifier(COPY, verify_copy);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+    use wse_ir::verify;
+
+    #[test]
+    fn alloc_subview_copy() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let ty = Type::memref(vec![512], Type::f32());
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let buf = alloc(&mut b, ty.clone());
+        let view = subview(&mut b, buf, 1, 510);
+        let dst = alloc(&mut b, Type::memref(vec![510], Type::f32()));
+        copy(&mut b, view, dst);
+        assert_eq!(ctx.value_type(view), &Type::memref(vec![510], Type::f32()));
+        let view_op = ctx.defining_op(view).unwrap();
+        assert_eq!(subview_offset(&ctx, view_op), Some(1));
+        assert_eq!(subview_size(&ctx, view_op), Some(510));
+
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        builtin::register(&mut registry);
+        assert!(verify(&ctx, module, &registry).is_empty());
+    }
+
+    #[test]
+    fn globals() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let ty = Type::memref(vec![900], Type::f32());
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        global(&mut b, "field_a", ty.clone(), Some(0.0));
+        let r = get_global(&mut b, "field_a", ty.clone());
+        assert_eq!(ctx.value_type(r), &ty);
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        builtin::register(&mut registry);
+        assert!(verify(&ctx, module, &registry).is_empty());
+    }
+
+    #[test]
+    fn oversized_subview_rejected() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let buf = alloc(&mut b, Type::memref(vec![16], Type::f32()));
+        subview(&mut b, buf, 10, 10);
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("out of bounds")));
+    }
+}

@@ -1,0 +1,193 @@
+//! The `scf` dialect: structured control flow (`scf.for`, `scf.yield`).
+//!
+//! The time-step loop surrounding stencil applies (Figure 1 of the paper)
+//! is represented as an `scf.for` until the continuation-lowering pass
+//! converts it into a task graph of CSL functions.
+
+use wse_ir::{BlockId, DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, Type, ValueId};
+
+/// `scf.for`: a counted loop with optional iteration arguments.
+pub const FOR: &str = "scf.for";
+/// `scf.yield`: terminator yielding iteration arguments to the next trip.
+pub const YIELD: &str = "scf.yield";
+/// `scf.execute_region`: a wrapper region used as a structural helper.
+pub const EXECUTE_REGION: &str = "scf.execute_region";
+
+/// Builds an `scf.for` loop.
+///
+/// Operands are `[lower_bound, upper_bound, step, iter_args...]`.  The body
+/// block receives the induction variable (of `index` type) followed by one
+/// argument per iteration argument.  Results mirror the iteration
+/// arguments.
+pub fn build_for(
+    b: &mut OpBuilder<'_>,
+    lower: ValueId,
+    upper: ValueId,
+    step: ValueId,
+    iter_args: Vec<ValueId>,
+) -> (OpId, BlockId) {
+    let result_types: Vec<Type> =
+        iter_args.iter().map(|&v| b.ctx_ref().value_type(v).clone()).collect();
+    let mut operands = vec![lower, upper, step];
+    operands.extend(iter_args.iter().copied());
+    let op = b.insert(OpSpec::new(FOR).operands(operands).results(result_types.clone()).regions(1));
+    let mut block_arg_types = vec![Type::index()];
+    block_arg_types.extend(result_types);
+    let region = b.ctx_ref().op_region(op, 0);
+    let body = b.ctx().add_block(region, block_arg_types);
+    (op, body)
+}
+
+/// Appends an `scf.yield` to `block`.
+pub fn build_yield(ctx: &mut IrContext, block: BlockId, values: Vec<ValueId>) -> OpId {
+    let mut b = OpBuilder::at_end(ctx, block);
+    b.insert(OpSpec::new(YIELD).operands(values))
+}
+
+/// The body block of an `scf.for`.
+pub fn for_body(ctx: &IrContext, op: OpId) -> Option<BlockId> {
+    ctx.entry_block(ctx.op_region(op, 0))
+}
+
+/// The induction variable of an `scf.for`.
+pub fn for_induction_var(ctx: &IrContext, op: OpId) -> Option<ValueId> {
+    for_body(ctx, op).and_then(|b| ctx.block_args(b).first().copied())
+}
+
+/// The `[lower, upper, step]` operands of an `scf.for`.
+pub fn for_bounds(ctx: &IrContext, op: OpId) -> (ValueId, ValueId, ValueId) {
+    (ctx.operand(op, 0), ctx.operand(op, 1), ctx.operand(op, 2))
+}
+
+/// The iteration-argument operands of an `scf.for`.
+pub fn for_iter_args(ctx: &IrContext, op: OpId) -> &[ValueId] {
+    &ctx.operands(op)[3..]
+}
+
+/// Extracts constant trip bounds `(lower, upper, step)` if all three are
+/// `arith.constant` ops, returning the trip count.
+pub fn constant_trip_count(ctx: &IrContext, op: OpId) -> Option<i64> {
+    let (lb, ub, step) = for_bounds(ctx, op);
+    let lb = crate::arith::constant_int_value(ctx, ctx.defining_op(lb)?)?;
+    let ub = crate::arith::constant_int_value(ctx, ctx.defining_op(ub)?)?;
+    let step = crate::arith::constant_int_value(ctx, ctx.defining_op(step)?)?;
+    if step <= 0 {
+        return None;
+    }
+    Some(((ub - lb) + step - 1) / step)
+}
+
+fn verify_for(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).len() < 3 {
+        return Err("scf.for requires at least lower, upper and step operands".into());
+    }
+    let num_iter_args = ctx.operands(op).len() - 3;
+    if ctx.results(op).len() != num_iter_args {
+        return Err(format!(
+            "scf.for has {num_iter_args} iter args but {} results",
+            ctx.results(op).len()
+        ));
+    }
+    let body = for_body(ctx, op).ok_or("scf.for requires a body block")?;
+    if ctx.block_args(body).len() != num_iter_args + 1 {
+        return Err(format!(
+            "scf.for body must have {} arguments (induction variable + iter args), found {}",
+            num_iter_args + 1,
+            ctx.block_args(body).len()
+        ));
+    }
+    match ctx.block_ops(body).last() {
+        Some(&last) if ctx.op_name(last) == YIELD => {
+            if ctx.operands(last).len() != num_iter_args {
+                return Err("scf.yield operand count must match the loop's iter args".into());
+            }
+        }
+        _ => return Err("scf.for body must be terminated by scf.yield".into()),
+    }
+    Ok(())
+}
+
+/// Registers the dialect's verifiers.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register_dialect("scf");
+    registry.register_op_verifier(FOR, verify_for);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arith, builtin};
+    use wse_ir::verify;
+
+    fn build_loop(ctx: &mut IrContext, timesteps: i64) -> (OpId, OpId) {
+        let (module, body) = builtin::module(ctx);
+        let mut b = OpBuilder::at_end(ctx, body);
+        let lb = arith::constant_index(&mut b, 0);
+        let ub = arith::constant_index(&mut b, timesteps);
+        let step = arith::constant_index(&mut b, 1);
+        let (for_op, loop_body) = build_for(&mut b, lb, ub, step, vec![]);
+        build_yield(ctx, loop_body, vec![]);
+        (module, for_op)
+    }
+
+    #[test]
+    fn loop_construction_and_accessors() {
+        let mut ctx = IrContext::new();
+        let (module, for_op) = build_loop(&mut ctx, 100);
+        assert_eq!(constant_trip_count(&ctx, for_op), Some(100));
+        assert!(for_induction_var(&ctx, for_op).is_some());
+        assert!(for_iter_args(&ctx, for_op).is_empty());
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        arith::register(&mut registry);
+        builtin::register(&mut registry);
+        assert!(verify(&ctx, module, &registry).is_empty());
+    }
+
+    #[test]
+    fn loop_with_iter_args() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let lb = arith::constant_index(&mut b, 0);
+        let ub = arith::constant_index(&mut b, 10);
+        let step = arith::constant_index(&mut b, 1);
+        let init = arith::constant_f32(&mut b, 0.0, Type::f32());
+        let (for_op, loop_body) = build_for(&mut b, lb, ub, step, vec![init]);
+        let carried = ctx.block_args(loop_body)[1];
+        build_yield(&mut ctx, loop_body, vec![carried]);
+        assert_eq!(ctx.results(for_op).len(), 1);
+        assert_eq!(for_iter_args(&ctx, for_op), &[init]);
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        assert!(verify(&ctx, module, &registry).is_empty());
+    }
+
+    #[test]
+    fn missing_yield_is_invalid() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let lb = arith::constant_index(&mut b, 0);
+        let ub = arith::constant_index(&mut b, 10);
+        let step = arith::constant_index(&mut b, 1);
+        let (_for_op, _loop_body) = build_for(&mut b, lb, ub, step, vec![]);
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("terminated by scf.yield")));
+    }
+
+    #[test]
+    fn trip_count_requires_positive_step() {
+        let mut ctx = IrContext::new();
+        let (_module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let lb = arith::constant_index(&mut b, 0);
+        let ub = arith::constant_index(&mut b, 10);
+        let step = arith::constant_index(&mut b, 0);
+        let (for_op, loop_body) = build_for(&mut b, lb, ub, step, vec![]);
+        build_yield(&mut ctx, loop_body, vec![]);
+        assert_eq!(constant_trip_count(&ctx, for_op), None);
+    }
+}

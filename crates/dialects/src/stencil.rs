@@ -1,0 +1,427 @@
+//! The `stencil` dialect: the architecture-agnostic mathematical
+//! description of stencil computations (Open Earth Compiler / xDSL).
+//!
+//! A stencil program is expressed over *fields* (grid storage held across
+//! timesteps) and *temps* (value-semantics snapshots of a field).  The
+//! `stencil.apply` operation runs its body for every grid cell; inside the
+//! body, `stencil.access` reads neighboring cells at constant offsets
+//! (Listing 2 of the paper).
+
+use wse_ir::{
+    Attribute, BlockId, DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, Type, ValueId,
+};
+
+/// `stencil.load`: converts a field into a value-semantics temp.
+pub const LOAD: &str = "stencil.load";
+/// `stencil.store`: writes a temp back into a field over given bounds.
+pub const STORE: &str = "stencil.store";
+/// `stencil.apply`: applies the body to every cell of the iteration space.
+pub const APPLY: &str = "stencil.apply";
+/// `stencil.access`: reads a value at a constant offset from the current cell.
+pub const ACCESS: &str = "stencil.access";
+/// `stencil.return`: terminator of an apply body.
+pub const RETURN: &str = "stencil.return";
+
+/// Inclusive-exclusive bounds of a stencil iteration space or storage.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bounds {
+    /// Lower bound per dimension (inclusive).
+    pub lb: Vec<i64>,
+    /// Upper bound per dimension (exclusive).
+    pub ub: Vec<i64>,
+}
+
+impl Bounds {
+    /// Creates bounds from lower/upper vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors have different ranks.
+    pub fn new(lb: Vec<i64>, ub: Vec<i64>) -> Self {
+        assert_eq!(lb.len(), ub.len(), "bounds rank mismatch");
+        Self { lb, ub }
+    }
+
+    /// Bounds `[0, size_i)` for every dimension.
+    pub fn from_shape(shape: &[i64]) -> Self {
+        Self { lb: vec![0; shape.len()], ub: shape.to_vec() }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.lb.len()
+    }
+
+    /// Extent (`ub - lb`) per dimension.
+    pub fn shape(&self) -> Vec<i64> {
+        self.lb.iter().zip(&self.ub).map(|(l, u)| u - l).collect()
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> i64 {
+        self.shape().iter().product::<i64>().max(0)
+    }
+
+    /// Grows the bounds by `halo` cells on every side of every dimension.
+    pub fn grown(&self, halo: i64) -> Bounds {
+        Bounds {
+            lb: self.lb.iter().map(|l| l - halo).collect(),
+            ub: self.ub.iter().map(|u| u + halo).collect(),
+        }
+    }
+
+    /// Keeps only the first `n` dimensions.
+    pub fn take_dims(&self, n: usize) -> Bounds {
+        Bounds { lb: self.lb[..n].to_vec(), ub: self.ub[..n].to_vec() }
+    }
+
+    /// True if `offset`-shifted accesses from every cell of `self` stay
+    /// inside `storage`.
+    pub fn access_within(&self, offset: &[i64], storage: &Bounds) -> bool {
+        if offset.len() != self.rank() || storage.rank() != self.rank() {
+            return false;
+        }
+        for d in 0..self.rank() {
+            if self.lb[d] + offset[d] < storage.lb[d] || self.ub[d] + offset[d] > storage.ub[d] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Builds a `!stencil.temp<...>` type.
+pub fn temp_type(bounds: &Bounds, elem: Type) -> Type {
+    shaped_type("temp", bounds, elem)
+}
+
+/// Builds a `!stencil.field<...>` type.
+pub fn field_type(bounds: &Bounds, elem: Type) -> Type {
+    shaped_type("field", bounds, elem)
+}
+
+fn shaped_type(name: &str, bounds: &Bounds, elem: Type) -> Type {
+    Type::dialect(
+        "stencil",
+        name,
+        vec![
+            Attribute::IndexArray(bounds.lb.clone()),
+            Attribute::IndexArray(bounds.ub.clone()),
+            Attribute::Type(elem),
+        ],
+    )
+}
+
+/// Extracts the bounds of a `!stencil.temp`/`!stencil.field` type.
+pub fn type_bounds(ty: &Type) -> Option<Bounds> {
+    let d = ty.as_dialect()?;
+    if d.dialect != "stencil" || (d.name != "temp" && d.name != "field") {
+        return None;
+    }
+    let lb = d.params.first()?.as_index_array()?.to_vec();
+    let ub = d.params.get(1)?.as_index_array()?.to_vec();
+    Some(Bounds::new(lb, ub))
+}
+
+/// Extracts the element type of a `!stencil.temp`/`!stencil.field` type.
+pub fn type_element(ty: &Type) -> Option<Type> {
+    let d = ty.as_dialect()?;
+    if d.dialect != "stencil" {
+        return None;
+    }
+    d.params.get(2)?.as_type().cloned()
+}
+
+/// Returns true for `!stencil.temp` types.
+pub fn is_temp_type(ty: &Type) -> bool {
+    ty.as_dialect_named("stencil", "temp").is_some()
+}
+
+/// Returns true for `!stencil.field` types.
+pub fn is_field_type(ty: &Type) -> bool {
+    ty.as_dialect_named("stencil", "field").is_some()
+}
+
+/// Builds a `stencil.load` converting a field value into a temp.
+pub fn load(b: &mut OpBuilder<'_>, field: ValueId) -> ValueId {
+    let field_ty = b.ctx_ref().value_type(field).clone();
+    let bounds = type_bounds(&field_ty).expect("stencil.load operand must be a field");
+    let elem = type_element(&field_ty).expect("field must carry an element type");
+    b.insert_value(OpSpec::new(LOAD).operands([field]).results([temp_type(&bounds, elem)]))
+}
+
+/// Builds a `stencil.store` writing `temp` into `field` over `bounds`.
+pub fn store(b: &mut OpBuilder<'_>, temp: ValueId, field: ValueId, bounds: &Bounds) -> OpId {
+    b.insert(
+        OpSpec::new(STORE)
+            .operands([temp, field])
+            .attr("lb", Attribute::IndexArray(bounds.lb.clone()))
+            .attr("ub", Attribute::IndexArray(bounds.ub.clone())),
+    )
+}
+
+/// Builds a `stencil.apply` over `operands` producing temps of
+/// `result_types`; returns the op and its body block (whose arguments
+/// mirror the operands).
+pub fn build_apply(
+    b: &mut OpBuilder<'_>,
+    operands: Vec<ValueId>,
+    result_types: Vec<Type>,
+) -> (OpId, BlockId) {
+    let arg_types: Vec<Type> =
+        operands.iter().map(|&v| b.ctx_ref().value_type(v).clone()).collect();
+    let op = b.insert(OpSpec::new(APPLY).operands(operands).results(result_types).regions(1));
+    let region = b.ctx_ref().op_region(op, 0);
+    let body = b.ctx().add_block(region, arg_types);
+    (op, body)
+}
+
+/// Builds a `stencil.access` at `offset` from the current cell.
+pub fn access(b: &mut OpBuilder<'_>, temp: ValueId, offset: &[i64], result: Type) -> ValueId {
+    b.insert_value(
+        OpSpec::new(ACCESS)
+            .operands([temp])
+            .results([result])
+            .attr("offset", Attribute::IndexArray(offset.to_vec())),
+    )
+}
+
+/// Appends a `stencil.return` to an apply body.
+pub fn build_return(ctx: &mut IrContext, block: BlockId, values: Vec<ValueId>) -> OpId {
+    let mut b = OpBuilder::at_end(ctx, block);
+    b.insert(OpSpec::new(RETURN).operands(values))
+}
+
+/// The offset attribute of a `stencil.access`.
+pub fn access_offset(ctx: &IrContext, op: OpId) -> Option<Vec<i64>> {
+    ctx.attr(op, "offset")?.as_index_array().map(<[i64]>::to_vec)
+}
+
+/// The body block of a `stencil.apply` (or `csl_stencil.apply` region 0).
+pub fn apply_body(ctx: &IrContext, op: OpId) -> Option<BlockId> {
+    ctx.entry_block(ctx.op_region(op, 0))
+}
+
+/// Collects every `stencil.access` offset appearing in an apply body.
+pub fn collect_access_offsets(ctx: &IrContext, apply: OpId) -> Vec<Vec<i64>> {
+    ctx.walk_named(apply, ACCESS)
+        .into_iter()
+        .filter_map(|a| access_offset(ctx, a))
+        .collect()
+}
+
+/// Bounds of the store op (`lb`/`ub` attributes).
+pub fn store_bounds(ctx: &IrContext, op: OpId) -> Option<Bounds> {
+    let lb = ctx.attr(op, "lb")?.as_index_array()?.to_vec();
+    let ub = ctx.attr(op, "ub")?.as_index_array()?.to_vec();
+    Some(Bounds::new(lb, ub))
+}
+
+fn verify_apply(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.op_regions(op).is_empty() {
+        return Err("stencil.apply requires a body region".into());
+    }
+    let body = apply_body(ctx, op).ok_or("stencil.apply body region must have a block")?;
+    if ctx.block_args(body).len() != ctx.operands(op).len() {
+        return Err(format!(
+            "stencil.apply has {} operands but its body has {} arguments",
+            ctx.operands(op).len(),
+            ctx.block_args(body).len()
+        ));
+    }
+    match ctx.block_ops(body).last() {
+        Some(&last) if ctx.op_name(last) == RETURN => {
+            if ctx.operands(last).len() != ctx.results(op).len() {
+                return Err(format!(
+                    "stencil.return yields {} values but the apply has {} results",
+                    ctx.operands(last).len(),
+                    ctx.results(op).len()
+                ));
+            }
+        }
+        _ => return Err("stencil.apply body must end with stencil.return".into()),
+    }
+    for result in ctx.results(op) {
+        if !is_temp_type(ctx.value_type(*result)) {
+            return Err("stencil.apply results must be !stencil.temp values".into());
+        }
+    }
+    Ok(())
+}
+
+fn verify_access(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).len() != 1 {
+        return Err("stencil.access requires exactly one operand".into());
+    }
+    let offset = access_offset(ctx, op).ok_or("stencil.access requires an offset attribute")?;
+    let operand_ty = ctx.value_type(ctx.operand(op, 0));
+    if let Some(bounds) = type_bounds(operand_ty) {
+        if offset.len() != bounds.rank() {
+            return Err(format!(
+                "access offset rank {} does not match temp rank {}",
+                offset.len(),
+                bounds.rank()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn verify_load(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).len() != 1 || ctx.results(op).len() != 1 {
+        return Err("stencil.load requires one operand and one result".into());
+    }
+    if !is_field_type(ctx.value_type(ctx.operand(op, 0))) {
+        return Err("stencil.load operand must be a !stencil.field".into());
+    }
+    if !is_temp_type(ctx.value_type(ctx.result(op, 0))) {
+        return Err("stencil.load result must be a !stencil.temp".into());
+    }
+    Ok(())
+}
+
+fn verify_store(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).len() != 2 {
+        return Err("stencil.store requires temp and field operands".into());
+    }
+    if store_bounds(ctx, op).is_none() {
+        return Err("stencil.store requires lb/ub bound attributes".into());
+    }
+    if !is_field_type(ctx.value_type(ctx.operand(op, 1))) {
+        return Err("stencil.store destination must be a !stencil.field".into());
+    }
+    Ok(())
+}
+
+/// Registers the dialect's verifiers.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register_dialect("stencil");
+    registry.register_op_verifier(APPLY, verify_apply);
+    registry.register_op_verifier(ACCESS, verify_access);
+    registry.register_op_verifier(LOAD, verify_load);
+    registry.register_op_verifier(STORE, verify_store);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arith, builtin, func};
+    use wse_ir::verify;
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        register(&mut r);
+        arith::register(&mut r);
+        builtin::register(&mut r);
+        func::register(&mut r);
+        r
+    }
+
+    #[test]
+    fn bounds_algebra() {
+        let b = Bounds::new(vec![-1, -1, -1], vec![255, 255, 511]);
+        assert_eq!(b.rank(), 3);
+        assert_eq!(b.shape(), vec![256, 256, 512]);
+        assert_eq!(b.num_cells(), 256 * 256 * 512);
+        let inner = Bounds::new(vec![0, 0, 0], vec![254, 254, 510]);
+        assert!(inner.access_within(&[1, 0, 0], &b));
+        assert!(inner.access_within(&[-1, -1, -1], &b));
+        assert!(!inner.access_within(&[2, 0, 0], &b));
+        assert_eq!(inner.grown(1), Bounds::new(vec![-1, -1, -1], vec![255, 255, 511]));
+        assert_eq!(b.take_dims(2).rank(), 2);
+        assert_eq!(Bounds::from_shape(&[4, 4]), Bounds::new(vec![0, 0], vec![4, 4]));
+    }
+
+    #[test]
+    fn type_construction_and_inspection() {
+        let bounds = Bounds::new(vec![-1, -1], vec![255, 255]);
+        let elem = Type::tensor(vec![512], Type::f32());
+        let ty = temp_type(&bounds, elem.clone());
+        assert!(is_temp_type(&ty));
+        assert!(!is_field_type(&ty));
+        assert_eq!(type_bounds(&ty), Some(bounds.clone()));
+        assert_eq!(type_element(&ty), Some(elem));
+        let fty = field_type(&bounds, Type::f32());
+        assert!(is_field_type(&fty));
+        assert_eq!(type_bounds(&Type::f32()), None);
+    }
+
+    /// Builds the running example of the paper (Listing 2): a 3D stencil
+    /// adding the value one cell over in x and scaling by a constant.
+    fn build_listing2(ctx: &mut IrContext) -> (OpId, OpId) {
+        let (module, body) = builtin::module(ctx);
+        let storage = Bounds::new(vec![-1, -1, -1], vec![255, 255, 511]);
+        let out_bounds = Bounds::new(vec![0, 0, 0], vec![254, 254, 510]);
+        let field = field_type(&storage, Type::f32());
+        let (_f, entry) = func::build_func(ctx, body, "kernel", vec![field.clone(), field], vec![]);
+        let args = ctx.block_args(entry).to_vec();
+        let mut b = OpBuilder::at_end(ctx, entry);
+        let input = load(&mut b, args[0]);
+        let (apply, apply_body_block) =
+            build_apply(&mut b, vec![input], vec![temp_type(&out_bounds, Type::f32())]);
+        let data = ctx.block_args(apply_body_block)[0];
+        let mut ab = OpBuilder::at_end(ctx, apply_body_block);
+        let c0 = arith::constant_f32(&mut ab, 0.12345, Type::f32());
+        let d0 = access(&mut ab, data, &[1, 0, 0], Type::f32());
+        let d1 = access(&mut ab, data, &[0, 0, 0], Type::f32());
+        let t0 = arith::addf(&mut ab, d0, d1);
+        let r0 = arith::mulf(&mut ab, c0, t0);
+        build_return(ctx, apply_body_block, vec![r0]);
+        let result = ctx.result(apply, 0);
+        let mut b = OpBuilder::after(ctx, apply);
+        store(&mut b, result, args[1], &out_bounds);
+        func::build_return(ctx, entry, vec![]);
+        (module, apply)
+    }
+
+    #[test]
+    fn listing2_builds_and_verifies() {
+        let mut ctx = IrContext::new();
+        let (module, apply) = build_listing2(&mut ctx);
+        assert!(verify(&ctx, module, &registry()).is_empty());
+        let offsets = collect_access_offsets(&ctx, apply);
+        assert_eq!(offsets, vec![vec![1, 0, 0], vec![0, 0, 0]]);
+    }
+
+    #[test]
+    fn apply_without_return_is_invalid() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let bounds = Bounds::new(vec![0], vec![4]);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let (_apply, _block) = build_apply(&mut b, vec![], vec![temp_type(&bounds, Type::f32())]);
+        let errors = verify(&ctx, module, &registry());
+        assert!(errors.iter().any(|e| e.message.contains("must end with stencil.return")));
+    }
+
+    #[test]
+    fn access_rank_mismatch_is_invalid() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let bounds = Bounds::new(vec![0, 0], vec![4, 4]);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let (apply, blk) = build_apply(&mut b, vec![], vec![temp_type(&bounds, Type::f32())]);
+        // Add a temp-typed block argument to access.
+        let temp = ctx.add_block_arg(blk, temp_type(&bounds, Type::f32()));
+        let mut ab = OpBuilder::at_end(&mut ctx, blk);
+        let v = access(&mut ab, temp, &[1, 0, 0], Type::f32());
+        build_return(&mut ctx, blk, vec![v]);
+        let _ = apply;
+        let errors = verify(&ctx, module, &registry());
+        assert!(errors.iter().any(|e| e.message.contains("offset rank")));
+    }
+
+    #[test]
+    fn store_requires_bounds() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let bounds = Bounds::new(vec![0], vec![4]);
+        let fty = field_type(&bounds, Type::f32());
+        let (_f, entry) = func::build_func(&mut ctx, body, "k", vec![fty.clone()], vec![]);
+        let arg = ctx.block_args(entry)[0];
+        let mut b = OpBuilder::at_end(&mut ctx, entry);
+        let t = load(&mut b, arg);
+        b.insert(OpSpec::new(STORE).operands([t, arg]));
+        let errors = verify(&ctx, module, &registry());
+        assert!(errors.iter().any(|e| e.message.contains("lb/ub")));
+    }
+}

@@ -1,0 +1,147 @@
+//! The `tensor` dialect: value-semantics collections used after the
+//! tensorize-z transformation (Group 1 of the paper).
+
+use wse_ir::{Attribute, DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, Type, ValueId};
+
+/// `tensor.empty`: materializes an uninitialized tensor.
+pub const EMPTY: &str = "tensor.empty";
+/// `tensor.insert_slice`: inserts a tensor into a slice of a larger tensor.
+pub const INSERT_SLICE: &str = "tensor.insert_slice";
+/// `tensor.extract_slice`: extracts a slice of a tensor.
+pub const EXTRACT_SLICE: &str = "tensor.extract_slice";
+
+/// Builds a `tensor.empty` of the given type.
+pub fn empty(b: &mut OpBuilder<'_>, ty: Type) -> ValueId {
+    b.insert_value(OpSpec::new(EMPTY).results([ty]))
+}
+
+/// Builds a `tensor.insert_slice` of `source` into `dest` at `offset`
+/// (1-D, static offset/size).  `size` is the extent of `source`.
+pub fn insert_slice(
+    b: &mut OpBuilder<'_>,
+    source: ValueId,
+    dest: ValueId,
+    offset: ValueId,
+    size: i64,
+) -> ValueId {
+    let ty = b.ctx_ref().value_type(dest).clone();
+    b.insert_value(
+        OpSpec::new(INSERT_SLICE)
+            .operands([source, dest, offset])
+            .results([ty])
+            .attr("static_sizes", Attribute::IndexArray(vec![size])),
+    )
+}
+
+/// Builds a `tensor.extract_slice` of `source` at static `offset` with
+/// static `size` (1-D).
+pub fn extract_slice(b: &mut OpBuilder<'_>, source: ValueId, offset: i64, size: i64) -> ValueId {
+    let elem = b
+        .ctx_ref()
+        .value_type(source)
+        .element_type()
+        .cloned()
+        .unwrap_or(Type::f32());
+    b.insert_value(
+        OpSpec::new(EXTRACT_SLICE)
+            .operands([source])
+            .results([Type::tensor(vec![size], elem)])
+            .attr("static_offsets", Attribute::IndexArray(vec![offset]))
+            .attr("static_sizes", Attribute::IndexArray(vec![size])),
+    )
+}
+
+/// Static offset of an extract_slice.
+pub fn extract_slice_offset(ctx: &IrContext, op: OpId) -> Option<i64> {
+    ctx.attr(op, "static_offsets")?.as_index_array()?.first().copied()
+}
+
+/// Static size of an extract/insert slice.
+pub fn slice_size(ctx: &IrContext, op: OpId) -> Option<i64> {
+    ctx.attr(op, "static_sizes")?.as_index_array()?.first().copied()
+}
+
+fn verify_insert_slice(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).len() != 3 {
+        return Err("tensor.insert_slice requires source, dest and offset operands".into());
+    }
+    if ctx.attr(op, "static_sizes").is_none() {
+        return Err("tensor.insert_slice requires a static_sizes attribute".into());
+    }
+    Ok(())
+}
+
+fn verify_extract_slice(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).len() != 1 {
+        return Err("tensor.extract_slice requires exactly one operand".into());
+    }
+    let src_ty = ctx.value_type(ctx.operand(op, 0));
+    if !src_ty.is_tensor() && !src_ty.is_memref() {
+        return Err(format!("tensor.extract_slice source must be shaped, got {src_ty}"));
+    }
+    let (Some(offset), Some(size)) = (extract_slice_offset(ctx, op), slice_size(ctx, op)) else {
+        return Err("tensor.extract_slice requires static_offsets and static_sizes".into());
+    };
+    if let Some(shape) = src_ty.shape() {
+        if let Some(&dim) = shape.last() {
+            if dim >= 0 && offset + size > dim {
+                return Err(format!(
+                    "slice [{offset}, {}) is out of bounds for dimension {dim}",
+                    offset + size
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Registers the dialect's verifiers.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register_dialect("tensor");
+    registry.register_op_verifier(INSERT_SLICE, verify_insert_slice);
+    registry.register_op_verifier(EXTRACT_SLICE, verify_extract_slice);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arith, builtin};
+    use wse_ir::verify;
+
+    #[test]
+    fn build_slices() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let ty = Type::tensor(vec![512], Type::f32());
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let t = empty(&mut b, ty.clone());
+        let slice = extract_slice(&mut b, t, 1, 510);
+        assert_eq!(b.ctx_ref().value_type(slice), &Type::tensor(vec![510], Type::f32()));
+        let off = arith::constant_index(&mut b, 0);
+        let inserted = insert_slice(&mut b, slice, t, off, 510);
+        assert_eq!(b.ctx_ref().value_type(inserted), &ty);
+        let slice_op = ctx.defining_op(slice).unwrap();
+        assert_eq!(extract_slice_offset(&ctx, slice_op), Some(1));
+        assert_eq!(slice_size(&ctx, slice_op), Some(510));
+
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        arith::register(&mut registry);
+        builtin::register(&mut registry);
+        assert!(verify(&ctx, module, &registry).is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_slice_rejected() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let ty = Type::tensor(vec![100], Type::f32());
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let t = empty(&mut b, ty);
+        extract_slice(&mut b, t, 50, 60);
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("out of bounds")));
+    }
+}

@@ -1,0 +1,130 @@
+//! The `varith` dialect: variadic arithmetic.
+//!
+//! `varith.add`/`varith.mul` collapse chains of binary `arith` operations
+//! into one variadic operation.  The paper uses this representation early
+//! in the pipeline because it greatly simplifies splitting a stencil
+//! reduction into its remotely- and locally-computed parts, and it enables
+//! the `varith-fuse-repeated-operands` optimization (replacing `x + x + x`
+//! by `3 * x`, important for the Acoustic kernel).
+
+use wse_ir::{DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, ValueId};
+
+/// `varith.add`: variadic floating point addition.
+pub const ADD: &str = "varith.add";
+/// `varith.mul`: variadic floating point multiplication.
+pub const MUL: &str = "varith.mul";
+
+/// Builds a `varith.add` over `operands` (at least one).
+pub fn add(b: &mut OpBuilder<'_>, operands: Vec<ValueId>) -> ValueId {
+    variadic(b, ADD, operands)
+}
+
+/// Builds a `varith.mul` over `operands` (at least one).
+pub fn mul(b: &mut OpBuilder<'_>, operands: Vec<ValueId>) -> ValueId {
+    variadic(b, MUL, operands)
+}
+
+/// Builds a variadic op of the given name.
+pub fn variadic(b: &mut OpBuilder<'_>, name: &str, operands: Vec<ValueId>) -> ValueId {
+    assert!(!operands.is_empty(), "variadic arithmetic requires at least one operand");
+    let ty = b.ctx_ref().value_type(operands[0]).clone();
+    b.insert_value(OpSpec::new(name).operands(operands).results([ty]))
+}
+
+/// Returns true for `varith` op names.
+pub fn is_varith(name: &str) -> bool {
+    name == ADD || name == MUL
+}
+
+/// Maps a `varith` op to the corresponding binary `arith` op name.
+pub fn to_arith_binary(name: &str) -> Option<&'static str> {
+    match name {
+        ADD => Some(crate::arith::ADDF),
+        MUL => Some(crate::arith::MULF),
+        _ => None,
+    }
+}
+
+/// Maps a binary `arith` op to the corresponding `varith` op name.
+pub fn from_arith_binary(name: &str) -> Option<&'static str> {
+    match name {
+        crate::arith::ADDF => Some(ADD),
+        crate::arith::MULF => Some(MUL),
+        _ => None,
+    }
+}
+
+fn verify_varith(ctx: &IrContext, op: OpId) -> Result<(), String> {
+    if ctx.operands(op).is_empty() {
+        return Err(format!("{} requires at least one operand", ctx.op_name(op)));
+    }
+    if ctx.results(op).len() != 1 {
+        return Err(format!("{} must produce exactly one result", ctx.op_name(op)));
+    }
+    let first = ctx.value_type(ctx.operand(op, 0));
+    for (i, &operand) in ctx.operands(op).iter().enumerate() {
+        let ty = ctx.value_type(operand);
+        if ty != first {
+            return Err(format!("operand #{i} type {ty} differs from operand #0 type {first}"));
+        }
+    }
+    Ok(())
+}
+
+/// Registers the dialect's verifiers.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register_dialect("varith");
+    registry.register_op_verifier(ADD, verify_varith);
+    registry.register_op_verifier(MUL, verify_varith);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arith, builtin};
+    use wse_ir::{verify, Type};
+
+    #[test]
+    fn variadic_ops_build() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let x = arith::constant_f32(&mut b, 1.0, Type::f32());
+        let y = arith::constant_f32(&mut b, 2.0, Type::f32());
+        let z = arith::constant_f32(&mut b, 3.0, Type::f32());
+        let sum = add(&mut b, vec![x, y, z, x]);
+        let prod = mul(&mut b, vec![sum, y]);
+        assert_eq!(ctx.operands(ctx.defining_op(sum).unwrap()).len(), 4);
+        assert_eq!(ctx.value_type(prod), &Type::f32());
+
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        arith::register(&mut registry);
+        builtin::register(&mut registry);
+        assert!(verify(&ctx, module, &registry).is_empty());
+    }
+
+    #[test]
+    fn name_mappings() {
+        assert!(is_varith(ADD));
+        assert!(!is_varith(arith::ADDF));
+        assert_eq!(to_arith_binary(ADD), Some(arith::ADDF));
+        assert_eq!(to_arith_binary(MUL), Some(arith::MULF));
+        assert_eq!(from_arith_binary(arith::ADDF), Some(ADD));
+        assert_eq!(from_arith_binary(arith::SUBF), None);
+    }
+
+    #[test]
+    fn mixed_operand_types_rejected() {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let x = arith::constant_f32(&mut b, 1.0, Type::f32());
+        let i = arith::constant_index(&mut b, 1);
+        b.insert(OpSpec::new(ADD).operands([x, i]).results([Type::f32()]));
+        let mut registry = DialectRegistry::new();
+        register(&mut registry);
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.iter().any(|e| e.message.contains("differs from operand #0")));
+    }
+}

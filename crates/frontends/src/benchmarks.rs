@@ -1,0 +1,309 @@
+//! The five benchmarks of the paper's evaluation (Section 6).
+//!
+//! | Benchmark | Front-end | Stencil | Z | Iterations |
+//! |---|---|---|---|---|
+//! | Jacobian  | Flang    | 3D 6-point  | 900 | 100 000 |
+//! | Diffusion | Devito   | 3D 13-point | 704 | 512 |
+//! | Acoustic  | Devito   | 3D 13-point | 604 | 512 |
+//! | Seismic   | Cerebras | 3D 25-point | 450 | 100 000 |
+//! | UVKBE     | PSyclone | 2 applies, 4 fields | 600 | 1 |
+//!
+//! Problem sizes follow the paper: small 100×100, medium 500×500, large
+//! 750×994 (chosen to fully occupy the WSE2 PE grid).
+
+use crate::ast::{star_sum, Expr, Frontend, GridSpec, StencilEquation, StencilProgram};
+use crate::devito::{Eq, Function, Grid, Operator};
+use crate::fortran::parse_fortran;
+use crate::psyclone::{Algorithm, Kernel};
+
+/// The three problem sizes used in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProblemSize {
+    /// 100 × 100 PEs.
+    Small,
+    /// 500 × 500 PEs.
+    Medium,
+    /// 750 × 994 PEs (fully occupies the WSE2).
+    Large,
+    /// A custom PE-grid extent (used by tests and the functional simulator).
+    Custom(i64, i64),
+}
+
+impl ProblemSize {
+    /// The (x, y) extents of the PE grid for this size.
+    pub fn extents(self) -> (i64, i64) {
+        match self {
+            ProblemSize::Small => (100, 100),
+            ProblemSize::Medium => (500, 500),
+            ProblemSize::Large => (750, 994),
+            ProblemSize::Custom(x, y) => (x, y),
+        }
+    }
+
+    /// Human-readable label (`"100x100"`, ...).
+    pub fn label(self) -> String {
+        let (x, y) = self.extents();
+        format!("{x}x{y}")
+    }
+}
+
+/// All five benchmark identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Laplace diffusion from Fortran (Flang front-end).
+    Jacobian,
+    /// Heat diffusion in Devito.
+    Diffusion,
+    /// Isotropic acoustic wave equation in Devito.
+    Acoustic,
+    /// 25-point seismic kernel translated from Jacquelin et al.
+    Seismic25,
+    /// PSyclone UVKBE kernel (4 fields, 2 consecutive applies).
+    Uvkbe,
+}
+
+impl Benchmark {
+    /// Every benchmark, in the order used by the paper's figures.
+    pub const ALL: [Benchmark; 5] = [
+        Benchmark::Jacobian,
+        Benchmark::Diffusion,
+        Benchmark::Seismic25,
+        Benchmark::Uvkbe,
+        Benchmark::Acoustic,
+    ];
+
+    /// Display name used in figures and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Jacobian => "Jacobian",
+            Benchmark::Diffusion => "Diffusion",
+            Benchmark::Acoustic => "Acoustic",
+            Benchmark::Seismic25 => "25-point Seismic",
+            Benchmark::Uvkbe => "UVKBE",
+        }
+    }
+
+    /// Builds the benchmark's program at the given problem size with the
+    /// paper's iteration count and z extent.
+    pub fn program(self, size: ProblemSize) -> StencilProgram {
+        let (x, y) = size.extents();
+        match self {
+            Benchmark::Jacobian => jacobian(x, y, 900, 100_000),
+            Benchmark::Diffusion => diffusion(x, y, 704, 512),
+            Benchmark::Acoustic => acoustic(x, y, 604, 512),
+            Benchmark::Seismic25 => seismic_25pt(x, y, 450, 100_000),
+            Benchmark::Uvkbe => uvkbe(x, y, 600, 1),
+        }
+    }
+
+    /// A miniature instance (few PEs, short column, few timesteps) used by
+    /// the functional simulator and correctness tests.
+    pub fn tiny_program(self) -> StencilProgram {
+        match self {
+            Benchmark::Jacobian => jacobian(6, 6, 12, 3),
+            Benchmark::Diffusion => diffusion(7, 7, 12, 2),
+            Benchmark::Acoustic => acoustic(7, 7, 12, 2),
+            Benchmark::Seismic25 => seismic_25pt(10, 10, 16, 2),
+            Benchmark::Uvkbe => uvkbe(6, 6, 10, 1),
+        }
+    }
+}
+
+/// The Jacobian benchmark: Laplace's equation for diffusion in 3D,
+/// extracted from Fortran by the Flang front-end.  Six-point stencil.
+pub fn jacobian(x: i64, y: i64, z: i64, timesteps: i64) -> StencilProgram {
+    let source = format!(
+        r"real :: a({z}, {y}, {x})
+do step = 1, {timesteps}
+  do i = 1, {x}
+    do j = 1, {y}
+      do k = 1, {z}
+        a(k,j,i) = (a(k,j,i+1) + a(k,j,i-1) + a(k,j+1,i) + a(k,j-1,i) + a(k+1,j,i) + a(k-1,j,i)) * 0.16666
+      enddo
+    enddo
+  enddo
+enddo
+"
+    );
+    let mut program = parse_fortran("jacobian", &source).expect("jacobian source is well-formed");
+    // The loop bounds above describe the interior directly.
+    program.grid = GridSpec::new(x, y, z);
+    program.validate().expect("jacobian program is valid");
+    program
+}
+
+/// The Devito heat-diffusion benchmark: 3D 13-point stencil.
+pub fn diffusion(x: i64, y: i64, z: i64, timesteps: i64) -> StencilProgram {
+    let grid = Grid::new(x, y, z);
+    let u = Function::new("u", 4);
+    // u_{t+1} = u + alpha * laplacian(u), 4th-order space discretization.
+    let update = u.center().add(u.laplace().scale(0.01));
+    Operator::new(grid, vec![u.clone()])
+        .equation(Eq::new(&u, update))
+        .timesteps(timesteps)
+        .build("diffusion")
+        .expect("diffusion program is valid")
+}
+
+/// The Devito isotropic acoustic wave benchmark: 3D 13-point stencil with a
+/// second-order approximation in time (two fields).
+pub fn acoustic(x: i64, y: i64, z: i64, timesteps: i64) -> StencilProgram {
+    let grid = Grid::new(x, y, z);
+    let u = Function::new("u", 4);
+    let u_prev = Function::new("u_prev", 4);
+    // u_{t+1} = 2 u - u_{t-1} + c^2 dt^2 laplacian(u).
+    // The repeated addition of the centre value (2u) is what the
+    // varith-fuse-repeated-operands optimization targets.
+    let update = u
+        .center()
+        .add(u.center())
+        .sub(u_prev.center())
+        .add(u.laplace().scale(0.0625));
+    Operator::new(grid, vec![u.clone(), u_prev.clone()])
+        .equation(Eq::new(&u_prev, u.center()))
+        .equation(Eq::new(&u, update))
+        .timesteps(timesteps)
+        .build("acoustic")
+        .expect("acoustic program is valid")
+}
+
+/// The 25-point seismic kernel translated from Jacquelin et al. (8th-order
+/// star stencil, radius 4), written directly against the stencil dialect.
+pub fn seismic_25pt(x: i64, y: i64, z: i64, timesteps: i64) -> StencilProgram {
+    let coeffs = [0.28, -0.02, 0.004, -0.0008];
+    let mut terms = vec![Expr::center("p").scale(-0.9)];
+    for (i, &c) in coeffs.iter().enumerate() {
+        let r = (i + 1) as i64;
+        terms.push(star_sum_ring("p", r).scale(c));
+    }
+    let expr = Expr::sum(terms);
+    let source = r"# seismic_25pt — translated from the Cerebras SDK 25-pt stencil example
+# (Jacquelin et al., SC'22), expressed against the stencil dialect.
+grid = Grid(shape=(nx, ny, 450))
+p = TimeFunction(name='p', grid=grid, space_order=8)
+update = sum(c[r] * ring(p, r) for r in range(1, 5)) - 0.9 * p
+op = Operator([Eq(p.forward, update)])
+op.apply(time_M=100000)
+"
+    .to_string();
+    let program = StencilProgram {
+        name: "seismic_25pt".into(),
+        frontend: Frontend::Csl,
+        grid: GridSpec::new(x, y, z),
+        fields: vec!["p".into()],
+        equations: vec![StencilEquation::new("p", expr)],
+        timesteps,
+        source,
+    };
+    program.validate().expect("seismic program is valid");
+    program
+}
+
+/// One "ring" of a star stencil: the six accesses at distance exactly `r`.
+fn star_sum_ring(field: &str, r: i64) -> Expr {
+    Expr::sum(
+        [(r, 0, 0), (-r, 0, 0), (0, r, 0), (0, -r, 0), (0, 0, r), (0, 0, -r)]
+            .into_iter()
+            .map(|(dx, dy, dz)| Expr::at(field, dx, dy, dz)),
+    )
+}
+
+/// The PSyclone UVKBE benchmark: four fields, two of which are communicated
+/// across PEs, and two consecutive `stencil.apply` operations.
+pub fn uvkbe(x: i64, y: i64, z: i64, timesteps: i64) -> StencilProgram {
+    Algorithm::new("uvkbe")
+        .grid(x, y, z)
+        .field("unew")
+        .field("vnew")
+        .field("uvel")
+        .field("vvel")
+        .invoke(Kernel::new(
+            "compute_unew",
+            "unew",
+            star_sum("uvel", 1, true).scale(0.25).add(Expr::center("vvel").scale(0.5)),
+        ))
+        .invoke(Kernel::new(
+            "compute_vnew",
+            "vnew",
+            Expr::center("unew")
+                .scale(0.3)
+                .add(star_sum("vvel", 1, true).scale(0.125))
+                .add(Expr::center("vnew").scale(0.1)),
+        ))
+        .timesteps(timesteps)
+        .build()
+        .expect("uvkbe program is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_shapes_match_the_paper() {
+        assert_eq!(Benchmark::Jacobian.tiny_program().max_points(), 6);
+        assert_eq!(Benchmark::Diffusion.tiny_program().max_points(), 13);
+        assert_eq!(Benchmark::Acoustic.tiny_program().max_points(), 13);
+        assert_eq!(Benchmark::Seismic25.tiny_program().max_points(), 25);
+        // UVKBE has two applies of radius 1.
+        let uvkbe = Benchmark::Uvkbe.tiny_program();
+        assert_eq!(uvkbe.equations.len(), 2);
+        assert_eq!(uvkbe.fields.len(), 4);
+        assert_eq!(uvkbe.communicated_fields().len(), 2);
+    }
+
+    #[test]
+    fn paper_scale_parameters() {
+        let jac = Benchmark::Jacobian.program(ProblemSize::Large);
+        assert_eq!(jac.grid, GridSpec::new(750, 994, 900));
+        assert_eq!(jac.timesteps, 100_000);
+        let diff = Benchmark::Diffusion.program(ProblemSize::Medium);
+        assert_eq!(diff.grid, GridSpec::new(500, 500, 704));
+        assert_eq!(diff.timesteps, 512);
+        let seismic = Benchmark::Seismic25.program(ProblemSize::Small);
+        assert_eq!(seismic.grid, GridSpec::new(100, 100, 450));
+        let uvkbe = Benchmark::Uvkbe.program(ProblemSize::Large);
+        assert_eq!(uvkbe.timesteps, 1);
+        let acoustic = Benchmark::Acoustic.program(ProblemSize::Large);
+        assert_eq!(acoustic.grid.z, 604);
+    }
+
+    #[test]
+    fn frontends_match_the_paper() {
+        assert_eq!(Benchmark::Jacobian.tiny_program().frontend, Frontend::Flang);
+        assert_eq!(Benchmark::Diffusion.tiny_program().frontend, Frontend::Devito);
+        assert_eq!(Benchmark::Acoustic.tiny_program().frontend, Frontend::Devito);
+        assert_eq!(Benchmark::Seismic25.tiny_program().frontend, Frontend::Csl);
+        assert_eq!(Benchmark::Uvkbe.tiny_program().frontend, Frontend::PSyclone);
+    }
+
+    #[test]
+    fn all_programs_validate() {
+        for benchmark in Benchmark::ALL {
+            let tiny = benchmark.tiny_program();
+            assert!(tiny.validate().is_ok(), "{} tiny program invalid", benchmark.name());
+            assert!(tiny.source_loc() > 0, "{} has no DSL source", benchmark.name());
+            let large = benchmark.program(ProblemSize::Large);
+            assert!(large.validate().is_ok(), "{} large program invalid", benchmark.name());
+        }
+    }
+
+    #[test]
+    fn problem_size_labels() {
+        assert_eq!(ProblemSize::Small.label(), "100x100");
+        assert_eq!(ProblemSize::Medium.label(), "500x500");
+        assert_eq!(ProblemSize::Large.label(), "750x994");
+        assert_eq!(ProblemSize::Custom(4, 8).label(), "4x8");
+    }
+
+    #[test]
+    fn acoustic_has_repeated_center_operand() {
+        // The acoustic update contains u + u (2u), the pattern the
+        // varith-fuse-repeated-operands pass converts to a multiplication.
+        let acoustic = Benchmark::Acoustic.tiny_program();
+        let accesses = acoustic.equations[1].expr.accesses();
+        let center_reads =
+            accesses.iter().filter(|(f, o)| f == "u" && *o == [0, 0, 0]).count();
+        assert!(center_reads >= 2, "expected a repeated centre access, found {center_reads}");
+    }
+}

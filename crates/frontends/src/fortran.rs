@@ -1,0 +1,464 @@
+//! A miniature Flang-style Fortran front-end.
+//!
+//! The paper's Flang integration extracts stencils from ordinary Fortran
+//! loop nests (Listing 1).  This module provides the same capability at a
+//! miniature scale: it parses a restricted Fortran subset — `real`
+//! declarations, a `do step` time loop, a triply-nested spatial loop and
+//! array assignments whose indices are `k`, `j`, `i` plus constant offsets
+//! — and produces a [`StencilProgram`].
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Expr, Frontend, GridSpec, StencilEquation, StencilProgram};
+
+/// Error produced while parsing Fortran input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FortranError {
+    /// 1-based line number of the offending line (0 when unknown).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for FortranError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fortran parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FortranError {}
+
+fn err(line: usize, message: impl Into<String>) -> FortranError {
+    FortranError { line, message: message.into() }
+}
+
+/// Parses a Fortran stencil kernel into a [`StencilProgram`].
+///
+/// The recognized subset is: `real :: A(z,y,x), ...` declarations, an
+/// optional outer `do step = 1, N` time loop, spatial loops over `i`, `j`,
+/// `k` (x, y and z respectively) and assignments of the form
+/// `A(k,j,i) = expression` where the expression uses `+`, `-`, `*`,
+/// parentheses, literals and array references with constant offsets.
+///
+/// # Errors
+/// Returns a [`FortranError`] describing the first malformed line.
+pub fn parse_fortran(name: &str, source: &str) -> Result<StencilProgram, FortranError> {
+    let mut fields: Vec<String> = Vec::new();
+    let mut declared_shapes: BTreeMap<String, [i64; 3]> = BTreeMap::new();
+    let mut timesteps: i64 = 1;
+    let mut loop_extents: Vec<i64> = Vec::new();
+    let mut equations: Vec<StencilEquation> = Vec::new();
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.split('!').next().unwrap_or("").trim().to_lowercase();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("real") {
+            let decls = line
+                .split("::")
+                .nth(1)
+                .ok_or_else(|| err(line_no, "malformed real declaration"))?;
+            for decl in split_top_level(decls) {
+                let decl = decl.trim();
+                if decl.is_empty() {
+                    continue;
+                }
+                let (fname, shape) = parse_declaration(decl, line_no)?;
+                fields.push(fname.clone());
+                declared_shapes.insert(fname, shape);
+            }
+        } else if line.starts_with("do ") {
+            let rest = &line[3..];
+            let (var, bounds) =
+                rest.split_once('=').ok_or_else(|| err(line_no, "malformed do statement"))?;
+            let var = var.trim();
+            let mut parts = bounds.split(',');
+            let lb: i64 = parts
+                .next()
+                .and_then(|s| s.trim().parse().ok())
+                .ok_or_else(|| err(line_no, "missing loop lower bound"))?;
+            let ub: i64 = parts
+                .next()
+                .and_then(|s| s.trim().parse().ok())
+                .ok_or_else(|| err(line_no, "missing loop upper bound"))?;
+            if var == "step" || var == "t" || var == "time" {
+                timesteps = ub - lb + 1;
+            } else {
+                loop_extents.push(ub - lb + 1);
+            }
+        } else if line.starts_with("enddo") || line.starts_with("end do") || line.starts_with("end") {
+            // Loop nesting is implied by order; nothing to do.
+        } else if line.contains('=') {
+            let (lhs, rhs) =
+                line.split_once('=').ok_or_else(|| err(line_no, "malformed assignment"))?;
+            let (out_field, out_offset) = parse_array_ref(lhs.trim(), line_no)?;
+            if out_offset != [0, 0, 0] {
+                return Err(err(line_no, "assignments must target the centre cell"));
+            }
+            let expr = ExprParser::new(rhs.trim(), line_no).parse()?;
+            equations.push(StencilEquation::new(&out_field, expr));
+        } else {
+            return Err(err(line_no, format!("unrecognized statement: {line:?}")));
+        }
+    }
+
+    if fields.is_empty() {
+        return Err(err(0, "no field declarations found"));
+    }
+    if equations.is_empty() {
+        return Err(err(0, "no stencil assignments found"));
+    }
+
+    // Grid interior: prefer spatial loop extents (i, j, k declared outermost
+    // to innermost = x, y, z); fall back to the declared array shape.
+    let grid = if loop_extents.len() >= 3 {
+        GridSpec::new(loop_extents[0], loop_extents[1], loop_extents[2])
+    } else {
+        let shape = declared_shapes.values().next().copied().unwrap_or([16, 16, 16]);
+        // Declarations are written A(z, y, x).
+        GridSpec::new(shape[2], shape[1], shape[0])
+    };
+
+    let program = StencilProgram {
+        name: name.to_string(),
+        frontend: Frontend::Flang,
+        grid,
+        fields,
+        equations,
+        timesteps,
+        source: source.to_string(),
+    };
+    program.validate().map_err(|m| err(0, m))?;
+    Ok(program)
+}
+
+/// Splits on commas that are not inside parentheses.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_declaration(decl: &str, line: usize) -> Result<(String, [i64; 3]), FortranError> {
+    let open = decl.find('(').ok_or_else(|| err(line, "declaration missing dimensions"))?;
+    let close = decl.rfind(')').ok_or_else(|| err(line, "declaration missing ')'"))?;
+    let name = decl[..open].trim().to_string();
+    let dims: Vec<i64> = decl[open + 1..close]
+        .split(',')
+        .map(|d| d.trim().parse::<i64>().map_err(|_| err(line, "bad dimension")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(err(line, "only rank-3 arrays are supported"));
+    }
+    Ok((name, [dims[0], dims[1], dims[2]]))
+}
+
+/// Parses `a(k, j+1, i-1)` into a field name and offset `[dx, dy, dz]`.
+fn parse_array_ref(text: &str, line: usize) -> Result<(String, [i64; 3]), FortranError> {
+    let open = text.find('(').ok_or_else(|| err(line, "expected array reference"))?;
+    let close = text.rfind(')').ok_or_else(|| err(line, "array reference missing ')'"))?;
+    let name = text[..open].trim().to_string();
+    let indices: Vec<&str> = text[open + 1..close].split(',').map(str::trim).collect();
+    if indices.len() != 3 {
+        return Err(err(line, "array references must have three indices"));
+    }
+    // Index order in the Fortran source is (k, j, i) = (z, y, x).
+    let dz = parse_index(indices[0], "k", line)?;
+    let dy = parse_index(indices[1], "j", line)?;
+    let dx = parse_index(indices[2], "i", line)?;
+    Ok((name, [dx, dy, dz]))
+}
+
+fn parse_index(index: &str, var: &str, line: usize) -> Result<i64, FortranError> {
+    let index = index.replace(' ', "");
+    if index == var {
+        return Ok(0);
+    }
+    if let Some(rest) = index.strip_prefix(&format!("{var}+")) {
+        return rest.parse().map_err(|_| err(line, format!("bad offset in index {index:?}")));
+    }
+    if let Some(rest) = index.strip_prefix(&format!("{var}-")) {
+        let v: i64 =
+            rest.parse().map_err(|_| err(line, format!("bad offset in index {index:?}")))?;
+        return Ok(-v);
+    }
+    Err(err(line, format!("index {index:?} must be {var} plus/minus a constant")))
+}
+
+/// Recursive-descent parser for the right-hand side of an assignment.
+struct ExprParser<'a> {
+    text: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn new(text: &'a str, line: usize) -> Self {
+        Self { text: text.as_bytes(), pos: 0, line }
+    }
+
+    fn parse(&mut self) -> Result<Expr, FortranError> {
+        let e = self.parse_add()?;
+        self.skip_ws();
+        if self.pos != self.text.len() {
+            return Err(err(self.line, "trailing characters in expression"));
+        }
+        Ok(e)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.text.get(self.pos).copied()
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, FortranError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    let rhs = self.parse_mul()?;
+                    lhs = lhs.add(rhs);
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    let rhs = self.parse_mul()?;
+                    lhs = lhs.sub(rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, FortranError> {
+        let mut lhs = self.parse_atom()?;
+        while self.peek() == Some(b'*') {
+            self.pos += 1;
+            let rhs = self.parse_atom()?;
+            lhs = lhs.mul(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, FortranError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.parse_add()?;
+                if self.peek() != Some(b')') {
+                    return Err(err(self.line, "missing closing parenthesis"));
+                }
+                self.pos += 1;
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_digit() || c == b'.' => self.parse_number(),
+            Some(c) if c.is_ascii_alphabetic() => self.parse_reference(),
+            _ => Err(err(self.line, "expected a value")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Expr, FortranError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.text.len()
+            && (self.text[self.pos].is_ascii_digit()
+                || self.text[self.pos] == b'.'
+                || self.text[self.pos] == b'e'
+                || self.text[self.pos] == b'-' && self.pos > start && self.text[self.pos - 1] == b'e')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.text[start..self.pos]).unwrap_or("");
+        text.parse::<f32>()
+            .map(Expr::Const)
+            .map_err(|_| err(self.line, format!("bad numeric literal {text:?}")))
+    }
+
+    fn parse_reference(&mut self) -> Result<Expr, FortranError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.text.len()
+            && (self.text[self.pos].is_ascii_alphanumeric() || self.text[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        let name = std::str::from_utf8(&self.text[start..self.pos]).unwrap_or("").to_string();
+        if self.peek() != Some(b'(') {
+            return Err(err(self.line, format!("scalar variable {name:?} is not supported")));
+        }
+        // Consume the balanced index list.
+        let open = self.pos;
+        let mut depth = 0usize;
+        while self.pos < self.text.len() {
+            match self.text[self.pos] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        let full = format!(
+            "{name}{}",
+            std::str::from_utf8(&self.text[open..self.pos]).unwrap_or("")
+        );
+        let (field, offset) = parse_array_ref(&full, self.line)?;
+        Ok(Expr::Access { field, offset: [offset[0], offset[1], offset[2]] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LISTING1: &str = r"
+real :: data(512, 256, 256)
+do i = 2, 255
+  do j = 2, 255
+    do k = 2, 511
+      data(k,j,i) = (data(k,j,i) + data(k,j,i+1)) * 0.12345
+    enddo
+  enddo
+enddo
+";
+
+    #[test]
+    fn parses_listing1() {
+        let program = parse_fortran("listing1", LISTING1).expect("parse");
+        assert_eq!(program.frontend, Frontend::Flang);
+        assert_eq!(program.fields, vec!["data".to_string()]);
+        assert_eq!(program.grid, GridSpec::new(254, 254, 510));
+        assert_eq!(program.timesteps, 1);
+        assert_eq!(program.equations.len(), 1);
+        let eq = &program.equations[0];
+        assert_eq!(eq.output, "data");
+        assert_eq!(eq.num_points(), 2);
+        assert_eq!(eq.xy_radius(), 1);
+        assert_eq!(eq.expr.flops(), 2);
+    }
+
+    #[test]
+    fn parses_time_loop_and_two_fields() {
+        let src = r"
+real :: a(64, 32, 32), b(64, 32, 32)
+do step = 1, 10
+  do i = 1, 30
+    do j = 1, 30
+      do k = 1, 62
+        a(k,j,i) = (a(k,j,i) + a(k,j,i+1) + a(k,j,i-1) + a(k,j+1,i) + a(k,j-1,i) + a(k+1,j,i) + a(k-1,j,i)) * 0.1666
+        b(k,j,i) = (b(k,j+1,i) + b(k,j-1,i) + a(k,j,i)) * 0.5
+      enddo
+    enddo
+  enddo
+enddo
+";
+        let program = parse_fortran("two_fields", src).expect("parse");
+        assert_eq!(program.timesteps, 10);
+        assert_eq!(program.fields.len(), 2);
+        assert_eq!(program.equations.len(), 2);
+        assert_eq!(program.equations[0].num_points(), 7);
+        assert_eq!(program.grid, GridSpec::new(30, 30, 62));
+        assert_eq!(
+            program.communicated_fields(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+    }
+
+    #[test]
+    fn z_offsets_are_local() {
+        let src = r"
+real :: u(64, 16, 16)
+do i = 1, 14
+ do j = 1, 14
+  do k = 2, 63
+   u(k,j,i) = (u(k+1,j,i) + u(k-1,j,i)) * 0.5
+  enddo
+ enddo
+enddo
+";
+        let program = parse_fortran("zonly", src).expect("parse");
+        assert_eq!(program.equations[0].xy_radius(), 0);
+        assert_eq!(program.equations[0].z_radius(), 1);
+        assert!(program.communicated_fields().is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_field() {
+        let src = r"
+real :: u(8, 8, 8)
+do i = 1, 6
+ do j = 1, 6
+  do k = 1, 6
+   u(k,j,i) = w(k,j,i) * 2.0
+  enddo
+ enddo
+enddo
+";
+        assert!(parse_fortran("bad", src).is_err());
+    }
+
+    #[test]
+    fn rejects_variable_offsets() {
+        let src = r"
+real :: u(8, 8, 8)
+do i = 1, 6
+ do j = 1, 6
+  do k = 1, 6
+   u(k,j,i) = u(k,j,m) * 2.0
+  enddo
+ enddo
+enddo
+";
+        let e = parse_fortran("bad", src).unwrap_err();
+        assert!(e.message.contains("plus/minus a constant"));
+    }
+
+    #[test]
+    fn rejects_offcentre_assignment() {
+        let src = r"
+real :: u(8, 8, 8)
+do i = 1, 6
+ do j = 1, 6
+  do k = 1, 6
+   u(k,j,i+1) = u(k,j,i) * 2.0
+  enddo
+ enddo
+enddo
+";
+        let e = parse_fortran("bad", src).unwrap_err();
+        assert!(e.message.contains("centre cell"));
+    }
+}

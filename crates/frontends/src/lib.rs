@@ -1,0 +1,30 @@
+//! # wse-frontends — miniature stencil front-ends and the paper benchmarks
+//!
+//! The paper drives its pipeline from three existing front-ends (Flang,
+//! Devito and PSyclone), all of which emit the MLIR/xDSL `stencil`
+//! dialect.  This crate provides miniature equivalents of the three
+//! front-ends plus the five evaluation benchmarks:
+//!
+//! * [`ast`] — a front-end-agnostic description of a stencil program;
+//! * [`fortran`] — a Flang-like parser for Fortran loop nests;
+//! * [`devito`] — a Devito-like symbolic builder (grids, functions,
+//!   Laplacians, operators);
+//! * [`psyclone`] — a PSyclone-like algorithm/kernel builder;
+//! * [`to_stencil`] — emission of the `stencil` dialect, the point where
+//!   all front-ends converge;
+//! * [`benchmarks`] — Jacobian, Diffusion, Acoustic, 25-point Seismic and
+//!   UVKBE at the paper's problem sizes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod benchmarks;
+pub mod devito;
+pub mod fortran;
+pub mod psyclone;
+pub mod to_stencil;
+
+pub use ast::{Expr, Frontend, GridSpec, StencilEquation, StencilProgram};
+pub use benchmarks::{Benchmark, ProblemSize};
+pub use to_stencil::{emit_stencil_ir, StencilIr};

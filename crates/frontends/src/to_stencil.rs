@@ -1,0 +1,273 @@
+//! Emission of the `stencil` dialect from a front-end [`StencilProgram`].
+//!
+//! This is the point where all three front-ends converge: everything below
+//! here (the whole lowering pipeline) is front-end agnostic, which is the
+//! paper's central design argument.
+
+use std::collections::HashMap;
+
+use wse_dialects::{arith, builtin, func, scf, stencil};
+use wse_ir::{IrContext, OpBuilder, OpId, Type, ValueId};
+
+use crate::ast::{Expr, StencilProgram};
+
+/// The result of emitting a program into the stencil dialect.
+#[derive(Debug)]
+pub struct StencilIr {
+    /// The IR context owning the module.
+    pub ctx: IrContext,
+    /// The top-level `builtin.module`.
+    pub module: OpId,
+    /// The kernel function.
+    pub func: OpId,
+}
+
+/// Storage bounds used for every field of `program`: the interior grown by
+/// the stencil radius in each dimension.
+pub fn field_bounds(program: &StencilProgram) -> stencil::Bounds {
+    let r_xy = program.xy_radius();
+    let r_z = program.equations.iter().map(|e| e.z_radius()).max().unwrap_or(0);
+    stencil::Bounds::new(
+        vec![-r_xy, -r_xy, -r_z],
+        vec![program.grid.x + r_xy, program.grid.y + r_xy, program.grid.z + r_z],
+    )
+}
+
+/// Interior (iteration-space) bounds of `program`.
+pub fn interior_bounds(program: &StencilProgram) -> stencil::Bounds {
+    stencil::Bounds::new(vec![0, 0, 0], vec![program.grid.x, program.grid.y, program.grid.z])
+}
+
+/// Emits `program` as a `builtin.module` containing one `func.func` whose
+/// arguments are `!stencil.field` values (one per field), with an
+/// `scf.for` time loop when the program runs for more than one timestep.
+///
+/// # Errors
+/// Returns an error string if the program fails validation.
+pub fn emit_stencil_ir(program: &StencilProgram) -> Result<StencilIr, String> {
+    program.validate()?;
+    let mut ctx = IrContext::new();
+    let (module, module_body) = builtin::module(&mut ctx);
+
+    let storage = field_bounds(program);
+    let interior = interior_bounds(program);
+    let field_ty = stencil::field_type(&storage, Type::f32());
+    let arg_types = vec![field_ty; program.fields.len()];
+    let (kernel, entry) =
+        func::build_func(&mut ctx, module_body, &program.name, arg_types, vec![]);
+    ctx.set_attr(
+        kernel,
+        "field_names",
+        wse_ir::Attribute::Array(
+            program.fields.iter().map(|f| wse_ir::Attribute::str(f.clone())).collect(),
+        ),
+    );
+    ctx.set_attr(kernel, "timesteps", wse_ir::Attribute::int(program.timesteps));
+    let args = ctx.block_args(entry).to_vec();
+    let field_args: HashMap<String, ValueId> =
+        program.fields.iter().cloned().zip(args.iter().copied()).collect();
+
+    // The block that holds one timestep's worth of applies: either the
+    // function entry (single timestep) or the body of an scf.for.
+    let timestep_block = if program.timesteps > 1 {
+        let mut b = OpBuilder::at_end(&mut ctx, entry);
+        let lb = arith::constant_index(&mut b, 0);
+        let ub = arith::constant_index(&mut b, program.timesteps);
+        let step = arith::constant_index(&mut b, 1);
+        let (_for_op, loop_body) = scf::build_for(&mut b, lb, ub, step, vec![]);
+        loop_body
+    } else {
+        entry
+    };
+
+    // Values produced by earlier equations in the same timestep, forwarded
+    // directly to later equations when they only read the centre cell (this
+    // is what exposes the stencil-inlining opportunity for UVKBE).
+    let mut forwarded: HashMap<String, ValueId> = HashMap::new();
+    for equation in &program.equations {
+        // Load every input field into a temp.
+        let inputs = equation.inputs();
+        let mut temps: HashMap<String, ValueId> = HashMap::new();
+        {
+            let mut b = OpBuilder::at_end(&mut ctx, timestep_block);
+            for input in &inputs {
+                let center_only = equation
+                    .expr
+                    .accesses()
+                    .iter()
+                    .filter(|(f, _)| f == input)
+                    .all(|(_, o)| *o == [0, 0, 0]);
+                if center_only {
+                    if let Some(&value) = forwarded.get(input) {
+                        temps.insert(input.clone(), value);
+                        continue;
+                    }
+                }
+                let field = field_args
+                    .get(input)
+                    .copied()
+                    .ok_or_else(|| format!("unknown field {input}"))?;
+                let temp = stencil::load(&mut b, field);
+                temps.insert(input.clone(), temp);
+            }
+        }
+        // Build the apply.
+        let operand_order: Vec<String> = inputs.clone();
+        let operands: Vec<ValueId> = operand_order.iter().map(|f| temps[f]).collect();
+        let result_ty = stencil::temp_type(&interior, Type::f32());
+        let mut b = OpBuilder::at_end(&mut ctx, timestep_block);
+        let (apply, body) = stencil::build_apply(&mut b, operands, vec![result_ty]);
+        let body_args = ctx.block_args(body).to_vec();
+        let arg_map: HashMap<String, ValueId> =
+            operand_order.iter().cloned().zip(body_args.iter().copied()).collect();
+        let mut ab = OpBuilder::at_end(&mut ctx, body);
+        let result = emit_expr(&mut ab, &equation.expr, &arg_map);
+        stencil::build_return(&mut ctx, body, vec![result]);
+
+        // Store the apply result into the output field.
+        let out_field = field_args[&equation.output];
+        let apply_result = ctx.result(apply, 0);
+        let mut b = OpBuilder::at_end(&mut ctx, timestep_block);
+        stencil::store(&mut b, apply_result, out_field, &interior);
+        forwarded.insert(equation.output.clone(), apply_result);
+    }
+
+    if program.timesteps > 1 {
+        scf::build_yield(&mut ctx, timestep_block, vec![]);
+    }
+    func::build_return(&mut ctx, entry, vec![]);
+
+    Ok(StencilIr { ctx, module, func: kernel })
+}
+
+/// Emits the arithmetic for one expression inside an apply body.
+fn emit_expr(
+    b: &mut OpBuilder<'_>,
+    expr: &Expr,
+    temps: &HashMap<String, ValueId>,
+) -> ValueId {
+    match expr {
+        Expr::Const(c) => arith::constant_f32(b, *c, Type::f32()),
+        Expr::Access { field, offset } => {
+            let temp = temps[field];
+            stencil::access(b, temp, &offset[..], Type::f32())
+        }
+        Expr::Add(lhs, rhs) => {
+            let l = emit_expr(b, lhs, temps);
+            let r = emit_expr(b, rhs, temps);
+            arith::addf(b, l, r)
+        }
+        Expr::Sub(lhs, rhs) => {
+            let l = emit_expr(b, lhs, temps);
+            let r = emit_expr(b, rhs, temps);
+            arith::subf(b, l, r)
+        }
+        Expr::Mul(lhs, rhs) => {
+            let l = emit_expr(b, lhs, temps);
+            let r = emit_expr(b, rhs, temps);
+            arith::mulf(b, l, r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Frontend, GridSpec, StencilEquation};
+    use crate::fortran::parse_fortran;
+    use wse_ir::verify;
+
+    fn small_program() -> StencilProgram {
+        StencilProgram {
+            name: "small".into(),
+            frontend: Frontend::Devito,
+            grid: GridSpec::new(8, 8, 16),
+            fields: vec!["u".into()],
+            equations: vec![StencilEquation::new(
+                "u",
+                crate::ast::star_sum("u", 1, true).scale(1.0 / 7.0),
+            )],
+            timesteps: 4,
+            source: String::new(),
+        }
+    }
+
+    #[test]
+    fn emits_valid_stencil_ir() {
+        let program = small_program();
+        let ir = emit_stencil_ir(&program).expect("emit");
+        let registry = wse_dialects::register_all();
+        let errors = verify(&ir.ctx, ir.module, &registry);
+        assert!(errors.is_empty(), "verification failed: {errors:?}");
+
+        // One load, one apply, one store inside the time loop.
+        assert_eq!(ir.ctx.walk_named(ir.module, stencil::APPLY).len(), 1);
+        assert_eq!(ir.ctx.walk_named(ir.module, stencil::LOAD).len(), 1);
+        assert_eq!(ir.ctx.walk_named(ir.module, stencil::STORE).len(), 1);
+        assert_eq!(ir.ctx.walk_named(ir.module, scf::FOR).len(), 1);
+        // The apply contains 7 accesses.
+        let apply = ir.ctx.walk_named(ir.module, stencil::APPLY)[0];
+        assert_eq!(stencil::collect_access_offsets(&ir.ctx, apply).len(), 7);
+    }
+
+    #[test]
+    fn single_timestep_has_no_loop() {
+        let mut program = small_program();
+        program.timesteps = 1;
+        let ir = emit_stencil_ir(&program).expect("emit");
+        assert!(ir.ctx.walk_named(ir.module, scf::FOR).is_empty());
+    }
+
+    #[test]
+    fn field_bounds_include_halo() {
+        let program = small_program();
+        let bounds = field_bounds(&program);
+        assert_eq!(bounds, stencil::Bounds::new(vec![-1, -1, -1], vec![9, 9, 17]));
+        assert_eq!(interior_bounds(&program), stencil::Bounds::new(vec![0, 0, 0], vec![8, 8, 16]));
+    }
+
+    #[test]
+    fn fortran_listing_roundtrips_to_ir() {
+        let src = r"
+real :: data(64, 32, 32)
+do i = 1, 30
+  do j = 1, 30
+    do k = 1, 62
+      data(k,j,i) = (data(k,j,i) + data(k,j,i+1)) * 0.12345
+    enddo
+  enddo
+enddo
+";
+        let program = parse_fortran("listing1", src).expect("parse");
+        let ir = emit_stencil_ir(&program).expect("emit");
+        let registry = wse_dialects::register_all();
+        assert!(verify(&ir.ctx, ir.module, &registry).is_empty());
+        let apply = ir.ctx.walk_named(ir.module, stencil::APPLY)[0];
+        let offsets = stencil::collect_access_offsets(&ir.ctx, apply);
+        assert!(offsets.contains(&vec![0, 0, 0]));
+        assert!(offsets.contains(&vec![1, 0, 0]));
+    }
+
+    #[test]
+    fn multi_equation_program_emits_multiple_applies() {
+        let mut program = small_program();
+        program.fields.push("v".into());
+        program.equations.push(StencilEquation::new(
+            "v",
+            Expr::center("u").add(Expr::at("v", 0, 1, 0)).scale(0.5),
+        ));
+        program.timesteps = 1;
+        let ir = emit_stencil_ir(&program).expect("emit");
+        assert_eq!(ir.ctx.walk_named(ir.module, stencil::APPLY).len(), 2);
+        // Second apply reads two fields.
+        let second = ir.ctx.walk_named(ir.module, stencil::APPLY)[1];
+        assert_eq!(ir.ctx.operands(second).len(), 2);
+    }
+
+    #[test]
+    fn invalid_program_is_rejected() {
+        let mut program = small_program();
+        program.timesteps = 0;
+        assert!(emit_stencil_ir(&program).is_err());
+    }
+}

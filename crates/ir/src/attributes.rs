@@ -1,0 +1,365 @@
+//! Attributes: compile-time constant data attached to operations.
+//!
+//! Attributes mirror MLIR's attribute system: integers, floats, strings,
+//! booleans, arrays, dictionaries, dense element constants, symbol
+//! references, types-as-attributes and dialect-specific attributes.
+//! Floats are stored by their bit pattern so attributes implement `Eq`,
+//! `Ord` and `Hash` and can be used as map keys and interned.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::types::Type;
+
+/// A float constant stored as its bit pattern (so the containing
+/// [`Attribute`] can implement `Eq`/`Hash`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FloatBits(u64);
+
+impl FloatBits {
+    /// Creates a float attribute payload from an `f64` value.
+    pub fn new(value: f64) -> Self {
+        FloatBits(value.to_bits())
+    }
+
+    /// The stored value.
+    pub fn value(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+/// A dialect-defined attribute (analogous to [`crate::DialectType`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DialectAttr {
+    /// Owning dialect, e.g. `"dmp"`.
+    pub dialect: String,
+    /// Attribute name within the dialect, e.g. `"exchange"`.
+    pub name: String,
+    /// Ordered attribute parameters.
+    pub params: Vec<Attribute>,
+}
+
+impl DialectAttr {
+    /// Creates a new dialect attribute.
+    pub fn new(
+        dialect: impl Into<String>,
+        name: impl Into<String>,
+        params: Vec<Attribute>,
+    ) -> Self {
+        Self { dialect: dialect.into(), name: name.into(), params }
+    }
+}
+
+/// An attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Attribute {
+    /// A unit (presence-only) attribute.
+    Unit,
+    /// A boolean attribute.
+    Bool(bool),
+    /// An integer attribute with an associated type.
+    Int(i64, Type),
+    /// A float attribute with an associated type.
+    Float(FloatBits, Type),
+    /// A string attribute.
+    Str(String),
+    /// An ordered array of attributes.
+    Array(Vec<Attribute>),
+    /// A dictionary of named attributes.
+    Dict(BTreeMap<String, Attribute>),
+    /// A type used as an attribute (e.g. `function_type`).
+    Type(Type),
+    /// A reference to a symbol (e.g. a function name), printed `@name`.
+    SymbolRef(String),
+    /// A dense constant where all elements share one value
+    /// (`dense<0.12345> : tensor<510xf32>`).
+    DenseSplat(FloatBits, Type),
+    /// A dense constant with explicit f32 elements.
+    DenseF32(Vec<FloatBits>, Type),
+    /// An array of integers, used for shapes, offsets and bounds
+    /// (printed `[a, b, c]` with an `: index_array` marker when parsed).
+    IndexArray(Vec<i64>),
+    /// A dialect-defined attribute.
+    Dialect(DialectAttr),
+}
+
+impl Attribute {
+    /// Integer attribute of type `i64`.
+    pub fn int(value: i64) -> Attribute {
+        Attribute::Int(value, Type::int(64))
+    }
+
+    /// Integer attribute with an explicit type.
+    pub fn int_typed(value: i64, ty: Type) -> Attribute {
+        Attribute::Int(value, ty)
+    }
+
+    /// Index-typed integer attribute.
+    pub fn index(value: i64) -> Attribute {
+        Attribute::Int(value, Type::Index)
+    }
+
+    /// `f32` float attribute.
+    pub fn f32(value: f32) -> Attribute {
+        Attribute::Float(FloatBits::new(f64::from(value)), Type::f32())
+    }
+
+    /// `f64` float attribute.
+    pub fn f64(value: f64) -> Attribute {
+        Attribute::Float(FloatBits::new(value), Type::f64())
+    }
+
+    /// String attribute.
+    pub fn str(value: impl Into<String>) -> Attribute {
+        Attribute::Str(value.into())
+    }
+
+    /// Boolean attribute.
+    pub fn bool(value: bool) -> Attribute {
+        Attribute::Bool(value)
+    }
+
+    /// Array attribute.
+    pub fn array(values: Vec<Attribute>) -> Attribute {
+        Attribute::Array(values)
+    }
+
+    /// Dense splat attribute (`dense<v> : ty`).
+    pub fn dense_splat_f32(value: f32, ty: Type) -> Attribute {
+        Attribute::DenseSplat(FloatBits::new(f64::from(value)), ty)
+    }
+
+    /// Dialect attribute helper.
+    pub fn dialect(dialect: &str, name: &str, params: Vec<Attribute>) -> Attribute {
+        Attribute::Dialect(DialectAttr::new(dialect, name, params))
+    }
+
+    /// Returns the integer payload if this is an integer attribute.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Attribute::Int(v, _) => Some(*v),
+            Attribute::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload if this is a float or splat attribute.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Attribute::Float(bits, _) | Attribute::DenseSplat(bits, _) => Some(bits.value()),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a string or symbol attribute.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Attribute::Str(s) | Attribute::SymbolRef(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a boolean attribute.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Attribute::Bool(b) => Some(*b),
+            Attribute::Int(v, _) => Some(*v != 0),
+            _ => None,
+        }
+    }
+
+    /// Returns the array elements if this is an array attribute.
+    pub fn as_array(&self) -> Option<&[Attribute]> {
+        match self {
+            Attribute::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer elements if this is an index-array attribute.
+    pub fn as_index_array(&self) -> Option<&[i64]> {
+        match self {
+            Attribute::IndexArray(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the type payload if this is a type attribute.
+    pub fn as_type(&self) -> Option<&Type> {
+        match self {
+            Attribute::Type(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns the dialect attribute payload if present.
+    pub fn as_dialect(&self) -> Option<&DialectAttr> {
+        match self {
+            Attribute::Dialect(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Recursively rewrites every [`Type`] embedded in this attribute.
+    pub fn map_types(&self, f: &impl Fn(&Type) -> Type) -> Attribute {
+        match self {
+            Attribute::Int(v, t) => Attribute::Int(*v, f(t)),
+            Attribute::Float(v, t) => Attribute::Float(*v, f(t)),
+            Attribute::Type(t) => Attribute::Type(f(t)),
+            Attribute::DenseSplat(v, t) => Attribute::DenseSplat(*v, f(t)),
+            Attribute::DenseF32(v, t) => Attribute::DenseF32(v.clone(), f(t)),
+            Attribute::Array(items) => {
+                Attribute::Array(items.iter().map(|a| a.map_types(f)).collect())
+            }
+            Attribute::Dict(map) => Attribute::Dict(
+                map.iter().map(|(k, v)| (k.clone(), v.map_types(f))).collect(),
+            ),
+            Attribute::Dialect(d) => Attribute::Dialect(DialectAttr::new(
+                d.dialect.clone(),
+                d.name.clone(),
+                d.params.iter().map(|a| a.map_types(f)).collect(),
+            )),
+            other => other.clone(),
+        }
+    }
+}
+
+/// Formats a float the way MLIR does: always with a decimal point or
+/// exponent so it round-trips as a float.
+fn format_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.6e}")
+    } else {
+        format!("{v:e}")
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attribute::Unit => write!(f, "unit"),
+            Attribute::Bool(b) => write!(f, "{b}"),
+            Attribute::Int(v, t) => write!(f, "{v} : {t}"),
+            Attribute::Float(bits, t) => write!(f, "{} : {t}", format_float(bits.value())),
+            Attribute::Str(s) => write!(f, "{s:?}"),
+            Attribute::Array(items) => {
+                write!(f, "[")?;
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "]")
+            }
+            Attribute::Dict(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} = {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Attribute::Type(t) => write!(f, "{t}"),
+            Attribute::SymbolRef(s) => write!(f, "@{s}"),
+            Attribute::DenseSplat(bits, t) => {
+                write!(f, "dense<{}> : {t}", format_float(bits.value()))
+            }
+            Attribute::DenseF32(items, t) => {
+                write!(f, "dense<[")?;
+                for (i, b) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", format_float(b.value()))?;
+                }
+                write!(f, "]> : {t}")
+            }
+            Attribute::IndexArray(items) => {
+                write!(f, "array<")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ">")
+            }
+            Attribute::Dialect(d) => {
+                write!(f, "#{}.{}", d.dialect, d.name)?;
+                if !d.params.is_empty() {
+                    write!(f, "<")?;
+                    for (i, p) in d.params.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{p}")?;
+                    }
+                    write!(f, ">")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// An ordered collection of named attributes attached to an operation.
+pub type AttrMap = BTreeMap<String, Attribute>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_bits_roundtrip() {
+        let b = FloatBits::new(0.12345);
+        assert_eq!(b.value(), 0.12345);
+        assert_eq!(FloatBits::new(0.12345), b);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Attribute::int(7).as_int(), Some(7));
+        assert_eq!(Attribute::f32(1.5).as_float(), Some(1.5));
+        assert_eq!(Attribute::str("hi").as_str(), Some("hi"));
+        assert_eq!(Attribute::bool(true).as_bool(), Some(true));
+        assert_eq!(Attribute::IndexArray(vec![1, 0, 0]).as_index_array(), Some(&[1, 0, 0][..]));
+        assert_eq!(Attribute::Type(Type::f32()).as_type(), Some(&Type::f32()));
+        let arr = Attribute::array(vec![Attribute::int(1), Attribute::int(2)]);
+        assert_eq!(arr.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Attribute::int(42).to_string(), "42 : i64");
+        assert_eq!(Attribute::str("x").to_string(), "\"x\"");
+        assert_eq!(Attribute::SymbolRef("main".into()).to_string(), "@main");
+        assert_eq!(Attribute::IndexArray(vec![1, -1]).to_string(), "array<1, -1>");
+        assert_eq!(Attribute::Unit.to_string(), "unit");
+        assert_eq!(Attribute::bool(false).to_string(), "false");
+        let d = Attribute::dialect("dmp", "topo", vec![Attribute::int(254)]);
+        assert_eq!(d.to_string(), "#dmp.topo<254 : i64>");
+        let splat = Attribute::dense_splat_f32(0.5, Type::tensor(vec![4], Type::f32()));
+        assert_eq!(splat.to_string(), "dense<5e-1> : tensor<4xf32>");
+    }
+
+    #[test]
+    fn dict_display_is_sorted() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), Attribute::int(2));
+        m.insert("a".to_string(), Attribute::int(1));
+        assert_eq!(Attribute::Dict(m).to_string(), "{a = 1 : i64, b = 2 : i64}");
+    }
+
+    #[test]
+    fn map_types_rewrites_nested() {
+        let a = Attribute::array(vec![Attribute::Type(Type::tensor(vec![4], Type::f32()))]);
+        let mapped = a.map_types(&|t| t.tensor_to_memref());
+        assert_eq!(
+            mapped.as_array().unwrap()[0],
+            Attribute::Type(Type::memref(vec![4], Type::f32()))
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! # wse-ir — an MLIR-style SSA IR core
+//!
+//! This crate provides the intermediate-representation infrastructure used
+//! by the wafer-scale stencil compiler: a region-based SSA IR (operations,
+//! blocks, regions, values, types and attributes), an operation builder, a
+//! structural verifier with pluggable dialect verifiers, a generic textual
+//! printer and parser, a pattern-rewriting engine and a pass manager.
+//!
+//! The design mirrors MLIR/xDSL, which the paper's pipeline is built on:
+//! operations are identified by dialect-qualified names (`"stencil.apply"`),
+//! carry attributes, operands, results and nested regions, and are
+//! manipulated by passes registered in a [`PassManager`].
+//!
+//! ```
+//! use wse_ir::{IrContext, OpBuilder, OpSpec, Type, Attribute, print_op};
+//!
+//! # fn main() {
+//! let mut ctx = IrContext::new();
+//! let module = ctx.create_op("builtin.module", vec![], vec![], Default::default(), 1);
+//! let body = ctx.add_block(ctx.op_region(module, 0), vec![]);
+//! let mut b = OpBuilder::at_end(&mut ctx, body);
+//! let c = b.insert_value(
+//!     OpSpec::new("arith.constant")
+//!         .results([Type::f32()])
+//!         .attr("value", Attribute::f32(0.12345)),
+//! );
+//! b.insert(OpSpec::new("func.return").operands([c]));
+//! let text = print_op(&ctx, module);
+//! assert!(text.contains("arith.constant"));
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod attributes;
+pub mod builder;
+pub mod ir;
+pub mod parser;
+pub mod pass;
+pub mod printer;
+pub mod rewrite;
+pub mod types;
+pub mod verifier;
+
+pub use attributes::{AttrMap, Attribute, DialectAttr, FloatBits};
+pub use builder::{InsertPoint, OpBuilder, OpSpec};
+pub use ir::{BlockId, IrContext, IrError, IrResult, OpData, OpId, RegionId, ValueDef, ValueId};
+pub use parser::parse_op;
+pub use pass::{FnPass, Pass, PassError, PassManager, PassResult, PassStatistics};
+pub use printer::print_op;
+pub use rewrite::{apply_patterns_greedy, RewriteOutcome, RewritePattern, Rewriter};
+pub use types::{DialectType, FloatKind, Signedness, Type};
+pub use verifier::{verify, verify_or_error, DialectRegistry, OpVerifier, VerifyError};

@@ -1,0 +1,769 @@
+//! Parser for the generic textual form emitted by [`crate::printer`].
+//!
+//! The parser accepts the generic operation syntax:
+//!
+//! ```text
+//! %0 = "arith.constant"() {value = 1.234500e-1 : f32} : () -> (f32)
+//! ```
+//!
+//! It is primarily used by tests (round-trip properties) and by the
+//! examples to load IR snippets; the pipeline itself constructs IR through
+//! builders.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::attributes::{AttrMap, Attribute, FloatBits};
+use crate::ir::{BlockId, IrContext, IrError, IrResult, OpId, ValueId};
+use crate::types::{Signedness, Type};
+
+/// Parses a single top-level operation (typically a `builtin.module`).
+pub fn parse_op(ctx: &mut IrContext, text: &str) -> IrResult<OpId> {
+    let mut p = Parser::new(text);
+    let op = p.parse_op(ctx, &mut HashMap::new(), None)?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("trailing input after top-level operation"));
+    }
+    Ok(op)
+}
+
+struct Parser<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { text: text.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, msg: &str) -> IrError {
+        let around: String = self.text[self.pos..self.text.len().min(self.pos + 24)]
+            .iter()
+            .map(|&b| b as char)
+            .collect();
+        IrError::new(format!("parse error at byte {}: {msg} (near {around:?})", self.pos))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.text.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.text.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'/' && self.text.get(self.pos + 1) == Some(&b'/') {
+                while let Some(c) = self.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> IrResult<()> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {token:?}")))
+        }
+    }
+
+    fn peek_token(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        self.text[self.pos..].starts_with(token.as_bytes())
+    }
+
+    fn parse_ident(&mut self) -> IrResult<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' || c == b'$' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.error("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.text[start..self.pos]).into_owned())
+    }
+
+    fn parse_string(&mut self) -> IrResult<String> {
+        self.skip_ws();
+        self.expect("\"")?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(c) => out.push(c as char),
+                    None => return Err(self.error("unterminated escape")),
+                },
+                Some(c) => out.push(c as char),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_integer(&mut self) -> IrResult<i64> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.error("expected integer"));
+        }
+        String::from_utf8_lossy(&self.text[start..self.pos])
+            .parse::<i64>()
+            .map_err(|e| self.error(&format!("bad integer: {e}")))
+    }
+
+    /// Parses a number (integer or float) returning the raw text.
+    fn parse_number_text(&mut self) -> IrResult<String> {
+        self.skip_ws();
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'-') | Some(b'+')) {
+            self.pos += 1;
+        }
+        let mut saw_digit = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                saw_digit = true;
+                self.pos += 1;
+            } else if c == b'.' || c == b'e' || c == b'E' {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'-') | Some(b'+')) {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        if !saw_digit {
+            return Err(self.error("expected number"));
+        }
+        Ok(String::from_utf8_lossy(&self.text[start..self.pos]).into_owned())
+    }
+
+    fn parse_value_ref(&mut self, values: &HashMap<usize, ValueId>) -> IrResult<ValueId> {
+        self.expect("%")?;
+        let n = self.parse_integer()? as usize;
+        values.get(&n).copied().ok_or_else(|| self.error(&format!("unknown value %{n}")))
+    }
+
+    // ------------------------------------------------------------------ types
+
+    fn parse_type(&mut self) -> IrResult<Type> {
+        self.skip_ws();
+        if self.peek_token("(") {
+            // Function type: (a, b) -> (c)
+            self.expect("(")?;
+            let mut inputs = Vec::new();
+            if !self.peek_token(")") {
+                loop {
+                    inputs.push(self.parse_type()?);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect(")")?;
+            self.expect("->")?;
+            let mut results = Vec::new();
+            if self.eat("(") {
+                if !self.peek_token(")") {
+                    loop {
+                        results.push(self.parse_type()?);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect(")")?;
+            } else {
+                results.push(self.parse_type()?);
+            }
+            return Ok(Type::Function { inputs, results });
+        }
+        if self.eat("!") {
+            let full = self.parse_ident()?;
+            let (dialect, name) = full
+                .split_once('.')
+                .ok_or_else(|| self.error("dialect type must be !dialect.name"))?;
+            let mut params = Vec::new();
+            if self.eat("<") {
+                if !self.peek_token(">") {
+                    loop {
+                        params.push(self.parse_attribute()?);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect(">")?;
+            }
+            return Ok(Type::dialect(dialect, name, params));
+        }
+        let ident = self.parse_ident()?;
+        match ident.as_str() {
+            "index" => Ok(Type::Index),
+            "none" => Ok(Type::None),
+            "f16" => Ok(Type::f16()),
+            "f32" => Ok(Type::f32()),
+            "f64" => Ok(Type::f64()),
+            "tensor" | "memref" => {
+                self.expect("<")?;
+                let (shape, elem) = self.parse_shaped_body()?;
+                self.expect(">")?;
+                Ok(if ident == "tensor" {
+                    Type::Tensor { shape, elem: Box::new(elem) }
+                } else {
+                    Type::MemRef { shape, elem: Box::new(elem) }
+                })
+            }
+            other => {
+                if let Some(width) = other.strip_prefix("ui") {
+                    let width = width.parse().map_err(|_| self.error("bad int width"))?;
+                    Ok(Type::Integer { width, signedness: Signedness::Unsigned })
+                } else if let Some(width) = other.strip_prefix("si") {
+                    let width = width.parse().map_err(|_| self.error("bad int width"))?;
+                    Ok(Type::Integer { width, signedness: Signedness::Signed })
+                } else if let Some(width) = other.strip_prefix('i') {
+                    let width = width.parse().map_err(|_| self.error("bad int width"))?;
+                    Ok(Type::Integer { width, signedness: Signedness::Signless })
+                } else {
+                    Err(self.error(&format!("unknown type {other:?}")))
+                }
+            }
+        }
+    }
+
+    /// Parses the `d0xd1x...xelem` body of a tensor/memref type.
+    fn parse_shaped_body(&mut self) -> IrResult<(Vec<i64>, Type)> {
+        let mut shape = Vec::new();
+        loop {
+            self.skip_ws();
+            // A dimension is digits or '?' followed by 'x'.
+            let save = self.pos;
+            if self.eat("?") {
+                if self.eat("x") {
+                    shape.push(-1);
+                    continue;
+                }
+                self.pos = save;
+            }
+            let mut digits_end = self.pos;
+            while let Some(c) = self.text.get(digits_end) {
+                if c.is_ascii_digit() {
+                    digits_end += 1;
+                } else {
+                    break;
+                }
+            }
+            if digits_end > self.pos && self.text.get(digits_end) == Some(&b'x') {
+                let dim: i64 = String::from_utf8_lossy(&self.text[self.pos..digits_end])
+                    .parse()
+                    .map_err(|_| self.error("bad dimension"))?;
+                shape.push(dim);
+                self.pos = digits_end + 1;
+                continue;
+            }
+            break;
+        }
+        let elem = self.parse_type()?;
+        Ok((shape, elem))
+    }
+
+    // ------------------------------------------------------------- attributes
+
+    fn parse_attribute(&mut self) -> IrResult<Attribute> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => {
+                let s = self.parse_string()?;
+                Ok(Attribute::Str(s))
+            }
+            Some(b'@') => {
+                self.expect("@")?;
+                Ok(Attribute::SymbolRef(self.parse_ident()?))
+            }
+            Some(b'[') => {
+                self.expect("[")?;
+                let mut items = Vec::new();
+                if !self.peek_token("]") {
+                    loop {
+                        items.push(self.parse_attribute()?);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect("]")?;
+                Ok(Attribute::Array(items))
+            }
+            Some(b'{') => {
+                self.expect("{")?;
+                let mut map = BTreeMap::new();
+                if !self.peek_token("}") {
+                    loop {
+                        let key = self.parse_ident()?;
+                        self.expect("=")?;
+                        let value = self.parse_attribute()?;
+                        map.insert(key, value);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect("}")?;
+                Ok(Attribute::Dict(map))
+            }
+            Some(b'#') => {
+                self.expect("#")?;
+                let full = self.parse_ident()?;
+                let (dialect, name) = full
+                    .split_once('.')
+                    .ok_or_else(|| self.error("dialect attr must be #dialect.name"))?;
+                let mut params = Vec::new();
+                if self.eat("<") {
+                    if !self.peek_token(">") {
+                        loop {
+                            params.push(self.parse_attribute()?);
+                            if !self.eat(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(">")?;
+                }
+                Ok(Attribute::dialect(dialect, name, params))
+            }
+            Some(b'!') | Some(b'(') => Ok(Attribute::Type(self.parse_type()?)),
+            Some(c) if c.is_ascii_digit() || c == b'-' || c == b'+' => self.parse_number_attr(),
+            _ => {
+                let save = self.pos;
+                let ident = self.parse_ident()?;
+                match ident.as_str() {
+                    "unit" => Ok(Attribute::Unit),
+                    "true" => Ok(Attribute::Bool(true)),
+                    "false" => Ok(Attribute::Bool(false)),
+                    "array" => {
+                        self.expect("<")?;
+                        let mut items = Vec::new();
+                        if !self.peek_token(">") {
+                            loop {
+                                items.push(self.parse_integer()?);
+                                if !self.eat(",") {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(">")?;
+                        Ok(Attribute::IndexArray(items))
+                    }
+                    "dense" => {
+                        self.expect("<")?;
+                        if self.peek_token("[") {
+                            self.expect("[")?;
+                            let mut items = Vec::new();
+                            if !self.peek_token("]") {
+                                loop {
+                                    let t = self.parse_number_text()?;
+                                    let v: f64 = t
+                                        .parse()
+                                        .map_err(|_| self.error("bad float in dense"))?;
+                                    items.push(FloatBits::new(v));
+                                    if !self.eat(",") {
+                                        break;
+                                    }
+                                }
+                            }
+                            self.expect("]")?;
+                            self.expect(">")?;
+                            self.expect(":")?;
+                            let ty = self.parse_type()?;
+                            Ok(Attribute::DenseF32(items, ty))
+                        } else {
+                            let t = self.parse_number_text()?;
+                            let v: f64 =
+                                t.parse().map_err(|_| self.error("bad float in dense"))?;
+                            self.expect(">")?;
+                            self.expect(":")?;
+                            let ty = self.parse_type()?;
+                            Ok(Attribute::DenseSplat(FloatBits::new(v), ty))
+                        }
+                    }
+                    _ => {
+                        // Fall back to parsing as a type attribute (f32, i16, tensor<..>...).
+                        self.pos = save;
+                        Ok(Attribute::Type(self.parse_type()?))
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_number_attr(&mut self) -> IrResult<Attribute> {
+        let text = self.parse_number_text()?;
+        let is_float = text.contains('.') || text.contains('e') || text.contains('E');
+        let ty = if self.eat(":") { self.parse_type()? } else if is_float {
+            Type::f64()
+        } else {
+            Type::int(64)
+        };
+        if is_float || ty.is_float() {
+            let v: f64 = text.parse().map_err(|_| self.error("bad float"))?;
+            Ok(Attribute::Float(FloatBits::new(v), ty))
+        } else {
+            let v: i64 = text.parse().map_err(|_| self.error("bad integer"))?;
+            Ok(Attribute::Int(v, ty))
+        }
+    }
+
+    // ------------------------------------------------------------- operations
+
+    fn parse_op(
+        &mut self,
+        ctx: &mut IrContext,
+        values: &mut HashMap<usize, ValueId>,
+        parent: Option<BlockId>,
+    ) -> IrResult<OpId> {
+        self.skip_ws();
+        // Optional results: %0, %1 =
+        let mut result_names = Vec::new();
+        let save = self.pos;
+        if self.peek() == Some(b'%') {
+            loop {
+                self.expect("%")?;
+                result_names.push(self.parse_integer()? as usize);
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            if !self.eat("=") {
+                // Not a result list after all (shouldn't happen in generic form).
+                self.pos = save;
+                result_names.clear();
+            }
+        }
+        let name = self.parse_string()?;
+        self.expect("(")?;
+        let mut operands = Vec::new();
+        if !self.peek_token(")") {
+            loop {
+                operands.push(self.parse_value_ref(values)?);
+                if !self.eat(",") {
+                    break;
+                }
+            }
+        }
+        self.expect(")")?;
+
+        let mut attrs = AttrMap::new();
+        if self.eat("{") {
+            if !self.peek_token("}") {
+                loop {
+                    let key = self.parse_ident()?;
+                    self.expect("=")?;
+                    let value = self.parse_attribute()?;
+                    attrs.insert(key, value);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect("}")?;
+        }
+
+        // Regions (parsed after creating the op so nested ops can be attached).
+        let mut region_sources = Vec::new();
+        if self.peek_token("(") && self.lookahead_region() {
+            self.expect("(")?;
+            loop {
+                self.expect("{")?;
+                region_sources.push(());
+                // We parse the region content lazily below; record position.
+                break;
+            }
+            // Rewind: regions need the op created first. Simpler: parse regions
+            // into a detached op afterwards. To keep a single pass we create
+            // the op now with zero regions and fill them while parsing.
+            // (handled below)
+            self.pos -= 1; // step back before '{'
+            // fallthrough
+        } else {
+            region_sources.clear();
+        }
+
+        // Create the op shell first (results resolved after trailing type).
+        let op = ctx.create_op(name, operands, Vec::new(), attrs, 0);
+        if let Some(block) = parent {
+            ctx.append_op(block, op);
+        }
+
+        // Parse regions if present: " ({ ... }, { ... })".
+        if !region_sources.is_empty() || (self.peek_token("{") && false) {
+            // first region already positioned at '{'
+            loop {
+                self.expect("{")?;
+                let region = ctx.add_region(op);
+                self.parse_region_body(ctx, values, region)?;
+                self.expect("}")?;
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect(")")?;
+        }
+
+        // Trailing type: ":" (operand types) -> (result types)
+        self.expect(":")?;
+        self.expect("(")?;
+        if !self.peek_token(")") {
+            loop {
+                let _ = self.parse_type()?;
+                if !self.eat(",") {
+                    break;
+                }
+            }
+        }
+        self.expect(")")?;
+        self.expect("->")?;
+        let mut result_types = Vec::new();
+        if self.eat("(") {
+            if !self.peek_token(")") {
+                loop {
+                    result_types.push(self.parse_type()?);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect(")")?;
+        } else {
+            result_types.push(self.parse_type()?);
+        }
+
+        if result_types.len() != result_names.len() {
+            return Err(self.error(&format!(
+                "op has {} result names but {} result types",
+                result_names.len(),
+                result_types.len()
+            )));
+        }
+        // Materialize results now.
+        for (index, ty) in result_types.into_iter().enumerate() {
+            let v = ctx.add_op_result(op, ty, index);
+            values.insert(result_names[index], v);
+        }
+        Ok(op)
+    }
+
+    /// Looks ahead to decide whether `(` starts a region list (`({`) or the
+    /// trailing type.
+    fn lookahead_region(&mut self) -> bool {
+        self.skip_ws();
+        let mut i = self.pos;
+        if self.text.get(i) != Some(&b'(') {
+            return false;
+        }
+        i += 1;
+        while let Some(c) = self.text.get(i) {
+            if c.is_ascii_whitespace() {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        self.text.get(i) == Some(&b'{')
+    }
+
+    fn parse_region_body(
+        &mut self,
+        ctx: &mut IrContext,
+        values: &mut HashMap<usize, ValueId>,
+        region: crate::ir::RegionId,
+    ) -> IrResult<()> {
+        // Zero or more blocks: ^bbN(%a: ty, ...): ops...
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'^') {
+                break;
+            }
+            self.expect("^")?;
+            let _label = self.parse_ident()?;
+            let mut arg_names = Vec::new();
+            let mut arg_types = Vec::new();
+            if self.eat("(") {
+                if !self.peek_token(")") {
+                    loop {
+                        self.expect("%")?;
+                        arg_names.push(self.parse_integer()? as usize);
+                        self.expect(":")?;
+                        arg_types.push(self.parse_type()?);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect(")")?;
+            }
+            self.expect(":")?;
+            let block = ctx.add_block(region, arg_types);
+            for (name, &arg) in arg_names.iter().zip(ctx.block_args(block)) {
+                values.insert(*name, arg);
+            }
+            // Ops until '}' or next '^'.
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b'}') | Some(b'^') | None => break,
+                    _ => {
+                        self.parse_op(ctx, values, Some(block))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl IrContext {
+    /// Adds a result value to an existing op (used by the parser, which
+    /// learns result types only after the op body).
+    pub(crate) fn add_op_result(&mut self, op: OpId, ty: Type, index: usize) -> ValueId {
+        let v = self.new_value(ty, crate::ir::ValueDef::OpResult { op, index });
+        self.op_mut(op).results.push(v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_op;
+
+    #[test]
+    fn parse_simple_module() {
+        let text = r#"
+"builtin.module"() ({
+^bb0():
+  %0 = "arith.constant"() {value = 1.234500e-1 : f32} : () -> (f32)
+  %1 = "arith.addf"(%0, %0) : (f32, f32) -> (f32)
+  "func.return"(%1) : (f32) -> ()
+}) : () -> ()
+"#;
+        let mut ctx = IrContext::new();
+        let module = parse_op(&mut ctx, text).expect("parse");
+        assert_eq!(ctx.op_name(module), "builtin.module");
+        let ops = ctx.walk(module);
+        assert_eq!(ops.len(), 4);
+        assert_eq!(ctx.op_name(ops[1]), "arith.constant");
+        assert_eq!(ctx.attr(ops[1], "value").unwrap().as_float(), Some(0.12345));
+    }
+
+    #[test]
+    fn parse_block_arguments() {
+        let text = r#"
+"stencil.apply"() ({
+^bb0(%0: tensor<510xf32>, %1: index):
+  "stencil.return"(%0) : (tensor<510xf32>) -> ()
+}) : () -> ()
+"#;
+        let mut ctx = IrContext::new();
+        let apply = parse_op(&mut ctx, text).expect("parse");
+        let block = ctx.entry_block(ctx.op_region(apply, 0)).unwrap();
+        assert_eq!(ctx.block_args(block).len(), 2);
+        assert_eq!(ctx.value_type(ctx.block_args(block)[0]), &Type::tensor(vec![510], Type::f32()));
+    }
+
+    #[test]
+    fn parse_dialect_types_and_attrs() {
+        let text = r#"
+"test.op"() {swaps = [#csl_stencil.exchange<array<1, 0>>], topo = #dmp.topo<254 : i64, 254 : i64>, ty = !stencil.temp<array<-1, 255>, f32>} : () -> ()
+"#;
+        let mut ctx = IrContext::new();
+        let op = parse_op(&mut ctx, text).expect("parse");
+        let swaps = ctx.attr(op, "swaps").unwrap().as_array().unwrap();
+        assert_eq!(swaps.len(), 1);
+        let topo = ctx.attr(op, "topo").unwrap().as_dialect().unwrap();
+        assert_eq!(topo.dialect, "dmp");
+        assert_eq!(topo.params.len(), 2);
+        let ty = ctx.attr(op, "ty").unwrap().as_type().unwrap();
+        assert!(ty.as_dialect_named("stencil", "temp").is_some());
+    }
+
+    #[test]
+    fn roundtrip_print_parse_print() {
+        let text = r#"
+"builtin.module"() ({
+^bb0():
+  %0 = "arith.constant"() {value = dense<1.234500e-1> : tensor<510xf32>} : () -> (tensor<510xf32>)
+  %1 = "arith.mulf"(%0, %0) : (tensor<510xf32>, tensor<510xf32>) -> (tensor<510xf32>)
+  "func.return"(%1) : (tensor<510xf32>) -> ()
+}) : () -> ()
+"#;
+        let mut ctx = IrContext::new();
+        let module = parse_op(&mut ctx, text).expect("parse 1");
+        let printed = print_op(&ctx, module);
+        let mut ctx2 = IrContext::new();
+        let module2 = parse_op(&mut ctx2, &printed).expect("parse 2");
+        let printed2 = print_op(&ctx2, module2);
+        assert_eq!(printed, printed2, "printer output must be a fixed point");
+    }
+
+    #[test]
+    fn error_on_unknown_value() {
+        let text = r#""test.op"(%7) : (f32) -> ()"#;
+        let mut ctx = IrContext::new();
+        assert!(parse_op(&mut ctx, text).is_err());
+    }
+
+    #[test]
+    fn error_on_trailing_garbage() {
+        let text = r#""test.op"() : () -> () garbage"#;
+        let mut ctx = IrContext::new();
+        assert!(parse_op(&mut ctx, text).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! The pass framework: [`Pass`], [`PassManager`] and pass pipelines.
+//!
+//! Passes transform a module in place.  The [`PassManager`] runs an ordered
+//! list of passes, optionally verifying the IR after each one (mirroring
+//! `mlir-opt --verify-each`), and records simple statistics that the
+//! benchmark harness reports.
+
+use std::fmt;
+use std::time::Instant;
+
+use crate::ir::{IrContext, OpId};
+use crate::verifier::{verify_or_error, DialectRegistry};
+
+/// Error produced by a failing pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassError {
+    /// Name of the failing pass.
+    pub pass: String,
+    /// Error description.
+    pub message: String,
+}
+
+impl PassError {
+    /// Creates a new pass error.
+    pub fn new(pass: impl Into<String>, message: impl Into<String>) -> Self {
+        Self { pass: pass.into(), message: message.into() }
+    }
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass '{}' failed: {}", self.pass, self.message)
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// Result alias for passes.
+pub type PassResult = Result<(), PassError>;
+
+/// A transformation applied to a module.
+pub trait Pass {
+    /// Unique, kebab-case pass name (e.g. `"convert-stencil-to-csl-stencil"`).
+    fn name(&self) -> &str;
+
+    /// Runs the pass on the module rooted at `module`.
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult;
+}
+
+/// Statistics about one executed pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassStatistics {
+    /// Pass name.
+    pub name: String,
+    /// Wall-clock duration in seconds.
+    pub seconds: f64,
+    /// Number of live operations after the pass.
+    pub ops_after: usize,
+}
+
+/// Runs a sequence of passes over a module.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    registry: DialectRegistry,
+    verify_each: bool,
+    statistics: Vec<PassStatistics>,
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.pass_names())
+            .field("verify_each", &self.verify_each)
+            .finish()
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PassManager {
+    /// Creates an empty pass manager with verification disabled.
+    pub fn new() -> Self {
+        Self {
+            passes: Vec::new(),
+            registry: DialectRegistry::new(),
+            verify_each: false,
+            statistics: Vec::new(),
+        }
+    }
+
+    /// Enables or disables IR verification after every pass.
+    pub fn verify_each(mut self, enabled: bool) -> Self {
+        self.verify_each = enabled;
+        self
+    }
+
+    /// Sets the dialect registry used for verification.
+    pub fn with_registry(mut self, registry: DialectRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Appends a pass.
+    pub fn add_pass(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Appends a pass (builder style).
+    pub fn with_pass(mut self, pass: Box<dyn Pass>) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Names of the registered passes in execution order.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Number of registered passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// True if no passes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Statistics collected by the last [`PassManager::run`].
+    pub fn statistics(&self) -> &[PassStatistics] {
+        &self.statistics
+    }
+
+    /// Runs all passes in order.  Stops and returns the first failure.
+    pub fn run(&mut self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        self.statistics.clear();
+        for pass in &self.passes {
+            let start = Instant::now();
+            pass.run(ctx, module)?;
+            if self.verify_each {
+                verify_or_error(ctx, module, &self.registry)
+                    .map_err(|msg| PassError::new(pass.name(), msg))?;
+            }
+            self.statistics.push(PassStatistics {
+                name: pass.name().to_string(),
+                seconds: start.elapsed().as_secs_f64(),
+                ops_after: ctx.num_live_ops(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A pass defined by a closure; convenient for tests and simple rewrites.
+pub struct FnPass<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnPass<F>
+where
+    F: Fn(&mut IrContext, OpId) -> PassResult,
+{
+    /// Wraps a closure as a pass.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self { name: name.into(), f }
+    }
+}
+
+impl<F> Pass for FnPass<F>
+where
+    F: Fn(&mut IrContext, OpId) -> PassResult,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        (self.f)(ctx, module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{AttrMap, Attribute};
+    use crate::types::Type;
+
+    fn make_module(ctx: &mut IrContext) -> OpId {
+        let module = ctx.create_op("builtin.module", vec![], vec![], AttrMap::new(), 1);
+        let body = ctx.add_block(ctx.op_region(module, 0), vec![]);
+        let c = ctx.create_op("arith.constant", vec![], vec![Type::f32()], AttrMap::new(), 0);
+        ctx.append_op(body, c);
+        module
+    }
+
+    #[test]
+    fn passes_run_in_order() {
+        let mut ctx = IrContext::new();
+        let module = make_module(&mut ctx);
+        let mut pm = PassManager::new()
+            .with_pass(Box::new(FnPass::new("mark-a", |ctx: &mut IrContext, m: OpId| {
+                ctx.set_attr(m, "a", Attribute::int(1));
+                Ok(())
+            })))
+            .with_pass(Box::new(FnPass::new("mark-b", |ctx: &mut IrContext, m: OpId| {
+                assert!(ctx.attr(m, "a").is_some(), "first pass must have run");
+                ctx.set_attr(m, "b", Attribute::int(2));
+                Ok(())
+            })));
+        assert_eq!(pm.pass_names(), vec!["mark-a", "mark-b"]);
+        assert_eq!(pm.len(), 2);
+        pm.run(&mut ctx, module).unwrap();
+        assert!(ctx.attr(module, "b").is_some());
+        assert_eq!(pm.statistics().len(), 2);
+        assert!(pm.statistics()[0].ops_after >= 1);
+    }
+
+    #[test]
+    fn failing_pass_stops_pipeline() {
+        let mut ctx = IrContext::new();
+        let module = make_module(&mut ctx);
+        let mut pm = PassManager::new()
+            .with_pass(Box::new(FnPass::new("fails", |_: &mut IrContext, _: OpId| {
+                Err(PassError::new("fails", "intentional"))
+            })))
+            .with_pass(Box::new(FnPass::new("never-runs", |ctx: &mut IrContext, m: OpId| {
+                ctx.set_attr(m, "never", Attribute::Unit);
+                Ok(())
+            })));
+        let err = pm.run(&mut ctx, module).unwrap_err();
+        assert_eq!(err.pass, "fails");
+        assert!(ctx.attr(module, "never").is_none());
+    }
+
+    #[test]
+    fn verify_each_catches_broken_ir() {
+        let mut ctx = IrContext::new();
+        let module = make_module(&mut ctx);
+        let mut pm = PassManager::new().verify_each(true).with_pass(Box::new(FnPass::new(
+            "breaks-ir",
+            |ctx: &mut IrContext, m: OpId| {
+                // Erase the constant but leave a new op using its result.
+                let body = ctx.entry_block(ctx.op_region(m, 0)).unwrap();
+                let c = ctx.block_ops(body)[0];
+                let v = ctx.result(c, 0);
+                let user =
+                    ctx.create_op("arith.negf", vec![v], vec![Type::f32()], AttrMap::new(), 0);
+                ctx.append_op(body, user);
+                ctx.erase_op(c);
+                Ok(())
+            },
+        )));
+        let err = pm.run(&mut ctx, module).unwrap_err();
+        assert!(err.message.contains("verification error"));
+    }
+
+    #[test]
+    fn empty_pass_manager_is_noop() {
+        let mut ctx = IrContext::new();
+        let module = make_module(&mut ctx);
+        let mut pm = PassManager::new();
+        assert!(pm.is_empty());
+        pm.run(&mut ctx, module).unwrap();
+        assert!(pm.statistics().is_empty());
+    }
+}

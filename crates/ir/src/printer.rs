@@ -1,0 +1,201 @@
+//! Generic textual printer for the IR.
+//!
+//! The printer emits MLIR's *generic* operation form, which is regular
+//! enough to be parsed back by [`crate::parser`]:
+//!
+//! ```text
+//! %0, %1 = "dialect.op"(%2) {attr = 3 : i64} ({
+//! ^bb0(%3: f32):
+//!   ...
+//! }) : (f32) -> (f32, f32)
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write;
+
+use crate::ir::{BlockId, IrContext, OpId, ValueId};
+
+/// Printer state: assigns sequential `%N` names to values.
+#[derive(Debug, Default)]
+struct PrinterState {
+    names: HashMap<ValueId, usize>,
+    next: usize,
+}
+
+impl PrinterState {
+    fn name_of(&mut self, v: ValueId) -> usize {
+        if let Some(&n) = self.names.get(&v) {
+            return n;
+        }
+        let n = self.next;
+        self.next += 1;
+        self.names.insert(v, n);
+        n
+    }
+}
+
+/// Prints an operation (and everything nested inside it) in generic form.
+pub fn print_op(ctx: &IrContext, op: OpId) -> String {
+    let mut state = PrinterState::default();
+    let mut out = String::new();
+    print_op_rec(ctx, op, &mut state, 0, &mut out);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_op_rec(ctx: &IrContext, op: OpId, state: &mut PrinterState, level: usize, out: &mut String) {
+    indent(out, level);
+    let results = ctx.results(op);
+    if !results.is_empty() {
+        for (i, &r) in results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let n = state.name_of(r);
+            let _ = write!(out, "%{n}");
+        }
+        out.push_str(" = ");
+    }
+    let _ = write!(out, "\"{}\"(", ctx.op_name(op));
+    for (i, &operand) in ctx.operands(op).iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let n = state.name_of(operand);
+        let _ = write!(out, "%{n}");
+    }
+    out.push(')');
+
+    let data = ctx.op(op);
+    if !data.attrs.is_empty() {
+        out.push_str(" {");
+        for (i, (k, v)) in data.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{k} = {v}");
+        }
+        out.push('}');
+    }
+
+    if !data.regions.is_empty() {
+        out.push_str(" (");
+        for (ri, &region) in data.regions.iter().enumerate() {
+            if ri > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\n");
+            for (bi, &block) in ctx.region_blocks(region).iter().enumerate() {
+                print_block(ctx, block, bi, state, level + 1, out);
+            }
+            indent(out, level);
+            out.push('}');
+        }
+        out.push(')');
+    }
+
+    // Trailing function type.
+    out.push_str(" : (");
+    for (i, &operand) in ctx.operands(op).iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}", ctx.value_type(operand));
+    }
+    out.push_str(") -> (");
+    for (i, &r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}", ctx.value_type(r));
+    }
+    out.push_str(")\n");
+}
+
+fn print_block(
+    ctx: &IrContext,
+    block: BlockId,
+    block_index: usize,
+    state: &mut PrinterState,
+    level: usize,
+    out: &mut String,
+) {
+    indent(out, level.saturating_sub(1));
+    let _ = write!(out, "^bb{block_index}(");
+    for (i, &arg) in ctx.block_args(block).iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let n = state.name_of(arg);
+        let _ = write!(out, "%{n}: {}", ctx.value_type(arg));
+    }
+    out.push_str("):\n");
+    for &op in ctx.block_ops(block) {
+        print_op_rec(ctx, op, state, level, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{AttrMap, Attribute};
+    use crate::builder::{OpBuilder, OpSpec};
+    use crate::types::Type;
+
+    #[test]
+    fn prints_flat_module() {
+        let mut ctx = IrContext::new();
+        let module = ctx.create_op("builtin.module", vec![], vec![], AttrMap::new(), 1);
+        let body = ctx.add_block(ctx.op_region(module, 0), vec![]);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let c = b.insert_value(
+            OpSpec::new("arith.constant")
+                .results([Type::f32()])
+                .attr("value", Attribute::f32(0.12345)),
+        );
+        b.insert(OpSpec::new("func.return").operands([c]));
+        let text = print_op(&ctx, module);
+        assert!(text.contains("\"builtin.module\"()"));
+        assert!(text.contains("%0 = \"arith.constant\"()"));
+        assert!(text.contains("\"func.return\"(%0)"));
+        assert!(text.contains(": (f32) -> ()"));
+    }
+
+    #[test]
+    fn prints_block_arguments_and_nested_regions() {
+        let mut ctx = IrContext::new();
+        let module = ctx.create_op("builtin.module", vec![], vec![], AttrMap::new(), 1);
+        let body = ctx.add_block(ctx.op_region(module, 0), vec![]);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let apply = b.insert(
+            OpSpec::new("stencil.apply").results([Type::tensor(vec![4], Type::f32())]).regions(1),
+        );
+        let blk = ctx.add_block(ctx.op_region(apply, 0), vec![Type::f32()]);
+        let arg = ctx.block_args(blk)[0];
+        let mut b = OpBuilder::at_end(&mut ctx, blk);
+        b.insert(OpSpec::new("stencil.return").operands([arg]));
+        let text = print_op(&ctx, module);
+        assert!(text.contains("^bb0(%1: f32):"));
+        assert!(text.contains("\"stencil.return\"(%1)"));
+    }
+
+    #[test]
+    fn operand_and_result_names_are_stable() {
+        let mut ctx = IrContext::new();
+        let module = ctx.create_op("builtin.module", vec![], vec![], AttrMap::new(), 1);
+        let body = ctx.add_block(ctx.op_region(module, 0), vec![]);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let a = b.insert_value(OpSpec::new("arith.constant").results([Type::f32()]));
+        let c = b.insert_value(OpSpec::new("arith.constant").results([Type::f32()]));
+        b.insert_value(OpSpec::new("arith.addf").operands([a, c]).results([Type::f32()]));
+        let text = print_op(&ctx, module);
+        // Two constants then the add using both.
+        assert!(text.contains("\"arith.addf\"(%0, %1)"));
+        assert!(text.contains("%2 = \"arith.addf\""));
+    }
+}

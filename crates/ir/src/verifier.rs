@@ -1,0 +1,306 @@
+//! Structural IR verification plus a registry for dialect op verifiers.
+//!
+//! The structural verifier checks invariants that must hold for any IR
+//! (parent links are consistent, operands refer to live values, SSA values
+//! are defined before use within a block).  Dialect crates register
+//! per-operation verifiers in a [`DialectRegistry`] which the
+//! [`crate::PassManager`] can run after each pass.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use crate::ir::{IrContext, OpId, ValueDef, ValueId};
+
+/// A dialect-provided verifier for one operation kind.
+pub type OpVerifier = fn(&IrContext, OpId) -> Result<(), String>;
+
+/// Registry mapping operation names to their verifiers.
+#[derive(Default, Clone)]
+pub struct DialectRegistry {
+    verifiers: HashMap<String, OpVerifier>,
+    dialects: HashSet<String>,
+}
+
+impl std::fmt::Debug for DialectRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DialectRegistry")
+            .field("dialects", &self.dialects)
+            .field("num_verifiers", &self.verifiers.len())
+            .finish()
+    }
+}
+
+impl DialectRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a dialect as known (op names with unknown dialects are
+    /// reported by [`verify`] when `strict_dialects` is enabled).
+    pub fn register_dialect(&mut self, name: impl Into<String>) {
+        self.dialects.insert(name.into());
+    }
+
+    /// Registers a verifier for the given op name.
+    pub fn register_op_verifier(&mut self, op_name: impl Into<String>, verifier: OpVerifier) {
+        self.verifiers.insert(op_name.into(), verifier);
+    }
+
+    /// Returns the verifier for an op name, if any.
+    pub fn verifier_for(&self, op_name: &str) -> Option<&OpVerifier> {
+        self.verifiers.get(op_name)
+    }
+
+    /// Returns true if the dialect has been registered.
+    pub fn has_dialect(&self, name: &str) -> bool {
+        self.dialects.contains(name)
+    }
+
+    /// Registered dialect names, sorted.
+    pub fn dialect_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.dialects.iter().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The offending operation.
+    pub op: OpId,
+    /// The operation name.
+    pub op_name: String,
+    /// Error description.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({}): {}", self.op, self.op_name, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies structural invariants of the IR rooted at `root` and runs any
+/// registered dialect verifiers.  Returns all failures found.
+pub fn verify(ctx: &IrContext, root: OpId, registry: &DialectRegistry) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    let mut defined: HashSet<ValueId> = HashSet::new();
+    verify_op(ctx, root, registry, &mut defined, &mut errors);
+    errors
+}
+
+/// Convenience wrapper returning `Err` with a formatted message if any
+/// verification error is found.
+pub fn verify_or_error(
+    ctx: &IrContext,
+    root: OpId,
+    registry: &DialectRegistry,
+) -> Result<(), String> {
+    let errors = verify(ctx, root, registry);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        let mut msg = format!("{} verification error(s):", errors.len());
+        for e in &errors {
+            msg.push_str("\n  - ");
+            msg.push_str(&e.to_string());
+        }
+        Err(msg)
+    }
+}
+
+fn error(errors: &mut Vec<VerifyError>, ctx: &IrContext, op: OpId, message: impl Into<String>) {
+    errors.push(VerifyError { op, op_name: ctx.op_name(op).to_string(), message: message.into() });
+}
+
+fn verify_op(
+    ctx: &IrContext,
+    op: OpId,
+    registry: &DialectRegistry,
+    defined: &mut HashSet<ValueId>,
+    errors: &mut Vec<VerifyError>,
+) {
+    if !ctx.op_is_live(op) {
+        error(errors, ctx, op, "operation has been erased but is still referenced");
+        return;
+    }
+    // Operation name must be dialect-qualified.
+    let name = ctx.op_name(op);
+    if !name.contains('.') {
+        error(errors, ctx, op, "operation name is not dialect qualified");
+    }
+    // Operands must be live and (for values defined in the same block chain)
+    // already defined.
+    for (idx, &operand) in ctx.operands(op).iter().enumerate() {
+        if !ctx.value_is_live(operand) {
+            error(errors, ctx, op, format!("operand #{idx} refers to an erased value"));
+            continue;
+        }
+        match ctx.value_def(operand) {
+            ValueDef::OpResult { op: def_op, .. } => {
+                // The defining op must still be live.
+                if !ctx.op_is_live(def_op) {
+                    error(
+                        errors,
+                        ctx,
+                        op,
+                        format!("operand #{idx} is a result of erased {def_op}"),
+                    );
+                } else if !defined.contains(&operand) {
+                    error(
+                        errors,
+                        ctx,
+                        op,
+                        format!("operand #{idx} used before its definition ({def_op})"),
+                    );
+                }
+            }
+            ValueDef::BlockArg { .. } => {
+                if !defined.contains(&operand) {
+                    error(
+                        errors,
+                        ctx,
+                        op,
+                        format!("operand #{idx} uses a block argument from a non-enclosing block"),
+                    );
+                }
+            }
+        }
+    }
+    // Parent/child link consistency for regions and blocks.
+    for &region in ctx.op_regions(op) {
+        if ctx.region_parent_op(region) != Some(op) {
+            error(errors, ctx, op, "region parent link is inconsistent");
+        }
+        for &block in ctx.region_blocks(region) {
+            if ctx.parent_region(block) != Some(region) {
+                error(errors, ctx, op, "block parent link is inconsistent");
+            }
+            for &arg in ctx.block_args(block) {
+                defined.insert(arg);
+            }
+            for &nested in ctx.block_ops(block) {
+                if ctx.parent_block(nested) != Some(block) {
+                    error(errors, ctx, nested, "op parent link is inconsistent");
+                }
+                verify_op(ctx, nested, registry, defined, errors);
+            }
+        }
+    }
+    // Results become defined after the op (they were inserted during the
+    // nested walk for region-carrying ops, which is fine: regions execute
+    // "inside" the op).
+    for &r in ctx.results(op) {
+        defined.insert(r);
+    }
+    // Dialect-specific verification.
+    if let Some(v) = registry.verifier_for(name) {
+        if let Err(msg) = v(ctx, op) {
+            error(errors, ctx, op, msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::AttrMap;
+    use crate::types::Type;
+
+    fn module_with_block(ctx: &mut IrContext) -> (OpId, crate::ir::BlockId) {
+        let module = ctx.create_op("builtin.module", vec![], vec![], AttrMap::new(), 1);
+        let body = ctx.add_block(ctx.op_region(module, 0), vec![]);
+        (module, body)
+    }
+
+    #[test]
+    fn valid_ir_verifies() {
+        let mut ctx = IrContext::new();
+        let (module, body) = module_with_block(&mut ctx);
+        let c = ctx.create_op("arith.constant", vec![], vec![Type::f32()], AttrMap::new(), 0);
+        ctx.append_op(body, c);
+        let v = ctx.result(c, 0);
+        let add = ctx.create_op("arith.addf", vec![v, v], vec![Type::f32()], AttrMap::new(), 0);
+        ctx.append_op(body, add);
+        assert!(verify(&ctx, module, &DialectRegistry::new()).is_empty());
+    }
+
+    #[test]
+    fn use_before_def_is_reported() {
+        let mut ctx = IrContext::new();
+        let (module, body) = module_with_block(&mut ctx);
+        let c = ctx.create_op("arith.constant", vec![], vec![Type::f32()], AttrMap::new(), 0);
+        let v = ctx.result(c, 0);
+        let add = ctx.create_op("arith.addf", vec![v, v], vec![Type::f32()], AttrMap::new(), 0);
+        // Insert the use *before* the definition.
+        ctx.append_op(body, add);
+        ctx.append_op(body, c);
+        let errors = verify(&ctx, module, &DialectRegistry::new());
+        assert!(errors.iter().any(|e| e.message.contains("before its definition")));
+    }
+
+    #[test]
+    fn erased_operand_is_reported() {
+        let mut ctx = IrContext::new();
+        let (module, body) = module_with_block(&mut ctx);
+        let c = ctx.create_op("arith.constant", vec![], vec![Type::f32()], AttrMap::new(), 0);
+        ctx.append_op(body, c);
+        let v = ctx.result(c, 0);
+        let add = ctx.create_op("arith.addf", vec![v, v], vec![Type::f32()], AttrMap::new(), 0);
+        ctx.append_op(body, add);
+        ctx.erase_op(c);
+        let errors = verify(&ctx, module, &DialectRegistry::new());
+        assert!(!errors.is_empty());
+    }
+
+    #[test]
+    fn unqualified_name_is_reported() {
+        let mut ctx = IrContext::new();
+        let (module, body) = module_with_block(&mut ctx);
+        let bad = ctx.create_op("unqualified", vec![], vec![], AttrMap::new(), 0);
+        ctx.append_op(body, bad);
+        let errors = verify(&ctx, module, &DialectRegistry::new());
+        assert!(errors.iter().any(|e| e.message.contains("not dialect qualified")));
+    }
+
+    #[test]
+    fn dialect_verifier_runs() {
+        fn needs_value_attr(ctx: &IrContext, op: OpId) -> Result<(), String> {
+            if ctx.attr(op, "value").is_none() {
+                return Err("missing `value` attribute".to_string());
+            }
+            Ok(())
+        }
+        let mut registry = DialectRegistry::new();
+        registry.register_dialect("arith");
+        registry.register_op_verifier("arith.constant", needs_value_attr);
+        assert!(registry.has_dialect("arith"));
+        assert!(!registry.has_dialect("scf"));
+
+        let mut ctx = IrContext::new();
+        let (module, body) = module_with_block(&mut ctx);
+        let c = ctx.create_op("arith.constant", vec![], vec![Type::f32()], AttrMap::new(), 0);
+        ctx.append_op(body, c);
+        let errors = verify(&ctx, module, &registry);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("missing `value`"));
+        assert!(verify_or_error(&ctx, module, &registry).is_err());
+    }
+
+    #[test]
+    fn block_args_are_visible_in_nested_ops() {
+        let mut ctx = IrContext::new();
+        let (module, body) = module_with_block(&mut ctx);
+        let func = ctx.create_op("func.func", vec![], vec![], AttrMap::new(), 1);
+        let fb = ctx.add_block(ctx.op_region(func, 0), vec![Type::f32()]);
+        let arg = ctx.block_args(fb)[0];
+        let use_op = ctx.create_op("func.return", vec![arg], vec![], AttrMap::new(), 0);
+        ctx.append_op(fb, use_op);
+        ctx.append_op(body, func);
+        assert!(verify(&ctx, module, &DialectRegistry::new()).is_empty());
+    }
+}

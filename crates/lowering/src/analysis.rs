@@ -1,0 +1,363 @@
+//! Stencil-apply analysis: extraction of the linear-combination normal form.
+//!
+//! Every stencil body produced by the front-ends (and by the paper's
+//! benchmarks) is a linear combination of neighbor accesses:
+//! `out = sum_i coeff_i * field_i[offset_i] (+ constant)`.
+//! The lowering passes operate on this normal form: it is what makes
+//! splitting the reduction between remotely-received and locally-held data
+//! (Section 4.1), coefficient promotion into the communication path
+//! (Section 5.7) and FMA generation straightforward.
+
+use std::collections::HashMap;
+
+use wse_dialects::{arith, stencil, varith};
+use wse_ir::{IrContext, OpId, ValueId};
+
+/// One term of a stencil linear combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Term {
+    /// Index of the accessed apply operand (which input temp).
+    pub input: usize,
+    /// Access offset (3-D before tensorization: `[dx, dy, dz]`).
+    pub offset: Vec<i64>,
+    /// Multiplicative coefficient.
+    pub coeff: f32,
+}
+
+impl Term {
+    /// True if the term only touches PE-local data after the z-column
+    /// decomposition (no x/y offset).
+    pub fn is_local(&self) -> bool {
+        self.offset.first().copied().unwrap_or(0) == 0
+            && self.offset.get(1).copied().unwrap_or(0) == 0
+    }
+
+    /// The z-offset of the term (0 if the offset is 2-D).
+    pub fn dz(&self) -> i64 {
+        self.offset.get(2).copied().unwrap_or(0)
+    }
+}
+
+/// The linear-combination normal form of one apply result.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinearCombination {
+    /// The weighted access terms.
+    pub terms: Vec<Term>,
+    /// An additive constant (zero for all paper benchmarks).
+    pub constant: f32,
+}
+
+impl LinearCombination {
+    /// Terms requiring remote data (non-zero x/y offset).
+    pub fn remote_terms(&self) -> Vec<&Term> {
+        self.terms.iter().filter(|t| !t.is_local()).collect()
+    }
+
+    /// Terms computable from PE-local data.
+    pub fn local_terms(&self) -> Vec<&Term> {
+        self.terms.iter().filter(|t| t.is_local()).collect()
+    }
+
+    /// Merges terms with identical input and offset by summing their
+    /// coefficients, dropping terms whose coefficient becomes zero.
+    pub fn simplified(&self) -> LinearCombination {
+        let mut merged: Vec<Term> = Vec::new();
+        for term in &self.terms {
+            if let Some(existing) = merged
+                .iter_mut()
+                .find(|t| t.input == term.input && t.offset == term.offset)
+            {
+                existing.coeff += term.coeff;
+            } else {
+                merged.push(term.clone());
+            }
+        }
+        merged.retain(|t| t.coeff != 0.0);
+        LinearCombination { terms: merged, constant: self.constant }
+    }
+
+    /// The halo radius in x/y implied by the remote terms.
+    pub fn xy_radius(&self) -> i64 {
+        self.terms
+            .iter()
+            .map(|t| {
+                t.offset.first().copied().unwrap_or(0).abs().max(t.offset.get(1).copied().unwrap_or(0).abs())
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The radius in z implied by the local terms.
+    pub fn z_radius(&self) -> i64 {
+        self.terms.iter().map(|t| t.dz().abs()).max().unwrap_or(0)
+    }
+
+    /// Evaluates the combination given a resolver for `(input, offset)`.
+    pub fn evaluate(&self, read: &impl Fn(usize, &[i64]) -> f32) -> f32 {
+        self.constant
+            + self.terms.iter().map(|t| t.coeff * read(t.input, &t.offset)).sum::<f32>()
+    }
+}
+
+/// Error produced when an apply body is not a linear combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisError {
+    /// Description of the unsupported construct.
+    pub message: String,
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stencil analysis error: {}", self.message)
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+fn error(message: impl Into<String>) -> AnalysisError {
+    AnalysisError { message: message.into() }
+}
+
+/// Symbolic value used during extraction.
+#[derive(Debug, Clone, PartialEq)]
+enum Symbolic {
+    Constant(f32),
+    Combination(LinearCombination),
+}
+
+/// Extracts the linear combination computed by each result of a
+/// `stencil.apply` (or the scalar part of a tensorized apply).
+///
+/// # Errors
+/// Returns an error if the body contains operations outside the supported
+/// set (constants, accesses, `arith.addf/subf/mulf`, `varith.add/mul`).
+pub fn analyze_apply(ctx: &IrContext, apply: OpId) -> Result<Vec<LinearCombination>, AnalysisError> {
+    let body = stencil::apply_body(ctx, apply)
+        .ok_or_else(|| error("apply has no body block"))?;
+    let block_args = ctx.block_args(body).to_vec();
+    let arg_index: HashMap<ValueId, usize> =
+        block_args.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
+
+    let mut values: HashMap<ValueId, Symbolic> = HashMap::new();
+    let mut return_values: Vec<ValueId> = Vec::new();
+
+    for &op in ctx.block_ops(body) {
+        let name = ctx.op_name(op).to_string();
+        match name.as_str() {
+            arith::CONSTANT => {
+                let c = arith::constant_float_value(ctx, op)
+                    .ok_or_else(|| error("non-float arith.constant in apply body"))?;
+                values.insert(ctx.result(op, 0), Symbolic::Constant(c as f32));
+            }
+            stencil::ACCESS | "csl_stencil.access" => {
+                let operand = ctx.operand(op, 0);
+                let input = *arg_index
+                    .get(&operand)
+                    .ok_or_else(|| error("access operand is not an apply block argument"))?;
+                let offset = ctx
+                    .attr(op, "offset")
+                    .and_then(wse_ir::Attribute::as_index_array)
+                    .ok_or_else(|| error("access without offset"))?
+                    .to_vec();
+                values.insert(
+                    ctx.result(op, 0),
+                    Symbolic::Combination(LinearCombination {
+                        terms: vec![Term { input, offset, coeff: 1.0 }],
+                        constant: 0.0,
+                    }),
+                );
+            }
+            arith::ADDF | arith::SUBF => {
+                let lhs = resolve(&values, ctx.operand(op, 0))?;
+                let rhs = resolve(&values, ctx.operand(op, 1))?;
+                let negate = name == arith::SUBF;
+                values.insert(ctx.result(op, 0), add_symbolic(lhs, rhs, negate));
+            }
+            varith::ADD => {
+                let mut acc = Symbolic::Constant(0.0);
+                for &operand in ctx.operands(op) {
+                    let value = resolve(&values, operand)?;
+                    acc = add_symbolic(acc, value, false);
+                }
+                values.insert(ctx.result(op, 0), acc);
+            }
+            arith::MULF => {
+                let lhs = resolve(&values, ctx.operand(op, 0))?;
+                let rhs = resolve(&values, ctx.operand(op, 1))?;
+                values.insert(ctx.result(op, 0), mul_symbolic(lhs, rhs)?);
+            }
+            varith::MUL => {
+                let mut iter = ctx.operands(op).iter();
+                let first = resolve(&values, *iter.next().ok_or_else(|| error("empty varith.mul"))?)?;
+                let mut acc = first;
+                for &operand in iter {
+                    let value = resolve(&values, operand)?;
+                    acc = mul_symbolic(acc, value)?;
+                }
+                values.insert(ctx.result(op, 0), acc);
+            }
+            stencil::RETURN | "csl_stencil.yield" => {
+                return_values = ctx.operands(op).to_vec();
+            }
+            other => {
+                return Err(error(format!("unsupported op {other} in stencil body")));
+            }
+        }
+    }
+
+    return_values
+        .iter()
+        .map(|&v| match resolve(&values, v)? {
+            Symbolic::Combination(c) => Ok(c.simplified()),
+            Symbolic::Constant(c) => {
+                Ok(LinearCombination { terms: Vec::new(), constant: c })
+            }
+        })
+        .collect()
+}
+
+fn resolve(values: &HashMap<ValueId, Symbolic>, v: ValueId) -> Result<Symbolic, AnalysisError> {
+    values
+        .get(&v)
+        .cloned()
+        .ok_or_else(|| error("value used in stencil body is not defined by a supported op"))
+}
+
+fn add_symbolic(lhs: Symbolic, rhs: Symbolic, negate_rhs: bool) -> Symbolic {
+    let sign = if negate_rhs { -1.0 } else { 1.0 };
+    match (lhs, rhs) {
+        (Symbolic::Constant(a), Symbolic::Constant(b)) => Symbolic::Constant(a + sign * b),
+        (Symbolic::Combination(a), Symbolic::Constant(b)) => {
+            Symbolic::Combination(LinearCombination { terms: a.terms, constant: a.constant + sign * b })
+        }
+        (Symbolic::Constant(a), Symbolic::Combination(b)) => Symbolic::Combination(LinearCombination {
+            terms: b.terms.into_iter().map(|t| Term { coeff: sign * t.coeff, ..t }).collect(),
+            constant: a + sign * b.constant,
+        }),
+        (Symbolic::Combination(a), Symbolic::Combination(b)) => {
+            let mut terms = a.terms;
+            terms.extend(b.terms.into_iter().map(|t| Term { coeff: sign * t.coeff, ..t }));
+            Symbolic::Combination(LinearCombination {
+                terms,
+                constant: a.constant + sign * b.constant,
+            })
+        }
+    }
+}
+
+fn mul_symbolic(lhs: Symbolic, rhs: Symbolic) -> Result<Symbolic, AnalysisError> {
+    match (lhs, rhs) {
+        (Symbolic::Constant(a), Symbolic::Constant(b)) => Ok(Symbolic::Constant(a * b)),
+        (Symbolic::Combination(c), Symbolic::Constant(k))
+        | (Symbolic::Constant(k), Symbolic::Combination(c)) => {
+            Ok(Symbolic::Combination(LinearCombination {
+                terms: c.terms.into_iter().map(|t| Term { coeff: t.coeff * k, ..t }).collect(),
+                constant: c.constant * k,
+            }))
+        }
+        _ => Err(error("non-linear stencil bodies (access * access) are not supported")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_frontends::{benchmarks::Benchmark, emit_stencil_ir};
+
+    fn first_apply(ir: &wse_frontends::StencilIr) -> OpId {
+        ir.ctx.walk_named(ir.module, stencil::APPLY)[0]
+    }
+
+    #[test]
+    fn jacobian_is_six_equal_terms() {
+        let ir = emit_stencil_ir(&Benchmark::Jacobian.tiny_program()).unwrap();
+        let combos = analyze_apply(&ir.ctx, first_apply(&ir)).unwrap();
+        assert_eq!(combos.len(), 1);
+        let combo = &combos[0];
+        assert_eq!(combo.terms.len(), 6);
+        assert!(combo.terms.iter().all(|t| (t.coeff - 0.16666).abs() < 1e-5));
+        assert_eq!(combo.remote_terms().len(), 4);
+        assert_eq!(combo.local_terms().len(), 2);
+        assert_eq!(combo.xy_radius(), 1);
+        assert_eq!(combo.z_radius(), 1);
+    }
+
+    #[test]
+    fn seismic_has_25_terms_radius_4() {
+        let ir = emit_stencil_ir(&Benchmark::Seismic25.tiny_program()).unwrap();
+        let combos = analyze_apply(&ir.ctx, first_apply(&ir)).unwrap();
+        let combo = &combos[0];
+        assert_eq!(combo.terms.len(), 25);
+        assert_eq!(combo.xy_radius(), 4);
+        assert_eq!(combo.z_radius(), 4);
+        // Coefficients decay with ring distance.
+        let ring1 = combo.terms.iter().find(|t| t.offset == vec![1, 0, 0]).unwrap();
+        let ring4 = combo.terms.iter().find(|t| t.offset == vec![4, 0, 0]).unwrap();
+        assert!(ring1.coeff.abs() > ring4.coeff.abs());
+    }
+
+    #[test]
+    fn acoustic_merges_repeated_center() {
+        let ir = emit_stencil_ir(&Benchmark::Acoustic.tiny_program()).unwrap();
+        // Second apply is the wave update (u + u - u_prev + ...).
+        let apply = ir.ctx.walk_named(ir.module, stencil::APPLY)[1];
+        let combos = analyze_apply(&ir.ctx, apply).unwrap();
+        let combo = &combos[0];
+        // The u-centre term must have been merged: coefficient ~ 2 - 6*0.0625*... — just
+        // check that exactly one centre term per input remains.
+        let center_terms: Vec<&Term> =
+            combo.terms.iter().filter(|t| t.offset == vec![0, 0, 0]).collect();
+        assert_eq!(center_terms.len(), 2, "one centre term per field after merging");
+        assert!(center_terms.iter().any(|t| t.coeff < 0.0), "u_prev enters negatively");
+        assert!(center_terms.iter().any(|t| t.coeff > 1.0), "2u - laplacian weight stays > 1");
+    }
+
+    #[test]
+    fn evaluation_matches_manual_sum() {
+        let combo = LinearCombination {
+            terms: vec![
+                Term { input: 0, offset: vec![1, 0, 0], coeff: 0.5 },
+                Term { input: 0, offset: vec![0, 0, 0], coeff: 0.25 },
+            ],
+            constant: 1.0,
+        };
+        let value = combo.evaluate(&|_, offset| if offset[0] == 1 { 2.0 } else { 4.0 });
+        assert!((value - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simplification_removes_cancelling_terms() {
+        let combo = LinearCombination {
+            terms: vec![
+                Term { input: 0, offset: vec![0, 0, 0], coeff: 1.0 },
+                Term { input: 0, offset: vec![0, 0, 0], coeff: -1.0 },
+                Term { input: 0, offset: vec![1, 0, 0], coeff: 2.0 },
+            ],
+            constant: 0.0,
+        };
+        let simplified = combo.simplified();
+        assert_eq!(simplified.terms.len(), 1);
+        assert_eq!(simplified.terms[0].coeff, 2.0);
+    }
+
+    #[test]
+    fn non_linear_body_is_rejected() {
+        use wse_dialects::{arith, builtin};
+        use wse_ir::{OpBuilder, Type};
+        let mut ctx = IrContext::new();
+        let (_m, body) = builtin::module(&mut ctx);
+        let bounds = stencil::Bounds::new(vec![0, 0, 0], vec![4, 4, 4]);
+        let temp_ty = stencil::temp_type(&bounds, Type::f32());
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let input = b.insert_value(wse_ir::OpSpec::new("tensor.empty").results([temp_ty.clone()]));
+        let (apply, blk) = stencil::build_apply(&mut b, vec![input], vec![temp_ty]);
+        let arg = ctx.block_args(blk)[0];
+        let mut ab = OpBuilder::at_end(&mut ctx, blk);
+        let a = stencil::access(&mut ab, arg, &[0, 0, 0], Type::f32());
+        let c = stencil::access(&mut ab, arg, &[1, 0, 0], Type::f32());
+        let prod = arith::mulf(&mut ab, a, c);
+        stencil::build_return(&mut ctx, blk, vec![prod]);
+        let err = analyze_apply(&ctx, apply).unwrap_err();
+        assert!(err.message.contains("non-linear"));
+    }
+}

@@ -1,0 +1,434 @@
+//! Group 1 transformations: decomposition and data dependencies
+//! (Section 5.1 of the paper).
+//!
+//! * `distribute-stencil` decomposes the x/y dimensions across the WSE's
+//!   2-D grid of PEs and inserts `dmp.swap` operations describing the halo
+//!   exchanges each `stencil.apply` requires.
+//! * `tensorize-z` converts the three-dimensional grid of `f32` scalars
+//!   into a two-dimensional grid of `tensor<z x f32>` columns, so that each
+//!   stencil element (one column) maps to an individual PE.
+
+use std::collections::HashMap;
+
+use wse_dialects::dmp::{Exchange, Topology};
+use wse_dialects::{arith, dmp, stencil, tensor};
+use wse_ir::{
+    Attribute, FloatBits, IrContext, OpBuilder, OpId, Pass, PassError, PassResult, Type, ValueId,
+};
+
+use crate::analysis::{analyze_apply, LinearCombination};
+
+/// Encodes linear combinations as an attribute so later passes can reuse
+/// the analysis without re-deriving it from a rewritten body.
+pub fn combinations_to_attr(combos: &[LinearCombination]) -> Attribute {
+    Attribute::Array(
+        combos
+            .iter()
+            .map(|combo| {
+                Attribute::Array(
+                    std::iter::once(Attribute::f32(combo.constant))
+                        .chain(combo.terms.iter().map(|t| {
+                            Attribute::Array(vec![
+                                Attribute::int(t.input as i64),
+                                Attribute::IndexArray(t.offset.clone()),
+                                Attribute::f32(t.coeff),
+                            ])
+                        }))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Decodes linear combinations from their attribute form.
+pub fn combinations_from_attr(attr: &Attribute) -> Option<Vec<LinearCombination>> {
+    let combos = attr.as_array()?;
+    let mut out = Vec::new();
+    for combo in combos {
+        let items = combo.as_array()?;
+        let constant = items.first()?.as_float()? as f32;
+        let mut terms = Vec::new();
+        for item in &items[1..] {
+            let parts = item.as_array()?;
+            terms.push(crate::analysis::Term {
+                input: parts.first()?.as_int()? as usize,
+                offset: parts.get(1)?.as_index_array()?.to_vec(),
+                coeff: parts.get(2)?.as_float()? as f32,
+            });
+        }
+        out.push(LinearCombination { terms, constant });
+    }
+    Some(out)
+}
+
+/// Attribute key under which the analysis is cached on an apply.
+pub const COMBINATIONS_ATTR: &str = "stencil_terms";
+
+/// Computes the halo exchanges required by a set of combinations: one
+/// exchange per cardinal direction whose width is the largest offset in
+/// that direction.
+pub fn exchanges_for(combos: &[LinearCombination]) -> Vec<Exchange> {
+    let mut widths = [0i64; 4]; // +x, -x, +y, -y
+    for combo in combos {
+        for term in &combo.terms {
+            let dx = term.offset.first().copied().unwrap_or(0);
+            let dy = term.offset.get(1).copied().unwrap_or(0);
+            if dx > 0 {
+                widths[0] = widths[0].max(dx);
+            }
+            if dx < 0 {
+                widths[1] = widths[1].max(-dx);
+            }
+            if dy > 0 {
+                widths[2] = widths[2].max(dy);
+            }
+            if dy < 0 {
+                widths[3] = widths[3].max(-dy);
+            }
+        }
+    }
+    let mut exchanges = Vec::new();
+    // A PE needs data *from* the +x neighbor to evaluate a +x offset, so
+    // the exchange descriptor records the neighbor the data comes from.
+    if widths[0] > 0 {
+        exchanges.push(Exchange::new(1, 0, widths[0]));
+    }
+    if widths[1] > 0 {
+        exchanges.push(Exchange::new(-1, 0, widths[1]));
+    }
+    if widths[2] > 0 {
+        exchanges.push(Exchange::new(0, 1, widths[2]));
+    }
+    if widths[3] > 0 {
+        exchanges.push(Exchange::new(0, -1, widths[3]));
+    }
+    exchanges
+}
+
+// --------------------------------------------------------------------------
+// distribute-stencil
+// --------------------------------------------------------------------------
+
+/// Inserts `dmp.swap` operations in front of every `stencil.apply` whose
+/// body reads remote data, describing the decomposition across the PE grid.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributeStencil {
+    /// PE-grid extent in x.
+    pub width: i64,
+    /// PE-grid extent in y.
+    pub height: i64,
+}
+
+impl Pass for DistributeStencil {
+    fn name(&self) -> &str {
+        "distribute-stencil"
+    }
+
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        let topology = Topology::new(self.width, self.height);
+        for apply in ctx.walk_named(module, stencil::APPLY) {
+            let combos = analyze_apply(ctx, apply).map_err(|e| PassError::new(self.name(), e.message))?;
+            ctx.set_attr(apply, COMBINATIONS_ATTR, combinations_to_attr(&combos));
+            let exchanges = exchanges_for(&combos);
+            if exchanges.is_empty() {
+                continue;
+            }
+            // Operands that are accessed remotely get a dmp.swap.
+            let remote_inputs: Vec<usize> = {
+                let mut v: Vec<usize> = combos
+                    .iter()
+                    .flat_map(|c| c.remote_terms().into_iter().map(|t| t.input))
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let operands = ctx.operands(apply).to_vec();
+            let mut new_operands = operands.clone();
+            for input in remote_inputs {
+                let mut b = OpBuilder::before(ctx, apply);
+                let swapped = dmp::swap(&mut b, operands[input], topology, &exchanges);
+                new_operands[input] = swapped;
+            }
+            ctx.set_operands(apply, new_operands);
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------------------
+// tensorize-z
+// --------------------------------------------------------------------------
+
+/// Converts the 3-D scalar stencil into a 2-D stencil over `tensor<z x f32>`
+/// columns and regenerates apply bodies accordingly (Listing 3).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TensorizeZ;
+
+impl TensorizeZ {
+    fn tensorize_type(ty: &Type) -> Option<Type> {
+        let bounds = stencil::type_bounds(ty)?;
+        if bounds.rank() != 3 {
+            return None;
+        }
+        let elem = stencil::type_element(ty)?;
+        if !matches!(elem, Type::Float(_)) {
+            return None;
+        }
+        let z_len = bounds.ub[2] - bounds.lb[2];
+        let xy = bounds.take_dims(2);
+        let column = Type::tensor(vec![z_len], elem);
+        Some(if stencil::is_field_type(ty) {
+            stencil::field_type(&xy, column)
+        } else {
+            stencil::temp_type(&xy, column)
+        })
+    }
+}
+
+impl Pass for TensorizeZ {
+    fn name(&self) -> &str {
+        "tensorize-z"
+    }
+
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        // 1. Analyze every apply first (bodies are still scalar 3-D).
+        let applies = ctx.walk_named(module, stencil::APPLY);
+        let mut all_combos: HashMap<OpId, Vec<LinearCombination>> = HashMap::new();
+        for &apply in &applies {
+            let combos = match ctx.attr(apply, COMBINATIONS_ATTR).and_then(combinations_from_attr)
+            {
+                Some(combos) => combos,
+                None => analyze_apply(ctx, apply)
+                    .map_err(|e| PassError::new(self.name(), e.message))?,
+            };
+            all_combos.insert(apply, combos);
+        }
+
+        // 2. Rewrite every stencil-typed value in the module to its 2-D /
+        //    tensorized counterpart.
+        let mut z_interior: i64 = 0;
+        let mut z_storage_lb: i64 = 0;
+        for op in ctx.walk(module) {
+            for value in
+                ctx.results(op).to_vec().into_iter().chain(ctx.operands(op).to_vec())
+            {
+                let ty = ctx.value_type(value).clone();
+                if let Some(bounds) = stencil::type_bounds(&ty) {
+                    if bounds.rank() == 3 {
+                        if stencil::is_temp_type(&ty) && bounds.lb[2] == 0 {
+                            z_interior = z_interior.max(bounds.ub[2]);
+                        }
+                        z_storage_lb = z_storage_lb.min(bounds.lb[2]);
+                    }
+                }
+                if let Some(new_ty) = Self::tensorize_type(&ty) {
+                    ctx.set_value_type(value, new_ty);
+                }
+            }
+            for &region in ctx.op_regions(op).to_vec().iter() {
+                for &block in ctx.region_blocks(region).to_vec().iter() {
+                    for arg in ctx.block_args(block).to_vec() {
+                        let ty = ctx.value_type(arg).clone();
+                        if let Some(new_ty) = Self::tensorize_type(&ty) {
+                            ctx.set_value_type(arg, new_ty);
+                        }
+                    }
+                }
+            }
+        }
+        // Also rewrite function signatures and store bounds.
+        for func_op in ctx.walk_named(module, wse_dialects::func::FUNC) {
+            if let Some(Type::Function { inputs, results }) =
+                ctx.attr(func_op, "function_type").and_then(Attribute::as_type).cloned()
+            {
+                let inputs = inputs
+                    .iter()
+                    .map(|t| Self::tensorize_type(t).unwrap_or_else(|| t.clone()))
+                    .collect();
+                let results = results
+                    .iter()
+                    .map(|t| Self::tensorize_type(t).unwrap_or_else(|| t.clone()))
+                    .collect();
+                ctx.set_attr(
+                    func_op,
+                    "function_type",
+                    Attribute::Type(Type::Function { inputs, results }),
+                );
+            }
+        }
+        for store in ctx.walk_named(module, stencil::STORE) {
+            if let Some(bounds) = stencil::store_bounds(ctx, store) {
+                if bounds.rank() == 3 {
+                    let xy = bounds.take_dims(2);
+                    ctx.set_attr(store, "lb", Attribute::IndexArray(xy.lb));
+                    ctx.set_attr(store, "ub", Attribute::IndexArray(xy.ub));
+                }
+            }
+        }
+
+        let z_halo = -z_storage_lb;
+
+        // 3. Regenerate every apply body in tensorized form.
+        for &apply in &applies {
+            let combos = &all_combos[&apply];
+            let z_len = z_interior.max(1);
+            regenerate_tensorized_body(ctx, apply, combos, z_len, z_halo);
+            ctx.set_attr(apply, COMBINATIONS_ATTR, combinations_to_attr(combos));
+            ctx.set_attr(apply, "z_interior", Attribute::int(z_len));
+            ctx.set_attr(apply, "z_halo", Attribute::int(z_halo));
+        }
+        Ok(())
+    }
+}
+
+/// Rebuilds an apply body as 2-D accesses over `tensor<z x f32>` columns:
+/// every term becomes an access at `[dx, dy]`, an `extract_slice` selecting
+/// the `dz`-shifted window and a multiply-accumulate chain.
+fn regenerate_tensorized_body(
+    ctx: &mut IrContext,
+    apply: OpId,
+    combos: &[LinearCombination],
+    z_interior: i64,
+    z_halo: i64,
+) {
+    let body = stencil::apply_body(ctx, apply).expect("apply body");
+    // Erase the old scalar body.
+    for op in ctx.block_ops(body).to_vec().into_iter().rev() {
+        ctx.erase_op(op);
+    }
+    let args = ctx.block_args(body).to_vec();
+    let column_ty = Type::tensor(vec![z_interior], Type::f32());
+    let mut results = Vec::new();
+    let mut b = OpBuilder::at_end(ctx, body);
+    for combo in combos {
+        let mut acc: Option<ValueId> = None;
+        for term in &combo.terms {
+            let dx = term.offset.first().copied().unwrap_or(0);
+            let dy = term.offset.get(1).copied().unwrap_or(0);
+            let dz = term.offset.get(2).copied().unwrap_or(0);
+            let column_storage_ty = b.ctx_ref().value_type(args[term.input]).clone();
+            let storage_elem = stencil::type_element(&column_storage_ty)
+                .unwrap_or_else(|| Type::tensor(vec![z_interior + 2 * z_halo], Type::f32()));
+            // The operand's own z halo (forwarded interior temps have none).
+            let elem_len = storage_elem.shape().map(|s| s[0]).unwrap_or(z_interior);
+            let own_halo = (elem_len - z_interior) / 2;
+            let access = stencil::access(&mut b, args[term.input], &[dx, dy], storage_elem);
+            let window = tensor::extract_slice(&mut b, access, own_halo + dz, z_interior);
+            let coeff = arith::constant_f32(&mut b, term.coeff, column_ty.clone());
+            let scaled = arith::mulf(&mut b, window, coeff);
+            acc = Some(match acc {
+                Some(prev) => arith::addf(&mut b, prev, scaled),
+                None => scaled,
+            });
+        }
+        let value = acc.unwrap_or_else(|| arith::constant_f32(&mut b, combo.constant, column_ty.clone()));
+        results.push(value);
+    }
+    stencil::build_return(ctx, body, results);
+}
+
+/// Convenience: reads the cached combination attribute of an apply.
+pub fn apply_combinations(ctx: &IrContext, apply: OpId) -> Option<Vec<LinearCombination>> {
+    ctx.attr(apply, COMBINATIONS_ATTR).and_then(combinations_from_attr)
+}
+
+/// Convenience accessor for a float attribute stored by these passes.
+pub fn float_bits(value: f32) -> FloatBits {
+    FloatBits::new(f64::from(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_frontends::{benchmarks::Benchmark, emit_stencil_ir};
+    use wse_ir::verify;
+
+    fn run_group1(benchmark: Benchmark) -> (IrContext, OpId) {
+        let ir = emit_stencil_ir(&benchmark.tiny_program()).unwrap();
+        let mut ctx = ir.ctx;
+        let (x, y) = (benchmark.tiny_program().grid.x, benchmark.tiny_program().grid.y);
+        DistributeStencil { width: x, height: y }.run(&mut ctx, ir.module).unwrap();
+        TensorizeZ.run(&mut ctx, ir.module).unwrap();
+        (ctx, ir.module)
+    }
+
+    #[test]
+    fn combination_attr_roundtrip() {
+        let combos = vec![LinearCombination {
+            terms: vec![crate::analysis::Term { input: 1, offset: vec![1, 0, -2], coeff: 0.25 }],
+            constant: 0.5,
+        }];
+        let attr = combinations_to_attr(&combos);
+        assert_eq!(combinations_from_attr(&attr), Some(combos));
+    }
+
+    #[test]
+    fn exchange_widths_follow_the_radius() {
+        let ir = emit_stencil_ir(&Benchmark::Seismic25.tiny_program()).unwrap();
+        let apply = ir.ctx.walk_named(ir.module, stencil::APPLY)[0];
+        let combos = analyze_apply(&ir.ctx, apply).unwrap();
+        let exchanges = exchanges_for(&combos);
+        assert_eq!(exchanges.len(), 4);
+        assert!(exchanges.iter().all(|e| e.width == 4), "25-pt stencil needs width-4 halos");
+    }
+
+    #[test]
+    fn distribute_inserts_swaps() {
+        let ir = emit_stencil_ir(&Benchmark::Jacobian.tiny_program()).unwrap();
+        let mut ctx = ir.ctx;
+        DistributeStencil { width: 6, height: 6 }.run(&mut ctx, ir.module).unwrap();
+        let swaps = ctx.walk_named(ir.module, dmp::SWAP);
+        assert_eq!(swaps.len(), 1);
+        assert_eq!(dmp::swap_topology(&ctx, swaps[0]), Some(Topology::new(6, 6)));
+        assert_eq!(dmp::swap_exchanges(&ctx, swaps[0]).len(), 4);
+        // The apply now consumes the swap's result.
+        let apply = ctx.walk_named(ir.module, stencil::APPLY)[0];
+        assert_eq!(ctx.defining_op(ctx.operand(apply, 0)), Some(swaps[0]));
+        assert!(verify(&ctx, ir.module, &wse_csl::register_all()).is_empty());
+    }
+
+    #[test]
+    fn local_only_apply_gets_no_swap() {
+        // The acoustic benchmark's first equation (u_prev = u) has no remote
+        // accesses, so only the second apply gets a swap.
+        let ir = emit_stencil_ir(&Benchmark::Acoustic.tiny_program()).unwrap();
+        let mut ctx = ir.ctx;
+        DistributeStencil { width: 7, height: 7 }.run(&mut ctx, ir.module).unwrap();
+        assert_eq!(ctx.walk_named(ir.module, dmp::SWAP).len(), 1);
+    }
+
+    #[test]
+    fn tensorize_rewrites_types_and_bodies() {
+        let (ctx, module) = run_group1(Benchmark::Jacobian);
+        let registry = wse_csl::register_all();
+        let errors = verify(&ctx, module, &registry);
+        assert!(errors.is_empty(), "verification failed: {errors:?}");
+        let apply = ctx.walk_named(module, stencil::APPLY)[0];
+        // Result is now a 2-D temp of tensors.
+        let result_ty = ctx.value_type(ctx.result(apply, 0));
+        let bounds = stencil::type_bounds(result_ty).unwrap();
+        assert_eq!(bounds.rank(), 2);
+        let elem = stencil::type_element(result_ty).unwrap();
+        assert_eq!(elem, Type::tensor(vec![12], Type::f32()));
+        // Accesses are now 2-D and z-offsets became extract_slices.
+        for offset in stencil::collect_access_offsets(&ctx, apply) {
+            assert_eq!(offset.len(), 2);
+        }
+        assert!(!ctx.walk_named(module, tensor::EXTRACT_SLICE).is_empty());
+        // The cached combination analysis survives on the op.
+        assert_eq!(apply_combinations(&ctx, apply).unwrap()[0].terms.len(), 6);
+        assert_eq!(ctx.attr_int(apply, "z_interior"), Some(12));
+        assert_eq!(ctx.attr_int(apply, "z_halo"), Some(1));
+    }
+
+    #[test]
+    fn tensorize_all_benchmarks_verify() {
+        for benchmark in Benchmark::ALL {
+            let (ctx, module) = run_group1(benchmark);
+            let errors = verify(&ctx, module, &wse_csl::register_all());
+            assert!(errors.is_empty(), "{}: {errors:?}", benchmark.name());
+        }
+    }
+}

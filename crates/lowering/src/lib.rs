@@ -1,0 +1,27 @@
+//! # wse-lowering — the stencil-to-CSL lowering pipeline
+//!
+//! This crate implements the transformation groups of the paper
+//! (Section 5): stencil-level optimizations, decomposition onto the PE
+//! grid, tensorization of the z dimension, conversion to the
+//! `csl_stencil` dialect with chunked communication, wrapping for staged
+//! compilation, lowering to the actor execution model, FMA fusion, DSD
+//! lowering and finally emission of the layout/program `csl.module`s from
+//! which CSL source text is printed.
+//!
+//! The entry point is [`pipeline::lower_program`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod decompose;
+pub mod linalg_to_csl;
+pub mod opt_passes;
+pub mod pipeline;
+pub mod to_actors;
+pub mod to_csl_stencil;
+
+pub use analysis::{analyze_apply, AnalysisError, LinearCombination, Term};
+pub use pipeline::{
+    build_pass_manager, lower_program, LoweredProgram, PipelineOptions, WseTarget,
+};

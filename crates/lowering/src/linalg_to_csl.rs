@@ -1,0 +1,287 @@
+//! Group 5 compute lowering (Section 5.5 of the paper).
+//!
+//! * `linalg-fuse-multiply-add` recognizes a `linalg.mul` whose result
+//!   buffer immediately feeds a `linalg.add` and fuses the pair into a
+//!   `linalg.fmac`, which ultimately becomes the `@fmacs` CSL builtin.
+//! * `convert-linalg-to-csl` lowers `linalg` operations on `memref` views
+//!   into CSL DSD builtins (`@fadds`, `@fmuls`, `@fmacs`, `@fmovs`) over
+//!   `csl.get_mem_dsd` descriptors, and folds `memref` views into DSD
+//!   views.
+
+use wse_csl::csl;
+use wse_dialects::{arith, linalg, memref};
+use wse_ir::{
+    Attribute, IrContext, OpBuilder, OpId, OpSpec, Pass, PassResult, Type, ValueId,
+};
+
+/// Fuses `linalg.mul` + `linalg.add` pairs into `linalg.fmac`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LinalgFuseMultiplyAdd;
+
+impl Pass for LinalgFuseMultiplyAdd {
+    fn name(&self) -> &str {
+        "linalg-fuse-multiply-add"
+    }
+
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        for mul in ctx.walk_named(module, linalg::MUL) {
+            if !ctx.op_is_live(mul) {
+                continue;
+            }
+            let Some(block) = ctx.parent_block(mul) else { continue };
+            let Some(index) = ctx.op_index_in_block(mul) else { continue };
+            let Some(&add) = ctx.block_ops(block).get(index + 1) else { continue };
+            if ctx.op_name(add) != linalg::ADD {
+                continue;
+            }
+            // mul: (src, coeff, scratch); add: (dest, scratch, dest).
+            let scratch = linalg::output(ctx, mul).expect("mul has a destination");
+            let add_inputs = linalg::inputs(ctx, add).to_vec();
+            let add_out = linalg::output(ctx, add).expect("add has a destination");
+            if add_inputs.len() != 2 || !add_inputs.contains(&scratch) {
+                continue;
+            }
+            let acc = if add_inputs[0] == scratch { add_inputs[1] } else { add_inputs[0] };
+            if acc != add_out {
+                continue;
+            }
+            let mul_inputs = linalg::inputs(ctx, mul).to_vec();
+            let mut b = OpBuilder::before(ctx, mul);
+            let fmac = linalg::fmac(&mut b, acc, mul_inputs[0], mul_inputs[1], add_out);
+            if let Some(coeff) = ctx.attr(mul, "coefficient").cloned() {
+                ctx.set_attr(fmac, "coefficient", coeff);
+            }
+            ctx.erase_op(add);
+            ctx.erase_op(mul);
+        }
+        Ok(())
+    }
+}
+
+/// Lowers `linalg` + `memref` views to CSL DSD builtins.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConvertLinalgToCsl;
+
+impl ConvertLinalgToCsl {
+    /// Resolves a memref value to `(root buffer, static offset, dynamic
+    /// offset, length)` by walking subview chains.
+    fn resolve_view(ctx: &IrContext, value: ValueId) -> (ValueId, i64, Option<ValueId>, i64) {
+        let len = ctx.value_type(value).shape().map(|s| s[0]).unwrap_or(1);
+        match ctx.defining_op(value) {
+            Some(op) if ctx.op_name(op) == memref::SUBVIEW => {
+                let source = ctx.operand(op, 0);
+                let static_offset = memref::subview_offset(ctx, op).unwrap_or(0);
+                let dynamic = ctx.operands(op).get(1).copied();
+                let (root, base, base_dyn, _) = Self::resolve_view(ctx, source);
+                // Nested dynamic offsets do not occur in generated code.
+                (root, base + static_offset, dynamic.or(base_dyn), len)
+            }
+            _ => (value, 0, None, len),
+        }
+    }
+
+    /// Materializes a DSD for a memref view right before `before`.
+    fn dsd_for(ctx: &mut IrContext, before: OpId, value: ValueId) -> ValueId {
+        let (root, offset, dynamic, len) = Self::resolve_view(ctx, value);
+        let mut b = OpBuilder::before(ctx, before);
+        match dynamic {
+            Some(dyn_offset) => csl::get_mem_dsd_dynamic(&mut b, root, dyn_offset, offset, len),
+            None => csl::get_mem_dsd(&mut b, root, offset, len),
+        }
+    }
+
+    /// Reads the splat value of a coefficient buffer (`csl.constants`).
+    fn splat_value(ctx: &IrContext, value: ValueId) -> Option<f64> {
+        let (root, _, _, _) = Self::resolve_view(ctx, value);
+        let def = ctx.defining_op(root)?;
+        if ctx.op_name(def) != csl::CONSTANTS {
+            return None;
+        }
+        ctx.attr(def, "value").and_then(Attribute::as_float)
+    }
+}
+
+impl Pass for ConvertLinalgToCsl {
+    fn name(&self) -> &str {
+        "convert-linalg-to-csl"
+    }
+
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        let targets: Vec<OpId> = ctx
+            .walk(module)
+            .into_iter()
+            .filter(|&op| ctx.op_name(op).starts_with("linalg."))
+            .collect();
+        for op in targets {
+            if !ctx.op_is_live(op) {
+                continue;
+            }
+            match ctx.op_name(op).to_string().as_str() {
+                linalg::FILL => {
+                    // @fmovs(dest_dsd, scalar).
+                    let scalar = ctx.operand(op, 0);
+                    let dest = linalg::output(ctx, op).expect("fill destination");
+                    let dest_dsd = Self::dsd_for(ctx, op, dest);
+                    let mut b = OpBuilder::before(ctx, op);
+                    b.insert(OpSpec::new(csl::FMOVS).operands([dest_dsd, scalar]));
+                    ctx.erase_op(op);
+                }
+                linalg::COPY => {
+                    let src = ctx.operand(op, 0);
+                    let dest = linalg::output(ctx, op).expect("copy destination");
+                    let src_dsd = Self::dsd_for(ctx, op, src);
+                    let dest_dsd = Self::dsd_for(ctx, op, dest);
+                    let mut b = OpBuilder::before(ctx, op);
+                    b.insert(OpSpec::new(csl::FMOVS).operands([dest_dsd, src_dsd]));
+                    ctx.erase_op(op);
+                }
+                linalg::MUL | linalg::ADD | linalg::SUB => {
+                    let name = match ctx.op_name(op) {
+                        linalg::MUL => csl::FMULS,
+                        linalg::SUB => csl::FSUBS,
+                        _ => csl::FADDS,
+                    };
+                    let inputs = linalg::inputs(ctx, op).to_vec();
+                    let dest = linalg::output(ctx, op).expect("binary destination");
+                    let a = Self::dsd_for(ctx, op, inputs[0]);
+                    let c = Self::dsd_for(ctx, op, inputs[1]);
+                    let d = Self::dsd_for(ctx, op, dest);
+                    let mut b = OpBuilder::before(ctx, op);
+                    let new = b.insert(OpSpec::new(name).operands([d, a, c]));
+                    if let Some(coeff) = ctx.attr(op, "coefficient").cloned() {
+                        ctx.set_attr(new, "coefficient", coeff);
+                    }
+                    ctx.erase_op(op);
+                }
+                linalg::FMAC => {
+                    // (acc, a, coeff_buf, out) -> @fmacs(out, acc, a, coeff).
+                    let operands = ctx.operands(op).to_vec();
+                    let (acc, a, coeff_buf, out) =
+                        (operands[0], operands[1], operands[2], operands[3]);
+                    let coeff = Self::splat_value(ctx, coeff_buf)
+                        .or_else(|| ctx.attr(op, "coefficient").and_then(Attribute::as_float));
+                    let acc_dsd = Self::dsd_for(ctx, op, acc);
+                    let a_dsd = Self::dsd_for(ctx, op, a);
+                    let out_dsd = Self::dsd_for(ctx, op, out);
+                    let mut b = OpBuilder::before(ctx, op);
+                    match coeff {
+                        Some(value) => {
+                            let scalar = arith::constant_f32(&mut b, value as f32, Type::f32());
+                            b.insert(
+                                OpSpec::new(csl::FMACS).operands([out_dsd, acc_dsd, a_dsd, scalar]),
+                            );
+                        }
+                        None => {
+                            // Fall back to the unfused pair.
+                            let coeff_dsd = Self::dsd_for(ctx, op, coeff_buf);
+                            let mut b = OpBuilder::before(ctx, op);
+                            b.insert(OpSpec::new(csl::FMULS).operands([a_dsd, a_dsd, coeff_dsd]));
+                            b.insert(OpSpec::new(csl::FADDS).operands([out_dsd, acc_dsd, a_dsd]));
+                        }
+                    }
+                    ctx.erase_op(op);
+                }
+                _ => {}
+            }
+        }
+
+        // Clean up memref views that no longer have users.
+        loop {
+            let mut changed = false;
+            for op in ctx.walk(module) {
+                if !ctx.op_is_live(op) {
+                    continue;
+                }
+                let name = ctx.op_name(op);
+                if (name == memref::SUBVIEW || name == memref::ALLOC)
+                    && ctx.results(op).iter().all(|&r| !ctx.has_uses(r))
+                {
+                    ctx.erase_op(op);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_dialects::builtin;
+    use wse_ir::verify;
+
+    fn setup() -> (IrContext, OpId, ValueId, ValueId, ValueId, ValueId) {
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let buf_ty = Type::memref(vec![16], Type::f32());
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let src = csl::zeros(&mut b, "src", buf_ty.clone());
+        let coeff = csl::constants(&mut b, "coeff0", buf_ty.clone(), 0.25);
+        let scratch = csl::zeros(&mut b, "scratch", buf_ty.clone());
+        let acc = csl::zeros(&mut b, "acc", buf_ty);
+        (ctx, module, src, coeff, scratch, acc)
+    }
+
+    #[test]
+    fn mul_add_pair_becomes_fmac_then_fmacs() {
+        let (mut ctx, module, src, coeff, scratch, acc) = setup();
+        let body = builtin::module_body(&ctx, module);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let m = linalg::mul(&mut b, src, coeff, scratch);
+        b.ctx().set_attr(m, "coefficient", Attribute::f32(0.25));
+        linalg::add(&mut b, acc, scratch, acc);
+
+        LinalgFuseMultiplyAdd.run(&mut ctx, module).unwrap();
+        assert_eq!(ctx.walk_named(module, linalg::FMAC).len(), 1);
+        assert!(ctx.walk_named(module, linalg::MUL).is_empty());
+        assert!(ctx.walk_named(module, linalg::ADD).is_empty());
+
+        ConvertLinalgToCsl.run(&mut ctx, module).unwrap();
+        let fmacs = ctx.walk_named(module, csl::FMACS);
+        assert_eq!(fmacs.len(), 1);
+        // The scalar coefficient operand carries the splat value.
+        let scalar = ctx.operand(fmacs[0], 3);
+        let def = ctx.defining_op(scalar).unwrap();
+        assert_eq!(arith::constant_float_value(&ctx, def), Some(0.25));
+        assert!(verify(&ctx, module, &wse_csl::register_all()).is_empty());
+        assert!(ctx.walk_named(module, linalg::FMAC).is_empty());
+    }
+
+    #[test]
+    fn unfused_ops_become_fmuls_and_fadds() {
+        let (mut ctx, module, src, coeff, scratch, acc) = setup();
+        let body = builtin::module_body(&ctx, module);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        linalg::mul(&mut b, src, coeff, scratch);
+        linalg::copy(&mut b, scratch, acc);
+        // No fusion pass: direct conversion.
+        ConvertLinalgToCsl.run(&mut ctx, module).unwrap();
+        assert_eq!(ctx.walk_named(module, csl::FMULS).len(), 1);
+        assert_eq!(ctx.walk_named(module, csl::FMOVS).len(), 1);
+        assert!(verify(&ctx, module, &wse_csl::register_all()).is_empty());
+    }
+
+    #[test]
+    fn subviews_fold_into_dsd_offsets() {
+        let (mut ctx, module, src, _coeff, _scratch, acc) = setup();
+        let body = builtin::module_body(&ctx, module);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let src_view = memref::subview(&mut b, src, 2, 8);
+        let acc_view = memref::subview(&mut b, acc, 4, 8);
+        linalg::copy(&mut b, src_view, acc_view);
+        ConvertLinalgToCsl.run(&mut ctx, module).unwrap();
+        let dsds = ctx.walk_named(module, csl::GET_MEM_DSD);
+        assert_eq!(dsds.len(), 2);
+        let offsets: Vec<i64> =
+            dsds.iter().map(|&d| ctx.attr_int(d, "offset").unwrap()).collect();
+        assert!(offsets.contains(&2));
+        assert!(offsets.contains(&4));
+        // The subviews themselves are gone.
+        assert!(ctx.walk_named(module, memref::SUBVIEW).is_empty());
+        assert!(verify(&ctx, module, &wse_csl::register_all()).is_empty());
+    }
+}

@@ -1,0 +1,434 @@
+//! Stencil- and arithmetic-level optimization passes (Section 5.7).
+//!
+//! * `stencil-inlining` merges consecutive `stencil.apply` operations into a
+//!   single fused kernel (used by UVKBE).
+//! * `convert-arith-to-varith` collapses chains of binary additions /
+//!   multiplications into variadic `varith` operations.
+//! * `varith-fuse-repeated-operands` replaces repeated additions of the same
+//!   value by a multiplication (important for the Acoustic kernel).
+
+use std::collections::HashMap;
+
+use wse_dialects::{arith, stencil, varith};
+use wse_ir::{
+    IrContext, OpBuilder, OpId, OpSpec, Pass, PassError, PassResult, Type, ValueId,
+};
+
+use crate::analysis::{analyze_apply, LinearCombination, Term};
+
+// --------------------------------------------------------------------------
+// stencil-inlining
+// --------------------------------------------------------------------------
+
+/// Fuses consecutive `stencil.apply` operations where the first apply's
+/// result feeds the second.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StencilInlining;
+
+impl Pass for StencilInlining {
+    fn name(&self) -> &str {
+        "stencil-inlining"
+    }
+
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        loop {
+            let Some((producer, consumer)) = find_fusable_pair(ctx, module) else {
+                return Ok(());
+            };
+            fuse_applies(ctx, producer, consumer)
+                .map_err(|m| PassError::new(self.name(), m))?;
+        }
+    }
+}
+
+/// Finds a pair (producer, consumer) of applies in the same block where the
+/// producer's results are only consumed by the consumer (and by stores).
+fn find_fusable_pair(ctx: &IrContext, module: OpId) -> Option<(OpId, OpId)> {
+    for producer in ctx.walk_named(module, stencil::APPLY) {
+        for &result in ctx.results(producer) {
+            let uses = ctx.uses_of(result);
+            let consumers: Vec<OpId> = uses
+                .iter()
+                .map(|(op, _)| *op)
+                .filter(|&op| ctx.op_name(op) == stencil::APPLY)
+                .collect();
+            if consumers.len() != 1 {
+                continue;
+            }
+            let consumer = consumers[0];
+            if consumer == producer {
+                continue;
+            }
+            // Everything else must be a store (which the fused apply keeps
+            // feeding) for the fusion to be semantics-preserving.
+            let all_supported = uses
+                .iter()
+                .all(|(op, _)| *op == consumer || ctx.op_name(*op) == stencil::STORE);
+            if all_supported && ctx.parent_block(producer) == ctx.parent_block(consumer) {
+                return Some((producer, consumer));
+            }
+        }
+    }
+    None
+}
+
+fn fuse_applies(ctx: &mut IrContext, producer: OpId, consumer: OpId) -> Result<(), String> {
+    let producer_combos = analyze_apply(ctx, producer).map_err(|e| e.message)?;
+    let consumer_combos = analyze_apply(ctx, consumer).map_err(|e| e.message)?;
+    let producer_operands = ctx.operands(producer).to_vec();
+    let consumer_operands = ctx.operands(consumer).to_vec();
+    let producer_results = ctx.results(producer).to_vec();
+    let consumer_results = ctx.results(consumer).to_vec();
+
+    // Fused operand list: producer operands followed by the consumer
+    // operands that are not producer results.
+    let mut fused_operands = producer_operands.clone();
+    let mut consumer_operand_map: HashMap<usize, OperandSource> = HashMap::new();
+    for (idx, &operand) in consumer_operands.iter().enumerate() {
+        if let Some(res_idx) = producer_results.iter().position(|&r| r == operand) {
+            consumer_operand_map.insert(idx, OperandSource::ProducerResult(res_idx));
+        } else if let Some(pos) = fused_operands.iter().position(|&o| o == operand) {
+            consumer_operand_map.insert(idx, OperandSource::Operand(pos));
+        } else {
+            fused_operands.push(operand);
+            consumer_operand_map.insert(idx, OperandSource::Operand(fused_operands.len() - 1));
+        }
+    }
+
+    // Remap producer combos (their input indices are already positions in
+    // `fused_operands` because producer operands come first).
+    let mut fused_combos: Vec<LinearCombination> = producer_combos.clone();
+    // Compose consumer combos.
+    for combo in &consumer_combos {
+        let mut terms: Vec<Term> = Vec::new();
+        for term in &combo.terms {
+            match consumer_operand_map.get(&term.input) {
+                Some(OperandSource::Operand(pos)) => {
+                    terms.push(Term { input: *pos, ..term.clone() });
+                }
+                Some(OperandSource::ProducerResult(res_idx)) => {
+                    // Substitute the producer's combination, shifting its
+                    // offsets by the consumer access offset.
+                    for inner in &producer_combos[*res_idx].terms {
+                        let offset: Vec<i64> = inner
+                            .offset
+                            .iter()
+                            .zip(term.offset.iter().chain(std::iter::repeat(&0)))
+                            .map(|(a, b)| a + b)
+                            .collect();
+                        terms.push(Term {
+                            input: inner.input,
+                            offset,
+                            coeff: inner.coeff * term.coeff,
+                        });
+                    }
+                }
+                None => return Err("inconsistent consumer operand map".into()),
+            }
+        }
+        fused_combos.push(
+            LinearCombination { terms, constant: combo.constant }.simplified(),
+        );
+    }
+
+    // Result types: producer results then consumer results.
+    let mut result_types: Vec<Type> =
+        producer_results.iter().map(|&r| ctx.value_type(r).clone()).collect();
+    result_types.extend(consumer_results.iter().map(|&r| ctx.value_type(r).clone()));
+
+    // Build the fused apply at the consumer's position.
+    let mut b = OpBuilder::before(ctx, consumer);
+    let (fused, body) = stencil::build_apply(&mut b, fused_operands, result_types);
+    emit_combination_body(ctx, body, &fused_combos);
+
+    // Rewire uses.
+    let fused_results = ctx.results(fused).to_vec();
+    for (i, &old) in producer_results.iter().enumerate() {
+        ctx.replace_all_uses(old, fused_results[i]);
+    }
+    for (i, &old) in consumer_results.iter().enumerate() {
+        ctx.replace_all_uses(old, fused_results[producer_results.len() + i]);
+    }
+    // Stores of producer results may sit before the fused apply; move them
+    // after it to preserve dominance.
+    let fused_index = ctx.op_index_in_block(fused).expect("fused apply is attached");
+    let block = ctx.parent_block(fused).expect("fused apply is attached");
+    let mut insert_at = fused_index + 1;
+    for store in ctx.walk_named(ctx.parent_op(fused).unwrap_or(fused), stencil::STORE) {
+        if ctx.parent_block(store) == Some(block) {
+            let idx = ctx.op_index_in_block(store).unwrap_or(usize::MAX);
+            if idx < fused_index && fused_results.contains(&ctx.operand(store, 0)) {
+                ctx.detach_op(store);
+                let new_fused_index = ctx.op_index_in_block(fused).expect("still attached");
+                insert_at = insert_at.min(new_fused_index + 1);
+                ctx.insert_op(block, new_fused_index + 1, store);
+            }
+        }
+    }
+    ctx.erase_op(consumer);
+    ctx.erase_op(producer);
+    Ok(())
+}
+
+#[derive(Debug, Clone, Copy)]
+enum OperandSource {
+    Operand(usize),
+    ProducerResult(usize),
+}
+
+/// Emits the scalar body of a `stencil.apply` from linear combinations.
+pub fn emit_combination_body(
+    ctx: &mut IrContext,
+    body: wse_ir::BlockId,
+    combos: &[LinearCombination],
+) {
+    let args = ctx.block_args(body).to_vec();
+    let mut results = Vec::new();
+    let mut b = OpBuilder::at_end(ctx, body);
+    for combo in combos {
+        let mut acc: Option<ValueId> = None;
+        for term in &combo.terms {
+            let access = stencil::access(&mut b, args[term.input], &term.offset, Type::f32());
+            let coeff = arith::constant_f32(&mut b, term.coeff, Type::f32());
+            let scaled = arith::mulf(&mut b, access, coeff);
+            acc = Some(match acc {
+                Some(prev) => arith::addf(&mut b, prev, scaled),
+                None => scaled,
+            });
+        }
+        let mut value = acc.unwrap_or_else(|| arith::constant_f32(&mut b, 0.0, Type::f32()));
+        if combo.constant != 0.0 {
+            let c = arith::constant_f32(&mut b, combo.constant, Type::f32());
+            value = arith::addf(&mut b, value, c);
+        }
+        results.push(value);
+    }
+    stencil::build_return(ctx, body, results);
+}
+
+// --------------------------------------------------------------------------
+// convert-arith-to-varith
+// --------------------------------------------------------------------------
+
+/// Collapses trees of `arith.addf` / `arith.mulf` into variadic `varith`
+/// operations.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConvertArithToVarith;
+
+impl Pass for ConvertArithToVarith {
+    fn name(&self) -> &str {
+        "convert-arith-to-varith"
+    }
+
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        for (arith_name, varith_name) in [(arith::ADDF, varith::ADD), (arith::MULF, varith::MUL)] {
+            // Roots: ops of this kind whose result is not consumed by the
+            // same kind of op.
+            let candidates = ctx.walk_named(module, arith_name);
+            for root in candidates {
+                if !ctx.op_is_live(root) {
+                    continue;
+                }
+                let result = ctx.result(root, 0);
+                let used_by_same = ctx
+                    .uses_of(result)
+                    .iter()
+                    .any(|(op, _)| ctx.op_name(*op) == arith_name);
+                if used_by_same {
+                    continue;
+                }
+                let mut leaves = Vec::new();
+                let mut to_erase = Vec::new();
+                collect_leaves(ctx, root, arith_name, &mut leaves, &mut to_erase);
+                if leaves.len() < 3 {
+                    continue;
+                }
+                let ty = ctx.value_type(result).clone();
+                let mut b = OpBuilder::before(ctx, root);
+                let fused = b.insert_value(
+                    OpSpec::new(varith_name).operands(leaves.clone()).results([ty]),
+                );
+                ctx.replace_all_uses(result, fused);
+                for op in to_erase {
+                    if ctx.op_is_live(op) && !ctx.results(op).iter().any(|&r| ctx.has_uses(r)) {
+                        ctx.erase_op(op);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn collect_leaves(
+    ctx: &IrContext,
+    op: OpId,
+    kind: &str,
+    leaves: &mut Vec<ValueId>,
+    to_erase: &mut Vec<OpId>,
+) {
+    to_erase.push(op);
+    for &operand in ctx.operands(op) {
+        let nested = ctx.defining_op(operand).filter(|&d| {
+            ctx.op_name(d) == kind && ctx.uses_of(ctx.result(d, 0)).len() == 1
+        });
+        match nested {
+            Some(inner) => collect_leaves(ctx, inner, kind, leaves, to_erase),
+            None => leaves.push(operand),
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// varith-fuse-repeated-operands
+// --------------------------------------------------------------------------
+
+/// Replaces repeated operands of a `varith.add` by a single multiplication
+/// (`x + x + x` becomes `3 * x`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VarithFuseRepeatedOperands;
+
+impl Pass for VarithFuseRepeatedOperands {
+    fn name(&self) -> &str {
+        "varith-fuse-repeated-operands"
+    }
+
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        for op in ctx.walk_named(module, varith::ADD) {
+            if !ctx.op_is_live(op) {
+                continue;
+            }
+            let operands = ctx.operands(op).to_vec();
+            let mut counts: Vec<(ValueId, usize)> = Vec::new();
+            for &operand in &operands {
+                if let Some(entry) = counts.iter_mut().find(|(v, _)| *v == operand) {
+                    entry.1 += 1;
+                } else {
+                    counts.push((operand, 1));
+                }
+            }
+            if counts.iter().all(|(_, c)| *c == 1) {
+                continue;
+            }
+            let mut new_operands = Vec::new();
+            let mut b = OpBuilder::before(ctx, op);
+            for (value, count) in counts {
+                if count == 1 {
+                    new_operands.push(value);
+                } else {
+                    let ty = b.ctx_ref().value_type(value).clone();
+                    let factor = arith::constant_f32(&mut b, count as f32, ty);
+                    let scaled = arith::mulf(&mut b, value, factor);
+                    new_operands.push(scaled);
+                }
+            }
+            ctx.set_operands(op, new_operands);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_frontends::{benchmarks::Benchmark, emit_stencil_ir};
+    use wse_ir::verify;
+
+    fn registry() -> wse_ir::DialectRegistry {
+        wse_csl::register_all()
+    }
+
+    #[test]
+    fn uvkbe_applies_are_fused() {
+        let ir = emit_stencil_ir(&Benchmark::Uvkbe.tiny_program()).unwrap();
+        let mut ctx = ir.ctx;
+        assert_eq!(ctx.walk_named(ir.module, stencil::APPLY).len(), 2);
+        StencilInlining.run(&mut ctx, ir.module).unwrap();
+        let applies = ctx.walk_named(ir.module, stencil::APPLY);
+        assert_eq!(applies.len(), 1, "consecutive applies must be fused into one");
+        assert_eq!(ctx.results(applies[0]).len(), 2, "fused apply keeps both outputs");
+        assert!(verify(&ctx, ir.module, &registry()).is_empty());
+        // Both stores remain and now consume the fused apply's results.
+        let stores = ctx.walk_named(ir.module, stencil::STORE);
+        assert_eq!(stores.len(), 2);
+        for store in stores {
+            assert_eq!(ctx.defining_op(ctx.operand(store, 0)), Some(applies[0]));
+        }
+    }
+
+    #[test]
+    fn fused_combination_composes_coefficients() {
+        let ir = emit_stencil_ir(&Benchmark::Uvkbe.tiny_program()).unwrap();
+        let mut ctx = ir.ctx;
+        // Reference semantics of the second equation before fusion.
+        let before =
+            analyze_apply(&ctx, ctx.walk_named(ir.module, stencil::APPLY)[1]).unwrap()[0].clone();
+        StencilInlining.run(&mut ctx, ir.module).unwrap();
+        let fused = ctx.walk_named(ir.module, stencil::APPLY)[0];
+        let combos = analyze_apply(&ctx, fused).unwrap();
+        assert_eq!(combos.len(), 2);
+        // The second output previously read the first output's centre with
+        // coefficient 0.3; after fusion that coefficient is distributed over
+        // the first equation's terms, so the fused second output has more
+        // terms than before.
+        assert!(combos[1].terms.len() > before.terms.len());
+    }
+
+    #[test]
+    fn jacobian_is_not_fused() {
+        let ir = emit_stencil_ir(&Benchmark::Jacobian.tiny_program()).unwrap();
+        let mut ctx = ir.ctx;
+        StencilInlining.run(&mut ctx, ir.module).unwrap();
+        assert_eq!(ctx.walk_named(ir.module, stencil::APPLY).len(), 1);
+    }
+
+    #[test]
+    fn arith_chains_become_varith() {
+        let ir = emit_stencil_ir(&Benchmark::Jacobian.tiny_program()).unwrap();
+        let mut ctx = ir.ctx;
+        ConvertArithToVarith.run(&mut ctx, ir.module).unwrap();
+        let varith_ops = ctx.walk_named(ir.module, varith::ADD);
+        assert_eq!(varith_ops.len(), 1);
+        // Six scaled accesses feed the single variadic add.
+        assert_eq!(ctx.operands(varith_ops[0]).len(), 6);
+        assert!(verify(&ctx, ir.module, &registry()).is_empty());
+        // The original addf chain is gone.
+        assert!(ctx.walk_named(ir.module, arith::ADDF).is_empty());
+    }
+
+    #[test]
+    fn repeated_operands_become_multiplication() {
+        use wse_dialects::builtin;
+        let mut ctx = IrContext::new();
+        let (module, body) = builtin::module(&mut ctx);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let x = arith::constant_f32(&mut b, 1.5, Type::f32());
+        let y = arith::constant_f32(&mut b, 2.0, Type::f32());
+        varith::add(&mut b, vec![x, x, x, y]);
+        VarithFuseRepeatedOperands.run(&mut ctx, module).unwrap();
+        let add = ctx.walk_named(module, varith::ADD)[0];
+        assert_eq!(ctx.operands(add).len(), 2, "three x operands collapse to one");
+        let mul = ctx.walk_named(module, arith::MULF);
+        assert_eq!(mul.len(), 1);
+        assert!(verify(&ctx, module, &registry()).is_empty());
+    }
+
+    #[test]
+    fn analysis_agrees_before_and_after_varith() {
+        // The varith conversion must not change the computed combination.
+        let ir = emit_stencil_ir(&Benchmark::Diffusion.tiny_program()).unwrap();
+        let mut ctx = ir.ctx;
+        let apply = ctx.walk_named(ir.module, stencil::APPLY)[0];
+        let before = analyze_apply(&ctx, apply).unwrap();
+        ConvertArithToVarith.run(&mut ctx, ir.module).unwrap();
+        VarithFuseRepeatedOperands.run(&mut ctx, ir.module).unwrap();
+        let after = analyze_apply(&ctx, apply).unwrap();
+        assert_eq!(before.len(), after.len());
+        let eval = |combos: &[LinearCombination]| {
+            combos[0].evaluate(&|input, offset| {
+                (input as f32 + 1.0) * (offset[0] * 100 + offset[1] * 10 + offset[2]) as f32
+            })
+        };
+        assert!((eval(&before) - eval(&after)).abs() < 1e-4);
+    }
+}

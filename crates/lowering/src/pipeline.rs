@@ -1,0 +1,228 @@
+//! The complete lowering pipeline from the `stencil` dialect to CSL.
+//!
+//! [`PipelineOptions`] selects the WSE generation and the optimizations
+//! described in Section 5.7; [`build_pass_manager`] assembles the pass
+//! sequence of Figure 3; [`lower_program`] runs a front-end program all the
+//! way to CSL sources.
+
+use wse_csl::{print_csl, CommsLibraryConfig, CslSources};
+use wse_frontends::{emit_stencil_ir, StencilProgram};
+use wse_ir::{IrContext, OpId, PassError, PassManager};
+
+use crate::decompose::{DistributeStencil, TensorizeZ};
+use crate::linalg_to_csl::{ConvertLinalgToCsl, LinalgFuseMultiplyAdd};
+use crate::opt_passes::{ConvertArithToVarith, StencilInlining, VarithFuseRepeatedOperands};
+use crate::to_actors::{LowerCslStencilToActors, LowerCslWrapperToCsl};
+use crate::to_csl_stencil::{ConvertStencilToCslStencil, CslStencilOptions, WrapInCslWrapper};
+
+/// The target Wafer-Scale Engine generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WseTarget {
+    /// Cerebras CS-2 (WSE2): 850 000 PEs, older switching logic that
+    /// requires each PE to also transmit to itself.
+    Wse2,
+    /// Cerebras CS-3 (WSE3): 900 000 PEs, upgraded switching logic.
+    #[default]
+    Wse3,
+}
+
+impl WseTarget {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WseTarget::Wse2 => "WSE2",
+            WseTarget::Wse3 => "WSE3",
+        }
+    }
+
+    /// Whether the generation requires the self-transmit workaround.
+    pub fn requires_self_transmit(self) -> bool {
+        matches!(self, WseTarget::Wse2)
+    }
+}
+
+/// Options controlling the lowering pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Target WSE generation.
+    pub target: WseTarget,
+    /// PE-grid extent in x (defaults to the program's x extent).
+    pub width: Option<i64>,
+    /// PE-grid extent in y (defaults to the program's y extent).
+    pub height: Option<i64>,
+    /// Number of chunks per halo exchange.
+    pub num_chunks: i64,
+    /// Enable `stencil-inlining`.
+    pub enable_inlining: bool,
+    /// Enable the varith conversion and repeated-operand fusion.
+    pub enable_varith: bool,
+    /// Enable `linalg-fuse-multiply-add` (fmacs generation).
+    pub enable_fmac_fusion: bool,
+    /// Apply remote-term coefficients while receiving chunks.
+    pub promote_coefficients: bool,
+    /// Verify the IR after every pass (slower; used by tests).
+    pub verify_each: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        Self {
+            target: WseTarget::Wse3,
+            width: None,
+            height: None,
+            num_chunks: 1,
+            enable_inlining: true,
+            enable_varith: true,
+            enable_fmac_fusion: true,
+            promote_coefficients: true,
+            verify_each: false,
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// Options targeting a specific generation with defaults otherwise.
+    pub fn for_target(target: WseTarget) -> Self {
+        Self { target, ..Self::default() }
+    }
+}
+
+/// The result of lowering a program.
+#[derive(Debug)]
+pub struct LoweredProgram {
+    /// The IR context holding the final module.
+    pub ctx: IrContext,
+    /// The top-level module (contains the layout and program `csl.module`s).
+    pub module: OpId,
+    /// Generated CSL sources (program, layout, runtime library).
+    pub sources: CslSources,
+    /// Names of the passes that were run, in order.
+    pub pass_names: Vec<String>,
+}
+
+/// Assembles the pass pipeline of Figure 3 for `program`.
+pub fn build_pass_manager(program: &StencilProgram, options: &PipelineOptions) -> PassManager {
+    let width = options.width.unwrap_or(program.grid.x);
+    let height = options.height.unwrap_or(program.grid.y);
+    let mut pm = PassManager::new()
+        .verify_each(options.verify_each)
+        .with_registry(wse_csl::register_all());
+    if options.enable_inlining {
+        pm.add_pass(Box::new(StencilInlining));
+    }
+    if options.enable_varith {
+        pm.add_pass(Box::new(ConvertArithToVarith));
+        pm.add_pass(Box::new(VarithFuseRepeatedOperands));
+    }
+    pm.add_pass(Box::new(DistributeStencil { width, height }));
+    pm.add_pass(Box::new(TensorizeZ));
+    pm.add_pass(Box::new(ConvertStencilToCslStencil {
+        options: CslStencilOptions {
+            num_chunks: options.num_chunks,
+            promote_coefficients: options.promote_coefficients,
+        },
+    }));
+    pm.add_pass(Box::new(WrapInCslWrapper { width, height }));
+    pm.add_pass(Box::new(LowerCslStencilToActors));
+    if options.enable_fmac_fusion {
+        pm.add_pass(Box::new(LinalgFuseMultiplyAdd));
+    }
+    pm.add_pass(Box::new(ConvertLinalgToCsl));
+    pm.add_pass(Box::new(LowerCslWrapperToCsl));
+    pm
+}
+
+/// Lowers a front-end program all the way to CSL sources.
+///
+/// # Errors
+/// Returns a [`PassError`] if front-end emission or any pass fails.
+pub fn lower_program(
+    program: &StencilProgram,
+    options: &PipelineOptions,
+) -> Result<LoweredProgram, PassError> {
+    let ir = emit_stencil_ir(program).map_err(|m| PassError::new("emit-stencil-ir", m))?;
+    let mut ctx = ir.ctx;
+    let module = ir.module;
+    let mut pm = build_pass_manager(program, options);
+    let pass_names: Vec<String> = pm.pass_names().iter().map(|s| s.to_string()).collect();
+    pm.run(&mut ctx, module)?;
+    let mut sources = print_csl(&ctx, module);
+    // The runtime library is specialized per generation (WSE2 needs the
+    // self-transmit workaround).
+    if let Some(lib) = sources.files.iter_mut().find(|f| f.name == "stencil_comms.csl") {
+        lib.content = wse_csl::stencil_comms_library_with(CommsLibraryConfig {
+            pattern: program.xy_radius().max(1),
+            num_chunks: options.num_chunks,
+            chunk_size: program.grid.z / options.num_chunks.max(1),
+            wse2_self_transmit: options.target.requires_self_transmit(),
+        });
+    }
+    Ok(LoweredProgram { ctx, module, sources, pass_names })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_csl::csl;
+    use wse_frontends::benchmarks::Benchmark;
+    use wse_ir::verify;
+
+    #[test]
+    fn full_pipeline_runs_for_every_benchmark() {
+        for benchmark in Benchmark::ALL {
+            let program = benchmark.tiny_program();
+            let options =
+                PipelineOptions { verify_each: true, num_chunks: 2, ..PipelineOptions::default() };
+            let lowered = lower_program(&program, &options)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", benchmark.name()));
+            let errors = verify(&lowered.ctx, lowered.module, &wse_csl::register_all());
+            assert!(errors.is_empty(), "{}: {errors:?}", benchmark.name());
+            // Layout + program modules and generated sources exist.
+            assert_eq!(lowered.ctx.walk_named(lowered.module, csl::MODULE).len(), 2);
+            assert!(lowered.sources.kernel_loc() > 0, "{} has no kernel", benchmark.name());
+            assert!(lowered.sources.total_loc() > lowered.sources.kernel_loc());
+            assert!(lowered.pass_names.len() >= 8);
+        }
+    }
+
+    #[test]
+    fn fmac_fusion_produces_fmacs_builtins() {
+        let program = Benchmark::Seismic25.tiny_program();
+        let fused = lower_program(&program, &PipelineOptions::default()).unwrap();
+        let unfused = lower_program(
+            &program,
+            &PipelineOptions { enable_fmac_fusion: false, ..PipelineOptions::default() },
+        )
+        .unwrap();
+        let count = |lowered: &LoweredProgram, name: &str| {
+            lowered.ctx.walk_named(lowered.module, name).len()
+        };
+        assert!(count(&fused, csl::FMACS) > 0, "fusion produces @fmacs");
+        assert_eq!(count(&unfused, csl::FMACS), 0, "without fusion there are no @fmacs");
+        assert!(count(&unfused, csl::FMULS) > count(&fused, csl::FMULS));
+    }
+
+    #[test]
+    fn wse2_runtime_library_differs() {
+        let program = Benchmark::Jacobian.tiny_program();
+        let wse2 = lower_program(&program, &PipelineOptions::for_target(WseTarget::Wse2)).unwrap();
+        let wse3 = lower_program(&program, &PipelineOptions::for_target(WseTarget::Wse3)).unwrap();
+        let lib = |l: &LoweredProgram| l.sources.file("stencil_comms.csl").unwrap().content.clone();
+        assert!(lib(&wse2).contains("self_transmit"));
+        assert!(!lib(&wse3).contains("self_transmit"));
+        assert_eq!(WseTarget::Wse2.name(), "WSE2");
+        assert!(WseTarget::Wse2.requires_self_transmit());
+        assert!(!WseTarget::Wse3.requires_self_transmit());
+    }
+
+    #[test]
+    fn generated_kernel_loc_is_reasonable() {
+        // Table 1: the generated kernel is O(100) lines while the DSL input
+        // is a few tens of lines.
+        let program = Benchmark::Jacobian.tiny_program();
+        let lowered = lower_program(&program, &PipelineOptions::default()).unwrap();
+        let kernel = lowered.sources.kernel_loc();
+        assert!(kernel > 30, "kernel unexpectedly small: {kernel}");
+        assert!(program.source_loc() < kernel, "DSL must be far shorter than generated CSL");
+    }
+}

@@ -1,0 +1,667 @@
+//! Groups 3 and 4: memory realization within a PE and mapping to the actor
+//! execution model (Sections 5.3 and 5.4 of the paper).
+//!
+//! `lower-csl-stencil-to-actors` converts the kernel function into a
+//! `csl.module` program: every `csl_stencil.apply` becomes a `seq_kernel`
+//! function that starts the chunked halo exchange plus two software actors
+//! (a receive-chunk task and a done-exchange task), buffers are realized as
+//! PE-local allocations (`csl.zeros` / `csl.constants`), compute becomes
+//! destination-passing-style `linalg` operations over `memref` views, and
+//! the surrounding `scf.for` time loop is rewritten into the
+//! `for_cond0` / `for_inc0` / `for_post0` task graph of Figure 1.
+//!
+//! `lower-csl-wrapper-to-csl` then emits the layout metaprogram as a second
+//! `csl.module` and dissolves the wrapper.
+
+use std::collections::HashMap;
+
+use wse_csl::{csl, csl_stencil, csl_wrapper};
+use wse_dialects::{arith, func, linalg, memref, scf, stencil};
+use wse_ir::{
+    Attribute, BlockId, IrContext, OpBuilder, OpId, Pass, PassError, PassResult, Type, ValueId,
+};
+
+use crate::decompose::apply_combinations;
+
+/// Identifier of the local task used for the timestep condition check.
+const FOR_COND_TASK_ID: i64 = 3;
+
+/// Lowers the kernel function to the CSL actor model (program module).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LowerCslStencilToActors;
+
+impl Pass for LowerCslStencilToActors {
+    fn name(&self) -> &str {
+        "lower-csl-stencil-to-actors"
+    }
+
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        let wrapper = csl_wrapper::find_wrapper(ctx, module)
+            .ok_or_else(|| PassError::new(self.name(), "module has not been wrapped"))?;
+        let program_block = csl_wrapper::program_block(ctx, wrapper)
+            .ok_or_else(|| PassError::new(self.name(), "wrapper has no program region"))?;
+        let kernel_func = ctx
+            .block_ops(program_block)
+            .iter()
+            .copied()
+            .find(|&op| ctx.op_name(op) == func::FUNC)
+            .ok_or_else(|| PassError::new(self.name(), "program region has no kernel function"))?;
+        let params = csl_wrapper::WrapperParams::from_op(ctx, wrapper)
+            .ok_or_else(|| PassError::new(self.name(), "wrapper is missing parameters"))?;
+        lower_function(ctx, program_block, kernel_func, &params)
+            .map_err(|m| PassError::new(self.name(), m))
+    }
+}
+
+/// Per-kernel information gathered from the function body.
+struct KernelInfo {
+    /// The apply op (csl_stencil.apply or local-only stencil.apply).
+    apply: OpId,
+    /// True if it performs a halo exchange.
+    communicates: bool,
+    /// Field index written by the apply's store.
+    output_field: usize,
+    /// Field index backing each apply operand (loads, function arguments or
+    /// results forwarded from earlier applies).
+    operand_fields: Vec<usize>,
+}
+
+fn lower_function(
+    ctx: &mut IrContext,
+    program_block: BlockId,
+    kernel_func: OpId,
+    params: &csl_wrapper::WrapperParams,
+) -> Result<(), String> {
+    let field_names: Vec<String> = ctx
+        .attr(kernel_func, "field_names")
+        .and_then(Attribute::as_array)
+        .map(|a| a.iter().filter_map(|x| x.as_str().map(str::to_string)).collect())
+        .unwrap_or_default();
+    let timesteps = ctx.attr_int(kernel_func, "timesteps").unwrap_or(1);
+    let entry = func::func_body(ctx, kernel_func).ok_or("kernel function has no body")?;
+    let func_args = ctx.block_args(entry).to_vec();
+
+    // The applies live either directly in the entry block or inside an
+    // scf.for body.
+    let loop_op = ctx
+        .block_ops(entry)
+        .iter()
+        .copied()
+        .find(|&op| ctx.op_name(op) == scf::FOR);
+    let work_block = match loop_op {
+        Some(for_op) => scf::for_body(ctx, for_op).ok_or("time loop has no body")?,
+        None => entry,
+    };
+
+    // Map SSA values (loads / apply results) back to field indices so the
+    // actor code can address the right PE-local buffer.
+    let mut value_field: HashMap<ValueId, usize> = HashMap::new();
+    for (i, &arg) in func_args.iter().enumerate() {
+        value_field.insert(arg, i);
+    }
+    for load in ctx.walk_named(kernel_func, stencil::LOAD) {
+        let src = ctx.operand(load, 0);
+        if let Some(&f) = value_field.get(&src) {
+            value_field.insert(ctx.result(load, 0), f);
+        }
+    }
+
+    // Gather the kernels (applies) in program order together with their
+    // output field (from the store that consumes the result) and the field
+    // index backing each operand.
+    let mut kernels: Vec<KernelInfo> = Vec::new();
+    for &op in ctx.block_ops(work_block) {
+        let name = ctx.op_name(op).to_string();
+        if name != csl_stencil::APPLY && name != stencil::APPLY {
+            continue;
+        }
+        let result = ctx.result(op, 0);
+        let store = ctx
+            .uses_of(result)
+            .into_iter()
+            .map(|(user, _)| user)
+            .find(|&user| ctx.op_name(user) == stencil::STORE)
+            .ok_or("apply result is never stored")?;
+        let out_value = ctx.operand(store, 1);
+        let output_field =
+            *value_field.get(&out_value).ok_or("store destination is not a kernel field")?;
+        let operand_fields: Vec<usize> = ctx
+            .operands(op)
+            .iter()
+            .map(|operand| value_field.get(operand).copied().unwrap_or(output_field))
+            .collect();
+        // Later applies may consume this apply's result directly (forwarded
+        // centre-only reads).
+        value_field.insert(result, output_field);
+        kernels.push(KernelInfo {
+            apply: op,
+            communicates: name == csl_stencil::APPLY,
+            output_field,
+            operand_fields,
+        });
+    }
+    if kernels.is_empty() {
+        return Err("kernel contains no stencil applies".into());
+    }
+
+    let z_interior = params.z_dim;
+    let z_halo = kernels
+        .iter()
+        .filter_map(|k| ctx.attr_int(k.apply, "z_halo"))
+        .max()
+        .unwrap_or(0);
+    let z_storage = z_interior + 2 * z_halo;
+    let max_slots = kernels
+        .iter()
+        .filter(|k| k.communicates)
+        .filter_map(|k| {
+            ctx.attr(k.apply, "slot_inputs")
+                .and_then(Attribute::as_index_array)
+                .map(<[i64]>::len)
+        })
+        .max()
+        .unwrap_or(1) as i64;
+
+    // ------------------------------------------------------------------
+    // Build the program module skeleton.
+    // ------------------------------------------------------------------
+    let mut b = OpBuilder::at_start(ctx, program_block);
+    let (program_module, program_body) = csl::build_module(&mut b, "pe_program", csl::ModuleKind::Program);
+    ctx.set_attr(program_module, "width", Attribute::int(params.width));
+    ctx.set_attr(program_module, "height", Attribute::int(params.height));
+    ctx.set_attr(program_module, "z_dim", Attribute::int(z_interior));
+    ctx.set_attr(program_module, "z_halo", Attribute::int(z_halo));
+    ctx.set_attr(program_module, "timesteps", Attribute::int(timesteps));
+
+    let mut mb = OpBuilder::at_end(ctx, program_body);
+    csl::param(&mut mb, "width", Some(params.width), Type::int(16));
+    csl::param(&mut mb, "height", Some(params.height), Type::int(16));
+    csl::param(&mut mb, "z_dim", Some(z_interior), Type::int(16));
+    let _memcpy = csl::import_module(&mut mb, "<memcpy/memcpy>");
+    let comms = csl::import_module(&mut mb, "stencil_comms.csl");
+
+    // PE-local buffers: one column buffer per field, one accumulator, one
+    // receive staging buffer, one scratch buffer.
+    let buffer_ty = Type::memref(vec![z_storage], Type::f32());
+    let mut field_buffers: Vec<ValueId> = Vec::new();
+    for (i, _) in func_args.iter().enumerate() {
+        let name = field_names.get(i).cloned().unwrap_or_else(|| format!("field{i}"));
+        let buf = csl::zeros(&mut mb, &name, buffer_ty.clone());
+        csl::export(&mut mb, &name, "buffer");
+        field_buffers.push(buf);
+    }
+    let acc_ty = Type::memref(vec![z_interior], Type::f32());
+    let acc_buf = csl::zeros(&mut mb, "accumulator", acc_ty.clone());
+    let scratch_buf = csl::zeros(&mut mb, "scratch", acc_ty.clone());
+    let chunk_size = params.chunk_size;
+    let recv_ty = Type::memref(vec![max_slots * chunk_size], Type::f32());
+    let recv_buf = csl::zeros(&mut mb, "recv_buffer", recv_ty);
+
+    if timesteps > 1 {
+        csl::var(&mut mb, "step", Type::int(16), 0);
+    }
+
+    // Coefficient constant buffers are created lazily per distinct value.
+    let mut coeff_buffers: HashMap<u32, ValueId> = HashMap::new();
+
+    // ------------------------------------------------------------------
+    // Emit one seq_kernel (+ callbacks) per apply.
+    // ------------------------------------------------------------------
+    let num_kernels = kernels.len();
+    for (k, info) in kernels.iter().enumerate() {
+        let continuation = if k + 1 < num_kernels {
+            format!("seq_kernel{}", k + 1)
+        } else if timesteps > 1 {
+            "for_inc0".to_string()
+        } else {
+            "for_post0".to_string()
+        };
+        let combos = apply_combinations(ctx, info.apply)
+            .ok_or("apply is missing its cached analysis")?;
+        let combo = combos.first().cloned().unwrap_or_default();
+
+        if info.communicates {
+            let exchanges = csl_stencil::swaps_of(ctx, info.apply);
+            let num_chunks = csl_stencil::num_chunks(ctx, info.apply);
+            let chunk = ctx.attr_int(info.apply, "chunk_size").unwrap_or(z_interior);
+            let slot_inputs: Vec<i64> = ctx
+                .attr(info.apply, "slot_inputs")
+                .and_then(Attribute::as_index_array)
+                .map(<[i64]>::to_vec)
+                .unwrap_or_default();
+            // Slot inputs are apply-operand indices; translate to fields.
+            let slot_fields: Vec<i64> = slot_inputs
+                .iter()
+                .map(|&i| info.operand_fields.get(i as usize).copied().unwrap_or(0) as i64)
+                .collect();
+            let remote_terms: Vec<_> = combo.remote_terms().into_iter().cloned().collect();
+            let local_terms: Vec<_> = combo.local_terms().into_iter().cloned().collect();
+            // Map each communicated field to its buffer operand order in the
+            // communicate call.
+            let mut comm_fields: Vec<i64> = slot_fields.clone();
+            comm_fields.sort_unstable();
+            comm_fields.dedup();
+
+            // ---- seq_kernel{k}: reset accumulator, start the exchange.
+            let mut mb = OpBuilder::at_end(ctx, program_body);
+            let (_f, body) = csl::build_func(&mut mb, &format!("seq_kernel{k}"), vec![]);
+            let mut fb = OpBuilder::at_end(ctx, body);
+            let zero = arith::constant_f32(&mut fb, 0.0, Type::f32());
+            linalg::fill(&mut fb, zero, acc_buf);
+            let comm_operands: Vec<ValueId> =
+                comm_fields.iter().map(|&f| field_buffers[f as usize]).collect();
+            let call = csl::member_call(
+                &mut fb,
+                "communicate",
+                comms,
+                comm_operands,
+                &[&format!("receive_chunk_cb{k}"), &format!("done_exchange_cb{k}")],
+                vec![],
+            );
+            ctx.set_attr(call, "num_chunks", Attribute::int(num_chunks));
+            ctx.set_attr(call, "chunk_size", Attribute::int(chunk));
+            ctx.set_attr(call, "fields", Attribute::IndexArray(comm_fields.clone()));
+            ctx.set_attr(call, "swaps", csl_stencil::swaps_attr(&exchanges));
+            ctx.set_attr(
+                call,
+                "slot_neighbors",
+                Attribute::Array(
+                    remote_terms
+                        .iter()
+                        .map(|t| {
+                            Attribute::IndexArray(vec![
+                                t.offset.first().copied().unwrap_or(0),
+                                t.offset.get(1).copied().unwrap_or(0),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+            ctx.set_attr(call, "slot_fields", Attribute::IndexArray(slot_fields.clone()));
+            csl::build_return(ctx, body, vec![]);
+
+            // ---- receive_chunk_cb{k}: reduce one incoming chunk.
+            let mut mb = OpBuilder::at_end(ctx, program_body);
+            let (_t, recv_body) = csl::build_task(
+                &mut mb,
+                &format!("receive_chunk_cb{k}"),
+                csl::TaskKind::Local,
+                (4 + k as i64).min(23),
+                vec![Type::int(16)],
+            );
+            let offset_arg = ctx.block_args(recv_body)[0];
+            {
+                let mut tb = OpBuilder::at_end(ctx, recv_body);
+                let acc_view = memref::subview_dynamic(&mut tb, acc_buf, offset_arg, chunk);
+                for (slot, term) in remote_terms.iter().enumerate() {
+                    let recv_view =
+                        memref::subview(&mut tb, recv_buf, slot as i64 * chunk_size, chunk);
+                    emit_scaled_accumulate(
+                        &mut tb,
+                        &mut coeff_buffers,
+                        program_body,
+                        recv_view,
+                        term.coeff,
+                        acc_view,
+                        scratch_buf,
+                        chunk,
+                    );
+                }
+                let _ = (&slot_inputs, &slot_fields);
+            }
+            csl::build_return(ctx, recv_body, vec![]);
+
+            // ---- done_exchange_cb{k}: local reduction, write-back, chain.
+            let mut mb = OpBuilder::at_end(ctx, program_body);
+            let (_t, done_body) = csl::build_task(
+                &mut mb,
+                &format!("done_exchange_cb{k}"),
+                csl::TaskKind::Local,
+                (10 + k as i64).min(23),
+                vec![],
+            );
+            {
+                let mut tb = OpBuilder::at_end(ctx, done_body);
+                for term in &local_terms {
+                    let src_buf = field_buffers[info.operand_fields[term.input]];
+                    let src_view =
+                        memref::subview(&mut tb, src_buf, z_halo + term.dz(), z_interior);
+                    emit_scaled_accumulate(
+                        &mut tb,
+                        &mut coeff_buffers,
+                        program_body,
+                        src_view,
+                        term.coeff,
+                        acc_buf,
+                        scratch_buf,
+                        z_interior,
+                    );
+                }
+                // Write the new column back into the output field buffer.
+                let out_view =
+                    memref::subview(&mut tb, field_buffers[info.output_field], z_halo, z_interior);
+                linalg::copy(&mut tb, acc_buf, out_view);
+                csl::call(&mut tb, &continuation, vec![]);
+            }
+            csl::build_return(ctx, done_body, vec![]);
+        } else {
+            // Local-only apply: one seq_kernel doing the whole update.
+            let local_terms: Vec<_> = combo.terms.clone();
+            let mut mb = OpBuilder::at_end(ctx, program_body);
+            let (_f, body) = csl::build_func(&mut mb, &format!("seq_kernel{k}"), vec![]);
+            {
+                let mut fb = OpBuilder::at_end(ctx, body);
+                let zero = arith::constant_f32(&mut fb, 0.0, Type::f32());
+                linalg::fill(&mut fb, zero, acc_buf);
+                for term in &local_terms {
+                    let src_buf = field_buffers[info.operand_fields[term.input]];
+                    let src_view =
+                        memref::subview(&mut fb, src_buf, z_halo + term.dz(), z_interior);
+                    emit_scaled_accumulate(
+                        &mut fb,
+                        &mut coeff_buffers,
+                        program_body,
+                        src_view,
+                        term.coeff,
+                        acc_buf,
+                        scratch_buf,
+                        z_interior,
+                    );
+                }
+                let out_view =
+                    memref::subview(&mut fb, field_buffers[info.output_field], z_halo, z_interior);
+                linalg::copy(&mut fb, acc_buf, out_view);
+                csl::call(&mut fb, &continuation, vec![]);
+            }
+            csl::build_return(ctx, body, vec![]);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Time-loop task graph (Figure 1) and the host entry point.
+    // ------------------------------------------------------------------
+    if timesteps > 1 {
+        // for_cond0: if (step < timesteps) seq_kernel0() else for_post0().
+        let mut mb = OpBuilder::at_end(ctx, program_body);
+        let (_t, cond_body) =
+            csl::build_task(&mut mb, "for_cond0", csl::TaskKind::Local, FOR_COND_TASK_ID, vec![]);
+        {
+            let mut tb = OpBuilder::at_end(ctx, cond_body);
+            let step = csl::load_var(&mut tb, "step", Type::int(16));
+            let limit = arith::constant_int(&mut tb, timesteps, Type::int(16));
+            let cond = tb.insert_value(
+                wse_ir::OpSpec::new(arith::CMPI)
+                    .operands([step, limit])
+                    .results([Type::bool()])
+                    .attr("predicate", Attribute::str("slt")),
+            );
+            let (_if_op, then_block, else_block) = csl::build_if(&mut tb, cond);
+            let mut then_b = OpBuilder::at_end(ctx, then_block);
+            csl::call(&mut then_b, "seq_kernel0", vec![]);
+            let mut else_b = OpBuilder::at_end(ctx, else_block);
+            csl::call(&mut else_b, "for_post0", vec![]);
+        }
+        csl::build_return(ctx, cond_body, vec![]);
+
+        // for_inc0: step += 1; @activate(for_cond0).
+        let mut mb = OpBuilder::at_end(ctx, program_body);
+        let (_f, inc_body) = csl::build_func(&mut mb, "for_inc0", vec![]);
+        {
+            let mut fb = OpBuilder::at_end(ctx, inc_body);
+            let step = csl::load_var(&mut fb, "step", Type::int(16));
+            let one = arith::constant_int(&mut fb, 1, Type::int(16));
+            let next = arith::addi(&mut fb, step, one);
+            csl::store_var(&mut fb, "step", next);
+            csl::activate(&mut fb, "for_cond0", FOR_COND_TASK_ID);
+        }
+        csl::build_return(ctx, inc_body, vec![]);
+    }
+
+    // for_post0: return control to the host.
+    let mut mb = OpBuilder::at_end(ctx, program_body);
+    let (_f, post_body) = csl::build_func(&mut mb, "for_post0", vec![]);
+    {
+        let mut fb = OpBuilder::at_end(ctx, post_body);
+        fb.insert(wse_ir::OpSpec::new(csl::RPC));
+    }
+    csl::build_return(ctx, post_body, vec![]);
+
+    // f_main: host-callable entry.
+    let mut mb = OpBuilder::at_end(ctx, program_body);
+    let (_f, main_body) = csl::build_func(&mut mb, "f_main", vec![]);
+    {
+        let mut fb = OpBuilder::at_end(ctx, main_body);
+        if timesteps > 1 {
+            csl::activate(&mut fb, "for_cond0", FOR_COND_TASK_ID);
+        } else {
+            csl::call(&mut fb, "seq_kernel0", vec![]);
+        }
+    }
+    csl::build_return(ctx, main_body, vec![]);
+    let mut mb = OpBuilder::at_end(ctx, program_body);
+    csl::export(&mut mb, "f_main", "fn");
+
+    // The original kernel function has been fully absorbed.
+    ctx.erase_op(kernel_func);
+    Ok(())
+}
+
+/// Emits `dest += coeff * src` as DPS linalg operations using a scratch
+/// buffer; the `linalg-fuse-multiply-add` pass fuses the pair into a
+/// `linalg.fmac` when enabled.
+#[allow(clippy::too_many_arguments)]
+fn emit_scaled_accumulate(
+    b: &mut OpBuilder<'_>,
+    coeff_buffers: &mut HashMap<u32, ValueId>,
+    program_body: BlockId,
+    src: ValueId,
+    coeff: f32,
+    dest: ValueId,
+    scratch: ValueId,
+    len: i64,
+) {
+    let index = coeff_buffers.len();
+    let coeff_buf = *coeff_buffers.entry(coeff.to_bits()).or_insert_with(|| {
+        let buffer_len = b.ctx_ref().value_type(scratch).shape().map(|s| s[0]).unwrap_or(len);
+        let mut cb = OpBuilder::at_start(b.ctx(), program_body);
+        // Inserted at the start of the module body so the constant dominates
+        // every task that references it.
+        csl::constants(
+            &mut cb,
+            &format!("coeff{index}"),
+            Type::memref(vec![buffer_len], Type::f32()),
+            coeff,
+        )
+    });
+    let coeff_view = memref::subview(b, coeff_buf, 0, len);
+    let scratch_view = memref::subview(b, scratch, 0, len);
+    let mul = linalg::mul(b, src, coeff_view, scratch_view);
+    b.ctx().set_attr(mul, "coefficient", Attribute::f32(coeff));
+    let dest_len = b.ctx_ref().value_type(dest).shape().map(|s| s[0]).unwrap_or(len);
+    let dest_view = if dest_len == len { dest } else { memref::subview(b, dest, 0, len) };
+    linalg::add(b, dest_view, scratch_view, dest_view);
+}
+
+// --------------------------------------------------------------------------
+// lower-csl-wrapper-to-csl
+// --------------------------------------------------------------------------
+
+/// Emits the layout metaprogram as a `csl.module` and dissolves the
+/// wrapper, leaving a `builtin.module` that contains exactly the layout and
+/// program CSL modules (Section 5.5, last step).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LowerCslWrapperToCsl;
+
+impl Pass for LowerCslWrapperToCsl {
+    fn name(&self) -> &str {
+        "lower-csl-wrapper-to-csl"
+    }
+
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        let Some(wrapper) = csl_wrapper::find_wrapper(ctx, module) else {
+            return Ok(());
+        };
+        let params = csl_wrapper::WrapperParams::from_op(ctx, wrapper)
+            .ok_or_else(|| PassError::new(self.name(), "wrapper is missing parameters"))?;
+        let module_body = wse_dialects::builtin::module_body(ctx, module);
+
+        // Layout module.
+        let mut b = OpBuilder::at_end(ctx, module_body);
+        let (_layout_module, layout_body) =
+            csl::build_module(&mut b, "layout", csl::ModuleKind::Layout);
+        let mut lb = OpBuilder::at_end(ctx, layout_body);
+        csl::param(&mut lb, "width", Some(params.width), Type::int(16));
+        csl::param(&mut lb, "height", Some(params.height), Type::int(16));
+        csl::import_module(&mut lb, "<memcpy/get_params>");
+        csl::set_rectangle(&mut lb, params.width, params.height);
+        csl::set_tile_code(
+            &mut lb,
+            "pe_program.csl",
+            vec![
+                ("z_dim".to_string(), Attribute::int(params.z_dim)),
+                ("pattern".to_string(), Attribute::int(params.pattern)),
+                ("num_chunks".to_string(), Attribute::int(params.num_chunks)),
+                ("chunk_size".to_string(), Attribute::int(params.chunk_size)),
+                ("fields".to_string(), Attribute::int(params.fields)),
+            ],
+        );
+        let mut lb = OpBuilder::at_end(ctx, layout_body);
+        csl::export(&mut lb, "f_main", "fn");
+
+        // Move the program csl.module out of the wrapper, then erase the
+        // wrapper.
+        if let Some(program_block) = csl_wrapper::program_block(ctx, wrapper) {
+            let program_modules: Vec<OpId> = ctx
+                .block_ops(program_block)
+                .iter()
+                .copied()
+                .filter(|&op| ctx.op_name(op) == csl::MODULE)
+                .collect();
+            for pm in program_modules {
+                ctx.detach_op(pm);
+                let at = ctx.block_ops(module_body).len();
+                ctx.insert_op(module_body, at, pm);
+            }
+        }
+        ctx.erase_op(wrapper);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::{DistributeStencil, TensorizeZ};
+    use crate::opt_passes::StencilInlining;
+    use crate::to_csl_stencil::{ConvertStencilToCslStencil, CslStencilOptions, WrapInCslWrapper};
+    use wse_frontends::{benchmarks::Benchmark, emit_stencil_ir};
+    use wse_ir::verify;
+
+    fn lower_to_actors(benchmark: Benchmark, num_chunks: i64) -> (IrContext, OpId) {
+        let program = benchmark.tiny_program();
+        let ir = emit_stencil_ir(&program).unwrap();
+        let mut ctx = ir.ctx;
+        StencilInlining.run(&mut ctx, ir.module).unwrap();
+        DistributeStencil { width: program.grid.x, height: program.grid.y }
+            .run(&mut ctx, ir.module)
+            .unwrap();
+        TensorizeZ.run(&mut ctx, ir.module).unwrap();
+        ConvertStencilToCslStencil {
+            options: CslStencilOptions { num_chunks, promote_coefficients: true },
+        }
+        .run(&mut ctx, ir.module)
+        .unwrap();
+        WrapInCslWrapper { width: program.grid.x, height: program.grid.y }
+            .run(&mut ctx, ir.module)
+            .unwrap();
+        LowerCslStencilToActors.run(&mut ctx, ir.module).unwrap();
+        LowerCslWrapperToCsl.run(&mut ctx, ir.module).unwrap();
+        (ctx, ir.module)
+    }
+
+    #[test]
+    fn jacobian_produces_figure1_task_graph() {
+        let (ctx, module) = lower_to_actors(Benchmark::Jacobian, 2);
+        let errors = verify(&ctx, module, &wse_csl::register_all());
+        assert!(errors.is_empty(), "verification failed: {errors:?}");
+        // Two CSL modules: layout + program.
+        let modules = ctx.walk_named(module, csl::MODULE);
+        assert_eq!(modules.len(), 2);
+        // The actor graph of Figure 1: f_main, for_cond0, for_inc0,
+        // for_post0, seq_kernel0 and the two callbacks.
+        for name in
+            ["f_main", "for_cond0", "for_inc0", "for_post0", "seq_kernel0", "receive_chunk_cb0", "done_exchange_cb0"]
+        {
+            assert!(csl::find_callable(&ctx, module, name).is_some(), "missing {name}");
+        }
+        // The original func and stencil ops are gone.
+        assert!(ctx.walk_named(module, func::FUNC).is_empty());
+        assert!(ctx.walk_named(module, csl_stencil::APPLY).is_empty());
+        assert!(ctx.walk_named(module, stencil::APPLY).is_empty());
+    }
+
+    #[test]
+    fn acoustic_chains_local_then_remote_kernels() {
+        let (ctx, module) = lower_to_actors(Benchmark::Acoustic, 1);
+        assert!(verify(&ctx, module, &wse_csl::register_all()).is_empty());
+        // Two applies → seq_kernel0 (local-only) and seq_kernel1 (comm).
+        let k0 = csl::find_callable(&ctx, module, "seq_kernel0").unwrap();
+        let k1 = csl::find_callable(&ctx, module, "seq_kernel1").unwrap();
+        assert_eq!(ctx.op_name(k0), csl::FUNC);
+        assert_eq!(ctx.op_name(k1), csl::FUNC);
+        // seq_kernel0 is local: it directly calls seq_kernel1.
+        let calls: Vec<&str> = ctx
+            .walk_named(k0, csl::CALL)
+            .into_iter()
+            .filter_map(|c| csl::callee(&ctx, c))
+            .collect();
+        assert!(calls.contains(&"seq_kernel1"));
+        // seq_kernel1 communicates.
+        assert_eq!(ctx.walk_named(k1, csl::MEMBER_CALL).len(), 1);
+        // Its done callback hands control to the loop increment.
+        let done = csl::find_callable(&ctx, module, "done_exchange_cb1").unwrap();
+        let done_calls: Vec<&str> = ctx
+            .walk_named(done, csl::CALL)
+            .into_iter()
+            .filter_map(|c| csl::callee(&ctx, c))
+            .collect();
+        assert!(done_calls.contains(&"for_inc0"));
+    }
+
+    #[test]
+    fn single_timestep_program_has_no_loop_tasks() {
+        let (ctx, module) = lower_to_actors(Benchmark::Uvkbe, 1);
+        assert!(verify(&ctx, module, &wse_csl::register_all()).is_empty());
+        assert!(csl::find_callable(&ctx, module, "for_cond0").is_none());
+        assert!(csl::find_callable(&ctx, module, "for_inc0").is_none());
+        assert!(csl::find_callable(&ctx, module, "for_post0").is_some());
+        // Two kernels chained: seq_kernel0 -> seq_kernel1 -> for_post0.
+        let done0 = csl::find_callable(&ctx, module, "done_exchange_cb0").unwrap();
+        let calls: Vec<&str> = ctx
+            .walk_named(done0, csl::CALL)
+            .into_iter()
+            .filter_map(|c| csl::callee(&ctx, c))
+            .collect();
+        assert!(calls.contains(&"seq_kernel1"));
+    }
+
+    #[test]
+    fn buffers_and_linalg_ops_are_emitted() {
+        let (ctx, module) = lower_to_actors(Benchmark::Seismic25, 2);
+        // One buffer per field plus accumulator, scratch and recv staging.
+        let buffers: Vec<&str> = ctx
+            .walk_named(module, csl::ZEROS)
+            .into_iter()
+            .filter_map(|z| csl::symbol_name(&ctx, z))
+            .collect();
+        assert!(buffers.contains(&"p"));
+        assert!(buffers.contains(&"accumulator"));
+        assert!(buffers.contains(&"recv_buffer"));
+        // Coefficient constants exist (one per distinct coefficient).
+        assert!(!ctx.walk_named(module, csl::CONSTANTS).is_empty());
+        // Compute is expressed as DPS linalg ops at this stage.
+        assert!(!ctx.walk_named(module, linalg::MUL).is_empty());
+        assert!(!ctx.walk_named(module, linalg::ADD).is_empty());
+        assert!(!ctx.walk_named(module, linalg::COPY).is_empty());
+    }
+}

@@ -1,0 +1,459 @@
+//! Group 2 transformations: realize placement and communication on the WSE
+//! (Section 5.2 of the paper).
+//!
+//! * `convert-stencil-to-csl-stencil` replaces `dmp.swap` + `stencil.apply`
+//!   pairs with `csl_stencil.apply` operations whose first region reduces
+//!   incoming chunks of remote data and whose second region combines the
+//!   accumulator with locally held data (Listing 4).  Coefficients of
+//!   remote terms are applied in the receive region — the "coefficient
+//!   promotion into communication" optimization of Section 5.7.
+//! * `wrap-in-csl-wrapper` packages the kernel together with the layout
+//!   metaprogram parameters required by CSL's staged compilation.
+
+use wse_csl::{csl_stencil, csl_wrapper};
+use wse_dialects::{arith, dmp, stencil, tensor};
+use wse_ir::{
+    Attribute, IrContext, OpBuilder, OpId, Pass, PassError, PassResult, Type, ValueId,
+};
+
+use crate::analysis::LinearCombination;
+use crate::decompose::{apply_combinations, combinations_to_attr, exchanges_for, COMBINATIONS_ATTR};
+
+/// Options controlling the stencil → csl_stencil conversion.
+#[derive(Debug, Clone, Copy)]
+pub struct CslStencilOptions {
+    /// Number of chunks each halo exchange is split into.
+    pub num_chunks: i64,
+    /// Whether remote-term coefficients are applied while receiving chunks
+    /// (coefficient promotion, Section 5.7).  When disabled the receive
+    /// region only packs data and coefficients are applied in the
+    /// done-exchange region.
+    pub promote_coefficients: bool,
+}
+
+impl Default for CslStencilOptions {
+    fn default() -> Self {
+        Self { num_chunks: 1, promote_coefficients: true }
+    }
+}
+
+/// Converts `stencil.apply` + `dmp.swap` into `csl_stencil.apply`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConvertStencilToCslStencil {
+    /// Conversion options.
+    pub options: CslStencilOptions,
+}
+
+impl Pass for ConvertStencilToCslStencil {
+    fn name(&self) -> &str {
+        "convert-stencil-to-csl-stencil"
+    }
+
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        for apply in ctx.walk_named(module, stencil::APPLY) {
+            if !ctx.op_is_live(apply) {
+                continue;
+            }
+            let combos = apply_combinations(ctx, apply).ok_or_else(|| {
+                PassError::new(self.name(), "apply is missing the cached stencil_terms analysis")
+            })?;
+            if combos.iter().all(|c| c.remote_terms().is_empty()) {
+                continue; // purely local compute stays a stencil.apply
+            }
+            convert_apply(ctx, apply, &combos, self.options)
+                .map_err(|m| PassError::new(self.name(), m))?;
+        }
+        Ok(())
+    }
+}
+
+fn convert_apply(
+    ctx: &mut IrContext,
+    apply: OpId,
+    combos: &[LinearCombination],
+    options: CslStencilOptions,
+) -> Result<(), String> {
+    let z_interior = ctx.attr_int(apply, "z_interior").ok_or("missing z_interior")?;
+    let z_halo = ctx.attr_int(apply, "z_halo").unwrap_or(0);
+    let num_chunks = options.num_chunks.max(1);
+    let chunk = if z_interior % num_chunks == 0 { z_interior / num_chunks } else { z_interior };
+    let num_chunks = z_interior / chunk;
+    let operands = ctx.operands(apply).to_vec();
+    let results = ctx.results(apply).to_vec();
+
+    // Resolve dmp.swap producers: the csl_stencil.apply consumes the
+    // original (pre-swap) temps; the swap op itself is consumed.
+    let mut swaps_to_erase = Vec::new();
+    let raw_inputs: Vec<ValueId> = operands
+        .iter()
+        .map(|&operand| match ctx.defining_op(operand) {
+            Some(def) if ctx.op_name(def) == dmp::SWAP => {
+                swaps_to_erase.push(def);
+                ctx.operand(def, 0)
+            }
+            _ => operand,
+        })
+        .collect();
+
+    for (result_idx, combo) in combos.iter().enumerate() {
+        let result = results[result_idx];
+        let result_ty = ctx.value_type(result).clone();
+        let remote: Vec<_> = combo.remote_terms().into_iter().cloned().collect();
+        let local: Vec<_> = combo.local_terms().into_iter().cloned().collect();
+        let column_ty = Type::tensor(vec![z_interior], Type::f32());
+
+        if remote.is_empty() {
+            // Keep this output as a plain (local-only) stencil.apply.
+            let mut b = OpBuilder::before(ctx, apply);
+            let (new_apply, body) = stencil::build_apply(&mut b, raw_inputs.clone(), vec![result_ty]);
+            ctx.set_attr(new_apply, COMBINATIONS_ATTR, combinations_to_attr(&[combo.clone()]));
+            ctx.set_attr(new_apply, "z_interior", Attribute::int(z_interior));
+            ctx.set_attr(new_apply, "z_halo", Attribute::int(z_halo));
+            emit_local_body(ctx, body, &local, z_interior, z_halo, true);
+            ctx.replace_all_uses(result, ctx.result(new_apply, 0));
+            continue;
+        }
+
+        let exchanges = exchanges_for(&[combo.clone()]);
+        let slots = remote.len() as i64;
+        let chunk_buffer_ty = Type::tensor(vec![slots, chunk], Type::f32());
+
+        let mut b = OpBuilder::before(ctx, apply);
+        let acc_init = arith::constant_f32(&mut b, 0.0, column_ty.clone());
+        let config = csl_stencil::ApplyConfig {
+            exchanges,
+            num_chunks,
+            z_extent: z_interior,
+        };
+        let (new_apply, recv_block, done_block) = csl_stencil::build_apply(
+            &mut b,
+            raw_inputs.clone(),
+            acc_init,
+            &config,
+            chunk_buffer_ty,
+            vec![result_ty],
+        );
+        ctx.set_attr(new_apply, COMBINATIONS_ATTR, combinations_to_attr(&[combo.clone()]));
+        ctx.set_attr(new_apply, "z_interior", Attribute::int(z_interior));
+        ctx.set_attr(new_apply, "z_halo", Attribute::int(z_halo));
+        ctx.set_attr(new_apply, "chunk_size", Attribute::int(chunk));
+        // Record which input each remote slot belongs to (used by the actor
+        // lowering and the communication library).
+        ctx.set_attr(
+            new_apply,
+            "slot_inputs",
+            Attribute::IndexArray(remote.iter().map(|t| t.input as i64).collect()),
+        );
+
+        // ------------------------------------------------- receive region
+        {
+            let args = ctx.block_args(recv_block).to_vec();
+            let (buf, offset_arg, acc) = (args[0], args[1], args[2]);
+            let chunk_ty = Type::tensor(vec![chunk], Type::f32());
+            let mut rb = OpBuilder::at_end(ctx, recv_block);
+            let mut partial: Option<ValueId> = None;
+            for (slot, term) in remote.iter().enumerate() {
+                let dx = term.offset.first().copied().unwrap_or(0);
+                let dy = term.offset.get(1).copied().unwrap_or(0);
+                let access = csl_stencil::access(&mut rb, buf, &[dx, dy], chunk_ty.clone());
+                let access_op = rb.ctx_ref().defining_op(access).expect("access op");
+                rb.ctx().set_attr(access_op, "slot", Attribute::int(slot as i64));
+                rb.ctx().set_attr(access_op, "input", Attribute::int(term.input as i64));
+                let value = if options.promote_coefficients {
+                    let coeff = arith::constant_f32(&mut rb, term.coeff, chunk_ty.clone());
+                    let scaled = arith::mulf(&mut rb, access, coeff);
+                    let op = rb.ctx_ref().defining_op(scaled).expect("mul op");
+                    rb.ctx().set_attr(op, "coefficient", Attribute::f32(term.coeff));
+                    scaled
+                } else {
+                    access
+                };
+                partial = Some(match partial {
+                    Some(prev) => arith::addf(&mut rb, prev, value),
+                    None => value,
+                });
+            }
+            let partial = partial.expect("at least one remote term");
+            let packed = tensor::insert_slice(&mut rb, partial, acc, offset_arg, chunk);
+            csl_stencil::build_yield(ctx, recv_block, vec![packed]);
+        }
+
+        // ------------------------------------------------- done region
+        {
+            let args = ctx.block_args(done_block).to_vec();
+            let acc = *args.last().expect("acc argument");
+            emit_done_body(ctx, done_block, acc, &local, &remote, z_interior, z_halo, options);
+        }
+
+        ctx.replace_all_uses(result, ctx.result(new_apply, 0));
+    }
+
+    ctx.erase_op(apply);
+    for swap in swaps_to_erase {
+        if ctx.op_is_live(swap) && !ctx.results(swap).iter().any(|&r| ctx.has_uses(r)) {
+            ctx.erase_op(swap);
+        }
+    }
+    Ok(())
+}
+
+/// Emits the done-exchange region: local terms are reduced on top of the
+/// accumulator (and, when coefficient promotion is disabled, the remote
+/// contribution sitting in the accumulator is scaled here instead).
+#[allow(clippy::too_many_arguments)]
+fn emit_done_body(
+    ctx: &mut IrContext,
+    block: wse_ir::BlockId,
+    acc: ValueId,
+    local: &[crate::analysis::Term],
+    _remote: &[crate::analysis::Term],
+    z_interior: i64,
+    z_halo: i64,
+    _options: CslStencilOptions,
+) {
+    let args = ctx.block_args(block).to_vec();
+    let column_ty = Type::tensor(vec![z_interior], Type::f32());
+    let mut b = OpBuilder::at_end(ctx, block);
+    let mut value = acc;
+    for term in local {
+        let dz = term.dz();
+        let input = args[term.input];
+        let storage_elem = stencil::type_element(b.ctx_ref().value_type(input))
+            .unwrap_or_else(|| Type::tensor(vec![z_interior + 2 * z_halo], Type::f32()));
+        let elem_len = storage_elem.shape().map(|s| s[0]).unwrap_or(z_interior);
+        let own_halo = (elem_len - z_interior) / 2;
+        let access = csl_stencil::access(&mut b, input, &[0, 0], storage_elem);
+        let window = tensor::extract_slice(&mut b, access, own_halo + dz, z_interior);
+        let coeff = arith::constant_f32(&mut b, term.coeff, column_ty.clone());
+        let scaled = arith::mulf(&mut b, window, coeff);
+        let op = b.ctx_ref().defining_op(scaled).expect("mul op");
+        b.ctx().set_attr(op, "coefficient", Attribute::f32(term.coeff));
+        value = arith::addf(&mut b, value, scaled);
+    }
+    csl_stencil::build_yield(ctx, block, vec![value]);
+}
+
+/// Emits a local-only apply body (used for outputs without remote terms).
+fn emit_local_body(
+    ctx: &mut IrContext,
+    block: wse_ir::BlockId,
+    local: &[crate::analysis::Term],
+    z_interior: i64,
+    z_halo: i64,
+    use_stencil_return: bool,
+) {
+    let args = ctx.block_args(block).to_vec();
+    let column_ty = Type::tensor(vec![z_interior], Type::f32());
+    let mut b = OpBuilder::at_end(ctx, block);
+    let mut value: Option<ValueId> = None;
+    for term in local {
+        let dz = term.dz();
+        let input = args[term.input];
+        let storage_elem = stencil::type_element(b.ctx_ref().value_type(input))
+            .unwrap_or_else(|| Type::tensor(vec![z_interior + 2 * z_halo], Type::f32()));
+        let elem_len = storage_elem.shape().map(|s| s[0]).unwrap_or(z_interior);
+        let own_halo = (elem_len - z_interior) / 2;
+        let access = stencil::access(&mut b, input, &[0, 0], storage_elem);
+        let window = tensor::extract_slice(&mut b, access, own_halo + dz, z_interior);
+        let coeff = arith::constant_f32(&mut b, term.coeff, column_ty.clone());
+        let scaled = arith::mulf(&mut b, window, coeff);
+        value = Some(match value {
+            Some(prev) => arith::addf(&mut b, prev, scaled),
+            None => scaled,
+        });
+    }
+    let value = value.unwrap_or_else(|| arith::constant_f32(&mut b, 0.0, column_ty));
+    if use_stencil_return {
+        stencil::build_return(ctx, block, vec![value]);
+    } else {
+        csl_stencil::build_yield(ctx, block, vec![value]);
+    }
+}
+
+// --------------------------------------------------------------------------
+// wrap-in-csl-wrapper
+// --------------------------------------------------------------------------
+
+/// Wraps the kernel function in a `csl_wrapper.module` carrying the
+/// program-wide parameters needed by the layout metaprogram.
+#[derive(Debug, Clone, Copy)]
+pub struct WrapInCslWrapper {
+    /// PE-grid extent in x.
+    pub width: i64,
+    /// PE-grid extent in y.
+    pub height: i64,
+}
+
+impl Pass for WrapInCslWrapper {
+    fn name(&self) -> &str {
+        "wrap-in-csl-wrapper"
+    }
+
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        if csl_wrapper::find_wrapper(ctx, module).is_some() {
+            return Ok(());
+        }
+        let funcs = ctx.walk_named(module, wse_dialects::func::FUNC);
+        let Some(&func) = funcs.first() else {
+            return Err(PassError::new(self.name(), "module contains no kernel function"));
+        };
+
+        // Gather parameters from the csl_stencil applies.
+        let applies = ctx.walk_named(module, csl_stencil::APPLY);
+        let mut z_dim = 1;
+        let mut pattern = 1;
+        let mut num_chunks = 1;
+        let mut chunk_size = 1;
+        let mut fields = 0;
+        for &apply in &applies {
+            z_dim = z_dim.max(ctx.attr_int(apply, "z_interior").unwrap_or(1));
+            num_chunks = num_chunks.max(csl_stencil::num_chunks(ctx, apply));
+            chunk_size = chunk_size.max(ctx.attr_int(apply, "chunk_size").unwrap_or(1));
+            pattern = pattern
+                .max(csl_stencil::swaps_of(ctx, apply).iter().map(|e| e.width).max().unwrap_or(1));
+            fields += 1;
+        }
+        for &apply in &ctx.walk_named(module, stencil::APPLY) {
+            z_dim = z_dim.max(ctx.attr_int(apply, "z_interior").unwrap_or(1));
+        }
+        if chunk_size == 1 {
+            chunk_size = z_dim;
+        }
+
+        let params = csl_wrapper::WrapperParams {
+            width: self.width,
+            height: self.height,
+            z_dim,
+            pattern,
+            num_chunks,
+            chunk_size,
+            fields: fields.max(1),
+        };
+        let module_body = wse_dialects::builtin::module_body(ctx, module);
+        let func_name =
+            wse_dialects::func::func_name(ctx, func).unwrap_or("kernel").to_string();
+        let mut b = OpBuilder::at_start(ctx, module_body);
+        let (wrapper, layout, program) = csl_wrapper::build_module(&mut b, &func_name, &params);
+        let mut lb = OpBuilder::at_end(ctx, layout);
+        csl_wrapper::import(&mut lb, "<memcpy/get_params>", &["width", "height"]);
+        csl_wrapper::import(&mut lb, "routes.csl", &["pattern", "peWidth", "peHeight"]);
+        csl_wrapper::build_yield(ctx, layout, vec![]);
+        // Move the kernel function into the wrapper's program region.
+        ctx.detach_op(func);
+        ctx.insert_op(program, 0, func);
+        csl_wrapper::build_yield(ctx, program, vec![]);
+        let _ = wrapper;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::{DistributeStencil, TensorizeZ};
+    use crate::opt_passes::StencilInlining;
+    use wse_frontends::{benchmarks::Benchmark, emit_stencil_ir};
+    use wse_ir::verify;
+
+    fn lower_to_csl_stencil(benchmark: Benchmark, num_chunks: i64) -> (IrContext, OpId) {
+        let program = benchmark.tiny_program();
+        let ir = emit_stencil_ir(&program).unwrap();
+        let mut ctx = ir.ctx;
+        StencilInlining.run(&mut ctx, ir.module).unwrap();
+        DistributeStencil { width: program.grid.x, height: program.grid.y }
+            .run(&mut ctx, ir.module)
+            .unwrap();
+        TensorizeZ.run(&mut ctx, ir.module).unwrap();
+        ConvertStencilToCslStencil {
+            options: CslStencilOptions { num_chunks, promote_coefficients: true },
+        }
+        .run(&mut ctx, ir.module)
+        .unwrap();
+        WrapInCslWrapper { width: program.grid.x, height: program.grid.y }
+            .run(&mut ctx, ir.module)
+            .unwrap();
+        (ctx, ir.module)
+    }
+
+    #[test]
+    fn jacobian_becomes_csl_stencil_apply() {
+        let (ctx, module) = lower_to_csl_stencil(Benchmark::Jacobian, 2);
+        let errors = verify(&ctx, module, &wse_csl::register_all());
+        assert!(errors.is_empty(), "verification failed: {errors:?}");
+        let applies = ctx.walk_named(module, csl_stencil::APPLY);
+        assert_eq!(applies.len(), 1);
+        let apply = applies[0];
+        assert_eq!(csl_stencil::num_chunks(&ctx, apply), 2);
+        assert_eq!(csl_stencil::swaps_of(&ctx, apply).len(), 4);
+        // dmp.swap is consumed by the conversion.
+        assert!(ctx.walk_named(module, dmp::SWAP).is_empty());
+        // Remote terms: 4 (one per direction); local terms: 2 (z neighbors).
+        let recv = csl_stencil::receive_chunk_block(&ctx, apply).unwrap();
+        assert_eq!(ctx.walk_filtered(ctx.parent_op(ctx.block_ops(recv)[0]).unwrap(), |n| n == csl_stencil::ACCESS).len(), 4 + 2);
+    }
+
+    #[test]
+    fn coefficients_are_promoted_into_receive_region() {
+        let (ctx, module) = lower_to_csl_stencil(Benchmark::Jacobian, 1);
+        let apply = ctx.walk_named(module, csl_stencil::APPLY)[0];
+        let recv = csl_stencil::receive_chunk_block(&ctx, apply).unwrap();
+        let muls: Vec<OpId> = ctx
+            .block_ops(recv)
+            .iter()
+            .copied()
+            .filter(|&op| ctx.op_name(op) == arith::MULF)
+            .collect();
+        assert_eq!(muls.len(), 4, "each remote term is scaled while receiving");
+        for m in muls {
+            let coeff = ctx.attr(m, "coefficient").and_then(Attribute::as_float).unwrap();
+            assert!((coeff - 0.16666).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn acoustic_keeps_local_apply_untouched() {
+        let (ctx, module) = lower_to_csl_stencil(Benchmark::Acoustic, 1);
+        // Equation 1 (u_prev = u) has no remote data: it stays a stencil.apply.
+        assert_eq!(ctx.walk_named(module, stencil::APPLY).len(), 1);
+        assert_eq!(ctx.walk_named(module, csl_stencil::APPLY).len(), 1);
+        assert!(verify(&ctx, module, &wse_csl::register_all()).is_empty());
+    }
+
+    #[test]
+    fn uvkbe_fused_apply_is_split_per_output() {
+        let (ctx, module) = lower_to_csl_stencil(Benchmark::Uvkbe, 1);
+        // The fused two-output apply is split into two csl_stencil applies
+        // according to buffer communications (Section 5.7).
+        assert_eq!(ctx.walk_named(module, csl_stencil::APPLY).len(), 2);
+        assert!(verify(&ctx, module, &wse_csl::register_all()).is_empty());
+    }
+
+    #[test]
+    fn wrapper_carries_program_parameters() {
+        let (ctx, module) = lower_to_csl_stencil(Benchmark::Seismic25, 2);
+        let wrapper = csl_wrapper::find_wrapper(&ctx, module).expect("wrapper exists");
+        let params = csl_wrapper::WrapperParams::from_op(&ctx, wrapper).unwrap();
+        assert_eq!(params.width, 10);
+        assert_eq!(params.height, 10);
+        assert_eq!(params.z_dim, 16);
+        assert_eq!(params.pattern, 4, "25-point stencil has radius 4");
+        assert_eq!(params.num_chunks, 2);
+        assert_eq!(params.chunk_size, 8);
+        // The kernel function now lives inside the wrapper's program region.
+        let program_block = csl_wrapper::program_block(&ctx, wrapper).unwrap();
+        assert!(ctx
+            .block_ops(program_block)
+            .iter()
+            .any(|&op| ctx.op_name(op) == wse_dialects::func::FUNC));
+    }
+
+    #[test]
+    fn indivisible_chunking_falls_back_to_one_chunk() {
+        // z = 12 with 5 requested chunks cannot be split evenly; the pass
+        // falls back to a single chunk rather than producing invalid IR.
+        let (ctx, module) = lower_to_csl_stencil(Benchmark::Jacobian, 5);
+        let apply = ctx.walk_named(module, csl_stencil::APPLY)[0];
+        assert_eq!(csl_stencil::num_chunks(&ctx, apply), 1);
+        assert!(verify(&ctx, module, &wse_csl::register_all()).is_empty());
+    }
+}

@@ -1,0 +1,348 @@
+//! Functional execution of a [`LoadedProgram`] on a simulated PE grid.
+//!
+//! Every PE owns its declared buffers (48 kB budget).  Execution proceeds in
+//! lock-step macro steps: per timestep and per kernel, the halo data of all
+//! PEs is staged from a snapshot of the pre-kernel state (matching the real
+//! machine, where columns are transmitted before any PE overwrites its
+//! output buffer), the receive-chunk instructions run once per chunk, and
+//! the done-exchange instructions complete the update.  Asynchrony affects
+//! timing only, which is handled by the analytic model in [`crate::perf`].
+
+use std::collections::HashMap;
+
+use crate::loader::{BinKind, CommSpec, Instr, LoadedProgram, Src, ViewRef};
+use crate::reference::{initial_value, Field3D, GridState};
+
+/// The state of one PE: its named local buffers.
+#[derive(Debug, Clone)]
+pub struct PeState {
+    /// Buffers by name.
+    pub buffers: HashMap<String, Vec<f32>>,
+}
+
+/// Execution error (out-of-bounds views, unknown buffers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "execution error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn err(message: impl Into<String>) -> ExecError {
+    ExecError { message: message.into() }
+}
+
+/// A functional simulation of a PE grid running a lowered program.
+#[derive(Debug, Clone)]
+pub struct WseGridSim {
+    program: LoadedProgram,
+    pes: Vec<PeState>,
+}
+
+impl WseGridSim {
+    /// Creates the grid, allocating and initializing every PE's buffers,
+    /// and fills the field buffers with the shared initial condition.
+    pub fn new(program: LoadedProgram) -> Self {
+        let (width, height) = (program.width, program.height);
+        let mut pes = Vec::with_capacity((width * height) as usize);
+        for y in 0..height {
+            for x in 0..width {
+                let mut buffers = HashMap::new();
+                for decl in &program.buffers {
+                    buffers.insert(decl.name.clone(), vec![decl.init; decl.len as usize]);
+                }
+                for (fi, field) in program.field_buffers.iter().enumerate() {
+                    if let Some(buf) = buffers.get_mut(field) {
+                        for z in 0..program.z_dim {
+                            buf[(program.z_halo + z) as usize] = initial_value(fi, x, y, z);
+                        }
+                    }
+                }
+                pes.push(PeState { buffers });
+            }
+        }
+        Self { program, pes }
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &LoadedProgram {
+        &self.program
+    }
+
+    fn pe_index(&self, x: i64, y: i64) -> Option<usize> {
+        if x < 0 || y < 0 || x >= self.program.width || y >= self.program.height {
+            return None;
+        }
+        Some((y * self.program.width + x) as usize)
+    }
+
+    /// Runs the program for `timesteps` steps (defaults to the program's
+    /// own timestep count).
+    pub fn run(&mut self, timesteps: Option<i64>) -> Result<(), ExecError> {
+        let steps = timesteps.unwrap_or(self.program.timesteps);
+        for _ in 0..steps {
+            self.run_timestep()?;
+        }
+        Ok(())
+    }
+
+    /// Runs a single timestep.
+    pub fn run_timestep(&mut self) -> Result<(), ExecError> {
+        for k in 0..self.program.kernels.len() {
+            self.run_kernel(k)?;
+        }
+        Ok(())
+    }
+
+    fn run_kernel(&mut self, kernel_index: usize) -> Result<(), ExecError> {
+        let kernel = self.program.kernels[kernel_index].clone();
+        // Snapshot the field buffers: cross-PE reads must observe the
+        // pre-kernel state.
+        let snapshot: Vec<HashMap<String, Vec<f32>>> = self
+            .pes
+            .iter()
+            .map(|pe| {
+                self.program
+                    .field_buffers
+                    .iter()
+                    .filter_map(|f| pe.buffers.get(f).map(|b| (f.clone(), b.clone())))
+                    .collect()
+            })
+            .collect();
+
+        let width = self.program.width;
+        let height = self.program.height;
+        let z_halo = self.program.z_halo;
+        for y in 0..height {
+            for x in 0..width {
+                let index = self.pe_index(x, y).expect("in range");
+                for instr in &kernel.pre {
+                    Self::execute(&mut self.pes[index], instr, 0)?;
+                }
+                if let Some(comm) = &kernel.comm {
+                    for chunk in 0..comm.num_chunks {
+                        self.stage_chunk(comm, x, y, chunk, z_halo, &snapshot)?;
+                        let chunk_offset = chunk * comm.chunk_size;
+                        let pe = &mut self.pes[index];
+                        for instr in &kernel.recv {
+                            Self::execute(pe, instr, chunk_offset)?;
+                        }
+                    }
+                    let pe = &mut self.pes[index];
+                    for instr in &kernel.done {
+                        Self::execute(pe, instr, 0)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fills the receive buffer of PE `(x, y)` with chunk `chunk` of every
+    /// slot, reading neighbor columns from the snapshot (zero outside the
+    /// grid, matching the zero-flux boundary of the reference executor).
+    fn stage_chunk(
+        &mut self,
+        comm: &CommSpec,
+        x: i64,
+        y: i64,
+        chunk: i64,
+        z_halo: i64,
+        snapshot: &[HashMap<String, Vec<f32>>],
+    ) -> Result<(), ExecError> {
+        let index = self.pe_index(x, y).expect("in range");
+        let chunk_size = comm.chunk_size as usize;
+        for (slot, spec) in comm.slots.iter().enumerate() {
+            let mut data = vec![0.0f32; chunk_size];
+            if let Some(neighbor) = self.pe_index(x + spec.dx, y + spec.dy) {
+                let column = snapshot[neighbor]
+                    .get(&spec.field)
+                    .ok_or_else(|| err(format!("unknown field buffer {}", spec.field)))?;
+                let start = (z_halo + chunk * comm.chunk_size) as usize;
+                for i in 0..chunk_size {
+                    data[i] = column.get(start + i).copied().unwrap_or(0.0);
+                }
+            }
+            let recv = self.pes[index]
+                .buffers
+                .get_mut("recv_buffer")
+                .ok_or_else(|| err("missing recv_buffer"))?;
+            let base = slot * chunk_size;
+            if base + chunk_size > recv.len() {
+                return Err(err("receive buffer overflow"));
+            }
+            recv[base..base + chunk_size].copy_from_slice(&data);
+        }
+        Ok(())
+    }
+
+    fn read_view(pe: &PeState, view: &ViewRef, chunk_offset: i64) -> Result<Vec<f32>, ExecError> {
+        let buf = pe
+            .buffers
+            .get(&view.buffer)
+            .ok_or_else(|| err(format!("unknown buffer {}", view.buffer)))?;
+        let offset = view.offset + if view.dynamic { chunk_offset } else { 0 };
+        let start = offset as usize;
+        let end = start + view.len as usize;
+        if end > buf.len() {
+            return Err(err(format!(
+                "view [{start}, {end}) out of bounds for buffer {} (len {})",
+                view.buffer,
+                buf.len()
+            )));
+        }
+        Ok(buf[start..end].to_vec())
+    }
+
+    fn write_view(
+        pe: &mut PeState,
+        view: &ViewRef,
+        chunk_offset: i64,
+        data: &[f32],
+    ) -> Result<(), ExecError> {
+        let buf = pe
+            .buffers
+            .get_mut(&view.buffer)
+            .ok_or_else(|| err(format!("unknown buffer {}", view.buffer)))?;
+        let offset = view.offset + if view.dynamic { chunk_offset } else { 0 };
+        let start = offset as usize;
+        let end = start + view.len as usize;
+        if end > buf.len() {
+            return Err(err(format!(
+                "view [{start}, {end}) out of bounds for buffer {} (len {})",
+                view.buffer,
+                buf.len()
+            )));
+        }
+        buf[start..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn execute(pe: &mut PeState, instr: &Instr, chunk_offset: i64) -> Result<(), ExecError> {
+        match instr {
+            Instr::Movs { dest, src } => {
+                let data = match src {
+                    Src::View(view) => Self::read_view(pe, view, chunk_offset)?,
+                    Src::Scalar(value) => vec![*value; dest.len as usize],
+                };
+                Self::write_view(pe, dest, chunk_offset, &data)
+            }
+            Instr::Binary { kind, dest, a, b } => {
+                let va = Self::read_view(pe, a, chunk_offset)?;
+                let vb = Self::read_view(pe, b, chunk_offset)?;
+                let out: Vec<f32> = va
+                    .iter()
+                    .zip(&vb)
+                    .map(|(x, y)| match kind {
+                        BinKind::Add => x + y,
+                        BinKind::Sub => x - y,
+                        BinKind::Mul => x * y,
+                    })
+                    .collect();
+                Self::write_view(pe, dest, chunk_offset, &out)
+            }
+            Instr::Macs { dest, acc, src, coeff } => {
+                let va = Self::read_view(pe, acc, chunk_offset)?;
+                let vs = Self::read_view(pe, src, chunk_offset)?;
+                let out: Vec<f32> = va.iter().zip(&vs).map(|(a, s)| a + s * coeff).collect();
+                Self::write_view(pe, dest, chunk_offset, &out)
+            }
+        }
+    }
+
+    /// Extracts a field as a dense 3-D array (for comparison against the
+    /// reference executor).
+    pub fn field(&self, name: &str) -> Option<Field3D> {
+        if !self.program.field_buffers.iter().any(|f| f == name) {
+            return None;
+        }
+        let mut out = Field3D::zeros(self.program.width, self.program.height, self.program.z_dim);
+        for y in 0..self.program.height {
+            for x in 0..self.program.width {
+                let pe = &self.pes[self.pe_index(x, y).expect("in range")];
+                let buf = pe.buffers.get(name)?;
+                for z in 0..self.program.z_dim {
+                    out.set(x, y, z, buf[(self.program.z_halo + z) as usize]);
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Extracts every field as a [`GridState`].
+    pub fn grid_state(&self) -> GridState {
+        let names = self.program.field_buffers.clone();
+        let fields = names.iter().filter_map(|n| self.field(n)).collect();
+        GridState { names, fields }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::load_program;
+    use crate::reference::{max_abs_difference, run_reference};
+    use wse_frontends::benchmarks::Benchmark;
+    use wse_lowering::{lower_program, PipelineOptions};
+
+    fn simulate(benchmark: Benchmark, options: &PipelineOptions) -> (GridState, GridState) {
+        let program = benchmark.tiny_program();
+        let lowered = lower_program(&program, options).unwrap();
+        let loaded = load_program(&lowered.ctx, lowered.module).unwrap();
+        let mut sim = WseGridSim::new(loaded);
+        sim.run(None).unwrap();
+        let reference = run_reference(&program, None);
+        (sim.grid_state(), reference)
+    }
+
+    #[test]
+    fn jacobian_matches_reference() {
+        let (simulated, reference) = simulate(Benchmark::Jacobian, &PipelineOptions::default());
+        let diff = max_abs_difference(&simulated, &reference);
+        assert!(diff < 1e-4, "simulated result diverges from reference by {diff}");
+    }
+
+    #[test]
+    fn jacobian_matches_reference_with_chunking() {
+        let options = PipelineOptions { num_chunks: 3, ..PipelineOptions::default() };
+        let (simulated, reference) = simulate(Benchmark::Jacobian, &options);
+        let diff = max_abs_difference(&simulated, &reference);
+        assert!(diff < 1e-4, "chunked execution diverges by {diff}");
+    }
+
+    #[test]
+    fn seismic_matches_reference() {
+        let (simulated, reference) = simulate(Benchmark::Seismic25, &PipelineOptions::default());
+        let diff = max_abs_difference(&simulated, &reference);
+        assert!(diff < 1e-3, "seismic diverges by {diff}");
+    }
+
+    #[test]
+    fn diffusion_matches_reference_without_fusion() {
+        let options = PipelineOptions { enable_fmac_fusion: false, ..PipelineOptions::default() };
+        let (simulated, reference) = simulate(Benchmark::Diffusion, &options);
+        let diff = max_abs_difference(&simulated, &reference);
+        assert!(diff < 1e-4, "unfused execution diverges by {diff}");
+    }
+
+    #[test]
+    fn acoustic_two_field_chain_matches_reference() {
+        let (simulated, reference) = simulate(Benchmark::Acoustic, &PipelineOptions::default());
+        let diff = max_abs_difference(&simulated, &reference);
+        assert!(diff < 1e-3, "acoustic diverges by {diff}");
+    }
+
+    #[test]
+    fn uvkbe_fused_kernel_matches_reference() {
+        let (simulated, reference) = simulate(Benchmark::Uvkbe, &PipelineOptions::default());
+        let diff = max_abs_difference(&simulated, &reference);
+        assert!(diff < 1e-4, "uvkbe diverges by {diff}");
+    }
+}

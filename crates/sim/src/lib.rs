@@ -1,0 +1,33 @@
+//! # wse-sim — a Wafer-Scale Engine simulator and performance model
+//!
+//! The paper's evaluation runs on Cerebras CS-2 and CS-3 systems; this
+//! crate provides the substitute substrate used by the reproduction:
+//!
+//! * [`machine`] — WSE2/WSE3 machine models plus the comparison devices;
+//! * [`loader`] — turns the final `csl` dialect program into an executable
+//!   per-PE program;
+//! * [`exec`] — functional lock-step execution of the PE grid (used to
+//!   validate generated code against the reference executor);
+//! * [`reference`] — a sequential reference executor over dense 3-D grids;
+//! * [`perf`] — the analytic cycle model (DSD throughput, fabric hops,
+//!   task activation overheads, WSE2 self-transmit penalty);
+//! * [`roofline`] — the roofline model of Figure 7;
+//! * [`baselines`] — the hand-written seismic kernel and the GPU/CPU
+//!   cluster baselines of Figures 5 and 6.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baselines;
+pub mod exec;
+pub mod loader;
+pub mod machine;
+pub mod perf;
+pub mod reference;
+pub mod roofline;
+
+pub use exec::{ExecError, WseGridSim};
+pub use loader::{load_program, LoadError, LoadedProgram};
+pub use machine::{WseGeneration, WseMachine, A100, EPYC_7742_NODE};
+pub use perf::{estimate_performance, CycleBreakdown, PerfEstimate};
+pub use reference::{initial_state, max_abs_difference, run_reference, Field3D, GridState};

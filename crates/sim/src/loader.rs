@@ -1,0 +1,498 @@
+//! Loader: turns the final `csl` dialect program module into an executable
+//! [`LoadedProgram`] for the simulator.
+//!
+//! The loader is the simulator's "SDK compiler": it walks the generated
+//! `csl.module` (tasks, functions, DSD builtins, the communicate call) and
+//! produces per-PE instruction lists plus the communication specification.
+
+use std::collections::HashMap;
+
+use wse_csl::csl;
+use wse_dialects::arith;
+use wse_ir::{Attribute, BlockId, IrContext, OpId, ValueId};
+
+/// A view into a named PE-local buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewRef {
+    /// Buffer symbol (e.g. `"accumulator"`).
+    pub buffer: String,
+    /// Static element offset.
+    pub offset: i64,
+    /// Whether the chunk offset (the receive task's argument) is added at
+    /// runtime.
+    pub dynamic: bool,
+    /// Number of elements.
+    pub len: i64,
+}
+
+/// A source operand of a DSD move.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Src {
+    /// Another buffer view.
+    View(ViewRef),
+    /// A scalar immediate.
+    Scalar(f32),
+}
+
+/// Elementwise binary operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// `dest[i] = a[i] + b[i]`.
+    Add,
+    /// `dest[i] = a[i] - b[i]`.
+    Sub,
+    /// `dest[i] = a[i] * b[i]`.
+    Mul,
+}
+
+/// One DSD builtin instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `@fmovs(dest, src)`.
+    Movs {
+        /// Destination view.
+        dest: ViewRef,
+        /// Source view or scalar.
+        src: Src,
+    },
+    /// `@fadds` / `@fsubs` / `@fmuls`.
+    Binary {
+        /// Operation kind.
+        kind: BinKind,
+        /// Destination view.
+        dest: ViewRef,
+        /// First source.
+        a: ViewRef,
+        /// Second source.
+        b: ViewRef,
+    },
+    /// `@fmacs(dest, acc, src, coeff)`: `dest[i] = acc[i] + src[i] * coeff`.
+    Macs {
+        /// Destination view.
+        dest: ViewRef,
+        /// Accumulator view.
+        acc: ViewRef,
+        /// Source view.
+        src: ViewRef,
+        /// Scalar coefficient.
+        coeff: f32,
+    },
+}
+
+impl Instr {
+    /// Number of elements processed (used by the cycle model).
+    pub fn elements(&self) -> i64 {
+        match self {
+            Instr::Movs { dest, .. } => dest.len,
+            Instr::Binary { dest, .. } => dest.len,
+            Instr::Macs { dest, .. } => dest.len,
+        }
+    }
+
+    /// True for fused multiply-accumulate instructions.
+    pub fn is_fmac(&self) -> bool {
+        matches!(self, Instr::Macs { .. })
+    }
+}
+
+/// One halo-exchange slot: which field arrives from which neighbor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotSpec {
+    /// Field buffer name.
+    pub field: String,
+    /// Neighbor offset in x.
+    pub dx: i64,
+    /// Neighbor offset in y.
+    pub dy: i64,
+}
+
+/// The communication performed by one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommSpec {
+    /// Number of chunks.
+    pub num_chunks: i64,
+    /// Chunk size in elements.
+    pub chunk_size: i64,
+    /// Receive slots in buffer order.
+    pub slots: Vec<SlotSpec>,
+    /// Field buffers whose columns are transmitted.
+    pub fields: Vec<String>,
+    /// Halo width (pattern radius) of the exchange.
+    pub pattern: i64,
+}
+
+/// One `seq_kernel` with its callbacks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedKernel {
+    /// Kernel name (`seq_kernel0`, ...).
+    pub name: String,
+    /// Instructions of the kernel body itself.
+    pub pre: Vec<Instr>,
+    /// The halo exchange, if any.
+    pub comm: Option<CommSpec>,
+    /// Receive-chunk callback instructions (run once per chunk).
+    pub recv: Vec<Instr>,
+    /// Done-exchange callback instructions (run once).
+    pub done: Vec<Instr>,
+}
+
+/// A PE-local buffer declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferDecl {
+    /// Buffer symbol.
+    pub name: String,
+    /// Length in `f32` elements.
+    pub len: i64,
+    /// Initial fill value.
+    pub init: f32,
+}
+
+/// The executable form of a lowered program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedProgram {
+    /// PE-grid extent in x.
+    pub width: i64,
+    /// PE-grid extent in y.
+    pub height: i64,
+    /// Interior column length per PE.
+    pub z_dim: i64,
+    /// Halo cells at each end of a column buffer.
+    pub z_halo: i64,
+    /// Number of timesteps.
+    pub timesteps: i64,
+    /// All PE-local buffers.
+    pub buffers: Vec<BufferDecl>,
+    /// Field buffer names in field order.
+    pub field_buffers: Vec<String>,
+    /// Kernels in execution order.
+    pub kernels: Vec<LoadedKernel>,
+}
+
+impl LoadedProgram {
+    /// Bytes of PE-local memory used by the declared buffers.
+    pub fn bytes_per_pe(&self) -> u64 {
+        self.buffers.iter().map(|b| b.len as u64 * 4).sum()
+    }
+
+    /// Total number of `@fmacs` instructions across all kernels.
+    pub fn fmac_count(&self) -> usize {
+        self.kernels
+            .iter()
+            .flat_map(|k| k.pre.iter().chain(&k.recv).chain(&k.done))
+            .filter(|i| i.is_fmac())
+            .count()
+    }
+}
+
+/// Error produced while loading a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "load error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn err(message: impl Into<String>) -> LoadError {
+    LoadError { message: message.into() }
+}
+
+/// Loads the final lowered module into an executable program.
+pub fn load_program(ctx: &IrContext, module: OpId) -> Result<LoadedProgram, LoadError> {
+    let program_module = ctx
+        .walk_named(module, csl::MODULE)
+        .into_iter()
+        .find(|&m| csl::module_kind(ctx, m) == Some(csl::ModuleKind::Program))
+        .ok_or_else(|| err("no program csl.module found"))?;
+    let body = csl::body_block(ctx, program_module).ok_or_else(|| err("program module empty"))?;
+
+    let width = ctx.attr_int(program_module, "width").unwrap_or(1);
+    let height = ctx.attr_int(program_module, "height").unwrap_or(1);
+    let z_dim = ctx.attr_int(program_module, "z_dim").unwrap_or(1);
+    let z_halo = ctx.attr_int(program_module, "z_halo").unwrap_or(0);
+    let timesteps = ctx.attr_int(program_module, "timesteps").unwrap_or(1);
+
+    // Buffers and the value → buffer-name map.
+    let mut buffers = Vec::new();
+    let mut buffer_of: HashMap<ValueId, String> = HashMap::new();
+    let mut field_buffers = Vec::new();
+    for &op in ctx.block_ops(body) {
+        match ctx.op_name(op) {
+            csl::ZEROS | csl::CONSTANTS => {
+                let name = csl::symbol_name(ctx, op).unwrap_or("buf").to_string();
+                let len = ctx.value_type(ctx.result(op, 0)).shape().map(|s| s[0]).unwrap_or(1);
+                let init = if ctx.op_name(op) == csl::CONSTANTS {
+                    ctx.attr(op, "value").and_then(Attribute::as_float).unwrap_or(0.0) as f32
+                } else {
+                    0.0
+                };
+                buffers.push(BufferDecl { name: name.clone(), len, init });
+                buffer_of.insert(ctx.result(op, 0), name);
+            }
+            csl::EXPORT => {
+                if ctx.attr_str(op, "kind") == Some("buffer") {
+                    if let Some(sym) = ctx.attr_str(op, "symbol") {
+                        field_buffers.push(sym.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Kernels.
+    let mut kernels = Vec::new();
+    for k in 0.. {
+        let name = format!("seq_kernel{k}");
+        let Some(func) = csl::find_callable(ctx, program_module, &name) else { break };
+        let func_body = csl::body_block(ctx, func).ok_or_else(|| err("kernel has no body"))?;
+        let (pre, comm_call) = parse_block(ctx, func_body, &buffer_of, None)?;
+        let (comm, recv, done) = match comm_call {
+            Some(call) => {
+                let callbacks = csl::callbacks(ctx, call);
+                if callbacks.len() != 2 {
+                    return Err(err("communicate call must have two callbacks"));
+                }
+                let recv_task = csl::find_callable(ctx, program_module, &callbacks[0])
+                    .ok_or_else(|| err(format!("missing task {}", callbacks[0])))?;
+                let done_task = csl::find_callable(ctx, program_module, &callbacks[1])
+                    .ok_or_else(|| err(format!("missing task {}", callbacks[1])))?;
+                let recv_body =
+                    csl::body_block(ctx, recv_task).ok_or_else(|| err("recv task empty"))?;
+                let done_body =
+                    csl::body_block(ctx, done_task).ok_or_else(|| err("done task empty"))?;
+                let chunk_arg = ctx.block_args(recv_body).first().copied();
+                let (recv, _) = parse_block(ctx, recv_body, &buffer_of, chunk_arg)?;
+                let (done, _) = parse_block(ctx, done_body, &buffer_of, None)?;
+                let slots = parse_slots(ctx, call, &field_buffers)?;
+                let pattern = slots
+                    .iter()
+                    .map(|s| s.dx.abs().max(s.dy.abs()))
+                    .max()
+                    .unwrap_or(1);
+                let comm = CommSpec {
+                    num_chunks: ctx.attr_int(call, "num_chunks").unwrap_or(1),
+                    chunk_size: ctx.attr_int(call, "chunk_size").unwrap_or(z_dim),
+                    fields: ctx
+                        .attr(call, "fields")
+                        .and_then(Attribute::as_index_array)
+                        .map(|idx| {
+                            idx.iter()
+                                .filter_map(|&i| field_buffers.get(i as usize).cloned())
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                    slots,
+                    pattern,
+                };
+                (Some(comm), recv, done)
+            }
+            None => (None, Vec::new(), Vec::new()),
+        };
+        kernels.push(LoadedKernel { name, pre, comm, recv, done });
+    }
+    if kernels.is_empty() {
+        return Err(err("program has no seq_kernel functions"));
+    }
+
+    Ok(LoadedProgram {
+        width,
+        height,
+        z_dim,
+        z_halo,
+        timesteps,
+        buffers,
+        field_buffers,
+        kernels,
+    })
+}
+
+fn parse_slots(
+    ctx: &IrContext,
+    call: OpId,
+    field_buffers: &[String],
+) -> Result<Vec<SlotSpec>, LoadError> {
+    let neighbors = ctx
+        .attr(call, "slot_neighbors")
+        .and_then(Attribute::as_array)
+        .ok_or_else(|| err("communicate call is missing slot_neighbors"))?;
+    let slot_fields = ctx
+        .attr(call, "slot_fields")
+        .and_then(Attribute::as_index_array)
+        .ok_or_else(|| err("communicate call is missing slot_fields"))?;
+    let mut slots = Vec::new();
+    for (i, n) in neighbors.iter().enumerate() {
+        let offsets = n.as_index_array().ok_or_else(|| err("bad slot neighbor"))?;
+        let field_index = slot_fields.get(i).copied().unwrap_or(0) as usize;
+        slots.push(SlotSpec {
+            field: field_buffers
+                .get(field_index)
+                .cloned()
+                .ok_or_else(|| err("slot references an unknown field"))?,
+            dx: offsets.first().copied().unwrap_or(0),
+            dy: offsets.get(1).copied().unwrap_or(0),
+        });
+    }
+    Ok(slots)
+}
+
+#[derive(Debug, Clone)]
+enum LocalValue {
+    Dsd(ViewRef),
+    Scalar(f32),
+}
+
+/// Parses the DSD instructions of a block; returns the instructions and the
+/// communicate call (if any).
+fn parse_block(
+    ctx: &IrContext,
+    block: BlockId,
+    buffer_of: &HashMap<ValueId, String>,
+    chunk_arg: Option<ValueId>,
+) -> Result<(Vec<Instr>, Option<OpId>), LoadError> {
+    let mut values: HashMap<ValueId, LocalValue> = HashMap::new();
+    let mut instrs = Vec::new();
+    let mut comm_call = None;
+
+    let view_of = |values: &HashMap<ValueId, LocalValue>, v: ValueId| -> Result<ViewRef, LoadError> {
+        match values.get(&v) {
+            Some(LocalValue::Dsd(view)) => Ok(view.clone()),
+            _ => Err(err("operand is not a DSD view")),
+        }
+    };
+
+    for &op in ctx.block_ops(block) {
+        match ctx.op_name(op) {
+            csl::GET_MEM_DSD => {
+                let root = ctx.operand(op, 0);
+                let buffer = buffer_of
+                    .get(&root)
+                    .cloned()
+                    .ok_or_else(|| err("DSD over an unknown buffer"))?;
+                let dynamic = ctx
+                    .operands(op)
+                    .get(1)
+                    .map(|second| Some(*second) == chunk_arg || chunk_arg.is_some())
+                    .unwrap_or(false);
+                values.insert(
+                    ctx.result(op, 0),
+                    LocalValue::Dsd(ViewRef {
+                        buffer,
+                        offset: ctx.attr_int(op, "offset").unwrap_or(0),
+                        dynamic,
+                        len: ctx.attr_int(op, "length").unwrap_or(1),
+                    }),
+                );
+            }
+            arith::CONSTANT => {
+                let value = arith::constant_float_value(ctx, op)
+                    .or_else(|| arith::constant_int_value(ctx, op).map(|v| v as f64))
+                    .unwrap_or(0.0);
+                values.insert(ctx.result(op, 0), LocalValue::Scalar(value as f32));
+            }
+            csl::FMOVS => {
+                let dest = view_of(&values, ctx.operand(op, 0))?;
+                let src = match values.get(&ctx.operand(op, 1)) {
+                    Some(LocalValue::Dsd(view)) => Src::View(view.clone()),
+                    Some(LocalValue::Scalar(s)) => Src::Scalar(*s),
+                    None => Src::Scalar(0.0),
+                };
+                instrs.push(Instr::Movs { dest, src });
+            }
+            csl::FADDS | csl::FSUBS | csl::FMULS => {
+                let kind = match ctx.op_name(op) {
+                    csl::FADDS => BinKind::Add,
+                    csl::FSUBS => BinKind::Sub,
+                    _ => BinKind::Mul,
+                };
+                instrs.push(Instr::Binary {
+                    kind,
+                    dest: view_of(&values, ctx.operand(op, 0))?,
+                    a: view_of(&values, ctx.operand(op, 1))?,
+                    b: view_of(&values, ctx.operand(op, 2))?,
+                });
+            }
+            csl::FMACS => {
+                let coeff = match values.get(&ctx.operand(op, 3)) {
+                    Some(LocalValue::Scalar(s)) => *s,
+                    _ => return Err(err("fmacs coefficient is not a scalar constant")),
+                };
+                instrs.push(Instr::Macs {
+                    dest: view_of(&values, ctx.operand(op, 0))?,
+                    acc: view_of(&values, ctx.operand(op, 1))?,
+                    src: view_of(&values, ctx.operand(op, 2))?,
+                    coeff,
+                });
+            }
+            csl::MEMBER_CALL => {
+                if ctx.attr_str(op, "field") == Some("communicate") {
+                    comm_call = Some(op);
+                }
+            }
+            // Control flow and declarations are handled structurally.
+            _ => {}
+        }
+    }
+    Ok((instrs, comm_call))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_frontends::benchmarks::Benchmark;
+    use wse_lowering::{lower_program, PipelineOptions};
+
+    fn load(benchmark: Benchmark, num_chunks: i64) -> LoadedProgram {
+        let program = benchmark.tiny_program();
+        let lowered = lower_program(
+            &program,
+            &PipelineOptions { num_chunks, ..PipelineOptions::default() },
+        )
+        .unwrap();
+        load_program(&lowered.ctx, lowered.module).unwrap()
+    }
+
+    #[test]
+    fn jacobian_loads_with_comm_and_callbacks() {
+        let loaded = load(Benchmark::Jacobian, 2);
+        assert_eq!(loaded.kernels.len(), 1);
+        let kernel = &loaded.kernels[0];
+        let comm = kernel.comm.as_ref().expect("jacobian communicates");
+        assert_eq!(comm.num_chunks, 2);
+        assert_eq!(comm.slots.len(), 4);
+        assert_eq!(comm.pattern, 1);
+        assert!(!kernel.recv.is_empty());
+        assert!(!kernel.done.is_empty());
+        assert!(loaded.field_buffers.contains(&"a".to_string()));
+        assert!(loaded.timesteps > 1);
+        assert!(loaded.fmac_count() > 0);
+        // Receive instructions use chunk-relative (dynamic) accumulator views.
+        assert!(kernel.recv.iter().any(|i| match i {
+            Instr::Macs { dest, .. } => dest.dynamic,
+            _ => false,
+        }));
+    }
+
+    #[test]
+    fn acoustic_loads_two_kernels() {
+        let loaded = load(Benchmark::Acoustic, 1);
+        assert_eq!(loaded.kernels.len(), 2);
+        assert!(loaded.kernels[0].comm.is_none(), "first kernel is local-only");
+        assert!(loaded.kernels[1].comm.is_some(), "second kernel communicates");
+        assert_eq!(loaded.field_buffers.len(), 2);
+    }
+
+    #[test]
+    fn buffers_fit_in_pe_sram_for_tiny_programs() {
+        let loaded = load(Benchmark::Seismic25, 2);
+        assert!(loaded.bytes_per_pe() < 48 * 1024);
+        assert!(loaded.buffers.iter().any(|b| b.name == "accumulator"));
+        assert!(loaded.buffers.iter().any(|b| b.name == "recv_buffer"));
+    }
+}

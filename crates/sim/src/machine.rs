@@ -1,0 +1,149 @@
+//! Machine models of the Cerebras WSE2 and WSE3 (and the comparison
+//! devices used by the paper's Figures 6 and 7).
+
+/// A Wafer-Scale Engine generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WseGeneration {
+    /// CS-2 (WSE2).
+    Wse2,
+    /// CS-3 (WSE3).
+    Wse3,
+}
+
+impl WseGeneration {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WseGeneration::Wse2 => "WSE2",
+            WseGeneration::Wse3 => "WSE3",
+        }
+    }
+
+    /// Machine description for this generation.
+    pub fn machine(self) -> WseMachine {
+        match self {
+            WseGeneration::Wse2 => WseMachine {
+                generation: self,
+                pe_grid: (750, 994),
+                clock_ghz: 0.85,
+                sram_per_pe_bytes: 48 * 1024,
+                total_memory_gb: 40.0,
+                peak_pflops: 1.10,
+                memory_bandwidth_pbs: 14.0,
+                fabric_bandwidth_pbs: 2.50,
+                // Older switch configuration: each PE must also transmit to
+                // itself on every route (Section 6), costing extra fabric
+                // cycles and extra internal tasks.
+                self_transmit: true,
+                task_activation_cycles: 45,
+            },
+            WseGeneration::Wse3 => WseMachine {
+                generation: self,
+                pe_grid: (762, 1176),
+                clock_ghz: 0.875,
+                sram_per_pe_bytes: 48 * 1024,
+                total_memory_gb: 44.0,
+                peak_pflops: 1.52,
+                memory_bandwidth_pbs: 18.22,
+                fabric_bandwidth_pbs: 3.30,
+                self_transmit: false,
+                task_activation_cycles: 30,
+            },
+        }
+    }
+}
+
+/// Parameters of one WSE generation used by the performance model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WseMachine {
+    /// Generation.
+    pub generation: WseGeneration,
+    /// Usable PE grid (x, y).
+    pub pe_grid: (i64, i64),
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// SRAM per PE in bytes.
+    pub sram_per_pe_bytes: u64,
+    /// Total on-chip memory in GB.
+    pub total_memory_gb: f64,
+    /// Peak single-precision performance in PFLOP/s.
+    pub peak_pflops: f64,
+    /// Aggregate local-memory bandwidth in PB/s.
+    pub memory_bandwidth_pbs: f64,
+    /// Aggregate fabric bandwidth in PB/s.
+    pub fabric_bandwidth_pbs: f64,
+    /// Whether the switch configuration requires self transmission.
+    pub self_transmit: bool,
+    /// Cycles charged per task activation.
+    pub task_activation_cycles: u64,
+}
+
+impl WseMachine {
+    /// Total number of PEs.
+    pub fn total_pes(&self) -> i64 {
+        self.pe_grid.0 * self.pe_grid.1
+    }
+
+    /// Peak FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_pflops * 1e15
+    }
+
+    /// Checks that a per-PE memory footprint fits in local SRAM.
+    pub fn fits_in_sram(&self, bytes_per_pe: u64) -> bool {
+        bytes_per_pe <= self.sram_per_pe_bytes
+    }
+}
+
+/// A conventional accelerator / CPU node used for comparison (Figures 6-7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparisonDevice {
+    /// Device name.
+    pub name: &'static str,
+    /// Peak single-precision performance in TFLOP/s.
+    pub peak_tflops: f64,
+    /// Memory bandwidth in TB/s.
+    pub memory_bandwidth_tbs: f64,
+}
+
+/// An NVIDIA A100-80GB (as deployed in Tursa).
+pub const A100: ComparisonDevice =
+    ComparisonDevice { name: "A100", peak_tflops: 17.59, memory_bandwidth_tbs: 2.04 };
+
+/// A dual-socket AMD EPYC 7742 (Rome) ARCHER2 node.
+pub const EPYC_7742_NODE: ComparisonDevice =
+    ComparisonDevice { name: "dual EPYC 7742", peak_tflops: 7.3, memory_bandwidth_tbs: 0.41 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wse3_is_bigger_and_faster_than_wse2() {
+        let wse2 = WseGeneration::Wse2.machine();
+        let wse3 = WseGeneration::Wse3.machine();
+        assert!(wse3.total_pes() > wse2.total_pes());
+        assert!(wse3.peak_pflops > wse2.peak_pflops);
+        assert!(wse3.fabric_bandwidth_pbs > wse2.fabric_bandwidth_pbs);
+        assert!(wse2.self_transmit);
+        assert!(!wse3.self_transmit);
+        assert!(wse3.total_pes() > 890_000);
+        assert_eq!(WseGeneration::Wse2.name(), "WSE2");
+    }
+
+    #[test]
+    fn sram_capacity_checks() {
+        let wse3 = WseGeneration::Wse3.machine();
+        // A 900-element column with a handful of buffers fits easily…
+        assert!(wse3.fits_in_sram(900 * 4 * 6));
+        // …but ten full-size fields do not.
+        assert!(!wse3.fits_in_sram(48 * 1024 + 1));
+    }
+
+    #[test]
+    fn comparison_devices_match_paper_roofline() {
+        assert_eq!(A100.peak_tflops, 17.59);
+        assert_eq!(A100.memory_bandwidth_tbs, 2.04);
+        assert!(EPYC_7742_NODE.memory_bandwidth_tbs < 1.0);
+    }
+}

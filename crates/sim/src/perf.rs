@@ -1,0 +1,244 @@
+//! Analytic performance model: per-PE cycle accounting extrapolated to a
+//! full wafer.
+//!
+//! The model charges one cycle per 32-bit element for DSD compute builtins,
+//! one cycle per 32-bit wavelet per link for fabric transfers (plus hop
+//! latency), and a fixed activation overhead per software-actor task.  The
+//! WSE2's older switch configuration additionally requires every PE to
+//! transmit to itself on each route, which is modelled as extra fabric
+//! traffic and extra internal tasks — the dominant reason for the WSE2 /
+//! WSE3 gap reported in Figure 4.
+
+use crate::loader::{Instr, LoadedKernel, LoadedProgram};
+use crate::machine::WseMachine;
+
+/// Fixed per-DSD-operation issue overhead in cycles.
+const DSD_ISSUE_CYCLES: u64 = 4;
+/// Cycles per 32-bit element processed by a DSD builtin (an fmacs touches
+/// three memory streams per element, so sustained throughput is below one
+/// element per cycle).
+const CYCLES_PER_ELEMENT: u64 = 2;
+/// Per-hop router latency in cycles.
+const HOP_LATENCY_CYCLES: u64 = 7;
+/// Cycles to invoke the communication library entry point per exchange.
+const COMM_SETUP_CYCLES: u64 = 60;
+
+/// Cycle breakdown of one timestep on one PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleBreakdown {
+    /// Cycles spent in DSD compute builtins.
+    pub compute: u64,
+    /// Cycles spent moving halo data through the fabric (non-overlapped).
+    pub communication: u64,
+    /// Cycles spent activating and dispatching tasks.
+    pub task_overhead: u64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles.
+    pub fn total(&self) -> u64 {
+        self.compute + self.communication + self.task_overhead
+    }
+}
+
+/// A performance estimate for one benchmark on one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfEstimate {
+    /// Cycles per timestep per PE (critical path).
+    pub cycles_per_timestep: u64,
+    /// Breakdown of those cycles.
+    pub breakdown: CycleBreakdown,
+    /// Wall-clock seconds for the whole run.
+    pub seconds: f64,
+    /// Throughput in giga grid-points per second.
+    pub gpts_per_sec: f64,
+    /// Sustained TFLOP/s.
+    pub tflops: f64,
+    /// Fraction of the machine's peak FLOP/s.
+    pub fraction_of_peak: f64,
+    /// Number of software-actor tasks activated per timestep per PE.
+    pub tasks_per_timestep: u64,
+}
+
+fn instr_cycles(instrs: &[Instr]) -> u64 {
+    instrs.iter().map(|i| i.elements() as u64 * CYCLES_PER_ELEMENT + DSD_ISSUE_CYCLES).sum()
+}
+
+/// Cycles and task counts for one kernel in one timestep.
+fn kernel_cycles(kernel: &LoadedKernel, machine: &WseMachine) -> CycleBreakdown {
+    let mut breakdown = CycleBreakdown::default();
+    breakdown.compute += instr_cycles(&kernel.pre);
+    breakdown.task_overhead += machine.task_activation_cycles; // the seq_kernel call itself
+    let Some(comm) = &kernel.comm else {
+        return breakdown;
+    };
+
+    let directions = 4u64;
+    let self_transmit_factor = if machine.self_transmit { 1.25 } else { 1.0 };
+    // Per chunk and per direction, `pattern` neighbor columns of
+    // `chunk_size` elements stream over the link at one element per cycle.
+    let elements_per_direction =
+        (comm.pattern * comm.chunk_size) as u64 * comm.fields.len().max(1) as u64;
+    let per_chunk_fabric = (elements_per_direction as f64 * self_transmit_factor) as u64
+        + HOP_LATENCY_CYCLES * comm.pattern as u64;
+    let fabric_total = COMM_SETUP_CYCLES + per_chunk_fabric * comm.num_chunks as u64;
+
+    // Receive-side reduction runs once per chunk and overlaps with the
+    // fabric transfer of the next chunk.  On the WSE2 the self-transmitted
+    // copy must also be drained, inflating the receive-side work.
+    let mut recv_total = instr_cycles(&kernel.recv) * comm.num_chunks as u64;
+    if machine.self_transmit {
+        recv_total = recv_total * 3 / 2;
+    }
+    let overlapped = fabric_total.max(recv_total);
+    breakdown.communication += overlapped.saturating_sub(recv_total.min(overlapped));
+    breakdown.compute += recv_total.min(overlapped) + instr_cycles(&kernel.done);
+
+    // Task accounting: the library uses one send-completion and one
+    // receive-completion task per direction per chunk, plus the user
+    // callbacks (one per chunk) and the done callback.  The WSE2 switch
+    // workaround adds one extra task per direction per chunk.
+    let mut tasks = comm.num_chunks as u64 * (2 * directions + 1) + 1;
+    if machine.self_transmit {
+        tasks += comm.num_chunks as u64 * directions;
+    }
+    breakdown.task_overhead += tasks * machine.task_activation_cycles;
+    breakdown
+}
+
+/// Number of tasks activated per timestep (used for reporting).
+pub fn tasks_per_timestep(program: &LoadedProgram, machine: &WseMachine) -> u64 {
+    let mut tasks = 0u64;
+    for kernel in &program.kernels {
+        tasks += 1;
+        if let Some(comm) = &kernel.comm {
+            tasks += comm.num_chunks as u64 * (2 * 4 + 1) + 1;
+            if machine.self_transmit {
+                tasks += comm.num_chunks as u64 * 4;
+            }
+        }
+    }
+    // Timestep loop bookkeeping (for_cond / for_inc).
+    tasks + 2
+}
+
+/// Estimates the performance of a lowered program on `machine`.
+///
+/// `grid` is the logical problem size `(x, y, z)` and `timesteps` the run
+/// length; `flops_per_point` comes from the front-end program.
+pub fn estimate_performance(
+    program: &LoadedProgram,
+    machine: &WseMachine,
+    grid: (i64, i64, i64),
+    timesteps: i64,
+    flops_per_point: u64,
+) -> PerfEstimate {
+    let mut breakdown = CycleBreakdown::default();
+    for kernel in &program.kernels {
+        let k = kernel_cycles(kernel, machine);
+        breakdown.compute += k.compute;
+        breakdown.communication += k.communication;
+        breakdown.task_overhead += k.task_overhead;
+    }
+    // Timestep-loop bookkeeping tasks.
+    breakdown.task_overhead += 2 * machine.task_activation_cycles;
+
+    let cycles_per_timestep = breakdown.total().max(1);
+    let seconds =
+        cycles_per_timestep as f64 * timesteps as f64 / (machine.clock_ghz * 1e9);
+    let points = grid.0 as f64 * grid.1 as f64 * grid.2 as f64;
+    let gpts_per_sec = points * timesteps as f64 / seconds / 1e9;
+    let tflops = gpts_per_sec * 1e9 * flops_per_point as f64 / 1e12;
+    let fraction_of_peak = (tflops * 1e12) / machine.peak_flops();
+    PerfEstimate {
+        cycles_per_timestep,
+        breakdown,
+        seconds,
+        gpts_per_sec,
+        tflops,
+        fraction_of_peak,
+        tasks_per_timestep: tasks_per_timestep(program, machine),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::load_program;
+    use crate::machine::WseGeneration;
+    use wse_frontends::benchmarks::{Benchmark, ProblemSize};
+    use wse_lowering::{lower_program, PipelineOptions, WseTarget};
+
+    fn estimate(
+        benchmark: Benchmark,
+        size: ProblemSize,
+        target: WseTarget,
+        num_chunks: i64,
+    ) -> PerfEstimate {
+        let program = benchmark.program(size);
+        let options = PipelineOptions {
+            target,
+            num_chunks,
+            width: Some(program.grid.x),
+            height: Some(program.grid.y),
+            ..PipelineOptions::default()
+        };
+        let lowered = lower_program(&program, &options).unwrap();
+        let loaded = load_program(&lowered.ctx, lowered.module).unwrap();
+        let machine = match target {
+            WseTarget::Wse2 => WseGeneration::Wse2.machine(),
+            WseTarget::Wse3 => WseGeneration::Wse3.machine(),
+        };
+        estimate_performance(
+            &loaded,
+            &machine,
+            (program.grid.x, program.grid.y, program.grid.z),
+            program.timesteps,
+            program.flops_per_point(),
+        )
+    }
+
+    #[test]
+    fn wse3_beats_wse2_on_every_benchmark() {
+        for benchmark in Benchmark::ALL {
+            let wse2 = estimate(benchmark, ProblemSize::Small, WseTarget::Wse2, 2);
+            let wse3 = estimate(benchmark, ProblemSize::Small, WseTarget::Wse3, 2);
+            assert!(
+                wse3.gpts_per_sec > wse2.gpts_per_sec,
+                "{}: WSE3 ({:.1}) must outperform WSE2 ({:.1})",
+                benchmark.name(),
+                wse3.gpts_per_sec,
+                wse2.gpts_per_sec
+            );
+            let ratio = wse3.gpts_per_sec / wse2.gpts_per_sec;
+            assert!(ratio < 2.5, "{}: speedup {ratio:.2} is implausibly large", benchmark.name());
+        }
+    }
+
+    #[test]
+    fn larger_grids_give_higher_throughput() {
+        let small = estimate(Benchmark::Jacobian, ProblemSize::Small, WseTarget::Wse3, 1);
+        let large = estimate(Benchmark::Jacobian, ProblemSize::Large, WseTarget::Wse3, 1);
+        // Per-PE time is identical; more PEs → proportionally more points.
+        assert!(large.gpts_per_sec > 10.0 * small.gpts_per_sec);
+    }
+
+    #[test]
+    fn throughput_is_in_a_plausible_range() {
+        // Figure 4 reports O(10^3)-O(10^4) GPts/s for the large size.
+        let est = estimate(Benchmark::Jacobian, ProblemSize::Large, WseTarget::Wse3, 1);
+        assert!(est.gpts_per_sec > 500.0, "too slow: {} GPts/s", est.gpts_per_sec);
+        assert!(est.gpts_per_sec < 100_000.0, "too fast: {} GPts/s", est.gpts_per_sec);
+        assert!(est.fraction_of_peak < 1.0, "cannot exceed peak");
+        assert!(est.tasks_per_timestep > 5);
+    }
+
+    #[test]
+    fn seismic_is_compute_bound_at_large_z() {
+        let est = estimate(Benchmark::Seismic25, ProblemSize::Large, WseTarget::Wse3, 1);
+        assert!(
+            est.breakdown.compute > est.breakdown.communication,
+            "25-point stencil with z=450 should be compute dominated"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Sequential reference executor for stencil programs.
+//!
+//! Executes a front-end [`StencilProgram`] directly on dense 3-D arrays,
+//! providing the ground truth against which the WSE simulator's results are
+//! compared (out-of-range accesses read zero, matching the zero-initialized
+//! halos of the PE-local buffers).
+
+use wse_frontends::ast::StencilProgram;
+
+/// A dense 3-D field of `f32` values over the program interior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field3D {
+    /// Extents (x, y, z).
+    pub shape: (i64, i64, i64),
+    /// Row-major data, indexed `[x][y][z]`.
+    pub data: Vec<f32>,
+}
+
+impl Field3D {
+    /// Creates a zero-filled field.
+    pub fn zeros(x: i64, y: i64, z: i64) -> Self {
+        Self { shape: (x, y, z), data: vec![0.0; (x * y * z) as usize] }
+    }
+
+    fn index(&self, x: i64, y: i64, z: i64) -> Option<usize> {
+        let (nx, ny, nz) = self.shape;
+        if x < 0 || y < 0 || z < 0 || x >= nx || y >= ny || z >= nz {
+            return None;
+        }
+        Some(((x * ny + y) * nz + z) as usize)
+    }
+
+    /// Reads a value; out-of-range accesses return 0 (the halo value).
+    pub fn get(&self, x: i64, y: i64, z: i64) -> f32 {
+        self.index(x, y, z).map(|i| self.data[i]).unwrap_or(0.0)
+    }
+
+    /// Writes a value (panics when out of range).
+    pub fn set(&mut self, x: i64, y: i64, z: i64, value: f32) {
+        let i = self.index(x, y, z).expect("write inside the interior");
+        self.data[i] = value;
+    }
+}
+
+/// The state of every field of a program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridState {
+    /// Field names in program order.
+    pub names: Vec<String>,
+    /// One dense array per field.
+    pub fields: Vec<Field3D>,
+}
+
+impl GridState {
+    /// Returns the field with the given name.
+    pub fn field(&self, name: &str) -> Option<&Field3D> {
+        self.names.iter().position(|n| n == name).map(|i| &self.fields[i])
+    }
+}
+
+/// Deterministic initial condition shared by the reference executor and the
+/// WSE simulator: a smooth, field-dependent function of the coordinates.
+pub fn initial_value(field_index: usize, x: i64, y: i64, z: i64) -> f32 {
+    let f = field_index as f32;
+    let (x, y, z) = (x as f32, y as f32, z as f32);
+    0.01 * (f + 1.0) + 0.002 * x - 0.003 * y + 0.001 * z + 0.0001 * x * z - 0.0002 * y * z
+}
+
+/// Creates the initial grid state of a program.
+pub fn initial_state(program: &StencilProgram) -> GridState {
+    let (nx, ny, nz) = (program.grid.x, program.grid.y, program.grid.z);
+    let mut fields = Vec::new();
+    for (fi, _) in program.fields.iter().enumerate() {
+        let mut field = Field3D::zeros(nx, ny, nz);
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    field.set(x, y, z, initial_value(fi, x, y, z));
+                }
+            }
+        }
+        fields.push(field);
+    }
+    GridState { names: program.fields.clone(), fields }
+}
+
+/// Runs the program sequentially for its configured number of timesteps
+/// (or `override_timesteps` when provided) and returns the final state.
+pub fn run_reference(program: &StencilProgram, override_timesteps: Option<i64>) -> GridState {
+    let mut state = initial_state(program);
+    let timesteps = override_timesteps.unwrap_or(program.timesteps);
+    let (nx, ny, nz) = (program.grid.x, program.grid.y, program.grid.z);
+    for _ in 0..timesteps {
+        for eq in &program.equations {
+            let out_index =
+                program.fields.iter().position(|f| f == &eq.output).expect("validated output");
+            let mut next = state.fields[out_index].clone();
+            for x in 0..nx {
+                for y in 0..ny {
+                    for z in 0..nz {
+                        let value = eq.expr.evaluate(&|field, offset| {
+                            let fi = program
+                                .fields
+                                .iter()
+                                .position(|f| f == field)
+                                .expect("validated input");
+                            state.fields[fi].get(x + offset[0], y + offset[1], z + offset[2])
+                        });
+                        next.set(x, y, z, value);
+                    }
+                }
+            }
+            state.fields[out_index] = next;
+        }
+    }
+    state
+}
+
+/// Maximum absolute difference between two grid states (same shape).
+pub fn max_abs_difference(a: &GridState, b: &GridState) -> f32 {
+    a.fields
+        .iter()
+        .zip(&b.fields)
+        .flat_map(|(fa, fb)| fa.data.iter().zip(&fb.data).map(|(x, y)| (x - y).abs()))
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_frontends::benchmarks::Benchmark;
+
+    #[test]
+    fn initial_state_is_deterministic() {
+        let program = Benchmark::Jacobian.tiny_program();
+        let a = initial_state(&program);
+        let b = initial_state(&program);
+        assert_eq!(a, b);
+        assert_eq!(a.fields.len(), 1);
+        assert!(a.field("a").is_some());
+        assert!(a.field("missing").is_none());
+    }
+
+    #[test]
+    fn out_of_range_reads_are_zero() {
+        let f = Field3D::zeros(2, 2, 2);
+        assert_eq!(f.get(-1, 0, 0), 0.0);
+        assert_eq!(f.get(0, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn jacobian_smooths_the_field() {
+        let program = Benchmark::Jacobian.tiny_program();
+        let before = initial_state(&program);
+        let after = run_reference(&program, Some(1));
+        // Values change but stay bounded (the 6-point average is a
+        // contraction away from the boundary).
+        assert!(max_abs_difference(&before, &after) > 0.0);
+        let max = after.fields[0].data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(max < 1.0, "jacobian must stay bounded, got {max}");
+    }
+
+    #[test]
+    fn acoustic_uses_both_fields() {
+        let program = Benchmark::Acoustic.tiny_program();
+        let after = run_reference(&program, Some(2));
+        // u_prev must have been overwritten with old u values (non-zero).
+        let u_prev = after.field("u_prev").unwrap();
+        assert!(u_prev.data.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn timestep_override_controls_work() {
+        let program = Benchmark::Diffusion.tiny_program();
+        let one = run_reference(&program, Some(1));
+        let two = run_reference(&program, Some(2));
+        assert!(max_abs_difference(&one, &two) > 0.0);
+    }
+}

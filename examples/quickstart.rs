@@ -1,0 +1,48 @@
+//! Quickstart: compile a Fortran stencil for the WSE, look at the generated
+//! CSL, validate it against the reference executor and estimate full-wafer
+//! performance.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use wse_stencil::{benchmarks::Benchmark, Compiler, WseTarget};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small instance of the Flang Jacobian benchmark (Listing 1 of the
+    // paper): the Fortran the scientist wrote.
+    let program = Benchmark::Jacobian.tiny_program();
+    println!("=== DSL input ({} lines) ===\n{}", program.source_loc(), program.source);
+
+    // Compile it for the WSE3 with two communication chunks.
+    let artifact = Compiler::new().target(WseTarget::Wse3).num_chunks(2).compile(&program)?;
+    println!("Passes run: {}", artifact.pass_names().join(", "));
+
+    // The generated CSL program (excerpt).
+    let kernel = &artifact.sources().file("pe_program.csl").unwrap().content;
+    println!("\n=== generated pe_program.csl (first 40 lines) ===");
+    for line in kernel.lines().take(40) {
+        println!("{line}");
+    }
+    let report = artifact.loc_report();
+    println!(
+        "\nLines of code: DSL {} | CSL kernel {} | CSL entire {}",
+        report.dsl, report.csl_kernel, report.csl_entire
+    );
+
+    // Functional validation on a simulated PE grid.
+    let deviation = artifact.validate_against_reference()?;
+    println!("max |simulated - reference| = {deviation:.2e}");
+
+    // Full-wafer performance estimate at the paper's large problem size.
+    let large = Compiler::new().num_chunks(2).compile(&Benchmark::Jacobian.program(
+        wse_stencil::benchmarks::ProblemSize::Large,
+    ))?;
+    let estimate = large.estimate();
+    println!(
+        "Large problem estimate: {:.0} GPts/s, {:.0} TFLOP/s, {:.0}% of peak, {} tasks/timestep",
+        estimate.gpts_per_sec,
+        estimate.tflops,
+        estimate.fraction_of_peak * 100.0,
+        estimate.tasks_per_timestep
+    );
+    Ok(())
+}

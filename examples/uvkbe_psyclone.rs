@@ -1,0 +1,28 @@
+//! The PSyclone UVKBE benchmark: four fields, two consecutive applies, and
+//! the stencil-inlining optimization that fuses them.
+//!
+//! Run with `cargo run --example uvkbe_psyclone`.
+
+use wse_stencil::benchmarks::Benchmark;
+use wse_stencil::Compiler;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = Benchmark::Uvkbe.tiny_program();
+    println!("PSyclone algorithm layer:\n{}", program.source);
+    println!("fields: {:?}", program.fields);
+    println!("communicated fields: {:?}", program.communicated_fields());
+
+    let fused = Compiler::new().compile(&program)?;
+    let unfused = Compiler::new().inlining(false).compile(&program)?;
+    println!("\nwith stencil-inlining   : passes = {}", fused.pass_names().len());
+    println!("without stencil-inlining: passes = {}", unfused.pass_names().len());
+    println!("validation (inlined)    : {:.2e}", fused.validate_against_reference()?);
+    println!("validation (not inlined): {:.2e}", unfused.validate_against_reference()?);
+
+    let report = fused.loc_report();
+    println!(
+        "\nLines of code — DSL: {}, generated kernel: {}, entire artifact: {}",
+        report.dsl, report.csl_kernel, report.csl_entire
+    );
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Compares WSE2 and WSE3 code generation and performance across all five
+//! paper benchmarks (Figure 4 of the paper).
+//!
+//! Run with `cargo run --example wse2_vs_wse3`.
+
+use wse_stencil::benchmarks::{Benchmark, ProblemSize};
+use wse_stencil::{Compiler, WseTarget};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:<18} {:>14} {:>14} {:>10}", "benchmark", "WSE2 GPts/s", "WSE3 GPts/s", "ratio");
+    for benchmark in Benchmark::ALL {
+        let program = benchmark.program(ProblemSize::Large);
+        let wse2 = Compiler::new().target(WseTarget::Wse2).num_chunks(2).compile(&program)?;
+        let wse3 = Compiler::new().target(WseTarget::Wse3).num_chunks(2).compile(&program)?;
+        let (e2, e3) = (wse2.estimate(), wse3.estimate());
+        println!(
+            "{:<18} {:>14.0} {:>14.0} {:>9.2}x",
+            benchmark.name(),
+            e2.gpts_per_sec,
+            e3.gpts_per_sec,
+            e3.gpts_per_sec / e2.gpts_per_sec
+        );
+    }
+    // The same source compiles for both generations; only the runtime
+    // library differs (WSE2 self-transmit workaround).
+    let program = Benchmark::Jacobian.tiny_program();
+    let wse2 = Compiler::new().target(WseTarget::Wse2).compile(&program)?;
+    let wse3 = Compiler::new().target(WseTarget::Wse3).compile(&program)?;
+    let lib = |a: &wse_stencil::CslArtifact| {
+        a.sources().file("stencil_comms.csl").unwrap().content.contains("self_transmit")
+    };
+    println!("\nWSE2 runtime library uses self-transmit workaround: {}", lib(&wse2));
+    println!("WSE3 runtime library uses self-transmit workaround: {}", lib(&wse3));
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate for the wse-stencil reproduction workspace.
+//!
+//! Re-exports the public API crate so examples and integration tests can
+//! use a single dependency; see [`wse_stencil`] for the full documentation.
+
+pub use wse_stencil::*;

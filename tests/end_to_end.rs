@@ -1,0 +1,118 @@
+//! End-to-end integration tests: every paper benchmark is compiled through
+//! the full pipeline, the generated IR verifies, the generated CSL looks
+//! like CSL, and the functional simulation matches the reference executor.
+
+use wse_stencil::benchmarks::Benchmark;
+use wse_stencil::{Compiler, WseTarget};
+
+#[test]
+fn every_benchmark_compiles_validates_and_verifies() {
+    for benchmark in Benchmark::ALL {
+        let program = benchmark.tiny_program();
+        let artifact = Compiler::new()
+            .num_chunks(2)
+            .verify_each(true)
+            .compile(&program)
+            .unwrap_or_else(|e| panic!("{} failed to compile: {e}", benchmark.name()));
+        let deviation = artifact
+            .validate_against_reference()
+            .unwrap_or_else(|e| panic!("{} failed to simulate: {e}", benchmark.name()));
+        assert!(
+            deviation < 1e-3,
+            "{}: simulated result deviates from the reference by {deviation}",
+            benchmark.name()
+        );
+        assert!(
+            artifact.bytes_per_pe() <= 48 * 1024,
+            "{}: generated buffers exceed the 48 kB PE memory",
+            benchmark.name()
+        );
+    }
+}
+
+#[test]
+fn generated_csl_has_the_figure1_structure() {
+    let program = Benchmark::Jacobian.tiny_program();
+    let artifact = Compiler::new().num_chunks(2).compile(&program).unwrap();
+    let kernel = &artifact.sources().file("pe_program.csl").unwrap().content;
+    for expected in [
+        "fn f_main() void {",
+        "task for_cond0() void {",
+        "fn for_inc0() void {",
+        "fn for_post0() void {",
+        "fn seq_kernel0() void {",
+        "task receive_chunk_cb0(",
+        "task done_exchange_cb0(",
+        "stencil_comms.communicate(",
+        "@activate(for_cond0_task_id);",
+        "@fmacs(",
+    ] {
+        assert!(kernel.contains(expected), "generated CSL is missing {expected:?}:\n{kernel}");
+    }
+    let layout = &artifact.sources().file("layout.csl").unwrap().content;
+    assert!(layout.contains("@set_rectangle("));
+    assert!(layout.contains("@set_tile_code(x, y, \"pe_program.csl\""));
+    let library = &artifact.sources().file("stencil_comms.csl").unwrap().content;
+    assert!(library.contains("fn communicate(buffer"));
+}
+
+#[test]
+fn both_targets_compile_the_same_source_without_changes() {
+    // The paper's headline claim: the same application code runs on WSE2
+    // and WSE3 (and would run on CPUs/GPUs) without modification.
+    let program = Benchmark::Diffusion.tiny_program();
+    let wse2 = Compiler::new().target(WseTarget::Wse2).compile(&program).unwrap();
+    let wse3 = Compiler::new().target(WseTarget::Wse3).compile(&program).unwrap();
+    assert_eq!(wse2.program().source, wse3.program().source);
+    assert!(wse2.validate_against_reference().unwrap() < 1e-4);
+    assert!(wse3.validate_against_reference().unwrap() < 1e-4);
+    // Only the runtime communication library differs.
+    let lib = |a: &wse_stencil::CslArtifact| {
+        a.sources().file("stencil_comms.csl").unwrap().content.clone()
+    };
+    assert_ne!(lib(&wse2), lib(&wse3));
+}
+
+#[test]
+fn optimization_toggles_preserve_results() {
+    // Whatever combination of optimizations is enabled, the generated code
+    // must compute the same answer.
+    let program = Benchmark::Acoustic.tiny_program();
+    let reference = Compiler::new().compile(&program).unwrap().validate_against_reference().unwrap();
+    assert!(reference < 1e-3);
+    for (fusion, inlining, promotion) in
+        [(false, true, true), (true, false, true), (true, true, false), (false, false, false)]
+    {
+        let artifact = Compiler::new()
+            .fmac_fusion(fusion)
+            .inlining(inlining)
+            .coefficient_promotion(promotion)
+            .compile(&program)
+            .unwrap();
+        let deviation = artifact.validate_against_reference().unwrap();
+        assert!(
+            deviation < 1e-3,
+            "fusion={fusion} inlining={inlining} promotion={promotion}: deviation {deviation}"
+        );
+    }
+}
+
+#[test]
+fn chunk_counts_do_not_change_results() {
+    let program = Benchmark::Seismic25.tiny_program();
+    for chunks in [1, 2, 4, 8] {
+        let artifact = Compiler::new().num_chunks(chunks).compile(&program).unwrap();
+        let deviation = artifact.validate_against_reference().unwrap();
+        assert!(deviation < 1e-3, "num_chunks={chunks}: deviation {deviation}");
+    }
+}
+
+#[test]
+fn loc_report_matches_table1_ordering_for_all_frontends() {
+    for benchmark in Benchmark::ALL {
+        let artifact = Compiler::new().compile(&benchmark.tiny_program()).unwrap();
+        let report = artifact.loc_report();
+        assert!(report.dsl < report.csl_kernel, "{}", benchmark.name());
+        assert!(report.csl_kernel < report.csl_entire, "{}", benchmark.name());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests over the IR infrastructure and the stencil
+//! abstractions (cross-crate invariants).
+
+use proptest::prelude::*;
+use wse_dialects::stencil::Bounds;
+use wse_ir::{parse_op, print_op, Attribute, IrContext, OpBuilder, OpSpec, Type};
+use wse_lowering::analysis::{LinearCombination, Term};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bounds algebra: growing bounds by a halo enlarges every dimension by
+    /// exactly twice the halo and preserves containment of accesses.
+    #[test]
+    fn bounds_grow_and_contain(lb in -8i64..0, extent in 1i64..64, halo in 0i64..4) {
+        let bounds = Bounds::new(vec![lb, lb, 0], vec![lb + extent, lb + extent, extent]);
+        let grown = bounds.grown(halo);
+        prop_assert_eq!(grown.shape()[0], extent + 2 * halo);
+        prop_assert_eq!(grown.num_cells(), grown.shape().iter().product::<i64>());
+        prop_assert_eq!(grown.rank(), bounds.rank());
+        // Accesses within +-halo from the original bounds stay inside.
+        prop_assert!(bounds.access_within(&[halo, -halo, 0], &grown));
+        prop_assert!(!bounds.access_within(&[halo + 1, 0, 0], &grown));
+    }
+
+    /// The generic printer emits text the parser accepts, and printing the
+    /// reparsed module is a fixed point.
+    #[test]
+    fn printer_parser_roundtrip(value in -1.0e3f32..1.0e3, width in 1i64..64, chunks in 1i64..8) {
+        let mut ctx = IrContext::new();
+        let module = ctx.create_op("builtin.module", vec![], vec![], Default::default(), 1);
+        let body = ctx.add_block(ctx.op_region(module, 0), vec![]);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let c = b.insert_value(
+            OpSpec::new("arith.constant")
+                .results([Type::tensor(vec![width], Type::f32())])
+                .attr("value", Attribute::dense_splat_f32(value, Type::tensor(vec![width], Type::f32()))),
+        );
+        b.insert(
+            OpSpec::new("csl_stencil.apply")
+                .operands([c])
+                .attr("num_chunks", Attribute::int(chunks))
+                .attr("swaps", Attribute::Array(vec![Attribute::IndexArray(vec![1, 0])])),
+        );
+        let printed = print_op(&ctx, module);
+        let mut ctx2 = IrContext::new();
+        let reparsed = parse_op(&mut ctx2, &printed).expect("reparse");
+        prop_assert_eq!(print_op(&ctx2, reparsed), printed);
+    }
+
+    /// Linear combinations: simplification merges duplicate terms and never
+    /// changes the evaluated value.
+    #[test]
+    fn simplification_preserves_evaluation(
+        coeffs in proptest::collection::vec(-2.0f32..2.0, 1..8),
+        offsets in proptest::collection::vec(-2i64..2, 1..8),
+    ) {
+        let n = coeffs.len().min(offsets.len());
+        let combo = LinearCombination {
+            terms: (0..n)
+                .map(|i| Term { input: 0, offset: vec![offsets[i], 0, 0], coeff: coeffs[i] })
+                .collect(),
+            constant: 0.25,
+        };
+        let simplified = combo.simplified();
+        let read = |_: usize, offset: &[i64]| (offset[0] * 3) as f32 + 1.5;
+        let before = combo.evaluate(&read);
+        let after = simplified.evaluate(&read);
+        prop_assert!((before - after).abs() < 1e-3, "{before} vs {after}");
+        // No duplicate (input, offset) pairs remain.
+        for (i, a) in simplified.terms.iter().enumerate() {
+            for b in &simplified.terms[i + 1..] {
+                prop_assert!(!(a.input == b.input && a.offset == b.offset));
+            }
+        }
+    }
+
+    /// The halo-exchange inference covers exactly the directions used by
+    /// the stencil, with widths equal to the largest offset.
+    #[test]
+    fn exchange_inference_covers_offsets(radius in 1i64..5) {
+        use wse_lowering::decompose::exchanges_for;
+        let combo = LinearCombination {
+            terms: (1..=radius)
+                .flat_map(|r| {
+                    vec![
+                        Term { input: 0, offset: vec![r, 0, 0], coeff: 1.0 },
+                        Term { input: 0, offset: vec![-r, 0, 0], coeff: 1.0 },
+                        Term { input: 0, offset: vec![0, r, 0], coeff: 1.0 },
+                        Term { input: 0, offset: vec![0, -r, 0], coeff: 1.0 },
+                    ]
+                })
+                .collect(),
+            constant: 0.0,
+        };
+        let exchanges = exchanges_for(&[combo]);
+        prop_assert_eq!(exchanges.len(), 4);
+        prop_assert!(exchanges.iter().all(|e| e.width == radius));
+    }
+}
+
+/// Chunked exchanges must cover the column exactly once for any divisor.
+#[test]
+fn chunking_covers_the_column_exactly_once() {
+    for z in [12, 16, 450, 604, 704, 900] {
+        for chunks in 1..=6 {
+            if z % chunks != 0 {
+                continue;
+            }
+            let chunk = z / chunks;
+            let mut covered = vec![0usize; z as usize];
+            for c in 0..chunks {
+                for i in 0..chunk {
+                    covered[(c * chunk + i) as usize] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "z={z} chunks={chunks}");
+        }
+    }
+}
