@@ -1,7 +1,7 @@
 //! Ablation: chunk count vs throughput and per-PE memory footprint.
 use criterion::{criterion_group, criterion_main, Criterion};
-use wse_stencil::experiments::{ablation_chunks, render_table};
 use wse_stencil::benchmarks::{Benchmark, ProblemSize};
+use wse_stencil::experiments::{ablation_chunks, render_table};
 use wse_stencil::Compiler;
 
 fn bench(c: &mut Criterion) {
@@ -9,10 +9,19 @@ fn bench(c: &mut Criterion) {
         let rows = ablation_chunks(benchmark).expect("ablation");
         let table: Vec<Vec<String>> = rows
             .iter()
-            .map(|r| vec![r.num_chunks.to_string(), format!("{:.0}", r.gpts), format!("{}", r.bytes_per_pe)])
+            .map(|r| {
+                vec![
+                    r.num_chunks.to_string(),
+                    format!("{:.0}", r.gpts),
+                    format!("{}", r.bytes_per_pe),
+                ]
+            })
             .collect();
-        println!("\nAblation (chunk count) — {}\n{}", benchmark.name(),
-            render_table(&["num_chunks", "GPts/s", "bytes per PE"], &table));
+        println!(
+            "\nAblation (chunk count) — {}\n{}",
+            benchmark.name(),
+            render_table(&["num_chunks", "GPts/s", "bytes per PE"], &table)
+        );
     }
 
     let mut group = c.benchmark_group("ablation_chunks");

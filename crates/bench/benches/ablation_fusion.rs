@@ -1,17 +1,30 @@
 //! Ablation: effect of the linalg-fuse-multiply-add pass (@fmacs generation).
 use criterion::{criterion_group, criterion_main, Criterion};
-use wse_stencil::experiments::{ablation_fusion, render_table};
 use wse_stencil::benchmarks::{Benchmark, ProblemSize};
+use wse_stencil::experiments::{ablation_fusion, render_table};
 use wse_stencil::Compiler;
 
 fn bench(c: &mut Criterion) {
     let rows = ablation_fusion().expect("ablation");
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.benchmark.clone(), format!("{:.0}", r.fused_gpts), format!("{:.0}", r.unfused_gpts), format!("{:.2}x", r.fused_gpts / r.unfused_gpts), r.fmacs.to_string()])
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                format!("{:.0}", r.fused_gpts),
+                format!("{:.0}", r.unfused_gpts),
+                format!("{:.2}x", r.fused_gpts / r.unfused_gpts),
+                r.fmacs.to_string(),
+            ]
+        })
         .collect();
-    println!("\nAblation (fmac fusion)\n{}",
-        render_table(&["benchmark", "fused GPts/s", "unfused GPts/s", "gain", "@fmacs count"], &table));
+    println!(
+        "\nAblation (fmac fusion)\n{}",
+        render_table(
+            &["benchmark", "fused GPts/s", "unfused GPts/s", "gain", "@fmacs count"],
+            &table
+        )
+    );
 
     let mut group = c.benchmark_group("ablation_fusion");
     group.sample_size(10);

@@ -1,26 +1,39 @@
 //! Figure 4: WSE2 vs WSE3 throughput for Jacobian, Diffusion, Seismic and
 //! UVKBE at the large problem size.
 use criterion::{criterion_group, criterion_main, Criterion};
-use wse_stencil::experiments::{estimate_benchmark, fig4_wse2_vs_wse3, render_table};
 use wse_stencil::benchmarks::{Benchmark, ProblemSize};
+use wse_stencil::experiments::{estimate_benchmark, fig4_wse2_vs_wse3, render_table};
 use wse_stencil::WseTarget;
 
 fn bench(c: &mut Criterion) {
     let rows = fig4_wse2_vs_wse3().expect("figure 4");
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.benchmark.clone(), format!("{:.0}", r.wse2_gpts), format!("{:.0}", r.wse3_gpts), format!("{:.2}x", r.wse3_gpts / r.wse2_gpts)])
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                format!("{:.0}", r.wse2_gpts),
+                format!("{:.0}", r.wse3_gpts),
+                format!("{:.2}x", r.wse3_gpts / r.wse2_gpts),
+            ]
+        })
         .collect();
-    println!("\nFigure 4 — GPts/s on the large problem size\n{}",
-        render_table(&["benchmark", "WSE2 GPts/s", "WSE3 GPts/s", "WSE3/WSE2"], &table));
+    println!(
+        "\nFigure 4 — GPts/s on the large problem size\n{}",
+        render_table(&["benchmark", "WSE2 GPts/s", "WSE3 GPts/s", "WSE3/WSE2"], &table)
+    );
 
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);
     group.bench_function("compile_and_estimate_jacobian_wse3", |b| {
-        b.iter(|| estimate_benchmark(Benchmark::Jacobian, ProblemSize::Large, WseTarget::Wse3, 2).unwrap())
+        b.iter(|| {
+            estimate_benchmark(Benchmark::Jacobian, ProblemSize::Large, WseTarget::Wse3, 2).unwrap()
+        })
     });
     group.bench_function("compile_and_estimate_jacobian_wse2", |b| {
-        b.iter(|| estimate_benchmark(Benchmark::Jacobian, ProblemSize::Large, WseTarget::Wse2, 2).unwrap())
+        b.iter(|| {
+            estimate_benchmark(Benchmark::Jacobian, ProblemSize::Large, WseTarget::Wse2, 2).unwrap()
+        })
     });
     group.finish();
 }

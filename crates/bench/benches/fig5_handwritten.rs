@@ -1,22 +1,46 @@
 //! Figure 5: generated seismic code vs the hand-written WSE2 kernel.
 use criterion::{criterion_group, criterion_main, Criterion};
-use wse_stencil::experiments::{estimate_benchmark, fig5_handwritten_comparison, render_table};
 use wse_stencil::benchmarks::{Benchmark, ProblemSize};
+use wse_stencil::experiments::{estimate_benchmark, fig5_handwritten_comparison, render_table};
 use wse_stencil::WseTarget;
 
 fn bench(c: &mut Criterion) {
     let rows = fig5_handwritten_comparison().expect("figure 5");
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.size.clone(), format!("{:.0}", r.handwritten_wse2_gpts), format!("{:.0}", r.ours_wse2_gpts), format!("{:.0}", r.ours_wse3_gpts), format!("{:.3}", r.speedup_wse2), format!("{:.3}", r.speedup_wse3)])
+        .map(|r| {
+            vec![
+                r.size.clone(),
+                format!("{:.0}", r.handwritten_wse2_gpts),
+                format!("{:.0}", r.ours_wse2_gpts),
+                format!("{:.0}", r.ours_wse3_gpts),
+                format!("{:.3}", r.speedup_wse2),
+                format!("{:.3}", r.speedup_wse3),
+            ]
+        })
         .collect();
-    println!("\nFigure 5 — 25-pt seismic vs hand-written (speedup relative to hand-written WSE2)\n{}",
-        render_table(&["size", "hand-written WSE2", "ours WSE2", "ours WSE3", "speedup WSE2", "speedup WSE3"], &table));
+    println!(
+        "\nFigure 5 — 25-pt seismic vs hand-written (speedup relative to hand-written WSE2)\n{}",
+        render_table(
+            &[
+                "size",
+                "hand-written WSE2",
+                "ours WSE2",
+                "ours WSE3",
+                "speedup WSE2",
+                "speedup WSE3"
+            ],
+            &table
+        )
+    );
 
     let mut group = c.benchmark_group("fig5");
     group.sample_size(10);
     group.bench_function("compile_and_estimate_seismic_wse2", |b| {
-        b.iter(|| estimate_benchmark(Benchmark::Seismic25, ProblemSize::Large, WseTarget::Wse2, 1).unwrap())
+        b.iter(|| {
+            estimate_benchmark(Benchmark::Seismic25, ProblemSize::Large, WseTarget::Wse2, 1)
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -1,23 +1,35 @@
 //! Figure 6: WSE3 acoustic throughput vs 128 A100 GPUs and 128 CPU nodes.
 use criterion::{criterion_group, criterion_main, Criterion};
-use wse_stencil::experiments::{estimate_benchmark, fig6_cluster_comparison, render_table};
 use wse_stencil::benchmarks::{Benchmark, ProblemSize};
+use wse_stencil::experiments::{estimate_benchmark, fig6_cluster_comparison, render_table};
 use wse_stencil::WseTarget;
 
 fn bench(c: &mut Criterion) {
     let r = fig6_cluster_comparison().expect("figure 6");
     let table = vec![
         vec!["WSE3".to_string(), format!("{:.0}", r.wse3_gpts), "1.0x".to_string()],
-        vec!["128 x A100".to_string(), format!("{:.0}", r.a100_cluster_gpts), format!("{:.1}x slower", r.speedup_vs_a100)],
-        vec!["128 x dual EPYC 7742".to_string(), format!("{:.0}", r.cpu_cluster_gpts), format!("{:.1}x slower", r.speedup_vs_cpu)],
+        vec![
+            "128 x A100".to_string(),
+            format!("{:.0}", r.a100_cluster_gpts),
+            format!("{:.1}x slower", r.speedup_vs_a100),
+        ],
+        vec![
+            "128 x dual EPYC 7742".to_string(),
+            format!("{:.0}", r.cpu_cluster_gpts),
+            format!("{:.1}x slower", r.speedup_vs_cpu),
+        ],
     ];
-    println!("\nFigure 6 — Devito acoustic (large, 100k iterations)\n{}",
-        render_table(&["system", "GPts/s", "relative"], &table));
+    println!(
+        "\nFigure 6 — Devito acoustic (large, 100k iterations)\n{}",
+        render_table(&["system", "GPts/s", "relative"], &table)
+    );
 
     let mut group = c.benchmark_group("fig6");
     group.sample_size(10);
     group.bench_function("compile_and_estimate_acoustic_wse3", |b| {
-        b.iter(|| estimate_benchmark(Benchmark::Acoustic, ProblemSize::Large, WseTarget::Wse3, 2).unwrap())
+        b.iter(|| {
+            estimate_benchmark(Benchmark::Acoustic, ProblemSize::Large, WseTarget::Wse3, 2).unwrap()
+        })
     });
     group.finish();
 }

@@ -7,10 +7,23 @@ fn bench(c: &mut Criterion) {
     let points = fig7_roofline().expect("figure 7");
     let table: Vec<Vec<String>> = points
         .iter()
-        .map(|p| vec![p.label.clone(), format!("{:.3}", p.arithmetic_intensity), format!("{:.3e}", p.flops), format!("{:.3e}", p.attainable_flops), if is_compute_bound(p) { "compute-bound".into() } else { "memory-bound".into() }])
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                format!("{:.3}", p.arithmetic_intensity),
+                format!("{:.3e}", p.flops),
+                format!("{:.3e}", p.attainable_flops),
+                if is_compute_bound(p) { "compute-bound".into() } else { "memory-bound".into() },
+            ]
+        })
         .collect();
-    println!("\nFigure 7 — roofline points\n{}",
-        render_table(&["kernel", "AI [FLOP/B]", "achieved FLOP/s", "attainable FLOP/s", "bound"], &table));
+    println!(
+        "\nFigure 7 — roofline points\n{}",
+        render_table(
+            &["kernel", "AI [FLOP/B]", "achieved FLOP/s", "attainable FLOP/s", "bound"],
+            &table
+        )
+    );
 
     let mut group = c.benchmark_group("fig7");
     group.sample_size(10);

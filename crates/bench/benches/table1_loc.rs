@@ -1,17 +1,26 @@
 //! Table 1: lines-of-code comparison between generated CSL and the DSL input.
 use criterion::{criterion_group, criterion_main, Criterion};
-use wse_stencil::experiments::{render_table, table1_loc};
 use wse_stencil::benchmarks::{Benchmark, ProblemSize};
+use wse_stencil::experiments::{render_table, table1_loc};
 use wse_stencil::Compiler;
 
 fn bench(c: &mut Criterion) {
     let rows = table1_loc().expect("table 1");
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.benchmark.clone(), r.csl_kernel.to_string(), r.csl_entire.to_string(), r.dsl.to_string()])
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                r.csl_kernel.to_string(),
+                r.csl_entire.to_string(),
+                r.dsl.to_string(),
+            ]
+        })
         .collect();
-    println!("\nTable 1 — lines of code\n{}",
-        render_table(&["benchmark", "CSL kernel only", "CSL entire", "DSL & our approach"], &table));
+    println!(
+        "\nTable 1 — lines of code\n{}",
+        render_table(&["benchmark", "CSL kernel only", "CSL entire", "DSL & our approach"], &table)
+    );
 
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);

@@ -78,7 +78,11 @@ fn print_fig7() {
                 format!("{:.3}", p.arithmetic_intensity),
                 format!("{:.3e}", p.flops),
                 format!("{:.3e}", p.attainable_flops),
-                if exp::is_compute_bound(p) { "compute-bound".into() } else { "memory-bound".into() },
+                if exp::is_compute_bound(p) {
+                    "compute-bound".into()
+                } else {
+                    "memory-bound".into()
+                },
             ]
         })
         .collect();
@@ -106,7 +110,10 @@ fn print_table1() {
         .collect();
     println!(
         "Table 1 — lines of code\n{}",
-        exp::render_table(&["benchmark", "CSL kernel only", "CSL entire", "DSL & our approach"], &table)
+        exp::render_table(
+            &["benchmark", "CSL kernel only", "CSL entire", "DSL & our approach"],
+            &table
+        )
     );
 }
 
@@ -129,11 +136,16 @@ fn print_tflops() {
 }
 
 fn print_ablations() {
-    for benchmark in [wse_stencil::benchmarks::Benchmark::Seismic25, wse_stencil::benchmarks::Benchmark::Diffusion] {
+    for benchmark in [
+        wse_stencil::benchmarks::Benchmark::Seismic25,
+        wse_stencil::benchmarks::Benchmark::Diffusion,
+    ] {
         let rows = exp::ablation_chunks(benchmark).expect("ablation");
         let table: Vec<Vec<String>> = rows
             .iter()
-            .map(|r| vec![r.num_chunks.to_string(), format!("{:.0}", r.gpts), r.bytes_per_pe.to_string()])
+            .map(|r| {
+                vec![r.num_chunks.to_string(), format!("{:.0}", r.gpts), r.bytes_per_pe.to_string()]
+            })
             .collect();
         println!(
             "Ablation (chunk count) — {}\n{}",

@@ -134,8 +134,7 @@ impl CslArtifact {
     /// Returns a [`CompileError`] if the simulation itself fails.
     pub fn validate_against_reference(&self) -> Result<f32, CompileError> {
         let mut sim = WseGridSim::new(self.loaded.clone());
-        sim.run(None)
-            .map_err(|e| CompileError { stage: "simulate".into(), message: e.message })?;
+        sim.run(None).map_err(|e| CompileError { stage: "simulate".into(), message: e.message })?;
         let reference = run_reference(&self.program, None);
         Ok(max_abs_difference(&sim.grid_state(), &reference))
     }

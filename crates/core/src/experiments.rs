@@ -24,8 +24,7 @@ pub fn estimate_benchmark(
     num_chunks: i64,
 ) -> Result<PerfEstimate, CompileError> {
     let program = benchmark.program(size);
-    let artifact =
-        Compiler::new().target(target).num_chunks(num_chunks).compile(&program)?;
+    let artifact = Compiler::new().target(target).num_chunks(num_chunks).compile(&program)?;
     Ok(artifact.estimate())
 }
 
@@ -146,9 +145,9 @@ pub fn fig7_roofline() -> Result<Vec<RooflinePoint>, CompileError> {
         let flops_per_point = program.flops_per_point();
         let achieved_flops = estimate.tflops * 1e12;
         let reads = program.max_points();
-        let halo_values_per_point =
-            (4 * program.xy_radius()) as f64 * program.communicated_fields().len().max(1) as f64
-                / program.grid.z as f64;
+        let halo_values_per_point = (4 * program.xy_radius()) as f64
+            * program.communicated_fields().len().max(1) as f64
+            / program.grid.z as f64;
         points.push(memory.place(
             &format!("{} (memory)", benchmark.name()),
             memory_arithmetic_intensity(flops_per_point, reads),
@@ -331,11 +330,7 @@ mod tests {
         let rows = fig4_wse2_vs_wse3().unwrap();
         assert_eq!(rows.len(), 4);
         for row in &rows {
-            assert!(
-                row.wse3_gpts > row.wse2_gpts,
-                "{}: WSE3 must beat WSE2",
-                row.benchmark
-            );
+            assert!(row.wse3_gpts > row.wse2_gpts, "{}: WSE3 must beat WSE2", row.benchmark);
             assert!(row.wse3_gpts / row.wse2_gpts < 2.5);
         }
     }

@@ -111,7 +111,7 @@ impl TaskKind {
     }
 
     /// Parses the attribute string form.
-    pub fn from_str(s: &str) -> Option<TaskKind> {
+    pub fn parse(s: &str) -> Option<TaskKind> {
         match s {
             "local" => Some(TaskKind::Local),
             "data" => Some(TaskKind::Data),
@@ -140,7 +140,7 @@ impl ModuleKind {
     }
 
     /// Parses the attribute string form.
-    pub fn from_str(s: &str) -> Option<ModuleKind> {
+    pub fn parse(s: &str) -> Option<ModuleKind> {
         match s {
             "program" => Some(ModuleKind::Program),
             "layout" => Some(ModuleKind::Layout),
@@ -299,9 +299,7 @@ pub fn store_var(b: &mut OpBuilder<'_>, name: &str, value: ValueId) -> OpId {
 
 /// Builds a `csl.zeros` buffer of the given memref type.
 pub fn zeros(b: &mut OpBuilder<'_>, name: &str, ty: Type) -> ValueId {
-    b.insert_value(
-        OpSpec::new(ZEROS).results([ty]).attr("sym_name", Attribute::str(name)),
-    )
+    b.insert_value(OpSpec::new(ZEROS).results([ty]).attr("sym_name", Attribute::str(name)))
 }
 
 /// Builds a `csl.constants` buffer filled with `value`.
@@ -389,12 +387,12 @@ pub fn symbol_name(ctx: &IrContext, op: OpId) -> Option<&str> {
 
 /// Kind of a `csl.task`.
 pub fn task_kind(ctx: &IrContext, op: OpId) -> Option<TaskKind> {
-    ctx.attr_str(op, "kind").and_then(TaskKind::from_str)
+    ctx.attr_str(op, "kind").and_then(TaskKind::parse)
 }
 
 /// Kind of a `csl.module`.
 pub fn module_kind(ctx: &IrContext, op: OpId) -> Option<ModuleKind> {
-    ctx.attr_str(op, "kind").and_then(ModuleKind::from_str)
+    ctx.attr_str(op, "kind").and_then(ModuleKind::parse)
 }
 
 /// Body block of a func/task/module.
@@ -471,7 +469,10 @@ fn verify_dsd_builtin(ctx: &IrContext, op: OpId) -> Result<(), String> {
     }
     let dest_ty = ctx.value_type(ctx.operand(op, 0));
     if dest_ty != &dsd_type() && !dest_ty.is_memref() {
-        return Err(format!("destination of {} must be a DSD or memref, got {dest_ty}", ctx.op_name(op)));
+        return Err(format!(
+            "destination of {} must be a DSD or memref, got {dest_ty}",
+            ctx.op_name(op)
+        ));
     }
     Ok(())
 }
@@ -630,13 +631,13 @@ mod tests {
     #[test]
     fn kind_string_roundtrip() {
         for kind in [TaskKind::Local, TaskKind::Data, TaskKind::Control] {
-            assert_eq!(TaskKind::from_str(kind.as_str()), Some(kind));
+            assert_eq!(TaskKind::parse(kind.as_str()), Some(kind));
         }
-        assert_eq!(TaskKind::from_str("bogus"), None);
+        assert_eq!(TaskKind::parse("bogus"), None);
         for kind in [ModuleKind::Program, ModuleKind::Layout] {
-            assert_eq!(ModuleKind::from_str(kind.as_str()), Some(kind));
+            assert_eq!(ModuleKind::parse(kind.as_str()), Some(kind));
         }
-        assert_eq!(ModuleKind::from_str("bogus"), None);
+        assert_eq!(ModuleKind::parse("bogus"), None);
     }
 
     #[test]

@@ -84,8 +84,7 @@ pub fn build_apply(
     chunk_buffer_type: Type,
     result_types: Vec<Type>,
 ) -> (OpId, BlockId, BlockId) {
-    let input_tys: Vec<Type> =
-        inputs.iter().map(|&v| b.ctx_ref().value_type(v).clone()).collect();
+    let input_tys: Vec<Type> = inputs.iter().map(|&v| b.ctx_ref().value_type(v).clone()).collect();
     let acc_ty = b.ctx_ref().value_type(acc_init).clone();
     let mut operands = inputs;
     operands.push(acc_init);
@@ -99,9 +98,8 @@ pub fn build_apply(
             .attr("z_extent", Attribute::int(config.z_extent)),
     );
     let recv_region = b.ctx_ref().op_region(op, 0);
-    let recv_block = b
-        .ctx()
-        .add_block(recv_region, vec![chunk_buffer_type, Type::index(), acc_ty.clone()]);
+    let recv_block =
+        b.ctx().add_block(recv_region, vec![chunk_buffer_type, Type::index(), acc_ty.clone()]);
     let done_region = b.ctx_ref().op_region(op, 1);
     let mut done_args = input_tys;
     done_args.push(acc_ty);
@@ -171,7 +169,9 @@ fn verify_apply(ctx: &IrContext, op: OpId) -> Result<(), String> {
     for block in [recv, done] {
         match ctx.block_ops(block).last() {
             Some(&last) if ctx.op_name(last) == YIELD => {}
-            _ => return Err("both csl_stencil.apply regions must end with csl_stencil.yield".into()),
+            _ => {
+                return Err("both csl_stencil.apply regions must end with csl_stencil.yield".into())
+            }
         }
     }
     let swaps = swaps_of(ctx, op);

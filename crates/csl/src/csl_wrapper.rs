@@ -6,9 +6,7 @@
 //! layout description, its second region the program that is mapped onto
 //! every PE (Section 4.2 of the paper).
 
-use wse_ir::{
-    Attribute, BlockId, DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, ValueId,
-};
+use wse_ir::{Attribute, BlockId, DialectRegistry, IrContext, OpBuilder, OpId, OpSpec, ValueId};
 
 /// `csl_wrapper.module`: packages layout and program regions plus params.
 pub const MODULE: &str = "csl_wrapper.module";
@@ -70,9 +68,8 @@ pub fn build_module(
     name: &str,
     params: &WrapperParams,
 ) -> (OpId, BlockId, BlockId) {
-    let spec = params
-        .apply_to(OpSpec::new(MODULE).attr("sym_name", Attribute::str(name)))
-        .regions(2);
+    let spec =
+        params.apply_to(OpSpec::new(MODULE).attr("sym_name", Attribute::str(name))).regions(2);
     let op = b.insert(spec);
     let layout_region = b.ctx_ref().op_region(op, 0);
     let layout = b.ctx().add_block(layout_region, vec![]);
@@ -86,10 +83,7 @@ pub fn import(b: &mut OpBuilder<'_>, module_name: &str, fields: &[&str]) -> OpId
     b.insert(
         OpSpec::new(IMPORT)
             .attr("module", Attribute::str(module_name))
-            .attr(
-                "fields",
-                Attribute::Array(fields.iter().map(|f| Attribute::str(*f)).collect()),
-            ),
+            .attr("fields", Attribute::Array(fields.iter().map(|f| Attribute::str(*f)).collect())),
     )
 }
 

@@ -121,7 +121,13 @@ fn state_declarations(out: &mut String, config: CommsLibraryConfig) {
     }
 }
 
-fn direction_block(out: &mut String, config: CommsLibraryConfig, index: usize, dir: &str, color: &str) {
+fn direction_block(
+    out: &mut String,
+    config: CommsLibraryConfig,
+    index: usize,
+    dir: &str,
+    color: &str,
+) {
     let send_color = 2 * index;
     let recv_color = 2 * index + 1;
     push(out, "// ---------------------------------------------------------------------");
@@ -177,19 +183,27 @@ fn direction_block(out: &mut String, config: CommsLibraryConfig, index: usize, d
     push(out, "  const src = @get_dsd(mem1d_dsd, .{");
     push(out, "    .tensor_access = |i|{chunk_size} -> send_buffer_ptr[i + offset],");
     push(out, "  });");
-    push(out, &format!("  @fmovs(send_dsd_{dir}, src, .{{ .async = true, .activate = send_done_{dir} }});"));
+    push(
+        out,
+        &format!(
+            "  @fmovs(send_dsd_{dir}, src, .{{ .async = true, .activate = send_done_{dir} }});"
+        ),
+    );
     push(out, "}");
     push(out, "");
     push(out, &format!("task send_done_{dir}() void {{"));
     push(out, "  // Sending of one chunk completed; nothing to do until the matching");
     push(out, "  // receive completes, the coordination task accounts for both.");
-    push(out, &format!("  note_direction_step();"));
+    push(out, "  note_direction_step();");
     push(out, "}");
     push(out, "");
     push(out, &format!("task recv_chunk_{dir}() void {{"));
-    push(out, &format!("  // One chunk from {dir} has been fully received into the staging buffer."));
+    push(
+        out,
+        &format!("  // One chunk from {dir} has been fully received into the staging buffer."),
+    );
     push(out, &format!("  recv_count_{dir} += 1;"));
-    push(out, &format!("  user_chunk_cb(current_chunk * chunk_size);"));
+    push(out, "  user_chunk_cb(current_chunk * chunk_size);");
     push(out, "  note_direction_step();");
     push(out, "}");
     push(out, "");

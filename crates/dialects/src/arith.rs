@@ -49,9 +49,7 @@ pub fn constant_index(b: &mut OpBuilder<'_>, value: i64) -> ValueId {
 /// Builds an integer `arith.constant` of type `ty`.
 pub fn constant_int(b: &mut OpBuilder<'_>, value: i64, ty: Type) -> ValueId {
     b.insert_value(
-        OpSpec::new(CONSTANT)
-            .results([ty.clone()])
-            .attr("value", Attribute::int_typed(value, ty)),
+        OpSpec::new(CONSTANT).results([ty.clone()]).attr("value", Attribute::int_typed(value, ty)),
     )
 }
 

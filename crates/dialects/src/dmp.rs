@@ -128,10 +128,7 @@ fn verify_swap(ctx: &IrContext, op: OpId) -> Result<(), String> {
         }
         let (dx, dy) = e.neighbor;
         if (dx == 0 && dy == 0) || (dx != 0 && dy != 0) {
-            return Err(format!(
-                "exchange neighbor {:?} is not a cardinal direction",
-                e.neighbor
-            ));
+            return Err(format!("exchange neighbor {:?} is not a cardinal direction", e.neighbor));
         }
     }
     Ok(())

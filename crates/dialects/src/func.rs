@@ -25,10 +25,7 @@ pub fn build_func(
     let func = b.insert(
         OpSpec::new(FUNC)
             .attr("sym_name", Attribute::str(name))
-            .attr(
-                "function_type",
-                Attribute::Type(Type::function(inputs.clone(), results)),
-            )
+            .attr("function_type", Attribute::Type(Type::function(inputs.clone(), results)))
             .regions(1),
     );
     let entry = ctx.add_block(ctx.op_region(func, 0), inputs);

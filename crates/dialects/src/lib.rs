@@ -70,9 +70,10 @@ mod tests {
     #[test]
     fn all_dialects_registered() {
         let registry = register_all();
-        for dialect in
-            ["builtin", "func", "arith", "scf", "tensor", "memref", "linalg", "varith", "dmp", "stencil"]
-        {
+        for dialect in [
+            "builtin", "func", "arith", "scf", "tensor", "memref", "linalg", "varith", "dmp",
+            "stencil",
+        ] {
             assert!(registry.has_dialect(dialect), "missing dialect {dialect}");
         }
         assert_eq!(registry.dialect_names().len(), 10);

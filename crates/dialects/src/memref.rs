@@ -42,8 +42,7 @@ pub fn get_global(b: &mut OpBuilder<'_>, name: &str, ty: Type) -> ValueId {
 
 /// Builds a 1-D static `memref.subview` of `source`.
 pub fn subview(b: &mut OpBuilder<'_>, source: ValueId, offset: i64, size: i64) -> ValueId {
-    let elem =
-        b.ctx_ref().value_type(source).element_type().cloned().unwrap_or(Type::f32());
+    let elem = b.ctx_ref().value_type(source).element_type().cloned().unwrap_or(Type::f32());
     b.insert_value(
         OpSpec::new(SUBVIEW)
             .operands([source])
@@ -60,8 +59,7 @@ pub fn subview_dynamic(
     offset: ValueId,
     size: i64,
 ) -> ValueId {
-    let elem =
-        b.ctx_ref().value_type(source).element_type().cloned().unwrap_or(Type::f32());
+    let elem = b.ctx_ref().value_type(source).element_type().cloned().unwrap_or(Type::f32());
     b.insert_value(
         OpSpec::new(SUBVIEW)
             .operands([source, offset])

@@ -80,12 +80,9 @@ impl Bounds {
         if offset.len() != self.rank() || storage.rank() != self.rank() {
             return false;
         }
-        for d in 0..self.rank() {
-            if self.lb[d] + offset[d] < storage.lb[d] || self.ub[d] + offset[d] > storage.ub[d] {
-                return false;
-            }
-        }
-        true
+        (0..self.rank()).all(|d| {
+            self.lb[d] + offset[d] >= storage.lb[d] && self.ub[d] + offset[d] <= storage.ub[d]
+        })
     }
 }
 
@@ -203,10 +200,7 @@ pub fn apply_body(ctx: &IrContext, op: OpId) -> Option<BlockId> {
 
 /// Collects every `stencil.access` offset appearing in an apply body.
 pub fn collect_access_offsets(ctx: &IrContext, apply: OpId) -> Vec<Vec<i64>> {
-    ctx.walk_named(apply, ACCESS)
-        .into_iter()
-        .filter_map(|a| access_offset(ctx, a))
-        .collect()
+    ctx.walk_named(apply, ACCESS).into_iter().filter_map(|a| access_offset(ctx, a)).collect()
 }
 
 /// Bounds of the store op (`lb`/`ub` attributes).

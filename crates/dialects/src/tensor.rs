@@ -36,12 +36,7 @@ pub fn insert_slice(
 /// Builds a `tensor.extract_slice` of `source` at static `offset` with
 /// static `size` (1-D).
 pub fn extract_slice(b: &mut OpBuilder<'_>, source: ValueId, offset: i64, size: i64) -> ValueId {
-    let elem = b
-        .ctx_ref()
-        .value_type(source)
-        .element_type()
-        .cloned()
-        .unwrap_or(Type::f32());
+    let elem = b.ctx_ref().value_type(source).element_type().cloned().unwrap_or(Type::f32());
     b.insert_value(
         OpSpec::new(EXTRACT_SLICE)
             .operands([source])

@@ -102,21 +102,6 @@ impl Expr {
         iter.fold(first, |acc, e| Expr::Add(Box::new(acc), Box::new(e)))
     }
 
-    /// Adds two expressions.
-    pub fn add(self, rhs: Expr) -> Expr {
-        Expr::Add(Box::new(self), Box::new(rhs))
-    }
-
-    /// Subtracts an expression.
-    pub fn sub(self, rhs: Expr) -> Expr {
-        Expr::Sub(Box::new(self), Box::new(rhs))
-    }
-
-    /// Multiplies two expressions.
-    pub fn mul(self, rhs: Expr) -> Expr {
-        Expr::Mul(Box::new(self), Box::new(rhs))
-    }
-
     /// Scales by a constant.
     pub fn scale(self, factor: f32) -> Expr {
         Expr::Mul(Box::new(self), Box::new(Expr::Const(factor)))
@@ -160,6 +145,27 @@ impl Expr {
     }
 }
 
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
 /// One stencil update: `output(i,j,k) = expr` over the interior.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StencilEquation {
@@ -178,12 +184,7 @@ impl StencilEquation {
     /// Stencil radius in the horizontal (x, y) dimensions — the halo width
     /// required from neighboring PEs after the z-column decomposition.
     pub fn xy_radius(&self) -> i64 {
-        self.expr
-            .accesses()
-            .iter()
-            .map(|(_, o)| o[0].abs().max(o[1].abs()))
-            .max()
-            .unwrap_or(0)
+        self.expr.accesses().iter().map(|(_, o)| o[0].abs().max(o[1].abs())).max().unwrap_or(0)
     }
 
     /// Stencil radius in the z dimension (kept PE-local).
@@ -317,9 +318,7 @@ pub fn star_sum(field: &str, radius: i64, include_center: bool) -> Expr {
         terms.push(Expr::center(field));
     }
     for r in 1..=radius {
-        for (dx, dy, dz) in
-            [(r, 0, 0), (-r, 0, 0), (0, r, 0), (0, -r, 0), (0, 0, r), (0, 0, -r)]
-        {
+        for (dx, dy, dz) in [(r, 0, 0), (-r, 0, 0), (0, r, 0), (0, -r, 0), (0, 0, r), (0, 0, -r)] {
             terms.push(Expr::at(field, dx, dy, dz));
         }
     }
@@ -332,7 +331,7 @@ mod tests {
 
     #[test]
     fn expr_analysis() {
-        let e = Expr::at("u", 1, 0, 0).add(Expr::center("u")).scale(0.12345);
+        let e = (Expr::at("u", 1, 0, 0) + Expr::center("u")).scale(0.12345);
         assert_eq!(e.flops(), 2);
         assert_eq!(e.accesses().len(), 2);
         let eq = StencilEquation::new("u", e);
@@ -356,7 +355,7 @@ mod tests {
 
     #[test]
     fn evaluation() {
-        let e = Expr::at("u", 1, 0, 0).add(Expr::center("u")).scale(0.5);
+        let e = (Expr::at("u", 1, 0, 0) + Expr::center("u")).scale(0.5);
         let value = e.evaluate(&|_, offset| if offset == [1, 0, 0] { 3.0 } else { 1.0 });
         assert!((value - 2.0).abs() < 1e-6);
     }

@@ -137,7 +137,7 @@ pub fn diffusion(x: i64, y: i64, z: i64, timesteps: i64) -> StencilProgram {
     let grid = Grid::new(x, y, z);
     let u = Function::new("u", 4);
     // u_{t+1} = u + alpha * laplacian(u), 4th-order space discretization.
-    let update = u.center().add(u.laplace().scale(0.01));
+    let update = u.center() + u.laplace().scale(0.01);
     Operator::new(grid, vec![u.clone()])
         .equation(Eq::new(&u, update))
         .timesteps(timesteps)
@@ -154,11 +154,7 @@ pub fn acoustic(x: i64, y: i64, z: i64, timesteps: i64) -> StencilProgram {
     // u_{t+1} = 2 u - u_{t-1} + c^2 dt^2 laplacian(u).
     // The repeated addition of the centre value (2u) is what the
     // varith-fuse-repeated-operands optimization targets.
-    let update = u
-        .center()
-        .add(u.center())
-        .sub(u_prev.center())
-        .add(u.laplace().scale(0.0625));
+    let update = u.center() + u.center() - u_prev.center() + u.laplace().scale(0.0625);
     Operator::new(grid, vec![u.clone(), u_prev.clone()])
         .equation(Eq::new(&u_prev, u.center()))
         .equation(Eq::new(&u, update))
@@ -220,15 +216,14 @@ pub fn uvkbe(x: i64, y: i64, z: i64, timesteps: i64) -> StencilProgram {
         .invoke(Kernel::new(
             "compute_unew",
             "unew",
-            star_sum("uvel", 1, true).scale(0.25).add(Expr::center("vvel").scale(0.5)),
+            star_sum("uvel", 1, true).scale(0.25) + Expr::center("vvel").scale(0.5),
         ))
         .invoke(Kernel::new(
             "compute_vnew",
             "vnew",
-            Expr::center("unew")
-                .scale(0.3)
-                .add(star_sum("vvel", 1, true).scale(0.125))
-                .add(Expr::center("vnew").scale(0.1)),
+            Expr::center("unew").scale(0.3)
+                + star_sum("vvel", 1, true).scale(0.125)
+                + Expr::center("vnew").scale(0.1),
         ))
         .timesteps(timesteps)
         .build()
@@ -302,8 +297,7 @@ mod tests {
         // varith-fuse-repeated-operands pass converts to a multiplication.
         let acoustic = Benchmark::Acoustic.tiny_program();
         let accesses = acoustic.equations[1].expr.accesses();
-        let center_reads =
-            accesses.iter().filter(|(f, o)| f == "u" && *o == [0, 0, 0]).count();
+        let center_reads = accesses.iter().filter(|(f, o)| f == "u" && *o == [0, 0, 0]).count();
         assert!(center_reads >= 2, "expected a repeated centre access, found {center_reads}");
     }
 }

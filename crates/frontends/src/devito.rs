@@ -55,7 +55,7 @@ impl Function {
         let radius = self.space_order / 2;
         let neighbors = star_sum(&self.name, radius, false);
         let center_weight = (6 * radius) as f32;
-        neighbors.sub(self.center().scale(center_weight))
+        neighbors - self.center().scale(center_weight)
     }
 
     /// The star-shaped sum of all neighbors within the stencil radius,
@@ -123,7 +123,8 @@ impl Operator {
     /// # Errors
     /// Returns an error if the resulting program fails validation.
     pub fn build(self, name: &str) -> Result<StencilProgram, String> {
-        let source = if self.source.is_empty() { self.synthesize_source(name) } else { self.source };
+        let source =
+            if self.source.is_empty() { self.synthesize_source(name) } else { self.source };
         let program = StencilProgram {
             name: name.to_string(),
             frontend: Frontend::Devito,
@@ -193,7 +194,7 @@ mod tests {
     fn operator_builds_program() {
         let grid = Grid::new(100, 100, 704);
         let u = Function::new("u", 4);
-        let eq = Eq::new(&u, u.center().add(u.laplace().scale(0.1)));
+        let eq = Eq::new(&u, u.center() + u.laplace().scale(0.1));
         let program = Operator::new(grid, vec![u]).equation(eq).timesteps(512).build("diffusion");
         let program = program.expect("valid program");
         assert_eq!(program.frontend, Frontend::Devito);
@@ -218,11 +219,7 @@ mod tests {
         let grid = Grid::new(64, 64, 64);
         let u = Function::new("u", 4);
         let u_prev = Function::new("u_prev", 4);
-        let update = u
-            .center()
-            .scale(2.0)
-            .sub(u_prev.center())
-            .add(u.laplace().scale(0.25));
+        let update = u.center().scale(2.0) - u_prev.center() + u.laplace().scale(0.25);
         let program = Operator::new(grid, vec![u.clone(), u_prev.clone()])
             .equation(Eq::new(&u_prev, u.center()))
             .equation(Eq::new(&u, update))

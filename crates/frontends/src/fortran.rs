@@ -69,8 +69,7 @@ pub fn parse_fortran(name: &str, source: &str) -> Result<StencilProgram, Fortran
                 fields.push(fname.clone());
                 declared_shapes.insert(fname, shape);
             }
-        } else if line.starts_with("do ") {
-            let rest = &line[3..];
+        } else if let Some(rest) = line.strip_prefix("do ") {
             let (var, bounds) =
                 rest.split_once('=').ok_or_else(|| err(line_no, "malformed do statement"))?;
             let var = var.trim();
@@ -88,7 +87,8 @@ pub fn parse_fortran(name: &str, source: &str) -> Result<StencilProgram, Fortran
             } else {
                 loop_extents.push(ub - lb + 1);
             }
-        } else if line.starts_with("enddo") || line.starts_with("end do") || line.starts_with("end") {
+        } else if line.starts_with("enddo") || line.starts_with("end do") || line.starts_with("end")
+        {
             // Loop nesting is implied by order; nothing to do.
         } else if line.contains('=') {
             let (lhs, rhs) =
@@ -246,12 +246,12 @@ impl<'a> ExprParser<'a> {
                 Some(b'+') => {
                     self.pos += 1;
                     let rhs = self.parse_mul()?;
-                    lhs = lhs.add(rhs);
+                    lhs = lhs + rhs;
                 }
                 Some(b'-') => {
                     self.pos += 1;
                     let rhs = self.parse_mul()?;
-                    lhs = lhs.sub(rhs);
+                    lhs = lhs - rhs;
                 }
                 _ => return Ok(lhs),
             }
@@ -263,7 +263,7 @@ impl<'a> ExprParser<'a> {
         while self.peek() == Some(b'*') {
             self.pos += 1;
             let rhs = self.parse_atom()?;
-            lhs = lhs.mul(rhs);
+            lhs = lhs * rhs;
         }
         Ok(lhs)
     }
@@ -292,7 +292,9 @@ impl<'a> ExprParser<'a> {
             && (self.text[self.pos].is_ascii_digit()
                 || self.text[self.pos] == b'.'
                 || self.text[self.pos] == b'e'
-                || self.text[self.pos] == b'-' && self.pos > start && self.text[self.pos - 1] == b'e')
+                || self.text[self.pos] == b'-'
+                    && self.pos > start
+                    && self.text[self.pos - 1] == b'e')
         {
             self.pos += 1;
         }
@@ -331,10 +333,8 @@ impl<'a> ExprParser<'a> {
             }
             self.pos += 1;
         }
-        let full = format!(
-            "{name}{}",
-            std::str::from_utf8(&self.text[open..self.pos]).unwrap_or("")
-        );
+        let full =
+            format!("{name}{}", std::str::from_utf8(&self.text[open..self.pos]).unwrap_or(""));
         let (field, offset) = parse_array_ref(&full, self.line)?;
         Ok(Expr::Access { field, offset: [offset[0], offset[1], offset[2]] })
     }
@@ -391,10 +391,7 @@ enddo
         assert_eq!(program.equations.len(), 2);
         assert_eq!(program.equations[0].num_points(), 7);
         assert_eq!(program.grid, GridSpec::new(30, 30, 62));
-        assert_eq!(
-            program.communicated_fields(),
-            vec!["a".to_string(), "b".to_string()]
-        );
+        assert_eq!(program.communicated_fields(), vec!["a".to_string(), "b".to_string()]);
     }
 
     #[test]

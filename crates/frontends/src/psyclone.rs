@@ -100,10 +100,7 @@ impl Algorithm {
             src.push_str(&format!("  type(field_type) :: {f}\n"));
         }
         if let Some(grid) = self.grid {
-            src.push_str(&format!(
-                "  call init_grid({}, {}, {})\n",
-                grid.x, grid.y, grid.z
-            ));
+            src.push_str(&format!("  call init_grid({}, {}, {})\n", grid.x, grid.y, grid.z));
         }
         for _t in 0..1 {
             for k in &self.kernels {
@@ -141,12 +138,12 @@ mod tests {
             .invoke(Kernel::new(
                 "compute_unew",
                 "unew",
-                star_sum("uvel", 1, true).scale(0.25).add(Expr::center("vvel")),
+                star_sum("uvel", 1, true).scale(0.25) + Expr::center("vvel"),
             ))
             .invoke(Kernel::new(
                 "compute_vnew",
                 "vnew",
-                Expr::center("unew").add(star_sum("vvel", 1, true).scale(0.125)),
+                Expr::center("unew") + star_sum("vvel", 1, true).scale(0.125),
             ))
             .timesteps(1)
             .build()

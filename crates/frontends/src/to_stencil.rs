@@ -53,8 +53,7 @@ pub fn emit_stencil_ir(program: &StencilProgram) -> Result<StencilIr, String> {
     let interior = interior_bounds(program);
     let field_ty = stencil::field_type(&storage, Type::f32());
     let arg_types = vec![field_ty; program.fields.len()];
-    let (kernel, entry) =
-        func::build_func(&mut ctx, module_body, &program.name, arg_types, vec![]);
+    let (kernel, entry) = func::build_func(&mut ctx, module_body, &program.name, arg_types, vec![]);
     ctx.set_attr(
         kernel,
         "field_names",
@@ -141,11 +140,7 @@ pub fn emit_stencil_ir(program: &StencilProgram) -> Result<StencilIr, String> {
 }
 
 /// Emits the arithmetic for one expression inside an apply body.
-fn emit_expr(
-    b: &mut OpBuilder<'_>,
-    expr: &Expr,
-    temps: &HashMap<String, ValueId>,
-) -> ValueId {
+fn emit_expr(b: &mut OpBuilder<'_>, expr: &Expr, temps: &HashMap<String, ValueId>) -> ValueId {
     match expr {
         Expr::Const(c) => arith::constant_f32(b, *c, Type::f32()),
         Expr::Access { field, offset } => {
@@ -254,7 +249,7 @@ enddo
         program.fields.push("v".into());
         program.equations.push(StencilEquation::new(
             "v",
-            Expr::center("u").add(Expr::at("v", 0, 1, 0)).scale(0.5),
+            (Expr::center("u") + Expr::at("v", 0, 1, 0)).scale(0.5),
         ));
         program.timesteps = 1;
         let ir = emit_stencil_ir(&program).expect("emit");

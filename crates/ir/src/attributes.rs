@@ -211,9 +211,9 @@ impl Attribute {
             Attribute::Array(items) => {
                 Attribute::Array(items.iter().map(|a| a.map_types(f)).collect())
             }
-            Attribute::Dict(map) => Attribute::Dict(
-                map.iter().map(|(k, v)| (k.clone(), v.map_types(f))).collect(),
-            ),
+            Attribute::Dict(map) => {
+                Attribute::Dict(map.iter().map(|(k, v)| (k.clone(), v.map_types(f))).collect())
+            }
             Attribute::Dialect(d) => Attribute::Dialect(DialectAttr::new(
                 d.dialect.clone(),
                 d.name.clone(),

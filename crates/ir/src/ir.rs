@@ -580,7 +580,8 @@ impl IrContext {
             data.operands.iter().map(|v| *value_map.get(v).unwrap_or(v)).collect();
         let result_types: Vec<Type> =
             data.results.iter().map(|&v| self.value_type(v).clone()).collect();
-        let new_op = self.create_op(data.name.clone(), operands, result_types, data.attrs.clone(), 0);
+        let new_op =
+            self.create_op(data.name.clone(), operands, result_types, data.attrs.clone(), 0);
         for (old, new) in data.results.iter().zip(self.op(new_op).results.to_vec()) {
             value_map.insert(*old, new);
         }
@@ -588,12 +589,8 @@ impl IrContext {
             let new_region = self.add_region(new_op);
             let blocks = self.region(region).blocks.clone();
             for block in blocks {
-                let arg_types: Vec<Type> = self
-                    .block(block)
-                    .args
-                    .iter()
-                    .map(|&a| self.value_type(a).clone())
-                    .collect();
+                let arg_types: Vec<Type> =
+                    self.block(block).args.iter().map(|&a| self.value_type(a).clone()).collect();
                 let new_block = self.add_block(new_region, arg_types);
                 let old_args = self.block(block).args.to_vec();
                 let new_args = self.block(new_block).args.to_vec();
@@ -658,8 +655,7 @@ mod tests {
     fn create_and_navigate() {
         let mut ctx = IrContext::new();
         let (module, body) = small_module(&mut ctx);
-        let c =
-            ctx.create_op("arith.constant", vec![], vec![Type::f32()], AttrMap::new(), 0);
+        let c = ctx.create_op("arith.constant", vec![], vec![Type::f32()], AttrMap::new(), 0);
         ctx.append_op(body, c);
         let v = ctx.result(c, 0);
         let add = ctx.create_op("arith.addf", vec![v, v], vec![Type::f32()], AttrMap::new(), 0);

@@ -410,9 +410,8 @@ impl<'a> Parser<'a> {
                             if !self.peek_token("]") {
                                 loop {
                                     let t = self.parse_number_text()?;
-                                    let v: f64 = t
-                                        .parse()
-                                        .map_err(|_| self.error("bad float in dense"))?;
+                                    let v: f64 =
+                                        t.parse().map_err(|_| self.error("bad float in dense"))?;
                                     items.push(FloatBits::new(v));
                                     if !self.eat(",") {
                                         break;
@@ -426,8 +425,7 @@ impl<'a> Parser<'a> {
                             Ok(Attribute::DenseF32(items, ty))
                         } else {
                             let t = self.parse_number_text()?;
-                            let v: f64 =
-                                t.parse().map_err(|_| self.error("bad float in dense"))?;
+                            let v: f64 = t.parse().map_err(|_| self.error("bad float in dense"))?;
                             self.expect(">")?;
                             self.expect(":")?;
                             let ty = self.parse_type()?;
@@ -447,7 +445,9 @@ impl<'a> Parser<'a> {
     fn parse_number_attr(&mut self) -> IrResult<Attribute> {
         let text = self.parse_number_text()?;
         let is_float = text.contains('.') || text.contains('e') || text.contains('E');
-        let ty = if self.eat(":") { self.parse_type()? } else if is_float {
+        let ty = if self.eat(":") {
+            self.parse_type()?
+        } else if is_float {
             Type::f64()
         } else {
             Type::int(64)
@@ -520,20 +520,13 @@ impl<'a> Parser<'a> {
         let mut region_sources = Vec::new();
         if self.peek_token("(") && self.lookahead_region() {
             self.expect("(")?;
-            loop {
-                self.expect("{")?;
-                region_sources.push(());
-                // We parse the region content lazily below; record position.
-                break;
-            }
+            self.expect("{")?;
+            region_sources.push(());
             // Rewind: regions need the op created first. Simpler: parse regions
             // into a detached op afterwards. To keep a single pass we create
             // the op now with zero regions and fill them while parsing.
             // (handled below)
             self.pos -= 1; // step back before '{'
-            // fallthrough
-        } else {
-            region_sources.clear();
         }
 
         // Create the op shell first (results resolved after trailing type).
@@ -543,7 +536,7 @@ impl<'a> Parser<'a> {
         }
 
         // Parse regions if present: " ({ ... }, { ... })".
-        if !region_sources.is_empty() || (self.peek_token("{") && false) {
+        if !region_sources.is_empty() {
             // first region already positioned at '{'
             loop {
                 self.expect("{")?;

@@ -48,7 +48,13 @@ fn indent(out: &mut String, level: usize) {
     }
 }
 
-fn print_op_rec(ctx: &IrContext, op: OpId, state: &mut PrinterState, level: usize, out: &mut String) {
+fn print_op_rec(
+    ctx: &IrContext,
+    op: OpId,
+    state: &mut PrinterState,
+    level: usize,
+    out: &mut String,
+) {
     indent(out, level);
     let results = ctx.results(op);
     if !results.is_empty() {

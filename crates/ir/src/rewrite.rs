@@ -187,11 +187,12 @@ mod tests {
             let ty = rewriter.ctx().value_type(operands[0]).clone();
             let mut b = rewriter.builder_before(op);
             let two = b.insert_value(
-                OpSpec::new("arith.constant").results([ty.clone()]).attr("value", Attribute::f32(2.0)),
+                OpSpec::new("arith.constant")
+                    .results([ty.clone()])
+                    .attr("value", Attribute::f32(2.0)),
             );
-            let mul = b.insert_value(
-                OpSpec::new("arith.mulf").operands([operands[0], two]).results([ty]),
-            );
+            let mul = b
+                .insert_value(OpSpec::new("arith.mulf").operands([operands[0], two]).results([ty]));
             rewriter.replace_op(op, &[mul])?;
             Ok(true)
         }

@@ -98,9 +98,10 @@ impl DialectType {
 /// Types are value types: they are freely cloneable and compared
 /// structurally.  This matches how the pipeline uses them (types are small;
 /// the deepest nesting is `memref<N x f32>` inside a dialect type).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Type {
     /// The absence of a value (used for functions with no results).
+    #[default]
     None,
     /// An integer type with a width and signedness, e.g. `i16`, `ui16`.
     Integer {
@@ -293,12 +294,6 @@ impl Type {
             }
             other => other.clone(),
         }
-    }
-}
-
-impl Default for Type {
-    fn default() -> Self {
-        Type::None
     }
 }
 

@@ -63,9 +63,8 @@ impl LinearCombination {
     pub fn simplified(&self) -> LinearCombination {
         let mut merged: Vec<Term> = Vec::new();
         for term in &self.terms {
-            if let Some(existing) = merged
-                .iter_mut()
-                .find(|t| t.input == term.input && t.offset == term.offset)
+            if let Some(existing) =
+                merged.iter_mut().find(|t| t.input == term.input && t.offset == term.offset)
             {
                 existing.coeff += term.coeff;
             } else {
@@ -81,7 +80,12 @@ impl LinearCombination {
         self.terms
             .iter()
             .map(|t| {
-                t.offset.first().copied().unwrap_or(0).abs().max(t.offset.get(1).copied().unwrap_or(0).abs())
+                t.offset
+                    .first()
+                    .copied()
+                    .unwrap_or(0)
+                    .abs()
+                    .max(t.offset.get(1).copied().unwrap_or(0).abs())
             })
             .max()
             .unwrap_or(0)
@@ -94,8 +98,7 @@ impl LinearCombination {
 
     /// Evaluates the combination given a resolver for `(input, offset)`.
     pub fn evaluate(&self, read: &impl Fn(usize, &[i64]) -> f32) -> f32 {
-        self.constant
-            + self.terms.iter().map(|t| t.coeff * read(t.input, &t.offset)).sum::<f32>()
+        self.constant + self.terms.iter().map(|t| t.coeff * read(t.input, &t.offset)).sum::<f32>()
     }
 }
 
@@ -131,9 +134,11 @@ enum Symbolic {
 /// # Errors
 /// Returns an error if the body contains operations outside the supported
 /// set (constants, accesses, `arith.addf/subf/mulf`, `varith.add/mul`).
-pub fn analyze_apply(ctx: &IrContext, apply: OpId) -> Result<Vec<LinearCombination>, AnalysisError> {
-    let body = stencil::apply_body(ctx, apply)
-        .ok_or_else(|| error("apply has no body block"))?;
+pub fn analyze_apply(
+    ctx: &IrContext,
+    apply: OpId,
+) -> Result<Vec<LinearCombination>, AnalysisError> {
+    let body = stencil::apply_body(ctx, apply).ok_or_else(|| error("apply has no body block"))?;
     let block_args = ctx.block_args(body).to_vec();
     let arg_index: HashMap<ValueId, usize> =
         block_args.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
@@ -188,7 +193,8 @@ pub fn analyze_apply(ctx: &IrContext, apply: OpId) -> Result<Vec<LinearCombinati
             }
             varith::MUL => {
                 let mut iter = ctx.operands(op).iter();
-                let first = resolve(&values, *iter.next().ok_or_else(|| error("empty varith.mul"))?)?;
+                let first =
+                    resolve(&values, *iter.next().ok_or_else(|| error("empty varith.mul"))?)?;
                 let mut acc = first;
                 for &operand in iter {
                     let value = resolve(&values, operand)?;
@@ -209,9 +215,7 @@ pub fn analyze_apply(ctx: &IrContext, apply: OpId) -> Result<Vec<LinearCombinati
         .iter()
         .map(|&v| match resolve(&values, v)? {
             Symbolic::Combination(c) => Ok(c.simplified()),
-            Symbolic::Constant(c) => {
-                Ok(LinearCombination { terms: Vec::new(), constant: c })
-            }
+            Symbolic::Constant(c) => Ok(LinearCombination { terms: Vec::new(), constant: c }),
         })
         .collect()
 }
@@ -228,12 +232,17 @@ fn add_symbolic(lhs: Symbolic, rhs: Symbolic, negate_rhs: bool) -> Symbolic {
     match (lhs, rhs) {
         (Symbolic::Constant(a), Symbolic::Constant(b)) => Symbolic::Constant(a + sign * b),
         (Symbolic::Combination(a), Symbolic::Constant(b)) => {
-            Symbolic::Combination(LinearCombination { terms: a.terms, constant: a.constant + sign * b })
+            Symbolic::Combination(LinearCombination {
+                terms: a.terms,
+                constant: a.constant + sign * b,
+            })
         }
-        (Symbolic::Constant(a), Symbolic::Combination(b)) => Symbolic::Combination(LinearCombination {
-            terms: b.terms.into_iter().map(|t| Term { coeff: sign * t.coeff, ..t }).collect(),
-            constant: a + sign * b.constant,
-        }),
+        (Symbolic::Constant(a), Symbolic::Combination(b)) => {
+            Symbolic::Combination(LinearCombination {
+                terms: b.terms.into_iter().map(|t| Term { coeff: sign * t.coeff, ..t }).collect(),
+                constant: a + sign * b.constant,
+            })
+        }
         (Symbolic::Combination(a), Symbolic::Combination(b)) => {
             let mut terms = a.terms;
             terms.extend(b.terms.into_iter().map(|t| Term { coeff: sign * t.coeff, ..t }));

@@ -128,7 +128,8 @@ impl Pass for DistributeStencil {
     fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
         let topology = Topology::new(self.width, self.height);
         for apply in ctx.walk_named(module, stencil::APPLY) {
-            let combos = analyze_apply(ctx, apply).map_err(|e| PassError::new(self.name(), e.message))?;
+            let combos =
+                analyze_apply(ctx, apply).map_err(|e| PassError::new(self.name(), e.message))?;
             ctx.set_attr(apply, COMBINATIONS_ATTR, combinations_to_attr(&combos));
             let exchanges = exchanges_for(&combos);
             if exchanges.is_empty() {
@@ -197,11 +198,11 @@ impl Pass for TensorizeZ {
         let applies = ctx.walk_named(module, stencil::APPLY);
         let mut all_combos: HashMap<OpId, Vec<LinearCombination>> = HashMap::new();
         for &apply in &applies {
-            let combos = match ctx.attr(apply, COMBINATIONS_ATTR).and_then(combinations_from_attr)
-            {
+            let combos = match ctx.attr(apply, COMBINATIONS_ATTR).and_then(combinations_from_attr) {
                 Some(combos) => combos,
-                None => analyze_apply(ctx, apply)
-                    .map_err(|e| PassError::new(self.name(), e.message))?,
+                None => {
+                    analyze_apply(ctx, apply).map_err(|e| PassError::new(self.name(), e.message))?
+                }
             };
             all_combos.insert(apply, combos);
         }
@@ -211,9 +212,7 @@ impl Pass for TensorizeZ {
         let mut z_interior: i64 = 0;
         let mut z_storage_lb: i64 = 0;
         for op in ctx.walk(module) {
-            for value in
-                ctx.results(op).to_vec().into_iter().chain(ctx.operands(op).to_vec())
-            {
+            for value in ctx.results(op).to_vec().into_iter().chain(ctx.operands(op).to_vec()) {
                 let ty = ctx.value_type(value).clone();
                 if let Some(bounds) = stencil::type_bounds(&ty) {
                     if bounds.rank() == 3 {
@@ -323,7 +322,8 @@ fn regenerate_tensorized_body(
                 None => scaled,
             });
         }
-        let value = acc.unwrap_or_else(|| arith::constant_f32(&mut b, combo.constant, column_ty.clone()));
+        let value =
+            acc.unwrap_or_else(|| arith::constant_f32(&mut b, combo.constant, column_ty.clone()));
         results.push(value);
     }
     stencil::build_return(ctx, body, results);

@@ -10,9 +10,7 @@
 
 use wse_csl::csl;
 use wse_dialects::{arith, linalg, memref};
-use wse_ir::{
-    Attribute, IrContext, OpBuilder, OpId, OpSpec, Pass, PassResult, Type, ValueId,
-};
+use wse_ir::{Attribute, IrContext, OpBuilder, OpId, OpSpec, Pass, PassResult, Type, ValueId};
 
 /// Fuses `linalg.mul` + `linalg.add` pairs into `linalg.fmac`.
 #[derive(Debug, Default, Clone, Copy)]
@@ -276,8 +274,7 @@ mod tests {
         ConvertLinalgToCsl.run(&mut ctx, module).unwrap();
         let dsds = ctx.walk_named(module, csl::GET_MEM_DSD);
         assert_eq!(dsds.len(), 2);
-        let offsets: Vec<i64> =
-            dsds.iter().map(|&d| ctx.attr_int(d, "offset").unwrap()).collect();
+        let offsets: Vec<i64> = dsds.iter().map(|&d| ctx.attr_int(d, "offset").unwrap()).collect();
         assert!(offsets.contains(&2));
         assert!(offsets.contains(&4));
         // The subviews themselves are gone.

@@ -10,9 +10,7 @@
 use std::collections::HashMap;
 
 use wse_dialects::{arith, stencil, varith};
-use wse_ir::{
-    IrContext, OpBuilder, OpId, OpSpec, Pass, PassError, PassResult, Type, ValueId,
-};
+use wse_ir::{IrContext, OpBuilder, OpId, OpSpec, Pass, PassError, PassResult, Type, ValueId};
 
 use crate::analysis::{analyze_apply, LinearCombination, Term};
 
@@ -35,8 +33,7 @@ impl Pass for StencilInlining {
             let Some((producer, consumer)) = find_fusable_pair(ctx, module) else {
                 return Ok(());
             };
-            fuse_applies(ctx, producer, consumer)
-                .map_err(|m| PassError::new(self.name(), m))?;
+            fuse_applies(ctx, producer, consumer).map_err(|m| PassError::new(self.name(), m))?;
         }
     }
 }
@@ -61,9 +58,8 @@ fn find_fusable_pair(ctx: &IrContext, module: OpId) -> Option<(OpId, OpId)> {
             }
             // Everything else must be a store (which the fused apply keeps
             // feeding) for the fusion to be semantics-preserving.
-            let all_supported = uses
-                .iter()
-                .all(|(op, _)| *op == consumer || ctx.op_name(*op) == stencil::STORE);
+            let all_supported =
+                uses.iter().all(|(op, _)| *op == consumer || ctx.op_name(*op) == stencil::STORE);
             if all_supported && ctx.parent_block(producer) == ctx.parent_block(consumer) {
                 return Some((producer, consumer));
             }
@@ -126,9 +122,7 @@ fn fuse_applies(ctx: &mut IrContext, producer: OpId, consumer: OpId) -> Result<(
                 None => return Err("inconsistent consumer operand map".into()),
             }
         }
-        fused_combos.push(
-            LinearCombination { terms, constant: combo.constant }.simplified(),
-        );
+        fused_combos.push(LinearCombination { terms, constant: combo.constant }.simplified());
     }
 
     // Result types: producer results then consumer results.
@@ -230,10 +224,8 @@ impl Pass for ConvertArithToVarith {
                     continue;
                 }
                 let result = ctx.result(root, 0);
-                let used_by_same = ctx
-                    .uses_of(result)
-                    .iter()
-                    .any(|(op, _)| ctx.op_name(*op) == arith_name);
+                let used_by_same =
+                    ctx.uses_of(result).iter().any(|(op, _)| ctx.op_name(*op) == arith_name);
                 if used_by_same {
                     continue;
                 }
@@ -245,9 +237,8 @@ impl Pass for ConvertArithToVarith {
                 }
                 let ty = ctx.value_type(result).clone();
                 let mut b = OpBuilder::before(ctx, root);
-                let fused = b.insert_value(
-                    OpSpec::new(varith_name).operands(leaves.clone()).results([ty]),
-                );
+                let fused =
+                    b.insert_value(OpSpec::new(varith_name).operands(leaves.clone()).results([ty]));
                 ctx.replace_all_uses(result, fused);
                 for op in to_erase {
                     if ctx.op_is_live(op) && !ctx.results(op).iter().any(|&r| ctx.has_uses(r)) {
@@ -269,9 +260,9 @@ fn collect_leaves(
 ) {
     to_erase.push(op);
     for &operand in ctx.operands(op) {
-        let nested = ctx.defining_op(operand).filter(|&d| {
-            ctx.op_name(d) == kind && ctx.uses_of(ctx.result(d, 0)).len() == 1
-        });
+        let nested = ctx
+            .defining_op(operand)
+            .filter(|&d| ctx.op_name(d) == kind && ctx.uses_of(ctx.result(d, 0)).len() == 1);
         match nested {
             Some(inner) => collect_leaves(ctx, inner, kind, leaves, to_erase),
             None => leaves.push(operand),

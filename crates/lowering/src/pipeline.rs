@@ -104,9 +104,8 @@ pub struct LoweredProgram {
 pub fn build_pass_manager(program: &StencilProgram, options: &PipelineOptions) -> PassManager {
     let width = options.width.unwrap_or(program.grid.x);
     let height = options.height.unwrap_or(program.grid.y);
-    let mut pm = PassManager::new()
-        .verify_each(options.verify_each)
-        .with_registry(wse_csl::register_all());
+    let mut pm =
+        PassManager::new().verify_each(options.verify_each).with_registry(wse_csl::register_all());
     if options.enable_inlining {
         pm.add_pass(Box::new(StencilInlining));
     }

@@ -83,11 +83,7 @@ fn lower_function(
 
     // The applies live either directly in the entry block or inside an
     // scf.for body.
-    let loop_op = ctx
-        .block_ops(entry)
-        .iter()
-        .copied()
-        .find(|&op| ctx.op_name(op) == scf::FOR);
+    let loop_op = ctx.block_ops(entry).iter().copied().find(|&op| ctx.op_name(op) == scf::FOR);
     let work_block = match loop_op {
         Some(for_op) => scf::for_body(ctx, for_op).ok_or("time loop has no body")?,
         None => entry,
@@ -145,19 +141,13 @@ fn lower_function(
     }
 
     let z_interior = params.z_dim;
-    let z_halo = kernels
-        .iter()
-        .filter_map(|k| ctx.attr_int(k.apply, "z_halo"))
-        .max()
-        .unwrap_or(0);
+    let z_halo = kernels.iter().filter_map(|k| ctx.attr_int(k.apply, "z_halo")).max().unwrap_or(0);
     let z_storage = z_interior + 2 * z_halo;
     let max_slots = kernels
         .iter()
         .filter(|k| k.communicates)
         .filter_map(|k| {
-            ctx.attr(k.apply, "slot_inputs")
-                .and_then(Attribute::as_index_array)
-                .map(<[i64]>::len)
+            ctx.attr(k.apply, "slot_inputs").and_then(Attribute::as_index_array).map(<[i64]>::len)
         })
         .max()
         .unwrap_or(1) as i64;
@@ -166,7 +156,8 @@ fn lower_function(
     // Build the program module skeleton.
     // ------------------------------------------------------------------
     let mut b = OpBuilder::at_start(ctx, program_block);
-    let (program_module, program_body) = csl::build_module(&mut b, "pe_program", csl::ModuleKind::Program);
+    let (program_module, program_body) =
+        csl::build_module(&mut b, "pe_program", csl::ModuleKind::Program);
     ctx.set_attr(program_module, "width", Attribute::int(params.width));
     ctx.set_attr(program_module, "height", Attribute::int(params.height));
     ctx.set_attr(program_module, "z_dim", Attribute::int(z_interior));
@@ -216,8 +207,8 @@ fn lower_function(
         } else {
             "for_post0".to_string()
         };
-        let combos = apply_combinations(ctx, info.apply)
-            .ok_or("apply is missing its cached analysis")?;
+        let combos =
+            apply_combinations(ctx, info.apply).ok_or("apply is missing its cached analysis")?;
         let combo = combos.first().cloned().unwrap_or_default();
 
         if info.communicates {
@@ -589,9 +580,15 @@ mod tests {
         assert_eq!(modules.len(), 2);
         // The actor graph of Figure 1: f_main, for_cond0, for_inc0,
         // for_post0, seq_kernel0 and the two callbacks.
-        for name in
-            ["f_main", "for_cond0", "for_inc0", "for_post0", "seq_kernel0", "receive_chunk_cb0", "done_exchange_cb0"]
-        {
+        for name in [
+            "f_main",
+            "for_cond0",
+            "for_inc0",
+            "for_post0",
+            "seq_kernel0",
+            "receive_chunk_cb0",
+            "done_exchange_cb0",
+        ] {
             assert!(csl::find_callable(&ctx, module, name).is_some(), "missing {name}");
         }
         // The original func and stencil ops are gone.

@@ -12,12 +12,12 @@
 
 use wse_csl::{csl_stencil, csl_wrapper};
 use wse_dialects::{arith, dmp, stencil, tensor};
-use wse_ir::{
-    Attribute, IrContext, OpBuilder, OpId, Pass, PassError, PassResult, Type, ValueId,
-};
+use wse_ir::{Attribute, IrContext, OpBuilder, OpId, Pass, PassError, PassResult, Type, ValueId};
 
 use crate::analysis::LinearCombination;
-use crate::decompose::{apply_combinations, combinations_to_attr, exchanges_for, COMBINATIONS_ATTR};
+use crate::decompose::{
+    apply_combinations, combinations_to_attr, exchanges_for, COMBINATIONS_ATTR,
+};
 
 /// Options controlling the stencil → csl_stencil conversion.
 #[derive(Debug, Clone, Copy)]
@@ -105,8 +105,13 @@ fn convert_apply(
         if remote.is_empty() {
             // Keep this output as a plain (local-only) stencil.apply.
             let mut b = OpBuilder::before(ctx, apply);
-            let (new_apply, body) = stencil::build_apply(&mut b, raw_inputs.clone(), vec![result_ty]);
-            ctx.set_attr(new_apply, COMBINATIONS_ATTR, combinations_to_attr(&[combo.clone()]));
+            let (new_apply, body) =
+                stencil::build_apply(&mut b, raw_inputs.clone(), vec![result_ty]);
+            ctx.set_attr(
+                new_apply,
+                COMBINATIONS_ATTR,
+                combinations_to_attr(std::slice::from_ref(combo)),
+            );
             ctx.set_attr(new_apply, "z_interior", Attribute::int(z_interior));
             ctx.set_attr(new_apply, "z_halo", Attribute::int(z_halo));
             emit_local_body(ctx, body, &local, z_interior, z_halo, true);
@@ -114,17 +119,13 @@ fn convert_apply(
             continue;
         }
 
-        let exchanges = exchanges_for(&[combo.clone()]);
+        let exchanges = exchanges_for(std::slice::from_ref(combo));
         let slots = remote.len() as i64;
         let chunk_buffer_ty = Type::tensor(vec![slots, chunk], Type::f32());
 
         let mut b = OpBuilder::before(ctx, apply);
         let acc_init = arith::constant_f32(&mut b, 0.0, column_ty.clone());
-        let config = csl_stencil::ApplyConfig {
-            exchanges,
-            num_chunks,
-            z_extent: z_interior,
-        };
+        let config = csl_stencil::ApplyConfig { exchanges, num_chunks, z_extent: z_interior };
         let (new_apply, recv_block, done_block) = csl_stencil::build_apply(
             &mut b,
             raw_inputs.clone(),
@@ -133,7 +134,11 @@ fn convert_apply(
             chunk_buffer_ty,
             vec![result_ty],
         );
-        ctx.set_attr(new_apply, COMBINATIONS_ATTR, combinations_to_attr(&[combo.clone()]));
+        ctx.set_attr(
+            new_apply,
+            COMBINATIONS_ATTR,
+            combinations_to_attr(std::slice::from_ref(combo)),
+        );
         ctx.set_attr(new_apply, "z_interior", Attribute::int(z_interior));
         ctx.set_attr(new_apply, "z_halo", Attribute::int(z_halo));
         ctx.set_attr(new_apply, "chunk_size", Attribute::int(chunk));
@@ -330,8 +335,7 @@ impl Pass for WrapInCslWrapper {
             fields: fields.max(1),
         };
         let module_body = wse_dialects::builtin::module_body(ctx, module);
-        let func_name =
-            wse_dialects::func::func_name(ctx, func).unwrap_or("kernel").to_string();
+        let func_name = wse_dialects::func::func_name(ctx, func).unwrap_or("kernel").to_string();
         let mut b = OpBuilder::at_start(ctx, module_body);
         let (wrapper, layout, program) = csl_wrapper::build_module(&mut b, &func_name, &params);
         let mut lb = OpBuilder::at_end(ctx, layout);
@@ -389,7 +393,12 @@ mod tests {
         assert!(ctx.walk_named(module, dmp::SWAP).is_empty());
         // Remote terms: 4 (one per direction); local terms: 2 (z neighbors).
         let recv = csl_stencil::receive_chunk_block(&ctx, apply).unwrap();
-        assert_eq!(ctx.walk_filtered(ctx.parent_op(ctx.block_ops(recv)[0]).unwrap(), |n| n == csl_stencil::ACCESS).len(), 4 + 2);
+        assert_eq!(
+            ctx.walk_filtered(ctx.parent_op(ctx.block_ops(recv)[0]).unwrap(), |n| n
+                == csl_stencil::ACCESS)
+                .len(),
+            4 + 2
+        );
     }
 
     #[test]

@@ -166,8 +166,8 @@ impl WseGridSim {
                     .get(&spec.field)
                     .ok_or_else(|| err(format!("unknown field buffer {}", spec.field)))?;
                 let start = (z_halo + chunk * comm.chunk_size) as usize;
-                for i in 0..chunk_size {
-                    data[i] = column.get(start + i).copied().unwrap_or(0.0);
+                for (i, dst) in data.iter_mut().enumerate() {
+                    *dst = column.get(start + i).copied().unwrap_or(0.0);
                 }
             }
             let recv = self.pes[index]

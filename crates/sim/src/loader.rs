@@ -235,11 +235,9 @@ pub fn load_program(ctx: &IrContext, module: OpId) -> Result<LoadedProgram, Load
                 buffers.push(BufferDecl { name: name.clone(), len, init });
                 buffer_of.insert(ctx.result(op, 0), name);
             }
-            csl::EXPORT => {
-                if ctx.attr_str(op, "kind") == Some("buffer") {
-                    if let Some(sym) = ctx.attr_str(op, "symbol") {
-                        field_buffers.push(sym.to_string());
-                    }
+            csl::EXPORT if ctx.attr_str(op, "kind") == Some("buffer") => {
+                if let Some(sym) = ctx.attr_str(op, "symbol") {
+                    field_buffers.push(sym.to_string());
                 }
             }
             _ => {}
@@ -271,11 +269,7 @@ pub fn load_program(ctx: &IrContext, module: OpId) -> Result<LoadedProgram, Load
                 let (recv, _) = parse_block(ctx, recv_body, &buffer_of, chunk_arg)?;
                 let (done, _) = parse_block(ctx, done_body, &buffer_of, None)?;
                 let slots = parse_slots(ctx, call, &field_buffers)?;
-                let pattern = slots
-                    .iter()
-                    .map(|s| s.dx.abs().max(s.dy.abs()))
-                    .max()
-                    .unwrap_or(1);
+                let pattern = slots.iter().map(|s| s.dx.abs().max(s.dy.abs())).max().unwrap_or(1);
                 let comm = CommSpec {
                     num_chunks: ctx.attr_int(call, "num_chunks").unwrap_or(1),
                     chunk_size: ctx.attr_int(call, "chunk_size").unwrap_or(z_dim),
@@ -301,16 +295,7 @@ pub fn load_program(ctx: &IrContext, module: OpId) -> Result<LoadedProgram, Load
         return Err(err("program has no seq_kernel functions"));
     }
 
-    Ok(LoadedProgram {
-        width,
-        height,
-        z_dim,
-        z_halo,
-        timesteps,
-        buffers,
-        field_buffers,
-        kernels,
-    })
+    Ok(LoadedProgram { width, height, z_dim, z_halo, timesteps, buffers, field_buffers, kernels })
 }
 
 fn parse_slots(
@@ -360,12 +345,13 @@ fn parse_block(
     let mut instrs = Vec::new();
     let mut comm_call = None;
 
-    let view_of = |values: &HashMap<ValueId, LocalValue>, v: ValueId| -> Result<ViewRef, LoadError> {
-        match values.get(&v) {
-            Some(LocalValue::Dsd(view)) => Ok(view.clone()),
-            _ => Err(err("operand is not a DSD view")),
-        }
-    };
+    let view_of =
+        |values: &HashMap<ValueId, LocalValue>, v: ValueId| -> Result<ViewRef, LoadError> {
+            match values.get(&v) {
+                Some(LocalValue::Dsd(view)) => Ok(view.clone()),
+                _ => Err(err("operand is not a DSD view")),
+            }
+        };
 
     for &op in ctx.block_ops(block) {
         match ctx.op_name(op) {
@@ -430,10 +416,8 @@ fn parse_block(
                     coeff,
                 });
             }
-            csl::MEMBER_CALL => {
-                if ctx.attr_str(op, "field") == Some("communicate") {
-                    comm_call = Some(op);
-                }
+            csl::MEMBER_CALL if ctx.attr_str(op, "field") == Some("communicate") => {
+                comm_call = Some(op);
             }
             // Control flow and declarations are handled structurally.
             _ => {}
@@ -450,11 +434,9 @@ mod tests {
 
     fn load(benchmark: Benchmark, num_chunks: i64) -> LoadedProgram {
         let program = benchmark.tiny_program();
-        let lowered = lower_program(
-            &program,
-            &PipelineOptions { num_chunks, ..PipelineOptions::default() },
-        )
-        .unwrap();
+        let lowered =
+            lower_program(&program, &PipelineOptions { num_chunks, ..PipelineOptions::default() })
+                .unwrap();
         load_program(&lowered.ctx, lowered.module).unwrap()
     }
 

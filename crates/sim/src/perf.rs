@@ -144,8 +144,7 @@ pub fn estimate_performance(
     breakdown.task_overhead += 2 * machine.task_activation_cycles;
 
     let cycles_per_timestep = breakdown.total().max(1);
-    let seconds =
-        cycles_per_timestep as f64 * timesteps as f64 / (machine.clock_ghz * 1e9);
+    let seconds = cycles_per_timestep as f64 * timesteps as f64 / (machine.clock_ghz * 1e9);
     let points = grid.0 as f64 * grid.1 as f64 * grid.2 as f64;
     let gpts_per_sec = points * timesteps as f64 / seconds / 1e9;
     let tflops = gpts_per_sec * 1e9 * flops_per_point as f64 / 1e12;

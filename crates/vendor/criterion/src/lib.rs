@@ -1,0 +1,136 @@
+//! Minimal, offline stand-in for the [`criterion`] benchmark harness.
+//!
+//! The workspace must build without network access (CI and dev containers
+//! have no crates.io mirror), so this crate vendors exactly the subset of
+//! the criterion 0.5 API that our benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timings are wall-clock
+//! medians over a small number of samples — good enough for the relative
+//! comparisons the paper's figures make, not for microbenchmark rigour.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Entry point handed to every bench function; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, sample_size }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a single function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: usize,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per outer invocation.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+fn run_bench<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Keep full `cargo bench` runs fast: a handful of samples is enough for
+    // the coarse-grained, compile-heavy workloads in this workspace.
+    let samples = sample_size.clamp(1, 10);
+    let mut bencher = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    if bencher.samples.is_empty() {
+        println!("  {id}: no samples recorded");
+        return;
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let total: Duration = bencher.samples.iter().sum();
+    println!("  {id}: median {median:?} over {} samples (total {total:?})", bencher.samples.len());
+}
+
+/// Declares a group of benchmark functions; mirrors criterion's simple form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -10,16 +10,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The scientist's view: a grid, a field and a symbolic update equation.
     let grid = Grid::new(8, 8, 16);
     let u = Function::new("u", 4);
-    let update = u.center().add(u.laplace().scale(0.05));
-    let program =
-        Operator::new(grid, vec![u.clone()]).equation(Eq::new(&u, update)).timesteps(3).build("heat")?;
+    let update = u.center() + u.laplace().scale(0.05);
+    let program = Operator::new(grid, vec![u.clone()])
+        .equation(Eq::new(&u, update))
+        .timesteps(3)
+        .build("heat")?;
     println!("Devito-style source:\n{}", program.source);
     println!("stencil: {}-point, radius {}", program.max_points(), program.xy_radius());
 
     let artifact = Compiler::new().num_chunks(2).compile(&program)?;
     println!("generated kernel: {} lines of CSL", artifact.loc_report().csl_kernel);
     println!("per-PE memory: {} bytes (48 kB budget)", artifact.bytes_per_pe());
-    println!("validation error vs reference executor: {:.2e}", artifact.validate_against_reference()?);
+    println!(
+        "validation error vs reference executor: {:.2e}",
+        artifact.validate_against_reference()?
+    );
 
     let estimate = artifact.estimate();
     println!("estimated throughput on this tiny grid: {:.2} GPts/s", estimate.gpts_per_sec);

@@ -33,9 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("max |simulated - reference| = {deviation:.2e}");
 
     // Full-wafer performance estimate at the paper's large problem size.
-    let large = Compiler::new().num_chunks(2).compile(&Benchmark::Jacobian.program(
-        wse_stencil::benchmarks::ProblemSize::Large,
-    ))?;
+    let large = Compiler::new()
+        .num_chunks(2)
+        .compile(&Benchmark::Jacobian.program(wse_stencil::benchmarks::ProblemSize::Large))?;
     let estimate = large.estimate();
     println!(
         "Large problem estimate: {:.0} GPts/s, {:.0} TFLOP/s, {:.0}% of peak, {} tasks/timestep",

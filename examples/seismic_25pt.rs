@@ -3,13 +3,15 @@
 //!
 //! Run with `cargo run --example seismic_25pt`.
 
-use wse_stencil::benchmarks::{Benchmark, ProblemSize};
-use wse_stencil::{Compiler, WseTarget};
 use wse_sim::baselines::handwritten_seismic_estimate;
 use wse_sim::WseGeneration;
+use wse_stencil::benchmarks::{Benchmark, ProblemSize};
+use wse_stencil::{Compiler, WseTarget};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("size        hand-written WSE2   ours WSE2   ours WSE3   speedup(WSE2)  speedup(WSE3)");
+    println!(
+        "size        hand-written WSE2   ours WSE2   ours WSE3   speedup(WSE2)  speedup(WSE3)"
+    );
     for size in [ProblemSize::Small, ProblemSize::Medium, ProblemSize::Large] {
         let program = Benchmark::Seismic25.program(size);
         let handwritten = handwritten_seismic_estimate(

@@ -78,7 +78,8 @@ fn optimization_toggles_preserve_results() {
     // Whatever combination of optimizations is enabled, the generated code
     // must compute the same answer.
     let program = Benchmark::Acoustic.tiny_program();
-    let reference = Compiler::new().compile(&program).unwrap().validate_against_reference().unwrap();
+    let reference =
+        Compiler::new().compile(&program).unwrap().validate_against_reference().unwrap();
     assert!(reference < 1e-3);
     for (fusion, inlining, promotion) in
         [(false, true, true), (true, false, true), (true, true, false), (false, false, false)]

@@ -1,0 +1,20 @@
+//! Smoke test mirroring the `wse_stencil` crate-level doc example, so the
+//! documented quick-start path is also exercised as a plain integration
+//! test (doctests can be skipped by some CI configurations; this cannot).
+
+use wse_stencil::benchmarks::Benchmark;
+use wse_stencil::Compiler;
+
+#[test]
+fn quickstart_compiles_and_validates() {
+    let program = Benchmark::Jacobian.tiny_program();
+    let artifact =
+        Compiler::new().num_chunks(2).compile(&program).expect("tiny Jacobian program compiles");
+    assert!(
+        artifact.sources().file("pe_program.csl").is_some(),
+        "compilation must produce the per-PE CSL program source"
+    );
+    let deviation =
+        artifact.validate_against_reference().expect("simulator runs the compiled program");
+    assert!(deviation < 1e-4, "simulated result deviates from the reference: {deviation}");
+}
