@@ -1,0 +1,143 @@
+//! Simulator throughput: simulated grid-point rate of the compiled
+//! flat-memory execution engine (MPts/s), plus its speedup over the
+//! pre-refactor string-keyed interpreter.
+//!
+//! This bench is the perf trajectory for the functional simulator: future
+//! engine changes must not regress the MPts/s numbers printed here.  Run
+//! with `cargo bench -p wse-bench --bench sim_throughput`; CI smoke-runs
+//! it with `-- --test` (one iteration per case, no timing).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wse_frontends::ast::StencilProgram;
+use wse_frontends::benchmarks::{jacobian, seismic_25pt};
+use wse_lowering::{lower_program, PipelineOptions};
+use wse_sim::{load_program, InterpGridSim, LoadedProgram, WseGridSim};
+
+/// One throughput case: a sim-scale program instance and how many
+/// timesteps to simulate per measurement.
+struct Case {
+    name: &'static str,
+    program: StencilProgram,
+    steps: i64,
+}
+
+fn cases() -> Vec<Case> {
+    let mut cases = vec![
+        Case { name: "jacobian_tiny_6x6x12", program: jacobian(6, 6, 12, 3), steps: 3 },
+        Case { name: "seismic_tiny_10x10x16", program: seismic_25pt(10, 10, 16, 2), steps: 2 },
+    ];
+    if !criterion::is_test_mode() {
+        cases.push(Case {
+            name: "jacobian_medium_48x48x96",
+            program: jacobian(48, 48, 96, 4),
+            steps: 4,
+        });
+        cases.push(Case {
+            name: "seismic_medium_32x32x64",
+            program: seismic_25pt(32, 32, 64, 2),
+            steps: 2,
+        });
+    }
+    cases
+}
+
+fn load(program: &StencilProgram) -> LoadedProgram {
+    let options = PipelineOptions { num_chunks: 2, ..PipelineOptions::default() };
+    let lowered = lower_program(program, &options).expect("lowering succeeds");
+    load_program(&lowered.ctx, lowered.module).expect("loading succeeds")
+}
+
+/// Median over `samples` of the seconds reported by one `sample` call.
+/// Each sample constructs a fresh simulator but times only the run phase:
+/// linking/allocation is one-time work, amortized over the 100k-timestep
+/// runs of the paper's workloads.
+fn median_seconds(samples: usize, mut sample: impl FnMut() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..samples).map(|_| sample()).collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn time_linked(loaded: &LoadedProgram, steps: i64, samples: usize) -> f64 {
+    median_seconds(samples, || {
+        let mut sim = WseGridSim::new(loaded.clone()).expect("program links");
+        let start = Instant::now();
+        sim.run(Some(steps)).expect("run succeeds");
+        criterion::black_box(&sim);
+        start.elapsed().as_secs_f64()
+    })
+}
+
+fn time_interp(loaded: &LoadedProgram, steps: i64, samples: usize) -> f64 {
+    median_seconds(samples, || {
+        let mut sim = InterpGridSim::new(loaded.clone());
+        let start = Instant::now();
+        sim.run(Some(steps)).expect("run succeeds");
+        criterion::black_box(&sim);
+        start.elapsed().as_secs_f64()
+    })
+}
+
+fn mpts(program: &StencilProgram, steps: i64, seconds: f64) -> f64 {
+    program.grid.points() as f64 * steps as f64 / seconds / 1e6
+}
+
+fn bench(c: &mut Criterion) {
+    let samples = if criterion::is_test_mode() { 1 } else { 5 };
+
+    // Lower and load each case exactly once; both report sections below
+    // reuse the loaded programs.
+    let cases: Vec<(Case, LoadedProgram)> = cases()
+        .into_iter()
+        .map(|case| {
+            let loaded = load(&case.program);
+            (case, loaded)
+        })
+        .collect();
+
+    println!("\nsim_throughput — simulated grid-point throughput (linked flat-memory engine)");
+    for (case, loaded) in &cases {
+        let seconds = time_linked(loaded, case.steps, samples);
+        println!(
+            "  {:<28} {:>10.2} MPts/s  ({} steps in {:.3} ms)",
+            case.name,
+            mpts(&case.program, case.steps, seconds),
+            case.steps,
+            seconds * 1e3
+        );
+    }
+
+    // Speedup over the pre-refactor engine, on the acceptance-criterion
+    // case (Jacobian tiny, the first case).  The interpreter is too slow
+    // to time at the medium sizes, which is the point of the refactor.
+    let (tiny, tiny_loaded) = &cases[0];
+    let linked = time_linked(tiny_loaded, tiny.steps, samples);
+    let interp = time_interp(tiny_loaded, tiny.steps, samples);
+    println!(
+        "  legacy interpreter (jacobian_tiny): {:>10.2} MPts/s — linked engine speedup {:.1}x",
+        mpts(&tiny.program, tiny.steps, interp),
+        interp / linked
+    );
+
+    // Criterion-tracked timings for trend comparisons across PRs.  Each
+    // sample runs the same simulator again so, like the MPts/s section,
+    // the trend tracks the run phase only (not clone + link).
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(samples);
+    for (case, loaded) in &cases {
+        let mut sim = WseGridSim::new(loaded.clone()).expect("program links");
+        group.bench_function(format!("linked_{}", case.name), |b| {
+            b.iter(|| sim.run(Some(case.steps)).expect("run succeeds"))
+        });
+    }
+    let (tiny, tiny_loaded) = &cases[0];
+    let mut sim = InterpGridSim::new(tiny_loaded.clone());
+    group.bench_function("interp_jacobian_tiny_6x6x12", |b| {
+        b.iter(|| sim.run(Some(tiny.steps)).expect("run succeeds"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

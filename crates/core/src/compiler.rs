@@ -133,10 +133,13 @@ impl CslArtifact {
     /// # Errors
     /// Returns a [`CompileError`] if the simulation itself fails.
     pub fn validate_against_reference(&self) -> Result<f32, CompileError> {
-        let mut sim = WseGridSim::new(self.loaded.clone());
-        sim.run(None).map_err(|e| CompileError { stage: "simulate".into(), message: e.message })?;
+        let simulate =
+            |e: wse_sim::ExecError| CompileError { stage: "simulate".into(), message: e.message };
+        let mut sim = WseGridSim::new(self.loaded.clone()).map_err(simulate)?;
+        sim.run(None).map_err(simulate)?;
+        let state = sim.grid_state().map_err(simulate)?;
         let reference = run_reference(&self.program, None);
-        Ok(max_abs_difference(&sim.grid_state(), &reference))
+        Ok(max_abs_difference(&state, &reference))
     }
 
     /// The executable per-PE program extracted from the generated CSL.

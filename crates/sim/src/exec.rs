@@ -1,26 +1,39 @@
-//! Functional execution of a [`LoadedProgram`] on a simulated PE grid.
+//! Run phase of the two-phase simulator: executes a linked program on a
+//! simulated PE grid.
 //!
-//! Every PE owns its declared buffers (48 kB budget).  Execution proceeds in
-//! lock-step macro steps: per timestep and per kernel, the halo data of all
-//! PEs is staged from a snapshot of the pre-kernel state (matching the real
-//! machine, where columns are transmitted before any PE overwrites its
-//! output buffer), the receive-chunk instructions run once per chunk, and
-//! the done-exchange instructions complete the update.  Asynchrony affects
+//! # Link, then run
+//!
+//! [`WseGridSim::new`] first *links* the loaded program (see
+//! [`crate::link`]): buffer names become dense ids, each PE's buffers are
+//! laid out in one flat `f32` arena, and every instruction is resolved to
+//! absolute arena offsets with all bounds validated up front.  The run
+//! phase then executes the resolved stream in place over slices — no
+//! hashing, no string comparisons, and no per-instruction allocation (a
+//! single reusable scratch buffer preserves the read-all-then-write
+//! semantics of aliasing destination/source views).
+//!
+//! Execution proceeds in lock-step macro steps, matching the real machine:
+//! per timestep and per kernel, the interior columns that the halo
+//! exchange actually communicates are snapshotted (cross-PE reads must
+//! observe the pre-kernel state; columns are transmitted before any PE
+//! overwrites its output buffer), then every PE runs its kernel body, its
+//! per-chunk receive callback against the staged neighbor columns, and its
+//! done-exchange callback.  Kernels without communication skip the
+//! snapshot entirely.
+//!
+//! Because every cross-PE read goes through the immutable snapshot, the
+//! per-PE sweep is embarrassingly parallel: large grids are split into row
+//! bands executed with [`std::thread::scope`].  Each PE's arithmetic is
+//! identical regardless of the band split, so results are deterministic
+//! and bitwise equal to single-threaded execution.  Asynchrony affects
 //! timing only, which is handled by the analytic model in [`crate::perf`].
 
-use std::collections::HashMap;
-
-use crate::loader::{BinKind, CommSpec, Instr, LoadedProgram, Src, ViewRef};
+use crate::link::{link_program, LinkedComm, LinkedInstr, LinkedKernel, LinkedProgram};
+use crate::loader::{BinKind, LoadedProgram};
 use crate::reference::{initial_value, Field3D, GridState};
 
-/// The state of one PE: its named local buffers.
-#[derive(Debug, Clone)]
-pub struct PeState {
-    /// Buffers by name.
-    pub buffers: HashMap<String, Vec<f32>>,
-}
-
-/// Execution error (out-of-bounds views, unknown buffers).
+/// Execution error (produced at link time: unknown buffers, out-of-bounds
+/// or mismatched views, malformed exchanges).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecError {
     /// Description.
@@ -39,36 +52,58 @@ fn err(message: impl Into<String>) -> ExecError {
     ExecError { message: message.into() }
 }
 
-/// A functional simulation of a PE grid running a lowered program.
+/// Minimum elements of per-kernel work across the grid before the sweep is
+/// split across threads (below this, spawn overhead dominates).
+const PARALLEL_WORK_THRESHOLD: usize = 200_000;
+
+/// A functional simulation of a PE grid running a lowered program,
+/// compiled to flat per-PE memory arenas at construction time.
 #[derive(Debug, Clone)]
 pub struct WseGridSim {
     program: LoadedProgram,
-    pes: Vec<PeState>,
+    linked: LinkedProgram,
+    /// All PE arenas back to back; PE `(x, y)` owns
+    /// `[(y * width + x) * arena_len ..][.. arena_len]`.
+    arenas: Vec<f32>,
+    /// Snapshot of communicated interior columns, reused across kernels.
+    snapshot: Vec<f32>,
+    /// Scratch for aliasing-safe elementwise instructions (serial path).
+    scratch: Vec<f32>,
+    /// Explicit thread count; `None` selects automatically per kernel.
+    threads: Option<usize>,
+    hw_threads: usize,
 }
 
 impl WseGridSim {
-    /// Creates the grid, allocating and initializing every PE's buffers,
-    /// and fills the field buffers with the shared initial condition.
-    pub fn new(program: LoadedProgram) -> Self {
-        let (width, height) = (program.width, program.height);
-        let mut pes = Vec::with_capacity((width * height) as usize);
-        for y in 0..height {
-            for x in 0..width {
-                let mut buffers = HashMap::new();
-                for decl in &program.buffers {
-                    buffers.insert(decl.name.clone(), vec![decl.init; decl.len as usize]);
+    /// Links the program and creates the grid, allocating every PE's arena
+    /// and filling the field buffers with the shared initial condition.
+    ///
+    /// # Errors
+    /// Returns an [`ExecError`] when linking fails (unknown or duplicate
+    /// buffers, out-of-bounds views, malformed exchanges); see
+    /// [`crate::link`].
+    pub fn new(program: LoadedProgram) -> Result<Self, ExecError> {
+        let linked = link_program(&program)?;
+        let n_pes = (linked.width * linked.height) as usize;
+        let mut arenas = vec![0.0f32; n_pes * linked.arena_len];
+        for (pe, arena) in arenas.chunks_exact_mut(linked.arena_len.max(1)).enumerate() {
+            let (x, y) = ((pe as i64) % linked.width, (pe as i64) / linked.width);
+            for layout in &linked.layouts {
+                arena[layout.base..layout.base + layout.len].fill(layout.init);
+            }
+            for (fi, id) in linked.field_ids.iter().enumerate() {
+                let layout = &linked.layouts[id.0 as usize];
+                let interior =
+                    &mut arena[layout.base + linked.z_halo as usize..][..linked.z_dim as usize];
+                for (z, value) in interior.iter_mut().enumerate() {
+                    *value = initial_value(fi, x, y, z as i64);
                 }
-                for (fi, field) in program.field_buffers.iter().enumerate() {
-                    if let Some(buf) = buffers.get_mut(field) {
-                        for z in 0..program.z_dim {
-                            buf[(program.z_halo + z) as usize] = initial_value(fi, x, y, z);
-                        }
-                    }
-                }
-                pes.push(PeState { buffers });
             }
         }
-        Self { program, pes }
+        let snapshot = vec![0.0f32; n_pes * linked.max_snap_len];
+        let scratch = vec![0.0f32; linked.max_view_len];
+        let hw_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Ok(Self { program, linked, arenas, snapshot, scratch, threads: None, hw_threads })
     }
 
     /// The loaded program.
@@ -76,17 +111,26 @@ impl WseGridSim {
         &self.program
     }
 
-    fn pe_index(&self, x: i64, y: i64) -> Option<usize> {
-        if x < 0 || y < 0 || x >= self.program.width || y >= self.program.height {
-            return None;
-        }
-        Some((y * self.program.width + x) as usize)
+    /// The linked flat-memory form of the program.
+    pub fn linked(&self) -> &LinkedProgram {
+        &self.linked
+    }
+
+    /// Forces the per-PE sweep onto exactly `threads` row bands (clamped
+    /// to the grid height), bypassing the automatic work-size heuristic.
+    /// Results are deterministic for any thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = Some(threads.max(1));
     }
 
     /// Runs the program for `timesteps` steps (defaults to the program's
     /// own timestep count).
+    ///
+    /// # Errors
+    /// Never fails after a successful link; the `Result` is kept so the
+    /// signature survives future engine changes.
     pub fn run(&mut self, timesteps: Option<i64>) -> Result<(), ExecError> {
-        let steps = timesteps.unwrap_or(self.program.timesteps);
+        let steps = timesteps.unwrap_or(self.linked.timesteps);
         for _ in 0..steps {
             self.run_timestep()?;
         }
@@ -94,199 +138,219 @@ impl WseGridSim {
     }
 
     /// Runs a single timestep.
+    ///
+    /// # Errors
+    /// Never fails after a successful link (see [`WseGridSim::run`]).
     pub fn run_timestep(&mut self) -> Result<(), ExecError> {
-        for k in 0..self.program.kernels.len() {
-            self.run_kernel(k)?;
+        for k in 0..self.linked.kernels.len() {
+            self.run_kernel(k);
         }
         Ok(())
     }
 
-    fn run_kernel(&mut self, kernel_index: usize) -> Result<(), ExecError> {
-        let kernel = self.program.kernels[kernel_index].clone();
-        // Snapshot the field buffers: cross-PE reads must observe the
-        // pre-kernel state.
-        let snapshot: Vec<HashMap<String, Vec<f32>>> = self
-            .pes
-            .iter()
-            .map(|pe| {
-                self.program
-                    .field_buffers
-                    .iter()
-                    .filter_map(|f| pe.buffers.get(f).map(|b| (f.clone(), b.clone())))
-                    .collect()
-            })
-            .collect();
+    fn run_kernel(&mut self, kernel_index: usize) {
+        let linked = &self.linked;
+        let kernel = &linked.kernels[kernel_index];
+        let n_pes = (linked.width * linked.height) as usize;
+        let snap_len = kernel.comm.as_ref().map(LinkedComm::snap_len).unwrap_or(0);
 
-        let width = self.program.width;
-        let height = self.program.height;
-        let z_halo = self.program.z_halo;
-        for y in 0..height {
-            for x in 0..width {
-                let index = self.pe_index(x, y).expect("in range");
-                for instr in &kernel.pre {
-                    Self::execute(&mut self.pes[index], instr, 0)?;
-                }
-                if let Some(comm) = &kernel.comm {
-                    for chunk in 0..comm.num_chunks {
-                        self.stage_chunk(comm, x, y, chunk, z_halo, &snapshot)?;
-                        let chunk_offset = chunk * comm.chunk_size;
-                        let pe = &mut self.pes[index];
-                        for instr in &kernel.recv {
-                            Self::execute(pe, instr, chunk_offset)?;
-                        }
-                    }
-                    let pe = &mut self.pes[index];
-                    for instr in &kernel.done {
-                        Self::execute(pe, instr, 0)?;
-                    }
+        // Stage 1: snapshot the communicated interior columns so cross-PE
+        // reads observe the pre-kernel state.
+        if let Some(comm) = &kernel.comm {
+            let arenas = &self.arenas;
+            for pe in 0..n_pes {
+                let arena = &arenas[pe * linked.arena_len..][..linked.arena_len];
+                let dst = &mut self.snapshot[pe * snap_len..][..snap_len];
+                for (f, field) in comm.snap_fields.iter().enumerate() {
+                    let col = &mut dst[f * comm.col_len..][..comm.col_len];
+                    col[..field.copy_len]
+                        .copy_from_slice(&arena[field.src_base..][..field.copy_len]);
+                    col[field.copy_len..].fill(0.0);
                 }
             }
         }
-        Ok(())
+
+        // Stage 2: the per-PE sweep, split into row bands when the work
+        // justifies spawning threads.
+        let ctx = KernelCtx { kernel, linked, snapshot: &self.snapshot, snap_len };
+        let height = linked.height as usize;
+        let bands = match self.threads {
+            Some(n) => n.min(height).max(1),
+            None if kernel.work_per_pe.saturating_mul(n_pes) < PARALLEL_WORK_THRESHOLD => 1,
+            None => self.hw_threads.min(height).max(1),
+        };
+        let row_stride = linked.width as usize * linked.arena_len;
+        if bands <= 1 || row_stride == 0 {
+            ctx.run_band(&mut self.arenas, 0, &mut self.scratch);
+            return;
+        }
+        let rows_per_band = height.div_ceil(bands);
+        let scratch_len = linked.max_view_len;
+        std::thread::scope(|s| {
+            for (b, band) in self.arenas.chunks_mut(rows_per_band * row_stride).enumerate() {
+                let ctx = &ctx;
+                s.spawn(move || {
+                    let mut scratch = vec![0.0f32; scratch_len];
+                    ctx.run_band(band, (b * rows_per_band) as i64, &mut scratch);
+                });
+            }
+        });
+    }
+
+    /// Extracts a field as a dense 3-D array (for comparison against the
+    /// reference executor).
+    ///
+    /// # Errors
+    /// Returns an [`ExecError`] when `name` is not a field buffer of the
+    /// program (previously a silent `None`).
+    pub fn field(&self, name: &str) -> Result<Field3D, ExecError> {
+        let fi = self
+            .program
+            .field_buffers
+            .iter()
+            .position(|f| f == name)
+            .ok_or_else(|| err(format!("{name} is not a field buffer of the program")))?;
+        let linked = &self.linked;
+        let layout = &linked.layouts[linked.field_ids[fi].0 as usize];
+        let mut out = Field3D::zeros(linked.width, linked.height, linked.z_dim);
+        for y in 0..linked.height {
+            for x in 0..linked.width {
+                let pe = (y * linked.width + x) as usize;
+                let column = &self.arenas
+                    [pe * linked.arena_len + layout.base + linked.z_halo as usize..]
+                    [..linked.z_dim as usize];
+                for (z, &value) in column.iter().enumerate() {
+                    out.set(x, y, z as i64, value);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts every field as a [`GridState`].
+    ///
+    /// # Errors
+    /// Returns an [`ExecError`] when a field buffer cannot be extracted
+    /// (previously such fields were silently dropped from the state).
+    pub fn grid_state(&self) -> Result<GridState, ExecError> {
+        let names = self.program.field_buffers.clone();
+        let fields = names.iter().map(|n| self.field(n)).collect::<Result<Vec<_>, _>>()?;
+        Ok(GridState { names, fields })
+    }
+}
+
+/// Shared read-only context of one kernel sweep (one instance per
+/// `run_kernel`, shared across band workers).
+struct KernelCtx<'a> {
+    kernel: &'a LinkedKernel,
+    linked: &'a LinkedProgram,
+    snapshot: &'a [f32],
+    snap_len: usize,
+}
+
+impl KernelCtx<'_> {
+    /// Executes the kernel on every PE of a horizontal band of rows.
+    /// `band` is the contiguous arena slice of those rows.
+    fn run_band(&self, band: &mut [f32], first_row: i64, scratch: &mut [f32]) {
+        let row_stride = self.linked.width as usize * self.linked.arena_len;
+        if row_stride == 0 {
+            return;
+        }
+        for (r, row) in band.chunks_exact_mut(row_stride).enumerate() {
+            let y = first_row + r as i64;
+            for (x, pe) in row.chunks_exact_mut(self.linked.arena_len).enumerate() {
+                self.run_pe(pe, x as i64, y, scratch);
+            }
+        }
+    }
+
+    fn run_pe(&self, pe: &mut [f32], x: i64, y: i64, scratch: &mut [f32]) {
+        for instr in &self.kernel.pre {
+            exec_instr(pe, instr, 0, scratch);
+        }
+        let Some(comm) = &self.kernel.comm else { return };
+        for chunk in 0..comm.num_chunks {
+            self.stage_chunk(comm, pe, x, y, chunk);
+            let chunk_offset = chunk * comm.chunk_size;
+            for instr in &self.kernel.recv {
+                exec_instr(pe, instr, chunk_offset, scratch);
+            }
+        }
+        for instr in &self.kernel.done {
+            exec_instr(pe, instr, 0, scratch);
+        }
     }
 
     /// Fills the receive buffer of PE `(x, y)` with chunk `chunk` of every
     /// slot, reading neighbor columns from the snapshot (zero outside the
     /// grid, matching the zero-flux boundary of the reference executor).
-    fn stage_chunk(
-        &mut self,
-        comm: &CommSpec,
-        x: i64,
-        y: i64,
-        chunk: i64,
-        z_halo: i64,
-        snapshot: &[HashMap<String, Vec<f32>>],
-    ) -> Result<(), ExecError> {
-        let index = self.pe_index(x, y).expect("in range");
-        let chunk_size = comm.chunk_size as usize;
+    fn stage_chunk(&self, comm: &LinkedComm, pe: &mut [f32], x: i64, y: i64, chunk: usize) {
+        let start = chunk * comm.chunk_size;
         for (slot, spec) in comm.slots.iter().enumerate() {
-            let mut data = vec![0.0f32; chunk_size];
-            if let Some(neighbor) = self.pe_index(x + spec.dx, y + spec.dy) {
-                let column = snapshot[neighbor]
-                    .get(&spec.field)
-                    .ok_or_else(|| err(format!("unknown field buffer {}", spec.field)))?;
-                let start = (z_halo + chunk * comm.chunk_size) as usize;
-                for (i, dst) in data.iter_mut().enumerate() {
-                    *dst = column.get(start + i).copied().unwrap_or(0.0);
+            let dst = &mut pe[comm.recv_base + slot * comm.chunk_size..][..comm.chunk_size];
+            let (nx, ny) = (x + spec.dx, y + spec.dy);
+            if nx < 0 || ny < 0 || nx >= self.linked.width || ny >= self.linked.height {
+                dst.fill(0.0);
+                continue;
+            }
+            let neighbor = (ny * self.linked.width + nx) as usize;
+            let column = &self.snapshot
+                [neighbor * self.snap_len + spec.snap_index * comm.col_len + start..]
+                [..comm.chunk_size];
+            dst.copy_from_slice(column);
+        }
+    }
+}
+
+/// Executes one resolved instruction over a PE arena.  Elementwise
+/// operations compute into `scratch` first so aliasing destination/source
+/// views keep read-all-then-write semantics without allocating.
+fn exec_instr(pe: &mut [f32], instr: &LinkedInstr, chunk_offset: usize, scratch: &mut [f32]) {
+    match instr {
+        LinkedInstr::Fill { dest, value } => pe[dest.range(chunk_offset)].fill(*value),
+        LinkedInstr::Copy { dest, src } => {
+            let dest_start = dest.range(chunk_offset).start;
+            pe.copy_within(src.range(chunk_offset), dest_start);
+        }
+        LinkedInstr::Binary { kind, dest, a, b } => {
+            let out = &mut scratch[..dest.len as usize];
+            let va = &pe[a.range(chunk_offset)];
+            let vb = &pe[b.range(chunk_offset)];
+            match kind {
+                BinKind::Add => {
+                    for ((o, x), y) in out.iter_mut().zip(va).zip(vb) {
+                        *o = x + y;
+                    }
+                }
+                BinKind::Sub => {
+                    for ((o, x), y) in out.iter_mut().zip(va).zip(vb) {
+                        *o = x - y;
+                    }
+                }
+                BinKind::Mul => {
+                    for ((o, x), y) in out.iter_mut().zip(va).zip(vb) {
+                        *o = x * y;
+                    }
                 }
             }
-            let recv = self.pes[index]
-                .buffers
-                .get_mut("recv_buffer")
-                .ok_or_else(|| err("missing recv_buffer"))?;
-            let base = slot * chunk_size;
-            if base + chunk_size > recv.len() {
-                return Err(err("receive buffer overflow"));
+            pe[dest.range(chunk_offset)].copy_from_slice(out);
+        }
+        LinkedInstr::Macs { dest, acc, src, coeff } => {
+            let out = &mut scratch[..dest.len as usize];
+            let va = &pe[acc.range(chunk_offset)];
+            let vs = &pe[src.range(chunk_offset)];
+            for ((o, a), s) in out.iter_mut().zip(va).zip(vs) {
+                *o = a + s * coeff;
             }
-            recv[base..base + chunk_size].copy_from_slice(&data);
+            pe[dest.range(chunk_offset)].copy_from_slice(out);
         }
-        Ok(())
-    }
-
-    fn read_view(pe: &PeState, view: &ViewRef, chunk_offset: i64) -> Result<Vec<f32>, ExecError> {
-        let buf = pe
-            .buffers
-            .get(&view.buffer)
-            .ok_or_else(|| err(format!("unknown buffer {}", view.buffer)))?;
-        let offset = view.offset + if view.dynamic { chunk_offset } else { 0 };
-        let start = offset as usize;
-        let end = start + view.len as usize;
-        if end > buf.len() {
-            return Err(err(format!(
-                "view [{start}, {end}) out of bounds for buffer {} (len {})",
-                view.buffer,
-                buf.len()
-            )));
-        }
-        Ok(buf[start..end].to_vec())
-    }
-
-    fn write_view(
-        pe: &mut PeState,
-        view: &ViewRef,
-        chunk_offset: i64,
-        data: &[f32],
-    ) -> Result<(), ExecError> {
-        let buf = pe
-            .buffers
-            .get_mut(&view.buffer)
-            .ok_or_else(|| err(format!("unknown buffer {}", view.buffer)))?;
-        let offset = view.offset + if view.dynamic { chunk_offset } else { 0 };
-        let start = offset as usize;
-        let end = start + view.len as usize;
-        if end > buf.len() {
-            return Err(err(format!(
-                "view [{start}, {end}) out of bounds for buffer {} (len {})",
-                view.buffer,
-                buf.len()
-            )));
-        }
-        buf[start..end].copy_from_slice(data);
-        Ok(())
-    }
-
-    fn execute(pe: &mut PeState, instr: &Instr, chunk_offset: i64) -> Result<(), ExecError> {
-        match instr {
-            Instr::Movs { dest, src } => {
-                let data = match src {
-                    Src::View(view) => Self::read_view(pe, view, chunk_offset)?,
-                    Src::Scalar(value) => vec![*value; dest.len as usize],
-                };
-                Self::write_view(pe, dest, chunk_offset, &data)
-            }
-            Instr::Binary { kind, dest, a, b } => {
-                let va = Self::read_view(pe, a, chunk_offset)?;
-                let vb = Self::read_view(pe, b, chunk_offset)?;
-                let out: Vec<f32> = va
-                    .iter()
-                    .zip(&vb)
-                    .map(|(x, y)| match kind {
-                        BinKind::Add => x + y,
-                        BinKind::Sub => x - y,
-                        BinKind::Mul => x * y,
-                    })
-                    .collect();
-                Self::write_view(pe, dest, chunk_offset, &out)
-            }
-            Instr::Macs { dest, acc, src, coeff } => {
-                let va = Self::read_view(pe, acc, chunk_offset)?;
-                let vs = Self::read_view(pe, src, chunk_offset)?;
-                let out: Vec<f32> = va.iter().zip(&vs).map(|(a, s)| a + s * coeff).collect();
-                Self::write_view(pe, dest, chunk_offset, &out)
-            }
-        }
-    }
-
-    /// Extracts a field as a dense 3-D array (for comparison against the
-    /// reference executor).
-    pub fn field(&self, name: &str) -> Option<Field3D> {
-        if !self.program.field_buffers.iter().any(|f| f == name) {
-            return None;
-        }
-        let mut out = Field3D::zeros(self.program.width, self.program.height, self.program.z_dim);
-        for y in 0..self.program.height {
-            for x in 0..self.program.width {
-                let pe = &self.pes[self.pe_index(x, y).expect("in range")];
-                let buf = pe.buffers.get(name)?;
-                for z in 0..self.program.z_dim {
-                    out.set(x, y, z, buf[(self.program.z_halo + z) as usize]);
-                }
-            }
-        }
-        Some(out)
-    }
-
-    /// Extracts every field as a [`GridState`].
-    pub fn grid_state(&self) -> GridState {
-        let names = self.program.field_buffers.clone();
-        let fields = names.iter().filter_map(|n| self.field(n)).collect();
-        GridState { names, fields }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interp::InterpGridSim;
     use crate::loader::load_program;
     use crate::reference::{max_abs_difference, run_reference};
     use wse_frontends::benchmarks::Benchmark;
@@ -296,10 +360,10 @@ mod tests {
         let program = benchmark.tiny_program();
         let lowered = lower_program(&program, options).unwrap();
         let loaded = load_program(&lowered.ctx, lowered.module).unwrap();
-        let mut sim = WseGridSim::new(loaded);
+        let mut sim = WseGridSim::new(loaded).unwrap();
         sim.run(None).unwrap();
         let reference = run_reference(&program, None);
-        (sim.grid_state(), reference)
+        (sim.grid_state().unwrap(), reference)
     }
 
     #[test]
@@ -344,5 +408,51 @@ mod tests {
         let (simulated, reference) = simulate(Benchmark::Uvkbe, &PipelineOptions::default());
         let diff = max_abs_difference(&simulated, &reference);
         assert!(diff < 1e-4, "uvkbe diverges by {diff}");
+    }
+
+    #[test]
+    fn linked_engine_is_bitwise_equal_to_legacy_interpreter() {
+        for benchmark in [Benchmark::Jacobian, Benchmark::Acoustic, Benchmark::Seismic25] {
+            let program = benchmark.tiny_program();
+            let options = PipelineOptions { num_chunks: 2, ..PipelineOptions::default() };
+            let lowered = lower_program(&program, &options).unwrap();
+            let loaded = load_program(&lowered.ctx, lowered.module).unwrap();
+            let mut linked = WseGridSim::new(loaded.clone()).unwrap();
+            linked.run(None).unwrap();
+            let mut interp = InterpGridSim::new(loaded);
+            interp.run(None).unwrap();
+            assert_eq!(
+                linked.grid_state().unwrap(),
+                interp.grid_state(),
+                "{}: engines disagree",
+                benchmark.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_execution_is_bitwise_deterministic() {
+        let program = Benchmark::Diffusion.tiny_program();
+        let lowered = lower_program(&program, &PipelineOptions::default()).unwrap();
+        let loaded = load_program(&lowered.ctx, lowered.module).unwrap();
+        let mut serial = WseGridSim::new(loaded.clone()).unwrap();
+        serial.set_threads(1);
+        serial.run(None).unwrap();
+        let mut parallel = WseGridSim::new(loaded).unwrap();
+        parallel.set_threads(3);
+        parallel.run(None).unwrap();
+        assert_eq!(serial.grid_state().unwrap(), parallel.grid_state().unwrap());
+    }
+
+    #[test]
+    fn unknown_field_is_an_error_not_a_silent_drop() {
+        let program = Benchmark::Jacobian.tiny_program();
+        let lowered = lower_program(&program, &PipelineOptions::default()).unwrap();
+        let loaded = load_program(&lowered.ctx, lowered.module).unwrap();
+        let sim = WseGridSim::new(loaded).unwrap();
+        let message = sim.field("missing").unwrap_err().message;
+        assert!(message.contains("not a field buffer"), "got: {message}");
+        assert!(sim.field("a").is_ok());
+        assert_eq!(sim.grid_state().unwrap().names, vec!["a".to_string()]);
     }
 }

@@ -6,8 +6,13 @@
 //! * [`machine`] — WSE2/WSE3 machine models plus the comparison devices;
 //! * [`loader`] — turns the final `csl` dialect program into an executable
 //!   per-PE program;
-//! * [`exec`] — functional lock-step execution of the PE grid (used to
-//!   validate generated code against the reference executor);
+//! * [`link`] — compiles the loaded program into a flat-memory form:
+//!   interned buffer ids, one arena per PE, resolved instruction streams
+//!   with all bounds validated up front;
+//! * [`exec`] — lock-step execution of the linked program over the PE grid
+//!   (used to validate generated code against the reference executor);
+//! * [`interp`] — the pre-refactor string-keyed interpreter, kept as the
+//!   baseline for the `sim_throughput` bench and engine-parity tests;
 //! * [`reference`] — a sequential reference executor over dense 3-D grids;
 //! * [`perf`] — the analytic cycle model (DSD throughput, fabric hops,
 //!   task activation overheads, WSE2 self-transmit penalty);
@@ -20,6 +25,8 @@
 
 pub mod baselines;
 pub mod exec;
+pub mod interp;
+pub mod link;
 pub mod loader;
 pub mod machine;
 pub mod perf;
@@ -27,6 +34,8 @@ pub mod reference;
 pub mod roofline;
 
 pub use exec::{ExecError, WseGridSim};
+pub use interp::InterpGridSim;
+pub use link::{link_program, LinkedProgram};
 pub use loader::{load_program, LoadError, LoadedProgram};
 pub use machine::{WseGeneration, WseMachine, A100, EPYC_7742_NODE};
 pub use perf::{estimate_performance, CycleBreakdown, PerfEstimate};

@@ -1,0 +1,635 @@
+//! Link phase of the two-phase simulator: resolves a [`LoadedProgram`]
+//! into a flat-memory [`LinkedProgram`].
+//!
+//! The loader produces a portable, string-keyed program (buffer names,
+//! per-kernel instruction lists, a communication spec).  Executing that
+//! form directly means hashing a buffer name on every operand of every
+//! instruction of every PE — which dominates simulation time.  Linking
+//! happens once, at load time:
+//!
+//! * every buffer name is interned into a dense [`BufferId`] and all of a
+//!   PE's buffers are laid out back to back in one flat `f32` arena
+//!   ([`BufferLayout`] records each buffer's base offset);
+//! * every [`ViewRef`] becomes a [`LinkedView`] — an absolute arena offset
+//!   plus a length and the dynamic-chunk-offset flag — and every
+//!   [`Instr`] becomes a [`LinkedInstr`] with all operands resolved;
+//! * the halo exchange is resolved into a [`LinkedComm`]: which interior
+//!   columns must be snapshotted ([`SnapField`]) and which snapshot column
+//!   each receive slot reads ([`LinkedSlot`]).
+//!
+//! All bounds are validated here (views inside their buffer even at the
+//! maximum dynamic chunk offset, receive slots inside the receive buffer,
+//! field buffers long enough for the interior), so the run phase in
+//! [`crate::exec`] needs no per-instruction error paths.
+//!
+//! [`Instr`]: crate::loader::Instr
+//! [`ViewRef`]: crate::loader::ViewRef
+
+use std::collections::HashMap;
+
+use crate::exec::ExecError;
+use crate::loader::{BinKind, CommSpec, Instr, LoadedProgram, Src, ViewRef};
+
+fn err(message: impl Into<String>) -> ExecError {
+    ExecError { message: message.into() }
+}
+
+/// Dense handle of a PE-local buffer: an index into [`LinkedProgram::layouts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub u32);
+
+/// Placement of one buffer inside the per-PE arena.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferLayout {
+    /// Buffer symbol (kept for diagnostics and field extraction).
+    pub name: String,
+    /// First element of the buffer in the arena.
+    pub base: usize,
+    /// Length in elements.
+    pub len: usize,
+    /// Initial fill value.
+    pub init: f32,
+}
+
+/// A fully resolved view: an absolute arena range instead of a buffer name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkedView {
+    /// Arena offset of the first element (buffer base + static view offset).
+    pub base: u32,
+    /// Number of elements.
+    pub len: u32,
+    /// Whether the runtime chunk offset is added to `base`.
+    pub dynamic: bool,
+}
+
+impl LinkedView {
+    /// The arena element range addressed at the given chunk offset.
+    #[inline]
+    pub fn range(&self, chunk_offset: usize) -> std::ops::Range<usize> {
+        let start = self.base as usize + if self.dynamic { chunk_offset } else { 0 };
+        start..start + self.len as usize
+    }
+}
+
+/// One resolved instruction.  Compared with [`Instr`], scalar and view
+/// moves are split so the run phase dispatches without inspecting a
+/// nested [`Src`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkedInstr {
+    /// `dest[i] = value` (a scalar `@fmovs`).
+    Fill {
+        /// Destination view.
+        dest: LinkedView,
+        /// Fill value.
+        value: f32,
+    },
+    /// `dest[i] = src[i]` (a view `@fmovs`; overlap behaves like memmove).
+    Copy {
+        /// Destination view.
+        dest: LinkedView,
+        /// Source view.
+        src: LinkedView,
+    },
+    /// `dest[i] = a[i] <op> b[i]`.
+    Binary {
+        /// Operation kind.
+        kind: BinKind,
+        /// Destination view.
+        dest: LinkedView,
+        /// First source.
+        a: LinkedView,
+        /// Second source.
+        b: LinkedView,
+    },
+    /// `dest[i] = acc[i] + src[i] * coeff`.
+    Macs {
+        /// Destination view.
+        dest: LinkedView,
+        /// Accumulator view.
+        acc: LinkedView,
+        /// Source view.
+        src: LinkedView,
+        /// Scalar coefficient.
+        coeff: f32,
+    },
+}
+
+/// One interior column captured by the pre-kernel snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapField {
+    /// Arena offset of the first interior element of the source buffer.
+    pub src_base: usize,
+    /// Elements copied from the buffer; the rest of the snapshot column is
+    /// zero-filled (matching the zero halo of out-of-range reads).
+    pub copy_len: usize,
+}
+
+/// One receive slot resolved against the snapshot layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkedSlot {
+    /// Index into [`LinkedComm::snap_fields`].
+    pub snap_index: usize,
+    /// Neighbor offset in x.
+    pub dx: i64,
+    /// Neighbor offset in y.
+    pub dy: i64,
+}
+
+/// The halo exchange of one kernel, resolved to arena and snapshot offsets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkedComm {
+    /// Number of chunks.
+    pub num_chunks: usize,
+    /// Chunk size in elements.
+    pub chunk_size: usize,
+    /// Arena offset of the receive buffer.
+    pub recv_base: usize,
+    /// Receive slots in buffer order.
+    pub slots: Vec<LinkedSlot>,
+    /// Interior columns the snapshot must capture (deduplicated fields).
+    pub snap_fields: Vec<SnapField>,
+    /// Snapshot column length per field per PE (`num_chunks * chunk_size`).
+    pub col_len: usize,
+}
+
+impl LinkedComm {
+    /// Snapshot elements required per PE for this exchange.
+    pub fn snap_len(&self) -> usize {
+        self.snap_fields.len() * self.col_len
+    }
+}
+
+/// One kernel with all callbacks resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkedKernel {
+    /// Instructions of the kernel body itself.
+    pub pre: Vec<LinkedInstr>,
+    /// The halo exchange, if any.
+    pub comm: Option<LinkedComm>,
+    /// Receive-chunk instructions (run once per chunk).
+    pub recv: Vec<LinkedInstr>,
+    /// Done-exchange instructions (run once).
+    pub done: Vec<LinkedInstr>,
+    /// Elements processed per PE per kernel invocation (used to decide
+    /// whether parallel execution is worthwhile).
+    pub work_per_pe: usize,
+}
+
+/// The executable flat-memory form of a program: phase 1 of the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkedProgram {
+    /// PE-grid extent in x.
+    pub width: i64,
+    /// PE-grid extent in y.
+    pub height: i64,
+    /// Interior column length per PE.
+    pub z_dim: i64,
+    /// Halo cells at each end of a column buffer.
+    pub z_halo: i64,
+    /// Number of timesteps.
+    pub timesteps: i64,
+    /// Arena elements per PE (sum of all buffer lengths).
+    pub arena_len: usize,
+    /// Buffer placements, in declaration order.
+    pub layouts: Vec<BufferLayout>,
+    /// Field buffers in field order, as layout indices.
+    pub field_ids: Vec<BufferId>,
+    /// Kernels in execution order.
+    pub kernels: Vec<LinkedKernel>,
+    /// Largest view length of any instruction (sizes the scratch buffer).
+    pub max_view_len: usize,
+    /// Largest per-PE snapshot of any kernel (sizes the snapshot buffer).
+    pub max_snap_len: usize,
+}
+
+/// Checks that `layouts` tile the arena without overlap or overflow.
+///
+/// `link_program` lays buffers out back to back, so this can only fail on
+/// a hand-constructed layout — it exists as a guard for future layout
+/// strategies (and is exercised directly by tests).
+pub fn validate_layouts(layouts: &[BufferLayout], arena_len: usize) -> Result<(), ExecError> {
+    let mut sorted: Vec<&BufferLayout> = layouts.iter().collect();
+    sorted.sort_by_key(|l| l.base);
+    let mut end = 0usize;
+    for layout in sorted {
+        if layout.base < end {
+            return Err(err(format!(
+                "buffer {} at [{}, {}) overlaps the previous buffer ending at {end}",
+                layout.name,
+                layout.base,
+                layout.base + layout.len
+            )));
+        }
+        end = layout.base + layout.len;
+    }
+    if end > arena_len {
+        return Err(err(format!(
+            "buffer layout ends at {end}, beyond the arena (len {arena_len})"
+        )));
+    }
+    Ok(())
+}
+
+/// Links a loaded program: interns buffer names, lays out the per-PE
+/// arena, resolves every instruction and the communication spec, and
+/// validates all bounds.
+pub fn link_program(program: &LoadedProgram) -> Result<LinkedProgram, ExecError> {
+    if program.width <= 0 || program.height <= 0 {
+        return Err(err(format!("invalid PE grid {}x{}", program.width, program.height)));
+    }
+    if program.z_dim < 0 || program.z_halo < 0 {
+        return Err(err("negative z_dim or z_halo"));
+    }
+
+    // Arena layout: buffers back to back in declaration order.
+    let mut layouts = Vec::with_capacity(program.buffers.len());
+    let mut by_name: HashMap<&str, BufferId> = HashMap::new();
+    let mut arena_len = 0usize;
+    for decl in &program.buffers {
+        if decl.len < 0 {
+            return Err(err(format!("buffer {} has negative length {}", decl.name, decl.len)));
+        }
+        if by_name.insert(&decl.name, BufferId(layouts.len() as u32)).is_some() {
+            return Err(err(format!(
+                "duplicate buffer {}: two buffers may not share one layout",
+                decl.name
+            )));
+        }
+        layouts.push(BufferLayout {
+            name: decl.name.clone(),
+            base: arena_len,
+            len: decl.len as usize,
+            init: decl.init,
+        });
+        arena_len += decl.len as usize;
+    }
+    validate_layouts(&layouts, arena_len)?;
+
+    // Field buffers must exist and hold the full interior column; a miss
+    // here was previously a silent drop during state extraction.
+    let mut field_ids = Vec::with_capacity(program.field_buffers.len());
+    for field in &program.field_buffers {
+        let id = *by_name
+            .get(field.as_str())
+            .ok_or_else(|| err(format!("unknown field buffer {field}")))?;
+        let layout = &layouts[id.0 as usize];
+        let needed = (program.z_halo + program.z_dim) as usize;
+        if layout.len < needed {
+            return Err(err(format!(
+                "field buffer {field} (len {}) is shorter than halo + interior ({needed})",
+                layout.len
+            )));
+        }
+        field_ids.push(id);
+    }
+
+    let mut kernels = Vec::with_capacity(program.kernels.len());
+    let mut max_view_len = 0usize;
+    let mut max_snap_len = 0usize;
+    for kernel in &program.kernels {
+        let comm = kernel
+            .comm
+            .as_ref()
+            .map(|c| {
+                link_comm(c, &by_name, &layouts, &program.field_buffers, program.z_halo as usize)
+            })
+            .transpose()?;
+        // Dynamic views only occur in receive callbacks; their largest
+        // runtime offset is reached on the final chunk.
+        let max_dyn = comm.as_ref().map(|c| (c.num_chunks - 1) * c.chunk_size).unwrap_or(0);
+        let pre = link_block(&kernel.pre, &by_name, &layouts, 0, &mut max_view_len)?;
+        let recv = link_block(&kernel.recv, &by_name, &layouts, max_dyn, &mut max_view_len)?;
+        let done = link_block(&kernel.done, &by_name, &layouts, 0, &mut max_view_len)?;
+
+        let elements =
+            |instrs: &[LinkedInstr]| -> usize { instrs.iter().map(instr_elements).sum() };
+        let mut work_per_pe = elements(&pre) + elements(&done);
+        if let Some(c) = &comm {
+            work_per_pe += c.num_chunks * (elements(&recv) + c.slots.len() * c.chunk_size);
+            max_snap_len = max_snap_len.max(c.snap_len());
+        }
+        kernels.push(LinkedKernel { pre, comm, recv, done, work_per_pe });
+    }
+
+    Ok(LinkedProgram {
+        width: program.width,
+        height: program.height,
+        z_dim: program.z_dim,
+        z_halo: program.z_halo,
+        timesteps: program.timesteps,
+        arena_len,
+        layouts,
+        field_ids,
+        kernels,
+        max_view_len,
+        max_snap_len,
+    })
+}
+
+fn instr_elements(instr: &LinkedInstr) -> usize {
+    match instr {
+        LinkedInstr::Fill { dest, .. }
+        | LinkedInstr::Copy { dest, .. }
+        | LinkedInstr::Binary { dest, .. }
+        | LinkedInstr::Macs { dest, .. } => dest.len as usize,
+    }
+}
+
+fn link_comm(
+    comm: &CommSpec,
+    by_name: &HashMap<&str, BufferId>,
+    layouts: &[BufferLayout],
+    field_buffers: &[String],
+    z_halo: usize,
+) -> Result<LinkedComm, ExecError> {
+    if comm.num_chunks < 1 || comm.chunk_size < 0 {
+        return Err(err(format!(
+            "invalid exchange: {} chunks of {} elements",
+            comm.num_chunks, comm.chunk_size
+        )));
+    }
+    let num_chunks = comm.num_chunks as usize;
+    let chunk_size = comm.chunk_size as usize;
+    let col_len = num_chunks * chunk_size;
+
+    let recv = *by_name.get("recv_buffer").ok_or_else(|| err("missing recv_buffer"))?;
+    let recv_layout = &layouts[recv.0 as usize];
+    if comm.slots.len() * chunk_size > recv_layout.len {
+        return Err(err(format!(
+            "receive buffer overflow: {} slots of {chunk_size} elements exceed recv_buffer \
+             (len {})",
+            comm.slots.len(),
+            recv_layout.len
+        )));
+    }
+
+    let mut snap_fields = Vec::new();
+    let mut snap_of: HashMap<&str, usize> = HashMap::new();
+    let mut slots = Vec::with_capacity(comm.slots.len());
+    for spec in &comm.slots {
+        // Slots may only transmit declared field buffers — a slot naming
+        // any other buffer (or an unknown one) is a malformed program.
+        if !field_buffers.iter().any(|f| f == &spec.field) {
+            return Err(err(format!("unknown field buffer {}", spec.field)));
+        }
+        let id = *by_name
+            .get(spec.field.as_str())
+            .ok_or_else(|| err(format!("unknown field buffer {}", spec.field)))?;
+        let layout = &layouts[id.0 as usize];
+        let snap_index = match snap_of.get(spec.field.as_str()) {
+            Some(&i) => i,
+            None => {
+                let start = z_halo.min(layout.len);
+                snap_fields.push(SnapField {
+                    src_base: layout.base + start,
+                    copy_len: col_len.min(layout.len - start),
+                });
+                snap_of.insert(&spec.field, snap_fields.len() - 1);
+                snap_fields.len() - 1
+            }
+        };
+        slots.push(LinkedSlot { snap_index, dx: spec.dx, dy: spec.dy });
+    }
+
+    Ok(LinkedComm {
+        num_chunks,
+        chunk_size,
+        recv_base: recv_layout.base,
+        slots,
+        snap_fields,
+        col_len,
+    })
+}
+
+fn link_block(
+    instrs: &[Instr],
+    by_name: &HashMap<&str, BufferId>,
+    layouts: &[BufferLayout],
+    max_dyn: usize,
+    max_view_len: &mut usize,
+) -> Result<Vec<LinkedInstr>, ExecError> {
+    let view = |v: &ViewRef| link_view(v, by_name, layouts, max_dyn);
+    let mut out = Vec::with_capacity(instrs.len());
+    for instr in instrs {
+        let linked = match instr {
+            Instr::Movs { dest, src } => {
+                let dest = view(dest)?;
+                match src {
+                    Src::Scalar(value) => LinkedInstr::Fill { dest, value: *value },
+                    Src::View(src) => {
+                        let src = view(src)?;
+                        require_same_len(dest, &[src])?;
+                        LinkedInstr::Copy { dest, src }
+                    }
+                }
+            }
+            Instr::Binary { kind, dest, a, b } => {
+                let (dest, a, b) = (view(dest)?, view(a)?, view(b)?);
+                require_same_len(dest, &[a, b])?;
+                LinkedInstr::Binary { kind: *kind, dest, a, b }
+            }
+            Instr::Macs { dest, acc, src, coeff } => {
+                let (dest, acc, src) = (view(dest)?, view(acc)?, view(src)?);
+                require_same_len(dest, &[acc, src])?;
+                LinkedInstr::Macs { dest, acc, src, coeff: *coeff }
+            }
+        };
+        *max_view_len = (*max_view_len).max(instr_elements(&linked));
+        out.push(linked);
+    }
+    Ok(out)
+}
+
+fn require_same_len(dest: LinkedView, srcs: &[LinkedView]) -> Result<(), ExecError> {
+    for src in srcs {
+        if src.len != dest.len {
+            return Err(err(format!(
+                "operand length mismatch: destination has {} elements, source has {}",
+                dest.len, src.len
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn link_view(
+    view: &ViewRef,
+    by_name: &HashMap<&str, BufferId>,
+    layouts: &[BufferLayout],
+    max_dyn: usize,
+) -> Result<LinkedView, ExecError> {
+    let id = *by_name
+        .get(view.buffer.as_str())
+        .ok_or_else(|| err(format!("unknown buffer {}", view.buffer)))?;
+    let layout = &layouts[id.0 as usize];
+    if view.offset < 0 || view.len < 0 {
+        return Err(err(format!(
+            "negative view [offset {}, len {}] of buffer {}",
+            view.offset, view.len, view.buffer
+        )));
+    }
+    let (offset, len) = (view.offset as usize, view.len as usize);
+    let reach = offset + if view.dynamic { max_dyn } else { 0 } + len;
+    if reach > layout.len {
+        return Err(err(format!(
+            "view [{offset}, {reach}) out of bounds for buffer {} (len {})",
+            view.buffer, layout.len
+        )));
+    }
+    Ok(LinkedView { base: (layout.base + offset) as u32, len: len as u32, dynamic: view.dynamic })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::{BufferDecl, LoadedKernel};
+
+    fn program_with(buffers: Vec<BufferDecl>, pre: Vec<Instr>) -> LoadedProgram {
+        LoadedProgram {
+            width: 2,
+            height: 2,
+            z_dim: 4,
+            z_halo: 1,
+            timesteps: 1,
+            buffers,
+            field_buffers: vec!["a".into()],
+            kernels: vec![LoadedKernel {
+                name: "seq_kernel0".into(),
+                pre,
+                comm: None,
+                recv: Vec::new(),
+                done: Vec::new(),
+            }],
+        }
+    }
+
+    fn decl(name: &str, len: i64) -> BufferDecl {
+        BufferDecl { name: name.into(), len, init: 0.0 }
+    }
+
+    fn view(buffer: &str, offset: i64, len: i64) -> ViewRef {
+        ViewRef { buffer: buffer.into(), offset, dynamic: false, len }
+    }
+
+    #[test]
+    fn links_a_minimal_program() {
+        let program = program_with(
+            vec![decl("a", 6), decl("b", 6)],
+            vec![Instr::Movs { dest: view("b", 0, 6), src: Src::View(view("a", 0, 6)) }],
+        );
+        let linked = link_program(&program).unwrap();
+        assert_eq!(linked.arena_len, 12);
+        assert_eq!(linked.layouts[1].base, 6, "buffers are laid out back to back");
+        assert_eq!(linked.field_ids, vec![BufferId(0)]);
+        assert_eq!(linked.max_view_len, 6);
+        assert_eq!(linked.kernels[0].work_per_pe, 6);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_views() {
+        let program = program_with(
+            vec![decl("a", 6), decl("b", 6)],
+            // Spills past the end of `a` into `b`'s arena region.
+            vec![Instr::Movs { dest: view("a", 4, 4), src: Src::Scalar(1.0) }],
+        );
+        let message = link_program(&program).unwrap_err().message;
+        assert!(message.contains("out of bounds"), "got: {message}");
+    }
+
+    #[test]
+    fn rejects_unknown_buffers_and_fields() {
+        let program = program_with(
+            vec![decl("a", 6)],
+            vec![Instr::Movs { dest: view("ghost", 0, 1), src: Src::Scalar(0.0) }],
+        );
+        assert!(link_program(&program).unwrap_err().message.contains("unknown buffer ghost"));
+
+        let mut missing_field = program_with(vec![decl("a", 6)], Vec::new());
+        missing_field.field_buffers = vec!["missing".into()];
+        let message = link_program(&missing_field).unwrap_err().message;
+        assert!(message.contains("unknown field buffer missing"), "got: {message}");
+    }
+
+    #[test]
+    fn rejects_overlapping_layouts() {
+        // Duplicate declarations would alias one arena region.
+        let program = program_with(vec![decl("a", 6), decl("a", 6)], Vec::new());
+        assert!(link_program(&program).unwrap_err().message.contains("duplicate buffer"));
+
+        // The defensive layout validator catches overlap and overflow in
+        // hand-built layouts.
+        let overlapping = vec![
+            BufferLayout { name: "a".into(), base: 0, len: 6, init: 0.0 },
+            BufferLayout { name: "b".into(), base: 4, len: 6, init: 0.0 },
+        ];
+        assert!(validate_layouts(&overlapping, 10).unwrap_err().message.contains("overlaps"));
+        let overflowing = vec![BufferLayout { name: "a".into(), base: 0, len: 8, init: 0.0 }];
+        assert!(validate_layouts(&overflowing, 6).unwrap_err().message.contains("beyond"));
+    }
+
+    #[test]
+    fn rejects_short_field_buffers_and_length_mismatches() {
+        // Field buffer shorter than halo + interior.
+        let short = program_with(vec![decl("a", 3)], Vec::new());
+        assert!(link_program(&short).unwrap_err().message.contains("shorter than"));
+
+        let mismatch = program_with(
+            vec![decl("a", 6), decl("b", 6)],
+            vec![Instr::Binary {
+                kind: BinKind::Add,
+                dest: view("b", 0, 4),
+                a: view("a", 0, 4),
+                b: view("a", 0, 3),
+            }],
+        );
+        assert!(link_program(&mismatch).unwrap_err().message.contains("length mismatch"));
+    }
+
+    #[test]
+    fn rejects_slots_over_non_field_buffers() {
+        use crate::loader::SlotSpec;
+        let mut program = program_with(vec![decl("a", 6), decl("recv_buffer", 8)], Vec::new());
+        program.kernels[0].comm = Some(CommSpec {
+            num_chunks: 1,
+            chunk_size: 4,
+            // recv_buffer exists but is not a declared field buffer.
+            slots: vec![SlotSpec { field: "recv_buffer".into(), dx: 1, dy: 0 }],
+            fields: vec!["a".into()],
+            pattern: 1,
+        });
+        let message = link_program(&program).unwrap_err().message;
+        assert!(message.contains("unknown field buffer recv_buffer"), "got: {message}");
+    }
+
+    #[test]
+    fn dynamic_views_are_checked_at_the_last_chunk() {
+        use crate::loader::SlotSpec;
+        let mut program = program_with(vec![decl("a", 6), decl("recv_buffer", 8)], Vec::new());
+        program.z_halo = 0;
+        program.kernels[0].comm = Some(CommSpec {
+            num_chunks: 2,
+            chunk_size: 2,
+            slots: vec![SlotSpec { field: "a".into(), dx: 1, dy: 0 }],
+            fields: vec!["a".into()],
+            pattern: 1,
+        });
+        // Reaches a[3 + 2 + 2) = a[..7) on the last chunk: out of bounds.
+        program.kernels[0].recv = vec![Instr::Movs {
+            dest: ViewRef { buffer: "a".into(), offset: 3, dynamic: true, len: 2 },
+            src: Src::Scalar(0.0),
+        }];
+        let message = link_program(&program).unwrap_err().message;
+        assert!(message.contains("out of bounds"), "got: {message}");
+
+        // One element earlier fits exactly.
+        program.kernels[0].recv = vec![Instr::Movs {
+            dest: ViewRef { buffer: "a".into(), offset: 2, dynamic: true, len: 2 },
+            src: Src::Scalar(0.0),
+        }];
+        let linked = link_program(&program).unwrap();
+        let comm = linked.kernels[0].comm.as_ref().unwrap();
+        assert_eq!(comm.col_len, 4);
+        assert_eq!(comm.snap_fields.len(), 1);
+        assert_eq!(comm.snap_fields[0].copy_len, 4);
+    }
+}

@@ -4,6 +4,16 @@
 //! The loader is the simulator's "SDK compiler": it walks the generated
 //! `csl.module` (tasks, functions, DSD builtins, the communicate call) and
 //! produces per-PE instruction lists plus the communication specification.
+//!
+//! The [`LoadedProgram`] it produces is the *portable* form of a program:
+//! buffers and views are still addressed by name, which keeps the
+//! structure easy to inspect, diff, and hand-construct in tests.  It is
+//! not what the simulator executes.  Execution is two-phase: the linker
+//! ([`crate::link`]) interns every name into a dense id, lays all of a
+//! PE's buffers out in one flat arena, resolves each [`Instr`] into an
+//! offset-based instruction, and validates all bounds; the engine
+//! ([`crate::exec`]) then runs that linked stream in place with no string
+//! lookups or per-instruction allocation.
 
 use std::collections::HashMap;
 

@@ -4,8 +4,15 @@
 //! providing the ground truth against which the WSE simulator's results are
 //! compared (out-of-range accesses read zero, matching the zero-initialized
 //! halos of the PE-local buffers).
+//!
+//! The inner loop is compiled rather than interpreted: each equation's
+//! expression tree is resolved once per run (field names to indices,
+//! offsets to linear strides), and interior points — where every access is
+//! statically in bounds — evaluate through direct indexing with no
+//! per-point branch or string comparison.  Only the thin boundary shell
+//! pays for zero-padded bounds checking.
 
-use wse_frontends::ast::StencilProgram;
+use wse_frontends::ast::{Expr, StencilProgram};
 
 /// A dense 3-D field of `f32` values over the program interior.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,12 +21,21 @@ pub struct Field3D {
     pub shape: (i64, i64, i64),
     /// Row-major data, indexed `[x][y][z]`.
     pub data: Vec<f32>,
+    /// Precomputed linear stride between consecutive x indices (`ny * nz`).
+    pub stride_x: i64,
+    /// Precomputed linear stride between consecutive y indices (`nz`).
+    pub stride_y: i64,
 }
 
 impl Field3D {
     /// Creates a zero-filled field.
     pub fn zeros(x: i64, y: i64, z: i64) -> Self {
-        Self { shape: (x, y, z), data: vec![0.0; (x * y * z) as usize] }
+        Self {
+            shape: (x, y, z),
+            data: vec![0.0; (x * y * z) as usize],
+            stride_x: y * z,
+            stride_y: z,
+        }
     }
 
     fn index(&self, x: i64, y: i64, z: i64) -> Option<usize> {
@@ -27,7 +43,7 @@ impl Field3D {
         if x < 0 || y < 0 || z < 0 || x >= nx || y >= ny || z >= nz {
             return None;
         }
-        Some(((x * ny + y) * nz + z) as usize)
+        Some((x * self.stride_x + y * self.stride_y + z) as usize)
     }
 
     /// Reads a value; out-of-range accesses return 0 (the halo value).
@@ -84,33 +100,141 @@ pub fn initial_state(program: &StencilProgram) -> GridState {
     GridState { names: program.fields.clone(), fields }
 }
 
+/// An expression with field names resolved to indices and offsets resolved
+/// to linear strides, so interior evaluation is pure index arithmetic.
+enum CompiledExpr {
+    Const(f32),
+    Access {
+        /// Index into `GridState::fields`.
+        field: usize,
+        /// Linear offset from the current point for in-bounds accesses.
+        rel: i64,
+        /// Original (dx, dy, dz) offset, used on the boundary shell.
+        offset: [i64; 3],
+    },
+    Add(Box<CompiledExpr>, Box<CompiledExpr>),
+    Sub(Box<CompiledExpr>, Box<CompiledExpr>),
+    Mul(Box<CompiledExpr>, Box<CompiledExpr>),
+}
+
+impl CompiledExpr {
+    fn compile(expr: &Expr, fields: &[String], stride_x: i64, stride_y: i64) -> CompiledExpr {
+        match expr {
+            Expr::Const(v) => CompiledExpr::Const(*v),
+            Expr::Access { field, offset } => CompiledExpr::Access {
+                field: fields.iter().position(|f| f == field).expect("validated input"),
+                rel: offset[0] * stride_x + offset[1] * stride_y + offset[2],
+                offset: *offset,
+            },
+            Expr::Add(a, b) => CompiledExpr::Add(
+                Box::new(Self::compile(a, fields, stride_x, stride_y)),
+                Box::new(Self::compile(b, fields, stride_x, stride_y)),
+            ),
+            Expr::Sub(a, b) => CompiledExpr::Sub(
+                Box::new(Self::compile(a, fields, stride_x, stride_y)),
+                Box::new(Self::compile(b, fields, stride_x, stride_y)),
+            ),
+            Expr::Mul(a, b) => CompiledExpr::Mul(
+                Box::new(Self::compile(a, fields, stride_x, stride_y)),
+                Box::new(Self::compile(b, fields, stride_x, stride_y)),
+            ),
+        }
+    }
+
+    /// Interior evaluation: every access is in bounds, so reads are direct
+    /// linear indexing off the current point's `base` index.
+    fn eval_fast(&self, fields: &[Field3D], base: i64) -> f32 {
+        match self {
+            CompiledExpr::Const(v) => *v,
+            CompiledExpr::Access { field, rel, .. } => fields[*field].data[(base + rel) as usize],
+            CompiledExpr::Add(a, b) => a.eval_fast(fields, base) + b.eval_fast(fields, base),
+            CompiledExpr::Sub(a, b) => a.eval_fast(fields, base) - b.eval_fast(fields, base),
+            CompiledExpr::Mul(a, b) => a.eval_fast(fields, base) * b.eval_fast(fields, base),
+        }
+    }
+
+    /// Boundary evaluation: out-of-range accesses read zero.
+    fn eval_slow(&self, fields: &[Field3D], x: i64, y: i64, z: i64) -> f32 {
+        match self {
+            CompiledExpr::Const(v) => *v,
+            CompiledExpr::Access { field, offset, .. } => {
+                fields[*field].get(x + offset[0], y + offset[1], z + offset[2])
+            }
+            CompiledExpr::Add(a, b) => a.eval_slow(fields, x, y, z) + b.eval_slow(fields, x, y, z),
+            CompiledExpr::Sub(a, b) => a.eval_slow(fields, x, y, z) - b.eval_slow(fields, x, y, z),
+            CompiledExpr::Mul(a, b) => a.eval_slow(fields, x, y, z) * b.eval_slow(fields, x, y, z),
+        }
+    }
+}
+
+/// One equation resolved for execution.
+struct CompiledEquation {
+    out: usize,
+    expr: CompiledExpr,
+    /// Stencil radius per dimension (max absolute access offset).
+    radius: [i64; 3],
+}
+
 /// Runs the program sequentially for its configured number of timesteps
 /// (or `override_timesteps` when provided) and returns the final state.
 pub fn run_reference(program: &StencilProgram, override_timesteps: Option<i64>) -> GridState {
     let mut state = initial_state(program);
     let timesteps = override_timesteps.unwrap_or(program.timesteps);
     let (nx, ny, nz) = (program.grid.x, program.grid.y, program.grid.z);
+    let (stride_x, stride_y) = (ny * nz, nz);
+
+    let equations: Vec<CompiledEquation> = program
+        .equations
+        .iter()
+        .map(|eq| {
+            let mut radius = [0i64; 3];
+            for (_, offset) in eq.expr.accesses() {
+                for d in 0..3 {
+                    radius[d] = radius[d].max(offset[d].abs());
+                }
+            }
+            CompiledEquation {
+                out: program.fields.iter().position(|f| f == &eq.output).expect("validated output"),
+                expr: CompiledExpr::compile(&eq.expr, &program.fields, stride_x, stride_y),
+                radius,
+            }
+        })
+        .collect();
+
+    // Double buffer: each equation writes the full output field into
+    // `next`, which is then swapped with the state (no per-step clone).
+    let mut next = Field3D::zeros(nx, ny, nz);
     for _ in 0..timesteps {
-        for eq in &program.equations {
-            let out_index =
-                program.fields.iter().position(|f| f == &eq.output).expect("validated output");
-            let mut next = state.fields[out_index].clone();
+        for eq in &equations {
+            let [rx, ry, rz] = eq.radius;
+            let z_lo = rz.min(nz);
+            let z_hi = (nz - rz).max(z_lo);
             for x in 0..nx {
                 for y in 0..ny {
-                    for z in 0..nz {
-                        let value = eq.expr.evaluate(&|field, offset| {
-                            let fi = program
-                                .fields
-                                .iter()
-                                .position(|f| f == field)
-                                .expect("validated input");
-                            state.fields[fi].get(x + offset[0], y + offset[1], z + offset[2])
-                        });
-                        next.set(x, y, z, value);
+                    let base = x * stride_x + y * stride_y;
+                    let interior_row = x >= rx && x < nx - rx && y >= ry && y < ny - ry;
+                    if interior_row {
+                        for z in 0..z_lo {
+                            next.data[(base + z) as usize] =
+                                eq.expr.eval_slow(&state.fields, x, y, z);
+                        }
+                        for z in z_lo..z_hi {
+                            next.data[(base + z) as usize] =
+                                eq.expr.eval_fast(&state.fields, base + z);
+                        }
+                        for z in z_hi..nz {
+                            next.data[(base + z) as usize] =
+                                eq.expr.eval_slow(&state.fields, x, y, z);
+                        }
+                    } else {
+                        for z in 0..nz {
+                            next.data[(base + z) as usize] =
+                                eq.expr.eval_slow(&state.fields, x, y, z);
+                        }
                     }
                 }
             }
-            state.fields[out_index] = next;
+            std::mem::swap(&mut state.fields[eq.out], &mut next);
         }
     }
     state
@@ -149,6 +273,14 @@ mod tests {
     }
 
     #[test]
+    fn strides_match_the_linear_layout() {
+        let mut f = Field3D::zeros(3, 4, 5);
+        assert_eq!((f.stride_x, f.stride_y), (20, 5));
+        f.set(2, 3, 4, 7.0);
+        assert_eq!(f.data[(2 * f.stride_x + 3 * f.stride_y + 4) as usize], 7.0);
+    }
+
+    #[test]
     fn jacobian_smooths_the_field() {
         let program = Benchmark::Jacobian.tiny_program();
         let before = initial_state(&program);
@@ -175,5 +307,48 @@ mod tests {
         let one = run_reference(&program, Some(1));
         let two = run_reference(&program, Some(2));
         assert!(max_abs_difference(&one, &two) > 0.0);
+    }
+
+    #[test]
+    fn fast_path_matches_a_pure_slow_path() {
+        // Evaluate every benchmark once with the interior fast path (the
+        // production `run_reference`) and once forcing the boundary-safe
+        // slow path at every point; the results must be bitwise equal.
+        for benchmark in Benchmark::ALL {
+            let program = benchmark.tiny_program();
+            let fast = run_reference(&program, Some(2));
+            let slow = run_reference_slow(&program, 2);
+            assert_eq!(fast, slow, "{}: fast path diverges", benchmark.name());
+        }
+    }
+
+    /// A deliberately naive executor using only bounds-checked reads.
+    fn run_reference_slow(program: &wse_frontends::ast::StencilProgram, steps: i64) -> GridState {
+        let mut state = initial_state(program);
+        let (nx, ny, nz) = (program.grid.x, program.grid.y, program.grid.z);
+        for _ in 0..steps {
+            for eq in &program.equations {
+                let out =
+                    program.fields.iter().position(|f| f == &eq.output).expect("validated output");
+                let mut next = state.fields[out].clone();
+                for x in 0..nx {
+                    for y in 0..ny {
+                        for z in 0..nz {
+                            let value = eq.expr.evaluate(&|field, offset| {
+                                let fi = program
+                                    .fields
+                                    .iter()
+                                    .position(|f| f == field)
+                                    .expect("validated input");
+                                state.fields[fi].get(x + offset[0], y + offset[1], z + offset[2])
+                            });
+                            next.set(x, y, z, value);
+                        }
+                    }
+                }
+                state.fields[out] = next;
+            }
+        }
+        state
     }
 }

@@ -18,6 +18,14 @@ pub fn black_box<T>(value: T) -> T {
     hint::black_box(value)
 }
 
+/// True when the bench binary was invoked with `--test` (as in
+/// `cargo bench -- --test`): every benchmark body runs exactly once as a
+/// smoke test, with no timing statistics.  Mirrors real criterion's test
+/// mode; bench files can also consult it to shrink their workloads.
+pub fn is_test_mode() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
+
 /// Entry point handed to every bench function; mirrors `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
@@ -99,10 +107,14 @@ where
 {
     // Keep full `cargo bench` runs fast: a handful of samples is enough for
     // the coarse-grained, compile-heavy workloads in this workspace.
-    let samples = sample_size.clamp(1, 10);
+    let samples = if is_test_mode() { 1 } else { sample_size.clamp(1, 10) };
     let mut bencher = Bencher { samples: Vec::new(), iters_per_sample: 1 };
     for _ in 0..samples {
         f(&mut bencher);
+    }
+    if is_test_mode() {
+        println!("  {id}: ok (test mode, 1 iteration)");
+        return;
     }
     if bencher.samples.is_empty() {
         println!("  {id}: no samples recorded");

@@ -1,0 +1,65 @@
+//! Property tests: the linked flat-memory engine must match the
+//! sequential reference executor across randomized grid sizes, chunk
+//! counts, and optimization settings (vendored proptest shim).
+
+use proptest::prelude::*;
+use wse_frontends::ast::StencilProgram;
+use wse_frontends::benchmarks::{diffusion, jacobian};
+use wse_lowering::{lower_program, PipelineOptions};
+use wse_sim::{load_program, max_abs_difference, run_reference, WseGridSim};
+
+/// Lowers, links, simulates, and returns the deviation from the reference.
+fn deviation(program: &StencilProgram, options: &PipelineOptions) -> f32 {
+    let lowered = lower_program(program, options).expect("lowering succeeds");
+    let loaded = load_program(&lowered.ctx, lowered.module).expect("loading succeeds");
+    let mut sim = WseGridSim::new(loaded).expect("program links");
+    sim.run(None).expect("simulation succeeds");
+    let simulated = sim.grid_state().expect("state extraction succeeds");
+    let reference = run_reference(program, None);
+    max_abs_difference(&simulated, &reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Jacobian across grid sizes, chunk counts, and fmacs fusion on/off.
+    #[test]
+    fn jacobian_linked_engine_matches_reference(
+        nx in 2i64..7,
+        ny in 2i64..7,
+        nz in 4i64..17,
+        steps in 1i64..4,
+        chunks in 1i64..5,
+        fusion in 0i64..2,
+    ) {
+        let program = jacobian(nx, ny, nz, steps);
+        let options = PipelineOptions {
+            num_chunks: chunks,
+            enable_fmac_fusion: fusion == 1,
+            ..PipelineOptions::default()
+        };
+        let diff = deviation(&program, &options);
+        prop_assert!(
+            diff < 1e-4,
+            "jacobian {nx}x{ny}x{nz} steps={steps} chunks={chunks} fusion={fusion} \
+             diverges by {diff}"
+        );
+    }
+
+    /// The 13-point diffusion stencil across grid sizes and chunk counts.
+    #[test]
+    fn diffusion_linked_engine_matches_reference(
+        nx in 3i64..7,
+        ny in 3i64..7,
+        nz in 4i64..15,
+        chunks in 1i64..4,
+    ) {
+        let program = diffusion(nx, ny, nz, 2);
+        let options = PipelineOptions { num_chunks: chunks, ..PipelineOptions::default() };
+        let diff = deviation(&program, &options);
+        prop_assert!(
+            diff < 1e-4,
+            "diffusion {nx}x{ny}x{nz} chunks={chunks} diverges by {diff}"
+        );
+    }
+}
