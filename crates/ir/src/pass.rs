@@ -138,6 +138,22 @@ impl PassManager {
 
     /// Runs all passes in order.  Stops and returns the first failure.
     pub fn run(&mut self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        self.run_with(ctx, module, &mut |_, _, _| Ok(()))
+    }
+
+    /// Runs all passes in order, invoking `after_each` with the pass name
+    /// and the module after every pass (after its verification, when
+    /// enabled).  An `Err` from the callback aborts the pipeline and is
+    /// attributed to that pass.  This is what turns external tooling —
+    /// e.g. the per-stage print→parse→print conformance check — into a
+    /// first-class pipeline observer instead of a re-implementation of
+    /// the pass sequence.
+    pub fn run_with(
+        &mut self,
+        ctx: &mut IrContext,
+        module: OpId,
+        after_each: &mut dyn FnMut(&str, &IrContext, OpId) -> Result<(), String>,
+    ) -> PassResult {
         self.statistics.clear();
         for pass in &self.passes {
             let start = Instant::now();
@@ -146,6 +162,7 @@ impl PassManager {
                 verify_or_error(ctx, module, &self.registry)
                     .map_err(|msg| PassError::new(pass.name(), msg))?;
             }
+            after_each(pass.name(), ctx, module).map_err(|msg| PassError::new(pass.name(), msg))?;
             self.statistics.push(PassStatistics {
                 name: pass.name().to_string(),
                 seconds: start.elapsed().as_secs_f64(),
@@ -258,6 +275,28 @@ mod tests {
         )));
         let err = pm.run(&mut ctx, module).unwrap_err();
         assert!(err.message.contains("verification error"));
+    }
+
+    #[test]
+    fn run_with_observes_every_pass_and_can_abort() {
+        let mut ctx = IrContext::new();
+        let module = make_module(&mut ctx);
+        let mut pm = PassManager::new()
+            .with_pass(Box::new(FnPass::new("one", |_: &mut IrContext, _| Ok(()))))
+            .with_pass(Box::new(FnPass::new("two", |_: &mut IrContext, _| Ok(()))));
+        let mut seen = Vec::new();
+        pm.run_with(&mut ctx, module, &mut |name, _, _| {
+            seen.push(name.to_string());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec!["one", "two"]);
+
+        let err = pm
+            .run_with(&mut ctx, module, &mut |name, _, _| Err(format!("reject {name}")))
+            .unwrap_err();
+        assert_eq!(err.pass, "one");
+        assert_eq!(err.message, "reject one");
     }
 
     #[test]

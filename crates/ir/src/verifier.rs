@@ -89,7 +89,8 @@ impl std::error::Error for VerifyError {}
 pub fn verify(ctx: &IrContext, root: OpId, registry: &DialectRegistry) -> Vec<VerifyError> {
     let mut errors = Vec::new();
     let mut defined: HashSet<ValueId> = HashSet::new();
-    verify_op(ctx, root, registry, &mut defined, &mut errors);
+    let mut scope_log: Vec<ValueId> = Vec::new();
+    verify_op(ctx, root, registry, &mut defined, &mut scope_log, &mut errors);
     errors
 }
 
@@ -122,6 +123,7 @@ fn verify_op(
     op: OpId,
     registry: &DialectRegistry,
     defined: &mut HashSet<ValueId>,
+    scope_log: &mut Vec<ValueId>,
     errors: &mut Vec<VerifyError>,
 ) {
     if !ctx.op_is_live(op) {
@@ -171,31 +173,41 @@ fn verify_op(
             }
         }
     }
-    // Parent/child link consistency for regions and blocks.
+    // Parent/child link consistency for regions and blocks.  Values
+    // defined inside a region (block arguments and nested op results) go
+    // out of scope when the region ends: nested regions may read outward,
+    // but sibling regions must not see each other's values.
     for &region in ctx.op_regions(op) {
         if ctx.region_parent_op(region) != Some(op) {
             error(errors, ctx, op, "region parent link is inconsistent");
         }
+        let scope_mark = scope_log.len();
         for &block in ctx.region_blocks(region) {
             if ctx.parent_region(block) != Some(region) {
                 error(errors, ctx, op, "block parent link is inconsistent");
             }
             for &arg in ctx.block_args(block) {
-                defined.insert(arg);
+                if defined.insert(arg) {
+                    scope_log.push(arg);
+                }
             }
             for &nested in ctx.block_ops(block) {
                 if ctx.parent_block(nested) != Some(block) {
                     error(errors, ctx, nested, "op parent link is inconsistent");
                 }
-                verify_op(ctx, nested, registry, defined, errors);
+                verify_op(ctx, nested, registry, defined, scope_log, errors);
             }
         }
+        for value in scope_log.drain(scope_mark..) {
+            defined.remove(&value);
+        }
     }
-    // Results become defined after the op (they were inserted during the
-    // nested walk for region-carrying ops, which is fine: regions execute
-    // "inside" the op).
+    // Results become defined after the op, in the *enclosing* scope (they
+    // stay visible to later siblings until the parent region ends).
     for &r in ctx.results(op) {
-        defined.insert(r);
+        if defined.insert(r) {
+            scope_log.push(r);
+        }
     }
     // Dialect-specific verification.
     if let Some(v) = registry.verifier_for(name) {
@@ -289,6 +301,104 @@ mod tests {
         assert_eq!(errors.len(), 1);
         assert!(errors[0].message.contains("missing `value`"));
         assert!(verify_or_error(&ctx, module, &registry).is_err());
+    }
+
+    /// Table-driven negative-path coverage: every structural rejection
+    /// class must surface as a typed [`VerifyError`] naming the problem —
+    /// no panics, no silent acceptance.  Classes marked (new) had no
+    /// dedicated test before this table existed.
+    #[test]
+    fn every_structural_rejection_class_is_reported() {
+        type Build = fn(&mut IrContext) -> OpId;
+        let cases: [(&str, Build, &str); 4] = [
+            (
+                "use before definition",
+                |ctx| {
+                    let (module, body) = {
+                        let m = ctx.create_op("builtin.module", vec![], vec![], AttrMap::new(), 1);
+                        (m, ctx.add_block(ctx.op_region(m, 0), vec![]))
+                    };
+                    let c = ctx.create_op(
+                        "arith.constant",
+                        vec![],
+                        vec![Type::f32()],
+                        AttrMap::new(),
+                        0,
+                    );
+                    let v = ctx.result(c, 0);
+                    let neg =
+                        ctx.create_op("arith.negf", vec![v], vec![Type::f32()], AttrMap::new(), 0);
+                    ctx.append_op(body, neg);
+                    ctx.append_op(body, c);
+                    module
+                },
+                "before its definition",
+            ),
+            (
+                "operand is a result of an erased op",
+                |ctx| {
+                    let module = ctx.create_op("builtin.module", vec![], vec![], AttrMap::new(), 1);
+                    let body = ctx.add_block(ctx.op_region(module, 0), vec![]);
+                    let c = ctx.create_op(
+                        "arith.constant",
+                        vec![],
+                        vec![Type::f32()],
+                        AttrMap::new(),
+                        0,
+                    );
+                    ctx.append_op(body, c);
+                    let v = ctx.result(c, 0);
+                    let neg =
+                        ctx.create_op("arith.negf", vec![v], vec![Type::f32()], AttrMap::new(), 0);
+                    ctx.append_op(body, neg);
+                    ctx.erase_op(c);
+                    module
+                },
+                "erased",
+            ),
+            (
+                "block argument used outside its enclosing block (new)",
+                |ctx| {
+                    let module = ctx.create_op("builtin.module", vec![], vec![], AttrMap::new(), 1);
+                    let body = ctx.add_block(ctx.op_region(module, 0), vec![]);
+                    // A block argument belonging to one function...
+                    let func_a = ctx.create_op("func.func", vec![], vec![], AttrMap::new(), 1);
+                    let block_a = ctx.add_block(ctx.op_region(func_a, 0), vec![Type::f32()]);
+                    let foreign_arg = ctx.block_args(block_a)[0];
+                    ctx.append_op(body, func_a);
+                    // ... is referenced from a sibling function's body.
+                    let func_b = ctx.create_op("func.func", vec![], vec![], AttrMap::new(), 1);
+                    let block_b = ctx.add_block(ctx.op_region(func_b, 0), vec![]);
+                    let escape =
+                        ctx.create_op("func.return", vec![foreign_arg], vec![], AttrMap::new(), 0);
+                    ctx.append_op(block_b, escape);
+                    ctx.append_op(body, func_b);
+                    module
+                },
+                "non-enclosing block",
+            ),
+            (
+                "operation name without a dialect prefix",
+                |ctx| {
+                    let module = ctx.create_op("builtin.module", vec![], vec![], AttrMap::new(), 1);
+                    let body = ctx.add_block(ctx.op_region(module, 0), vec![]);
+                    let bad = ctx.create_op("anonymous", vec![], vec![], AttrMap::new(), 0);
+                    ctx.append_op(body, bad);
+                    module
+                },
+                "not dialect qualified",
+            ),
+        ];
+        for (label, build, needle) in cases {
+            let mut ctx = IrContext::new();
+            let module = build(&mut ctx);
+            let errors = verify(&ctx, module, &DialectRegistry::new());
+            assert!(!errors.is_empty(), "{label}: malformed IR was accepted");
+            assert!(
+                errors.iter().any(|e| e.message.contains(needle)),
+                "{label}: diagnostics {errors:?} do not mention {needle:?}"
+            );
+        }
     }
 
     #[test]

@@ -60,12 +60,69 @@ fn find_fusable_pair(ctx: &IrContext, module: OpId) -> Option<(OpId, OpId)> {
             // feeding) for the fusion to be semantics-preserving.
             let all_supported =
                 uses.iter().all(|(op, _)| *op == consumer || ctx.op_name(*op) == stencil::STORE);
-            if all_supported && ctx.parent_block(producer) == ctx.parent_block(consumer) {
+            if all_supported
+                && ctx.parent_block(producer) == ctx.parent_block(consumer)
+                && fusion_is_safe(ctx, producer, consumer)
+            {
                 return Some((producer, consumer));
             }
         }
     }
     None
+}
+
+/// Whether inlining `producer` into `consumer` preserves semantics under
+/// the actor lowering, which splits a fused multi-output apply back into
+/// *sequential* kernels re-reading live field buffers.
+///
+/// Substituting the producer's expression into the consumer freezes it in
+/// terms of the producer's *input* values — but by the time the
+/// consumer's kernel runs, the producer's kernel has already written its
+/// output field.  Fusion is therefore unsafe when a field written by any
+/// producer result also backs one of the producer's operands (a
+/// self-updating stencil, e.g. `f = 0.2 * f[z-1]` followed by a read of
+/// `f`).  It is also unsafe when another apply sits between the pair,
+/// because fusion moves the producer (and its stores) down to the
+/// consumer's position, reordering them around that middle apply.
+fn fusion_is_safe(ctx: &IrContext, producer: OpId, consumer: OpId) -> bool {
+    // No other apply between producer and consumer in block order.
+    if let (Some(block), Some(lo), Some(hi)) = (
+        ctx.parent_block(producer),
+        ctx.op_index_in_block(producer),
+        ctx.op_index_in_block(consumer),
+    ) {
+        let between = &ctx.block_ops(block)[lo + 1..hi];
+        if between.iter().any(|&op| ctx.op_name(op) == stencil::APPLY) {
+            return false;
+        }
+    }
+    // No producer store target may back a producer operand.
+    let targets: Vec<ValueId> = ctx
+        .results(producer)
+        .iter()
+        .flat_map(|&r| ctx.uses_of(r))
+        .filter(|(op, _)| ctx.op_name(*op) == stencil::STORE)
+        .map(|(store, _)| ctx.operand(store, 1))
+        .collect();
+    !ctx.operands(producer)
+        .iter()
+        .any(|&operand| backing_field(ctx, operand).is_some_and(|field| targets.contains(&field)))
+}
+
+/// The `stencil.field` value backing an apply operand: the source of its
+/// defining load, or (for a forwarded apply result) that result's store
+/// target.
+fn backing_field(ctx: &IrContext, value: ValueId) -> Option<ValueId> {
+    let def = ctx.defining_op(value)?;
+    match ctx.op_name(def) {
+        name if name == stencil::LOAD => Some(ctx.operand(def, 0)),
+        name if name == stencil::APPLY => ctx
+            .uses_of(value)
+            .into_iter()
+            .find(|(op, idx)| ctx.op_name(*op) == stencil::STORE && *idx == 0)
+            .map(|(store, _)| ctx.operand(store, 1)),
+        _ => None,
+    }
 }
 
 fn fuse_applies(ctx: &mut IrContext, producer: OpId, consumer: OpId) -> Result<(), String> {
@@ -97,6 +154,7 @@ fn fuse_applies(ctx: &mut IrContext, producer: OpId, consumer: OpId) -> Result<(
     // Compose consumer combos.
     for combo in &consumer_combos {
         let mut terms: Vec<Term> = Vec::new();
+        let mut constant = combo.constant;
         for term in &combo.terms {
             match consumer_operand_map.get(&term.input) {
                 Some(OperandSource::Operand(pos)) => {
@@ -104,7 +162,9 @@ fn fuse_applies(ctx: &mut IrContext, producer: OpId, consumer: OpId) -> Result<(
                 }
                 Some(OperandSource::ProducerResult(res_idx)) => {
                     // Substitute the producer's combination, shifting its
-                    // offsets by the consumer access offset.
+                    // offsets by the consumer access offset and scaling
+                    // both its terms and its additive constant by the
+                    // consumer coefficient.
                     for inner in &producer_combos[*res_idx].terms {
                         let offset: Vec<i64> = inner
                             .offset
@@ -118,11 +178,12 @@ fn fuse_applies(ctx: &mut IrContext, producer: OpId, consumer: OpId) -> Result<(
                             coeff: inner.coeff * term.coeff,
                         });
                     }
+                    constant += term.coeff * producer_combos[*res_idx].constant;
                 }
                 None => return Err("inconsistent consumer operand map".into()),
             }
         }
-        fused_combos.push(LinearCombination { terms, constant: combo.constant }.simplified());
+        fused_combos.push(LinearCombination { terms, constant }.simplified());
     }
 
     // Result types: producer results then consumer results.

@@ -111,6 +111,16 @@ fn lower_function(
         if name != csl_stencil::APPLY && name != stencil::APPLY {
             continue;
         }
+        if ctx.results(op).len() != 1 {
+            // One kernel executes one combination writing one field; the
+            // csl_stencil conversion splits fused applies per output, so a
+            // multi-result apply here means a pass ordering bug upstream.
+            return Err(format!(
+                "apply with {} results reached the actor lowering (expected exactly 1; \
+                 multi-output applies must be split by convert-stencil-to-csl-stencil)",
+                ctx.results(op).len()
+            ));
+        }
         let result = ctx.result(op, 0);
         let store = ctx
             .uses_of(result)
@@ -233,12 +243,34 @@ fn lower_function(
             comm_fields.sort_unstable();
             comm_fields.dedup();
 
+            // Remote terms with a z-shift cannot be reduced chunk-by-chunk
+            // (the shifted read crosses chunk boundaries), so each such
+            // slot stages the neighbor's full column into a dedicated
+            // buffer and is reduced in the done-exchange callback instead.
+            let mut staged_cols: HashMap<usize, ValueId> = HashMap::new();
+            {
+                let mut mb = OpBuilder::at_end(ctx, program_body);
+                for (slot, term) in remote_terms.iter().enumerate() {
+                    if term.dz() != 0 {
+                        let col = csl::zeros(
+                            &mut mb,
+                            &format!("remote_col{k}_{slot}"),
+                            Type::memref(vec![z_interior], Type::f32()),
+                        );
+                        staged_cols.insert(slot, col);
+                    }
+                }
+            }
+
             // ---- seq_kernel{k}: reset accumulator, start the exchange.
             let mut mb = OpBuilder::at_end(ctx, program_body);
             let (_f, body) = csl::build_func(&mut mb, &format!("seq_kernel{k}"), vec![]);
             let mut fb = OpBuilder::at_end(ctx, body);
-            let zero = arith::constant_f32(&mut fb, 0.0, Type::f32());
-            linalg::fill(&mut fb, zero, acc_buf);
+            // The accumulator starts at the combination's additive
+            // constant (zero for every paper benchmark, but not for
+            // generated workloads).
+            let init = arith::constant_f32(&mut fb, combo.constant, Type::f32());
+            linalg::fill(&mut fb, init, acc_buf);
             let comm_operands: Vec<ValueId> =
                 comm_fields.iter().map(|&f| field_buffers[f as usize]).collect();
             let call = csl::member_call(
@@ -287,6 +319,14 @@ fn lower_function(
                 for (slot, term) in remote_terms.iter().enumerate() {
                     let recv_view =
                         memref::subview(&mut tb, recv_buf, slot as i64 * chunk_size, chunk);
+                    if let Some(&col) = staged_cols.get(&slot) {
+                        // z-shifted slot: stage this chunk of the
+                        // neighbor column; the reduction happens in the
+                        // done-exchange callback with the z-shift applied.
+                        let col_view = memref::subview_dynamic(&mut tb, col, offset_arg, chunk);
+                        linalg::copy(&mut tb, recv_view, col_view);
+                        continue;
+                    }
                     emit_scaled_accumulate(
                         &mut tb,
                         &mut coeff_buffers,
@@ -313,6 +353,32 @@ fn lower_function(
             );
             {
                 let mut tb = OpBuilder::at_end(ctx, done_body);
+                // z-shifted remote slots: acc[z] += coeff * col[z + dz]
+                // over the overlap; outside it the neighbor column reads
+                // zero (matching the reference executor's zero halo), so
+                // those elements contribute nothing.
+                for (slot, term) in remote_terms.iter().enumerate() {
+                    let Some(&col) = staged_cols.get(&slot) else { continue };
+                    let dz = term.dz();
+                    let lo = (-dz).max(0);
+                    let hi = z_interior.min(z_interior - dz);
+                    if hi <= lo {
+                        continue;
+                    }
+                    let len = hi - lo;
+                    let src_view = memref::subview(&mut tb, col, lo + dz, len);
+                    let dest_view = memref::subview(&mut tb, acc_buf, lo, len);
+                    emit_scaled_accumulate(
+                        &mut tb,
+                        &mut coeff_buffers,
+                        program_body,
+                        src_view,
+                        term.coeff,
+                        dest_view,
+                        scratch_buf,
+                        len,
+                    );
+                }
                 for term in &local_terms {
                     let src_buf = field_buffers[info.operand_fields[term.input]];
                     let src_view =
@@ -342,8 +408,8 @@ fn lower_function(
             let (_f, body) = csl::build_func(&mut mb, &format!("seq_kernel{k}"), vec![]);
             {
                 let mut fb = OpBuilder::at_end(ctx, body);
-                let zero = arith::constant_f32(&mut fb, 0.0, Type::f32());
-                linalg::fill(&mut fb, zero, acc_buf);
+                let init = arith::constant_f32(&mut fb, combo.constant, Type::f32());
+                linalg::fill(&mut fb, init, acc_buf);
                 for term in &local_terms {
                     let src_buf = field_buffers[info.operand_fields[term.input]];
                     let src_view =

@@ -57,8 +57,12 @@ impl Pass for ConvertStencilToCslStencil {
             let combos = apply_combinations(ctx, apply).ok_or_else(|| {
                 PassError::new(self.name(), "apply is missing the cached stencil_terms analysis")
             })?;
-            if combos.iter().all(|c| c.remote_terms().is_empty()) {
-                continue; // purely local compute stays a stencil.apply
+            if combos.iter().all(|c| c.remote_terms().is_empty()) && ctx.results(apply).len() <= 1 {
+                // Purely local single-output compute stays a stencil.apply.
+                // Multi-output applies still go through the conversion so
+                // they are split per output: the actor lowering executes
+                // one kernel (and one store) per apply result.
+                continue;
             }
             convert_apply(ctx, apply, &combos, self.options)
                 .map_err(|m| PassError::new(self.name(), m))?;
@@ -308,12 +312,15 @@ impl Pass for WrapInCslWrapper {
         let mut z_dim = 1;
         let mut pattern = 1;
         let mut num_chunks = 1;
-        let mut chunk_size = 1;
+        // 0 is the "no communicating apply declared a chunk size" sentinel;
+        // a real chunk size of 1 (z split into z chunks) must be preserved,
+        // so 1 cannot double as the sentinel.
+        let mut chunk_size = 0;
         let mut fields = 0;
         for &apply in &applies {
             z_dim = z_dim.max(ctx.attr_int(apply, "z_interior").unwrap_or(1));
             num_chunks = num_chunks.max(csl_stencil::num_chunks(ctx, apply));
-            chunk_size = chunk_size.max(ctx.attr_int(apply, "chunk_size").unwrap_or(1));
+            chunk_size = chunk_size.max(ctx.attr_int(apply, "chunk_size").unwrap_or(0));
             pattern = pattern
                 .max(csl_stencil::swaps_of(ctx, apply).iter().map(|e| e.width).max().unwrap_or(1));
             fields += 1;
@@ -321,7 +328,7 @@ impl Pass for WrapInCslWrapper {
         for &apply in &ctx.walk_named(module, stencil::APPLY) {
             z_dim = z_dim.max(ctx.attr_int(apply, "z_interior").unwrap_or(1));
         }
-        if chunk_size == 1 {
+        if chunk_size == 0 {
             chunk_size = z_dim;
         }
 

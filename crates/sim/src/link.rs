@@ -601,6 +601,88 @@ mod tests {
         assert!(message.contains("unknown field buffer recv_buffer"), "got: {message}");
     }
 
+    /// Table-driven negative-path coverage: every rejection class of the
+    /// linker must produce a typed [`ExecError`] whose message names the
+    /// problem — no panics, no silent acceptance.  Classes marked (new)
+    /// had no test before this table existed.
+    #[test]
+    fn every_rejection_class_is_a_typed_error() {
+        use crate::loader::SlotSpec;
+        type Mutate = fn(&mut LoadedProgram);
+        let cases: [(&str, Mutate, &str); 9] = [
+            ("zero-width PE grid (new)", |p| p.width = 0, "invalid PE grid"),
+            ("negative grid height (new)", |p| p.height = -3, "invalid PE grid"),
+            ("negative z dimension (new)", |p| p.z_dim = -1, "negative z_dim"),
+            ("negative z halo (new)", |p| p.z_halo = -2, "negative z_dim or z_halo"),
+            ("negative buffer length (new)", |p| p.buffers[0].len = -6, "negative length"),
+            (
+                "negative view offset (new)",
+                |p| {
+                    p.kernels[0].pre = vec![Instr::Movs {
+                        dest: ViewRef { buffer: "a".into(), offset: -1, dynamic: false, len: 2 },
+                        src: Src::Scalar(0.0),
+                    }];
+                },
+                "negative view",
+            ),
+            (
+                "zero-chunk exchange (new)",
+                |p| {
+                    p.buffers.push(BufferDecl { name: "recv_buffer".into(), len: 8, init: 0.0 });
+                    p.kernels[0].comm = Some(CommSpec {
+                        num_chunks: 0,
+                        chunk_size: 4,
+                        slots: vec![],
+                        fields: vec!["a".into()],
+                        pattern: 1,
+                    });
+                },
+                "invalid exchange",
+            ),
+            (
+                "receive buffer overflow (new)",
+                |p| {
+                    p.buffers.push(BufferDecl { name: "recv_buffer".into(), len: 4, init: 0.0 });
+                    p.kernels[0].comm = Some(CommSpec {
+                        num_chunks: 1,
+                        chunk_size: 4,
+                        slots: vec![
+                            SlotSpec { field: "a".into(), dx: 1, dy: 0 },
+                            SlotSpec { field: "a".into(), dx: -1, dy: 0 },
+                        ],
+                        fields: vec!["a".into()],
+                        pattern: 1,
+                    });
+                },
+                "receive buffer overflow",
+            ),
+            (
+                "missing recv_buffer (new)",
+                |p| {
+                    p.kernels[0].comm = Some(CommSpec {
+                        num_chunks: 1,
+                        chunk_size: 4,
+                        slots: vec![SlotSpec { field: "a".into(), dx: 1, dy: 0 }],
+                        fields: vec!["a".into()],
+                        pattern: 1,
+                    });
+                },
+                "missing recv_buffer",
+            ),
+        ];
+        for (label, mutate, needle) in cases {
+            let mut program = program_with(vec![decl("a", 6)], Vec::new());
+            mutate(&mut program);
+            let error = link_program(&program)
+                .expect_err(&format!("{label}: malformed program was accepted"));
+            assert!(
+                error.message.contains(needle),
+                "{label}: diagnostic {:?} does not mention {needle:?}",
+                error.message
+            );
+        }
+    }
+
     #[test]
     fn dynamic_views_are_checked_at_the_last_chunk() {
         use crate::loader::SlotSpec;

@@ -1,0 +1,116 @@
+//! Differential conformance harness entry point.
+//!
+//! Runs `--cases N` seeded random programs (seeds `--seed .. --seed+N`)
+//! through the full pipeline and all three executors.  Prints one summary
+//! line per outcome class; on any non-conformant case it shrinks to a
+//! minimal reproducer, prints it (with parseable stencil IR) and exits
+//! with a non-zero status.
+//!
+//! Usage: `conformance [--cases N] [--seed S] [--verbose]`
+
+use testkit::{
+    generate_case_with, install_quiet_panic_hook, reproducer, run_case, shrink_case,
+    GeneratorConfig, Verdict,
+};
+
+fn main() {
+    let mut cases: u64 = 64;
+    let mut base_seed: u64 = 0;
+    let mut verbose = false;
+    let mut config = GeneratorConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cases" => cases = parse_number(args.next(), "--cases"),
+            "--seed" => base_seed = parse_number(args.next(), "--seed"),
+            "--verbose" => verbose = true,
+            // Wider workload space: larger grids/radii, more coupled
+            // equations, longer runs.  Slower per case; used for deeper
+            // local soaking, not the CI budget.
+            "--stress" => {
+                config = GeneratorConfig {
+                    max_grid_xy: 11,
+                    max_grid_z: 24,
+                    max_fields: 4,
+                    max_equations: 4,
+                    max_radius_xy: 4,
+                    max_radius_z: 4,
+                    max_timesteps: 4,
+                };
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: conformance [--cases N] [--seed S] [--stress] [--verbose]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    install_quiet_panic_hook();
+    let start = std::time::Instant::now();
+    let (mut passed, mut rejected, mut failed) = (0u64, 0u64, 0u64);
+    let mut worst_deviation = 0.0f32;
+
+    for seed in base_seed..base_seed + cases {
+        let case = generate_case_with(seed, &config);
+        let verdict = run_case(&case);
+        match &verdict {
+            Verdict::Pass { deviation } => {
+                passed += 1;
+                worst_deviation = worst_deviation.max(*deviation);
+                if verbose {
+                    println!("seed {seed}: pass (max |Δ| {deviation:.2e})");
+                }
+            }
+            Verdict::Rejected { stage, message } => {
+                rejected += 1;
+                if verbose {
+                    println!("seed {seed}: rejected by {stage}: {message}");
+                }
+            }
+            Verdict::Mismatch { .. } | Verdict::Panicked { .. } | Verdict::EngineFailure { .. } => {
+                failed += 1;
+                let (kind, detail) = match &verdict {
+                    Verdict::Panicked { detail } => ("PANIC", detail.clone()),
+                    Verdict::EngineFailure { stage, message } => {
+                        ("ENGINE FAILURE", format!("{stage}: {message}"))
+                    }
+                    Verdict::Mismatch { detail } => ("MISMATCH", detail.clone()),
+                    _ => unreachable!(),
+                };
+                println!("seed {seed}: {kind}: {detail}");
+                println!("shrinking ...");
+                let shrunk = shrink_case(&case, &|candidate| !run_case(candidate).is_conformant());
+                println!("{}", reproducer(&shrunk));
+                println!("final verdict on shrunk case: {:?}", run_case(&shrunk));
+            }
+        }
+    }
+
+    println!(
+        "conformance: {passed} passed, {rejected} rejected (typed), {failed} failed \
+         over {cases} cases in {:.1}s (worst pass deviation {worst_deviation:.2e})",
+        start.elapsed().as_secs_f64()
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+    // A run where (almost) nothing compiles is a silent loss of
+    // differential coverage, not a green result: only a small fraction of
+    // generated programs (the deliberately nonlinear ones) should be
+    // rejected.
+    if passed < cases / 2 {
+        println!(
+            "conformance: only {passed}/{cases} cases compiled and ran — differential \
+             coverage has collapsed; treating the run as failed"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn parse_number(value: Option<String>, flag: &str) -> u64 {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} requires a non-negative integer");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,248 @@
+//! The differential conformance driver.
+//!
+//! A case passes when the full pipeline (with `verify_each` enabled)
+//! either compiles the program and all three executors agree — the linked
+//! flat-memory engine ([`wse_sim::WseGridSim`]), the legacy string-keyed
+//! interpreter ([`wse_sim::InterpGridSim`]) and the sequential reference
+//! executor ([`wse_sim::run_reference`]) — or rejects it with a typed
+//! diagnostic.  Engine agreement is bitwise (both execute the same loaded
+//! instruction stream); reference agreement is within [`TOLERANCE`]
+//! (instruction scheduling reassociates the float reductions).
+//!
+//! Panics anywhere in the pipeline are caught and reported as
+//! [`Verdict::Panicked`]: a panic is always a conformance failure, even
+//! for invalid input — every rejection must be a typed error.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use wse_sim::{max_abs_difference, run_reference, GridState, InterpGridSim, WseGridSim};
+use wse_stencil::Compiler;
+
+use crate::generate::ConformanceCase;
+
+/// Maximum absolute deviation tolerated between the simulated PE grid and
+/// the sequential reference executor.
+pub const TOLERANCE: f32 = 1e-3;
+
+/// The outcome of one conformance case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Compiled and all executors agreed.
+    Pass {
+        /// Maximum absolute deviation of the linked engine from the
+        /// reference executor.
+        deviation: f32,
+    },
+    /// The pipeline rejected the program with a typed diagnostic — an
+    /// acceptable outcome (the diagnostic is carried for reporting).
+    Rejected {
+        /// Pipeline stage that rejected the program.
+        stage: String,
+        /// The diagnostic message.
+        message: String,
+    },
+    /// Executors disagreed: the pipeline miscompiled the program.
+    Mismatch {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// The compiler accepted the program but an executor then failed on
+    /// the artifact (link, run, or state extraction).  Unlike
+    /// [`Verdict::Rejected`] this is a conformance *failure*: a compiled
+    /// artifact the pipeline's own simulators cannot execute is a
+    /// pipeline defect, not a typed rejection of the input.
+    EngineFailure {
+        /// Which executor stage failed.
+        stage: String,
+        /// The executor's error message.
+        message: String,
+    },
+    /// Something panicked — never acceptable.
+    Panicked {
+        /// The captured panic payload.
+        detail: String,
+    },
+}
+
+impl Verdict {
+    /// True for outcomes that satisfy conformance (pass or typed reject).
+    pub fn is_conformant(&self) -> bool {
+        matches!(self, Verdict::Pass { .. } | Verdict::Rejected { .. })
+    }
+}
+
+std::thread_local! {
+    /// Whether the current thread is inside a `run_case` pipeline call.
+    static CAPTURING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// The most recent panic payload captured on this thread.
+    static LAST_PANIC: std::cell::RefCell<Option<String>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Installs a panic hook that, *only while a [`run_case`] pipeline call
+/// is executing on the panicking thread*, records the panic message
+/// (with location) instead of printing it.  Panics from anywhere else —
+/// including failing test assertions in binaries that use this crate —
+/// are forwarded to the previously installed hook, so normal diagnostics
+/// stay visible.  Idempotent; [`run_case`] installs it automatically.
+pub fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CAPTURING.with(|c| c.get()) {
+                previous(info);
+                return;
+            }
+            let message = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            let location = info.location().map(|l| format!(" at {l}")).unwrap_or_default();
+            LAST_PANIC.with(|p| *p.borrow_mut() = Some(format!("{message}{location}")));
+        }));
+    });
+}
+
+/// Runs one case through the full pipeline and all three executors.
+pub fn run_case(case: &ConformanceCase) -> Verdict {
+    install_quiet_panic_hook();
+    CAPTURING.with(|c| c.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| run_case_inner(case)));
+    CAPTURING.with(|c| c.set(false));
+    match result {
+        Ok(verdict) => verdict,
+        Err(payload) => {
+            let detail = LAST_PANIC
+                .with(|p| p.borrow_mut().take())
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Verdict::Panicked { detail }
+        }
+    }
+}
+
+fn run_case_inner(case: &ConformanceCase) -> Verdict {
+    let compiler = Compiler::new()
+        .target(case.options.target)
+        .num_chunks(case.options.num_chunks)
+        .fmac_fusion(case.options.enable_fmac_fusion)
+        .inlining(case.options.enable_inlining)
+        .coefficient_promotion(case.options.promote_coefficients)
+        .verify_each(true);
+    let artifact = match compiler.compile(&case.program) {
+        Ok(artifact) => artifact,
+        Err(e) => return Verdict::Rejected { stage: e.stage, message: e.message },
+    };
+
+    // From here on the compiler has accepted the program: any executor
+    // failure on its own artifact is a conformance failure, not a typed
+    // rejection of the input.
+    let loaded = artifact.loaded_program().clone();
+    let mut linked = match WseGridSim::new(loaded.clone()) {
+        Ok(sim) => sim,
+        Err(e) => return Verdict::EngineFailure { stage: "link".into(), message: e.message },
+    };
+    if let Err(e) = linked.run(None) {
+        return Verdict::EngineFailure { stage: "execute".into(), message: e.message };
+    }
+    let linked_state = match linked.grid_state() {
+        Ok(state) => state,
+        Err(e) => return Verdict::EngineFailure { stage: "extract".into(), message: e.message },
+    };
+
+    let mut interp = InterpGridSim::new(loaded);
+    if let Err(e) = interp.run(None) {
+        return Verdict::EngineFailure { stage: "interp".into(), message: e.message };
+    }
+    let interp_state = interp.grid_state();
+
+    if let Some(detail) = bitwise_difference(&linked_state, &interp_state) {
+        return Verdict::Mismatch { detail: format!("linked vs interp (bitwise): {detail}") };
+    }
+
+    let reference = run_reference(&case.program, None);
+    let deviation = max_abs_difference(&linked_state, &reference);
+    if !deviation.is_finite() || deviation > TOLERANCE {
+        return Verdict::Mismatch {
+            detail: format!("linked vs reference: max |Δ| = {deviation} (tolerance {TOLERANCE})"),
+        };
+    }
+    Verdict::Pass { deviation }
+}
+
+/// Returns a description of the first bitwise difference between two grid
+/// states, or `None` when they are bit-for-bit identical.
+pub fn bitwise_difference(a: &GridState, b: &GridState) -> Option<String> {
+    if a.names != b.names {
+        return Some(format!("field sets differ: {:?} vs {:?}", a.names, b.names));
+    }
+    for (name, (fa, fb)) in a.names.iter().zip(a.fields.iter().zip(&b.fields)) {
+        if fa.shape != fb.shape {
+            return Some(format!("field {name}: shapes {:?} vs {:?}", fa.shape, fb.shape));
+        }
+        for (i, (x, y)) in fa.data.iter().zip(&fb.data).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Some(format!(
+                    "field {name}[{i}]: {x} ({:#010x}) vs {y} ({:#010x})",
+                    x.to_bits(),
+                    y.to_bits()
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_case;
+    use wse_frontends::benchmarks::Benchmark;
+    use wse_lowering::PipelineOptions;
+
+    #[test]
+    fn paper_benchmarks_are_conformant() {
+        install_quiet_panic_hook();
+        for benchmark in Benchmark::ALL {
+            let case = ConformanceCase {
+                seed: 0,
+                program: benchmark.tiny_program(),
+                options: PipelineOptions { num_chunks: 2, ..PipelineOptions::default() },
+            };
+            let verdict = run_case(&case);
+            assert!(matches!(verdict, Verdict::Pass { .. }), "{}: {verdict:?}", benchmark.name());
+        }
+    }
+
+    #[test]
+    fn invalid_program_is_a_typed_reject_not_a_panic() {
+        install_quiet_panic_hook();
+        let mut case = ConformanceCase {
+            seed: 0,
+            program: Benchmark::Jacobian.tiny_program(),
+            options: PipelineOptions::default(),
+        };
+        case.program.timesteps = 0;
+        match run_case(&case) {
+            Verdict::Rejected { stage, message } => {
+                assert_eq!(stage, "emit-stencil-ir");
+                assert!(message.contains("timesteps"), "got: {message}");
+            }
+            other => panic!("expected a typed rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_sample_of_generated_cases_is_conformant() {
+        install_quiet_panic_hook();
+        for seed in 0..16u64 {
+            let case = generate_case(seed);
+            let verdict = run_case(&case);
+            assert!(verdict.is_conformant(), "seed {seed}: {verdict:?}");
+        }
+    }
+}

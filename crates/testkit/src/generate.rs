@@ -1,0 +1,273 @@
+//! Seeded random stencil-workload generator.
+//!
+//! [`generate_case`] turns a seed into a [`ConformanceCase`]: a valid
+//! [`StencilProgram`] (arbitrary grid extents, star/box stencil shapes,
+//! asymmetric offsets, coupled multi-equation systems, optional additive
+//! constants) plus a randomized compiler configuration (chunk counts,
+//! optimization toggles, WSE2/WSE3 target).  The paper's five benchmarks
+//! only exercise a thin slice of the lowering surface; the generator's
+//! job is to cover the rest of it.
+//!
+//! Programs are contractive by construction: each equation's coefficients
+//! are normalized so their absolute sum stays below one.  Iterating a
+//! contraction keeps field values bounded, which keeps the differential
+//! tolerance meaningful (a program whose values blow up to 1e6 would hide
+//! real bugs inside float round-off).
+
+use wse_frontends::ast::{Expr, Frontend, GridSpec, StencilEquation, StencilProgram};
+use wse_lowering::{PipelineOptions, WseTarget};
+
+use crate::rng::Rng;
+
+/// Bounds on the generated workload space.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Maximum PE-grid extent per horizontal dimension.
+    pub max_grid_xy: i64,
+    /// Maximum PE-local column length.
+    pub max_grid_z: i64,
+    /// Maximum number of fields.
+    pub max_fields: usize,
+    /// Maximum number of equations per timestep.
+    pub max_equations: usize,
+    /// Maximum stencil radius in x/y (clamped below the grid extent).
+    pub max_radius_xy: i64,
+    /// Maximum stencil radius in z (clamped below the column length).
+    pub max_radius_z: i64,
+    /// Maximum number of timesteps.
+    pub max_timesteps: i64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            max_grid_xy: 7,
+            max_grid_z: 16,
+            max_fields: 3,
+            max_equations: 3,
+            max_radius_xy: 3,
+            max_radius_z: 3,
+            max_timesteps: 3,
+        }
+    }
+}
+
+/// One generated conformance case: the program and how to compile it.
+#[derive(Debug, Clone)]
+pub struct ConformanceCase {
+    /// Seed the case was generated from (0 for hand-built cases).
+    pub seed: u64,
+    /// The generated program.
+    pub program: StencilProgram,
+    /// The compiler configuration to push it through.
+    pub options: PipelineOptions,
+}
+
+/// The coefficient structure of one generated equation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    /// Offsets only along the axes (like all five paper benchmarks).
+    Star,
+    /// Any offset in the `[-r, r]` cube, including diagonals.
+    Box,
+}
+
+/// Generates the conformance case for `seed` under the default bounds.
+pub fn generate_case(seed: u64) -> ConformanceCase {
+    generate_case_with(seed, &GeneratorConfig::default())
+}
+
+/// Generates the conformance case for `seed` under explicit bounds.
+pub fn generate_case_with(seed: u64, config: &GeneratorConfig) -> ConformanceCase {
+    let mut rng = Rng::new(seed);
+
+    // Grid: occasionally degenerate (extent 1) to exercise local-only
+    // paths, otherwise large enough for remote offsets.
+    let nx = if rng.chance(0.08) { 1 } else { rng.int_in(2, config.max_grid_xy) };
+    let ny = if rng.chance(0.08) { 1 } else { rng.int_in(2, config.max_grid_xy) };
+    let nz = rng.int_in(4, config.max_grid_z);
+    let timesteps = rng.int_in(1, config.max_timesteps);
+
+    let num_fields = rng.int_in(1, config.max_fields as i64) as usize;
+    let fields: Vec<String> = (0..num_fields).map(|i| format!("f{i}")).collect();
+    let num_equations = rng.int_in(1, config.max_equations as i64) as usize;
+
+    let mut equations = Vec::with_capacity(num_equations);
+    for _ in 0..num_equations {
+        let output = rng.pick(&fields).clone();
+        equations.push(generate_equation(&mut rng, config, &fields, &output, nx, ny, nz));
+    }
+
+    let program = StencilProgram {
+        name: format!("gen_{seed}"),
+        frontend: Frontend::Csl,
+        grid: GridSpec::new(nx, ny, nz),
+        fields,
+        equations,
+        timesteps,
+        source: format!("# generated stencil workload, seed {seed}"),
+    };
+    debug_assert!(program.validate().is_ok(), "generator produced an invalid program");
+
+    let options = PipelineOptions {
+        target: if rng.chance(0.5) { WseTarget::Wse2 } else { WseTarget::Wse3 },
+        width: None,
+        height: None,
+        // Indivisible chunk counts are deliberately allowed: the pipeline
+        // must fall back to a single chunk, and the harness must agree
+        // with the reference either way.
+        num_chunks: rng.int_in(1, 4),
+        enable_inlining: rng.chance(0.75),
+        enable_varith: rng.chance(0.75),
+        enable_fmac_fusion: rng.chance(0.75),
+        promote_coefficients: rng.chance(0.75),
+        verify_each: true,
+    };
+
+    ConformanceCase { seed, program, options }
+}
+
+/// Generates one contractive linear-combination equation.
+fn generate_equation(
+    rng: &mut Rng,
+    config: &GeneratorConfig,
+    fields: &[String],
+    output: &str,
+    nx: i64,
+    ny: i64,
+    nz: i64,
+) -> StencilEquation {
+    let r_xy = config.max_radius_xy.min(nx - 1).min(ny - 1).max(0);
+    let r_z = config.max_radius_z.min(nz - 1).max(0);
+    let radius_xy = if r_xy > 0 { rng.int_in(0, r_xy) } else { 0 };
+    let radius_z = if r_z > 0 { rng.int_in(0, r_z) } else { 0 };
+    let shape = if rng.chance(0.35) { Shape::Box } else { Shape::Star };
+
+    // Candidate offsets for the shape; each is kept with some probability
+    // so the stencil can be sparse and asymmetric.
+    let mut offsets: Vec<[i64; 3]> = Vec::new();
+    match shape {
+        Shape::Star => {
+            for r in 1..=radius_xy {
+                offsets.extend([[r, 0, 0], [-r, 0, 0], [0, r, 0], [0, -r, 0]]);
+            }
+            for r in 1..=radius_z {
+                offsets.extend([[0, 0, r], [0, 0, -r]]);
+            }
+        }
+        Shape::Box => {
+            for dx in -radius_xy..=radius_xy {
+                for dy in -radius_xy..=radius_xy {
+                    for dz in -radius_z..=radius_z {
+                        if (dx, dy, dz) != (0, 0, 0) {
+                            offsets.push([dx, dy, dz]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let keep_probability = match shape {
+        Shape::Star => 0.8,
+        Shape::Box => 0.4,
+    };
+    let mut terms: Vec<(String, [i64; 3], f32)> = Vec::new();
+    if rng.chance(0.9) {
+        terms.push((rng.pick(fields).clone(), [0, 0, 0], rng.float_in(-1.0, 1.0)));
+    }
+    for offset in offsets {
+        if rng.chance(keep_probability) {
+            terms.push((rng.pick(fields).clone(), offset, rng.float_in(-1.0, 1.0)));
+        }
+    }
+
+    // Normalize to a contraction: sum of |coeff| stays below 1.
+    let total: f32 = terms.iter().map(|(_, _, c)| c.abs()).sum();
+    if total > 1.0 {
+        let scale = 1.0 / (total * 1.05);
+        for (_, _, c) in &mut terms {
+            *c *= scale;
+        }
+    }
+
+    let mut expr_terms: Vec<Expr> =
+        terms.iter().map(|(field, o, c)| Expr::at(field, o[0], o[1], o[2]).scale(*c)).collect();
+    // Occasionally add a small additive constant — no paper benchmark has
+    // one, which is exactly why the generator must.
+    if expr_terms.is_empty() || rng.chance(0.15) {
+        expr_terms.push(Expr::c(rng.float_in(-0.1, 0.1)));
+    }
+    // Rarely emit a nonlinear term (access * access).  The pipeline only
+    // supports linear combinations, so these programs must be *rejected
+    // with a typed diagnostic* — a panic anywhere is a conformance
+    // failure.  This keeps the rejection path under continuous test.
+    if rng.chance(0.04) {
+        let field = rng.pick(fields).clone();
+        expr_terms.push(Expr::Mul(Box::new(Expr::center(&field)), Box::new(Expr::center(&field))));
+    }
+    StencilEquation::new(output, Expr::sum(expr_terms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 17, 123_456_789] {
+            let a = generate_case(seed);
+            let b = generate_case(seed);
+            assert_eq!(a.program, b.program, "seed {seed} is not reproducible");
+            assert_eq!(a.options.num_chunks, b.options.num_chunks);
+            assert_eq!(a.options.target, b.options.target);
+        }
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        for seed in 0..256u64 {
+            let case = generate_case(seed);
+            case.program
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed} generated an invalid program: {e}"));
+            assert!(!case.program.equations.is_empty());
+        }
+    }
+
+    #[test]
+    fn generator_covers_the_shape_space() {
+        // Across a modest seed range we must see multi-equation systems,
+        // box stencils (diagonal offsets), radius > 1, constants, both
+        // targets, and chunked exchanges.
+        let cases: Vec<ConformanceCase> = (0..256).map(generate_case).collect();
+        assert!(cases.iter().any(|c| c.program.equations.len() > 1));
+        assert!(cases.iter().any(|c| c.program.fields.len() > 1));
+        assert!(cases.iter().any(|c| c.program.xy_radius() > 1));
+        assert!(cases.iter().any(|c| c.options.num_chunks > 1));
+        assert!(cases.iter().any(|c| c.options.target == WseTarget::Wse2));
+        assert!(cases.iter().any(|c| c.options.target == WseTarget::Wse3));
+        let has_diagonal = cases.iter().any(|c| {
+            c.program
+                .equations
+                .iter()
+                .any(|eq| eq.expr.accesses().iter().any(|(_, o)| o[0] != 0 && o[1] != 0))
+        });
+        assert!(has_diagonal, "box stencils must appear");
+        let has_constant = cases.iter().any(|c| {
+            c.program.equations.iter().any(|eq| eq.expr.flops() == 0 || contains_const(&eq.expr))
+        });
+        assert!(has_constant);
+    }
+
+    fn contains_const(e: &Expr) -> bool {
+        match e {
+            Expr::Const(c) => *c != 0.0,
+            Expr::Access { .. } => false,
+            Expr::Add(a, b) | Expr::Sub(a, b) => contains_const(a) || contains_const(b),
+            // A `scale` multiplies an access by a constant; only count
+            // additive constants (bare Const leaves under Add/Sub).
+            Expr::Mul(_, _) => false,
+        }
+    }
+}

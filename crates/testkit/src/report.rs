@@ -1,0 +1,70 @@
+//! Failure reporting: renders a shrunk conformance case as a
+//! self-contained, parseable reproducer.
+//!
+//! The report contains the seed, the compiler configuration, a compact
+//! description of the program, and — most importantly — the program's
+//! `stencil` dialect IR in the generic textual form, which
+//! [`wse_ir::parse_op`] parses back verbatim.  Pasting that IR into a
+//! test is enough to replay the failing lowering without the generator.
+
+use std::fmt::Write as _;
+
+use wse_frontends::emit_stencil_ir;
+use wse_ir::print_op;
+
+use crate::generate::ConformanceCase;
+
+/// Renders the reproducer for a (typically shrunk) failing case.
+pub fn reproducer(case: &ConformanceCase) -> String {
+    let mut out = String::new();
+    let p = &case.program;
+    let _ = writeln!(out, "=== conformance reproducer (seed {}) ===", case.seed);
+    let _ = writeln!(
+        out,
+        "grid: {}x{}x{}  timesteps: {}  fields: {:?}",
+        p.grid.x, p.grid.y, p.grid.z, p.timesteps, p.fields
+    );
+    let _ = writeln!(
+        out,
+        "options: target={} chunks={} inlining={} varith={} fmac_fusion={} promote_coeffs={}",
+        case.options.target.name(),
+        case.options.num_chunks,
+        case.options.enable_inlining,
+        case.options.enable_varith,
+        case.options.enable_fmac_fusion,
+        case.options.promote_coefficients,
+    );
+    for eq in &p.equations {
+        let _ = writeln!(out, "equation: {} <- {} term(s)", eq.output, eq.expr.accesses().len());
+    }
+    match emit_stencil_ir(p) {
+        Ok(ir) => {
+            let _ = writeln!(out, "--- stencil IR (parseable via wse_ir::parse_op) ---");
+            out.push_str(&print_op(&ir.ctx, ir.module));
+        }
+        Err(e) => {
+            let _ = writeln!(out, "--- stencil IR unavailable: emission failed: {e} ---");
+        }
+    }
+    let _ = writeln!(out, "=== end reproducer ===");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_case;
+    use wse_ir::{parse_op, IrContext};
+
+    #[test]
+    fn reproducer_ir_parses_back() {
+        let case = generate_case(5);
+        let report = reproducer(&case);
+        assert!(report.contains("seed 5"));
+        let ir_start = report.find("\"builtin.module\"").expect("report contains IR");
+        let ir_end = report.find("=== end reproducer ===").unwrap();
+        let mut ctx = IrContext::new();
+        let module = parse_op(&mut ctx, &report[ir_start..ir_end]).expect("IR round-trips");
+        assert_eq!(ctx.op_name(module), "builtin.module");
+    }
+}

@@ -1,0 +1,213 @@
+//! Greedy test-case shrinking.
+//!
+//! When a generated case fails conformance, [`shrink_case`] searches for a
+//! smaller case that still fails, so the reproducer attached to the
+//! report is close to minimal: fewer timesteps, a smaller grid, fewer
+//! equations, fewer terms, rounder coefficients, and default compiler
+//! options — whatever can be removed while preserving the failure.
+
+use wse_frontends::ast::{Expr, StencilProgram};
+
+use crate::generate::ConformanceCase;
+
+/// Shrinks `case` while `still_fails` holds, returning the smallest case
+/// found.  The predicate must treat panics as failures (the conformance
+/// driver's [`crate::conformance::run_case`] already does).
+pub fn shrink_case(
+    case: &ConformanceCase,
+    still_fails: &dyn Fn(&ConformanceCase) -> bool,
+) -> ConformanceCase {
+    let mut best = case.clone();
+    // Greedy fixpoint: retry the whole candidate list until no single
+    // transformation keeps the failure alive.  The budget bounds runtime
+    // on pathological predicates.
+    let mut budget = 500usize;
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&best) {
+            if budget == 0 {
+                return best;
+            }
+            budget -= 1;
+            if candidate.program.validate().is_ok() && still_fails(&candidate) {
+                best = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// All one-step shrink candidates of a case, most aggressive first.
+fn candidates(case: &ConformanceCase) -> Vec<ConformanceCase> {
+    let mut out = Vec::new();
+    let p = &case.program;
+
+    // Fewer timesteps.
+    if p.timesteps > 1 {
+        out.push(with_program(case, |p| p.timesteps = 1));
+        out.push(with_program(case, |p| p.timesteps -= 1));
+    }
+    // Smaller grid (halve, then decrement).
+    for (get, set) in AXES {
+        let extent = get(p);
+        if extent > 1 {
+            out.push(with_program(case, |p| set(p, (extent / 2).max(1))));
+            out.push(with_program(case, |p| set(p, extent - 1)));
+        }
+    }
+    // Drop whole equations.
+    if p.equations.len() > 1 {
+        for i in 0..p.equations.len() {
+            out.push(with_program(case, |p| {
+                p.equations.remove(i);
+            }));
+        }
+    }
+    // Drop unused fields.
+    if p.fields.len() > 1 {
+        for field in p.fields.clone() {
+            let used = p.equations.iter().any(|eq| {
+                eq.output == field || eq.expr.accesses().iter().any(|(f, _)| *f == field)
+            });
+            if !used {
+                out.push(with_program(case, |p| p.fields.retain(|f| *f != field)));
+            }
+        }
+    }
+    // Drop one term from one equation.
+    for (ei, eq) in p.equations.iter().enumerate() {
+        let terms = flatten_terms(&eq.expr);
+        if terms.len() > 1 {
+            for ti in 0..terms.len() {
+                let mut kept = terms.clone();
+                kept.remove(ti);
+                let rebuilt = rebuild(&kept);
+                out.push(with_program(case, |p| p.equations[ei].expr = rebuilt.clone()));
+            }
+        }
+        // Round coefficients to one decimal (keeps the failure readable).
+        let rounded: Vec<Expr> = terms.iter().map(|t| round_coefficients(t.clone())).collect();
+        if rebuild(&rounded) != eq.expr {
+            let rebuilt = rebuild(&rounded);
+            out.push(with_program(case, |p| p.equations[ei].expr = rebuilt.clone()));
+        }
+    }
+    // Simpler compiler options.
+    if case.options.num_chunks > 1 {
+        out.push(with_options(case, |o| o.num_chunks = 1));
+    }
+    let toggles: [fn(&mut wse_lowering::PipelineOptions); 4] = [
+        |o| o.enable_inlining = true,
+        |o| o.enable_varith = true,
+        |o| o.enable_fmac_fusion = true,
+        |o| o.promote_coefficients = true,
+    ];
+    for toggle in toggles {
+        let candidate = with_options(case, toggle);
+        if options_differ(&candidate.options, &case.options) {
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+/// The grid axes as accessor pairs (workaround for borrowck in the loop).
+type AxisGet = fn(&StencilProgram) -> i64;
+type AxisSet = fn(&mut StencilProgram, i64);
+const AXES: [(AxisGet, AxisSet); 3] = [
+    (|p| p.grid.x, |p, v| p.grid.x = v),
+    (|p| p.grid.y, |p, v| p.grid.y = v),
+    (|p| p.grid.z, |p, v| p.grid.z = v),
+];
+
+fn with_program(case: &ConformanceCase, edit: impl FnOnce(&mut StencilProgram)) -> ConformanceCase {
+    let mut out = case.clone();
+    edit(&mut out.program);
+    out
+}
+
+fn with_options(
+    case: &ConformanceCase,
+    edit: impl FnOnce(&mut wse_lowering::PipelineOptions),
+) -> ConformanceCase {
+    let mut out = case.clone();
+    edit(&mut out.options);
+    out
+}
+
+fn options_differ(a: &wse_lowering::PipelineOptions, b: &wse_lowering::PipelineOptions) -> bool {
+    a.num_chunks != b.num_chunks
+        || a.enable_inlining != b.enable_inlining
+        || a.enable_varith != b.enable_varith
+        || a.enable_fmac_fusion != b.enable_fmac_fusion
+        || a.promote_coefficients != b.promote_coefficients
+}
+
+/// Splits a sum-of-products expression into its additive terms.
+fn flatten_terms(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Add(a, b) => {
+            let mut out = flatten_terms(a);
+            out.extend(flatten_terms(b));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Rebuilds a sum from terms (empty sums become the constant 0).
+fn rebuild(terms: &[Expr]) -> Expr {
+    Expr::sum(terms.iter().cloned())
+}
+
+/// Rounds every constant inside a term to one decimal place.
+fn round_coefficients(expr: Expr) -> Expr {
+    match expr {
+        Expr::Const(c) => Expr::Const((c * 10.0).round() / 10.0),
+        Expr::Access { .. } => expr,
+        Expr::Add(a, b) => {
+            Expr::Add(Box::new(round_coefficients(*a)), Box::new(round_coefficients(*b)))
+        }
+        Expr::Sub(a, b) => {
+            Expr::Sub(Box::new(round_coefficients(*a)), Box::new(round_coefficients(*b)))
+        }
+        Expr::Mul(a, b) => {
+            Expr::Mul(Box::new(round_coefficients(*a)), Box::new(round_coefficients(*b)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_case;
+
+    #[test]
+    fn shrinking_reduces_a_case_under_an_artificial_failure() {
+        // Pretend any program with >= 2 equations "fails": the shrinker
+        // must reduce everything else to the floor while keeping 2
+        // equations alive.
+        let case = generate_case(11);
+        let failing = |c: &ConformanceCase| c.program.equations.len() >= 2;
+        if !failing(&case) {
+            return; // seed without a multi-equation program
+        }
+        let shrunk = shrink_case(&case, &failing);
+        assert_eq!(shrunk.program.equations.len(), 2);
+        assert_eq!(shrunk.program.timesteps, 1);
+        assert!(shrunk.program.validate().is_ok());
+        assert!(shrunk.program.grid.points() <= case.program.grid.points());
+    }
+
+    #[test]
+    fn shrinking_never_produces_an_invalid_program() {
+        let case = generate_case(3);
+        let shrunk = shrink_case(&case, &|c| c.program.grid.z >= 4);
+        assert!(shrunk.program.validate().is_ok());
+        assert_eq!(shrunk.program.grid.z, 4);
+    }
+}

@@ -1,0 +1,160 @@
+//! Pinned reproducers for every miscompilation the differential
+//! conformance harness (`crates/testkit`) has flushed out of the
+//! pipeline.  Each test is the shrunk form of a failing generated seed;
+//! together they pin six distinct bug classes that the five paper
+//! benchmarks never exercised.
+
+use testkit::{install_quiet_panic_hook, run_case, ConformanceCase, Verdict};
+use wse_frontends::ast::{Expr, Frontend, GridSpec, StencilEquation, StencilProgram};
+use wse_lowering::PipelineOptions;
+
+fn program(
+    grid: (i64, i64, i64),
+    fields: &[&str],
+    equations: Vec<StencilEquation>,
+    timesteps: i64,
+) -> StencilProgram {
+    let program = StencilProgram {
+        name: "regression".into(),
+        frontend: Frontend::Csl,
+        grid: GridSpec::new(grid.0, grid.1, grid.2),
+        fields: fields.iter().map(|f| f.to_string()).collect(),
+        equations,
+        timesteps,
+        source: String::new(),
+    };
+    program.validate().expect("regression programs are valid");
+    program
+}
+
+fn assert_passes(program: StencilProgram, options: PipelineOptions) {
+    install_quiet_panic_hook();
+    let case = ConformanceCase { seed: 0, program, options };
+    let verdict = run_case(&case);
+    assert!(matches!(verdict, Verdict::Pass { .. }), "verdict: {verdict:?}");
+}
+
+/// Bug 1 (shrunk from generated seed 44): a remote term with a z-offset
+/// (`f0[+1, 0, -2]`) had its z-shift silently dropped — the neighbor
+/// chunk was accumulated as if `dz = 0`.  All five paper benchmarks are
+/// star stencils whose remote terms live in the z = 0 plane, so this
+/// path was never executed before the generator hit it.
+#[test]
+fn remote_terms_with_z_offsets_are_shifted() {
+    let eq = StencilEquation::new("f0", Expr::at("f0", 1, 0, -2).scale(-0.1));
+    assert_passes(program((2, 1, 3), &["f0"], vec![eq], 2), PipelineOptions::default());
+}
+
+/// Bug 1, diagonal variant: box-shaped stencils communicate along
+/// diagonals with simultaneous z-shifts and multiple chunks.
+#[test]
+fn diagonal_remote_terms_with_z_offsets_and_chunks() {
+    let eq = StencilEquation::new(
+        "f0",
+        Expr::at("f0", 1, -1, 2).scale(0.2) + Expr::at("f0", -2, 2, -1).scale(-0.3),
+    );
+    assert_passes(
+        program((4, 4, 6), &["f0"], vec![eq], 2),
+        PipelineOptions { num_chunks: 3, ..PipelineOptions::default() },
+    );
+}
+
+/// Bug 2 (shrunk from generated seed 63): an equation whose right-hand
+/// side is (or contains) an additive constant lost the constant — the
+/// actor lowering always reset the accumulator to zero.
+#[test]
+fn additive_constants_survive_the_actor_lowering() {
+    let constant_only = StencilEquation::new("f0", Expr::c(0.025));
+    assert_passes(program((1, 1, 1), &["f0"], vec![constant_only], 1), PipelineOptions::default());
+    let mixed = StencilEquation::new("f0", Expr::at("f0", 1, 0, 0).scale(0.25) + Expr::c(-0.05));
+    assert_passes(
+        program((3, 3, 4), &["f0"], vec![mixed], 2),
+        PipelineOptions { num_chunks: 2, ..PipelineOptions::default() },
+    );
+}
+
+/// Bug 3 (shrunk from generated seed 3): inlining a *self-updating*
+/// producer (`f0 = 0.2 * f0[z-1]`) into a consumer reading `f0` freezes
+/// the consumer's expression in pre-update values, but the sequential
+/// kernel chain re-reads the live (already updated) buffer.  Such pairs
+/// must not be fused.
+#[test]
+fn self_updating_producers_are_not_inlined_incorrectly() {
+    let eqs = vec![
+        StencilEquation::new("f0", Expr::at("f0", 0, 0, -1).scale(0.2)),
+        StencilEquation::new("f0", Expr::center("f0").scale(0.3)),
+    ];
+    assert_passes(program((1, 1, 2), &["f0"], eqs, 2), PipelineOptions::default());
+}
+
+/// Bug 4 (shrunk from generated seed 115): splitting the column into
+/// z_dim chunks of one element collided with the wrapper's "chunk size
+/// not set" sentinel, which was also 1 — receive callbacks then read
+/// slot k at `recv_buffer[k * z_dim]` while the engine staged it at
+/// `recv_buffer[k]`.
+#[test]
+fn unit_chunk_sizes_are_not_conflated_with_the_default() {
+    let eq = StencilEquation::new(
+        "f2",
+        Expr::at("f2", 0, 2, 0).scale(0.1) + Expr::at("f2", 0, -2, 0).scale(-0.1),
+    );
+    assert_passes(
+        program((1, 3, 4), &["f2"], vec![eq], 1),
+        // z = 4 with 4 chunks => chunk_size = 1.
+        PipelineOptions { num_chunks: 4, ..PipelineOptions::default() },
+    );
+}
+
+/// Bug 5 (shrunk from generated seed 23, stress profile): a fused
+/// multi-output apply whose outputs are all PE-local skipped the
+/// csl_stencil conversion entirely, and the actor lowering silently
+/// executed only the first output.
+#[test]
+fn local_only_fused_applies_keep_every_output() {
+    let eqs = vec![
+        StencilEquation::new("f1", Expr::center("f0").scale(0.9)),
+        StencilEquation::new("f1", Expr::center("f1").scale(0.0)),
+    ];
+    assert_passes(program((1, 1, 1), &["f0", "f1"], eqs, 1), PipelineOptions::default());
+    // Cross-field chain variant (shrunk from stress seed 88).
+    let eqs = vec![
+        StencilEquation::new("f1", Expr::center("f2").scale(0.6)),
+        StencilEquation::new("f2", Expr::center("f1").scale(0.5)),
+    ];
+    assert_passes(program((1, 1, 1), &["f1", "f2"], eqs, 2), PipelineOptions::default());
+}
+
+/// Bug 6 (shrunk from generated seed 1553): inlining dropped the
+/// producer's additive constant — the consumer's combination kept only
+/// the scaled terms, so `f2 = -0.1; f1 = 0.3 * f2` computed `f1` from
+/// the stale initial value.
+#[test]
+fn inlining_propagates_the_producer_constant() {
+    let eqs = vec![
+        StencilEquation::new("f2", Expr::c(-0.1)),
+        StencilEquation::new("f1", Expr::center("f2").scale(0.3)),
+    ];
+    assert_passes(program((1, 1, 1), &["f1", "f2"], eqs, 1), PipelineOptions::default());
+}
+
+/// Nonlinear bodies must come back as typed diagnostics, never panics.
+#[test]
+fn nonlinear_bodies_are_rejected_with_a_typed_diagnostic() {
+    install_quiet_panic_hook();
+    let eq = StencilEquation::new(
+        "f0",
+        Expr::Mul(Box::new(Expr::center("f0")), Box::new(Expr::center("f0"))),
+    );
+    let case = ConformanceCase {
+        seed: 0,
+        program: program((3, 3, 4), &["f0"], vec![eq], 1),
+        options: PipelineOptions::default(),
+    };
+    match run_case(&case) {
+        Verdict::Rejected { stage, message } => {
+            assert_eq!(stage, "distribute-stencil");
+            assert!(message.contains("non-linear"), "got: {message}");
+        }
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+}

@@ -1,0 +1,154 @@
+//! Golden snapshot tests for the generated CSL sources.
+//!
+//! Every paper benchmark is compiled (tiny instance, two chunks, default
+//! optimizations) and each generated file — `pe_program.csl`,
+//! `layout.csl` and the specialized `stencil_comms.csl` runtime library —
+//! is compared *verbatim* against the snapshot committed under
+//! `tests/golden/<benchmark>/`.  Codegen drift therefore shows up as a
+//! reviewable diff in the pull request rather than as silent churn.
+//!
+//! To refresh the snapshots after an intentional codegen change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_csl
+//! ```
+//!
+//! and commit the resulting diff under `tests/golden/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use wse_stencil::{benchmarks::Benchmark, Compiler};
+
+/// The per-benchmark snapshot directory name.
+fn slug(benchmark: Benchmark) -> &'static str {
+    match benchmark {
+        Benchmark::Jacobian => "jacobian",
+        Benchmark::Diffusion => "diffusion",
+        Benchmark::Acoustic => "acoustic",
+        Benchmark::Seismic25 => "seismic25",
+        Benchmark::Uvkbe => "uvkbe",
+    }
+}
+
+fn golden_dir(benchmark: Benchmark) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(slug(benchmark))
+}
+
+fn check_benchmark(benchmark: Benchmark) {
+    let program = benchmark.tiny_program();
+    let artifact = Compiler::new()
+        .num_chunks(2)
+        .verify_each(true)
+        .compile(&program)
+        .unwrap_or_else(|e| panic!("{}: compilation failed: {e}", benchmark.name()));
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir(benchmark);
+    if update {
+        fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    assert!(!artifact.sources().files.is_empty(), "{}: no CSL sources generated", benchmark.name());
+    for file in &artifact.sources().files {
+        let path = dir.join(&file.name);
+        if update {
+            fs::write(&path, &file.content).expect("write golden file");
+            continue;
+        }
+        let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing golden snapshot {} ({e}); run UPDATE_GOLDEN=1 cargo test \
+                 --test golden_csl and commit the result",
+                benchmark.name(),
+                path.display()
+            )
+        });
+        assert!(
+            expected == file.content,
+            "{}: generated {} differs from its golden snapshot {}.\n\
+             If the change is intentional, refresh with:\n    \
+             UPDATE_GOLDEN=1 cargo test --test golden_csl\nFirst difference:\n{}",
+            benchmark.name(),
+            file.name,
+            path.display(),
+            first_diff(&expected, &file.content),
+        );
+    }
+    // The snapshot directory must contain *exactly* the emitted file set:
+    // a file dropped (or renamed) by codegen would otherwise leave a
+    // stale snapshot behind and silently shrink the golden coverage.
+    let emitted: std::collections::BTreeSet<String> =
+        artifact.sources().files.iter().map(|f| f.name.clone()).collect();
+    for entry in fs::read_dir(&dir).expect("golden dir exists") {
+        let entry = entry.expect("readable golden dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if emitted.contains(&name) {
+            continue;
+        }
+        if update {
+            fs::remove_file(entry.path()).expect("remove stale golden file");
+        } else {
+            panic!(
+                "{}: stale golden snapshot {} has no generated counterpart; \
+                 refresh with UPDATE_GOLDEN=1 cargo test --test golden_csl",
+                benchmark.name(),
+                entry.path().display()
+            );
+        }
+    }
+}
+
+/// Renders the first differing line for the assertion message.
+fn first_diff(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!("line {}:\n  golden:    {e}\n  generated: {a}", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: golden has {}, generated has {}",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+#[test]
+fn golden_jacobian() {
+    check_benchmark(Benchmark::Jacobian);
+}
+
+#[test]
+fn golden_diffusion() {
+    check_benchmark(Benchmark::Diffusion);
+}
+
+#[test]
+fn golden_acoustic() {
+    check_benchmark(Benchmark::Acoustic);
+}
+
+#[test]
+fn golden_seismic25() {
+    check_benchmark(Benchmark::Seismic25);
+}
+
+#[test]
+fn golden_uvkbe() {
+    check_benchmark(Benchmark::Uvkbe);
+}
+
+/// Codegen must be deterministic, otherwise verbatim snapshots could
+/// never hold: compile the same benchmark twice and compare every file.
+#[test]
+fn codegen_is_deterministic() {
+    for benchmark in Benchmark::ALL {
+        let compile =
+            || Compiler::new().num_chunks(2).compile(&benchmark.tiny_program()).expect("compiles");
+        let (a, b) = (compile(), compile());
+        assert_eq!(
+            a.sources().files,
+            b.sources().files,
+            "{}: codegen is nondeterministic",
+            benchmark.name()
+        );
+    }
+}

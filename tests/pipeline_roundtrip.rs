@@ -1,0 +1,92 @@
+//! Per-stage print→parse→print conformance.
+//!
+//! After *every* pass of [`wse_lowering::build_pass_manager`], the module
+//! is printed in the generic textual form, parsed back by
+//! [`wse_ir::parse_op`], and printed again — the two printouts must be
+//! identical (a print/parse fixpoint).  This turns the parser from a
+//! unit-test-only tool into a real conformance check over every
+//! intermediate representation the pipeline produces: stencil, dmp,
+//! tensorized, csl_stencil, csl_wrapper, linalg/memref and final csl
+//! forms all round-trip.
+
+use testkit::generate_case;
+use wse_frontends::{benchmarks::Benchmark, emit_stencil_ir, StencilProgram};
+use wse_ir::{parse_op, print_op, IrContext};
+use wse_lowering::{build_pass_manager, PipelineOptions};
+
+/// Asserts the fixpoint at every stage of the pipeline for `program`.
+fn assert_roundtrip_per_stage(program: &StencilProgram, options: &PipelineOptions, label: &str) {
+    let ir = emit_stencil_ir(program).unwrap_or_else(|e| panic!("{label}: emission failed: {e}"));
+    let mut ctx = ir.ctx;
+    let mut pm = build_pass_manager(program, options);
+    pm.run_with(&mut ctx, ir.module, &mut |pass, ctx, module| {
+        let printed = print_op(ctx, module);
+        let mut reparse_ctx = IrContext::new();
+        let reparsed = parse_op(&mut reparse_ctx, &printed)
+            .map_err(|e| format!("{label}: after {pass}: parser rejected printer output: {e}"))?;
+        // The reparsed module must satisfy the same structural and
+        // dialect invariants as the module it was printed from.
+        let errors = wse_ir::verify(&reparse_ctx, reparsed, &wse_csl::register_all());
+        if !errors.is_empty() {
+            return Err(format!(
+                "{label}: after {pass}: reparsed module fails verification: {errors:?}"
+            ));
+        }
+        let reprinted = print_op(&reparse_ctx, reparsed);
+        if printed != reprinted {
+            let diff = printed
+                .lines()
+                .zip(reprinted.lines())
+                .enumerate()
+                .find(|(_, (a, b))| a != b)
+                .map(|(i, (a, b))| format!("line {}:\n  printed:   {a}\n  reprinted: {b}", i + 1))
+                .unwrap_or_else(|| "line counts differ".to_string());
+            return Err(format!(
+                "{label}: after {pass}: print→parse→print is not a fixpoint\n{diff}"
+            ));
+        }
+        Ok(())
+    })
+    .unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn every_benchmark_roundtrips_after_every_pass() {
+    for benchmark in Benchmark::ALL {
+        let program = benchmark.tiny_program();
+        let options = PipelineOptions { num_chunks: 2, ..PipelineOptions::default() };
+        assert_roundtrip_per_stage(&program, &options, benchmark.name());
+    }
+}
+
+#[test]
+fn optimization_variants_roundtrip_after_every_pass() {
+    let program = Benchmark::Seismic25.tiny_program();
+    for (label, options) in [
+        ("no-fusion", PipelineOptions { enable_fmac_fusion: false, ..PipelineOptions::default() }),
+        ("no-varith", PipelineOptions { enable_varith: false, ..PipelineOptions::default() }),
+        (
+            "no-promote",
+            PipelineOptions { promote_coefficients: false, ..PipelineOptions::default() },
+        ),
+        ("no-inline", PipelineOptions { enable_inlining: false, ..PipelineOptions::default() }),
+    ] {
+        assert_roundtrip_per_stage(&program, &options, label);
+    }
+}
+
+#[test]
+fn generated_workloads_roundtrip_after_every_pass() {
+    let mut checked = 0;
+    for seed in 0..24u64 {
+        let case = generate_case(seed);
+        // Nonlinear programs abort mid-pipeline with a typed diagnostic;
+        // the round-trip property only applies to programs that lower.
+        if wse_lowering::lower_program(&case.program, &case.options).is_err() {
+            continue;
+        }
+        assert_roundtrip_per_stage(&case.program, &case.options, &format!("seed {seed}"));
+        checked += 1;
+    }
+    assert!(checked >= 16, "only {checked} generated programs lowered");
+}
