@@ -1,19 +1,23 @@
 //! Simulator throughput: simulated grid-point rate of the compiled
-//! flat-memory execution engine (MPts/s), plus its speedup over the
-//! pre-refactor string-keyed interpreter.
+//! flat-memory execution engine (MPts/s), its speedup over the
+//! unoptimized (`WSE_SIM_NO_FUSE=1`) instruction stream, and its speedup
+//! over the pre-refactor string-keyed interpreter.
 //!
 //! This bench is the perf trajectory for the functional simulator: future
-//! engine changes must not regress the MPts/s numbers printed here.  Run
-//! with `cargo bench -p wse-bench --bench sim_throughput`; CI smoke-runs
-//! it with `-- --test` (one iteration per case, no timing).
+//! engine changes must not regress the MPts/s numbers printed here.  A
+//! full (non-`--test`) run also snapshots the numbers to
+//! `BENCH_sim_throughput.json` at the workspace root so the trajectory is
+//! recorded in-repo per PR.  Run with
+//! `cargo bench -p wse-bench --bench sim_throughput`; CI smoke-runs it
+//! with `-- --test` (one iteration per case, no timing, no snapshot).
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wse_frontends::ast::StencilProgram;
+use wse_frontends::ast::{Expr, Frontend, GridSpec, StencilEquation, StencilProgram};
 use wse_frontends::benchmarks::{jacobian, seismic_25pt};
 use wse_lowering::{lower_program, PipelineOptions};
-use wse_sim::{load_program, InterpGridSim, LoadedProgram, WseGridSim};
+use wse_sim::{load_program, InterpGridSim, LinkOptions, LoadedProgram, WseGridSim};
 
 /// One throughput case: a sim-scale program instance and how many
 /// timesteps to simulate per measurement.
@@ -21,6 +25,31 @@ struct Case {
     name: &'static str,
     program: StencilProgram,
     steps: i64,
+}
+
+/// A radius-1 box stencil (all eight in-plane neighbors, diagonals
+/// included, plus center and z-neighbors): the non-cardinal shape class
+/// the generator covers but no paper benchmark exercises.
+fn box_stencil(nx: i64, ny: i64, nz: i64, timesteps: i64) -> StencilProgram {
+    let mut terms = Vec::new();
+    for dx in -1..=1 {
+        for dy in -1..=1 {
+            terms.push(Expr::at("a", dx, dy, 0).scale(0.08));
+        }
+    }
+    terms.push(Expr::at("a", 0, 0, 1).scale(0.1));
+    terms.push(Expr::at("a", 0, 0, -1).scale(0.1));
+    let program = StencilProgram {
+        name: "box9".into(),
+        frontend: Frontend::Csl,
+        grid: GridSpec::new(nx, ny, nz),
+        fields: vec!["a".into()],
+        equations: vec![StencilEquation::new("a", Expr::sum(terms))],
+        timesteps,
+        source: String::new(),
+    };
+    program.validate().expect("box stencil is valid");
+    program
 }
 
 fn cases() -> Vec<Case> {
@@ -38,6 +67,19 @@ fn cases() -> Vec<Case> {
             name: "seismic_medium_32x32x64",
             program: seismic_25pt(32, 32, 64, 2),
             steps: 2,
+        });
+        // The large-grid profile (≥ 64x64 PEs) and a box/diagonal
+        // workload: the shapes the optimizer's staging/snapshot elision
+        // and the non-cardinal perf model are aimed at.
+        cases.push(Case {
+            name: "jacobian_large_64x64x64",
+            program: jacobian(64, 64, 64, 4),
+            steps: 4,
+        });
+        cases.push(Case {
+            name: "box9_medium_32x32x32",
+            program: box_stencil(32, 32, 32, 3),
+            steps: 3,
         });
     }
     cases
@@ -59,9 +101,10 @@ fn median_seconds(samples: usize, mut sample: impl FnMut() -> f64) -> f64 {
     times[times.len() / 2]
 }
 
-fn time_linked(loaded: &LoadedProgram, steps: i64, samples: usize) -> f64 {
+fn time_engine(loaded: &LoadedProgram, steps: i64, samples: usize, optimize: bool) -> f64 {
     median_seconds(samples, || {
-        let mut sim = WseGridSim::new(loaded.clone()).expect("program links");
+        let mut sim = WseGridSim::with_options(loaded.clone(), LinkOptions { optimize })
+            .expect("program links");
         let start = Instant::now();
         sim.run(Some(steps)).expect("run succeeds");
         criterion::black_box(&sim);
@@ -83,11 +126,31 @@ fn mpts(program: &StencilProgram, steps: i64, seconds: f64) -> f64 {
     program.grid.points() as f64 * steps as f64 / seconds / 1e6
 }
 
+/// Writes the measured numbers to `BENCH_sim_throughput.json` at the
+/// workspace root (hand-rolled JSON; no serde in-tree).
+fn write_snapshot(rows: &[(String, f64, f64)]) {
+    let mut json = String::from("{\n  \"bench\": \"sim_throughput\",\n  \"unit\": \"MPts/s\",\n");
+    json.push_str("  \"cases\": [\n");
+    for (i, (name, optimized, unoptimized)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"optimized\": {optimized:.2}, \
+             \"no_fuse\": {unoptimized:.2}, \"speedup\": {:.2}}}{}\n",
+            optimized / unoptimized,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_throughput.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
 fn bench(c: &mut Criterion) {
     let samples = if criterion::is_test_mode() { 1 } else { 5 };
 
-    // Lower and load each case exactly once; both report sections below
-    // reuse the loaded programs.
+    // Lower and load each case exactly once; every report section below
+    // reuses the loaded programs.
     let cases: Vec<(Case, LoadedProgram)> = cases()
         .into_iter()
         .map(|case| {
@@ -97,22 +160,30 @@ fn bench(c: &mut Criterion) {
         .collect();
 
     println!("\nsim_throughput — simulated grid-point throughput (linked flat-memory engine)");
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
     for (case, loaded) in &cases {
-        let seconds = time_linked(loaded, case.steps, samples);
+        let optimized = time_engine(loaded, case.steps, samples, true);
+        let unoptimized = time_engine(loaded, case.steps, samples, false);
+        let opt_rate = mpts(&case.program, case.steps, optimized);
+        let unopt_rate = mpts(&case.program, case.steps, unoptimized);
         println!(
-            "  {:<28} {:>10.2} MPts/s  ({} steps in {:.3} ms)",
+            "  {:<26} {:>9.2} MPts/s  (no-fuse {:>9.2} MPts/s, optimizer {:>4.2}x)",
             case.name,
-            mpts(&case.program, case.steps, seconds),
-            case.steps,
-            seconds * 1e3
+            opt_rate,
+            unopt_rate,
+            opt_rate / unopt_rate
         );
+        rows.push((case.name.to_string(), opt_rate, unopt_rate));
+    }
+    if !criterion::is_test_mode() {
+        write_snapshot(&rows);
     }
 
-    // Speedup over the pre-refactor engine, on the acceptance-criterion
-    // case (Jacobian tiny, the first case).  The interpreter is too slow
-    // to time at the medium sizes, which is the point of the refactor.
+    // Speedup over the pre-refactor engine, on the first (tiny) case.
+    // The interpreter is too slow to time at the medium sizes, which is
+    // the point of the refactor.
     let (tiny, tiny_loaded) = &cases[0];
-    let linked = time_linked(tiny_loaded, tiny.steps, samples);
+    let linked = time_engine(tiny_loaded, tiny.steps, samples, true);
     let interp = time_interp(tiny_loaded, tiny.steps, samples);
     println!(
         "  legacy interpreter (jacobian_tiny): {:>10.2} MPts/s — linked engine speedup {:.1}x",

@@ -66,6 +66,36 @@ struct KernelInfo {
     operand_fields: Vec<usize>,
 }
 
+/// One receive slot shared by every remote term reading the same
+/// `(field, dx, dy)` neighbor column (the terms differ only in z-shift).
+struct SlotGroup {
+    /// Field index transmitted by the slot.
+    field: usize,
+    /// Neighbor offset in x.
+    dx: i64,
+    /// Neighbor offset in y.
+    dy: i64,
+    /// Indices into the kernel's remote-term list.
+    terms: Vec<usize>,
+}
+
+/// Groups remote terms into shared receive slots, in first-appearance
+/// order (which keeps single-term kernels identical to the ungrouped
+/// lowering).
+fn slot_groups(remote_terms: &[crate::analysis::Term], operand_fields: &[usize]) -> Vec<SlotGroup> {
+    let mut groups: Vec<SlotGroup> = Vec::new();
+    for (i, term) in remote_terms.iter().enumerate() {
+        let field = operand_fields.get(term.input).copied().unwrap_or(0);
+        let dx = term.offset.first().copied().unwrap_or(0);
+        let dy = term.offset.get(1).copied().unwrap_or(0);
+        match groups.iter_mut().find(|g| g.field == field && g.dx == dx && g.dy == dy) {
+            Some(group) => group.terms.push(i),
+            None => groups.push(SlotGroup { field, dx, dy, terms: vec![i] }),
+        }
+    }
+    groups
+}
+
 fn lower_function(
     ctx: &mut IrContext,
     program_block: BlockId,
@@ -153,14 +183,18 @@ fn lower_function(
     let z_interior = params.z_dim;
     let z_halo = kernels.iter().filter_map(|k| ctx.attr_int(k.apply, "z_halo")).max().unwrap_or(0);
     let z_storage = z_interior + 2 * z_halo;
-    let max_slots = kernels
-        .iter()
-        .filter(|k| k.communicates)
-        .filter_map(|k| {
-            ctx.attr(k.apply, "slot_inputs").and_then(Attribute::as_index_array).map(<[i64]>::len)
-        })
-        .max()
-        .unwrap_or(1) as i64;
+    // Receive slots are shared per (field, dx, dy): terms that differ only
+    // in their z-shift read the same transmitted neighbor column, so they
+    // ride one slot (and, when chunked, one staged column) instead of one
+    // each.
+    let mut max_slots = 1i64;
+    for info in kernels.iter().filter(|k| k.communicates) {
+        if let Some(combos) = apply_combinations(ctx, info.apply) {
+            let combo = combos.first().cloned().unwrap_or_default();
+            let remote: Vec<_> = combo.remote_terms().into_iter().cloned().collect();
+            max_slots = max_slots.max(slot_groups(&remote, &info.operand_fields).len() as i64);
+        }
+    }
 
     // ------------------------------------------------------------------
     // Build the program module skeleton.
@@ -225,18 +259,12 @@ fn lower_function(
             let exchanges = csl_stencil::swaps_of(ctx, info.apply);
             let num_chunks = csl_stencil::num_chunks(ctx, info.apply);
             let chunk = ctx.attr_int(info.apply, "chunk_size").unwrap_or(z_interior);
-            let slot_inputs: Vec<i64> = ctx
-                .attr(info.apply, "slot_inputs")
-                .and_then(Attribute::as_index_array)
-                .map(<[i64]>::to_vec)
-                .unwrap_or_default();
-            // Slot inputs are apply-operand indices; translate to fields.
-            let slot_fields: Vec<i64> = slot_inputs
-                .iter()
-                .map(|&i| info.operand_fields.get(i as usize).copied().unwrap_or(0) as i64)
-                .collect();
             let remote_terms: Vec<_> = combo.remote_terms().into_iter().cloned().collect();
             let local_terms: Vec<_> = combo.local_terms().into_iter().cloned().collect();
+            // One receive slot per distinct (field, dx, dy): z-shifted
+            // variants of the same neighbor column share the slot.
+            let groups = slot_groups(&remote_terms, &info.operand_fields);
+            let slot_fields: Vec<i64> = groups.iter().map(|g| g.field as i64).collect();
             // Map each communicated field to its buffer operand order in the
             // communicate call.
             let mut comm_fields: Vec<i64> = slot_fields.clone();
@@ -244,20 +272,24 @@ fn lower_function(
             comm_fields.dedup();
 
             // Remote terms with a z-shift cannot be reduced chunk-by-chunk
-            // (the shifted read crosses chunk boundaries), so each such
-            // slot stages the neighbor's full column into a dedicated
-            // buffer and is reduced in the done-exchange callback instead.
+            // (the shifted read crosses chunk boundaries).  With multiple
+            // chunks, each such *group* stages the neighbor's full column
+            // into one shared buffer and its terms reduce in the
+            // done-exchange callback.  With a single chunk the receive
+            // buffer already holds the whole column, so staging is skipped
+            // and the done callback reads the slot window directly.
+            let single_chunk = num_chunks == 1 && chunk == z_interior;
             let mut staged_cols: HashMap<usize, ValueId> = HashMap::new();
-            {
+            if !single_chunk {
                 let mut mb = OpBuilder::at_end(ctx, program_body);
-                for (slot, term) in remote_terms.iter().enumerate() {
-                    if term.dz() != 0 {
+                for (g, group) in groups.iter().enumerate() {
+                    if group.terms.iter().any(|&t| remote_terms[t].dz() != 0) {
                         let col = csl::zeros(
                             &mut mb,
-                            &format!("remote_col{k}_{slot}"),
+                            &format!("remote_col{k}_{g}"),
                             Type::memref(vec![z_interior], Type::f32()),
                         );
-                        staged_cols.insert(slot, col);
+                        staged_cols.insert(g, col);
                     }
                 }
             }
@@ -289,15 +321,7 @@ fn lower_function(
                 call,
                 "slot_neighbors",
                 Attribute::Array(
-                    remote_terms
-                        .iter()
-                        .map(|t| {
-                            Attribute::IndexArray(vec![
-                                t.offset.first().copied().unwrap_or(0),
-                                t.offset.get(1).copied().unwrap_or(0),
-                            ])
-                        })
-                        .collect(),
+                    groups.iter().map(|g| Attribute::IndexArray(vec![g.dx, g.dy])).collect(),
                 ),
             );
             ctx.set_attr(call, "slot_fields", Attribute::IndexArray(slot_fields.clone()));
@@ -316,29 +340,35 @@ fn lower_function(
             {
                 let mut tb = OpBuilder::at_end(ctx, recv_body);
                 let acc_view = memref::subview_dynamic(&mut tb, acc_buf, offset_arg, chunk);
-                for (slot, term) in remote_terms.iter().enumerate() {
+                for (g, group) in groups.iter().enumerate() {
                     let recv_view =
-                        memref::subview(&mut tb, recv_buf, slot as i64 * chunk_size, chunk);
-                    if let Some(&col) = staged_cols.get(&slot) {
-                        // z-shifted slot: stage this chunk of the
-                        // neighbor column; the reduction happens in the
-                        // done-exchange callback with the z-shift applied.
+                        memref::subview(&mut tb, recv_buf, g as i64 * chunk_size, chunk);
+                    // In-plane terms reduce chunk-by-chunk as the data
+                    // arrives.
+                    for &t in &group.terms {
+                        let term = &remote_terms[t];
+                        if term.dz() != 0 {
+                            continue;
+                        }
+                        emit_scaled_accumulate(
+                            &mut tb,
+                            &mut coeff_buffers,
+                            program_body,
+                            recv_view,
+                            term.coeff,
+                            acc_view,
+                            scratch_buf,
+                            chunk,
+                        );
+                    }
+                    if let Some(&col) = staged_cols.get(&g) {
+                        // The group has z-shifted terms: stage this chunk
+                        // of the neighbor column once; the shifted
+                        // reductions happen in the done-exchange callback.
                         let col_view = memref::subview_dynamic(&mut tb, col, offset_arg, chunk);
                         linalg::copy(&mut tb, recv_view, col_view);
-                        continue;
                     }
-                    emit_scaled_accumulate(
-                        &mut tb,
-                        &mut coeff_buffers,
-                        program_body,
-                        recv_view,
-                        term.coeff,
-                        acc_view,
-                        scratch_buf,
-                        chunk,
-                    );
                 }
-                let _ = (&slot_inputs, &slot_fields);
             }
             csl::build_return(ctx, recv_body, vec![]);
 
@@ -353,31 +383,47 @@ fn lower_function(
             );
             {
                 let mut tb = OpBuilder::at_end(ctx, done_body);
-                // z-shifted remote slots: acc[z] += coeff * col[z + dz]
+                // z-shifted remote terms: acc[z] += coeff * col[z + dz]
                 // over the overlap; outside it the neighbor column reads
                 // zero (matching the reference executor's zero halo), so
-                // those elements contribute nothing.
-                for (slot, term) in remote_terms.iter().enumerate() {
-                    let Some(&col) = staged_cols.get(&slot) else { continue };
-                    let dz = term.dz();
-                    let lo = (-dz).max(0);
-                    let hi = z_interior.min(z_interior - dz);
-                    if hi <= lo {
-                        continue;
+                // those elements contribute nothing.  The column is the
+                // group's shared staged buffer — or, with a single chunk,
+                // the slot's window of the receive buffer itself, which
+                // still holds the full column when the done callback runs.
+                for (g, group) in groups.iter().enumerate() {
+                    for &t in &group.terms {
+                        let term = &remote_terms[t];
+                        let dz = term.dz();
+                        if dz == 0 {
+                            continue;
+                        }
+                        let lo = (-dz).max(0);
+                        let hi = z_interior.min(z_interior - dz);
+                        if hi <= lo {
+                            continue;
+                        }
+                        let len = hi - lo;
+                        let src_view = match staged_cols.get(&g) {
+                            Some(&col) => memref::subview(&mut tb, col, lo + dz, len),
+                            None => memref::subview(
+                                &mut tb,
+                                recv_buf,
+                                g as i64 * chunk_size + lo + dz,
+                                len,
+                            ),
+                        };
+                        let dest_view = memref::subview(&mut tb, acc_buf, lo, len);
+                        emit_scaled_accumulate(
+                            &mut tb,
+                            &mut coeff_buffers,
+                            program_body,
+                            src_view,
+                            term.coeff,
+                            dest_view,
+                            scratch_buf,
+                            len,
+                        );
                     }
-                    let len = hi - lo;
-                    let src_view = memref::subview(&mut tb, col, lo + dz, len);
-                    let dest_view = memref::subview(&mut tb, acc_buf, lo, len);
-                    emit_scaled_accumulate(
-                        &mut tb,
-                        &mut coeff_buffers,
-                        program_body,
-                        src_view,
-                        term.coeff,
-                        dest_view,
-                        scratch_buf,
-                        len,
-                    );
                 }
                 for term in &local_terms {
                     let src_buf = field_buffers[info.operand_fields[term.input]];
@@ -615,8 +661,14 @@ mod tests {
     use wse_ir::verify;
 
     fn lower_to_actors(benchmark: Benchmark, num_chunks: i64) -> (IrContext, OpId) {
-        let program = benchmark.tiny_program();
-        let ir = emit_stencil_ir(&program).unwrap();
+        lower_program_to_actors(&benchmark.tiny_program(), num_chunks)
+    }
+
+    fn lower_program_to_actors(
+        program: &wse_frontends::ast::StencilProgram,
+        num_chunks: i64,
+    ) -> (IrContext, OpId) {
+        let ir = emit_stencil_ir(program).unwrap();
         let mut ctx = ir.ctx;
         StencilInlining.run(&mut ctx, ir.module).unwrap();
         DistributeStencil { width: program.grid.x, height: program.grid.y }
@@ -706,6 +758,65 @@ mod tests {
             .filter_map(|c| csl::callee(&ctx, c))
             .collect();
         assert!(calls.contains(&"seq_kernel1"));
+    }
+
+    fn z_shifted_program(grid_z: i64) -> wse_frontends::ast::StencilProgram {
+        use wse_frontends::ast::{Expr, Frontend, GridSpec, StencilEquation, StencilProgram};
+        // Three remote terms on the same (field, dx, dy) = (a, +1, 0)
+        // neighbor column, differing only in z-shift, plus a center term.
+        let expr = Expr::at("a", 1, 0, 1).scale(0.2)
+            + Expr::at("a", 1, 0, -1).scale(0.2)
+            + Expr::at("a", 1, 0, 0).scale(0.2)
+            + Expr::center("a").scale(0.2);
+        let program = StencilProgram {
+            name: "zshift".into(),
+            frontend: Frontend::Csl,
+            grid: GridSpec::new(3, 3, grid_z),
+            fields: vec!["a".into()],
+            equations: vec![StencilEquation::new("a", expr)],
+            timesteps: 2,
+            source: String::new(),
+        };
+        program.validate().expect("valid test program");
+        program
+    }
+
+    #[test]
+    fn z_shifted_terms_share_one_staged_column_per_neighbor() {
+        // Chunked: the three same-(field, dx, dy) terms must share one
+        // receive slot and one staged column, not one each.
+        let (ctx, module) = lower_program_to_actors(&z_shifted_program(6), 2);
+        assert!(verify(&ctx, module, &wse_csl::register_all()).is_empty());
+        let staged: Vec<&str> = ctx
+            .walk_named(module, csl::ZEROS)
+            .into_iter()
+            .filter_map(|z| csl::symbol_name(&ctx, z))
+            .filter(|n| n.starts_with("remote_col"))
+            .collect();
+        assert_eq!(staged, vec!["remote_col0_0"], "one shared column for the neighbor");
+        // The receive buffer holds a single slot's chunk.
+        let recv = ctx
+            .walk_named(module, csl::ZEROS)
+            .into_iter()
+            .find(|&z| csl::symbol_name(&ctx, z) == Some("recv_buffer"))
+            .expect("recv buffer exists");
+        let len = ctx.value_type(ctx.result(recv, 0)).shape().map(|s| s[0]).unwrap();
+        assert_eq!(len, 3, "one slot of one chunk (z = 6 over 2 chunks)");
+    }
+
+    #[test]
+    fn single_chunk_z_shifts_skip_staging_entirely() {
+        // With one chunk the receive buffer already holds the full
+        // column, so no staged copies are emitted at all.
+        let (ctx, module) = lower_program_to_actors(&z_shifted_program(6), 1);
+        assert!(verify(&ctx, module, &wse_csl::register_all()).is_empty());
+        let staged = ctx
+            .walk_named(module, csl::ZEROS)
+            .into_iter()
+            .filter_map(|z| csl::symbol_name(&ctx, z))
+            .filter(|n| n.starts_with("remote_col"))
+            .count();
+        assert_eq!(staged, 0, "single-chunk exchanges read the receive buffer directly");
     }
 
     #[test]

@@ -146,8 +146,11 @@ fn convert_apply(
         ctx.set_attr(new_apply, "z_interior", Attribute::int(z_interior));
         ctx.set_attr(new_apply, "z_halo", Attribute::int(z_halo));
         ctx.set_attr(new_apply, "chunk_size", Attribute::int(chunk));
-        // Record which input each remote slot belongs to (used by the actor
-        // lowering and the communication library).
+        // Record which input each remote term belongs to.  The actor
+        // lowering now derives its (deduplicated) receive slots from the
+        // cached combination analysis directly; the attribute is kept as
+        // human-readable IR metadata only (it also pins the golden
+        // snapshots), not read by any pass.
         ctx.set_attr(
             new_apply,
             "slot_inputs",

@@ -8,6 +8,27 @@
 //! flat-memory engine against it, and so parity tests can check the two
 //! engines produce bitwise-identical results.  Do not use it for new
 //! work.
+//!
+//! # Shared instruction semantics
+//!
+//! This module is the executable specification of the [`Instr`] stream
+//! that every engine — and every rewrite in the link-time optimizer
+//! ([`crate::link`]) — must preserve *bitwise*:
+//!
+//! * elementwise instructions have read-all-then-write semantics (this
+//!   engine materializes every read into a fresh `Vec` before writing;
+//!   the linked engine uses a scratch buffer, and fused one-pass sweeps
+//!   are only formed when the linker proves no source aliases the
+//!   destination, making the one-pass result identical);
+//! * `Macs` computes `acc[i] + src[i] * coeff` as an f32 multiply
+//!   followed by an f32 add — never a fused multiply-add — and fused
+//!   sweeps apply their terms left to right with exactly this per-element
+//!   operation sequence;
+//! * cross-PE reads observe the pre-kernel state of the transmitted
+//!   columns (here: a deep snapshot of all field buffers; the linked
+//!   engine captures only the communicated columns, or skips the capture
+//!   entirely when it can defer the write-back instead), and
+//!   out-of-grid neighbors read as zero.
 
 use std::collections::HashMap;
 

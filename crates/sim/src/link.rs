@@ -1,5 +1,6 @@
 //! Link phase of the two-phase simulator: resolves a [`LoadedProgram`]
-//! into a flat-memory [`LinkedProgram`].
+//! into a flat-memory [`LinkedProgram`], then optimizes the instruction
+//! stream.
 //!
 //! The loader produces a portable, string-keyed program (buffer names,
 //! per-kernel instruction lists, a communication spec).  Executing that
@@ -22,6 +23,52 @@
 //! field buffers long enough for the interior), so the run phase in
 //! [`crate::exec`] needs no per-instruction error paths.
 //!
+//! # The link-time optimizer
+//!
+//! After resolution, [`link_program`] rewrites each kernel's instruction
+//! stream into fused superinstructions (disable with `WSE_SIM_NO_FUSE=1`
+//! or [`LinkOptions`]).  Three rewrites run, in order:
+//!
+//! 1. **FMA-chain fusion.** A `Fill(d, c)` followed by a run of
+//!    `Macs(d, d, src_i, coeff_i)` — or a bare run of such `Macs` — is one
+//!    multi-pass reduction: the destination is re-streamed once per
+//!    instruction.  The run collapses into a single [`LinkedInstr::FusedMacs`]
+//!    computing `d[j] = init(j) + Σ coeff_i · src_i[j]` in one sweep over
+//!    `d`.  *Safety:* every source view must be provably disjoint from the
+//!    destination (conservative interval check that extends dynamic views
+//!    by the maximum runtime chunk offset), because the one-pass sweep
+//!    must not observe its own writes; the only aliasing permitted is the
+//!    initial accumulator being the destination itself, which reads each
+//!    element before overwriting it.  Chains never cross an instruction
+//!    that is not part of the pattern (an interleaved `Copy` or `Binary`
+//!    is a barrier), and never cross block boundaries.
+//!
+//! 2. **Copy folding.** A `FusedMacs` into an accumulator that is
+//!    immediately copied to an output view (`Copy { dest: out, src: acc }`)
+//!    re-streams the column twice.  When (a) every chain source — and the
+//!    initial accumulator, which keeps feeding the sweep — is disjoint
+//!    from `out`, and (b) the eliminated write to `acc` is *dead* (a
+//!    conservative scan over the program's cyclic execution order — kernel
+//!    by kernel, wrapping through the timestep loop, with field interiors
+//!    always live because they are observable — proves `acc` is fully
+//!    overwritten before it is next read), the chain retargets `out` and
+//!    the `Copy` disappears.
+//!
+//! 3. **Arena coalescing.** Buffers left unreferenced by any instruction,
+//!    receive slot, or snapshot — typically `scratch` and promoted
+//!    coefficient constants once their users fused away, or a folded
+//!    accumulator — are removed and the arena re-packed, shrinking every
+//!    PE's working set.
+//!
+//! Every rewrite preserves *bitwise* results: fused sweeps perform the
+//! identical sequence of f32 multiplies and adds per element as the
+//! instructions they replace (see the shared-semantics note in
+//! [`crate::interp`]), and [`crate::exec`] runs optimized and unoptimized
+//! streams to identical bits.  The conformance harness enforces this by
+//! running every case through both streams.  [`LinkedProgram::stats`]
+//! reports what fired: instruction counts before/after, chain lengths,
+//! folded copies, and arena bytes reclaimed.
+//!
 //! [`Instr`]: crate::loader::Instr
 //! [`ViewRef`]: crate::loader::ViewRef
 
@@ -32,6 +79,32 @@ use crate::loader::{BinKind, CommSpec, Instr, LoadedProgram, Src, ViewRef};
 
 fn err(message: impl Into<String>) -> ExecError {
     ExecError { message: message.into() }
+}
+
+/// Options controlling the link phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkOptions {
+    /// Run the link-time optimizer (FMA-chain fusion, copy folding, arena
+    /// coalescing).  Optimized and unoptimized streams produce bitwise
+    /// identical results; the toggle exists so conformance can prove it.
+    pub optimize: bool,
+}
+
+impl Default for LinkOptions {
+    fn default() -> Self {
+        Self { optimize: true }
+    }
+}
+
+impl LinkOptions {
+    /// Reads the `WSE_SIM_NO_FUSE` escape hatch: set it to `1` (or `true`)
+    /// to disable the link-time optimizer for the whole process.
+    pub fn from_env() -> Self {
+        let disabled = std::env::var("WSE_SIM_NO_FUSE")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        Self { optimize: !disabled }
+    }
 }
 
 /// Dense handle of a PE-local buffer: an index into [`LinkedProgram::layouts`].
@@ -112,11 +185,72 @@ pub enum LinkedInstr {
         /// Scalar coefficient.
         coeff: f32,
     },
+    /// A fused reduction sweep produced by the link-time optimizer:
+    /// `dest[j] = init(j) + Σ_i terms[i].coeff · terms[i].src[j]`, computed
+    /// left to right in a single pass over `dest` with exactly the same
+    /// per-element f32 operation sequence as the `Fill`/`Macs` chain it
+    /// replaced (bitwise identical results).  The linker guarantees every
+    /// term source (and a distinct init accumulator) is disjoint from
+    /// `dest`, so the one-pass sweep cannot observe its own writes.
+    FusedMacs {
+        /// Destination view.
+        dest: LinkedView,
+        /// Where element `j`'s running value starts.
+        init: FusedInit,
+        /// The fused multiply-accumulate terms, in chain order.
+        terms: Vec<FusedTerm>,
+    },
+}
+
+/// The initial value of a [`LinkedInstr::FusedMacs`] sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusedInit {
+    /// A scalar constant (the chain began with a `Fill`).
+    Fill(f32),
+    /// An accumulator view read element-by-element.  May equal the
+    /// destination view (each element is read before it is overwritten);
+    /// any other view is disjoint from the destination by construction.
+    Acc(LinkedView),
+}
+
+/// One multiply-accumulate term of a [`LinkedInstr::FusedMacs`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedTerm {
+    /// Source (disjoint from the sweep destination).
+    pub src: SrcRef,
+    /// Scalar coefficient.
+    pub coeff: f32,
+}
+
+/// Where a fused term reads from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SrcRef {
+    /// A PE-local arena view.
+    Arena(LinkedView),
+    /// The neighbor snapshot column behind receive slot `slot`, read
+    /// directly (staging elided): elements
+    /// `[offset + chunk · chunk_size, offset + chunk · chunk_size + len)`
+    /// of the transmitted column, zeros outside the PE grid.  Produced by
+    /// the optimizer for receive-callback reads that lie entirely inside
+    /// one receive slot — the staged copy in `recv_buffer` holds exactly
+    /// these elements, so reading the snapshot is bitwise identical.
+    Slot {
+        /// Index into [`LinkedComm::slots`].
+        slot: u32,
+        /// Element offset inside the slot's chunk window.
+        offset: u32,
+        /// Number of elements.
+        len: u32,
+    },
 }
 
 /// One interior column captured by the pre-kernel snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SnapField {
+    /// The field buffer the column is captured from (used by the run
+    /// phase to skip re-snapshotting buffers that were not written since
+    /// the previous capture).
+    pub buffer: BufferId,
     /// Arena offset of the first interior element of the source buffer.
     pub src_base: usize,
     /// Elements copied from the buffer; the rest of the snapshot column is
@@ -133,6 +267,11 @@ pub struct LinkedSlot {
     pub dx: i64,
     /// Neighbor offset in y.
     pub dy: i64,
+    /// Whether the run phase must copy the slot's chunks into the receive
+    /// buffer.  The optimizer clears this when every observation of the
+    /// staged data was rewritten into a direct snapshot read
+    /// ([`SrcRef::Slot`]).
+    pub staged: bool,
 }
 
 /// The halo exchange of one kernel, resolved to arena and snapshot offsets.
@@ -146,16 +285,33 @@ pub struct LinkedComm {
     pub recv_base: usize,
     /// Receive slots in buffer order.
     pub slots: Vec<LinkedSlot>,
-    /// Interior columns the snapshot must capture (deduplicated fields).
+    /// Interior columns cross-PE reads observe (deduplicated fields).
     pub snap_fields: Vec<SnapField>,
     /// Snapshot column length per field per PE (`num_chunks * chunk_size`).
     pub col_len: usize,
+    /// Whether the run phase must capture the columns into the snapshot
+    /// buffer before the sweep.  The optimizer clears this when every
+    /// write to a transmitted field sits in the kernel's deferred commit
+    /// block ([`LinkedKernel::commit`]): cross-PE reads can then take the
+    /// pre-kernel state straight from the neighbor arenas.
+    pub capture: bool,
 }
 
 impl LinkedComm {
-    /// Snapshot elements required per PE for this exchange.
+    /// Snapshot elements required per PE for this exchange (zero once the
+    /// capture is elided).
     pub fn snap_len(&self) -> usize {
-        self.snap_fields.len() * self.col_len
+        if self.capture {
+            self.snap_fields.len() * self.col_len
+        } else {
+            0
+        }
+    }
+
+    /// The commit lag in rows: how many rows of sweeps may still read a
+    /// row's pre-kernel state through the exchange.
+    pub fn max_dy(&self) -> usize {
+        self.slots.iter().map(|s| s.dy.unsigned_abs() as usize).max().unwrap_or(0)
     }
 }
 
@@ -170,9 +326,20 @@ pub struct LinkedKernel {
     pub recv: Vec<LinkedInstr>,
     /// Done-exchange instructions (run once).
     pub done: Vec<LinkedInstr>,
+    /// Deferred write-back instructions split off the end of `done` by the
+    /// optimizer when it elides the snapshot capture: they run only after
+    /// every sweep that may still read this PE's pre-kernel state has
+    /// finished (the run phase lags them by [`LinkedComm::max_dy`] rows,
+    /// or a barrier in the parallel path).  Empty unless
+    /// [`LinkedComm::capture`] is `false`.
+    pub commit: Vec<LinkedInstr>,
     /// Elements processed per PE per kernel invocation (used to decide
     /// whether parallel execution is worthwhile).
     pub work_per_pe: usize,
+    /// Buffers this kernel writes (dest views plus the receive buffer),
+    /// deduplicated.  The run phase uses this to invalidate only the halo
+    /// snapshots whose backing buffers actually changed.
+    pub writes: Vec<BufferId>,
 }
 
 /// The executable flat-memory form of a program: phase 1 of the engine.
@@ -198,8 +365,57 @@ pub struct LinkedProgram {
     pub kernels: Vec<LinkedKernel>,
     /// Largest view length of any instruction (sizes the scratch buffer).
     pub max_view_len: usize,
-    /// Largest per-PE snapshot of any kernel (sizes the snapshot buffer).
-    pub max_snap_len: usize,
+    /// What the link-time optimizer did (all-zero when disabled).
+    pub stats: OptStats,
+}
+
+impl LinkedProgram {
+    /// The link-time optimizer's report for this program.
+    pub fn stats(&self) -> &OptStats {
+        &self.stats
+    }
+}
+
+/// Observability report of the link-time optimizer (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Whether the optimizer ran at all.
+    pub optimized: bool,
+    /// Instructions across all kernels before optimization.
+    pub instrs_before: usize,
+    /// Instructions across all kernels after optimization.
+    pub instrs_after: usize,
+    /// Number of fused chains (≥ 2 instructions collapsed into one).
+    pub fused_chains: usize,
+    /// Total multiply-accumulate terms absorbed into fused chains.
+    pub fused_terms: usize,
+    /// Length (in original instructions) of the longest fused chain.
+    pub longest_chain: usize,
+    /// `Copy` instructions folded into the preceding fused sweep.
+    pub copies_folded: usize,
+    /// Receive slots whose per-chunk staging copy was elided (fused terms
+    /// read the neighbor snapshot column directly).
+    pub slots_elided: usize,
+    /// Exchanges whose snapshot capture was elided entirely by deferring
+    /// the field write-back into a commit block.
+    pub captures_elided: usize,
+    /// Multi-chunk exchanges flattened into one full-column chunk.
+    pub chunks_flattened: usize,
+    /// Adjacent fused sweeps (or a `Fill` and its sweep) merged into one.
+    pub sweeps_merged: usize,
+    /// Per-PE arena bytes before coalescing.
+    pub arena_bytes_before: usize,
+    /// Per-PE arena bytes after coalescing.
+    pub arena_bytes_after: usize,
+    /// Buffers removed from the arena by coalescing.
+    pub buffers_coalesced: usize,
+}
+
+impl OptStats {
+    /// Per-PE arena bytes reclaimed by buffer coalescing.
+    pub fn arena_bytes_saved(&self) -> usize {
+        self.arena_bytes_before - self.arena_bytes_after
+    }
 }
 
 /// Checks that `layouts` tile the arena without overlap or overflow.
@@ -230,10 +446,21 @@ pub fn validate_layouts(layouts: &[BufferLayout], arena_len: usize) -> Result<()
     Ok(())
 }
 
+/// Links a loaded program with [`LinkOptions::from_env`] (the link-time
+/// optimizer runs unless `WSE_SIM_NO_FUSE=1` is set).  See
+/// [`link_program_with`].
+pub fn link_program(program: &LoadedProgram) -> Result<LinkedProgram, ExecError> {
+    link_program_with(program, &LinkOptions::from_env())
+}
+
 /// Links a loaded program: interns buffer names, lays out the per-PE
 /// arena, resolves every instruction and the communication spec, and
-/// validates all bounds.
-pub fn link_program(program: &LoadedProgram) -> Result<LinkedProgram, ExecError> {
+/// validates all bounds.  When `options.optimize` is set, the link-time
+/// optimizer then rewrites the stream (see the module docs).
+pub fn link_program_with(
+    program: &LoadedProgram,
+    options: &LinkOptions,
+) -> Result<LinkedProgram, ExecError> {
     if program.width <= 0 || program.height <= 0 {
         return Err(err(format!("invalid PE grid {}x{}", program.width, program.height)));
     }
@@ -285,7 +512,6 @@ pub fn link_program(program: &LoadedProgram) -> Result<LinkedProgram, ExecError>
 
     let mut kernels = Vec::with_capacity(program.kernels.len());
     let mut max_view_len = 0usize;
-    let mut max_snap_len = 0usize;
     for kernel in &program.kernels {
         let comm = kernel
             .comm
@@ -300,18 +526,18 @@ pub fn link_program(program: &LoadedProgram) -> Result<LinkedProgram, ExecError>
         let pre = link_block(&kernel.pre, &by_name, &layouts, 0, &mut max_view_len)?;
         let recv = link_block(&kernel.recv, &by_name, &layouts, max_dyn, &mut max_view_len)?;
         let done = link_block(&kernel.done, &by_name, &layouts, 0, &mut max_view_len)?;
-
-        let elements =
-            |instrs: &[LinkedInstr]| -> usize { instrs.iter().map(instr_elements).sum() };
-        let mut work_per_pe = elements(&pre) + elements(&done);
-        if let Some(c) = &comm {
-            work_per_pe += c.num_chunks * (elements(&recv) + c.slots.len() * c.chunk_size);
-            max_snap_len = max_snap_len.max(c.snap_len());
-        }
-        kernels.push(LinkedKernel { pre, comm, recv, done, work_per_pe });
+        kernels.push(LinkedKernel {
+            pre,
+            comm,
+            recv,
+            done,
+            commit: Vec::new(),
+            work_per_pe: 0,
+            writes: Vec::new(),
+        });
     }
 
-    Ok(LinkedProgram {
+    let mut linked = LinkedProgram {
         width: program.width,
         height: program.height,
         z_dim: program.z_dim,
@@ -322,8 +548,71 @@ pub fn link_program(program: &LoadedProgram) -> Result<LinkedProgram, ExecError>
         field_ids,
         kernels,
         max_view_len,
-        max_snap_len,
-    })
+        stats: OptStats::default(),
+    };
+    linked.stats.instrs_before = instr_count(&linked);
+    linked.stats.arena_bytes_before = linked.arena_len * 4;
+    if options.optimize {
+        optimize_program(&mut linked);
+    }
+    finalize(&mut linked);
+    Ok(linked)
+}
+
+/// Total instructions across all kernels and blocks.
+fn instr_count(linked: &LinkedProgram) -> usize {
+    linked.kernels.iter().map(|k| k.pre.len() + k.recv.len() + k.done.len() + k.commit.len()).sum()
+}
+
+/// Recomputes the derived per-kernel quantities (work estimates, written
+/// buffers, snapshot sizing) after the instruction streams settled.
+fn finalize(linked: &mut LinkedProgram) {
+    linked.stats.instrs_after = instr_count(linked);
+    linked.stats.arena_bytes_after = linked.arena_len * 4;
+    let layouts = std::mem::take(&mut linked.layouts);
+    for kernel in &mut linked.kernels {
+        let elements =
+            |instrs: &[LinkedInstr]| -> usize { instrs.iter().map(instr_elements).sum() };
+        kernel.work_per_pe =
+            elements(&kernel.pre) + elements(&kernel.done) + elements(&kernel.commit);
+        if let Some(c) = &kernel.comm {
+            let staged = c.slots.iter().filter(|s| s.staged).count();
+            kernel.work_per_pe += c.num_chunks * (elements(&kernel.recv) + staged * c.chunk_size);
+        }
+        let mut writes: Vec<BufferId> = kernel
+            .pre
+            .iter()
+            .chain(&kernel.recv)
+            .chain(&kernel.done)
+            .chain(&kernel.commit)
+            .map(|i| buffer_at(&layouts, instr_dest(i).base))
+            .collect();
+        if let Some(c) = &kernel.comm {
+            writes.push(buffer_at(&layouts, c.recv_base as u32));
+        }
+        writes.sort_unstable_by_key(|b| b.0);
+        writes.dedup();
+        kernel.writes = writes;
+    }
+    linked.layouts = layouts;
+}
+
+/// The buffer containing arena offset `offset`.  Layouts are laid out back
+/// to back in base order, so a binary search on the base finds the owner;
+/// every queried offset comes from a bounds-validated view.
+fn buffer_at(layouts: &[BufferLayout], offset: u32) -> BufferId {
+    let index = layouts.partition_point(|l| l.base <= offset as usize);
+    BufferId(index.saturating_sub(1) as u32)
+}
+
+fn instr_dest(instr: &LinkedInstr) -> &LinkedView {
+    match instr {
+        LinkedInstr::Fill { dest, .. }
+        | LinkedInstr::Copy { dest, .. }
+        | LinkedInstr::Binary { dest, .. }
+        | LinkedInstr::Macs { dest, .. }
+        | LinkedInstr::FusedMacs { dest, .. } => dest,
+    }
 }
 
 fn instr_elements(instr: &LinkedInstr) -> usize {
@@ -332,6 +621,8 @@ fn instr_elements(instr: &LinkedInstr) -> usize {
         | LinkedInstr::Copy { dest, .. }
         | LinkedInstr::Binary { dest, .. }
         | LinkedInstr::Macs { dest, .. } => dest.len as usize,
+        // A fused sweep streams the destination once and each source once.
+        LinkedInstr::FusedMacs { dest, terms, .. } => dest.len as usize * (1 + terms.len()),
     }
 }
 
@@ -381,6 +672,7 @@ fn link_comm(
             None => {
                 let start = z_halo.min(layout.len);
                 snap_fields.push(SnapField {
+                    buffer: id,
                     src_base: layout.base + start,
                     copy_len: col_len.min(layout.len - start),
                 });
@@ -388,7 +680,7 @@ fn link_comm(
                 snap_fields.len() - 1
             }
         };
-        slots.push(LinkedSlot { snap_index, dx: spec.dx, dy: spec.dy });
+        slots.push(LinkedSlot { snap_index, dx: spec.dx, dy: spec.dy, staged: true });
     }
 
     Ok(LinkedComm {
@@ -398,6 +690,7 @@ fn link_comm(
         slots,
         snap_fields,
         col_len,
+        capture: true,
     })
 }
 
@@ -477,6 +770,662 @@ fn link_view(
         )));
     }
     Ok(LinkedView { base: (layout.base + offset) as u32, len: len as u32, dynamic: view.dynamic })
+}
+
+// ------------------------------------------------------------------------
+// The link-time optimizer (see module docs for the rewrite rules and
+// their safety conditions).
+// ------------------------------------------------------------------------
+
+/// Conservative arena interval a view may touch at any chunk offset
+/// (dynamic views are extended by the largest runtime offset).
+fn view_span(view: &LinkedView, max_dyn: usize) -> (usize, usize) {
+    let start = view.base as usize;
+    (start, start + view.len as usize + if view.dynamic { max_dyn } else { 0 })
+}
+
+/// True when the two views cannot touch a common arena element at any
+/// chunk offset.
+fn views_disjoint(a: &LinkedView, b: &LinkedView, max_dyn: usize) -> bool {
+    let (a0, a1) = view_span(a, max_dyn);
+    let (b0, b1) = view_span(b, max_dyn);
+    a1 <= b0 || b1 <= a0
+}
+
+/// Largest runtime chunk offset of the kernel's receive callback.
+fn max_dyn_of(kernel: &LinkedKernel) -> usize {
+    kernel.comm.as_ref().map(|c| (c.num_chunks - 1) * c.chunk_size).unwrap_or(0)
+}
+
+/// Runs the three optimizer rewrites over every kernel.
+fn optimize_program(linked: &mut LinkedProgram) {
+    let mut stats = std::mem::take(&mut linked.stats);
+    stats.optimized = true;
+    for kernel in &mut linked.kernels {
+        let max_dyn = max_dyn_of(kernel);
+        // Dynamic views only take a non-zero offset in the receive
+        // callback; pre/done always run at chunk offset 0.
+        kernel.pre = fuse_block(&kernel.pre, 0, &mut stats);
+        kernel.recv = fuse_block(&kernel.recv, max_dyn, &mut stats);
+        kernel.done = fuse_block(&kernel.done, 0, &mut stats);
+    }
+    elide_staging(linked, &mut stats);
+    flatten_chunks(linked, &mut stats);
+    merge_single_chunk_blocks(linked, &mut stats);
+    fold_copies(linked, &mut stats);
+    defer_commits(linked, &mut stats);
+    coalesce_arena(linked, &mut stats);
+    linked.stats = stats;
+}
+
+/// Collapses a multi-chunk exchange into a single full-column chunk when
+/// the chunks are provably independent: every receive slot's staging was
+/// elided, and every receive-callback operand advances with the chunk
+/// offset over a contiguous window (dynamic arena views and slot reads of
+/// exactly one chunk, starting at the window base).  Executing chunk `c`
+/// then touches exactly elements `[c·chunk, (c+1)·chunk)` of each view, so
+/// running all chunks as one sweep performs the identical per-element
+/// operation sequence — bitwise equal, with `num_chunks − 1` fewer
+/// dispatches per PE.
+fn flatten_chunks(linked: &mut LinkedProgram, stats: &mut OptStats) {
+    for kernel in &mut linked.kernels {
+        let Some(comm) = &mut kernel.comm else { continue };
+        if comm.num_chunks <= 1 || comm.slots.iter().any(|s| s.staged) {
+            continue;
+        }
+        let chunk = comm.chunk_size as u32;
+        if chunk == 0 {
+            continue;
+        }
+        let view_ok = |v: &LinkedView| v.dynamic && v.len == chunk;
+        // Only fused sweeps qualify: their operands are proven disjoint
+        // from the destination, so no chunk can observe another chunk's
+        // writes.  The scratch-semantics instructions (`Copy`, `Binary`,
+        // `Macs`) may alias across chunk boundaries, where chunk-by-chunk
+        // and whole-column execution genuinely differ.
+        let flattenable = kernel.recv.iter().all(|instr| match instr {
+            LinkedInstr::FusedMacs { dest, init, terms } => {
+                view_ok(dest)
+                    && match init {
+                        FusedInit::Fill(_) => false, // re-applied per chunk, not per column
+                        FusedInit::Acc(a) => view_ok(a),
+                    }
+                    && terms.iter().all(|t| match &t.src {
+                        SrcRef::Arena(v) => view_ok(v),
+                        SrcRef::Slot { offset, len, .. } => *offset == 0 && *len == chunk,
+                    })
+            }
+            _ => false,
+        });
+        if !flattenable {
+            continue;
+        }
+        let col = comm.col_len as u32;
+        for instr in &mut kernel.recv {
+            for view in instr_views_mut(instr) {
+                view.len = col;
+            }
+            if let LinkedInstr::FusedMacs { terms, .. } = instr {
+                for term in terms {
+                    if let SrcRef::Slot { len, .. } = &mut term.src {
+                        *len = col;
+                    }
+                }
+            }
+        }
+        comm.chunk_size = comm.col_len;
+        comm.num_chunks = 1;
+        stats.chunks_flattened += 1;
+    }
+}
+
+/// With a single chunk and no staging, a kernel's `pre`, `recv`, and
+/// `done` blocks execute back to back per PE — the split is purely
+/// structural.  Concatenating them exposes cross-block fusion: the
+/// accumulator `Fill` merges into the first sweep's init, and adjacent
+/// sweeps over the same destination merge into one wider sweep (both
+/// rewrites preserve the per-element operation sequence exactly).
+fn merge_single_chunk_blocks(linked: &mut LinkedProgram, stats: &mut OptStats) {
+    for kernel in &mut linked.kernels {
+        let Some(comm) = &kernel.comm else { continue };
+        if comm.num_chunks != 1 || comm.slots.iter().any(|s| s.staged) {
+            continue;
+        }
+        let mut merged = std::mem::take(&mut kernel.pre);
+        merged.append(&mut kernel.recv);
+        merged.append(&mut kernel.done);
+        kernel.done = merge_fused_sweeps(merged, stats);
+    }
+}
+
+/// True when the two views address the same range at chunk offset 0 (the
+/// only offset a single-chunk kernel ever runs at — the dynamic flag is
+/// immaterial there).
+fn same_range(a: &LinkedView, b: &LinkedView) -> bool {
+    a.base == b.base && a.len == b.len
+}
+
+/// The peephole behind [`merge_single_chunk_blocks`]: merges
+/// `Fill(d, c); FusedMacs(d, Acc(d), T)` into `FusedMacs(d, Fill(c), T)`
+/// and `FusedMacs(d, I, T1); FusedMacs(d, Acc(d), T2)` into
+/// `FusedMacs(d, I, T1 ++ T2)` (sources are disjoint from `d`, so the
+/// per-element chains concatenate unchanged).
+fn merge_fused_sweeps(instrs: Vec<LinkedInstr>, stats: &mut OptStats) -> Vec<LinkedInstr> {
+    let mut out: Vec<LinkedInstr> = Vec::with_capacity(instrs.len());
+    for instr in instrs {
+        match (out.pop(), instr) {
+            (
+                Some(LinkedInstr::Fill { dest: d, value }),
+                LinkedInstr::FusedMacs { dest, init: FusedInit::Acc(a), terms },
+            ) if same_range(&d, &dest) && same_range(&a, &dest) => {
+                out.push(LinkedInstr::FusedMacs { dest, init: FusedInit::Fill(value), terms });
+                stats.sweeps_merged += 1;
+            }
+            (
+                Some(LinkedInstr::FusedMacs { dest: d, init, terms: mut t1 }),
+                LinkedInstr::FusedMacs { dest, init: FusedInit::Acc(a), terms },
+            ) if same_range(&d, &dest) && same_range(&a, &dest) => {
+                t1.extend(terms);
+                out.push(LinkedInstr::FusedMacs { dest: d, init, terms: t1 });
+                stats.sweeps_merged += 1;
+            }
+            (prev, instr) => {
+                if let Some(prev) = prev {
+                    out.push(prev);
+                }
+                out.push(instr);
+            }
+        }
+    }
+    out
+}
+
+/// Elides the pre-kernel snapshot capture for kernels whose transmitted
+/// fields are written only by a trailing write-back.
+///
+/// The snapshot exists so cross-PE reads observe the pre-kernel state.
+/// When every write to a snapshotted buffer sits in a suffix of the
+/// `done` block, that suffix can instead run as a *deferred commit*
+/// ([`LinkedKernel::commit`]): the run phase executes all sweeps against
+/// the live arenas — which still hold the pre-kernel state, because
+/// nothing else writes those buffers — and applies the commits once no
+/// sweep can observe them (lagging [`LinkedComm::max_dy`] rows behind in
+/// the serial wavefront, or after a barrier in the parallel path).  This
+/// removes the snapshot copy entirely; direct slot reads
+/// ([`SrcRef::Slot`]) then resolve to the neighbor's arena column.
+///
+/// Conditions: every snapshot column covers its full window
+/// (`copy_len == col_len`, otherwise the capture's zero tail has no arena
+/// backing), and no instruction outside the commit suffix writes any
+/// snapshotted buffer.  Commit instructions only touch PE-local state, so
+/// deferring them preserves each PE's own observation order — results
+/// stay bitwise identical.
+fn defer_commits(linked: &mut LinkedProgram, stats: &mut OptStats) {
+    let layouts = linked.layouts.clone();
+    for kernel in &mut linked.kernels {
+        let Some(comm) = &kernel.comm else { continue };
+        if !comm.capture || comm.snap_fields.iter().any(|f| f.copy_len != comm.col_len) {
+            continue;
+        }
+        let snapped: Vec<BufferId> = comm.snap_fields.iter().map(|f| f.buffer).collect();
+        let writes_snapped =
+            |instr: &LinkedInstr| snapped.contains(&buffer_at(&layouts, instr_dest(instr).base));
+        // Deferred commits run after the sweeps, against the live arenas:
+        // a direct slot read ([`SrcRef::Slot`]) inside one would observe
+        // *post*-commit neighbor state (and the run phase does not even
+        // resolve slot columns in the commit pass), so such instructions
+        // can never be deferred.
+        let has_slot_src = |instr: &LinkedInstr| match instr {
+            LinkedInstr::FusedMacs { terms, .. } => {
+                terms.iter().any(|t| matches!(t.src, SrcRef::Slot { .. }))
+            }
+            _ => false,
+        };
+        // The commit suffix: trailing `done` instructions whose destination
+        // is a snapshotted buffer.
+        let mut split = kernel.done.len();
+        while split > 0
+            && writes_snapped(&kernel.done[split - 1])
+            && !has_slot_src(&kernel.done[split - 1])
+        {
+            split -= 1;
+        }
+        // Every other write to a snapshotted buffer blocks the deferral.
+        let sweep_writes = kernel
+            .pre
+            .iter()
+            .chain(&kernel.recv)
+            .chain(kernel.done.iter().take(split))
+            .any(writes_snapped);
+        if sweep_writes {
+            continue;
+        }
+        kernel.commit = kernel.done.split_off(split);
+        let comm = kernel.comm.as_mut().expect("checked above");
+        comm.capture = false;
+        stats.captures_elided += 1;
+    }
+}
+
+/// Rewrites receive-callback fused-term reads of staged slot data into
+/// direct snapshot reads ([`SrcRef::Slot`]), then clears
+/// [`LinkedSlot::staged`] for every slot whose staged copy is provably
+/// never observed afterwards — the run phase skips those copies entirely.
+///
+/// The rewrite targets static views that lie fully inside one slot's chunk
+/// window of the receive buffer: the staged copy holds exactly the
+/// snapshot elements `[offset + chunk · chunk_size, … + len)` of the
+/// slot's column (zeros outside the grid), so the direct read is bitwise
+/// identical.  The staging decision reuses the cyclic liveness scan: a
+/// slot keeps its copy as long as any instruction still reads its window
+/// before the next full overwrite.
+fn elide_staging(linked: &mut LinkedProgram, stats: &mut OptStats) {
+    for kernel in &mut linked.kernels {
+        let Some(comm) = &kernel.comm else { continue };
+        let chunk = comm.chunk_size;
+        if chunk == 0 || comm.num_chunks == 0 {
+            continue;
+        }
+        let recv_base = comm.recv_base;
+        let num_slots = comm.slots.len();
+        for instr in &mut kernel.recv {
+            let LinkedInstr::FusedMacs { terms, .. } = instr else { continue };
+            for term in terms {
+                let SrcRef::Arena(v) = &term.src else { continue };
+                if v.dynamic || v.len == 0 {
+                    continue;
+                }
+                let (start, len) = (v.base as usize, v.len as usize);
+                if start < recv_base || start + len > recv_base + num_slots * chunk {
+                    continue;
+                }
+                let slot = (start - recv_base) / chunk;
+                let offset = start - recv_base - slot * chunk;
+                if offset + len > chunk {
+                    // Straddles two slots: the windows belong to different
+                    // neighbors, so the read cannot be redirected.
+                    continue;
+                }
+                term.src =
+                    SrcRef::Slot { slot: slot as u32, offset: offset as u32, len: len as u32 };
+            }
+        }
+    }
+    let (events, position) = program_events(linked);
+    for (k, kernel) in linked.kernels.iter_mut().enumerate() {
+        let Some(comm) = &mut kernel.comm else { continue };
+        let chunk = comm.chunk_size;
+        let recv_base = comm.recv_base;
+        for (slot, spec) in comm.slots.iter_mut().enumerate() {
+            let Some(&stage_pos) = position.get(&(k, 3, slot)) else { continue };
+            let range = (recv_base + slot * chunk, recv_base + (slot + 1) * chunk);
+            if write_is_dead(&events, stage_pos, range) {
+                spec.staged = false;
+                stats.slots_elided += 1;
+            }
+        }
+    }
+}
+
+/// Collapses `Fill`/`Macs` chains into [`LinkedInstr::FusedMacs`] sweeps.
+///
+/// A chain is `[Fill(d, c)]? Macs(d, a₀, s₀, c₀) (Macs(d, d, sᵢ, cᵢ))*`
+/// where the first accumulator `a₀` is either `d` itself (or the preceding
+/// `Fill` value) or a distinct disjoint view, and every source `sᵢ` is
+/// provably disjoint from `d`.  A single safe `Macs` also becomes an
+/// arity-1 sweep: it drops the scratch double-buffer the generic path
+/// needs for aliasing safety.
+fn fuse_block(instrs: &[LinkedInstr], max_dyn: usize, stats: &mut OptStats) -> Vec<LinkedInstr> {
+    let mut out = Vec::with_capacity(instrs.len());
+    let mut i = 0;
+    while i < instrs.len() {
+        let (mut init, dest, first_macs) = match &instrs[i] {
+            LinkedInstr::Fill { dest, value } => (Some(FusedInit::Fill(*value)), *dest, i + 1),
+            LinkedInstr::Macs { dest, .. } => (None, *dest, i),
+            other => {
+                out.push(other.clone());
+                i += 1;
+                continue;
+            }
+        };
+        let mut terms: Vec<FusedTerm> = Vec::new();
+        let mut j = first_macs;
+        while j < instrs.len() {
+            let LinkedInstr::Macs { dest: d, acc, src, coeff } = &instrs[j] else { break };
+            if *d != dest || !views_disjoint(src, &dest, max_dyn) {
+                break;
+            }
+            if terms.is_empty() && init.is_none() {
+                // The first term of a bare chain supplies the init: the
+                // destination itself, or a distinct disjoint accumulator.
+                if *acc == dest || views_disjoint(acc, &dest, max_dyn) {
+                    init = Some(FusedInit::Acc(*acc));
+                } else {
+                    break;
+                }
+            } else if *acc != dest {
+                break;
+            }
+            terms.push(FusedTerm { src: SrcRef::Arena(*src), coeff: *coeff });
+            j += 1;
+        }
+        let absorbed = j - i;
+        if terms.is_empty() {
+            // No fusable Macs followed (a bare Fill, or an aliasing Macs).
+            out.push(instrs[i].clone());
+            i += 1;
+            continue;
+        }
+        if absorbed >= 2 {
+            stats.fused_chains += 1;
+            stats.fused_terms += terms.len();
+            stats.longest_chain = stats.longest_chain.max(absorbed);
+        }
+        out.push(LinkedInstr::FusedMacs { dest, init: init.expect("set with first term"), terms });
+        i = j;
+    }
+    out
+}
+
+/// One step of the program's cyclic execution order, for the conservative
+/// liveness scan behind copy folding.
+struct Event {
+    /// Arena intervals the step may read (dynamic views extended).
+    reads: Vec<(usize, usize)>,
+    /// Interval the step writes, and whether the write fully covers it on
+    /// every execution (dynamic writes shift per chunk, so they never
+    /// cover).
+    write: Option<(usize, usize, bool)>,
+}
+
+fn instr_event(instr: &LinkedInstr, max_dyn: usize) -> Event {
+    let read = |v: &LinkedView| view_span(v, max_dyn);
+    let write = |v: &LinkedView| {
+        let (start, end) = view_span(v, max_dyn);
+        Some((start, end, !v.dynamic))
+    };
+    match instr {
+        LinkedInstr::Fill { dest, .. } => Event { reads: Vec::new(), write: write(dest) },
+        LinkedInstr::Copy { dest, src } => Event { reads: vec![read(src)], write: write(dest) },
+        LinkedInstr::Binary { dest, a, b, .. } => {
+            Event { reads: vec![read(a), read(b)], write: write(dest) }
+        }
+        LinkedInstr::Macs { dest, acc, src, .. } => {
+            Event { reads: vec![read(acc), read(src)], write: write(dest) }
+        }
+        LinkedInstr::FusedMacs { dest, init, terms } => {
+            // Slot sources read the snapshot, not the arena, so they do
+            // not appear in arena liveness.
+            let mut reads: Vec<(usize, usize)> = terms
+                .iter()
+                .filter_map(|t| match &t.src {
+                    SrcRef::Arena(v) => Some(read(v)),
+                    SrcRef::Slot { .. } => None,
+                })
+                .collect();
+            if let FusedInit::Acc(a) = init {
+                reads.push(read(a));
+            }
+            Event { reads, write: write(dest) }
+        }
+    }
+}
+
+/// Flattens the program into its cyclic execution order: per kernel the
+/// snapshot reads, the `pre` block, the receive staging writes and `recv`
+/// block (once — repetition per chunk does not change first-read /
+/// first-cover order), then `done`; one trailing event keeps every field
+/// interior live (fields are observable between any two timesteps).
+/// Returns the events plus the event index of each instruction, keyed by
+/// `(kernel, block, index)` with blocks `0 = pre`, `1 = recv`, `2 = done`.
+/// Event index of each instruction, keyed by `(kernel, block, index)`
+/// with blocks `0 = pre`, `1 = recv`, `2 = done`, `3 = staging slot`.
+type EventPositions = HashMap<(usize, usize, usize), usize>;
+
+fn program_events(linked: &LinkedProgram) -> (Vec<Event>, EventPositions) {
+    let mut events = Vec::new();
+    let mut position = HashMap::new();
+    for (k, kernel) in linked.kernels.iter().enumerate() {
+        let max_dyn = max_dyn_of(kernel);
+        if let Some(comm) = &kernel.comm {
+            let reads =
+                comm.snap_fields.iter().map(|f| (f.src_base, f.src_base + f.copy_len)).collect();
+            events.push(Event { reads, write: None });
+        }
+        for (i, instr) in kernel.pre.iter().enumerate() {
+            position.insert((k, 0, i), events.len());
+            events.push(instr_event(instr, 0));
+        }
+        if let Some(comm) = &kernel.comm {
+            for (slot, spec) in comm.slots.iter().enumerate() {
+                if !spec.staged {
+                    continue;
+                }
+                let start = comm.recv_base + slot * comm.chunk_size;
+                position.insert((k, 3, slot), events.len());
+                events.push(Event {
+                    reads: Vec::new(),
+                    write: Some((start, start + comm.chunk_size, true)),
+                });
+            }
+        }
+        for (i, instr) in kernel.recv.iter().enumerate() {
+            position.insert((k, 1, i), events.len());
+            events.push(instr_event(instr, max_dyn));
+        }
+        for (i, instr) in kernel.done.iter().enumerate() {
+            position.insert((k, 2, i), events.len());
+            events.push(instr_event(instr, 0));
+        }
+    }
+    let field_reads = linked
+        .field_ids
+        .iter()
+        .map(|id| {
+            let layout = &linked.layouts[id.0 as usize];
+            let start = layout.base + (linked.z_halo as usize).min(layout.len);
+            (start, (start + linked.z_dim as usize).min(layout.base + layout.len))
+        })
+        .collect();
+    events.push(Event { reads: field_reads, write: None });
+    (events, position)
+}
+
+/// True when a write to `range` issued just before `events[after + 1]` is
+/// never observed: scanning the cyclic execution order, the range is fully
+/// overwritten before any overlapping read.
+fn write_is_dead(events: &[Event], after: usize, range: (usize, usize)) -> bool {
+    let n = events.len();
+    for step in 1..=n {
+        let event = &events[(after + step) % n];
+        if event.reads.iter().any(|&(r0, r1)| r0 < range.1 && range.0 < r1) {
+            return false;
+        }
+        if let Some((w0, w1, covers)) = event.write {
+            if covers && w0 <= range.0 && w1 >= range.1 {
+                return true;
+            }
+        }
+    }
+    true
+}
+
+/// Folds `Copy { dest: out, src: acc }` instructions into the immediately
+/// preceding fused sweep over `acc`, retargeting the sweep at `out`, when
+/// the sweep's sources stay disjoint from `out` and the eliminated write
+/// to `acc` is provably dead (see module docs).
+fn fold_copies(linked: &mut LinkedProgram, stats: &mut OptStats) {
+    'rescan: loop {
+        let (events, position) = program_events(linked);
+        for k in 0..linked.kernels.len() {
+            let max_dyn = max_dyn_of(&linked.kernels[k]);
+            for block_index in 0..3 {
+                let block = match block_index {
+                    0 => &linked.kernels[k].pre,
+                    1 => &linked.kernels[k].recv,
+                    _ => &linked.kernels[k].done,
+                };
+                for i in 0..block.len().saturating_sub(1) {
+                    let LinkedInstr::FusedMacs { dest, init, terms } = &block[i] else { continue };
+                    let LinkedInstr::Copy { dest: out, src } = &block[i + 1] else { continue };
+                    if src != dest {
+                        continue;
+                    }
+                    // The retargeted sweep writes `out` while reading its
+                    // sources and (for an accumulator init) the old
+                    // destination, so all of them must be disjoint from
+                    // `out` (slot sources read the snapshot and cannot
+                    // alias any arena view).
+                    let sources_safe = terms.iter().all(|t| match &t.src {
+                        SrcRef::Arena(v) => views_disjoint(v, out, max_dyn),
+                        SrcRef::Slot { .. } => true,
+                    });
+                    let init_safe = match init {
+                        FusedInit::Fill(_) => true,
+                        FusedInit::Acc(a) => views_disjoint(a, out, max_dyn),
+                    };
+                    if !sources_safe || !init_safe {
+                        continue;
+                    }
+                    let copy_pos = position[&(k, block_index, i + 1)];
+                    if !write_is_dead(&events, copy_pos, view_span(dest, max_dyn)) {
+                        continue;
+                    }
+                    let out = *out;
+                    let block = match block_index {
+                        0 => &mut linked.kernels[k].pre,
+                        1 => &mut linked.kernels[k].recv,
+                        _ => &mut linked.kernels[k].done,
+                    };
+                    let LinkedInstr::FusedMacs { dest, .. } = &mut block[i] else { unreachable!() };
+                    *dest = out;
+                    block.remove(i + 1);
+                    stats.copies_folded += 1;
+                    continue 'rescan;
+                }
+            }
+        }
+        return;
+    }
+}
+
+/// Every view an instruction touches (destination first).
+fn instr_views(instr: &LinkedInstr) -> Vec<&LinkedView> {
+    match instr {
+        LinkedInstr::Fill { dest, .. } => vec![dest],
+        LinkedInstr::Copy { dest, src } => vec![dest, src],
+        LinkedInstr::Binary { dest, a, b, .. } => vec![dest, a, b],
+        LinkedInstr::Macs { dest, acc, src, .. } => vec![dest, acc, src],
+        LinkedInstr::FusedMacs { dest, init, terms } => {
+            let mut views = vec![dest];
+            if let FusedInit::Acc(a) = init {
+                views.push(a);
+            }
+            views.extend(terms.iter().filter_map(|t| match &t.src {
+                SrcRef::Arena(v) => Some(v),
+                SrcRef::Slot { .. } => None,
+            }));
+            views
+        }
+    }
+}
+
+/// Mutable variant of [`instr_views`] (arena views only — slot sources
+/// address the snapshot, which coalescing never moves).
+fn instr_views_mut(instr: &mut LinkedInstr) -> Vec<&mut LinkedView> {
+    match instr {
+        LinkedInstr::Fill { dest, .. } => vec![dest],
+        LinkedInstr::Copy { dest, src } => vec![dest, src],
+        LinkedInstr::Binary { dest, a, b, .. } => vec![dest, a, b],
+        LinkedInstr::Macs { dest, acc, src, .. } => vec![dest, acc, src],
+        LinkedInstr::FusedMacs { dest, init, terms } => {
+            let mut views = vec![dest];
+            if let FusedInit::Acc(a) = init {
+                views.push(a);
+            }
+            views.extend(terms.iter_mut().filter_map(|t| match &mut t.src {
+                SrcRef::Arena(v) => Some(v),
+                SrcRef::Slot { .. } => None,
+            }));
+            views
+        }
+    }
+}
+
+/// Removes buffers no instruction, receive slot, or snapshot references,
+/// re-packing the survivors back to back and remapping every view.
+fn coalesce_arena(linked: &mut LinkedProgram, stats: &mut OptStats) {
+    let old_layouts = linked.layouts.clone();
+    if old_layouts.is_empty() {
+        return;
+    }
+    let mut used = vec![false; old_layouts.len()];
+    for id in &linked.field_ids {
+        used[id.0 as usize] = true;
+    }
+    for kernel in &linked.kernels {
+        for instr in kernel.pre.iter().chain(&kernel.recv).chain(&kernel.done).chain(&kernel.commit)
+        {
+            for view in instr_views(instr) {
+                used[buffer_at(&old_layouts, view.base).0 as usize] = true;
+            }
+        }
+        if let Some(comm) = &kernel.comm {
+            used[buffer_at(&old_layouts, comm.recv_base as u32).0 as usize] = true;
+            for field in &comm.snap_fields {
+                used[field.buffer.0 as usize] = true;
+            }
+        }
+    }
+    if used.iter().all(|&u| u) {
+        return;
+    }
+
+    // Re-pack the surviving buffers and record each old buffer's offset
+    // delta and new id.
+    let mut new_layouts = Vec::new();
+    let mut new_id = vec![BufferId(u32::MAX); old_layouts.len()];
+    let mut delta = vec![0i64; old_layouts.len()];
+    let mut base = 0usize;
+    for (i, layout) in old_layouts.iter().enumerate() {
+        if !used[i] {
+            continue;
+        }
+        new_id[i] = BufferId(new_layouts.len() as u32);
+        delta[i] = base as i64 - layout.base as i64;
+        new_layouts.push(BufferLayout { base, ..layout.clone() });
+        base += layout.len;
+    }
+    stats.buffers_coalesced += old_layouts.len() - new_layouts.len();
+
+    for kernel in &mut linked.kernels {
+        for instr in kernel
+            .pre
+            .iter_mut()
+            .chain(&mut kernel.recv)
+            .chain(&mut kernel.done)
+            .chain(&mut kernel.commit)
+        {
+            for view in instr_views_mut(instr) {
+                let owner = buffer_at(&old_layouts, view.base).0 as usize;
+                view.base = (view.base as i64 + delta[owner]) as u32;
+            }
+        }
+        if let Some(comm) = &mut kernel.comm {
+            let owner = buffer_at(&old_layouts, comm.recv_base as u32).0 as usize;
+            comm.recv_base = (comm.recv_base as i64 + delta[owner]) as usize;
+            for field in &mut comm.snap_fields {
+                let owner = field.buffer.0 as usize;
+                field.src_base = (field.src_base as i64 + delta[owner]) as usize;
+                field.buffer = new_id[owner];
+            }
+        }
+    }
+    for id in &mut linked.field_ids {
+        *id = new_id[id.0 as usize];
+    }
+    linked.arena_len = base;
+    linked.layouts = new_layouts;
 }
 
 #[cfg(test)]

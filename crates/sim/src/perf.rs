@@ -9,7 +9,7 @@
 //! traffic and extra internal tasks — the dominant reason for the WSE2 /
 //! WSE3 gap reported in Figure 4.
 
-use crate::loader::{Instr, LoadedKernel, LoadedProgram};
+use crate::loader::{Instr, LoadedKernel, LoadedProgram, SlotSpec};
 use crate::machine::WseMachine;
 
 /// Fixed per-DSD-operation issue overhead in cycles.
@@ -64,6 +64,41 @@ fn instr_cycles(instrs: &[Instr]) -> u64 {
     instrs.iter().map(|i| i.elements() as u64 * CYCLES_PER_ELEMENT + DSD_ISSUE_CYCLES).sum()
 }
 
+/// Per-exchange fabric profile derived from the receive slots, modelling
+/// dimension-ordered (x-then-y) routing.  Cardinal star exchanges reduce
+/// to the paper's per-direction column counts; box/diagonal exchanges
+/// route their final hop over a shared link and travel `|dx| + |dy|`
+/// hops, both of which the cardinal-only model undercounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricProfile {
+    /// Largest number of neighbor columns entering a PE over any one of
+    /// its four links (the serialization bottleneck: links run in
+    /// parallel, columns on one link do not).
+    pub max_link_load: u64,
+    /// Longest slot route in hops (`|dx| + |dy|`, at least 1).
+    pub max_hops: u64,
+}
+
+/// Computes the [`FabricProfile`] of an exchange's receive slots.
+pub fn fabric_profile(slots: &[SlotSpec]) -> FabricProfile {
+    let mut link_loads = [0u64; 4];
+    let mut max_hops = 1u64;
+    for slot in slots {
+        // With x-then-y routing the slot's final hop — the link it lands
+        // on — is along y whenever it moves in y at all.
+        let link = match (slot.dx, slot.dy) {
+            (_, dy) if dy > 0 => 0,
+            (_, dy) if dy < 0 => 1,
+            (dx, _) if dx > 0 => 2,
+            _ => 3,
+        };
+        link_loads[link] += 1;
+        max_hops = max_hops.max(slot.dx.unsigned_abs() + slot.dy.unsigned_abs());
+    }
+    let max_link_load = link_loads.iter().copied().max().unwrap_or(0).max(1);
+    FabricProfile { max_link_load, max_hops }
+}
+
 /// Cycles and task counts for one kernel in one timestep.
 fn kernel_cycles(kernel: &LoadedKernel, machine: &WseMachine) -> CycleBreakdown {
     let mut breakdown = CycleBreakdown::default();
@@ -75,12 +110,16 @@ fn kernel_cycles(kernel: &LoadedKernel, machine: &WseMachine) -> CycleBreakdown 
 
     let directions = 4u64;
     let self_transmit_factor = if machine.self_transmit { 1.25 } else { 1.0 };
-    // Per chunk and per direction, `pattern` neighbor columns of
-    // `chunk_size` elements stream over the link at one element per cycle.
-    let elements_per_direction =
-        (comm.pattern * comm.chunk_size) as u64 * comm.fields.len().max(1) as u64;
-    let per_chunk_fabric = (elements_per_direction as f64 * self_transmit_factor) as u64
-        + HOP_LATENCY_CYCLES * comm.pattern as u64;
+    // Per chunk, the busiest link serializes its slots' chunks at one
+    // element per cycle (links run in parallel), and the longest route
+    // pays per-hop latency.  For the paper's cardinal star stencils this
+    // reduces to `pattern` columns per direction and `pattern` hops; box
+    // and diagonal exchanges now charge their true link loads and
+    // Manhattan routes.
+    let profile = fabric_profile(&comm.slots);
+    let elements_per_link = profile.max_link_load * comm.chunk_size as u64;
+    let per_chunk_fabric = (elements_per_link as f64 * self_transmit_factor) as u64
+        + HOP_LATENCY_CYCLES * profile.max_hops;
     let fabric_total = COMM_SETUP_CYCLES + per_chunk_fabric * comm.num_chunks as u64;
 
     // Receive-side reduction runs once per chunk and overlaps with the
@@ -195,6 +234,78 @@ mod tests {
             program.timesteps,
             program.flops_per_point(),
         )
+    }
+
+    /// Table-driven coverage of the routing model: per-link loads and hop
+    /// counts for cardinal, box, diagonal, and multi-field exchanges.
+    #[test]
+    fn fabric_profile_models_noncardinal_routes() {
+        use crate::loader::SlotSpec;
+        let slot = |dx: i64, dy: i64| SlotSpec { field: "a".into(), dx, dy };
+        let star1 = vec![slot(1, 0), slot(-1, 0), slot(0, 1), slot(0, -1)];
+        let star2: Vec<SlotSpec> =
+            [1i64, -1, 2, -2].iter().flat_map(|&r| [slot(r, 0), slot(0, r)]).collect();
+        // Box radius 1: the three dy = +1 slots all land on the north
+        // link under x-then-y routing.
+        let box1: Vec<SlotSpec> = (-1..=1)
+            .flat_map(|dx| (-1..=1).map(move |dy| (dx, dy)))
+            .filter(|&(dx, dy)| (dx, dy) != (0, 0))
+            .map(|(dx, dy)| slot(dx, dy))
+            .collect();
+        let diagonal = vec![slot(1, 1), slot(-1, -1)];
+        let two_fields_east = vec![
+            SlotSpec { field: "a".into(), dx: 1, dy: 0 },
+            SlotSpec { field: "b".into(), dx: 1, dy: 0 },
+        ];
+        let far_diagonal = vec![slot(3, -2)];
+        let cases: [(&str, &[SlotSpec], u64, u64); 7] = [
+            ("no slots", &[], 1, 1),
+            ("star radius 1", &star1, 1, 1),
+            ("star radius 2", &star2, 2, 2),
+            ("box radius 1", &box1, 3, 2),
+            ("diagonal pair", &diagonal, 1, 2),
+            ("two fields east", &two_fields_east, 2, 1),
+            ("far diagonal", &far_diagonal, 1, 5),
+        ];
+        for (label, slots, load, hops) in cases {
+            let profile = fabric_profile(slots);
+            assert_eq!(profile.max_link_load, load, "{label}: link load");
+            assert_eq!(profile.max_hops, hops, "{label}: hops");
+        }
+    }
+
+    /// A box-shaped exchange must cost more fabric time than the cardinal
+    /// star with the same radius and chunking — the cardinal-only model
+    /// charged them identically.
+    #[test]
+    fn box_exchanges_cost_more_than_cardinal_ones() {
+        use crate::loader::{CommSpec, LoadedKernel, SlotSpec};
+        let slot = |dx: i64, dy: i64| SlotSpec { field: "a".into(), dx, dy };
+        let kernel = |slots: Vec<SlotSpec>| LoadedKernel {
+            name: "seq_kernel0".into(),
+            pre: Vec::new(),
+            comm: Some(CommSpec {
+                num_chunks: 2,
+                chunk_size: 16,
+                pattern: slots.iter().map(|s| s.dx.abs().max(s.dy.abs())).max().unwrap_or(1),
+                slots,
+                fields: vec!["a".into()],
+            }),
+            recv: Vec::new(),
+            done: Vec::new(),
+        };
+        let star = kernel(vec![slot(1, 0), slot(-1, 0), slot(0, 1), slot(0, -1)]);
+        let bx = kernel(
+            (-1..=1)
+                .flat_map(|dx| (-1..=1).map(move |dy| (dx, dy)))
+                .filter(|&(dx, dy)| (dx, dy) != (0, 0))
+                .map(|(dx, dy)| slot(dx, dy))
+                .collect(),
+        );
+        let machine = WseGeneration::Wse3.machine();
+        let star_cycles = kernel_cycles(&star, &machine).total();
+        let box_cycles = kernel_cycles(&bx, &machine).total();
+        assert!(box_cycles > star_cycles, "box ({box_cycles}) must exceed star ({star_cycles})");
     }
 
     #[test]

@@ -6,17 +6,18 @@
 //! minimal reproducer, prints it (with parseable stencil IR) and exits
 //! with a non-zero status.
 //!
-//! Usage: `conformance [--cases N] [--seed S] [--verbose]`
+//! Usage: `conformance [--cases N] [--seed S] [--stress] [--soak] [--verbose]`
 
 use testkit::{
-    generate_case_with, install_quiet_panic_hook, reproducer, run_case, shrink_case,
-    GeneratorConfig, Verdict,
+    generate_case_with, install_quiet_panic_hook, reproducer, run_case_with_tolerance,
+    shape_tolerance, shrink_case, GeneratorConfig, Verdict, TOLERANCE,
 };
 
 fn main() {
     let mut cases: u64 = 64;
     let mut base_seed: u64 = 0;
     let mut verbose = false;
+    let mut per_shape_bounds = false;
     let mut config = GeneratorConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,9 +39,26 @@ fn main() {
                     max_timesteps: 4,
                 };
             }
+            // The nightly soak profile: large grids, deep timestep counts,
+            // and per-shape error bounds instead of the flat 1e-3.  Far
+            // slower per case than the PR-gating profiles.
+            "--soak" => {
+                per_shape_bounds = true;
+                config = GeneratorConfig {
+                    max_grid_xy: 20,
+                    max_grid_z: 40,
+                    max_fields: 4,
+                    max_equations: 4,
+                    max_radius_xy: 4,
+                    max_radius_z: 4,
+                    max_timesteps: 8,
+                };
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: conformance [--cases N] [--seed S] [--stress] [--verbose]");
+                eprintln!(
+                    "usage: conformance [--cases N] [--seed S] [--stress] [--soak] [--verbose]"
+                );
                 std::process::exit(2);
             }
         }
@@ -53,7 +71,8 @@ fn main() {
 
     for seed in base_seed..base_seed + cases {
         let case = generate_case_with(seed, &config);
-        let verdict = run_case(&case);
+        let tolerance = if per_shape_bounds { shape_tolerance(&case.program) } else { TOLERANCE };
+        let verdict = run_case_with_tolerance(&case, tolerance);
         match &verdict {
             Verdict::Pass { deviation } => {
                 passed += 1;
@@ -80,9 +99,19 @@ fn main() {
                 };
                 println!("seed {seed}: {kind}: {detail}");
                 println!("shrinking ...");
-                let shrunk = shrink_case(&case, &|candidate| !run_case(candidate).is_conformant());
+                let bound = |candidate: &testkit::ConformanceCase| {
+                    if per_shape_bounds {
+                        shape_tolerance(&candidate.program)
+                    } else {
+                        TOLERANCE
+                    }
+                };
+                let shrunk = shrink_case(&case, &|candidate| {
+                    !run_case_with_tolerance(candidate, bound(candidate)).is_conformant()
+                });
                 println!("{}", reproducer(&shrunk));
-                println!("final verdict on shrunk case: {:?}", run_case(&shrunk));
+                let verdict = run_case_with_tolerance(&shrunk, bound(&shrunk));
+                println!("final verdict on shrunk case: {verdict:?}");
             }
         }
     }

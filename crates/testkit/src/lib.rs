@@ -31,7 +31,10 @@ pub mod report;
 pub mod rng;
 pub mod shrink;
 
-pub use conformance::{install_quiet_panic_hook, run_case, Verdict, TOLERANCE};
+pub use conformance::{
+    install_quiet_panic_hook, run_case, run_case_with_tolerance, shape_tolerance, Verdict,
+    TOLERANCE,
+};
 pub use generate::{generate_case, generate_case_with, ConformanceCase, GeneratorConfig};
 pub use report::reproducer;
 pub use shrink::shrink_case;

@@ -158,3 +158,179 @@ fn nonlinear_bodies_are_rejected_with_a_typed_diagnostic() {
         other => panic!("expected a typed rejection, got {other:?}"),
     }
 }
+
+// --------------------------------------------------------------------------
+// Link-time optimizer fusion rules (PR 4).  One pinned regression per
+// rewrite-safety rule: the optimized stream must stay bitwise identical
+// to the unoptimized (`WSE_SIM_NO_FUSE=1`) stream even on the exact
+// shapes where an unsound rewrite would diverge.
+// --------------------------------------------------------------------------
+
+mod fusion_rules {
+    use wse_frontends::ast::{Expr, StencilEquation};
+    use wse_lowering::PipelineOptions;
+    use wse_sim::loader::{BufferDecl, Instr, LoadedKernel, LoadedProgram, Src, ViewRef};
+    use wse_sim::{LinkOptions, WseGridSim};
+
+    fn view(buffer: &str, offset: i64, len: i64) -> ViewRef {
+        ViewRef { buffer: buffer.into(), offset, dynamic: false, len }
+    }
+
+    fn hand_built(pre: Vec<Instr>, buffers: Vec<BufferDecl>) -> LoadedProgram {
+        LoadedProgram {
+            width: 2,
+            height: 2,
+            z_dim: 4,
+            z_halo: 0,
+            timesteps: 2,
+            buffers,
+            field_buffers: vec!["a".into()],
+            kernels: vec![LoadedKernel {
+                name: "seq_kernel0".into(),
+                pre,
+                comm: None,
+                recv: Vec::new(),
+                done: Vec::new(),
+            }],
+        }
+    }
+
+    /// Runs the program through both streams and requires bitwise equality.
+    fn assert_bitwise_transparent(program: LoadedProgram) {
+        let mut optimized =
+            WseGridSim::with_options(program.clone(), LinkOptions { optimize: true }).unwrap();
+        optimized.run(None).unwrap();
+        let mut unoptimized =
+            WseGridSim::with_options(program, LinkOptions { optimize: false }).unwrap();
+        unoptimized.run(None).unwrap();
+        let (a, b) = (optimized.grid_state().unwrap(), unoptimized.grid_state().unwrap());
+        for ((name, fa), fb) in a.names.iter().zip(&a.fields).zip(&b.fields) {
+            for (i, (x, y)) in fa.data.iter().zip(&fb.data).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{name}[{i}]: {x} vs {y}");
+            }
+        }
+    }
+
+    /// Rule 1: a `Macs` whose source aliases its destination must not fuse
+    /// into a one-pass sweep — the multi-pass scratch semantics (read all,
+    /// then write) are observable through the overlap.
+    #[test]
+    fn aliased_dest_and_src_are_not_fused() {
+        let program = hand_built(
+            vec![
+                Instr::Movs { dest: view("a", 0, 4), src: Src::Scalar(1.0) },
+                // dest a[0..3] overlaps src a[1..4]: one-pass execution
+                // would read its own freshly written elements.
+                Instr::Macs {
+                    dest: view("a", 0, 3),
+                    acc: view("a", 0, 3),
+                    src: view("a", 1, 3),
+                    coeff: 0.5,
+                },
+                Instr::Macs {
+                    dest: view("a", 0, 3),
+                    acc: view("a", 0, 3),
+                    src: view("a", 1, 3),
+                    coeff: -0.25,
+                },
+            ],
+            vec![BufferDecl { name: "a".into(), len: 4, init: 0.0 }],
+        );
+        assert_bitwise_transparent(program);
+    }
+
+    /// Rule 2: an interleaved `Copy` that redefines a chain source is a
+    /// fusion barrier, and folding the copy away must respect the read
+    /// that follows it.
+    #[test]
+    fn interleaved_copy_breaks_the_chain() {
+        let program = hand_built(
+            vec![
+                Instr::Movs { dest: view("acc", 0, 4), src: Src::Scalar(0.25) },
+                Instr::Macs {
+                    dest: view("acc", 0, 4),
+                    acc: view("acc", 0, 4),
+                    src: view("a", 0, 4),
+                    coeff: 0.5,
+                },
+                // Redefines `a` mid-chain; the next Macs must observe it.
+                Instr::Movs { dest: view("a", 0, 4), src: Src::View(view("acc", 0, 4)) },
+                Instr::Macs {
+                    dest: view("acc", 0, 4),
+                    acc: view("acc", 0, 4),
+                    src: view("a", 0, 4),
+                    coeff: -0.5,
+                },
+                Instr::Movs { dest: view("a", 0, 4), src: Src::View(view("acc", 0, 4)) },
+            ],
+            vec![
+                BufferDecl { name: "a".into(), len: 4, init: 0.0 },
+                BufferDecl { name: "acc".into(), len: 4, init: 0.0 },
+            ],
+        );
+        assert_bitwise_transparent(program);
+    }
+
+    /// Rule 3 (found in review): a fused sweep that reads a receive slot
+    /// directly and was retargeted at the transmitted field by copy
+    /// folding must never move into the deferred-commit block — the run
+    /// phase resolves no slot columns there, and by commit time the
+    /// neighbor arenas may already hold post-kernel state.  Before the
+    /// fix this exact shape panicked on the first macro step.
+    #[test]
+    fn folded_slot_sweeps_are_never_deferred() {
+        use wse_sim::loader::{CommSpec, SlotSpec};
+        let program = LoadedProgram {
+            width: 3,
+            height: 1,
+            z_dim: 4,
+            z_halo: 0,
+            timesteps: 2,
+            buffers: vec![
+                BufferDecl { name: "a".into(), len: 4, init: 0.0 },
+                BufferDecl { name: "acc".into(), len: 4, init: 0.0 },
+                BufferDecl { name: "recv_buffer".into(), len: 4, init: 0.0 },
+            ],
+            field_buffers: vec!["a".into()],
+            kernels: vec![LoadedKernel {
+                name: "seq_kernel0".into(),
+                pre: vec![Instr::Movs { dest: view("acc", 0, 4), src: Src::Scalar(0.0) }],
+                comm: Some(CommSpec {
+                    num_chunks: 1,
+                    chunk_size: 4,
+                    slots: vec![SlotSpec { field: "a".into(), dx: 1, dy: 0 }],
+                    fields: vec!["a".into()],
+                    pattern: 1,
+                }),
+                recv: vec![Instr::Macs {
+                    dest: view("acc", 0, 4),
+                    acc: view("acc", 0, 4),
+                    src: view("recv_buffer", 0, 4),
+                    coeff: 0.5,
+                }],
+                done: vec![Instr::Movs {
+                    dest: view("a", 0, 4),
+                    src: Src::View(view("acc", 0, 4)),
+                }],
+            }],
+        };
+        assert_bitwise_transparent(program);
+    }
+
+    /// Rule 3: a single-chunk exchange with z-shifted remote terms reads
+    /// the receive buffer directly in the done callback (no staged
+    /// column); the full pipeline must stay conformant through that path.
+    #[test]
+    fn single_chunk_z_shift_reads_recv_buffer_directly() {
+        let eq = StencilEquation::new(
+            "f0",
+            Expr::at("f0", 1, 0, 1).scale(0.2)
+                + Expr::at("f0", 1, 0, -2).scale(0.2)
+                + Expr::at("f0", 1, 0, 0).scale(0.2),
+        );
+        super::assert_passes(
+            super::program((3, 2, 5), &["f0"], vec![eq], 2),
+            PipelineOptions { num_chunks: 1, ..PipelineOptions::default() },
+        );
+    }
+}

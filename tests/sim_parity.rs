@@ -1,20 +1,37 @@
 //! Property tests: the linked flat-memory engine must match the
 //! sequential reference executor across randomized grid sizes, chunk
-//! counts, and optimization settings (vendored proptest shim).
+//! counts, and optimization settings (vendored proptest shim) — and the
+//! link-time optimizer must be bitwise-transparent: every case runs
+//! through both the optimized and the `WSE_SIM_NO_FUSE=1` stream and the
+//! two grids must be identical bit for bit.
 
 use proptest::prelude::*;
 use wse_frontends::ast::StencilProgram;
 use wse_frontends::benchmarks::{diffusion, jacobian};
 use wse_lowering::{lower_program, PipelineOptions};
-use wse_sim::{load_program, max_abs_difference, run_reference, WseGridSim};
+use wse_sim::{load_program, max_abs_difference, run_reference, LinkOptions, WseGridSim};
 
-/// Lowers, links, simulates, and returns the deviation from the reference.
+/// Lowers, links, and simulates with the link-time optimizer on and off;
+/// asserts the two streams agree bitwise and returns the optimized
+/// stream's deviation from the reference.
 fn deviation(program: &StencilProgram, options: &PipelineOptions) -> f32 {
     let lowered = lower_program(program, options).expect("lowering succeeds");
     let loaded = load_program(&lowered.ctx, lowered.module).expect("loading succeeds");
-    let mut sim = WseGridSim::new(loaded).expect("program links");
+    let mut sim = WseGridSim::with_options(loaded.clone(), LinkOptions { optimize: true })
+        .expect("program links");
     sim.run(None).expect("simulation succeeds");
     let simulated = sim.grid_state().expect("state extraction succeeds");
+
+    let mut unopt = WseGridSim::with_options(loaded, LinkOptions { optimize: false })
+        .expect("program links unoptimized");
+    unopt.run(None).expect("unoptimized simulation succeeds");
+    let unopt_state = unopt.grid_state().expect("state extraction succeeds");
+    for ((name, a), b) in simulated.names.iter().zip(&simulated.fields).zip(&unopt_state.fields) {
+        for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "optimizer changed {name}[{i}]: {x} vs {y}");
+        }
+    }
+
     let reference = run_reference(program, None);
     max_abs_difference(&simulated, &reference)
 }
