@@ -17,6 +17,9 @@ pub struct CompileError {
     pub stage: String,
     /// Description.
     pub message: String,
+    /// Stable machine-readable code when the failing stage attached one
+    /// (e.g. `"non-linear"` for the nonlinear-body rejection).
+    pub code: Option<String>,
 }
 
 impl std::fmt::Display for CompileError {
@@ -91,10 +94,16 @@ impl Compiler {
     /// # Errors
     /// Returns a [`CompileError`] if emission or any lowering pass fails.
     pub fn compile(&self, program: &StencilProgram) -> Result<CslArtifact, CompileError> {
-        let lowered = lower_program(program, &self.options)
-            .map_err(|e| CompileError { stage: e.pass, message: e.message })?;
-        let loaded = load_program(&lowered.ctx, lowered.module)
-            .map_err(|e| CompileError { stage: "load".into(), message: e.message })?;
+        let lowered = lower_program(program, &self.options).map_err(|e| CompileError {
+            stage: e.pass,
+            message: e.message,
+            code: e.code,
+        })?;
+        let loaded = load_program(&lowered.ctx, lowered.module).map_err(|e| CompileError {
+            stage: "load".into(),
+            message: e.message,
+            code: None,
+        })?;
         Ok(CslArtifact::new(program.clone(), self.options, lowered, loaded))
     }
 
@@ -133,8 +142,11 @@ impl CslArtifact {
     /// # Errors
     /// Returns a [`CompileError`] if the simulation itself fails.
     pub fn validate_against_reference(&self) -> Result<f32, CompileError> {
-        let simulate =
-            |e: wse_sim::ExecError| CompileError { stage: "simulate".into(), message: e.message };
+        let simulate = |e: wse_sim::ExecError| CompileError {
+            stage: "simulate".into(),
+            message: e.message,
+            code: None,
+        };
         let mut sim = WseGridSim::new(self.loaded.clone()).map_err(simulate)?;
         sim.run(None).map_err(simulate)?;
         let state = sim.grid_state().map_err(simulate)?;

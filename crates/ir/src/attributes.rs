@@ -227,6 +227,16 @@ impl Attribute {
 /// Formats a float the way MLIR does: always with a decimal point or
 /// exponent so it round-trips as a float.
 fn format_float(v: f64) -> String {
+    // Non-finite values print as sign-carrying keywords the parser
+    // accepts back (`nan`, `-nan`, `inf`, `-inf`).  NaN payload bits are
+    // not preserved across the round trip — only `is_nan` and the sign,
+    // which is all the IR semantics depend on.
+    if v.is_nan() {
+        return if v.is_sign_negative() { "-nan".into() } else { "nan".into() };
+    }
+    if v.is_infinite() {
+        return if v < 0.0 { "-inf".into() } else { "inf".into() };
+    }
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{v:.6e}")
     } else {

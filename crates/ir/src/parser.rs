@@ -159,12 +159,20 @@ impl<'a> Parser<'a> {
             .map_err(|e| self.error(&format!("bad integer: {e}")))
     }
 
-    /// Parses a number (integer or float) returning the raw text.
+    /// Parses a number (integer, float, or the non-finite float keywords
+    /// `nan` / `inf`, optionally signed) returning the raw text.
     fn parse_number_text(&mut self) -> IrResult<String> {
         self.skip_ws();
         let start = self.pos;
         if matches!(self.peek(), Some(b'-') | Some(b'+')) {
             self.pos += 1;
+        }
+        // The printer spells non-finite floats as sign-carrying keywords.
+        for keyword in [b"nan".as_slice(), b"inf".as_slice()] {
+            if self.text[self.pos..].starts_with(keyword) {
+                self.pos += keyword.len();
+                return Ok(String::from_utf8_lossy(&self.text[start..self.pos]).into_owned());
+            }
         }
         let mut saw_digit = false;
         while let Some(c) = self.peek() {
@@ -184,6 +192,22 @@ impl<'a> Parser<'a> {
             return Err(self.error("expected number"));
         }
         Ok(String::from_utf8_lossy(&self.text[start..self.pos]).into_owned())
+    }
+
+    /// Parses the text of [`Parser::parse_number_text`] as a float,
+    /// handling the `nan` / `inf` keywords with an explicit sign so a
+    /// negative NaN keeps its sign bit across the round trip.
+    fn float_from_text(text: &str) -> Option<f64> {
+        let (sign, rest) = match text.strip_prefix('-') {
+            Some(rest) => (-1.0f64, rest),
+            None => (1.0f64, text.strip_prefix('+').unwrap_or(text)),
+        };
+        let magnitude = match rest {
+            "nan" => f64::NAN,
+            "inf" => f64::INFINITY,
+            _ => rest.parse().ok()?,
+        };
+        Some(f64::copysign(magnitude, sign))
     }
 
     fn parse_value_ref(&mut self, values: &HashMap<usize, ValueId>) -> IrResult<ValueId> {
@@ -388,6 +412,12 @@ impl<'a> Parser<'a> {
                     "unit" => Ok(Attribute::Unit),
                     "true" => Ok(Attribute::Bool(true)),
                     "false" => Ok(Attribute::Bool(false)),
+                    // Unsigned non-finite floats (the signed forms enter
+                    // through the number dispatch above).
+                    "nan" | "inf" => {
+                        self.pos = save;
+                        self.parse_number_attr()
+                    }
                     "array" => {
                         self.expect("<")?;
                         let mut items = Vec::new();
@@ -410,8 +440,8 @@ impl<'a> Parser<'a> {
                             if !self.peek_token("]") {
                                 loop {
                                     let t = self.parse_number_text()?;
-                                    let v: f64 =
-                                        t.parse().map_err(|_| self.error("bad float in dense"))?;
+                                    let v = Self::float_from_text(&t)
+                                        .ok_or_else(|| self.error("bad float in dense"))?;
                                     items.push(FloatBits::new(v));
                                     if !self.eat(",") {
                                         break;
@@ -425,7 +455,8 @@ impl<'a> Parser<'a> {
                             Ok(Attribute::DenseF32(items, ty))
                         } else {
                             let t = self.parse_number_text()?;
-                            let v: f64 = t.parse().map_err(|_| self.error("bad float in dense"))?;
+                            let v = Self::float_from_text(&t)
+                                .ok_or_else(|| self.error("bad float in dense"))?;
                             self.expect(">")?;
                             self.expect(":")?;
                             let ty = self.parse_type()?;
@@ -444,7 +475,11 @@ impl<'a> Parser<'a> {
 
     fn parse_number_attr(&mut self) -> IrResult<Attribute> {
         let text = self.parse_number_text()?;
-        let is_float = text.contains('.') || text.contains('e') || text.contains('E');
+        let is_float = text.contains('.')
+            || text.contains('e')
+            || text.contains('E')
+            || text.ends_with("nan")
+            || text.ends_with("inf");
         let ty = if self.eat(":") {
             self.parse_type()?
         } else if is_float {
@@ -453,7 +488,7 @@ impl<'a> Parser<'a> {
             Type::int(64)
         };
         if is_float || ty.is_float() {
-            let v: f64 = text.parse().map_err(|_| self.error("bad float"))?;
+            let v = Self::float_from_text(&text).ok_or_else(|| self.error("bad float"))?;
             Ok(Attribute::Float(FloatBits::new(v), ty))
         } else {
             let v: i64 = text.parse().map_err(|_| self.error("bad integer"))?;
@@ -725,6 +760,41 @@ mod tests {
         assert_eq!(topo.params.len(), 2);
         let ty = ctx.attr(op, "ty").unwrap().as_type().unwrap();
         assert!(ty.as_dialect_named("stencil", "temp").is_some());
+    }
+
+    #[test]
+    fn non_finite_float_attributes_roundtrip() {
+        use crate::attributes::Attribute;
+        use crate::builder::{OpBuilder, OpSpec};
+        let mut ctx = IrContext::new();
+        let module = ctx.create_op("builtin.module", vec![], vec![], Default::default(), 1);
+        let body = ctx.add_block(ctx.op_region(module, 0), vec![]);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        b.insert(
+            OpSpec::new("test.op")
+                .attr("pnan", Attribute::f32(f32::NAN))
+                .attr("nnan", Attribute::f32(-f32::NAN))
+                .attr("pinf", Attribute::f32(f32::INFINITY))
+                .attr("ninf", Attribute::f32(f32::NEG_INFINITY)),
+        );
+        b.insert(
+            OpSpec::new("test.dense")
+                .attr("v", Attribute::DenseSplat(FloatBits::new(f64::NEG_INFINITY), Type::f32())),
+        );
+        let printed = print_op(&ctx, module);
+        let mut reparse_ctx = IrContext::new();
+        let reparsed = parse_op(&mut reparse_ctx, &printed).expect("non-finite attrs parse back");
+        // Fixpoint: the reprint is byte-identical.
+        assert_eq!(printed, print_op(&reparse_ctx, reparsed));
+        // is_nan and the sign survive (payload bits are not required to).
+        let ops = reparse_ctx.walk(reparsed);
+        let get = |name: &str| {
+            reparse_ctx.attr(ops[1], name).and_then(Attribute::as_float).expect("float attr")
+        };
+        assert!(get("pnan").is_nan() && !get("pnan").is_sign_negative());
+        assert!(get("nnan").is_nan() && get("nnan").is_sign_negative());
+        assert_eq!(get("pinf"), f64::INFINITY);
+        assert_eq!(get("ninf"), f64::NEG_INFINITY);
     }
 
     #[test]

@@ -18,12 +18,23 @@ pub struct PassError {
     pub pass: String,
     /// Error description.
     pub message: String,
+    /// Optional stable machine-readable code (e.g. `"non-linear"`), so
+    /// harnesses can classify expected rejections without string-matching
+    /// diagnostic text.
+    pub code: Option<String>,
 }
 
 impl PassError {
     /// Creates a new pass error.
     pub fn new(pass: impl Into<String>, message: impl Into<String>) -> Self {
-        Self { pass: pass.into(), message: message.into() }
+        Self { pass: pass.into(), message: message.into(), code: None }
+    }
+
+    /// Attaches a machine-readable code.
+    #[must_use]
+    pub fn with_code(mut self, code: impl Into<String>) -> Self {
+        self.code = Some(code.into());
+        self
     }
 }
 

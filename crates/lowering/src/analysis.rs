@@ -102,23 +102,75 @@ impl LinearCombination {
     }
 }
 
+/// Machine-readable classification of an [`AnalysisError`], so harnesses
+/// can treat e.g. the nonlinear rejection as an *expected* outcome without
+/// string-matching diagnostic text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisErrorKind {
+    /// The body multiplies two non-constant subexpressions
+    /// (`access * access`): outside the linear-combination normal form.
+    NonLinear,
+    /// The body contains an operation outside the supported set.
+    UnsupportedOp,
+    /// The body is structurally malformed (missing block, offset, …).
+    Malformed,
+}
+
+impl AnalysisErrorKind {
+    /// Stable machine-readable code carried through [`wse_ir::PassError`]
+    /// (and from there into compiler and conformance diagnostics).
+    pub fn code(self) -> &'static str {
+        match self {
+            AnalysisErrorKind::NonLinear => "non-linear",
+            AnalysisErrorKind::UnsupportedOp => "unsupported-op",
+            AnalysisErrorKind::Malformed => "malformed-body",
+        }
+    }
+}
+
 /// Error produced when an apply body is not a linear combination.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalysisError {
     /// Description of the unsupported construct.
     pub message: String,
+    /// Machine-readable classification.
+    pub kind: AnalysisErrorKind,
+    /// The offending operation, when the failure is attributable to one.
+    pub op: Option<OpId>,
+}
+
+impl AnalysisError {
+    /// Attaches the offending op (and names it in the message) when the
+    /// error does not carry one yet.
+    pub fn with_op(mut self, ctx: &IrContext, op: OpId) -> Self {
+        if self.op.is_none() {
+            self.op = Some(op);
+            self.message = format!("{} (in {})", self.message, ctx.op_name(op));
+        }
+        self
+    }
+
+    /// Converts into a [`wse_ir::PassError`] carrying the machine-readable
+    /// code.
+    pub fn into_pass_error(self, pass: &str) -> wse_ir::PassError {
+        wse_ir::PassError::new(pass, self.message).with_code(self.kind.code())
+    }
 }
 
 impl std::fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "stencil analysis error: {}", self.message)
+        write!(f, "stencil analysis error [{}]: {}", self.kind.code(), self.message)
     }
 }
 
 impl std::error::Error for AnalysisError {}
 
 fn error(message: impl Into<String>) -> AnalysisError {
-    AnalysisError { message: message.into() }
+    AnalysisError { message: message.into(), kind: AnalysisErrorKind::Malformed, op: None }
+}
+
+fn error_kind(kind: AnalysisErrorKind, message: impl Into<String>) -> AnalysisError {
+    AnalysisError { message: message.into(), kind, op: None }
 }
 
 /// Symbolic value used during extraction.
@@ -189,7 +241,8 @@ pub fn analyze_apply(
             arith::MULF => {
                 let lhs = resolve(&values, ctx.operand(op, 0))?;
                 let rhs = resolve(&values, ctx.operand(op, 1))?;
-                values.insert(ctx.result(op, 0), mul_symbolic(lhs, rhs)?);
+                let product = mul_symbolic(lhs, rhs).map_err(|e| e.with_op(ctx, op))?;
+                values.insert(ctx.result(op, 0), product);
             }
             varith::MUL => {
                 let mut iter = ctx.operands(op).iter();
@@ -198,7 +251,7 @@ pub fn analyze_apply(
                 let mut acc = first;
                 for &operand in iter {
                     let value = resolve(&values, operand)?;
-                    acc = mul_symbolic(acc, value)?;
+                    acc = mul_symbolic(acc, value).map_err(|e| e.with_op(ctx, op))?;
                 }
                 values.insert(ctx.result(op, 0), acc);
             }
@@ -206,7 +259,12 @@ pub fn analyze_apply(
                 return_values = ctx.operands(op).to_vec();
             }
             other => {
-                return Err(error(format!("unsupported op {other} in stencil body")));
+                let mut e = error_kind(
+                    AnalysisErrorKind::UnsupportedOp,
+                    format!("unsupported op {other} in stencil body"),
+                );
+                e.op = Some(op);
+                return Err(e);
             }
         }
     }
@@ -264,7 +322,10 @@ fn mul_symbolic(lhs: Symbolic, rhs: Symbolic) -> Result<Symbolic, AnalysisError>
                 constant: c.constant * k,
             }))
         }
-        _ => Err(error("non-linear stencil bodies (access * access) are not supported")),
+        _ => Err(error_kind(
+            AnalysisErrorKind::NonLinear,
+            "non-linear stencil bodies (access * access) are not supported",
+        )),
     }
 }
 

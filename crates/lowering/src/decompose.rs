@@ -12,9 +12,7 @@ use std::collections::HashMap;
 
 use wse_dialects::dmp::{Exchange, Topology};
 use wse_dialects::{arith, dmp, stencil, tensor};
-use wse_ir::{
-    Attribute, FloatBits, IrContext, OpBuilder, OpId, Pass, PassError, PassResult, Type, ValueId,
-};
+use wse_ir::{Attribute, FloatBits, IrContext, OpBuilder, OpId, Pass, PassResult, Type, ValueId};
 
 use crate::analysis::{analyze_apply, LinearCombination};
 
@@ -128,8 +126,7 @@ impl Pass for DistributeStencil {
     fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
         let topology = Topology::new(self.width, self.height);
         for apply in ctx.walk_named(module, stencil::APPLY) {
-            let combos =
-                analyze_apply(ctx, apply).map_err(|e| PassError::new(self.name(), e.message))?;
+            let combos = analyze_apply(ctx, apply).map_err(|e| e.into_pass_error(self.name()))?;
             ctx.set_attr(apply, COMBINATIONS_ATTR, combinations_to_attr(&combos));
             let exchanges = exchanges_for(&combos);
             if exchanges.is_empty() {
@@ -200,9 +197,7 @@ impl Pass for TensorizeZ {
         for &apply in &applies {
             let combos = match ctx.attr(apply, COMBINATIONS_ATTR).and_then(combinations_from_attr) {
                 Some(combos) => combos,
-                None => {
-                    analyze_apply(ctx, apply).map_err(|e| PassError::new(self.name(), e.message))?
-                }
+                None => analyze_apply(ctx, apply).map_err(|e| e.into_pass_error(self.name()))?,
             };
             all_combos.insert(apply, combos);
         }

@@ -1,25 +1,103 @@
 //! Stencil- and arithmetic-level optimization passes (Section 5.7).
 //!
 //! * `stencil-inlining` merges consecutive `stencil.apply` operations into a
-//!   single fused kernel (used by UVKBE).
+//!   single fused kernel (used by UVKBE).  The pass is *dependence-aware*:
+//!   pairs whose naive fusion would miscompile (self-updating producers,
+//!   fusion across interleaved applies that clobber a producer input) are
+//!   first rewritten by renaming the hazarded field into a fresh
+//!   double-buffer `stencil.field` (see the invariants below), which makes
+//!   the fusion semantics-preserving again.
 //! * `convert-arith-to-varith` collapses chains of binary additions /
 //!   multiplications into variadic `varith` operations.
 //! * `varith-fuse-repeated-operands` replaces repeated additions of the same
 //!   value by a multiplication (important for the Acoustic kernel).
+//!
+//! # Double-buffer renaming invariants
+//!
+//! The actor lowering splits a fused multi-output apply back into
+//! *sequential* kernels, each re-reading the live field buffers — so a
+//! fused apply is only correct when every split kernel still observes the
+//! field *versions* the original program order implied.  When a writer
+//! apply `W` stores to field `f` and that write would be observed too
+//! early after fusion (because `W` itself reads `f`, or because the
+//! producer is moved past `W`), the pass renames `W`'s store into a fresh
+//! field `f__dbufN` (a new kernel argument).  The rewrite maintains:
+//!
+//! 1. **Version redirection.**  Every `stencil.load` of `f` *after* `W`'s
+//!    store and *before* the next store to `f` is redirected to
+//!    `f__dbufN`; loads before the store (including `W`'s own operands)
+//!    keep reading `f`.  Field reads therefore observe exactly the
+//!    generation the original program order produced.
+//! 2. **Live-out copy-back.**  When no later store to `f` exists in the
+//!    timestep body, the renamed generation is the field's final value:
+//!    an identity apply (`f = f__dbufN[0,0,0]`) is appended at the end of
+//!    the body, so the observable field is correct between timesteps and
+//!    at program exit.  When a later store exists, the copy-back is
+//!    elided — the later store already produces the final generation.
+//! 3. **Internal lifetime.**  Double-buffer fields are recorded in the
+//!    kernel's `internal_fields` attribute.  They are real PE buffers all
+//!    the way down (allocatable, exchangeable), but they are *not*
+//!    observable program state: the simulators exclude them from grid
+//!    state extraction (`wse-sim::GridState`), and the link-time
+//!    optimizer excludes them from the always-live field set, which is
+//!    what lets copy folding, snapshot elision, and dead-write elision
+//!    fire on shapes a self-aliasing write-back used to block.
+//!
+//! Renaming alone is semantics-preserving (it only splits one buffer into
+//! per-generation buffers), so the pass may rename and then still refuse
+//! a fusion without breaking the program.
 
 use std::collections::HashMap;
 
-use wse_dialects::{arith, stencil, varith};
-use wse_ir::{IrContext, OpBuilder, OpId, OpSpec, Pass, PassError, PassResult, Type, ValueId};
+use wse_dialects::{arith, func, scf, stencil, varith};
+use wse_ir::{
+    Attribute, IrContext, OpBuilder, OpId, OpSpec, Pass, PassError, PassResult, Type, ValueId,
+};
 
 use crate::analysis::{analyze_apply, LinearCombination, Term};
+
+/// Attribute (on the kernel `func.func`, later copied onto the program
+/// `csl.module`) listing the double-buffer fields the inliner introduced.
+/// These fields are internal: allocated and exchanged like any other
+/// buffer, but excluded from observable grid state and from the link-time
+/// optimizer's always-live set.
+pub const INTERNAL_FIELDS_ATTR: &str = "internal_fields";
+
+/// Attribute on a *fused* apply: operand indices whose loads semantically
+/// read the apply's own freshly-written generation of a field (a consumer
+/// operand that loaded a producer store target *after* the store).  Block
+/// positions cannot encode this once fusion moves the store past the load,
+/// so the marks carry the version truth: the self-update hazard check
+/// skips marked operands (the split-kernel order already delivers the new
+/// generation), and a store rename redirects them to the double buffer.
+const READS_UPDATED_ATTR: &str = "reads_updated";
+
+/// Operand indices of `apply` marked as reading the apply's own updated
+/// generation (empty for never-fused applies).
+fn updated_reads(ctx: &IrContext, apply: OpId) -> Vec<usize> {
+    ctx.attr(apply, READS_UPDATED_ATTR)
+        .and_then(Attribute::as_index_array)
+        .map(|a| a.iter().map(|&i| i as usize).collect())
+        .unwrap_or_default()
+}
+
+/// True when `load` feeds some apply as a marked updated-generation
+/// operand: the load binds to that apply's own store, never to an earlier
+/// store of the same field, so position-based redirection must skip it.
+fn is_updated_read(ctx: &IrContext, load: OpId) -> bool {
+    let result = ctx.result(load, 0);
+    ctx.uses_of(result).into_iter().any(|(user, idx)| {
+        ctx.op_name(user) == stencil::APPLY && updated_reads(ctx, user).contains(&idx)
+    })
+}
 
 // --------------------------------------------------------------------------
 // stencil-inlining
 // --------------------------------------------------------------------------
 
 /// Fuses consecutive `stencil.apply` operations where the first apply's
-/// result feeds the second.
+/// result feeds the second, double-buffering hazarded fields first when
+/// the naive fusion would reorder a dependence (see the module docs).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct StencilInlining;
 
@@ -29,18 +107,53 @@ impl Pass for StencilInlining {
     }
 
     fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        // Each iteration either fuses a pair (apply count shrinks) or
+        // renames hazarded stores (each store is renamed at most once), so
+        // the loop terminates; the valve only guards against rewrite bugs.
+        let mut valve = 10_000usize;
         loop {
-            let Some((producer, consumer)) = find_fusable_pair(ctx, module) else {
-                return Ok(());
-            };
-            fuse_applies(ctx, producer, consumer).map_err(|m| PassError::new(self.name(), m))?;
+            valve = valve
+                .checked_sub(1)
+                .ok_or_else(|| PassError::new(self.name(), "inlining did not reach a fixpoint"))?;
+            match find_fusion_candidate(ctx, module) {
+                Some((producer, consumer, FusionPlan::Safe)) => {
+                    fuse_applies(ctx, producer, consumer)
+                        .map_err(|e| e.into_pass_error(self.name()))?;
+                }
+                Some((_, _, FusionPlan::Rename(stores))) => {
+                    // Rename first; the next iteration re-evaluates the
+                    // pair (now hazard-free) and fuses it.  Renaming is
+                    // semantics-preserving on its own, so a pair that
+                    // still fails re-evaluation is merely left unfused.
+                    for store in stores {
+                        double_buffer_store(ctx, store)
+                            .map_err(|m| PassError::new(self.name(), m))?;
+                    }
+                }
+                Some((_, _, FusionPlan::Unsafe)) | None => return Ok(()),
+            }
         }
     }
 }
 
+/// How (and whether) a producer/consumer pair can be fused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FusionPlan {
+    /// Fusion preserves semantics as-is.
+    Safe,
+    /// Fusion preserves semantics once the targets of these stores are
+    /// renamed into double-buffer fields.
+    Rename(Vec<OpId>),
+    /// No rewrite in this pass's repertoire makes the fusion sound.
+    Unsafe,
+}
+
 /// Finds a pair (producer, consumer) of applies in the same block where the
-/// producer's results are only consumed by the consumer (and by stores).
-fn find_fusable_pair(ctx: &IrContext, module: OpId) -> Option<(OpId, OpId)> {
+/// producer's results are only consumed by the consumer (and by stores),
+/// preferring pairs that are fusable outright over pairs that first need
+/// double-buffer renaming.
+fn find_fusion_candidate(ctx: &IrContext, module: OpId) -> Option<(OpId, OpId, FusionPlan)> {
+    let mut renameable: Option<(OpId, OpId, FusionPlan)> = None;
     for producer in ctx.walk_named(module, stencil::APPLY) {
         for &result in ctx.results(producer) {
             let uses = ctx.uses_of(result);
@@ -60,53 +173,170 @@ fn find_fusable_pair(ctx: &IrContext, module: OpId) -> Option<(OpId, OpId)> {
             // feeding) for the fusion to be semantics-preserving.
             let all_supported =
                 uses.iter().all(|(op, _)| *op == consumer || ctx.op_name(*op) == stencil::STORE);
-            if all_supported
-                && ctx.parent_block(producer) == ctx.parent_block(consumer)
-                && fusion_is_safe(ctx, producer, consumer)
-            {
-                return Some((producer, consumer));
+            if !all_supported || ctx.parent_block(producer) != ctx.parent_block(consumer) {
+                continue;
+            }
+            match fusion_plan(ctx, producer, consumer) {
+                FusionPlan::Safe => return Some((producer, consumer, FusionPlan::Safe)),
+                plan @ FusionPlan::Rename(_) => {
+                    renameable.get_or_insert((producer, consumer, plan));
+                }
+                FusionPlan::Unsafe => {}
             }
         }
     }
-    None
+    renameable
 }
 
-/// Whether inlining `producer` into `consumer` preserves semantics under
-/// the actor lowering, which splits a fused multi-output apply back into
-/// *sequential* kernels re-reading live field buffers.
+/// The `stencil.store` ops consuming an apply's results, with their target
+/// fields.
+fn stores_of(ctx: &IrContext, apply: OpId) -> Vec<(OpId, ValueId)> {
+    ctx.results(apply)
+        .iter()
+        .flat_map(|&r| ctx.uses_of(r))
+        .filter(|(op, idx)| ctx.op_name(*op) == stencil::STORE && *idx == 0)
+        .map(|(store, _)| (store, ctx.operand(store, 1)))
+        .collect()
+}
+
+/// Dependence analysis for inlining `producer` into `consumer`.
 ///
-/// Substituting the producer's expression into the consumer freezes it in
-/// terms of the producer's *input* values — but by the time the
-/// consumer's kernel runs, the producer's kernel has already written its
-/// output field.  Fusion is therefore unsafe when a field written by any
-/// producer result also backs one of the producer's operands (a
-/// self-updating stencil, e.g. `f = 0.2 * f[z-1]` followed by a read of
-/// `f`).  It is also unsafe when another apply sits between the pair,
-/// because fusion moves the producer (and its stores) down to the
-/// consumer's position, reordering them around that middle apply.
-fn fusion_is_safe(ctx: &IrContext, producer: OpId, consumer: OpId) -> bool {
-    // No other apply between producer and consumer in block order.
-    if let (Some(block), Some(lo), Some(hi)) = (
+/// The actor lowering runs one kernel per apply, in block order, each
+/// reading live field buffers; fusion moves the producer's computation
+/// (and its stores) down to the consumer's position.  The hazards, in
+/// those terms:
+///
+/// * a producer store target backing a producer operand (self-updating
+///   stencil): downstream kernels re-reading the written buffer would
+///   observe the new generation where the substituted combination needs
+///   the old one — fixable by double-buffering the producer's store;
+/// * an interleaved apply writing a field the producer reads: the moved
+///   producer would observe the middle's write — fixable by
+///   double-buffering the middle's store;
+/// * an interleaved apply *reading* a field the producer writes, or
+///   writing a field the producer writes (WAW): the reorder is inherent
+///   to moving the producer — unfixable, the pair stays unfused.
+fn fusion_plan(ctx: &IrContext, producer: OpId, consumer: OpId) -> FusionPlan {
+    let (Some(block), Some(p_idx), Some(c_idx)) = (
         ctx.parent_block(producer),
         ctx.op_index_in_block(producer),
         ctx.op_index_in_block(consumer),
-    ) {
-        let between = &ctx.block_ops(block)[lo + 1..hi];
-        if between.iter().any(|&op| ctx.op_name(op) == stencil::APPLY) {
-            return false;
+    ) else {
+        return FusionPlan::Unsafe;
+    };
+    if p_idx >= c_idx {
+        return FusionPlan::Unsafe;
+    }
+    let p_stores = stores_of(ctx, producer);
+    let s_p: Vec<ValueId> = p_stores.iter().map(|&(_, f)| f).collect();
+    let r_p: Vec<ValueId> =
+        ctx.operands(producer).iter().filter_map(|&v| backing_field(ctx, v)).collect();
+    // Operands that deliberately read the producer's own updated
+    // generation (marked during an earlier fusion) are not hazards: the
+    // split-kernel order already runs the writing kernel first.
+    let marked = updated_reads(ctx, producer);
+    let hazard_fields: Vec<ValueId> = ctx
+        .operands(producer)
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !marked.contains(i))
+        .filter_map(|(_, &v)| backing_field(ctx, v))
+        .collect();
+
+    let mut renames: Vec<OpId> = Vec::new();
+    // Self-updating producer: double-buffer every store whose target backs
+    // a producer operand reading the *previous* generation.
+    for &(store, field) in &p_stores {
+        if hazard_fields.contains(&field) {
+            if s_p.iter().filter(|&&f| f == field).count() > 1 {
+                // Two producer generations of one field: renaming cannot
+                // tell which one a read binds to.
+                return FusionPlan::Unsafe;
+            }
+            renames.push(store);
         }
     }
-    // No producer store target may back a producer operand.
-    let targets: Vec<ValueId> = ctx
-        .results(producer)
-        .iter()
-        .flat_map(|&r| ctx.uses_of(r))
-        .filter(|(op, _)| ctx.op_name(*op) == stencil::STORE)
-        .map(|(store, _)| ctx.operand(store, 1))
-        .collect();
-    !ctx.operands(producer)
-        .iter()
-        .any(|&operand| backing_field(ctx, operand).is_some_and(|field| targets.contains(&field)))
+    // Consumer operands that load a producer store target.  The load's
+    // position (still truthful here — fusion is what scrambles it) tells
+    // which generation it reads: after the store it reads the fresh
+    // generation (fine as-is; marked during fusion so later rewrites keep
+    // the binding), before the store it reads the previous generation,
+    // which the fused kernel order would destroy — double-buffer the
+    // store instead.
+    let consumer_marked = updated_reads(ctx, consumer);
+    for (idx, &operand) in ctx.operands(consumer).iter().enumerate() {
+        if consumer_marked.contains(&idx) {
+            continue; // binds to the consumer's own store
+        }
+        let Some(def) = ctx.defining_op(operand) else { continue };
+        if ctx.op_name(def) != stencil::LOAD {
+            continue;
+        }
+        let field = ctx.operand(def, 0);
+        let matching: Vec<&(OpId, ValueId)> =
+            p_stores.iter().filter(|&&(_, f)| f == field).collect();
+        let Some(&&(store, _)) = matching.first() else { continue };
+        if matching.len() > 1 {
+            return FusionPlan::Unsafe;
+        }
+        if ctx.parent_block(def) != Some(block) {
+            // A load outside the pair's block has no position to compare.
+            return FusionPlan::Unsafe;
+        }
+        let (Some(load_idx), Some(store_idx)) =
+            (ctx.op_index_in_block(def), ctx.op_index_in_block(store))
+        else {
+            return FusionPlan::Unsafe;
+        };
+        if load_idx < store_idx && !renames.contains(&store) {
+            renames.push(store);
+        }
+    }
+    // Consumer stores of fields the producer's operands read.
+    // Substitution turns every consumer combo that referenced a producer
+    // result into terms over the producer's operands, so *later* consumer
+    // results re-read those fields; an earlier consumer result's store
+    // would clobber the generation mid-split.  Double-buffer every such
+    // store except the final result's (nothing in the fused apply reads
+    // after the last kernel).
+    let c_results = ctx.results(consumer).to_vec();
+    for (store, field) in stores_of(ctx, consumer) {
+        if !r_p.contains(&field) {
+            continue;
+        }
+        let value = ctx.operand(store, 0);
+        let is_last = c_results.last() == Some(&value);
+        if !is_last && !renames.contains(&store) {
+            renames.push(store);
+        }
+    }
+    // Interleaved applies between the pair.
+    for &op in &ctx.block_ops(block)[p_idx + 1..c_idx] {
+        if ctx.op_name(op) != stencil::APPLY {
+            continue;
+        }
+        // The middle reading a field the producer writes needs the
+        // producer's value before the fused position computes it.
+        let reads: Vec<ValueId> =
+            ctx.operands(op).iter().filter_map(|&v| backing_field(ctx, v)).collect();
+        if reads.iter().any(|f| s_p.contains(f)) {
+            return FusionPlan::Unsafe;
+        }
+        for (m_store, m_field) in stores_of(ctx, op) {
+            if s_p.contains(&m_field) {
+                // Write-after-write: moving the producer flips the order.
+                return FusionPlan::Unsafe;
+            }
+            if r_p.contains(&m_field) && !renames.contains(&m_store) {
+                renames.push(m_store);
+            }
+        }
+    }
+    if renames.is_empty() {
+        FusionPlan::Safe
+    } else {
+        FusionPlan::Rename(renames)
+    }
 }
 
 /// The `stencil.field` value backing an apply operand: the source of its
@@ -125,9 +355,151 @@ fn backing_field(ctx: &IrContext, value: ValueId) -> Option<ValueId> {
     }
 }
 
-fn fuse_applies(ctx: &mut IrContext, producer: OpId, consumer: OpId) -> Result<(), String> {
-    let producer_combos = analyze_apply(ctx, producer).map_err(|e| e.message)?;
-    let consumer_combos = analyze_apply(ctx, consumer).map_err(|e| e.message)?;
+/// The `func.func` ancestor of an op.
+fn enclosing_func(ctx: &IrContext, op: OpId) -> Option<OpId> {
+    let mut current = op;
+    loop {
+        if ctx.op_name(current) == func::FUNC {
+            return Some(current);
+        }
+        current = ctx.parent_op(current)?;
+    }
+}
+
+/// Renames the target of `store` into a fresh double-buffer field: a new
+/// kernel argument takes the write, every load of the old field between
+/// this store and the field's next store is redirected to the new
+/// generation, and an identity copy-back apply restores the original
+/// field at the end of the timestep body when this was its last store
+/// (the field is live-out of the renamed generation).  See the module
+/// docs for the invariants.
+fn double_buffer_store(ctx: &mut IrContext, store: OpId) -> Result<(), String> {
+    let field = ctx.operand(store, 1);
+    let block = ctx.parent_block(store).ok_or("store is not attached to a block")?;
+    let store_idx = ctx.op_index_in_block(store).ok_or("store has no block index")?;
+    let func_op = enclosing_func(ctx, store).ok_or("store is not inside a kernel function")?;
+    let entry = func::func_body(ctx, func_op).ok_or("kernel function has no body")?;
+    let arg_index = ctx
+        .block_args(entry)
+        .iter()
+        .position(|&a| a == field)
+        .ok_or("store target is not a kernel field argument")?;
+
+    // Fresh field argument named after the original field.
+    let mut field_names: Vec<String> = ctx
+        .attr(func_op, "field_names")
+        .and_then(Attribute::as_array)
+        .map(|a| a.iter().filter_map(|x| x.as_str().map(str::to_string)).collect())
+        .unwrap_or_default();
+    let base_name =
+        field_names.get(arg_index).cloned().unwrap_or_else(|| format!("field{arg_index}"));
+    let mut internal: Vec<String> = ctx
+        .attr(func_op, INTERNAL_FIELDS_ATTR)
+        .and_then(Attribute::as_array)
+        .map(|a| a.iter().filter_map(|x| x.as_str().map(str::to_string)).collect())
+        .unwrap_or_default();
+    let name = format!("{base_name}__dbuf{}", internal.len());
+    let field_ty = ctx.value_type(field).clone();
+    let new_arg = ctx.add_block_arg(entry, field_ty.clone());
+    while field_names.len() < ctx.block_args(entry).len() - 1 {
+        field_names.push(format!("field{}", field_names.len()));
+    }
+    field_names.push(name.clone());
+    internal.push(name);
+    ctx.set_attr(
+        func_op,
+        "field_names",
+        Attribute::Array(field_names.into_iter().map(Attribute::str).collect()),
+    );
+    ctx.set_attr(
+        func_op,
+        INTERNAL_FIELDS_ATTR,
+        Attribute::Array(internal.into_iter().map(Attribute::str).collect()),
+    );
+    if let Some(Type::Function { mut inputs, results }) =
+        ctx.attr(func_op, "function_type").and_then(Attribute::as_type).cloned()
+    {
+        inputs.push(field_ty);
+        ctx.set_attr(func_op, "function_type", Attribute::Type(Type::Function { inputs, results }));
+    }
+
+    // Retarget the write.
+    let temp = ctx.operand(store, 0);
+    ctx.set_operands(store, vec![temp, new_arg]);
+
+    // Redirect downstream loads of the old generation, up to (not
+    // including) the field's next store.  Marked updated-generation loads
+    // are skipped: they bind to their own apply's store, not to this one
+    // (handled below when that store is this one).
+    let ops = ctx.block_ops(block).to_vec();
+    let next_store_idx = ops[store_idx + 1..]
+        .iter()
+        .position(|&op| ctx.op_name(op) == stencil::STORE && ctx.operand(op, 1) == field)
+        .map(|i| store_idx + 1 + i);
+    for &op in &ops[store_idx + 1..next_store_idx.unwrap_or(ops.len())] {
+        if ctx.op_name(op) == stencil::LOAD
+            && ctx.operand(op, 0) == field
+            && !is_updated_read(ctx, op)
+        {
+            ctx.set_operands(op, vec![new_arg]);
+        }
+    }
+
+    // Marked operands of the renamed apply that read this very store's
+    // generation follow the write into the double buffer: their loads are
+    // SSA values, so every user of the load wanted exactly this
+    // generation and the redirect is uniform.
+    if let Some(apply) = ctx.defining_op(temp).filter(|&a| ctx.op_name(a) == stencil::APPLY) {
+        for idx in updated_reads(ctx, apply) {
+            let operand = ctx.operand(apply, idx);
+            if let Some(load) = ctx
+                .defining_op(operand)
+                .filter(|&def| ctx.op_name(def) == stencil::LOAD && ctx.operand(def, 0) == field)
+            {
+                ctx.set_operands(load, vec![new_arg]);
+            }
+        }
+    }
+
+    // Live-out copy-back: only when no later store produces a newer
+    // generation of the original field.
+    if next_store_idx.is_none() {
+        let bounds = stencil::store_bounds(ctx, store)
+            .ok_or("renamed store is missing its bound attributes")?;
+        let terminator = ops.last().copied().filter(|&op| {
+            let name = ctx.op_name(op);
+            name == scf::YIELD || name == func::RETURN
+        });
+        let mut b = match terminator {
+            Some(term) => OpBuilder::before(ctx, term),
+            None => OpBuilder::at_end(ctx, block),
+        };
+        let temp = stencil::load(&mut b, new_arg);
+        let result_ty = stencil::temp_type(&bounds, Type::f32());
+        let (apply, body) = stencil::build_apply(&mut b, vec![temp], vec![result_ty]);
+        let rank = bounds.rank();
+        emit_combination_body(
+            ctx,
+            body,
+            &[LinearCombination {
+                terms: vec![Term { input: 0, offset: vec![0; rank], coeff: 1.0 }],
+                constant: 0.0,
+            }],
+        );
+        let copied = ctx.result(apply, 0);
+        let mut b = OpBuilder::after(ctx, apply);
+        stencil::store(&mut b, copied, field, &bounds);
+    }
+    Ok(())
+}
+
+fn fuse_applies(
+    ctx: &mut IrContext,
+    producer: OpId,
+    consumer: OpId,
+) -> Result<(), crate::analysis::AnalysisError> {
+    let producer_combos = analyze_apply(ctx, producer)?;
+    let consumer_combos = analyze_apply(ctx, consumer)?;
     let producer_operands = ctx.operands(producer).to_vec();
     let consumer_operands = ctx.operands(consumer).to_vec();
     let producer_results = ctx.results(producer).to_vec();
@@ -180,7 +552,13 @@ fn fuse_applies(ctx: &mut IrContext, producer: OpId, consumer: OpId) -> Result<(
                     }
                     constant += term.coeff * producer_combos[*res_idx].constant;
                 }
-                None => return Err("inconsistent consumer operand map".into()),
+                None => {
+                    return Err(crate::analysis::AnalysisError {
+                        message: "inconsistent consumer operand map".into(),
+                        kind: crate::analysis::AnalysisErrorKind::Malformed,
+                        op: Some(consumer),
+                    })
+                }
             }
         }
         fused_combos.push(LinearCombination { terms, constant }.simplified());
@@ -191,10 +569,47 @@ fn fuse_applies(ctx: &mut IrContext, producer: OpId, consumer: OpId) -> Result<(
         producer_results.iter().map(|&r| ctx.value_type(r).clone()).collect();
     result_types.extend(consumer_results.iter().map(|&r| ctx.value_type(r).clone()));
 
+    // Updated-generation marks for the fused apply: the producer's marks
+    // keep their positions (its operands come first); a consumer operand
+    // is marked when it inherits the consumer's own mark or when it loads
+    // a field the producer stores *after* that store (position is still
+    // truthful here; the move below is what scrambles it).
+    let producer_store_positions: Vec<(ValueId, Option<usize>)> = stores_of(ctx, producer)
+        .iter()
+        .map(|&(store, field)| (field, ctx.op_index_in_block(store)))
+        .collect();
+    let consumer_marked = updated_reads(ctx, consumer);
+    let mut fused_marks: Vec<i64> =
+        updated_reads(ctx, producer).iter().map(|&i| i as i64).collect();
+    for (idx, &operand) in consumer_operands.iter().enumerate() {
+        let Some(OperandSource::Operand(pos)) = consumer_operand_map.get(&idx) else { continue };
+        let inherited = consumer_marked.contains(&idx);
+        let fresh_read = ctx
+            .defining_op(operand)
+            .filter(|&def| ctx.op_name(def) == stencil::LOAD)
+            .is_some_and(|def| {
+                let field = ctx.operand(def, 0);
+                let store_pos = producer_store_positions
+                    .iter()
+                    .find(|&&(f, _)| f == field)
+                    .and_then(|&(_, pos)| pos);
+                match (ctx.op_index_in_block(def), store_pos) {
+                    (Some(l), Some(s)) => l > s,
+                    _ => false,
+                }
+            });
+        if (inherited || fresh_read) && !fused_marks.contains(&(*pos as i64)) {
+            fused_marks.push(*pos as i64);
+        }
+    }
+
     // Build the fused apply at the consumer's position.
     let mut b = OpBuilder::before(ctx, consumer);
     let (fused, body) = stencil::build_apply(&mut b, fused_operands, result_types);
     emit_combination_body(ctx, body, &fused_combos);
+    if !fused_marks.is_empty() {
+        ctx.set_attr(fused, READS_UPDATED_ATTR, Attribute::IndexArray(fused_marks));
+    }
 
     // Rewire uses.
     let fused_results = ctx.results(fused).to_vec();
@@ -432,6 +847,115 @@ mod tests {
         let mut ctx = ir.ctx;
         StencilInlining.run(&mut ctx, ir.module).unwrap();
         assert_eq!(ctx.walk_named(ir.module, stencil::APPLY).len(), 1);
+    }
+
+    fn chain_program(
+        equations: Vec<(&str, wse_frontends::ast::Expr)>,
+        fields: &[&str],
+    ) -> wse_frontends::ast::StencilProgram {
+        use wse_frontends::ast::{Frontend, GridSpec, StencilEquation, StencilProgram};
+        let program = StencilProgram {
+            name: "chain".into(),
+            frontend: Frontend::Csl,
+            grid: GridSpec::new(3, 3, 4),
+            fields: fields.iter().map(|f| f.to_string()).collect(),
+            equations: equations
+                .into_iter()
+                .map(|(out, expr)| StencilEquation::new(out, expr))
+                .collect(),
+            timesteps: 2,
+            source: String::new(),
+        };
+        program.validate().expect("valid test program");
+        program
+    }
+
+    #[test]
+    fn self_updating_producer_is_renamed_and_fused() {
+        use wse_frontends::ast::Expr;
+        let program = chain_program(
+            vec![
+                ("f0", Expr::at("f0", 0, 0, -1).scale(0.4)),
+                ("f1", Expr::center("f0").scale(0.3)),
+            ],
+            &["f0", "f1"],
+        );
+        let ir = emit_stencil_ir(&program).unwrap();
+        let mut ctx = ir.ctx;
+        StencilInlining.run(&mut ctx, ir.module).unwrap();
+        assert!(verify(&ctx, ir.module, &registry()).is_empty());
+        // One fused apply plus the copy-back identity apply.
+        let applies = ctx.walk_named(ir.module, stencil::APPLY);
+        assert_eq!(applies.len(), 2, "fused pair + copy-back");
+        assert_eq!(ctx.results(applies[0]).len(), 2, "fused apply keeps both outputs");
+        // A third kernel argument (the double buffer) was appended, with
+        // its name recorded in field_names and internal_fields.
+        let entry = func::func_body(&ctx, ir.func).unwrap();
+        assert_eq!(ctx.block_args(entry).len(), 3);
+        let names: Vec<&str> = ctx
+            .attr(ir.func, "field_names")
+            .and_then(Attribute::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(|a| a.as_str())
+            .collect();
+        assert_eq!(names, vec!["f0", "f1", "f0__dbuf0"]);
+        let internal: Vec<&str> = ctx
+            .attr(ir.func, INTERNAL_FIELDS_ATTR)
+            .and_then(Attribute::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(|a| a.as_str())
+            .collect();
+        assert_eq!(internal, vec!["f0__dbuf0"]);
+        // The fused apply's stores: f0's generation goes to the double
+        // buffer; the copy-back stores back into f0.
+        let entry_args = ctx.block_args(entry).to_vec();
+        let stores = ctx.walk_named(ir.module, stencil::STORE);
+        let targets: Vec<ValueId> = stores.iter().map(|&s| ctx.operand(s, 1)).collect();
+        assert!(targets.contains(&entry_args[2]), "renamed store writes the double buffer");
+        assert_eq!(
+            targets.iter().filter(|&&t| t == entry_args[0]).count(),
+            1,
+            "exactly the copy-back writes f0"
+        );
+    }
+
+    #[test]
+    fn copy_back_is_skipped_when_a_later_store_exists() {
+        use wse_frontends::ast::Expr;
+        let program = chain_program(
+            vec![
+                ("f0", Expr::at("f0", 0, 0, -1).scale(0.4)),
+                ("f1", Expr::center("f0").scale(0.3)),
+                ("f0", Expr::at("f1", 0, 0, 1).scale(0.2)),
+            ],
+            &["f0", "f1"],
+        );
+        let ir = emit_stencil_ir(&program).unwrap();
+        let mut ctx = ir.ctx;
+        StencilInlining.run(&mut ctx, ir.module).unwrap();
+        assert!(verify(&ctx, ir.module, &registry()).is_empty());
+        // Fused pair + the overwriting equation; no copy-back apply.
+        assert_eq!(ctx.walk_named(ir.module, stencil::APPLY).len(), 2);
+    }
+
+    #[test]
+    fn interleaved_reader_of_producer_output_is_refused() {
+        use wse_frontends::ast::Expr;
+        let program = chain_program(
+            vec![
+                ("f0", Expr::at("f1", 0, 0, -1).scale(0.4)),
+                ("f1", Expr::at("f0", 1, 0, 0).scale(0.5)),
+                ("f2", Expr::center("f0").scale(0.3)),
+            ],
+            &["f0", "f1", "f2"],
+        );
+        let ir = emit_stencil_ir(&program).unwrap();
+        let mut ctx = ir.ctx;
+        StencilInlining.run(&mut ctx, ir.module).unwrap();
+        assert_eq!(ctx.walk_named(ir.module, stencil::APPLY).len(), 3, "nothing fused");
+        assert!(ctx.attr(ir.func, INTERNAL_FIELDS_ATTR).is_none(), "nothing renamed");
     }
 
     #[test]

@@ -207,6 +207,13 @@ fn lower_function(
     ctx.set_attr(program_module, "z_dim", Attribute::int(z_interior));
     ctx.set_attr(program_module, "z_halo", Attribute::int(z_halo));
     ctx.set_attr(program_module, "timesteps", Attribute::int(timesteps));
+    // Double-buffer fields introduced by `stencil-inlining` stay internal
+    // all the way down: the loader reads this attribute off the program
+    // module so the simulators can exclude them from observable state.
+    if let Some(internal) = ctx.attr(kernel_func, crate::opt_passes::INTERNAL_FIELDS_ATTR).cloned()
+    {
+        ctx.set_attr(program_module, crate::opt_passes::INTERNAL_FIELDS_ATTR, internal);
+    }
 
     let mut mb = OpBuilder::at_end(ctx, program_body);
     csl::param(&mut mb, "width", Some(params.width), Type::int(16));

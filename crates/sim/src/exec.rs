@@ -454,13 +454,23 @@ impl WseGridSim {
         Ok(out)
     }
 
-    /// Extracts every field as a [`GridState`].
+    /// Extracts every observable field as a [`GridState`].  Internal
+    /// double-buffer fields (see
+    /// [`LoadedProgram::internal_fields`]) are compiler
+    /// temporaries, not program state, and are excluded — the state then
+    /// matches the reference executor's field set exactly.
     ///
     /// # Errors
     /// Returns an [`ExecError`] when a field buffer cannot be extracted
     /// (previously such fields were silently dropped from the state).
     pub fn grid_state(&self) -> Result<GridState, ExecError> {
-        let names = self.program.field_buffers.clone();
+        let names: Vec<String> = self
+            .program
+            .field_buffers
+            .iter()
+            .filter(|n| !self.program.internal_fields.contains(n))
+            .cloned()
+            .collect();
         let fields = names.iter().map(|n| self.field(n)).collect::<Result<Vec<_>, _>>()?;
         Ok(GridState { names, fields })
     }

@@ -273,10 +273,18 @@ impl InterpGridSim {
         Some(out)
     }
 
-    /// Extracts every field as a [`GridState`] (legacy semantics: missing
-    /// fields are silently dropped).
+    /// Extracts every observable field as a [`GridState`] (legacy
+    /// semantics: missing fields are silently dropped).  Internal
+    /// double-buffer fields are excluded, mirroring
+    /// [`crate::exec::WseGridSim::grid_state`].
     pub fn grid_state(&self) -> GridState {
-        let names = self.program.field_buffers.clone();
+        let names: Vec<String> = self
+            .program
+            .field_buffers
+            .iter()
+            .filter(|n| !self.program.internal_fields.contains(n))
+            .cloned()
+            .collect();
         let fields = names.iter().filter_map(|n| self.field(n)).collect();
         GridState { names, fields }
     }

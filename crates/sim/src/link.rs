@@ -361,6 +361,14 @@ pub struct LinkedProgram {
     pub layouts: Vec<BufferLayout>,
     /// Field buffers in field order, as layout indices.
     pub field_ids: Vec<BufferId>,
+    /// Parallel to [`LinkedProgram::field_ids`]: `true` for
+    /// compiler-internal double-buffer fields.  Internal fields are not
+    /// observable program state, so — unlike real fields — they are *not*
+    /// kept always-live by the cyclic liveness scan: a write to one is
+    /// dead once overwritten before its next read, which is what lets
+    /// copy folding and dead-write elision fire on double-buffered
+    /// (previously self-aliasing) shapes.
+    pub field_internal: Vec<bool>,
     /// Kernels in execution order.
     pub kernels: Vec<LinkedKernel>,
     /// Largest view length of any instruction (sizes the scratch buffer).
@@ -403,6 +411,13 @@ pub struct OptStats {
     pub chunks_flattened: usize,
     /// Adjacent fused sweeps (or a `Fill` and its sweep) merged into one.
     pub sweeps_merged: usize,
+    /// `Binary(Mul)`+`Binary(Add)` pairs (the `enable_fmac_fusion=false`
+    /// spelling of a multiply-accumulate) rewritten into `Macs` because
+    /// the multiplier is a constant-initialized, never-written buffer.
+    pub binary_macs_fused: usize,
+    /// Writes to internal double-buffer fields removed because the cyclic
+    /// liveness scan proved them dead (fully overwritten before any read).
+    pub dead_writes_elided: usize,
     /// Per-PE arena bytes before coalescing.
     pub arena_bytes_before: usize,
     /// Per-PE arena bytes after coalescing.
@@ -537,6 +552,11 @@ pub fn link_program_with(
         });
     }
 
+    let field_internal: Vec<bool> = program
+        .field_buffers
+        .iter()
+        .map(|name| program.internal_fields.iter().any(|i| i == name))
+        .collect();
     let mut linked = LinkedProgram {
         width: program.width,
         height: program.height,
@@ -546,6 +566,7 @@ pub fn link_program_with(
         arena_len,
         layouts,
         field_ids,
+        field_internal,
         kernels,
         max_view_len,
         stats: OptStats::default(),
@@ -797,10 +818,14 @@ fn max_dyn_of(kernel: &LinkedKernel) -> usize {
     kernel.comm.as_ref().map(|c| (c.num_chunks - 1) * c.chunk_size).unwrap_or(0)
 }
 
-/// Runs the three optimizer rewrites over every kernel.
+/// Runs the optimizer rewrites over every kernel.
 fn optimize_program(linked: &mut LinkedProgram) {
     let mut stats = std::mem::take(&mut linked.stats);
     stats.optimized = true;
+    // First normalize `Binary(Mul)`+`Binary(Add)` accumulate pairs into
+    // `Macs` so streams lowered with `enable_fmac_fusion=false` feed the
+    // same chain fusion as fmacs-lowered ones.
+    fuse_mul_add_pairs(linked, &mut stats);
     for kernel in &mut linked.kernels {
         let max_dyn = max_dyn_of(kernel);
         // Dynamic views only take a non-zero offset in the receive
@@ -813,9 +838,160 @@ fn optimize_program(linked: &mut LinkedProgram) {
     flatten_chunks(linked, &mut stats);
     merge_single_chunk_blocks(linked, &mut stats);
     fold_copies(linked, &mut stats);
+    elide_dead_internal_writes(linked, &mut stats);
     defer_commits(linked, &mut stats);
     coalesce_arena(linked, &mut stats);
     linked.stats = stats;
+}
+
+/// Rewrites `t = src * coeffbuf; d = d + t` pairs into
+/// `Macs { dest: d, acc: d, src, coeff }` — the two-instruction spelling a
+/// pipeline with `enable_fmac_fusion=false` emits for every
+/// multiply-accumulate.
+///
+/// The rewrite requires: the multiplier view reads a buffer that is never
+/// written by any instruction or receive staging and is not a field (so
+/// every element holds the buffer's `init` — the scalar coefficient); the
+/// `Add` accumulates in place (`d = d + t` or `d = t + d`; f32 addition is
+/// commutative bitwise); `src` and the scratch `t` are disjoint from `d`
+/// and from each other (the one-pass `Macs` must observe the same values
+/// as the two full sweeps); and the eliminated write to `t` is dead under
+/// the cyclic liveness scan.  Per element the replacement performs the
+/// identical multiply-then-add, so results are bitwise unchanged.  The
+/// produced `Macs` then participates in FMA-chain fusion like any
+/// loader-emitted one.
+fn fuse_mul_add_pairs(linked: &mut LinkedProgram, stats: &mut OptStats) {
+    let layouts = linked.layouts.clone();
+    let mut written = vec![false; layouts.len()];
+    for kernel in &linked.kernels {
+        for instr in kernel.pre.iter().chain(&kernel.recv).chain(&kernel.done) {
+            written[buffer_at(&layouts, instr_dest(instr).base).0 as usize] = true;
+        }
+        if let Some(comm) = &kernel.comm {
+            written[buffer_at(&layouts, comm.recv_base as u32).0 as usize] = true;
+        }
+    }
+    // Field buffers carry per-element initial conditions, so a view of one
+    // is not a splat of its `init` even when no instruction writes it.
+    for id in &linked.field_ids {
+        written[id.0 as usize] = true;
+    }
+    let constant_of = |v: &LinkedView| -> Option<f32> {
+        let owner = buffer_at(&layouts, v.base);
+        if written[owner.0 as usize] {
+            return None;
+        }
+        Some(layouts[owner.0 as usize].init)
+    };
+    'rescan: loop {
+        let (events, position) = program_events(linked);
+        for k in 0..linked.kernels.len() {
+            let max_dyn = max_dyn_of(&linked.kernels[k]);
+            for block_index in 0..3 {
+                let block = match block_index {
+                    0 => &linked.kernels[k].pre,
+                    1 => &linked.kernels[k].recv,
+                    _ => &linked.kernels[k].done,
+                };
+                for i in 0..block.len().saturating_sub(1) {
+                    let LinkedInstr::Binary { kind: BinKind::Mul, dest: t, a, b } = &block[i]
+                    else {
+                        continue;
+                    };
+                    let LinkedInstr::Binary { kind: BinKind::Add, dest: d, a: x, b: y } =
+                        &block[i + 1]
+                    else {
+                        continue;
+                    };
+                    // The add must accumulate the scratch into its own
+                    // destination (either operand order).
+                    let accumulates = (x == t && y == d) || (y == t && x == d);
+                    if !accumulates {
+                        continue;
+                    }
+                    let (src, coeff) = match (constant_of(b), constant_of(a)) {
+                        (Some(c), _) => (*a, c),
+                        (_, Some(c)) => (*b, c),
+                        _ => continue,
+                    };
+                    if !views_disjoint(&src, d, max_dyn)
+                        || !views_disjoint(t, d, max_dyn)
+                        || !views_disjoint(t, &src, max_dyn)
+                    {
+                        continue;
+                    }
+                    // Dropping the scratch write requires it to be dead.
+                    let pos = position[&(k, block_index, i + 1)];
+                    if !write_is_dead(&events, pos, view_span(t, max_dyn)) {
+                        continue;
+                    }
+                    let d = *d;
+                    let block = match block_index {
+                        0 => &mut linked.kernels[k].pre,
+                        1 => &mut linked.kernels[k].recv,
+                        _ => &mut linked.kernels[k].done,
+                    };
+                    block[i] = LinkedInstr::Macs { dest: d, acc: d, src, coeff };
+                    block.remove(i + 1);
+                    stats.binary_macs_fused += 1;
+                    continue 'rescan;
+                }
+            }
+        }
+        return;
+    }
+}
+
+/// Removes writes to internal double-buffer fields that the cyclic
+/// liveness scan proves dead — typically the producer's renamed store
+/// when every consumer was substituted away during inlining, so nothing
+/// ever reads the buffered generation.  Internal fields are excluded from
+/// the always-live set (see [`LinkedProgram::field_internal`]); writes to
+/// observable fields are never touched.
+fn elide_dead_internal_writes(linked: &mut LinkedProgram, stats: &mut OptStats) {
+    let internal: Vec<BufferId> = linked
+        .field_ids
+        .iter()
+        .zip(&linked.field_internal)
+        .filter(|&(_, &internal)| internal)
+        .map(|(&id, _)| id)
+        .collect();
+    if internal.is_empty() {
+        return;
+    }
+    let layouts = linked.layouts.clone();
+    'rescan: loop {
+        let (events, position) = program_events(linked);
+        for k in 0..linked.kernels.len() {
+            let max_dyn = max_dyn_of(&linked.kernels[k]);
+            for block_index in 0..3 {
+                let block = match block_index {
+                    0 => &linked.kernels[k].pre,
+                    1 => &linked.kernels[k].recv,
+                    _ => &linked.kernels[k].done,
+                };
+                for i in 0..block.len() {
+                    let dest = instr_dest(&block[i]);
+                    if !internal.contains(&buffer_at(&layouts, dest.base)) {
+                        continue;
+                    }
+                    let pos = position[&(k, block_index, i)];
+                    if !write_is_dead(&events, pos, view_span(dest, max_dyn)) {
+                        continue;
+                    }
+                    let block = match block_index {
+                        0 => &mut linked.kernels[k].pre,
+                        1 => &mut linked.kernels[k].recv,
+                        _ => &mut linked.kernels[k].done,
+                    };
+                    block.remove(i);
+                    stats.dead_writes_elided += 1;
+                    continue 'rescan;
+                }
+            }
+        }
+        return;
+    }
 }
 
 /// Collapses a multi-chunk exchange into a single full-column chunk when
@@ -1218,10 +1394,15 @@ fn program_events(linked: &LinkedProgram) -> (Vec<Event>, EventPositions) {
             events.push(instr_event(instr, 0));
         }
     }
+    // Observable fields are live between any two timesteps; internal
+    // double-buffer fields are not observable, so their liveness is fully
+    // described by the explicit instruction and snapshot events above.
     let field_reads = linked
         .field_ids
         .iter()
-        .map(|id| {
+        .enumerate()
+        .filter(|&(fi, _)| !linked.field_internal.get(fi).copied().unwrap_or(false))
+        .map(|(_, id)| {
             let layout = &linked.layouts[id.0 as usize];
             let start = layout.base + (linked.z_halo as usize).min(layout.len);
             (start, (start + linked.z_dim as usize).min(layout.base + layout.len))
@@ -1442,6 +1623,7 @@ mod tests {
             timesteps: 1,
             buffers,
             field_buffers: vec!["a".into()],
+            internal_fields: Vec::new(),
             kernels: vec![LoadedKernel {
                 name: "seq_kernel0".into(),
                 pre,
@@ -1630,6 +1812,124 @@ mod tests {
                 error.message
             );
         }
+    }
+
+    #[test]
+    fn mul_add_pairs_fuse_into_macs_without_fmac_lowering() {
+        // The `enable_fmac_fusion=false` spelling of `acc += 0.5 * a`:
+        // scratch = a * coeff_buffer; acc = acc + scratch.  The peephole
+        // must rewrite it into a Macs (and then a fused sweep), because
+        // the coefficient buffer is constant-initialized and unwritten.
+        let program = LoadedProgram {
+            width: 2,
+            height: 2,
+            z_dim: 4,
+            z_halo: 1,
+            timesteps: 1,
+            buffers: vec![
+                decl("a", 6),
+                decl("acc", 4),
+                decl("scratch", 4),
+                BufferDecl { name: "coeff0".into(), len: 4, init: 0.5 },
+                BufferDecl { name: "coeff1".into(), len: 4, init: -0.25 },
+            ],
+            field_buffers: vec!["a".into()],
+            internal_fields: Vec::new(),
+            kernels: vec![LoadedKernel {
+                name: "seq_kernel0".into(),
+                pre: vec![
+                    Instr::Movs { dest: view("acc", 0, 4), src: Src::Scalar(0.0) },
+                    Instr::Binary {
+                        kind: BinKind::Mul,
+                        dest: view("scratch", 0, 4),
+                        a: view("a", 1, 4),
+                        b: view("coeff0", 0, 4),
+                    },
+                    Instr::Binary {
+                        kind: BinKind::Add,
+                        dest: view("acc", 0, 4),
+                        a: view("acc", 0, 4),
+                        b: view("scratch", 0, 4),
+                    },
+                    Instr::Binary {
+                        kind: BinKind::Mul,
+                        dest: view("scratch", 0, 4),
+                        a: view("a", 0, 4),
+                        b: view("coeff1", 0, 4),
+                    },
+                    Instr::Binary {
+                        kind: BinKind::Add,
+                        dest: view("acc", 0, 4),
+                        a: view("acc", 0, 4),
+                        b: view("scratch", 0, 4),
+                    },
+                    Instr::Movs { dest: view("a", 1, 4), src: Src::View(view("acc", 0, 4)) },
+                ],
+                comm: None,
+                recv: Vec::new(),
+                done: Vec::new(),
+            }],
+        };
+        let linked = link_program_with(&program, &LinkOptions { optimize: true }).unwrap();
+        assert_eq!(linked.stats.binary_macs_fused, 2, "both pairs become Macs");
+        // The two Macs then chain into one fused sweep with two terms.
+        let sweeps: Vec<&LinkedInstr> = linked.kernels[0]
+            .pre
+            .iter()
+            .filter(|i| matches!(i, LinkedInstr::FusedMacs { .. }))
+            .collect();
+        assert_eq!(sweeps.len(), 1, "stream: {:?}", linked.kernels[0].pre);
+        let LinkedInstr::FusedMacs { terms, .. } = sweeps[0] else { unreachable!() };
+        assert_eq!(terms.len(), 2);
+        assert_eq!(terms[0].coeff, 0.5);
+        assert_eq!(terms[1].coeff, -0.25);
+    }
+
+    #[test]
+    fn mul_add_peephole_respects_aliasing_and_written_coefficients() {
+        // (1) The "coefficient" buffer is written elsewhere: not a
+        // constant, the pair must survive untouched.
+        let mut program = program_with(
+            vec![decl("a", 6), decl("acc", 4), decl("scratch", 4), decl("k", 4)],
+            vec![
+                Instr::Movs { dest: view("k", 0, 4), src: Src::Scalar(2.0) },
+                Instr::Binary {
+                    kind: BinKind::Mul,
+                    dest: view("scratch", 0, 4),
+                    a: view("a", 0, 4),
+                    b: view("k", 0, 4),
+                },
+                Instr::Binary {
+                    kind: BinKind::Add,
+                    dest: view("acc", 0, 4),
+                    a: view("acc", 0, 4),
+                    b: view("scratch", 0, 4),
+                },
+            ],
+        );
+        let linked = link_program_with(&program, &LinkOptions { optimize: true }).unwrap();
+        assert_eq!(linked.stats.binary_macs_fused, 0, "written multiplier is not a constant");
+
+        // (2) Source overlaps the accumulator: the two-sweep semantics are
+        // observable, the pair must survive.
+        program.buffers = vec![decl("a", 6), decl("scratch", 4), decl("c", 4)];
+        program.buffers[2].init = 0.5;
+        program.kernels[0].pre = vec![
+            Instr::Binary {
+                kind: BinKind::Mul,
+                dest: view("scratch", 0, 4),
+                a: view("a", 1, 4),
+                b: view("c", 0, 4),
+            },
+            Instr::Binary {
+                kind: BinKind::Add,
+                dest: view("a", 0, 4),
+                a: view("a", 0, 4),
+                b: view("scratch", 0, 4),
+            },
+        ];
+        let linked = link_program_with(&program, &LinkOptions { optimize: true }).unwrap();
+        assert_eq!(linked.stats.binary_macs_fused, 0, "aliased src/dest must not fuse");
     }
 
     #[test]

@@ -174,6 +174,12 @@ pub struct LoadedProgram {
     pub buffers: Vec<BufferDecl>,
     /// Field buffer names in field order.
     pub field_buffers: Vec<String>,
+    /// Field buffers that are compiler-internal double buffers (introduced
+    /// by dependence-aware inlining).  They are allocated, exchanged, and
+    /// executed like any other field, but excluded from observable
+    /// [`GridState`](crate::reference::GridState) extraction and from the
+    /// link-time optimizer's always-live set.
+    pub internal_fields: Vec<String>,
     /// Kernels in execution order.
     pub kernels: Vec<LoadedKernel>,
 }
@@ -227,6 +233,13 @@ pub fn load_program(ctx: &IrContext, module: OpId) -> Result<LoadedProgram, Load
     let z_dim = ctx.attr_int(program_module, "z_dim").unwrap_or(1);
     let z_halo = ctx.attr_int(program_module, "z_halo").unwrap_or(0);
     let timesteps = ctx.attr_int(program_module, "timesteps").unwrap_or(1);
+    // Set by the actor lowering for double-buffer fields introduced by
+    // `stencil-inlining` (see `LoadedProgram::internal_fields`).
+    let internal_fields: Vec<String> = ctx
+        .attr(program_module, "internal_fields")
+        .and_then(Attribute::as_array)
+        .map(|a| a.iter().filter_map(|x| x.as_str().map(str::to_string)).collect())
+        .unwrap_or_default();
 
     // Buffers and the value → buffer-name map.
     let mut buffers = Vec::new();
@@ -305,7 +318,17 @@ pub fn load_program(ctx: &IrContext, module: OpId) -> Result<LoadedProgram, Load
         return Err(err("program has no seq_kernel functions"));
     }
 
-    Ok(LoadedProgram { width, height, z_dim, z_halo, timesteps, buffers, field_buffers, kernels })
+    Ok(LoadedProgram {
+        width,
+        height,
+        z_dim,
+        z_halo,
+        timesteps,
+        buffers,
+        field_buffers,
+        internal_fields,
+        kernels,
+    })
 }
 
 fn parse_slots(

@@ -6,11 +6,13 @@
 //! minimal reproducer, prints it (with parseable stencil IR) and exits
 //! with a non-zero status.
 //!
-//! Usage: `conformance [--cases N] [--seed S] [--stress] [--soak] [--verbose]`
+//! Usage: `conformance [--cases N] [--seed S] [--stress] [--soak]
+//! [--require-fusion] [--verbose]`
 
 use testkit::{
-    generate_case_with, install_quiet_panic_hook, reproducer, run_case_with_tolerance,
-    shape_tolerance, shrink_case, GeneratorConfig, Verdict, TOLERANCE,
+    case_fusion_evidence, generate_case_with, has_self_updating_chain, install_quiet_panic_hook,
+    reproducer, run_case_with_tolerance, shape_tolerance, shrink_case, GeneratorConfig, Verdict,
+    TOLERANCE,
 };
 
 fn main() {
@@ -18,6 +20,7 @@ fn main() {
     let mut base_seed: u64 = 0;
     let mut verbose = false;
     let mut per_shape_bounds = false;
+    let mut require_fusion = false;
     let mut config = GeneratorConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -25,6 +28,13 @@ fn main() {
             "--cases" => cases = parse_number(args.next(), "--cases"),
             "--seed" => base_seed = parse_number(args.next(), "--seed"),
             "--verbose" => verbose = true,
+            // Forces `enable_inlining` on for every case and requires the
+            // dependence-aware fusion path (double-buffer renaming plus
+            // the optimizer blocks it unlocks) to actually fire on at
+            // least one self-updating chain, per `LinkedProgram::stats` —
+            // a guard against silently regressing to the conservative
+            // refusal, which would stay green on pure conformance.
+            "--require-fusion" => require_fusion = true,
             // Wider workload space: larger grids/radii, more coupled
             // equations, longer runs.  Slower per case; used for deeper
             // local soaking, not the CI budget.
@@ -57,7 +67,8 @@ fn main() {
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: conformance [--cases N] [--seed S] [--stress] [--soak] [--verbose]"
+                    "usage: conformance [--cases N] [--seed S] [--stress] [--soak] \
+                     [--require-fusion] [--verbose]"
                 );
                 std::process::exit(2);
             }
@@ -67,12 +78,33 @@ fn main() {
     install_quiet_panic_hook();
     let start = std::time::Instant::now();
     let (mut passed, mut rejected, mut failed) = (0u64, 0u64, 0u64);
+    let mut rejection_classes: std::collections::BTreeMap<String, u64> =
+        std::collections::BTreeMap::new();
     let mut worst_deviation = 0.0f32;
+    let (mut chain_cases, mut chain_renamed, mut chain_unlocked) = (0u64, 0u64, 0u64);
 
     for seed in base_seed..base_seed + cases {
-        let case = generate_case_with(seed, &config);
+        let mut case = generate_case_with(seed, &config);
+        if require_fusion {
+            case.options.enable_inlining = true;
+        }
         let tolerance = if per_shape_bounds { shape_tolerance(&case.program) } else { TOLERANCE };
         let verdict = run_case_with_tolerance(&case, tolerance);
+        if require_fusion && verdict.is_conformant() && has_self_updating_chain(&case.program) {
+            chain_cases += 1;
+            if let Some(evidence) = case_fusion_evidence(&case) {
+                if evidence.internal_fields > 0 {
+                    chain_renamed += 1;
+                    let stats = &evidence.stats;
+                    if stats.copies_folded > 0
+                        || stats.captures_elided > 0
+                        || stats.dead_writes_elided > 0
+                    {
+                        chain_unlocked += 1;
+                    }
+                }
+            }
+        }
         match &verdict {
             Verdict::Pass { deviation } => {
                 passed += 1;
@@ -81,8 +113,11 @@ fn main() {
                     println!("seed {seed}: pass (max |Δ| {deviation:.2e})");
                 }
             }
-            Verdict::Rejected { stage, message } => {
+            Verdict::Rejected { stage, message, code } => {
                 rejected += 1;
+                *rejection_classes
+                    .entry(code.clone().unwrap_or_else(|| format!("untyped:{stage}")))
+                    .or_default() += 1;
                 if verbose {
                     println!("seed {seed}: rejected by {stage}: {message}");
                 }
@@ -121,8 +156,31 @@ fn main() {
          over {cases} cases in {:.1}s (worst pass deviation {worst_deviation:.2e})",
         start.elapsed().as_secs_f64()
     );
+    if !rejection_classes.is_empty() {
+        let classes: Vec<String> =
+            rejection_classes.iter().map(|(code, n)| format!("{code} x{n}")).collect();
+        println!("rejection classes: {}", classes.join(", "));
+    }
     if failed > 0 {
         std::process::exit(1);
+    }
+    if require_fusion {
+        println!(
+            "require-fusion: {chain_cases} self-updating chains, {chain_renamed} double-buffered, \
+             {chain_unlocked} with unlocked optimizer blocks (copy folding / snapshot or \
+             dead-write elision)"
+        );
+        if chain_cases == 0 {
+            println!("require-fusion: generator produced no self-updating chains — biasing lost");
+            std::process::exit(1);
+        }
+        if chain_renamed == 0 || chain_unlocked == 0 {
+            println!(
+                "require-fusion: dependence-aware inlining never fired — the pass has \
+                 regressed to the conservative refusal path"
+            );
+            std::process::exit(1);
+        }
     }
     // A run where (almost) nothing compiles is a silent loss of
     // differential coverage, not a green result: only a small fraction of

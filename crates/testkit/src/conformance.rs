@@ -49,6 +49,10 @@ pub enum Verdict {
         stage: String,
         /// The diagnostic message.
         message: String,
+        /// Stable machine-readable rejection code when the stage attached
+        /// one (e.g. `"non-linear"`); harnesses classify on this instead
+        /// of string-matching `message`.
+        code: Option<String>,
     },
     /// Executors disagreed: the pipeline miscompiled the program.
     Mismatch {
@@ -168,7 +172,7 @@ fn run_case_inner(case: &ConformanceCase, tolerance: f32) -> Verdict {
         .verify_each(true);
     let artifact = match compiler.compile(&case.program) {
         Ok(artifact) => artifact,
-        Err(e) => return Verdict::Rejected { stage: e.stage, message: e.message },
+        Err(e) => return Verdict::Rejected { stage: e.stage, message: e.message, code: e.code },
     };
 
     // From here on the compiler has accepted the program: any executor
@@ -239,6 +243,39 @@ fn run_case_inner(case: &ConformanceCase, tolerance: f32) -> Verdict {
     Verdict::Pass { deviation }
 }
 
+/// Evidence that the dependence-aware fusion path fired on a compiled
+/// case: the double-buffer fields the inliner introduced plus the
+/// link-time optimizer's report for the optimized stream.
+#[derive(Debug, Clone)]
+pub struct FusionEvidence {
+    /// Internal double-buffer fields in the loaded program (non-zero iff
+    /// the inliner renamed a hazarded field rather than refusing fusion).
+    pub internal_fields: usize,
+    /// The optimized stream's link-time report.
+    pub stats: wse_sim::OptStats,
+}
+
+/// Compiles a case (with its own options) and returns the fusion
+/// evidence, or `None` when the pipeline rejects the program.  Used by
+/// the `--require-fusion` conformance variant to assert that inlining has
+/// not silently regressed to the conservative refusal path.
+pub fn case_fusion_evidence(case: &ConformanceCase) -> Option<FusionEvidence> {
+    let compiler = Compiler::new()
+        .target(case.options.target)
+        .num_chunks(case.options.num_chunks)
+        .fmac_fusion(case.options.enable_fmac_fusion)
+        .inlining(case.options.enable_inlining)
+        .coefficient_promotion(case.options.promote_coefficients);
+    let artifact = compiler.compile(&case.program).ok()?;
+    let loaded = artifact.loaded_program();
+    let linked =
+        wse_sim::link_program_with(loaded, &wse_sim::LinkOptions { optimize: true }).ok()?;
+    Some(FusionEvidence {
+        internal_fields: loaded.internal_fields.len(),
+        stats: linked.stats().clone(),
+    })
+}
+
 /// Returns a description of the first bitwise difference between two grid
 /// states, or `None` when they are bit-for-bit identical.
 pub fn bitwise_difference(a: &GridState, b: &GridState) -> Option<String> {
@@ -293,9 +330,27 @@ mod tests {
         };
         case.program.timesteps = 0;
         match run_case(&case) {
-            Verdict::Rejected { stage, message } => {
+            Verdict::Rejected { stage, message, .. } => {
                 assert_eq!(stage, "emit-stencil-ir");
                 assert!(message.contains("timesteps"), "got: {message}");
+            }
+            other => panic!("expected a typed rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonlinear_rejection_carries_a_machine_readable_code() {
+        use wse_frontends::ast::{Expr, StencilEquation};
+        install_quiet_panic_hook();
+        let mut program = Benchmark::Jacobian.tiny_program();
+        program.equations.push(StencilEquation::new(
+            "a",
+            Expr::Mul(Box::new(Expr::center("a")), Box::new(Expr::center("a"))),
+        ));
+        let case = ConformanceCase { seed: 0, program, options: PipelineOptions::default() };
+        match run_case(&case) {
+            Verdict::Rejected { code, .. } => {
+                assert_eq!(code.as_deref(), Some("non-linear"), "classified without text-matching");
             }
             other => panic!("expected a typed rejection, got {other:?}"),
         }

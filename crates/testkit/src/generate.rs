@@ -77,6 +77,26 @@ pub fn generate_case(seed: u64) -> ConformanceCase {
     generate_case_with(seed, &GeneratorConfig::default())
 }
 
+/// True when the program contains the shape dependence-aware inlining
+/// re-enables: an equation reading its own output field (a self-updating
+/// producer), followed by a later equation whose accesses to that field
+/// are all at the centre — the forwarded, fusable consumer.
+pub fn has_self_updating_chain(program: &StencilProgram) -> bool {
+    program.equations.iter().enumerate().any(|(i, eq)| {
+        eq.expr.accesses().iter().any(|(f, _)| f == &eq.output)
+            && program.equations[i + 1..].iter().any(|later| {
+                let reads: Vec<[i64; 3]> = later
+                    .expr
+                    .accesses()
+                    .iter()
+                    .filter(|(f, _)| f == &eq.output)
+                    .map(|(_, o)| *o)
+                    .collect();
+                !reads.is_empty() && reads.iter().all(|o| *o == [0, 0, 0])
+            })
+    })
+}
+
 /// Generates the conformance case for `seed` under explicit bounds.
 pub fn generate_case_with(seed: u64, config: &GeneratorConfig) -> ConformanceCase {
     let mut rng = Rng::new(seed);
@@ -96,6 +116,16 @@ pub fn generate_case_with(seed: u64, config: &GeneratorConfig) -> ConformanceCas
     for _ in 0..num_equations {
         let output = rng.pick(&fields).clone();
         equations.push(generate_equation(&mut rng, config, &fields, &output, nx, ny, nz));
+    }
+
+    // Bias toward the shapes dependence-aware inlining re-enables: a
+    // self-updating producer whose output a later equation reads at the
+    // centre only (the forwarded, fusable consumer), optionally with an
+    // unrelated or clobbering apply sandwiched between the pair.  Uniform
+    // term/output sampling reaches these shapes too rarely to keep the
+    // double-buffer renaming paths under continuous differential test.
+    if rng.chance(0.35) {
+        equations.splice(0..0, generate_chain(&mut rng, &fields, nz));
     }
 
     let program = StencilProgram {
@@ -125,6 +155,52 @@ pub fn generate_case_with(seed: u64, config: &GeneratorConfig) -> ConformanceCas
     };
 
     ConformanceCase { seed, program, options }
+}
+
+/// Generates a self-updating producer → (optional sandwich) → centre-only
+/// consumer chain.  Each equation is contractive on its own (coefficient
+/// magnitudes sum below one).
+fn generate_chain(rng: &mut Rng, fields: &[String], nz: i64) -> Vec<StencilEquation> {
+    let producer_field = rng.pick(fields).clone();
+    let consumer_field = rng.pick(fields).clone();
+    let other = fields.iter().find(|f| **f != producer_field).cloned();
+    let dz = if nz > 1 && rng.chance(0.6) { -1 } else { 0 };
+    // Producer reads its own output (the self-update hazard), plus —
+    // when a second field exists — an input the sandwich may clobber.
+    let mut producer_terms = vec![
+        Expr::at(&producer_field, 0, 0, dz).scale(rng.float_in(-0.3, 0.3)),
+        Expr::center(&producer_field).scale(rng.float_in(-0.3, 0.3)),
+    ];
+    if let Some(other) = &other {
+        if rng.chance(0.6) {
+            producer_terms.push(Expr::center(other).scale(rng.float_in(-0.3, 0.3)));
+        }
+    }
+    let producer = StencilEquation::new(&producer_field, Expr::sum(producer_terms));
+    // Optional sandwich between producer and consumer: an equation over
+    // the second field.  Writing it clobbers a producer input (the
+    // rename-the-middle path); occasionally reading the producer's output
+    // instead produces the unfusable shape, which must also stay refused
+    // and conformant.
+    let middle = other.filter(|_| rng.chance(0.5)).map(|other| {
+        let read = if rng.chance(0.8) { other.clone() } else { producer_field.clone() };
+        StencilEquation::new(
+            &other,
+            Expr::at(&read, 0, 0, 0).scale(rng.float_in(-0.45, 0.45))
+                + Expr::c(rng.float_in(-0.05, 0.05)),
+        )
+    });
+    // Consumer reads the producer's output at the centre only, so the
+    // emitter forwards the producer's result and the pair is fusable.
+    let mut consumer_terms = vec![Expr::center(&producer_field).scale(rng.float_in(-0.45, 0.45))];
+    if consumer_field != producer_field && rng.chance(0.5) {
+        consumer_terms.push(Expr::at(&consumer_field, 0, 0, 0).scale(rng.float_in(-0.4, 0.4)));
+    }
+    let consumer = StencilEquation::new(&consumer_field, Expr::sum(consumer_terms));
+    let mut chain = vec![producer];
+    chain.extend(middle);
+    chain.push(consumer);
+    chain
 }
 
 /// Generates one contractive linear-combination equation.

@@ -32,9 +32,11 @@ pub mod rng;
 pub mod shrink;
 
 pub use conformance::{
-    install_quiet_panic_hook, run_case, run_case_with_tolerance, shape_tolerance, Verdict,
-    TOLERANCE,
+    case_fusion_evidence, install_quiet_panic_hook, run_case, run_case_with_tolerance,
+    shape_tolerance, FusionEvidence, Verdict, TOLERANCE,
 };
-pub use generate::{generate_case, generate_case_with, ConformanceCase, GeneratorConfig};
+pub use generate::{
+    generate_case, generate_case_with, has_self_updating_chain, ConformanceCase, GeneratorConfig,
+};
 pub use report::reproducer;
 pub use shrink::shrink_case;

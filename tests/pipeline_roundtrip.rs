@@ -76,6 +76,36 @@ fn optimization_variants_roundtrip_after_every_pass() {
 }
 
 #[test]
+fn non_finite_float_attributes_roundtrip_through_the_fixpoint() {
+    // NaN / ±inf float attributes used to break the print→parse→print
+    // fixpoint (the printer emitted `NaN` / `inf` tokens the parser
+    // rejected).  Inject them into real stencil IR and require the same
+    // fixpoint every pipeline stage is held to; NaN payload bits are not
+    // required to survive, but `is_nan` and the sign are.
+    use wse_ir::Attribute;
+    let program = Benchmark::Jacobian.tiny_program();
+    let ir = emit_stencil_ir(&program).unwrap();
+    let mut ctx = ir.ctx;
+    let apply = ctx.walk_named(ir.module, "stencil.apply")[0];
+    ctx.set_attr(apply, "edge_nan", Attribute::f32(f32::NAN));
+    ctx.set_attr(apply, "edge_neg_nan", Attribute::f32(-f32::NAN));
+    ctx.set_attr(apply, "edge_inf", Attribute::f32(f32::INFINITY));
+    ctx.set_attr(apply, "edge_neg_inf", Attribute::f32(f32::NEG_INFINITY));
+    let printed = print_op(&ctx, ir.module);
+    let mut reparse_ctx = IrContext::new();
+    let reparsed = parse_op(&mut reparse_ctx, &printed).expect("non-finite attrs parse back");
+    assert_eq!(printed, print_op(&reparse_ctx, reparsed), "fixpoint holds");
+    let reparsed_apply = reparse_ctx.walk_named(reparsed, "stencil.apply")[0];
+    let get = |name: &str| {
+        reparse_ctx.attr(reparsed_apply, name).and_then(Attribute::as_float).expect("float attr")
+    };
+    assert!(get("edge_nan").is_nan() && !get("edge_nan").is_sign_negative());
+    assert!(get("edge_neg_nan").is_nan() && get("edge_neg_nan").is_sign_negative());
+    assert_eq!(get("edge_inf"), f64::INFINITY);
+    assert_eq!(get("edge_neg_inf"), f64::NEG_INFINITY);
+}
+
+#[test]
 fn generated_workloads_roundtrip_after_every_pass() {
     let mut checked = 0;
     for seed in 0..24u64 {
