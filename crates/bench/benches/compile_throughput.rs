@@ -1,0 +1,187 @@
+//! Compile throughput: programs/sec through the compiler facade, the
+//! pooled-context compile service (cold), and the artifact cache (hit).
+//!
+//! This bench is the perf trajectory for the compile-as-a-service
+//! redesign, the way `sim_throughput` tracks the simulator: the embedded
+//! `BASELINE` numbers are the pre-refactor facade (one fresh arena per
+//! compile, clone-per-pass IR) measured on the same cases, and future
+//! pipeline changes must not regress the rates printed here.  A full
+//! (non-`--test`) run snapshots the numbers to
+//! `BENCH_compile_throughput.json` at the workspace root.  Run with
+//! `cargo bench -p wse-bench --bench compile_throughput`; CI smoke-runs
+//! it with `-- --test` (one iteration per case, no timing, no snapshot).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wse_frontends::ast::StencilProgram;
+use wse_frontends::benchmarks::{jacobian, seismic_25pt};
+use wse_stencil::Compiler;
+
+/// One compile-throughput case plus the pre-refactor fresh-compile rate
+/// (programs/sec) measured on the clone-per-pass baseline.  Compile time
+/// is grid-size independent (the pipeline manipulates IR, not field
+/// data), so "medium" differs from "tiny" only through timestep count
+/// and equation structure.
+struct Case {
+    name: &'static str,
+    program: StencilProgram,
+    baseline_per_sec: f64,
+}
+
+fn cases() -> Vec<Case> {
+    let mut cases = vec![
+        Case {
+            name: "jacobian_tiny_6x6x12",
+            program: jacobian(6, 6, 12, 3),
+            baseline_per_sec: 3028.1,
+        },
+        Case {
+            name: "seismic_tiny_10x10x16",
+            program: seismic_25pt(10, 10, 16, 2),
+            baseline_per_sec: 1170.8,
+        },
+    ];
+    if !criterion::is_test_mode() {
+        cases.push(Case {
+            name: "jacobian_medium_48x48x96",
+            program: jacobian(48, 48, 96, 4),
+            baseline_per_sec: 2966.1,
+        });
+        cases.push(Case {
+            name: "seismic_medium_32x32x64",
+            program: seismic_25pt(32, 32, 64, 2),
+            baseline_per_sec: 1160.5,
+        });
+    }
+    cases
+}
+
+/// Median over `samples` of the per-sample programs/sec (each sample
+/// times `iters` compiles).
+fn rate(samples: usize, iters: usize, mut compile: impl FnMut()) -> f64 {
+    let mut rates: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                compile();
+            }
+            iters as f64 / start.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(f64::total_cmp);
+    rates[rates.len() / 2]
+}
+
+struct Row {
+    name: String,
+    fresh: f64,
+    cold: f64,
+    hit: f64,
+    baseline: f64,
+}
+
+/// Writes the measured numbers to `BENCH_compile_throughput.json` at the
+/// workspace root (hand-rolled JSON; no serde in-tree).
+fn write_snapshot(rows: &[Row]) {
+    let mut json =
+        String::from("{\n  \"bench\": \"compile_throughput\",\n  \"unit\": \"programs/sec\",\n");
+    json.push_str("  \"baseline\": \"pre-refactor facade (fresh arena per compile)\",\n");
+    json.push_str("  \"cases\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"fresh\": {:.1}, \"service_cold\": {:.1}, \
+             \"cache_hit\": {:.1}, \"baseline\": {:.1}, \"repeat_vs_baseline\": {:.1}, \
+             \"cache_hit_vs_cold\": {:.1}}}{}\n",
+            row.name,
+            row.fresh,
+            row.cold,
+            row.hit,
+            row.baseline,
+            row.hit / row.baseline,
+            row.hit / row.cold,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compile_throughput.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let (samples, iters) = if criterion::is_test_mode() { (1, 1) } else { (5, 40) };
+    let compiler = Compiler::new().num_chunks(2);
+
+    println!("\ncompile_throughput — programs/sec through the compile API");
+    let mut rows: Vec<Row> = Vec::new();
+    for case in &cases() {
+        // Fresh facade: a new arena per compile (the classic `compile()`).
+        let fresh = rate(samples, iters, || {
+            let artifact = compiler.compile(&case.program).expect("compile succeeds");
+            criterion::black_box(&artifact);
+        });
+        // Service, cold: pooled contexts, cache disabled — every request
+        // runs the full pipeline but reuses interned type storage.
+        let cold_service = compiler.service().cache(false);
+        let cold = rate(samples, iters, || {
+            let artifact = cold_service.compile(&case.program).expect("compile succeeds");
+            criterion::black_box(&artifact);
+        });
+        // Service, repeated request: served from the artifact cache.
+        let hot_service = compiler.service();
+        hot_service.compile(&case.program).expect("warmup compile succeeds");
+        let hit = rate(samples, iters, || {
+            let artifact = hot_service.compile(&case.program).expect("compile succeeds");
+            criterion::black_box(&artifact);
+        });
+        println!(
+            "  {:<26} fresh {:>7.0}/s  cold {:>7.0}/s  cache-hit {:>10.0}/s  \
+             (repeat vs baseline {:>6.1}x, hit vs cold {:>6.1}x)",
+            case.name,
+            fresh,
+            cold,
+            hit,
+            hit / case.baseline_per_sec,
+            hit / cold,
+        );
+        rows.push(Row {
+            name: case.name.to_string(),
+            fresh,
+            cold,
+            hit,
+            baseline: case.baseline_per_sec,
+        });
+    }
+    if !criterion::is_test_mode() {
+        write_snapshot(&rows);
+    }
+
+    // Batch path: the whole benchmark suite as one request batch.
+    let programs: Vec<StencilProgram> = cases().into_iter().map(|c| c.program).collect();
+    let batch_service = compiler.service().cache(false);
+    let batch = rate(samples, 1, || {
+        let results = batch_service.compile_batch(&programs);
+        assert!(results.iter().all(Result::is_ok));
+        criterion::black_box(&results);
+    });
+    println!("  batch of {} programs: {:.0} batches/s (cache disabled)", programs.len(), batch);
+
+    // Criterion-tracked timings for trend comparisons across PRs.
+    let mut group = c.benchmark_group("compile_throughput");
+    group.sample_size(samples.max(2));
+    for case in &cases() {
+        group.bench_function(format!("fresh_{}", case.name), |b| {
+            b.iter(|| compiler.compile(&case.program).expect("compile succeeds"))
+        });
+        let service = compiler.service();
+        group.bench_function(format!("cached_{}", case.name), |b| {
+            b.iter(|| service.compile(&case.program).expect("compile succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,22 +19,50 @@ pub struct LocReport {
 }
 
 /// The result of compiling one stencil program for the WSE.
+///
+/// An artifact owns everything a consumer needs — generated sources, the
+/// loaded per-PE program, pass names — independently of the IR context it
+/// was lowered in.  [`crate::Compiler::compile`] additionally keeps the
+/// lowered IR for inspection (`ir`); artifacts built by the compile
+/// service drop it so the pooled context can be reset and reused.
 #[derive(Debug)]
 pub struct CslArtifact {
     pub(crate) program: StencilProgram,
     pub(crate) options: PipelineOptions,
-    pub(crate) lowered: LoweredProgram,
+    pub(crate) sources: CslSources,
+    pub(crate) pass_names: Vec<String>,
     pub(crate) loaded: LoadedProgram,
+    pub(crate) ir: Option<LoweredProgram>,
 }
 
 impl CslArtifact {
-    pub(crate) fn new(
+    /// An artifact that keeps the lowered IR (classic `compile()` path).
+    pub(crate) fn with_ir(
         program: StencilProgram,
         options: PipelineOptions,
         lowered: LoweredProgram,
         loaded: LoadedProgram,
     ) -> Self {
-        Self { program, options, lowered, loaded }
+        Self {
+            program,
+            options,
+            sources: lowered.sources.clone(),
+            pass_names: lowered.pass_names.clone(),
+            loaded,
+            ir: Some(lowered),
+        }
+    }
+
+    /// An artifact from detached parts (compile-service path: the IR
+    /// context stays in the pool).
+    pub(crate) fn from_parts(
+        program: StencilProgram,
+        options: PipelineOptions,
+        sources: CslSources,
+        pass_names: Vec<String>,
+        loaded: LoadedProgram,
+    ) -> Self {
+        Self { program, options, sources, pass_names, loaded, ir: None }
     }
 
     /// The front-end program this artifact was compiled from.
@@ -49,21 +77,21 @@ impl CslArtifact {
 
     /// The generated CSL source files.
     pub fn sources(&self) -> &CslSources {
-        &self.lowered.sources
+        &self.sources
     }
 
     /// Lines-of-code comparison for Table 1.
     pub fn loc_report(&self) -> LocReport {
         LocReport {
-            csl_kernel: self.lowered.sources.kernel_loc(),
-            csl_entire: self.lowered.sources.total_loc(),
+            csl_kernel: self.sources.kernel_loc(),
+            csl_entire: self.sources.total_loc(),
             dsl: self.program.source_loc(),
         }
     }
 
     /// Names of the passes the pipeline ran, in order.
     pub fn pass_names(&self) -> &[String] {
-        &self.lowered.pass_names
+        &self.pass_names
     }
 
     /// Per-PE memory footprint of the generated buffers in bytes.

@@ -26,11 +26,13 @@
 pub mod artifact;
 pub mod compiler;
 pub mod experiments;
+pub mod service;
 
 pub use artifact::{CslArtifact, LocReport};
-pub use compiler::{CompileError, Compiler};
+pub use compiler::{CompileError, CompileErrorKind, Compiler};
+pub use service::{CompileService, ServiceStats};
 
 // Re-export the crates a downstream user needs to drive the API.
 pub use wse_frontends::{ast, benchmarks, devito, fortran, psyclone, StencilProgram};
-pub use wse_lowering::{PipelineOptions, WseTarget};
-pub use wse_sim::{PerfEstimate, WseGeneration, WseMachine};
+pub use wse_lowering::{LowerError, PipelineOptions, WseTarget};
+pub use wse_sim::{PerfEstimate, TargetMachine, WseGeneration, WseMachine};

@@ -1,0 +1,328 @@
+//! Compile-as-a-service: batched compilation over pooled IR contexts
+//! with an artifact cache keyed by a stable structural IR hash.
+//!
+//! The ROADMAP's north star is serving compilation to many users; the
+//! [`CompileService`] is the throughput-oriented entry point behind the
+//! [`Compiler`] builder:
+//!
+//! * **Context pool** — every compile emits into a long-lived, reset
+//!   [`IrContext`] instead of a fresh arena.  Interned types/attributes
+//!   survive [`IrContext::reset`], so steady-state compiles never
+//!   re-allocate type structure (see the `wse_ir::ir` docs for the
+//!   handle-invalidation rules: op/value handles die at reset,
+//!   `TypeRef`/`AttrRef` handles live as long as the context).
+//! * **Artifact cache** — after front-end emission the module is
+//!   fingerprinted structurally ([`IrContext::fingerprint`], independent
+//!   of arena indices) and combined with the pipeline options; a hit
+//!   returns the shared [`CslArtifact`] without running a single pass.
+//! * **Batching** — [`CompileService::compile_batch`] fans a slice of
+//!   programs out over a small worker pool (scoped threads; each worker
+//!   takes its own pooled context).
+//!
+//! Artifacts are handed out as `Arc<CslArtifact>`: they own their
+//! sources and loaded program but not the IR they were lowered in, so
+//! the pooled context is immediately reusable.
+//!
+//! ```
+//! use wse_stencil::{benchmarks::Benchmark, Compiler};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = Compiler::new().num_chunks(2).service();
+//! let program = Benchmark::Jacobian.tiny_program();
+//! let first = service.compile(&program)?;
+//! let second = service.compile(&program)?; // served from the cache
+//! assert!(std::sync::Arc::ptr_eq(&first, &second));
+//! assert_eq!(service.stats().cache_hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use wse_frontends::{emit_stencil_ir_into, StencilProgram};
+use wse_ir::fxhash::fx_hash_one;
+use wse_ir::{FxHashMap, IrContext};
+use wse_lowering::lower_module_in;
+use wse_sim::load_program;
+
+use crate::artifact::CslArtifact;
+use crate::compiler::{CompileError, Compiler};
+
+/// The result of one service compile: a shared artifact or a typed error.
+pub type CompileResult = Result<Arc<CslArtifact>, CompileError>;
+
+/// Counters describing what the service has done so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests served from the artifact cache.
+    pub cache_hits: u64,
+    /// Requests that ran the full pipeline.
+    pub cache_misses: u64,
+    /// Artifacts currently held by the cache.
+    pub cached_artifacts: usize,
+    /// Idle contexts currently in the pool.
+    pub pooled_contexts: usize,
+}
+
+/// A long-lived compile service wrapping a [`Compiler`] configuration.
+///
+/// Construct one with [`Compiler::service`].  The service is `Sync`:
+/// `compile` takes `&self` and may be called from many threads; internal
+/// state (context pool, artifact cache) is mutex-protected.
+///
+/// # Ownership
+/// Returned artifacts are `Arc`-shared and self-contained — they do not
+/// borrow from, or keep alive, any pooled context.  The lowered IR is
+/// dropped after source generation (see [`CslArtifact::lowered`]), which
+/// is what lets a context go back into the pool as soon as its compile
+/// finishes.
+pub struct CompileService {
+    compiler: Compiler,
+    pool: Mutex<Vec<IrContext>>,
+    cache: Mutex<FxHashMap<u64, Arc<CslArtifact>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    cache_enabled: bool,
+    workers: usize,
+}
+
+impl std::fmt::Debug for CompileService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompileService")
+            .field("compiler", &self.compiler)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CompileService {
+    /// A service over `compiler`'s options (use [`Compiler::service`]).
+    pub(crate) fn new(compiler: Compiler) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self {
+            compiler,
+            pool: Mutex::new(Vec::new()),
+            cache: Mutex::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            cache_enabled: true,
+            workers,
+        }
+    }
+
+    /// Disables (or re-enables) the artifact cache; every compile then
+    /// runs the full pipeline.  Useful for benchmarking the cold path.
+    pub fn cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+
+    /// Caps the number of worker threads used by
+    /// [`CompileService::compile_batch`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The compiler configuration this service was built from.
+    pub fn compiler(&self) -> &Compiler {
+        &self.compiler
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            cached_artifacts: self.cache.lock().unwrap().len(),
+            pooled_contexts: self.pool.lock().unwrap().len(),
+        }
+    }
+
+    /// Drops every cached artifact (pooled contexts are kept).
+    pub fn clear_cache(&self) {
+        self.cache.lock().unwrap().clear();
+    }
+
+    /// Compiles one program, serving repeats from the artifact cache.
+    ///
+    /// # Errors
+    /// Same contract as [`Compiler::compile`], with errors typed by
+    /// [`crate::CompileErrorKind`].
+    pub fn compile(&self, program: &StencilProgram) -> Result<Arc<CslArtifact>, CompileError> {
+        self.compiler.validate_options()?;
+        let options = *self.compiler.options();
+        let mut ctx = self.take_context();
+
+        let emitted = emit_stencil_ir_into(&mut ctx, program);
+        let module = match emitted {
+            Ok((module, _func)) => module,
+            Err(message) => {
+                self.return_context(ctx);
+                return Err(CompileError::emit(message));
+            }
+        };
+
+        // Key the cache by structure, not by identity: the fingerprint is
+        // a pre-order walk with local value numbering, so it is stable
+        // across pool reuse and arena index churn.
+        let key = fx_hash_one(&(ctx.fingerprint(module), options));
+        if self.cache_enabled {
+            if let Some(artifact) = self.cache.lock().unwrap().get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let artifact = Arc::clone(artifact);
+                self.return_context(ctx);
+                return Ok(artifact);
+            }
+        }
+
+        let lowered = lower_module_in(&mut ctx, module, program, &options);
+        let (sources, pass_names) = match lowered {
+            Ok(parts) => parts,
+            Err(e) => {
+                self.return_context(ctx);
+                return Err(e.into());
+            }
+        };
+        let loaded = match load_program(&ctx, module) {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                self.return_context(ctx);
+                return Err(CompileError::load(e.message));
+            }
+        };
+        self.return_context(ctx);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        let artifact = Arc::new(CslArtifact::from_parts(
+            program.clone(),
+            options,
+            sources,
+            pass_names,
+            loaded,
+        ));
+        if self.cache_enabled {
+            self.cache.lock().unwrap().insert(key, Arc::clone(&artifact));
+        }
+        Ok(artifact)
+    }
+
+    /// Compiles a batch of programs, fanning out over scoped worker
+    /// threads (each worker draws its own context from the pool).
+    /// Results are returned in input order.
+    pub fn compile_batch(&self, programs: &[StencilProgram]) -> Vec<CompileResult> {
+        let workers = self.workers.min(programs.len());
+        if workers <= 1 {
+            return programs.iter().map(|p| self.compile(p)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CompileResult>>> =
+            programs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= programs.len() {
+                        break;
+                    }
+                    *slots[i].lock().unwrap() = Some(self.compile(&programs[i]));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("worker filled every slot"))
+            .collect()
+    }
+
+    fn take_context(&self) -> IrContext {
+        self.pool.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn return_context(&self, mut ctx: IrContext) {
+        ctx.reset();
+        self.pool.lock().unwrap().push(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_frontends::benchmarks::Benchmark;
+
+    #[test]
+    fn repeated_compiles_share_one_artifact() {
+        let service = Compiler::new().num_chunks(2).service();
+        let program = Benchmark::Jacobian.tiny_program();
+        let first = service.compile(&program).unwrap();
+        let second = service.compile(&program).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "cache hit returns the shared artifact");
+        let stats = service.stats();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+        assert_eq!(stats.cached_artifacts, 1);
+        assert_eq!(stats.pooled_contexts, 1, "the context went back to the pool");
+        // The cache key includes options: a different configuration of the
+        // same program is a miss.
+        let other = Compiler::new().num_chunks(2).fmac_fusion(false).service();
+        let unfused = other.compile(&program).unwrap();
+        assert!(!Arc::ptr_eq(&first, &unfused));
+    }
+
+    #[test]
+    fn service_matches_classic_compiler_output() {
+        let program = Benchmark::Seismic25.tiny_program();
+        let classic = Compiler::new().num_chunks(2).compile(&program).unwrap();
+        let served = Compiler::new().num_chunks(2).service().compile(&program).unwrap();
+        for file in &classic.sources().files {
+            let other = served.sources().file(&file.name).expect("same file set");
+            assert_eq!(file.content, other.content, "{} differs", file.name);
+        }
+        assert_eq!(classic.pass_names(), served.pass_names());
+        assert!(served.lowered().is_none(), "service artifacts drop the IR");
+        assert!(classic.lowered().is_some());
+    }
+
+    #[test]
+    fn pooled_context_is_reused_across_requests() {
+        let service = Compiler::new().service().cache(false);
+        let program = Benchmark::Diffusion.tiny_program();
+        service.compile(&program).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.pooled_contexts, 1);
+        service.compile(&program).unwrap();
+        let stats = service.stats();
+        // Cache disabled: both compiles ran the pipeline, in one pooled ctx.
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 2));
+        assert_eq!(stats.pooled_contexts, 1, "same context cycled through the pool");
+        assert_eq!(stats.cached_artifacts, 0);
+    }
+
+    #[test]
+    fn batch_returns_results_in_input_order() {
+        let service = Compiler::new().num_chunks(2).service().workers(4);
+        let programs: Vec<_> = [Benchmark::Jacobian, Benchmark::Diffusion, Benchmark::Seismic25]
+            .iter()
+            .map(|b| b.tiny_program())
+            .collect();
+        let results = service.compile_batch(&programs);
+        assert_eq!(results.len(), 3);
+        for (program, result) in programs.iter().zip(&results) {
+            let artifact = result.as_ref().expect("batch compile succeeds");
+            assert_eq!(&artifact.program().name, &program.name);
+        }
+    }
+
+    #[test]
+    fn typed_errors_flow_through_the_service() {
+        let service = Compiler::new().service();
+        let mut program = Benchmark::Jacobian.tiny_program();
+        program.timesteps = 0;
+        let err = service.compile(&program).unwrap_err();
+        assert_eq!(err.stage(), "emit-stencil-ir");
+        // The failed compile still returned its context to the pool.
+        assert_eq!(service.stats().pooled_contexts, 1);
+        let err = Compiler::new().num_chunks(0).service().compile(&program).unwrap_err();
+        assert_eq!(err.code(), Some("invalid-options"));
+    }
+}

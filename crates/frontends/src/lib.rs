@@ -27,4 +27,4 @@ pub mod to_stencil;
 
 pub use ast::{Expr, Frontend, GridSpec, StencilEquation, StencilProgram};
 pub use benchmarks::{Benchmark, ProblemSize};
-pub use to_stencil::{emit_stencil_ir, StencilIr};
+pub use to_stencil::{emit_stencil_ir, emit_stencil_ir_into, StencilIr};

@@ -45,15 +45,30 @@ pub fn interior_bounds(program: &StencilProgram) -> stencil::Bounds {
 /// # Errors
 /// Returns an error string if the program fails validation.
 pub fn emit_stencil_ir(program: &StencilProgram) -> Result<StencilIr, String> {
-    program.validate()?;
     let mut ctx = IrContext::new();
-    let (module, module_body) = builtin::module(&mut ctx);
+    let (module, func) = emit_stencil_ir_into(&mut ctx, program)?;
+    Ok(StencilIr { ctx, module, func })
+}
+
+/// Emits `program` into an existing (typically pooled and reset) context,
+/// reusing its interned type/attribute storage.  Returns the module and the
+/// kernel function.  This is the entry point the compile service uses so a
+/// long-lived [`IrContext`] amortizes interning across requests.
+///
+/// # Errors
+/// Returns an error string if the program fails validation.
+pub fn emit_stencil_ir_into(
+    ctx: &mut IrContext,
+    program: &StencilProgram,
+) -> Result<(OpId, OpId), String> {
+    program.validate()?;
+    let (module, module_body) = builtin::module(ctx);
 
     let storage = field_bounds(program);
     let interior = interior_bounds(program);
     let field_ty = stencil::field_type(&storage, Type::f32());
     let arg_types = vec![field_ty; program.fields.len()];
-    let (kernel, entry) = func::build_func(&mut ctx, module_body, &program.name, arg_types, vec![]);
+    let (kernel, entry) = func::build_func(ctx, module_body, &program.name, arg_types, vec![]);
     ctx.set_attr(
         kernel,
         "field_names",
@@ -69,7 +84,7 @@ pub fn emit_stencil_ir(program: &StencilProgram) -> Result<StencilIr, String> {
     // The block that holds one timestep's worth of applies: either the
     // function entry (single timestep) or the body of an scf.for.
     let timestep_block = if program.timesteps > 1 {
-        let mut b = OpBuilder::at_end(&mut ctx, entry);
+        let mut b = OpBuilder::at_end(ctx, entry);
         let lb = arith::constant_index(&mut b, 0);
         let ub = arith::constant_index(&mut b, program.timesteps);
         let step = arith::constant_index(&mut b, 1);
@@ -88,7 +103,7 @@ pub fn emit_stencil_ir(program: &StencilProgram) -> Result<StencilIr, String> {
         let inputs = equation.inputs();
         let mut temps: HashMap<String, ValueId> = HashMap::new();
         {
-            let mut b = OpBuilder::at_end(&mut ctx, timestep_block);
+            let mut b = OpBuilder::at_end(ctx, timestep_block);
             for input in &inputs {
                 let center_only = equation
                     .expr
@@ -114,29 +129,29 @@ pub fn emit_stencil_ir(program: &StencilProgram) -> Result<StencilIr, String> {
         let operand_order: Vec<String> = inputs.clone();
         let operands: Vec<ValueId> = operand_order.iter().map(|f| temps[f]).collect();
         let result_ty = stencil::temp_type(&interior, Type::f32());
-        let mut b = OpBuilder::at_end(&mut ctx, timestep_block);
+        let mut b = OpBuilder::at_end(ctx, timestep_block);
         let (apply, body) = stencil::build_apply(&mut b, operands, vec![result_ty]);
         let body_args = ctx.block_args(body).to_vec();
         let arg_map: HashMap<String, ValueId> =
             operand_order.iter().cloned().zip(body_args.iter().copied()).collect();
-        let mut ab = OpBuilder::at_end(&mut ctx, body);
+        let mut ab = OpBuilder::at_end(ctx, body);
         let result = emit_expr(&mut ab, &equation.expr, &arg_map);
-        stencil::build_return(&mut ctx, body, vec![result]);
+        stencil::build_return(ctx, body, vec![result]);
 
         // Store the apply result into the output field.
         let out_field = field_args[&equation.output];
         let apply_result = ctx.result(apply, 0);
-        let mut b = OpBuilder::at_end(&mut ctx, timestep_block);
+        let mut b = OpBuilder::at_end(ctx, timestep_block);
         stencil::store(&mut b, apply_result, out_field, &interior);
         forwarded.insert(equation.output.clone(), apply_result);
     }
 
     if program.timesteps > 1 {
-        scf::build_yield(&mut ctx, timestep_block, vec![]);
+        scf::build_yield(ctx, timestep_block, vec![]);
     }
-    func::build_return(&mut ctx, entry, vec![]);
+    func::build_return(ctx, entry, vec![]);
 
-    Ok(StencilIr { ctx, module, func: kernel })
+    Ok((module, kernel))
 }
 
 /// Emits the arithmetic for one expression inside an apply body.

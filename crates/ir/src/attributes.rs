@@ -101,7 +101,14 @@ impl Attribute {
 
     /// `f32` float attribute.
     pub fn f32(value: f32) -> Attribute {
-        Attribute::Float(FloatBits::new(f64::from(value)), Type::f32())
+        // `f64::from` is not guaranteed to preserve the NaN sign bit (and
+        // stopped doing so on recent toolchains); the IR semantics keep
+        // `is_nan` plus the sign, so restore the sign explicitly.
+        let mut wide = f64::from(value);
+        if value.is_nan() {
+            wide = f64::NAN.copysign(if value.is_sign_negative() { -1.0 } else { 1.0 });
+        }
+        Attribute::Float(FloatBits::new(wide), Type::f32())
     }
 
     /// `f64` float attribute.

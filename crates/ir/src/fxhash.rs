@@ -1,0 +1,115 @@
+//! A minimal in-tree FxHash implementation.
+//!
+//! The storage uniquer in [`crate::Context`] interns every [`crate::Type`]
+//! and [`crate::Attribute`] through a hash map; the default SipHash is
+//! needlessly slow for that hot path (interning happens on every value
+//! creation).  This is the well-known Fx algorithm used by rustc
+//! (`rustc-hash`): a simple multiply-xor mix, not DoS-resistant, which is
+//! fine for compiler-internal tables keyed by trusted data.  Vendored
+//! in-tree because the workspace builds fully offline.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Fx algorithm (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hasher: multiply-xor mixing, word at a time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Hashes one value with [`FxHasher`] (used for the stable IR fingerprint).
+pub fn fx_hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(fx_hash_one(&"stencil.apply"), fx_hash_one(&"stencil.apply"));
+        assert_ne!(fx_hash_one(&"stencil.apply"), fx_hash_one(&"stencil.store"));
+        let mut map: FxHashMap<String, u32> = FxHashMap::default();
+        map.insert("a".into(), 1);
+        map.insert("b".into(), 2);
+        assert_eq!(map.get("a"), Some(&1));
+    }
+
+    #[test]
+    fn all_write_widths_mix() {
+        let mut h = FxHasher::default();
+        h.write_u8(1);
+        h.write_u16(2);
+        h.write_u32(3);
+        h.write_u64(4);
+        h.write_usize(5);
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_ne!(h.finish(), 0);
+    }
+}

@@ -1,33 +1,86 @@
 //! The arena-based IR graph: operations, regions, blocks and values.
 //!
-//! All IR entities live inside an [`IrContext`] and are referred to by
-//! lightweight copyable ids ([`OpId`], [`BlockId`], [`RegionId`],
-//! [`ValueId`]).  The structure follows MLIR: an operation owns a list of
-//! regions, a region owns a list of blocks, a block owns an ordered list of
-//! operations and a list of block arguments, and every operation produces
-//! zero or more result values.
+//! All IR entities live inside an owning [`Context`] and are referred to
+//! by lightweight copyable handles ([`OpRef`], [`BlockRef`], [`RegionRef`],
+//! [`ValueRef`]).  The structure follows MLIR (and pliron's `Context`
+//! design): an operation owns a list of regions, a region owns a list of
+//! blocks, a block owns an ordered list of operations and a list of block
+//! arguments, and every operation produces zero or more result values.
+//!
+//! # Ownership and handle invalidation
+//!
+//! The [`Context`] is the single owner of every IR entity; handles are
+//! plain arena indices and never dangle in the memory-safety sense, but
+//! they can refer to *erased* entities:
+//!
+//! * Handles are only meaningful for the context that produced them.
+//!   Using a handle with a different context (or after
+//!   [`Context::reset`]) yields an unrelated entity or an out-of-bounds
+//!   panic.
+//! * [`Context::erase_op`] marks the operation, its nested
+//!   regions/blocks/ops and all produced values dead; the handles remain
+//!   valid to *query liveness* ([`Context::op_is_live`],
+//!   [`Context::value_is_live`]) but must not be used to navigate.
+//! * [`Context::reset`] invalidates every op/block/region/value handle at
+//!   once while keeping the interned type/attribute storage alive:
+//!   [`TypeRef`]/[`AttrRef`] handles survive a reset, which is what makes
+//!   long-lived pooled contexts (see `wse_stencil::CompileService`) cheap
+//!   to reuse across compiles.
+//! * Interned [`TypeRef`]/[`AttrRef`] handles are never invalidated for
+//!   the lifetime of the context: interned storage is append-only.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::attributes::{AttrMap, Attribute};
+use crate::fxhash::{FxHashMap, FxHasher};
 use crate::types::Type;
 
-/// Identifier of an operation within an [`IrContext`].
+/// Identifier of an operation within a [`Context`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpId(pub(crate) u32);
 
-/// Identifier of a block within an [`IrContext`].
+/// Identifier of a block within a [`Context`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub(crate) u32);
 
-/// Identifier of a region within an [`IrContext`].
+/// Identifier of a region within a [`Context`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegionId(pub(crate) u32);
 
-/// Identifier of an SSA value within an [`IrContext`].
+/// Identifier of an SSA value within a [`Context`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ValueId(pub(crate) u32);
+
+/// Canonical handle name for operations (alias of [`OpId`]).
+pub type OpRef = OpId;
+
+/// Canonical handle name for blocks (alias of [`BlockId`]).
+pub type BlockRef = BlockId;
+
+/// Canonical handle name for regions (alias of [`RegionId`]).
+pub type RegionRef = RegionId;
+
+/// Canonical handle name for SSA values (alias of [`ValueId`]).
+pub type ValueRef = ValueId;
+
+/// Handle of an interned [`Type`] inside a [`Context`].
+///
+/// Obtained from [`Context::intern_type`]; two types are structurally
+/// equal if and only if their `TypeRef`s are equal (within one context).
+/// Never invalidated — interned storage is append-only and survives
+/// [`Context::reset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeRef(pub(crate) u32);
+
+/// Handle of an interned [`Attribute`] inside a [`Context`].
+///
+/// Same canonicalization guarantee as [`TypeRef`]: structural equality of
+/// attributes is handle equality within one context, and handles survive
+/// [`Context::reset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrRef(pub(crate) u32);
 
 impl fmt::Display for OpId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -62,7 +115,7 @@ pub enum ValueDef {
 
 #[derive(Debug, Clone)]
 pub(crate) struct ValueData {
-    pub ty: Type,
+    pub ty: TypeRef,
     pub def: ValueDef,
     pub live: bool,
 }
@@ -132,24 +185,110 @@ impl std::error::Error for IrError {}
 /// Result alias used throughout the IR crate.
 pub type IrResult<T> = Result<T, IrError>;
 
-/// The arena owning every operation, region, block and value.
+/// The arena owning every operation, region, block, value, and the
+/// interned type/attribute storage.
+///
+/// See the [module documentation](self) for the ownership and
+/// handle-invalidation rules.
 #[derive(Debug, Default, Clone)]
-pub struct IrContext {
+pub struct Context {
     ops: Vec<OpData>,
     blocks: Vec<BlockData>,
     regions: Vec<RegionData>,
     values: Vec<ValueData>,
+    /// Interned type storage (append-only; survives [`Context::reset`]).
+    types: Vec<Type>,
+    /// Storage uniquer for types: structural value → canonical handle.
+    type_map: FxHashMap<Type, TypeRef>,
+    /// Interned attribute storage (append-only; survives reset).
+    attr_storage: Vec<Attribute>,
+    /// Storage uniquer for attributes.
+    attr_map: FxHashMap<Attribute, AttrRef>,
 }
 
-impl IrContext {
+/// Backwards-compatible name of [`Context`] (the pre-interning API).
+pub type IrContext = Context;
+
+impl Context {
     /// Creates an empty context.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Clears every operation, region, block and value while *keeping* the
+    /// interned type/attribute storage and all arena capacity.
+    ///
+    /// This is the primitive behind context pooling: a long-lived context
+    /// can be reused across compiles without re-interning the (heavily
+    /// shared) types and without reallocating the arenas.  Every
+    /// [`OpRef`]/[`BlockRef`]/[`RegionRef`]/[`ValueRef`] handed out before
+    /// the reset is invalidated; [`TypeRef`]/[`AttrRef`] handles survive.
+    pub fn reset(&mut self) {
+        self.ops.clear();
+        self.blocks.clear();
+        self.regions.clear();
+        self.values.clear();
+    }
+
+    // ------------------------------------------------------------- interning
+
+    /// Interns a type, returning its canonical handle.
+    ///
+    /// Structurally equal types always return the same handle, so handle
+    /// equality is structural equality (the proptest
+    /// `interning_is_canonical` pins this).  The first occurrence pays one
+    /// hash + clone; later occurrences are a map hit.
+    pub fn intern_type(&mut self, ty: Type) -> TypeRef {
+        if let Some(&r) = self.type_map.get(&ty) {
+            return r;
+        }
+        let r = TypeRef(self.types.len() as u32);
+        self.types.push(ty.clone());
+        self.type_map.insert(ty, r);
+        r
+    }
+
+    /// The interned type behind a handle.
+    pub fn type_of(&self, r: TypeRef) -> &Type {
+        &self.types[r.0 as usize]
+    }
+
+    /// Number of distinct interned types.
+    pub fn num_interned_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Interns an attribute, returning its canonical handle.
+    ///
+    /// Same canonicalization guarantee as [`Context::intern_type`].
+    pub fn intern_attr(&mut self, attr: Attribute) -> AttrRef {
+        if let Some(&r) = self.attr_map.get(&attr) {
+            return r;
+        }
+        let r = AttrRef(self.attr_storage.len() as u32);
+        self.attr_storage.push(attr.clone());
+        self.attr_map.insert(attr, r);
+        r
+    }
+
+    /// The interned attribute behind a handle.
+    pub fn attr_of(&self, r: AttrRef) -> &Attribute {
+        &self.attr_storage[r.0 as usize]
+    }
+
+    /// Number of distinct interned attributes.
+    pub fn num_interned_attrs(&self) -> usize {
+        self.attr_storage.len()
+    }
+
     // ---------------------------------------------------------------- values
 
     pub(crate) fn new_value(&mut self, ty: Type, def: ValueDef) -> ValueId {
+        let ty = self.intern_type(ty);
+        self.new_value_of(ty, def)
+    }
+
+    pub(crate) fn new_value_of(&mut self, ty: TypeRef, def: ValueDef) -> ValueId {
         let id = ValueId(self.values.len() as u32);
         self.values.push(ValueData { ty, def, live: true });
         id
@@ -157,11 +296,17 @@ impl IrContext {
 
     /// Type of a value.
     pub fn value_type(&self, v: ValueId) -> &Type {
-        &self.values[v.0 as usize].ty
+        self.type_of(self.values[v.0 as usize].ty)
+    }
+
+    /// Interned type handle of a value.
+    pub fn value_type_ref(&self, v: ValueId) -> TypeRef {
+        self.values[v.0 as usize].ty
     }
 
     /// Overwrites the type of a value (used by type-conversion passes).
     pub fn set_value_type(&mut self, v: ValueId, ty: Type) {
+        let ty = self.intern_type(ty);
         self.values[v.0 as usize].ty = ty;
     }
 
@@ -194,6 +339,21 @@ impl IrContext {
         attrs: AttrMap,
         num_regions: usize,
     ) -> OpId {
+        let result_types: Vec<TypeRef> =
+            result_types.into_iter().map(|t| self.intern_type(t)).collect();
+        self.create_op_of(name, operands, result_types, attrs, num_regions)
+    }
+
+    /// [`Context::create_op`] taking pre-interned result types — the
+    /// allocation-free path used by cloning and type-preserving rewrites.
+    pub fn create_op_of(
+        &mut self,
+        name: impl Into<String>,
+        operands: Vec<ValueId>,
+        result_types: Vec<TypeRef>,
+        attrs: AttrMap,
+        num_regions: usize,
+    ) -> OpId {
         let id = OpId(self.ops.len() as u32);
         let mut results = Vec::with_capacity(result_types.len());
         self.ops.push(OpData {
@@ -206,7 +366,7 @@ impl IrContext {
             live: true,
         });
         for (index, ty) in result_types.into_iter().enumerate() {
-            let v = self.new_value(ty, ValueDef::OpResult { op: id, index });
+            let v = self.new_value_of(ty, ValueDef::OpResult { op: id, index });
             results.push(v);
         }
         self.ops[id.0 as usize].results = results;
@@ -334,6 +494,12 @@ impl IrContext {
 
     /// Appends a new block with the given argument types to a region.
     pub fn add_block(&mut self, region: RegionId, arg_types: Vec<Type>) -> BlockId {
+        let arg_types: Vec<TypeRef> = arg_types.into_iter().map(|t| self.intern_type(t)).collect();
+        self.add_block_of(region, arg_types)
+    }
+
+    /// [`Context::add_block`] taking pre-interned argument types.
+    pub fn add_block_of(&mut self, region: RegionId, arg_types: Vec<TypeRef>) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
         self.blocks.push(BlockData {
             args: Vec::new(),
@@ -344,7 +510,7 @@ impl IrContext {
         let args: Vec<ValueId> = arg_types
             .into_iter()
             .enumerate()
-            .map(|(index, ty)| self.new_value(ty, ValueDef::BlockArg { block: id, index }))
+            .map(|(index, ty)| self.new_value_of(ty, ValueDef::BlockArg { block: id, index }))
             .collect();
         self.blocks[id.0 as usize].args = args;
         self.regions[region.0 as usize].blocks.push(id);
@@ -578,10 +744,12 @@ impl IrContext {
         let data = self.op(op).clone();
         let operands: Vec<ValueId> =
             data.operands.iter().map(|v| *value_map.get(v).unwrap_or(v)).collect();
-        let result_types: Vec<Type> =
-            data.results.iter().map(|&v| self.value_type(v).clone()).collect();
+        // Result and block-argument types are copied as interned handles:
+        // cloning never re-walks or re-allocates type structure.
+        let result_types: Vec<TypeRef> =
+            data.results.iter().map(|&v| self.value_type_ref(v)).collect();
         let new_op =
-            self.create_op(data.name.clone(), operands, result_types, data.attrs.clone(), 0);
+            self.create_op_of(data.name.clone(), operands, result_types, data.attrs.clone(), 0);
         for (old, new) in data.results.iter().zip(self.op(new_op).results.to_vec()) {
             value_map.insert(*old, new);
         }
@@ -589,9 +757,9 @@ impl IrContext {
             let new_region = self.add_region(new_op);
             let blocks = self.region(region).blocks.clone();
             for block in blocks {
-                let arg_types: Vec<Type> =
-                    self.block(block).args.iter().map(|&a| self.value_type(a).clone()).collect();
-                let new_block = self.add_block(new_region, arg_types);
+                let arg_types: Vec<TypeRef> =
+                    self.block(block).args.iter().map(|&a| self.value_type_ref(a)).collect();
+                let new_block = self.add_block_of(new_region, arg_types);
                 let old_args = self.block(block).args.to_vec();
                 let new_args = self.block(new_block).args.to_vec();
                 for (o, n) in old_args.iter().zip(new_args.iter()) {
@@ -637,6 +805,64 @@ impl IrContext {
         for op in ops {
             self.op_mut(op).parent_block = Some(dst_block);
             self.blocks[dst_block.0 as usize].ops.push(op);
+        }
+    }
+
+    // ----------------------------------------------------------- fingerprint
+
+    /// A stable structural hash of the live IR rooted at `root`.
+    ///
+    /// The fingerprint depends only on structure — op names, attributes,
+    /// value types, and the def/use wiring via a local pre-order value
+    /// numbering — never on arena indices, so two contexts holding
+    /// structurally identical modules produce the same fingerprint even
+    /// when their handles differ (e.g. a pooled context after many
+    /// [`Context::reset`] cycles).  This is the cache key of the compile
+    /// service's artifact cache.
+    pub fn fingerprint(&self, root: OpId) -> u64 {
+        let mut hasher = FxHasher::default();
+        let mut numbering: FxHashMap<ValueId, u32> = FxHashMap::default();
+        self.fingerprint_op(root, &mut hasher, &mut numbering);
+        hasher.finish()
+    }
+
+    fn fingerprint_op(
+        &self,
+        op: OpId,
+        hasher: &mut FxHasher,
+        numbering: &mut FxHashMap<ValueId, u32>,
+    ) {
+        if !self.op_is_live(op) {
+            return;
+        }
+        let data = self.op(op);
+        data.name.hash(hasher);
+        for operand in &data.operands {
+            // Values are numbered in definition (pre-order) order; an
+            // operand defined outside `root` hashes as a sentinel.
+            numbering.get(operand).copied().unwrap_or(u32::MAX).hash(hasher);
+        }
+        for &result in &data.results {
+            let n = numbering.len() as u32;
+            numbering.insert(result, n);
+            self.value_type(result).hash(hasher);
+        }
+        data.attrs.hash(hasher);
+        (data.regions.len() as u32).hash(hasher);
+        for &r in &data.regions {
+            let blocks = &self.region(r).blocks;
+            (blocks.len() as u32).hash(hasher);
+            for &b in blocks {
+                let block = self.block(b);
+                for &arg in &block.args {
+                    let n = numbering.len() as u32;
+                    numbering.insert(arg, n);
+                    self.value_type(arg).hash(hasher);
+                }
+                for &nested in &block.ops {
+                    self.fingerprint_op(nested, hasher, numbering);
+                }
+            }
         }
     }
 }
@@ -776,6 +1002,85 @@ mod tests {
         let extra = ctx.add_block_arg(block, Type::f32());
         assert_eq!(ctx.block_args(block).len(), 3);
         assert_eq!(ctx.value_def(extra), ValueDef::BlockArg { block, index: 2 });
+    }
+
+    #[test]
+    fn interning_dedupes_structurally_equal_types_and_attrs() {
+        let mut ctx = Context::new();
+        let t1 = ctx.intern_type(Type::tensor(vec![4, 255], Type::f32()));
+        let t2 = ctx.intern_type(Type::tensor(vec![4, 255], Type::f32()));
+        let t3 = ctx.intern_type(Type::tensor(vec![4, 256], Type::f32()));
+        assert_eq!(t1, t2, "structural equality is handle equality");
+        assert_ne!(t1, t3);
+        assert_eq!(ctx.type_of(t1), &Type::tensor(vec![4, 255], Type::f32()));
+        let a1 = ctx.intern_attr(Attribute::IndexArray(vec![1, 0, 0]));
+        let a2 = ctx.intern_attr(Attribute::IndexArray(vec![1, 0, 0]));
+        assert_eq!(a1, a2);
+        assert_eq!(ctx.attr_of(a1), &Attribute::IndexArray(vec![1, 0, 0]));
+    }
+
+    #[test]
+    fn values_share_interned_types() {
+        let mut ctx = Context::new();
+        let (_m, body) = small_module(&mut ctx);
+        let a = ctx.create_op("a.a", vec![], vec![Type::f32()], AttrMap::new(), 0);
+        let b = ctx.create_op("b.b", vec![], vec![Type::f32()], AttrMap::new(), 0);
+        ctx.append_op(body, a);
+        ctx.append_op(body, b);
+        assert_eq!(ctx.value_type_ref(ctx.result(a, 0)), ctx.value_type_ref(ctx.result(b, 0)));
+    }
+
+    #[test]
+    fn reset_clears_ir_but_keeps_interned_storage() {
+        let mut ctx = Context::new();
+        let (_m, body) = small_module(&mut ctx);
+        let c = ctx.create_op("arith.constant", vec![], vec![Type::f32()], AttrMap::new(), 0);
+        ctx.append_op(body, c);
+        let f32_ref = ctx.value_type_ref(ctx.result(c, 0));
+        let interned = ctx.num_interned_types();
+        assert!(ctx.num_live_ops() > 0);
+        ctx.reset();
+        assert_eq!(ctx.num_live_ops(), 0);
+        assert_eq!(ctx.num_interned_types(), interned, "interner survives reset");
+        assert_eq!(ctx.type_of(f32_ref), &Type::f32(), "type handles survive reset");
+        assert_eq!(ctx.intern_type(Type::f32()), f32_ref, "uniquer still canonicalizes");
+        // The context is reusable: building new IR starts from fresh ids.
+        let (m2, _body2) = small_module(&mut ctx);
+        assert_eq!(m2, OpId(0));
+    }
+
+    #[test]
+    fn fingerprint_is_structural_not_positional() {
+        let build = |ctx: &mut Context, pad_values: u32| {
+            // Interning/arena churn before building must not affect the
+            // fingerprint of the module built afterwards.
+            for i in 0..pad_values {
+                ctx.intern_type(Type::tensor(vec![i64::from(i) + 2], Type::f32()));
+                let junk = ctx.create_op("junk.op", vec![], vec![Type::f32()], AttrMap::new(), 0);
+                ctx.erase_op(junk);
+            }
+            let (module, body) = small_module(ctx);
+            let c = ctx.create_op("arith.constant", vec![], vec![Type::f32()], AttrMap::new(), 0);
+            ctx.set_attr(c, "value", Attribute::f32(0.5));
+            ctx.append_op(body, c);
+            let v = ctx.result(c, 0);
+            let add = ctx.create_op("arith.addf", vec![v, v], vec![Type::f32()], AttrMap::new(), 0);
+            ctx.append_op(body, add);
+            ctx.fingerprint(module)
+        };
+        let mut ctx1 = Context::new();
+        let mut ctx2 = Context::new();
+        assert_eq!(build(&mut ctx1, 0), build(&mut ctx2, 7), "same structure, same hash");
+        // A structural difference (attribute value) changes the hash.
+        let mut ctx3 = Context::new();
+        let (module, body) = small_module(&mut ctx3);
+        let c = ctx3.create_op("arith.constant", vec![], vec![Type::f32()], AttrMap::new(), 0);
+        ctx3.set_attr(c, "value", Attribute::f32(0.25));
+        ctx3.append_op(body, c);
+        let v = ctx3.result(c, 0);
+        let add = ctx3.create_op("arith.addf", vec![v, v], vec![Type::f32()], AttrMap::new(), 0);
+        ctx3.append_op(body, add);
+        assert_ne!(ctx3.fingerprint(module), build(&mut Context::new(), 0));
     }
 
     #[test]

@@ -2,14 +2,22 @@
 //!
 //! This crate provides the intermediate-representation infrastructure used
 //! by the wafer-scale stencil compiler: a region-based SSA IR (operations,
-//! blocks, regions, values, types and attributes), an operation builder, a
-//! structural verifier with pluggable dialect verifiers, a generic textual
-//! printer and parser, a pattern-rewriting engine and a pass manager.
+//! blocks, regions, values, types and attributes) owned by an arena
+//! [`Context`], an operation builder, a structural verifier with pluggable
+//! dialect verifiers, a generic textual printer and parser, a
+//! pattern-rewriting engine and a pass manager.
 //!
-//! The design mirrors MLIR/xDSL, which the paper's pipeline is built on:
-//! operations are identified by dialect-qualified names (`"stencil.apply"`),
-//! carry attributes, operands, results and nested regions, and are
-//! manipulated by passes registered in a [`PassManager`].
+//! The design mirrors MLIR/xDSL (and pliron's `Context`), which the
+//! paper's pipeline is built on: operations are identified by
+//! dialect-qualified names (`"stencil.apply"`), carry attributes, operands,
+//! results and nested regions, are referred to by copyable handles
+//! ([`OpRef`], [`ValueRef`], ...) into the owning [`Context`], and are
+//! manipulated in place by passes registered in a [`PassManager`].  Types
+//! and attributes are interned through a storage uniquer keyed by an
+//! [`fxhash::FxHashMap`], so structurally equal types share one
+//! [`TypeRef`] handle and cloning IR never re-allocates type structure.
+//! See the [`ir`] module docs for the ownership and handle-invalidation
+//! rules.
 //!
 //! ```
 //! use wse_ir::{IrContext, OpBuilder, OpSpec, Type, Attribute, print_op};
@@ -35,6 +43,7 @@
 
 pub mod attributes;
 pub mod builder;
+pub mod fxhash;
 pub mod ir;
 pub mod parser;
 pub mod pass;
@@ -45,7 +54,11 @@ pub mod verifier;
 
 pub use attributes::{AttrMap, Attribute, DialectAttr, FloatBits};
 pub use builder::{InsertPoint, OpBuilder, OpSpec};
-pub use ir::{BlockId, IrContext, IrError, IrResult, OpData, OpId, RegionId, ValueDef, ValueId};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use ir::{
+    AttrRef, BlockId, BlockRef, Context, IrContext, IrError, IrResult, OpData, OpId, OpRef,
+    RegionId, RegionRef, TypeRef, ValueDef, ValueId, ValueRef,
+};
 pub use parser::parse_op;
 pub use pass::{FnPass, Pass, PassError, PassManager, PassResult, PassStatistics};
 pub use printer::print_op;

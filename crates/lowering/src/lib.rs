@@ -22,4 +22,7 @@ pub mod to_actors;
 pub mod to_csl_stencil;
 
 pub use analysis::{analyze_apply, AnalysisError, LinearCombination, Term};
-pub use pipeline::{build_pass_manager, lower_program, LoweredProgram, PipelineOptions, WseTarget};
+pub use pipeline::{
+    build_pass_manager, lower_module_in, lower_program, LowerError, LoweredProgram,
+    PipelineOptions, WseTarget,
+};

@@ -6,7 +6,7 @@
 //! way to CSL sources.
 
 use wse_csl::{print_csl, CommsLibraryConfig, CslSources};
-use wse_frontends::{emit_stencil_ir, StencilProgram};
+use wse_frontends::{emit_stencil_ir_into, StencilProgram};
 use wse_ir::{IrContext, OpId, PassError, PassManager};
 
 use crate::decompose::{DistributeStencil, TensorizeZ};
@@ -42,7 +42,10 @@ impl WseTarget {
 }
 
 /// Options controlling the lowering pipeline.
-#[derive(Debug, Clone, Copy)]
+///
+/// The struct is `Hash`/`Eq` so it can key compile caches (the compile
+/// service combines it with the structural IR fingerprint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PipelineOptions {
     /// Target WSE generation.
     pub target: WseTarget,
@@ -131,21 +134,70 @@ pub fn build_pass_manager(program: &StencilProgram, options: &PipelineOptions) -
     pm
 }
 
+/// An error from the lowering pipeline.
+///
+/// Distinguishes front-end emission failures (program validation) from
+/// pass failures, so callers can map them onto typed diagnostics instead
+/// of sniffing stage strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// Front-end emission or program validation failed.
+    Emit(String),
+    /// A lowering pass failed.
+    Pass(PassError),
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::Emit(message) => write!(f, "emit-stencil-ir failed: {message}"),
+            LowerError::Pass(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<PassError> for LowerError {
+    fn from(e: PassError) -> Self {
+        LowerError::Pass(e)
+    }
+}
+
 /// Lowers a front-end program all the way to CSL sources.
 ///
 /// # Errors
-/// Returns a [`PassError`] if front-end emission or any pass fails.
+/// Returns a [`LowerError`] if front-end emission or any pass fails.
 pub fn lower_program(
     program: &StencilProgram,
     options: &PipelineOptions,
-) -> Result<LoweredProgram, PassError> {
-    let ir = emit_stencil_ir(program).map_err(|m| PassError::new("emit-stencil-ir", m))?;
-    let mut ctx = ir.ctx;
-    let module = ir.module;
+) -> Result<LoweredProgram, LowerError> {
+    let mut ctx = IrContext::new();
+    let module = emit_stencil_ir_into(&mut ctx, program).map_err(LowerError::Emit)?.0;
+    let (sources, pass_names) = lower_module_in(&mut ctx, module, program, options)?;
+    Ok(LoweredProgram { ctx, module, sources, pass_names })
+}
+
+/// Lowers an already-emitted stencil module in place inside `ctx`.
+///
+/// This is the context-reusing entry point: the compile service emits into
+/// a pooled [`IrContext`] (via `emit_stencil_ir_into`), fingerprints the
+/// module for its artifact cache, and only on a cache miss runs the pass
+/// pipeline here.  Returns the generated CSL sources and the names of the
+/// passes that ran.
+///
+/// # Errors
+/// Returns a [`LowerError`] if any pass fails.
+pub fn lower_module_in(
+    ctx: &mut IrContext,
+    module: OpId,
+    program: &StencilProgram,
+    options: &PipelineOptions,
+) -> Result<(CslSources, Vec<String>), LowerError> {
     let mut pm = build_pass_manager(program, options);
     let pass_names: Vec<String> = pm.pass_names().iter().map(|s| s.to_string()).collect();
-    pm.run(&mut ctx, module)?;
-    let mut sources = print_csl(&ctx, module);
+    pm.run(ctx, module)?;
+    let mut sources = print_csl(ctx, module);
     // The runtime library is specialized per generation (WSE2 needs the
     // self-transmit workaround).
     if let Some(lib) = sources.files.iter_mut().find(|f| f.name == "stencil_comms.csl") {
@@ -156,7 +208,7 @@ pub fn lower_program(
             wse2_self_transmit: options.target.requires_self_transmit(),
         });
     }
-    Ok(LoweredProgram { ctx, module, sources, pass_names })
+    Ok((sources, pass_names))
 }
 
 #[cfg(test)]

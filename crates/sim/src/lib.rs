@@ -37,6 +37,6 @@ pub use exec::{ExecError, WseGridSim};
 pub use interp::InterpGridSim;
 pub use link::{link_program, link_program_with, LinkOptions, LinkedProgram, OptStats};
 pub use loader::{load_program, LoadError, LoadedProgram};
-pub use machine::{WseGeneration, WseMachine, A100, EPYC_7742_NODE};
+pub use machine::{TargetMachine, WseGeneration, WseMachine, A100, EPYC_7742_NODE};
 pub use perf::{estimate_performance, fabric_profile, CycleBreakdown, FabricProfile, PerfEstimate};
 pub use reference::{initial_state, max_abs_difference, run_reference, Field3D, GridState};

@@ -53,6 +53,30 @@ impl WseGeneration {
     }
 }
 
+impl From<wse_lowering::WseTarget> for WseGeneration {
+    fn from(target: wse_lowering::WseTarget) -> Self {
+        match target {
+            wse_lowering::WseTarget::Wse2 => WseGeneration::Wse2,
+            wse_lowering::WseTarget::Wse3 => WseGeneration::Wse3,
+        }
+    }
+}
+
+/// Gives the lowering pipeline's [`wse_lowering::WseTarget`] its machine
+/// model.  An extension trait because `WseTarget` lives in `wse-lowering`
+/// (which cannot depend on the simulator); this is the single place the
+/// target→machine mapping exists.
+pub trait TargetMachine {
+    /// Machine description for this compile target.
+    fn machine(self) -> WseMachine;
+}
+
+impl TargetMachine for wse_lowering::WseTarget {
+    fn machine(self) -> WseMachine {
+        WseGeneration::from(self).machine()
+    }
+}
+
 /// Parameters of one WSE generation used by the performance model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WseMachine {
@@ -138,6 +162,15 @@ mod tests {
         assert!(wse3.fits_in_sram(900 * 4 * 6));
         // …but ten full-size fields do not.
         assert!(!wse3.fits_in_sram(48 * 1024 + 1));
+    }
+
+    #[test]
+    fn target_machine_maps_each_generation() {
+        use wse_lowering::WseTarget;
+        assert_eq!(WseTarget::Wse2.machine().generation, WseGeneration::Wse2);
+        assert_eq!(WseTarget::Wse3.machine().generation, WseGeneration::Wse3);
+        assert!(WseTarget::Wse2.machine().self_transmit);
+        assert!(!WseTarget::Wse3.machine().self_transmit);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 
 use testkit::{
     case_fusion_evidence, generate_case_with, has_self_updating_chain, install_quiet_panic_hook,
-    reproducer, run_case_with_tolerance, shape_tolerance, shrink_case, GeneratorConfig, Verdict,
-    TOLERANCE,
+    reproducer, run_case_with_tolerance_via, shape_tolerance, shrink_case, GeneratorConfig,
+    Verdict, TOLERANCE,
 };
 
 fn main() {
@@ -21,6 +21,7 @@ fn main() {
     let mut verbose = false;
     let mut per_shape_bounds = false;
     let mut require_fusion = false;
+    let mut through_service = false;
     let mut config = GeneratorConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -28,6 +29,11 @@ fn main() {
             "--cases" => cases = parse_number(args.next(), "--cases"),
             "--seed" => base_seed = parse_number(args.next(), "--seed"),
             "--verbose" => verbose = true,
+            // Compiles every case through a shared `CompileService`
+            // (pooled IR contexts + artifact cache) instead of a fresh
+            // per-case `Compiler`, so the differential evidence also
+            // gates the compile-as-a-service path.
+            "--service" => through_service = true,
             // Forces `enable_inlining` on for every case and requires the
             // dependence-aware fusion path (double-buffer renaming plus
             // the optimizer blocks it unlocks) to actually fire on at
@@ -68,7 +74,7 @@ fn main() {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: conformance [--cases N] [--seed S] [--stress] [--soak] \
-                     [--require-fusion] [--verbose]"
+                     [--require-fusion] [--service] [--verbose]"
                 );
                 std::process::exit(2);
             }
@@ -89,7 +95,7 @@ fn main() {
             case.options.enable_inlining = true;
         }
         let tolerance = if per_shape_bounds { shape_tolerance(&case.program) } else { TOLERANCE };
-        let verdict = run_case_with_tolerance(&case, tolerance);
+        let verdict = run_case_with_tolerance_via(&case, tolerance, through_service);
         if require_fusion && verdict.is_conformant() && has_self_updating_chain(&case.program) {
             chain_cases += 1;
             if let Some(evidence) = case_fusion_evidence(&case) {
@@ -142,10 +148,11 @@ fn main() {
                     }
                 };
                 let shrunk = shrink_case(&case, &|candidate| {
-                    !run_case_with_tolerance(candidate, bound(candidate)).is_conformant()
+                    !run_case_with_tolerance_via(candidate, bound(candidate), through_service)
+                        .is_conformant()
                 });
                 println!("{}", reproducer(&shrunk));
-                let verdict = run_case_with_tolerance(&shrunk, bound(&shrunk));
+                let verdict = run_case_with_tolerance_via(&shrunk, bound(&shrunk), through_service);
                 println!("final verdict on shrunk case: {verdict:?}");
             }
         }

@@ -19,13 +19,15 @@
 //! [`Verdict::Panicked`]: a panic is always a conformance failure, even
 //! for invalid input — every rejection must be a typed error.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use wse_frontends::ast::StencilProgram;
 use wse_sim::{
     max_abs_difference, run_reference, GridState, InterpGridSim, LinkOptions, WseGridSim,
 };
-use wse_stencil::Compiler;
+use wse_stencil::{CompileService, Compiler, CslArtifact, PipelineOptions};
 
 use crate::generate::ConformanceCase;
 
@@ -145,9 +147,24 @@ pub fn shape_tolerance(program: &StencilProgram) -> f32 {
 /// [`run_case`] with an explicit reference tolerance (the soak profile
 /// passes [`shape_tolerance`] instead of the flat default).
 pub fn run_case_with_tolerance(case: &ConformanceCase, tolerance: f32) -> Verdict {
+    run_case_with_tolerance_via(case, tolerance, false)
+}
+
+/// [`run_case_with_tolerance`], optionally compiling through a shared
+/// [`CompileService`] (pooled contexts + artifact cache) instead of a
+/// per-case [`Compiler`].  The conformance bin's `--service` flag drives
+/// this: every verdict must be identical through either path, which
+/// gates the service redesign on the same differential evidence as the
+/// pipeline itself.
+pub fn run_case_with_tolerance_via(
+    case: &ConformanceCase,
+    tolerance: f32,
+    through_service: bool,
+) -> Verdict {
     install_quiet_panic_hook();
     CAPTURING.with(|c| c.set(true));
-    let result = catch_unwind(AssertUnwindSafe(|| run_case_inner(case, tolerance)));
+    let result =
+        catch_unwind(AssertUnwindSafe(|| run_case_inner(case, tolerance, through_service)));
     CAPTURING.with(|c| c.set(false));
     match result {
         Ok(verdict) => verdict,
@@ -162,7 +179,20 @@ pub fn run_case_with_tolerance(case: &ConformanceCase, tolerance: f32) -> Verdic
     }
 }
 
-fn run_case_inner(case: &ConformanceCase, tolerance: f32) -> Verdict {
+/// One shared [`CompileService`] per distinct option set, so `--service`
+/// runs exercise the pooled-context and artifact-cache paths across many
+/// cases the way a long-lived server would.
+fn shared_service(compiler: &Compiler) -> Arc<CompileService> {
+    static SERVICES: OnceLock<Mutex<HashMap<PipelineOptions, Arc<CompileService>>>> =
+        OnceLock::new();
+    let services = SERVICES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut services = services.lock().unwrap();
+    Arc::clone(
+        services.entry(*compiler.options()).or_insert_with(|| Arc::new((*compiler).service())),
+    )
+}
+
+fn run_case_inner(case: &ConformanceCase, tolerance: f32, through_service: bool) -> Verdict {
     let compiler = Compiler::new()
         .target(case.options.target)
         .num_chunks(case.options.num_chunks)
@@ -170,9 +200,20 @@ fn run_case_inner(case: &ConformanceCase, tolerance: f32) -> Verdict {
         .inlining(case.options.enable_inlining)
         .coefficient_promotion(case.options.promote_coefficients)
         .verify_each(true);
-    let artifact = match compiler.compile(&case.program) {
+    let compiled: Result<Arc<CslArtifact>, wse_stencil::CompileError> = if through_service {
+        shared_service(&compiler).compile(&case.program)
+    } else {
+        compiler.compile(&case.program).map(Arc::new)
+    };
+    let artifact = match compiled {
         Ok(artifact) => artifact,
-        Err(e) => return Verdict::Rejected { stage: e.stage, message: e.message, code: e.code },
+        Err(e) => {
+            return Verdict::Rejected {
+                stage: e.stage().to_string(),
+                message: e.message().to_string(),
+                code: e.code().map(str::to_string),
+            }
+        }
     };
 
     // From here on the compiler has accepted the program: any executor

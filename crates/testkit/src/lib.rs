@@ -33,7 +33,7 @@ pub mod shrink;
 
 pub use conformance::{
     case_fusion_evidence, install_quiet_panic_hook, run_case, run_case_with_tolerance,
-    shape_tolerance, FusionEvidence, Verdict, TOLERANCE,
+    run_case_with_tolerance_via, shape_tolerance, FusionEvidence, Verdict, TOLERANCE,
 };
 pub use generate::{
     generate_case, generate_case_with, has_self_updating_chain, ConformanceCase, GeneratorConfig,

@@ -6,8 +6,119 @@ use wse_dialects::stencil::Bounds;
 use wse_ir::{parse_op, print_op, Attribute, IrContext, OpBuilder, OpSpec, Type};
 use wse_lowering::analysis::{LinearCombination, Term};
 
+/// An arbitrary (possibly nested) type for the interning properties.
+fn arb_type() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(Type::f32()),
+        Just(Type::f16()),
+        Just(Type::f64()),
+        Just(Type::index()),
+        Just(Type::bool()),
+        (1u32..65).prop_map(Type::int),
+        (1u32..65).prop_map(Type::uint),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (proptest::collection::vec(1i64..16, 1..4), inner.clone())
+                .prop_map(|(shape, elem)| Type::tensor(shape, elem)),
+            (proptest::collection::vec(1i64..16, 1..4), inner.clone())
+                .prop_map(|(shape, elem)| Type::memref(shape, elem)),
+            (
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec(inner, 0..2)
+            )
+                .prop_map(|(inputs, results)| Type::function(inputs, results)),
+        ]
+    })
+}
+
+/// An arbitrary attribute for the interning properties.
+fn arb_attr() -> impl Strategy<Value = Attribute> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Attribute::int),
+        (-1.0e6f32..1.0e6).prop_map(Attribute::f32),
+        proptest::collection::vec(0u8..26, 0..12).prop_map(|cs| Attribute::str(
+            cs.iter().map(|c| (b'a' + c) as char).collect::<String>()
+        )),
+        any::<bool>().prop_map(Attribute::bool),
+        proptest::collection::vec(-8i64..8, 0..4).prop_map(Attribute::IndexArray),
+        arb_type().prop_map(Attribute::Type),
+    ];
+    leaf.prop_recursive(2, 16, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(Attribute::array)
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interning is canonical: structurally equal types and attributes get
+    /// the same handle, distinct ones get distinct handles, and the handle
+    /// always resolves back to the interned structure — regardless of
+    /// interning order or interleaved churn.
+    #[test]
+    fn interning_is_canonical(
+        types in proptest::collection::vec(arb_type(), 1..16),
+        attrs in proptest::collection::vec(arb_attr(), 1..16),
+    ) {
+        let mut ctx = IrContext::new();
+        let type_refs: Vec<_> = types.iter().map(|t| ctx.intern_type(t.clone())).collect();
+        let attr_refs: Vec<_> = attrs.iter().map(|a| ctx.intern_attr(a.clone())).collect();
+        // Second pass (including through value creation) reuses handles.
+        for (ty, &r) in types.iter().zip(&type_refs) {
+            prop_assert_eq!(ctx.intern_type(ty.clone()), r);
+            prop_assert_eq!(ctx.type_of(r), ty);
+        }
+        for (attr, &r) in attrs.iter().zip(&attr_refs) {
+            prop_assert_eq!(ctx.intern_attr(attr.clone()), r);
+            prop_assert_eq!(ctx.attr_of(r), attr);
+        }
+        // Handle equality is exactly structural equality.
+        for (a, &ra) in types.iter().zip(&type_refs) {
+            for (b, &rb) in types.iter().zip(&type_refs) {
+                prop_assert_eq!(a == b, ra == rb, "{:?} vs {:?}", a, b);
+            }
+        }
+        for (a, &ra) in attrs.iter().zip(&attr_refs) {
+            for (b, &rb) in attrs.iter().zip(&attr_refs) {
+                prop_assert_eq!(a == b, ra == rb, "{:?} vs {:?}", a, b);
+            }
+        }
+        // The uniquer never stores more entries than distinct structures.
+        let distinct = {
+            let mut seen: Vec<&Type> = Vec::new();
+            for t in &types { if !seen.contains(&t) { seen.push(t); } }
+            seen.len()
+        };
+        prop_assert!(ctx.num_interned_types() >= distinct);
+        // Interned handles survive a reset (op/value storage does not).
+        ctx.reset();
+        for (ty, &r) in types.iter().zip(&type_refs) {
+            prop_assert_eq!(ctx.type_of(r), ty);
+            prop_assert_eq!(ctx.intern_type(ty.clone()), r);
+        }
+    }
+
+    /// Values created through the public op API share interned type
+    /// handles whenever their types are structurally equal.
+    #[test]
+    fn value_types_are_interned(ty in arb_type(), copies in 2usize..6) {
+        let mut ctx = IrContext::new();
+        let module = ctx.create_op("builtin.module", vec![], vec![], Default::default(), 1);
+        let body = ctx.add_block(ctx.op_region(module, 0), vec![]);
+        let ops: Vec<_> = (0..copies)
+            .map(|_| {
+                let op = ctx.create_op("test.op", vec![], vec![ty.clone()], Default::default(), 0);
+                ctx.append_op(body, op);
+                op
+            })
+            .collect();
+        let first = ctx.value_type_ref(ctx.result(ops[0], 0));
+        for &op in &ops[1..] {
+            prop_assert_eq!(ctx.value_type_ref(ctx.result(op, 0)), first);
+            prop_assert_eq!(ctx.value_type(ctx.result(op, 0)), &ty);
+        }
+    }
 
     /// Bounds algebra: growing bounds by a halo enlarges every dimension by
     /// exactly twice the halo and preserves containment of accesses.
