@@ -1,7 +1,10 @@
 //! Simulator throughput: simulated grid-point rate of the compiled
 //! flat-memory execution engine (MPts/s), its speedup over the
-//! unoptimized (`WSE_SIM_NO_FUSE=1`) instruction stream, and its speedup
-//! over the pre-refactor string-keyed interpreter.
+//! unoptimized (`WSE_SIM_NO_FUSE=1`) instruction stream, its rate
+//! through the scalar kernel set (`WSE_SIM_NO_SIMD=1`-equivalent) with
+//! the achieved fraction of the host's SIMD peak (lanes × FP ports ×
+//! clock; override the assumed clock with `WSE_SIM_HOST_GHZ`), and its
+//! speedup over the pre-refactor string-keyed interpreter.
 //!
 //! This bench is the perf trajectory for the functional simulator: future
 //! engine changes must not regress the MPts/s numbers printed here.  A
@@ -17,7 +20,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use wse_frontends::ast::{Expr, Frontend, GridSpec, StencilEquation, StencilProgram};
 use wse_frontends::benchmarks::{jacobian, seismic_25pt};
 use wse_lowering::{lower_program, PipelineOptions};
-use wse_sim::{load_program, InterpGridSim, LinkOptions, LoadedProgram, WseGridSim};
+use wse_sim::{load_program, InterpGridSim, Isa, LinkOptions, LoadedProgram, SimdPeak, WseGridSim};
 
 /// One throughput case: a sim-scale program instance and how many
 /// timesteps to simulate per measurement.
@@ -101,10 +104,9 @@ fn median_seconds(samples: usize, mut sample: impl FnMut() -> f64) -> f64 {
     times[times.len() / 2]
 }
 
-fn time_engine(loaded: &LoadedProgram, steps: i64, samples: usize, optimize: bool) -> f64 {
+fn time_engine(loaded: &LoadedProgram, steps: i64, samples: usize, options: LinkOptions) -> f64 {
     median_seconds(samples, || {
-        let mut sim = WseGridSim::with_options(loaded.clone(), LinkOptions { optimize })
-            .expect("program links");
+        let mut sim = WseGridSim::with_options(loaded.clone(), options).expect("program links");
         let start = Instant::now();
         sim.run(Some(steps)).expect("run succeeds");
         criterion::black_box(&sim);
@@ -126,16 +128,46 @@ fn mpts(program: &StencilProgram, steps: i64, seconds: f64) -> f64 {
     program.grid.points() as f64 * steps as f64 / seconds / 1e6
 }
 
+/// Nominal f32 FLOPs per grid point per timestep: one multiply and one
+/// add per stencil term, summed over the program's equations.
+fn flops_per_point(program: &StencilProgram) -> u64 {
+    program.equations.iter().map(|e| 2 * e.num_points() as u64).sum()
+}
+
+/// The host SIMD peak the achieved-fraction column is measured against.
+/// The assumed core clock comes from `WSE_SIM_HOST_GHZ` (default 2.1).
+fn host_peak() -> SimdPeak {
+    let ghz =
+        std::env::var("WSE_SIM_HOST_GHZ").ok().and_then(|v| v.parse::<f64>().ok()).unwrap_or(2.1);
+    SimdPeak::new(Isa::detect(), ghz)
+}
+
+/// One measured case: engine rates in MPts/s per link configuration plus
+/// the achieved fraction of the host's non-fused SIMD peak.
+struct Row {
+    name: String,
+    optimized: f64,
+    no_fuse: f64,
+    no_simd: f64,
+    peak_fraction: f64,
+}
+
 /// Writes the measured numbers to `BENCH_sim_throughput.json` at the
 /// workspace root (hand-rolled JSON; no serde in-tree).
-fn write_snapshot(rows: &[(String, f64, f64)]) {
+fn write_snapshot(rows: &[Row]) {
     let mut json = String::from("{\n  \"bench\": \"sim_throughput\",\n  \"unit\": \"MPts/s\",\n");
+    json.push_str(&format!("  \"simd_isa\": \"{:?}\",\n", host_peak().isa));
     json.push_str("  \"cases\": [\n");
-    for (i, (name, optimized, unoptimized)) in rows.iter().enumerate() {
+    for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"optimized\": {optimized:.2}, \
-             \"no_fuse\": {unoptimized:.2}, \"speedup\": {:.2}}}{}\n",
-            optimized / unoptimized,
+            "    {{\"name\": \"{}\", \"optimized\": {:.2}, \"no_fuse\": {:.2}, \
+             \"no_simd\": {:.2}, \"speedup\": {:.2}, \"simd_peak_fraction\": {:.3}}}{}\n",
+            row.name,
+            row.optimized,
+            row.no_fuse,
+            row.no_simd,
+            row.optimized / row.no_fuse,
+            row.peak_fraction,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -159,21 +191,49 @@ fn bench(c: &mut Criterion) {
         })
         .collect();
 
+    let peak = host_peak();
     println!("\nsim_throughput — simulated grid-point throughput (linked flat-memory engine)");
-    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    println!(
+        "  SIMD peak reference: {:?}, {} lanes x {} FP ports @ {:.2} GHz",
+        peak.isa, peak.lanes, peak.fp_ports, peak.ghz
+    );
+    let mut rows: Vec<Row> = Vec::new();
     for (case, loaded) in &cases {
-        let optimized = time_engine(loaded, case.steps, samples, true);
-        let unoptimized = time_engine(loaded, case.steps, samples, false);
+        let optimized = time_engine(loaded, case.steps, samples, LinkOptions::default());
+        let unoptimized = time_engine(
+            loaded,
+            case.steps,
+            samples,
+            LinkOptions { optimize: false, ..LinkOptions::default() },
+        );
+        let scalar = time_engine(
+            loaded,
+            case.steps,
+            samples,
+            LinkOptions { simd: false, ..LinkOptions::default() },
+        );
         let opt_rate = mpts(&case.program, case.steps, optimized);
         let unopt_rate = mpts(&case.program, case.steps, unoptimized);
+        let scalar_rate = mpts(&case.program, case.steps, scalar);
+        let flops = opt_rate * 1e6 * flops_per_point(&case.program) as f64;
+        let fraction = peak.achieved_fraction(flops, false);
         println!(
-            "  {:<26} {:>9.2} MPts/s  (no-fuse {:>9.2} MPts/s, optimizer {:>4.2}x)",
+            "  {:<26} {:>9.2} MPts/s  (no-fuse {:>9.2}, no-simd {:>9.2}, optimizer {:>4.2}x, \
+             {:>4.1}% of SIMD peak)",
             case.name,
             opt_rate,
             unopt_rate,
-            opt_rate / unopt_rate
+            scalar_rate,
+            opt_rate / unopt_rate,
+            fraction * 100.0
         );
-        rows.push((case.name.to_string(), opt_rate, unopt_rate));
+        rows.push(Row {
+            name: case.name.to_string(),
+            optimized: opt_rate,
+            no_fuse: unopt_rate,
+            no_simd: scalar_rate,
+            peak_fraction: fraction,
+        });
     }
     if !criterion::is_test_mode() {
         write_snapshot(&rows);
@@ -183,7 +243,7 @@ fn bench(c: &mut Criterion) {
     // The interpreter is too slow to time at the medium sizes, which is
     // the point of the refactor.
     let (tiny, tiny_loaded) = &cases[0];
-    let linked = time_engine(tiny_loaded, tiny.steps, samples, true);
+    let linked = time_engine(tiny_loaded, tiny.steps, samples, LinkOptions::default());
     let interp = time_interp(tiny_loaded, tiny.steps, samples);
     println!(
         "  legacy interpreter (jacobian_tiny): {:>10.2} MPts/s — linked engine speedup {:.1}x",

@@ -39,11 +39,13 @@
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 
+use crate::kernels::{BatchTerm, Term, MAX_ARITY};
 use crate::link::{
-    link_program_with, FusedInit, FusedTerm, LinkOptions, LinkedComm, LinkedInstr, LinkedKernel,
-    LinkedProgram, LinkedView, SrcRef,
+    link_program_with, FusedInit, FusedTerm, LinkOptions, LinkedComm, LinkedKernel, LinkedProgram,
+    LinkedView, SrcRef,
 };
-use crate::loader::{BinKind, LoadedProgram};
+use crate::loader::LoadedProgram;
+use crate::plan::{plan_program, KernelPlan, PlannedOp, ProgramPlan, SweepGroup};
 use crate::reference::{initial_value, Field3D, GridState};
 
 /// Execution error (produced at link time: unknown buffers, out-of-bounds
@@ -67,8 +69,11 @@ fn err(message: impl Into<String>) -> ExecError {
 }
 
 /// Minimum elements of per-kernel work across the grid before the sweep is
-/// split across threads (below this, spawn overhead dominates).
-const PARALLEL_WORK_THRESHOLD: usize = 200_000;
+/// split across threads.  Re-tuned after the SIMD kernel plans landed: the
+/// vector kernels cut per-row cost several-fold, so the dispatch overhead
+/// of the pool amortizes only on correspondingly larger grids (below this,
+/// channel round-trips dominate the now-cheaper sweeps).
+const PARALLEL_WORK_THRESHOLD: usize = 400_000;
 
 /// A functional simulation of a PE grid running a lowered program,
 /// compiled to flat per-PE memory arenas at construction time.
@@ -76,6 +81,9 @@ const PARALLEL_WORK_THRESHOLD: usize = 200_000;
 pub struct WseGridSim {
     program: LoadedProgram,
     linked: LinkedProgram,
+    /// The kernel plan: every linked instruction lowered to a
+    /// monomorphized SIMD kernel call (see [`crate::plan`]).
+    plan: ProgramPlan,
     /// All PE arenas back to back; PE `(x, y)` owns
     /// `[(y * width + x) * arena_len ..][.. arena_len]`.
     arenas: Vec<f32>,
@@ -112,6 +120,7 @@ impl Clone for WseGridSim {
         Self {
             program: self.program.clone(),
             linked: self.linked.clone(),
+            plan: self.plan.clone(),
             arenas: self.arenas.clone(),
             snapshot: self.snapshot.clone(),
             snap_bases: self.snap_bases.clone(),
@@ -151,6 +160,7 @@ impl WseGridSim {
     /// Returns an [`ExecError`] when linking fails; see [`WseGridSim::new`].
     pub fn with_options(program: LoadedProgram, options: LinkOptions) -> Result<Self, ExecError> {
         let linked = link_program_with(&program, &options)?;
+        let plan = plan_program(&linked);
         let n_pes = (linked.width * linked.height) as usize;
         let mut arenas = vec![0.0f32; n_pes * linked.arena_len];
         for (pe, arena) in arenas.chunks_exact_mut(linked.arena_len.max(1)).enumerate() {
@@ -190,6 +200,7 @@ impl WseGridSim {
         Ok(Self {
             program,
             linked,
+            plan,
             arenas,
             snapshot,
             snap_bases,
@@ -213,6 +224,11 @@ impl WseGridSim {
     /// The linked flat-memory form of the program.
     pub fn linked(&self) -> &LinkedProgram {
         &self.linked
+    }
+
+    /// The kernel plan the run phase dispatches (see [`crate::plan`]).
+    pub fn plan(&self) -> &ProgramPlan {
+        &self.plan
     }
 
     /// Forces the per-PE sweep onto exactly `threads` row bands (clamped
@@ -250,6 +266,7 @@ impl WseGridSim {
     fn run_kernel(&mut self, kernel_index: usize) {
         let linked = &self.linked;
         let kernel = &linked.kernels[kernel_index];
+        let kplan = &self.plan.kernels[kernel_index];
         let n_pes = (linked.width * linked.height) as usize;
         let snap_base = self.snap_bases[kernel_index];
         let snap_stride = self.snap_stride;
@@ -310,6 +327,7 @@ impl WseGridSim {
                 // later row can observe a committed value.
                 let ctx = KernelCtx::new(
                     kernel,
+                    kplan,
                     linked,
                     &self.snapshot,
                     (snap_stride, snap_base),
@@ -338,6 +356,7 @@ impl WseGridSim {
             } else if stale.is_empty() {
                 let ctx = KernelCtx::new(
                     kernel,
+                    kplan,
                     linked,
                     &self.snapshot,
                     (snap_stride, snap_base),
@@ -361,6 +380,7 @@ impl WseGridSim {
                     // captured).
                     let ctx = KernelCtx::new(
                         kernel,
+                        kplan,
                         linked,
                         &self.snapshot,
                         (snap_stride, snap_base),
@@ -387,6 +407,7 @@ impl WseGridSim {
             }
             let ctx = KernelCtx::new(
                 kernel,
+                kplan,
                 linked,
                 &self.snapshot,
                 (snap_stride, snap_base),
@@ -510,6 +531,8 @@ impl SnapshotPass<'_> {
 /// `run_kernel`, shared across band workers).
 struct KernelCtx<'a> {
     kernel: &'a LinkedKernel,
+    /// The kernel's planned blocks (what the sweep actually dispatches).
+    plan: &'a KernelPlan,
     linked: &'a LinkedProgram,
     snapshot: &'a [f32],
     /// Snapshot elements per PE (all kernels).
@@ -544,6 +567,7 @@ impl<'a> KernelCtx<'a> {
     /// borrow never overlaps a capture.
     fn new(
         kernel: &'a LinkedKernel,
+        plan: &'a KernelPlan,
         linked: &'a LinkedProgram,
         snapshot: &'a [f32],
         snap: (usize, usize),
@@ -552,6 +576,7 @@ impl<'a> KernelCtx<'a> {
     ) -> Self {
         Self {
             kernel,
+            plan,
             linked,
             snapshot,
             snap_stride: snap.0,
@@ -594,12 +619,12 @@ impl<'a> KernelCtx<'a> {
         }
     }
 
-    /// Runs the deferred commit instructions on every PE of `pes` (a
-    /// contiguous run of arenas).
+    /// Runs the deferred commit ops on every PE of `pes` (a contiguous run
+    /// of arenas).
     fn commit_row(&self, pes: &mut [f32], scratch: &mut [f32]) {
         for pe in pes.chunks_exact_mut(self.linked.arena_len) {
-            for instr in &self.kernel.commit {
-                exec_instr(pe, instr, 0, scratch, None);
+            for op in &self.plan.commit {
+                exec_op(pe, op, 0, scratch, None);
             }
         }
     }
@@ -726,35 +751,216 @@ impl<'a> KernelCtx<'a> {
     }
 
     fn run_row(&self, row: &mut [f32], y: i64, scratch: &mut [f32], cols: &mut Vec<&'a [f32]>) {
-        let arena_len = self.linked.arena_len;
-        let Some(comm) = &self.kernel.comm else {
-            for pe in row.chunks_exact_mut(arena_len) {
-                for instr in &self.kernel.pre {
-                    exec_instr(pe, instr, 0, scratch, None);
+        let comm = self.kernel.comm.as_ref();
+        let any_staged = comm.is_some_and(|c| c.slots.iter().any(|s| s.staged));
+        if !any_staged {
+            // Op-major fast path: nothing writes the receive buffer, so
+            // each planned op can sweep the whole row before the next op
+            // runs.  Sweeps then dispatch once per row segment (see
+            // `run_sweep_row`) instead of once per PE, and no per-PE slot
+            // columns are resolved at all.
+            self.run_ops_row(row, &self.plan.pre, 0, y, scratch);
+            if let Some(comm) = comm {
+                for chunk in 0..comm.num_chunks {
+                    self.run_ops_row(row, &self.plan.recv, chunk * comm.chunk_size, y, scratch);
                 }
             }
+            self.run_ops_row(row, &self.plan.done, 0, y, scratch);
             return;
-        };
-        let any_staged = comm.slots.iter().any(|s| s.staged);
+        }
+        let arena_len = self.linked.arena_len;
+        let comm = comm.expect("staged slots imply an exchange");
         for (x, pe) in row.chunks_exact_mut(arena_len).enumerate() {
             cols.clear();
             self.resolve_slot_cols(comm, x as i64, y, cols);
             let pec = PeComm { cols };
             let pec = Some(&pec);
-            for instr in &self.kernel.pre {
-                exec_instr(pe, instr, 0, scratch, pec);
+            for op in &self.plan.pre {
+                exec_op(pe, op, 0, scratch, pec);
             }
             for chunk in 0..comm.num_chunks {
-                if any_staged {
-                    stage_chunk(comm, pe, pec, chunk);
-                }
+                stage_chunk(comm, pe, pec, chunk);
                 let chunk_offset = chunk * comm.chunk_size;
-                for instr in &self.kernel.recv {
-                    exec_instr(pe, instr, chunk_offset, scratch, pec);
+                for op in &self.plan.recv {
+                    exec_op(pe, op, chunk_offset, scratch, pec);
                 }
             }
-            for instr in &self.kernel.done {
-                exec_instr(pe, instr, 0, scratch, pec);
+            for op in &self.plan.done {
+                exec_op(pe, op, 0, scratch, pec);
+            }
+        }
+    }
+
+    /// Runs one planned block over every PE of a row, op-major.  PEs are
+    /// independent within a kernel — cross-PE reads observe only pre-kernel
+    /// state (the snapshot, or live arenas whose transmitted columns no
+    /// sweep writes) — so op-major order is bitwise identical to PE-major
+    /// order.  Sweeps take the row-batched kernel; the remaining op kinds
+    /// never have cross-PE sources and run per PE.
+    fn run_ops_row(
+        &self,
+        row: &mut [f32],
+        ops: &[PlannedOp],
+        chunk_offset: usize,
+        y: i64,
+        scratch: &mut [f32],
+    ) {
+        let arena_len = self.linked.arena_len;
+        for op in ops {
+            if let PlannedOp::Sweep { dest, init, groups } = op {
+                self.run_sweep_row(row, dest, init, groups, chunk_offset, y);
+            } else {
+                for pe in row.chunks_exact_mut(arena_len) {
+                    exec_op(pe, op, chunk_offset, scratch, None);
+                }
+            }
+        }
+    }
+
+    /// Executes one planned sweep over every PE of a row through the
+    /// row-batched kernels.  Between adjacent PEs, every pointer of the
+    /// sweep advances by a fixed stride — arena views (and the
+    /// destination) by `arena_len`, captured slot columns by the snapshot
+    /// stride, elided slot columns by `arena_len` through the neighbor
+    /// arenas — except where a `dx`-offset neighbor falls outside the
+    /// grid.  The row therefore splits into at most three segments: the
+    /// interior (one batched call per group), and the left/right edge PEs
+    /// whose out-of-grid sources rebind to the shared zero column
+    /// (single-PE batched calls).  `dy`-offset neighbors are out of grid
+    /// for a whole row at a time, which stays uniform: the zero column
+    /// with stride 0.
+    fn run_sweep_row(
+        &self,
+        row: &mut [f32],
+        dest: &LinkedView,
+        init: &FusedInit,
+        groups: &[SweepGroup],
+        chunk_offset: usize,
+        y: i64,
+    ) {
+        let arena_len = self.linked.arena_len;
+        let width = self.linked.width;
+        let dest_range = dest.range(chunk_offset);
+        let len = dest_range.len();
+        if len == 0 || arena_len == 0 {
+            return;
+        }
+        debug_assert_eq!(row.len(), width as usize * arena_len);
+        debug_assert!(dest_range.end <= arena_len);
+        let base = row.as_mut_ptr();
+        // SAFETY: per-PE, exactly the `exec_sweep` argument (link-time
+        // bounds validation plus the fusion disjointness proof); across
+        // PEs, a sweep writes only its own PE's destination, which no
+        // other PE's sources can observe — arena sources live in their own
+        // PE's arena, and slot sources read the snapshot or arena columns
+        // the linker proved no sweep writes (see `run_kernel`).
+        unsafe {
+            // Resolves one term for the PE at column `x`: base pointer and
+            // the per-PE stride it advances by within a batch segment.
+            let resolve = |term: &FusedTerm, x: i64| -> BatchTerm {
+                match &term.src {
+                    SrcRef::Arena(v) => {
+                        let r = v.range(chunk_offset);
+                        debug_assert!(r.end <= arena_len);
+                        BatchTerm {
+                            src: base.add(x as usize * arena_len + r.start) as *const f32,
+                            stride: arena_len,
+                            coeff: term.coeff,
+                        }
+                    }
+                    SrcRef::Slot { slot, offset, .. } => {
+                        let comm =
+                            self.kernel.comm.as_ref().expect("slot sources imply an exchange");
+                        let spec = &comm.slots[*slot as usize];
+                        let o = *offset as usize + chunk_offset;
+                        debug_assert!(o + len <= comm.col_len);
+                        let (nx, ny) = (x + spec.dx, y + spec.dy);
+                        if nx < 0 || ny < 0 || nx >= width || ny >= self.linked.height {
+                            BatchTerm {
+                                src: self.zero_col.as_ptr().add(o),
+                                stride: 0,
+                                coeff: term.coeff,
+                            }
+                        } else {
+                            let neighbor = (ny * width + nx) as usize;
+                            if comm.capture {
+                                let start = neighbor * self.snap_stride
+                                    + self.snap_base
+                                    + spec.snap_index * comm.col_len
+                                    + o;
+                                debug_assert!(start + len <= self.snapshot.len());
+                                BatchTerm {
+                                    src: self.snapshot.as_ptr().add(start),
+                                    stride: self.snap_stride,
+                                    coeff: term.coeff,
+                                }
+                            } else {
+                                let field = &comm.snap_fields[spec.snap_index];
+                                let start = neighbor * arena_len + field.src_base + o;
+                                debug_assert!(start + len <= self.n_arena_elems);
+                                BatchTerm {
+                                    src: self.arenas_ptr.add(start) as *const f32,
+                                    stride: arena_len,
+                                    coeff: term.coeff,
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            let mut first = true;
+            for group in groups {
+                // Interior segment: every dx-offset neighbor in-grid.
+                let mut lo = 0i64;
+                let mut hi = width;
+                if let Some(comm) = &self.kernel.comm {
+                    for term in group.terms.iter() {
+                        if let SrcRef::Slot { slot, .. } = &term.src {
+                            let dx = comm.slots[*slot as usize].dx;
+                            if dx < 0 {
+                                lo = lo.max(-dx);
+                            } else {
+                                hi = hi.min(width - dx);
+                            }
+                        }
+                    }
+                }
+                let lo = lo.min(width) as usize;
+                let hi = (hi.max(0) as usize).clamp(lo, width as usize);
+                let run_segment = |x0: usize, n_pes: usize| {
+                    if n_pes == 0 {
+                        return;
+                    }
+                    let d = base.add(x0 * arena_len + dest_range.start);
+                    let (fill, acc): (f32, *const f32) = if first {
+                        match init {
+                            FusedInit::Fill(c) => (*c, std::ptr::null()),
+                            FusedInit::Acc(a) if a == dest => (0.0, d as *const f32),
+                            FusedInit::Acc(a) => {
+                                let r = a.range(chunk_offset);
+                                debug_assert!(r.end <= arena_len);
+                                (0.0, base.add(x0 * arena_len + r.start) as *const f32)
+                            }
+                        }
+                    } else {
+                        // Continuation groups accumulate onto the running
+                        // value the previous group stored.
+                        (0.0, d as *const f32)
+                    };
+                    let mut terms = [BatchTerm::NULL; MAX_ARITY];
+                    for (slot, term) in terms.iter_mut().zip(group.terms.iter()) {
+                        *slot = resolve(term, x0 as i64);
+                    }
+                    (group.row_kernel)(d, len, fill, acc, terms.as_ptr(), n_pes, arena_len);
+                };
+                for x in 0..lo {
+                    run_segment(x, 1);
+                }
+                run_segment(lo, hi - lo);
+                for x in hi..width as usize {
+                    run_segment(x, 1);
+                }
+                first = false;
             }
         }
     }
@@ -776,73 +982,84 @@ fn stage_chunk(comm: &LinkedComm, pe: &mut [f32], pec: Option<&PeComm<'_>>, chun
     }
 }
 
-/// Executes one resolved instruction over a PE arena.  Elementwise
-/// operations compute into `scratch` first so aliasing destination/source
-/// views keep read-all-then-write semantics without allocating; fused
-/// sweeps run in one pass (the linker proved them alias-free).  `pec`
-/// resolves direct slot reads and is present whenever the kernel
-/// communicates.
-fn exec_instr(
+/// Executes one planned operation over a PE arena by calling its bound
+/// SIMD kernel.  `Binary`/`Macs` ops the planner could not prove
+/// in-place-safe compute into `scratch` first (read-all-then-write
+/// semantics for partially overlapping views); direct ops and sweeps write
+/// the destination in one pass.  `pec` resolves direct slot reads and is
+/// present whenever the kernel communicates.
+fn exec_op(
     pe: &mut [f32],
-    instr: &LinkedInstr,
+    op: &PlannedOp,
     chunk_offset: usize,
     scratch: &mut [f32],
     pec: Option<&PeComm<'_>>,
 ) {
-    match instr {
-        LinkedInstr::Fill { dest, value } => pe[dest.range(chunk_offset)].fill(*value),
-        LinkedInstr::Copy { dest, src } => {
+    match op {
+        PlannedOp::Fill { dest, value } => pe[dest.range(chunk_offset)].fill(*value),
+        PlannedOp::Copy { dest, src } => {
             let dest_start = dest.range(chunk_offset).start;
             pe.copy_within(src.range(chunk_offset), dest_start);
         }
-        LinkedInstr::Binary { kind, dest, a, b } => {
-            let out = &mut scratch[..dest.len as usize];
-            let va = &pe[a.range(chunk_offset)];
-            let vb = &pe[b.range(chunk_offset)];
-            match kind {
-                BinKind::Add => {
-                    for ((o, x), y) in out.iter_mut().zip(va).zip(vb) {
-                        *o = x + y;
-                    }
-                }
-                BinKind::Sub => {
-                    for ((o, x), y) in out.iter_mut().zip(va).zip(vb) {
-                        *o = x - y;
-                    }
-                }
-                BinKind::Mul => {
-                    for ((o, x), y) in out.iter_mut().zip(va).zip(vb) {
-                        *o = x * y;
-                    }
+        PlannedOp::Binary { kernel, dest, a, b, direct } => {
+            let dest_range = dest.range(chunk_offset);
+            let len = dest_range.len();
+            debug_assert!(dest_range.end <= pe.len() && len <= scratch.len());
+            let _ = (&pe[a.range(chunk_offset)], &pe[b.range(chunk_offset)]); // bounds check
+            let base = pe.as_mut_ptr();
+            // SAFETY: all views were bounds-validated by the linker (and
+            // re-checked above); `direct` ops were proven
+            // exactly-equal-or-disjoint to the destination by the planner,
+            // which is the kernel's aliasing contract, and the scratch
+            // buffer is a separate allocation sized `>= max_view_len`.
+            unsafe {
+                let pa = base.add(a.range(chunk_offset).start) as *const f32;
+                let pb = base.add(b.range(chunk_offset).start) as *const f32;
+                if *direct {
+                    kernel(base.add(dest_range.start), pa, pb, len);
+                } else {
+                    kernel(scratch.as_mut_ptr(), pa, pb, len);
+                    pe[dest_range].copy_from_slice(&scratch[..len]);
                 }
             }
-            pe[dest.range(chunk_offset)].copy_from_slice(out);
         }
-        LinkedInstr::Macs { dest, acc, src, coeff } => {
-            let out = &mut scratch[..dest.len as usize];
-            let va = &pe[acc.range(chunk_offset)];
-            let vs = &pe[src.range(chunk_offset)];
-            for ((o, a), s) in out.iter_mut().zip(va).zip(vs) {
-                *o = a + s * coeff;
+        PlannedOp::Macs { kernel, dest, acc, src, coeff, direct } => {
+            let dest_range = dest.range(chunk_offset);
+            let len = dest_range.len();
+            debug_assert!(dest_range.end <= pe.len() && len <= scratch.len());
+            let _ = (&pe[acc.range(chunk_offset)], &pe[src.range(chunk_offset)]); // bounds check
+            let base = pe.as_mut_ptr();
+            // SAFETY: as for `Binary` above.
+            unsafe {
+                let pa = base.add(acc.range(chunk_offset).start) as *const f32;
+                let ps = base.add(src.range(chunk_offset).start) as *const f32;
+                if *direct {
+                    kernel(base.add(dest_range.start), pa, ps, *coeff, len);
+                } else {
+                    kernel(scratch.as_mut_ptr(), pa, ps, *coeff, len);
+                    pe[dest_range].copy_from_slice(&scratch[..len]);
+                }
             }
-            pe[dest.range(chunk_offset)].copy_from_slice(out);
         }
-        LinkedInstr::FusedMacs { dest, init, terms } => {
-            exec_fused(pe, dest, init, terms, chunk_offset, pec);
+        PlannedOp::Sweep { dest, init, groups } => {
+            exec_sweep(pe, dest, init, groups, chunk_offset, pec);
         }
     }
 }
 
-/// Executes a fused reduction sweep:
+/// Executes a planned reduction sweep:
 /// `dest[j] = init(j) + Σ terms[i].coeff · terms[i].src[j]`, applied left
 /// to right per element — exactly the f32 operation sequence of the
 /// `Fill`/`Macs` chain the linker fused, so results are bitwise identical
-/// to the unoptimized stream.
-fn exec_fused(
+/// to the unoptimized stream.  Chains wider than [`MAX_ARITY`] run as the
+/// head group plus continuation groups accumulating onto the freshly
+/// written destination (same per-element order, re-entered at the stored
+/// running value).
+fn exec_sweep(
     pe: &mut [f32],
     dest: &LinkedView,
     init: &FusedInit,
-    terms: &[FusedTerm],
+    groups: &[SweepGroup],
     chunk_offset: usize,
     pec: Option<&PeComm<'_>>,
 ) {
@@ -858,132 +1075,48 @@ fn exec_fused(
     // from the destination range at every chunk offset, and all views were
     // bounds-validated against the arena by the linker.  The destination is
     // therefore the only mutable arena range, and the sole permitted
-    // aliasing (`init == dest`) reads each element before overwriting it.
-    // Slot sources live in the snapshot, a different allocation.
+    // aliasing (`init == dest`, or a continuation group's accumulate onto
+    // the destination) reads each element before overwriting it — the
+    // kernels' contract.  Slot sources live in the snapshot (or the shared
+    // zero column), different allocations.
     unsafe {
-        let d = std::slice::from_raw_parts_mut(base.add(dest_range.start), len);
-        let src = |term: &FusedTerm| -> &[f32] {
+        let d = base.add(dest_range.start);
+        let resolve = |term: &FusedTerm| -> *const f32 {
             match &term.src {
                 SrcRef::Arena(v) => {
-                    std::slice::from_raw_parts(base.add(v.range(chunk_offset).start), len)
+                    let range = v.range(chunk_offset);
+                    debug_assert!(range.end <= pe.len());
+                    base.add(range.start) as *const f32
                 }
                 SrcRef::Slot { slot, offset, .. } => {
                     let col =
                         pec.expect("slot sources only occur in comm kernels").cols[*slot as usize];
-                    &col[*offset as usize + chunk_offset..][..len]
+                    let start = *offset as usize + chunk_offset;
+                    debug_assert!(start + len <= col.len());
+                    col.as_ptr().add(start)
                 }
             }
         };
-        // The init is monomorphized into the sweep loops (a branch per
-        // element would block vectorization of the hot path).
-        match init {
-            FusedInit::Fill(c) => {
-                let c = *c;
-                sweep(d, move |_, _| c, terms, &src);
-            }
-            FusedInit::Acc(a) if a == dest => sweep(d, |dj, _| dj, terms, &src),
+        let (fill, acc): (f32, *const f32) = match init {
+            FusedInit::Fill(c) => (*c, std::ptr::null()),
+            FusedInit::Acc(a) if a == dest => (0.0, d as *const f32),
             FusedInit::Acc(a) => {
-                let s = std::slice::from_raw_parts(base.add(a.range(chunk_offset).start), len);
-                sweep(d, move |_, j| s[j], terms, &src);
+                let range = a.range(chunk_offset);
+                debug_assert!(range.end <= pe.len());
+                (0.0, base.add(range.start) as *const f32)
             }
-        }
-    }
-}
-
-/// The arity-specialized one-pass sweeps behind [`exec_fused`].  Every
-/// source slice has exactly `d.len()` elements, so the index loops compile
-/// to bounds-check-free vector code.
-#[inline(always)]
-fn sweep<'a>(
-    d: &mut [f32],
-    init: impl Fn(f32, usize) -> f32 + Copy,
-    terms: &[FusedTerm],
-    src: &impl Fn(&FusedTerm) -> &'a [f32],
-) {
-    let len = d.len();
-    match terms {
-        [] => {
-            for (j, dj) in d.iter_mut().enumerate() {
-                *dj = init(*dj, j);
+        };
+        let mut terms = [Term::NULL; MAX_ARITY];
+        let mut first = true;
+        for group in groups {
+            for (slot, term) in terms.iter_mut().zip(group.terms.iter()) {
+                *slot = Term { src: resolve(term), coeff: term.coeff };
             }
-        }
-        [t0] => {
-            let (s0, c0) = (src(t0), t0.coeff);
-            for j in 0..len {
-                d[j] = init(d[j], j) + s0[j] * c0;
-            }
-        }
-        [t0, t1] => {
-            let (s0, c0) = (src(t0), t0.coeff);
-            let (s1, c1) = (src(t1), t1.coeff);
-            for j in 0..len {
-                d[j] = (init(d[j], j) + s0[j] * c0) + s1[j] * c1;
-            }
-        }
-        [t0, t1, t2] => {
-            let (s0, c0) = (src(t0), t0.coeff);
-            let (s1, c1) = (src(t1), t1.coeff);
-            let (s2, c2) = (src(t2), t2.coeff);
-            for j in 0..len {
-                d[j] = ((init(d[j], j) + s0[j] * c0) + s1[j] * c1) + s2[j] * c2;
-            }
-        }
-        [t0, t1, t2, t3] => {
-            let (s0, c0) = (src(t0), t0.coeff);
-            let (s1, c1) = (src(t1), t1.coeff);
-            let (s2, c2) = (src(t2), t2.coeff);
-            let (s3, c3) = (src(t3), t3.coeff);
-            for j in 0..len {
-                d[j] = (((init(d[j], j) + s0[j] * c0) + s1[j] * c1) + s2[j] * c2) + s3[j] * c3;
-            }
-        }
-        [t0, t1, t2, t3, t4] => {
-            let (s0, c0) = (src(t0), t0.coeff);
-            let (s1, c1) = (src(t1), t1.coeff);
-            let (s2, c2) = (src(t2), t2.coeff);
-            let (s3, c3) = (src(t3), t3.coeff);
-            let (s4, c4) = (src(t4), t4.coeff);
-            for j in 0..len {
-                d[j] = ((((init(d[j], j) + s0[j] * c0) + s1[j] * c1) + s2[j] * c2) + s3[j] * c3)
-                    + s4[j] * c4;
-            }
-        }
-        // Six terms is the full merged sweep of a 3-D 7-point star
-        // (jacobian): worth its own arm before the blocked fallback.
-        [t0, t1, t2, t3, t4, t5] => {
-            let (s0, c0) = (src(t0), t0.coeff);
-            let (s1, c1) = (src(t1), t1.coeff);
-            let (s2, c2) = (src(t2), t2.coeff);
-            let (s3, c3) = (src(t3), t3.coeff);
-            let (s4, c4) = (src(t4), t4.coeff);
-            let (s5, c5) = (src(t5), t5.coeff);
-            for j in 0..len {
-                d[j] = (((((init(d[j], j) + s0[j] * c0) + s1[j] * c1) + s2[j] * c2) + s3[j] * c3)
-                    + s4[j] * c4)
-                    + s5[j] * c5;
-            }
-        }
-        _ => {
-            // Wider chains sweep in blocks: one destination pass, each
-            // source streamed once, per-element operation order unchanged.
-            const BLOCK: usize = 128;
-            let mut acc = [0.0f32; BLOCK];
-            let mut start = 0;
-            while start < len {
-                let block_len = BLOCK.min(len - start);
-                for (j, a) in acc[..block_len].iter_mut().enumerate() {
-                    *a = init(d[start + j], start + j);
-                }
-                for term in terms {
-                    let s = &src(term)[start..start + block_len];
-                    let c = term.coeff;
-                    for (a, x) in acc[..block_len].iter_mut().zip(s) {
-                        *a += x * c;
-                    }
-                }
-                d[start..start + block_len].copy_from_slice(&acc[..block_len]);
-                start += block_len;
-            }
+            // Continuation groups accumulate onto the running value the
+            // previous group stored in the destination.
+            let group_acc = if first { acc } else { d as *const f32 };
+            (group.kernel)(d, len, fill, group_acc, terms.as_ptr());
+            first = false;
         }
     }
 }
@@ -1092,8 +1225,11 @@ mod tests {
             let options = PipelineOptions { num_chunks: 2, ..PipelineOptions::default() };
             let lowered = lower_program(&program, &options).unwrap();
             let loaded = load_program(&lowered.ctx, lowered.module).unwrap();
-            let sim = WseGridSim::with_options(loaded, crate::link::LinkOptions { optimize: true })
-                .unwrap();
+            let sim = WseGridSim::with_options(
+                loaded,
+                crate::link::LinkOptions { optimize: true, ..LinkOptions::default() },
+            )
+            .unwrap();
             let stats = sim.linked().stats();
             assert!(stats.optimized);
             assert!(
@@ -1144,8 +1280,11 @@ mod tests {
             .filter(|n| n.starts_with("remote_col"))
             .collect();
         assert_eq!(staged, vec!["remote_col0_0"], "one shared staged column");
-        let sim =
-            WseGridSim::with_options(loaded, crate::link::LinkOptions { optimize: true }).unwrap();
+        let sim = WseGridSim::with_options(
+            loaded,
+            crate::link::LinkOptions { optimize: true, ..LinkOptions::default() },
+        )
+        .unwrap();
         let stats = sim.linked().stats();
         assert!(stats.arena_bytes_after < stats.arena_bytes_before);
         // The shifted reductions write different sub-ranges, so no chain

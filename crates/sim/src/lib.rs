@@ -9,8 +9,15 @@
 //! * [`link`] — compiles the loaded program into a flat-memory form:
 //!   interned buffer ids, one arena per PE, resolved instruction streams
 //!   with all bounds validated up front;
-//! * [`exec`] — lock-step execution of the linked program over the PE grid
-//!   (used to validate generated code against the reference executor);
+//! * [`kernels`] — monomorphized SIMD kernels (AVX2/SSE2/scalar, selected
+//!   by runtime feature detection) with a bitwise-exact default mode and an
+//!   opt-in `fast_fma` contraction mode;
+//! * [`plan`] — the kernel-plan compiler: lowers linked instruction
+//!   streams into flat plans of pre-specialized kernel calls, proving
+//!   scratch round-trips away with link-time disjointness;
+//! * [`exec`] — lock-step execution of the planned program over the PE
+//!   grid (used to validate generated code against the reference
+//!   executor);
 //! * [`interp`] — the pre-refactor string-keyed interpreter, kept as the
 //!   baseline for the `sim_throughput` bench and engine-parity tests;
 //! * [`reference`] — a sequential reference executor over dense 3-D grids;
@@ -26,17 +33,22 @@
 pub mod baselines;
 pub mod exec;
 pub mod interp;
+pub mod kernels;
 pub mod link;
 pub mod loader;
 pub mod machine;
 pub mod perf;
+pub mod plan;
 pub mod reference;
 pub mod roofline;
 
 pub use exec::{ExecError, WseGridSim};
 pub use interp::InterpGridSim;
+pub use kernels::Isa;
 pub use link::{link_program, link_program_with, LinkOptions, LinkedProgram, OptStats};
 pub use loader::{load_program, LoadError, LoadedProgram};
 pub use machine::{TargetMachine, WseGeneration, WseMachine, A100, EPYC_7742_NODE};
 pub use perf::{estimate_performance, fabric_profile, CycleBreakdown, FabricProfile, PerfEstimate};
+pub use plan::{plan_program, PlanCounts, ProgramPlan};
 pub use reference::{initial_state, max_abs_difference, run_reference, Field3D, GridState};
+pub use roofline::SimdPeak;

@@ -88,22 +88,41 @@ pub struct LinkOptions {
     /// coalescing).  Optimized and unoptimized streams produce bitwise
     /// identical results; the toggle exists so conformance can prove it.
     pub optimize: bool,
+    /// Dispatch the planned kernels on the widest instruction set the host
+    /// supports (see [`crate::kernels::Isa::detect`]).  SIMD-on and
+    /// SIMD-off streams produce bitwise identical results — the vector
+    /// kernels preserve the exact per-element f32 operation sequence — and
+    /// the conformance harness runs both to prove it.
+    pub simd: bool,
+    /// Contract each multiply-then-add pair into a single-rounded fused
+    /// multiply-add.  This *changes* results (one rounding instead of
+    /// two per term), so it is off by default and fast-FMA streams are
+    /// validated through the conformance tolerance path against the
+    /// reference executor, never the bitwise path.
+    pub fast_fma: bool,
 }
 
 impl Default for LinkOptions {
     fn default() -> Self {
-        Self { optimize: true }
+        Self { optimize: true, simd: true, fast_fma: false }
     }
 }
 
 impl LinkOptions {
-    /// Reads the `WSE_SIM_NO_FUSE` escape hatch: set it to `1` (or `true`)
-    /// to disable the link-time optimizer for the whole process.
+    /// Reads the process-wide escape hatches: `WSE_SIM_NO_FUSE` disables
+    /// the link-time optimizer, `WSE_SIM_NO_SIMD` forces the scalar
+    /// kernel set, and `WSE_SIM_FAST_FMA` opts into contracted
+    /// multiply-adds (tolerance-path only).  Each is enabled by the value
+    /// `1` or `true`.
     pub fn from_env() -> Self {
-        let disabled = std::env::var("WSE_SIM_NO_FUSE")
-            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
-            .unwrap_or(false);
-        Self { optimize: !disabled }
+        let flag = |name: &str| {
+            std::env::var(name).map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+        };
+        Self {
+            optimize: !flag("WSE_SIM_NO_FUSE"),
+            simd: !flag("WSE_SIM_NO_SIMD"),
+            fast_fma: flag("WSE_SIM_FAST_FMA"),
+        }
     }
 }
 
@@ -373,6 +392,13 @@ pub struct LinkedProgram {
     pub kernels: Vec<LinkedKernel>,
     /// Largest view length of any instruction (sizes the scratch buffer).
     pub max_view_len: usize,
+    /// Whether the kernel planner may use the host's vector instruction
+    /// sets (from [`LinkOptions::simd`]; results are bitwise identical
+    /// either way).
+    pub simd: bool,
+    /// Whether the planner contracts multiply-adds (from
+    /// [`LinkOptions::fast_fma`]; tolerance-path only).
+    pub fast_fma: bool,
     /// What the link-time optimizer did (all-zero when disabled).
     pub stats: OptStats,
 }
@@ -418,6 +444,18 @@ pub struct OptStats {
     /// Writes to internal double-buffer fields removed because the cyclic
     /// liveness scan proved them dead (fully overwritten before any read).
     pub dead_writes_elided: usize,
+    /// Arithmetic operations (binaries, multiply-accumulates, sweep
+    /// groups) planned onto vector SIMD kernels (see [`crate::plan`]).
+    pub simd_planned: usize,
+    /// Arithmetic operations planned onto the portable scalar kernel set
+    /// (SIMD disabled, or no vector unit on the host).  Exactly one of
+    /// `simd_planned`/`simd_fallback` is non-zero on any program with
+    /// arithmetic.
+    pub simd_fallback: usize,
+    /// Unfused `Binary`/`Macs` operations whose scratch round-trip the
+    /// planner elided because the linker proved every source view is
+    /// either exactly the destination or disjoint from it.
+    pub scratch_elided: usize,
     /// Per-PE arena bytes before coalescing.
     pub arena_bytes_before: usize,
     /// Per-PE arena bytes after coalescing.
@@ -569,6 +607,8 @@ pub fn link_program_with(
         field_internal,
         kernels,
         max_view_len,
+        simd: options.simd,
+        fast_fma: options.fast_fma,
         stats: OptStats::default(),
     };
     linked.stats.instrs_before = instr_count(&linked);
@@ -616,6 +656,15 @@ fn finalize(linked: &mut LinkedProgram) {
         kernel.writes = writes;
     }
     linked.layouts = layouts;
+    // Run the kernel planner once for its report: how many arithmetic ops
+    // land on vector kernels vs the scalar fallback, and how many scratch
+    // round-trips the disjointness proofs elide.  (The run phase rebuilds
+    // the plan at construction time — planning is a cheap walk over the
+    // static instruction stream.)
+    let counts = crate::plan::plan_program(linked).counts;
+    linked.stats.simd_planned = counts.simd_planned;
+    linked.stats.simd_fallback = counts.simd_fallback;
+    linked.stats.scratch_elided = counts.scratch_elided;
 }
 
 /// The buffer containing arena offset `offset`.  Layouts are laid out back
@@ -807,7 +856,7 @@ fn view_span(view: &LinkedView, max_dyn: usize) -> (usize, usize) {
 
 /// True when the two views cannot touch a common arena element at any
 /// chunk offset.
-fn views_disjoint(a: &LinkedView, b: &LinkedView, max_dyn: usize) -> bool {
+pub(crate) fn views_disjoint(a: &LinkedView, b: &LinkedView, max_dyn: usize) -> bool {
     let (a0, a1) = view_span(a, max_dyn);
     let (b0, b1) = view_span(b, max_dyn);
     a1 <= b0 || b1 <= a0
@@ -1870,7 +1919,9 @@ mod tests {
                 done: Vec::new(),
             }],
         };
-        let linked = link_program_with(&program, &LinkOptions { optimize: true }).unwrap();
+        let linked =
+            link_program_with(&program, &LinkOptions { optimize: true, ..LinkOptions::default() })
+                .unwrap();
         assert_eq!(linked.stats.binary_macs_fused, 2, "both pairs become Macs");
         // The two Macs then chain into one fused sweep with two terms.
         let sweeps: Vec<&LinkedInstr> = linked.kernels[0]
@@ -1907,7 +1958,9 @@ mod tests {
                 },
             ],
         );
-        let linked = link_program_with(&program, &LinkOptions { optimize: true }).unwrap();
+        let linked =
+            link_program_with(&program, &LinkOptions { optimize: true, ..LinkOptions::default() })
+                .unwrap();
         assert_eq!(linked.stats.binary_macs_fused, 0, "written multiplier is not a constant");
 
         // (2) Source overlaps the accumulator: the two-sweep semantics are
@@ -1928,7 +1981,9 @@ mod tests {
                 b: view("scratch", 0, 4),
             },
         ];
-        let linked = link_program_with(&program, &LinkOptions { optimize: true }).unwrap();
+        let linked =
+            link_program_with(&program, &LinkOptions { optimize: true, ..LinkOptions::default() })
+                .unwrap();
         assert_eq!(linked.stats.binary_macs_fused, 0, "aliased src/dest must not fuse");
     }
 

@@ -224,9 +224,14 @@ fn run_case_inner(case: &ConformanceCase, tolerance: f32, through_service: bool)
     // `WSE_SIM_NO_FUSE` from the environment): the cross-check below must
     // always compare a genuinely optimized against a genuinely
     // unoptimized stream, even when a developer debugging a fusion bug
-    // has the escape hatch exported.
-    let mut linked = match WseGridSim::with_options(loaded.clone(), LinkOptions { optimize: true })
-    {
+    // has the escape hatch exported.  The *SIMD* toggle, by contrast, is
+    // taken from the environment on purpose: `WSE_SIM_NO_SIMD=1` flips
+    // every primary stream to the scalar kernel set, and the cross-stream
+    // below always runs the opposite set, so a sweep under either setting
+    // pins vector against scalar bits on every seed.
+    let env = LinkOptions::from_env();
+    let options = LinkOptions { optimize: true, simd: env.simd, fast_fma: false };
+    let mut linked = match WseGridSim::with_options(loaded.clone(), options) {
         Ok(sim) => sim,
         Err(e) => return Verdict::EngineFailure { stage: "link".into(), message: e.message },
     };
@@ -241,13 +246,13 @@ fn run_case_inner(case: &ConformanceCase, tolerance: f32, through_service: bool)
     // The link-time optimizer must be bitwise-transparent: rerun the same
     // loaded program with the optimizer off (the `WSE_SIM_NO_FUSE=1`
     // stream) and require identical bits.
-    let mut unoptimized =
-        match WseGridSim::with_options(loaded.clone(), LinkOptions { optimize: false }) {
-            Ok(sim) => sim,
-            Err(e) => {
-                return Verdict::EngineFailure { stage: "link-unopt".into(), message: e.message }
-            }
-        };
+    let mut unoptimized = match WseGridSim::with_options(
+        loaded.clone(),
+        LinkOptions { optimize: false, ..options },
+    ) {
+        Ok(sim) => sim,
+        Err(e) => return Verdict::EngineFailure { stage: "link-unopt".into(), message: e.message },
+    };
     if let Err(e) = unoptimized.run(None) {
         return Verdict::EngineFailure { stage: "execute-unopt".into(), message: e.message };
     }
@@ -263,6 +268,57 @@ fn run_case_inner(case: &ConformanceCase, tolerance: f32, through_service: bool)
             return Verdict::EngineFailure { stage: "extract-unopt".into(), message: e.message }
         }
     }
+
+    // The SIMD kernels must also be bitwise-transparent: rerun with the
+    // *opposite* kernel set (scalar when the primary ran vector, vector
+    // when `WSE_SIM_NO_SIMD=1` made the primary scalar) and require
+    // identical bits.
+    let cross_options = LinkOptions { simd: !options.simd, ..options };
+    let mut simd_cross = match WseGridSim::with_options(loaded.clone(), cross_options) {
+        Ok(sim) => sim,
+        Err(e) => return Verdict::EngineFailure { stage: "link-simd".into(), message: e.message },
+    };
+    if let Err(e) = simd_cross.run(None) {
+        return Verdict::EngineFailure { stage: "execute-simd".into(), message: e.message };
+    }
+    match simd_cross.grid_state() {
+        Ok(state) => {
+            if let Some(detail) = bitwise_difference(&linked_state, &state) {
+                return Verdict::Mismatch {
+                    detail: format!("simd vs scalar kernel streams (bitwise): {detail}"),
+                };
+            }
+        }
+        Err(e) => {
+            return Verdict::EngineFailure { stage: "extract-simd".into(), message: e.message }
+        }
+    }
+
+    // Opt-in fast-FMA stream (`WSE_SIM_FAST_FMA=1`): contracted
+    // multiply-adds change rounding, so this stream is validated through
+    // the reference *tolerance* path below, never bitwise.
+    let fma_state = if env.fast_fma {
+        let mut fma = match WseGridSim::with_options(
+            loaded.clone(),
+            LinkOptions { fast_fma: true, ..options },
+        ) {
+            Ok(sim) => sim,
+            Err(e) => {
+                return Verdict::EngineFailure { stage: "link-fma".into(), message: e.message }
+            }
+        };
+        if let Err(e) = fma.run(None) {
+            return Verdict::EngineFailure { stage: "execute-fma".into(), message: e.message };
+        }
+        match fma.grid_state() {
+            Ok(state) => Some(state),
+            Err(e) => {
+                return Verdict::EngineFailure { stage: "extract-fma".into(), message: e.message }
+            }
+        }
+    } else {
+        None
+    };
 
     let mut interp = InterpGridSim::new(loaded);
     if let Err(e) = interp.run(None) {
@@ -280,6 +336,16 @@ fn run_case_inner(case: &ConformanceCase, tolerance: f32, through_service: bool)
         return Verdict::Mismatch {
             detail: format!("linked vs reference: max |Δ| = {deviation} (tolerance {tolerance})"),
         };
+    }
+    if let Some(fma_state) = fma_state {
+        let fma_deviation = max_abs_difference(&fma_state, &reference);
+        if !fma_deviation.is_finite() || fma_deviation > tolerance {
+            return Verdict::Mismatch {
+                detail: format!(
+                    "fast-FMA vs reference: max |Δ| = {fma_deviation} (tolerance {tolerance})"
+                ),
+            };
+        }
     }
     Verdict::Pass { deviation }
 }
@@ -309,8 +375,11 @@ pub fn case_fusion_evidence(case: &ConformanceCase) -> Option<FusionEvidence> {
         .coefficient_promotion(case.options.promote_coefficients);
     let artifact = compiler.compile(&case.program).ok()?;
     let loaded = artifact.loaded_program();
-    let linked =
-        wse_sim::link_program_with(loaded, &wse_sim::LinkOptions { optimize: true }).ok()?;
+    let linked = wse_sim::link_program_with(
+        loaded,
+        &wse_sim::LinkOptions { optimize: true, ..LinkOptions::default() },
+    )
+    .ok()?;
     Some(FusionEvidence {
         internal_fields: loaded.internal_fields.len(),
         stats: linked.stats().clone(),

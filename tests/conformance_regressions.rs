@@ -202,11 +202,17 @@ mod fusion_rules {
 
     /// Runs the program through both streams and requires bitwise equality.
     fn assert_bitwise_transparent(program: LoadedProgram) {
-        let mut optimized =
-            WseGridSim::with_options(program.clone(), LinkOptions { optimize: true }).unwrap();
+        let mut optimized = WseGridSim::with_options(
+            program.clone(),
+            LinkOptions { optimize: true, ..LinkOptions::default() },
+        )
+        .unwrap();
         optimized.run(None).unwrap();
-        let mut unoptimized =
-            WseGridSim::with_options(program, LinkOptions { optimize: false }).unwrap();
+        let mut unoptimized = WseGridSim::with_options(
+            program,
+            LinkOptions { optimize: false, ..LinkOptions::default() },
+        )
+        .unwrap();
         unoptimized.run(None).unwrap();
         let (a, b) = (optimized.grid_state().unwrap(), unoptimized.grid_state().unwrap());
         for ((name, fa), fb) in a.names.iter().zip(&a.fields).zip(&b.fields) {
@@ -342,8 +348,11 @@ mod fusion_rules {
             .unwrap();
         let loaded = artifact.loaded_program().clone();
         assert_eq!(loaded.fmac_count(), 0, "no Macs reach the linker");
-        let linked =
-            WseGridSim::with_options(loaded.clone(), LinkOptions { optimize: true }).unwrap();
+        let linked = WseGridSim::with_options(
+            loaded.clone(),
+            LinkOptions { optimize: true, ..LinkOptions::default() },
+        )
+        .unwrap();
         let stats = linked.linked().stats();
         assert!(stats.binary_macs_fused > 0, "peephole fired: {stats:?}");
         assert!(stats.fused_chains > 0, "recovered Macs feed chain fusion: {stats:?}");
@@ -389,8 +398,11 @@ mod dependence_aware_inlining {
         let artifact = Compiler::new().verify_each(true).compile(program).expect("compiles");
         let loaded = artifact.loaded_program().clone();
         let kernels = loaded.kernels.len();
-        let sim = WseGridSim::with_options(loaded.clone(), LinkOptions { optimize: true })
-            .expect("links");
+        let sim = WseGridSim::with_options(
+            loaded.clone(),
+            LinkOptions { optimize: true, ..LinkOptions::default() },
+        )
+        .expect("links");
         (loaded.internal_fields.clone(), sim.linked().stats().clone(), kernels)
     }
 
@@ -564,5 +576,88 @@ mod dependence_aware_inlining {
             stats.captures_elided > 0,
             "renamed producer no longer writes its transmitted field: {stats:?}"
         );
+    }
+}
+
+/// SIMD engine pins: vector-width tails and tiny views.  `run_case`
+/// cross-checks the optimized stream bitwise against the opposite kernel
+/// set (vector vs scalar fallback — see `testkit::conformance`), so each
+/// case here pins the masked/scalar tail handling of the explicit SIMD
+/// kernels: columns shorter than one vector, exact multiples, one-element
+/// tails, and chunk sizes that are not a multiple of the 8-lane AVX2
+/// width.  Zero-length spans are pinned directly against the kernel
+/// tables (no valid grid produces them end to end).
+mod simd_tails {
+    use super::{assert_passes, program};
+    use wse_frontends::ast::{Expr, StencilEquation};
+    use wse_lowering::PipelineOptions;
+
+    /// A stencil that exercises slot (neighbor), arena (z-shift), and
+    /// center sources in one fused sweep.
+    fn star(nz: i64) -> wse_frontends::ast::StencilProgram {
+        let mut rhs = Expr::at("f0", 1, 0, 0).scale(0.2)
+            + Expr::at("f0", -1, 0, 0).scale(0.2)
+            + Expr::at("f0", 0, 1, 0).scale(0.15)
+            + Expr::center("f0").scale(0.3);
+        if nz > 1 {
+            rhs = rhs + Expr::at("f0", 0, 0, 1).scale(0.1);
+        }
+        let eq = StencilEquation::new("f0", rhs);
+        program((4, 3, nz), &["f0"], vec![eq], 2)
+    }
+
+    /// Column lengths around the vector width: 1 and 7 run entirely in
+    /// the scalar tail, 8 exactly fills one AVX2 vector, 9 leaves a
+    /// one-element tail.
+    #[test]
+    fn tail_lengths_around_the_vector_width_are_bitwise() {
+        for nz in [1, 7, 8, 9] {
+            assert_passes(star(nz), PipelineOptions::default());
+        }
+    }
+
+    /// Chunked exchanges whose chunk size is not a multiple of the vector
+    /// width: every chunk ends in a masked/scalar tail at a different
+    /// offset.
+    #[test]
+    fn non_multiple_of_eight_chunk_sizes_are_bitwise() {
+        assert_passes(star(9), PipelineOptions { num_chunks: 3, ..PipelineOptions::default() });
+        assert_passes(star(14), PipelineOptions { num_chunks: 2, ..PipelineOptions::default() });
+        assert_passes(star(21), PipelineOptions { num_chunks: 3, ..PipelineOptions::default() });
+    }
+
+    /// Zero-length sweeps are no-ops on every kernel set (no grid reaches
+    /// this through the pipeline; the planner and kernels must still
+    /// tolerate it).
+    #[test]
+    fn zero_length_sweeps_are_no_ops_on_every_isa() {
+        use wse_sim::kernels::{kernel_set, BatchTerm, Isa, Term, MAX_ARITY};
+        let mut d = [7.0f32; 4];
+        let terms = [Term::NULL; MAX_ARITY];
+        let batch = [BatchTerm::NULL; MAX_ARITY];
+        for isa in [Isa::Scalar, Isa::detect()] {
+            let set = kernel_set(isa, false);
+            // SAFETY: len 0 (and 0 PEs) never dereferences any pointer.
+            unsafe {
+                set.sweep(false, MAX_ARITY)(
+                    d.as_mut_ptr(),
+                    0,
+                    1.0,
+                    std::ptr::null(),
+                    terms.as_ptr(),
+                );
+                set.sweep_row(false, MAX_ARITY)(
+                    d.as_mut_ptr(),
+                    0,
+                    1.0,
+                    std::ptr::null(),
+                    batch.as_ptr(),
+                    2,
+                    0,
+                );
+                set.sweep_row(true, 0)(d.as_mut_ptr(), 3, 0.0, d.as_ptr(), batch.as_ptr(), 0, 1);
+            }
+        }
+        assert_eq!(d, [7.0f32; 4]);
     }
 }

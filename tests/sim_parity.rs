@@ -17,13 +17,17 @@ use wse_sim::{load_program, max_abs_difference, run_reference, LinkOptions, WseG
 fn deviation(program: &StencilProgram, options: &PipelineOptions) -> f32 {
     let lowered = lower_program(program, options).expect("lowering succeeds");
     let loaded = load_program(&lowered.ctx, lowered.module).expect("loading succeeds");
-    let mut sim = WseGridSim::with_options(loaded.clone(), LinkOptions { optimize: true })
-        .expect("program links");
+    let mut sim = WseGridSim::with_options(
+        loaded.clone(),
+        LinkOptions { optimize: true, ..LinkOptions::default() },
+    )
+    .expect("program links");
     sim.run(None).expect("simulation succeeds");
     let simulated = sim.grid_state().expect("state extraction succeeds");
 
-    let mut unopt = WseGridSim::with_options(loaded, LinkOptions { optimize: false })
-        .expect("program links unoptimized");
+    let mut unopt =
+        WseGridSim::with_options(loaded, LinkOptions { optimize: false, ..LinkOptions::default() })
+            .expect("program links unoptimized");
     unopt.run(None).expect("unoptimized simulation succeeds");
     let unopt_state = unopt.grid_state().expect("state extraction succeeds");
     for ((name, a), b) in simulated.names.iter().zip(&simulated.fields).zip(&unopt_state.fields) {
