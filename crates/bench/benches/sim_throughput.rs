@@ -137,8 +137,7 @@ fn flops_per_point(program: &StencilProgram) -> u64 {
 /// The host SIMD peak the achieved-fraction column is measured against.
 /// The assumed core clock comes from `WSE_SIM_HOST_GHZ` (default 2.1).
 fn host_peak() -> SimdPeak {
-    let ghz =
-        std::env::var("WSE_SIM_HOST_GHZ").ok().and_then(|v| v.parse::<f64>().ok()).unwrap_or(2.1);
+    let ghz = wse_sim::env_value::<f64>("WSE_SIM_HOST_GHZ").unwrap_or(2.1);
     SimdPeak::new(Isa::detect(), ghz)
 }
 

@@ -1,19 +1,34 @@
-//! Stencil-apply analysis: extraction of the linear-combination normal form.
+//! Stencil-apply analysis: extraction of the polynomial normal form.
 //!
 //! Every stencil body produced by the front-ends (and by the paper's
-//! benchmarks) is a linear combination of neighbor accesses:
-//! `out = sum_i coeff_i * field_i[offset_i] (+ constant)`.
-//! The lowering passes operate on this normal form: it is what makes
-//! splitting the reduction between remotely-received and locally-held data
-//! (Section 4.1), coefficient promotion into the communication path
-//! (Section 5.7) and FMA generation straightforward.
+//! benchmarks) is a low-degree polynomial over neighbor accesses.  Linear
+//! bodies — `out = sum_i coeff_i * field_i[offset_i] (+ constant)` — are
+//! the common case; nonlinear workloads (Burgers, shallow water) add
+//! degree-2 terms `coeff · a[off_a] · b[off_b]`, captured per [`Term`] via
+//! [`Term::factor2`].  The lowering passes operate on this normal form: it
+//! is what makes splitting the reduction between remotely-received and
+//! locally-held data (Section 4.1), coefficient promotion into the
+//! communication path (Section 5.7), FMA generation, and the product
+//! decomposition of degree-2 terms straightforward.  Degree 3 and above is
+//! rejected with the stable code `non-linear-degree`.
 
 use std::collections::HashMap;
 
 use wse_dialects::{arith, stencil, varith};
 use wse_ir::{IrContext, OpId, ValueId};
 
-/// One term of a stencil linear combination.
+/// One access factor of a [`Term`]: which input is read at which offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Factor {
+    /// Index of the accessed apply operand (which input temp).
+    pub input: usize,
+    /// Access offset (3-D before tensorization: `[dx, dy, dz]`).
+    pub offset: Vec<i64>,
+}
+
+/// One term of a stencil polynomial combination:
+/// `coeff · input[offset]`, or — when [`Term::factor2`] is set —
+/// `coeff · (input[offset] · factor2.input[factor2.offset])`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Term {
     /// Index of the accessed apply operand (which input temp).
@@ -22,23 +37,52 @@ pub struct Term {
     pub offset: Vec<i64>,
     /// Multiplicative coefficient.
     pub coeff: f32,
+    /// Second access factor of a degree-2 (product) term.  `None` for the
+    /// linear case.  Canonically ordered: `(input, offset) <=
+    /// (factor2.input, factor2.offset)` — f32 multiplication is bitwise
+    /// commutative, so the swap is exact and makes equal products
+    /// mergeable.
+    pub factor2: Option<Factor>,
 }
 
 impl Term {
-    /// True if the term only touches PE-local data after the z-column
-    /// decomposition (no x/y offset).
-    pub fn is_local(&self) -> bool {
-        self.offset.first().copied().unwrap_or(0) == 0
-            && self.offset.get(1).copied().unwrap_or(0) == 0
+    /// Every access factor of the term (one for linear terms, two for
+    /// products).
+    pub fn factors(&self) -> Vec<Factor> {
+        let mut factors = vec![Factor { input: self.input, offset: self.offset.clone() }];
+        if let Some(f2) = &self.factor2 {
+            factors.push(f2.clone());
+        }
+        factors
     }
 
-    /// The z-offset of the term (0 if the offset is 2-D).
+    /// The polynomial degree of the term (1 or 2).
+    pub fn degree(&self) -> usize {
+        if self.factor2.is_some() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// True if the term only touches PE-local data after the z-column
+    /// decomposition (no x/y offset on any factor).
+    pub fn is_local(&self) -> bool {
+        let local = |offset: &[i64]| {
+            offset.first().copied().unwrap_or(0) == 0 && offset.get(1).copied().unwrap_or(0) == 0
+        };
+        local(&self.offset) && self.factor2.as_ref().map(|f| local(&f.offset)).unwrap_or(true)
+    }
+
+    /// The z-offset of the term's first factor (0 if the offset is 2-D).
     pub fn dz(&self) -> i64 {
         self.offset.get(2).copied().unwrap_or(0)
     }
 }
 
-/// The linear-combination normal form of one apply result.
+/// The polynomial normal form of one apply result.  The name predates
+/// degree-2 support; with every [`Term::factor2`] `None` it is exactly the
+/// classic linear combination.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct LinearCombination {
     /// The weighted access terms.
@@ -48,7 +92,7 @@ pub struct LinearCombination {
 }
 
 impl LinearCombination {
-    /// Terms requiring remote data (non-zero x/y offset).
+    /// Terms requiring remote data (non-zero x/y offset on any factor).
     pub fn remote_terms(&self) -> Vec<&Term> {
         self.terms.iter().filter(|t| !t.is_local()).collect()
     }
@@ -58,14 +102,19 @@ impl LinearCombination {
         self.terms.iter().filter(|t| t.is_local()).collect()
     }
 
-    /// Merges terms with identical input and offset by summing their
-    /// coefficients, dropping terms whose coefficient becomes zero.
+    /// The polynomial degree of the combination (0 for pure constants).
+    pub fn degree(&self) -> usize {
+        self.terms.iter().map(Term::degree).max().unwrap_or(0)
+    }
+
+    /// Merges terms with identical factors by summing their coefficients,
+    /// dropping terms whose coefficient becomes zero.
     pub fn simplified(&self) -> LinearCombination {
         let mut merged: Vec<Term> = Vec::new();
         for term in &self.terms {
-            if let Some(existing) =
-                merged.iter_mut().find(|t| t.input == term.input && t.offset == term.offset)
-            {
+            if let Some(existing) = merged.iter_mut().find(|t| {
+                t.input == term.input && t.offset == term.offset && t.factor2 == term.factor2
+            }) {
                 existing.coeff += term.coeff;
             } else {
                 merged.push(term.clone());
@@ -79,26 +128,45 @@ impl LinearCombination {
     pub fn xy_radius(&self) -> i64 {
         self.terms
             .iter()
-            .map(|t| {
-                t.offset
+            .flat_map(Term::factors)
+            .map(|f| {
+                f.offset
                     .first()
                     .copied()
                     .unwrap_or(0)
                     .abs()
-                    .max(t.offset.get(1).copied().unwrap_or(0).abs())
+                    .max(f.offset.get(1).copied().unwrap_or(0).abs())
             })
             .max()
             .unwrap_or(0)
     }
 
-    /// The radius in z implied by the local terms.
+    /// The radius in z implied by the terms.
     pub fn z_radius(&self) -> i64 {
-        self.terms.iter().map(|t| t.dz().abs()).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .flat_map(Term::factors)
+            .map(|f| f.offset.get(2).copied().unwrap_or(0).abs())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Evaluates the combination given a resolver for `(input, offset)`.
+    /// Product terms evaluate as `coeff * (factor1 * factor2)`, matching
+    /// the engine's decomposed schedule (product first, then Mac).
     pub fn evaluate(&self, read: &impl Fn(usize, &[i64]) -> f32) -> f32 {
-        self.constant + self.terms.iter().map(|t| t.coeff * read(t.input, &t.offset)).sum::<f32>()
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|t| {
+                    let mut v = read(t.input, &t.offset);
+                    if let Some(f2) = &t.factor2 {
+                        v *= read(f2.input, &f2.offset);
+                    }
+                    t.coeff * v
+                })
+                .sum::<f32>()
     }
 }
 
@@ -107,9 +175,14 @@ impl LinearCombination {
 /// string-matching diagnostic text.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnalysisErrorKind {
-    /// The body multiplies two non-constant subexpressions
-    /// (`access * access`): outside the linear-combination normal form.
+    /// The body multiplies non-constant subexpressions in a shape outside
+    /// the supported normal form.  Degree-2 products now lower, so this
+    /// kind is reserved for non-polynomial shapes; polynomial bodies whose
+    /// degree merely exceeds the cap use [`Self::NonLinearDegree`].
     NonLinear,
+    /// The body is a polynomial of degree above the decomposition cap
+    /// (currently 2): a product of three or more accesses.
+    NonLinearDegree,
     /// The body contains an operation outside the supported set.
     UnsupportedOp,
     /// The body is structurally malformed (missing block, offset, …).
@@ -122,6 +195,7 @@ impl AnalysisErrorKind {
     pub fn code(self) -> &'static str {
         match self {
             AnalysisErrorKind::NonLinear => "non-linear",
+            AnalysisErrorKind::NonLinearDegree => "non-linear-degree",
             AnalysisErrorKind::UnsupportedOp => "unsupported-op",
             AnalysisErrorKind::Malformed => "malformed-body",
         }
@@ -219,7 +293,7 @@ pub fn analyze_apply(
                 values.insert(
                     ctx.result(op, 0),
                     Symbolic::Combination(LinearCombination {
-                        terms: vec![Term { input, offset, coeff: 1.0 }],
+                        terms: vec![Term { input, offset, coeff: 1.0, factor2: None }],
                         constant: 0.0,
                     }),
                 );
@@ -322,11 +396,55 @@ fn mul_symbolic(lhs: Symbolic, rhs: Symbolic) -> Result<Symbolic, AnalysisError>
                 constant: c.constant * k,
             }))
         }
-        _ => Err(error_kind(
-            AnalysisErrorKind::NonLinear,
-            "non-linear stencil bodies (access * access) are not supported",
-        )),
+        (Symbolic::Combination(a), Symbolic::Combination(b)) => {
+            // Distribute (sum_i t_i + ca) * (sum_j u_j + cb) into degree-2
+            // terms plus constant-scaled copies of each side.
+            let mut terms: Vec<Term> = Vec::new();
+            for ta in &a.terms {
+                for tb in &b.terms {
+                    terms.push(product_term(ta, tb)?);
+                }
+            }
+            if b.constant != 0.0 {
+                terms.extend(
+                    a.terms.iter().map(|t| Term { coeff: t.coeff * b.constant, ..t.clone() }),
+                );
+            }
+            if a.constant != 0.0 {
+                terms.extend(
+                    b.terms.iter().map(|t| Term { coeff: t.coeff * a.constant, ..t.clone() }),
+                );
+            }
+            Ok(Symbolic::Combination(LinearCombination {
+                terms,
+                constant: a.constant * b.constant,
+            }))
+        }
     }
+}
+
+/// Multiplies two terms into one degree-2 term with canonically ordered
+/// factors.  Errors with [`AnalysisErrorKind::NonLinearDegree`] when either
+/// operand is already degree 2 (the resulting degree would exceed the cap).
+fn product_term(a: &Term, b: &Term) -> Result<Term, AnalysisError> {
+    if a.factor2.is_some() || b.factor2.is_some() {
+        return Err(error_kind(
+            AnalysisErrorKind::NonLinearDegree,
+            "stencil body has polynomial degree above 2; only products of two accesses lower",
+        ));
+    }
+    let fa = Factor { input: a.input, offset: a.offset.clone() };
+    let fb = Factor { input: b.input, offset: b.offset.clone() };
+    // f32 multiplication is bitwise commutative, so ordering the factors is
+    // exact and canonicalizes a*b and b*a into one mergeable term.
+    let (first, second) =
+        if (fa.input, &fa.offset) <= (fb.input, &fb.offset) { (fa, fb) } else { (fb, fa) };
+    Ok(Term {
+        input: first.input,
+        offset: first.offset,
+        coeff: a.coeff * b.coeff,
+        factor2: Some(second),
+    })
 }
 
 #[cfg(test)]
@@ -386,8 +504,8 @@ mod tests {
     fn evaluation_matches_manual_sum() {
         let combo = LinearCombination {
             terms: vec![
-                Term { input: 0, offset: vec![1, 0, 0], coeff: 0.5 },
-                Term { input: 0, offset: vec![0, 0, 0], coeff: 0.25 },
+                Term { input: 0, offset: vec![1, 0, 0], coeff: 0.5, factor2: None },
+                Term { input: 0, offset: vec![0, 0, 0], coeff: 0.25, factor2: None },
             ],
             constant: 1.0,
         };
@@ -399,9 +517,9 @@ mod tests {
     fn simplification_removes_cancelling_terms() {
         let combo = LinearCombination {
             terms: vec![
-                Term { input: 0, offset: vec![0, 0, 0], coeff: 1.0 },
-                Term { input: 0, offset: vec![0, 0, 0], coeff: -1.0 },
-                Term { input: 0, offset: vec![1, 0, 0], coeff: 2.0 },
+                Term { input: 0, offset: vec![0, 0, 0], coeff: 1.0, factor2: None },
+                Term { input: 0, offset: vec![0, 0, 0], coeff: -1.0, factor2: None },
+                Term { input: 0, offset: vec![1, 0, 0], coeff: 2.0, factor2: None },
             ],
             constant: 0.0,
         };
@@ -410,8 +528,75 @@ mod tests {
         assert_eq!(simplified.terms[0].coeff, 2.0);
     }
 
+    /// Builds an apply whose body multiplies `degree` accesses of one input
+    /// together and returns the product.
+    fn product_apply(ctx: &mut IrContext, degree: usize) -> OpId {
+        use wse_dialects::{arith, builtin};
+        use wse_ir::{OpBuilder, Type};
+        let (_m, body) = builtin::module(ctx);
+        let bounds = stencil::Bounds::new(vec![0, 0, 0], vec![4, 4, 4]);
+        let temp_ty = stencil::temp_type(&bounds, Type::f32());
+        let mut b = OpBuilder::at_end(ctx, body);
+        let input = b.insert_value(wse_ir::OpSpec::new("tensor.empty").results([temp_ty.clone()]));
+        let (apply, blk) = stencil::build_apply(&mut b, vec![input], vec![temp_ty]);
+        let arg = ctx.block_args(blk)[0];
+        let mut ab = OpBuilder::at_end(ctx, blk);
+        let mut value = stencil::access(&mut ab, arg, &[0, 0, 0], Type::f32());
+        for i in 1..degree {
+            let next = stencil::access(&mut ab, arg, &[i as i64, 0, 0], Type::f32());
+            value = arith::mulf(&mut ab, value, next);
+        }
+        stencil::build_return(ctx, blk, vec![value]);
+        apply
+    }
+
     #[test]
-    fn non_linear_body_is_rejected() {
+    fn product_of_two_accesses_is_a_degree_two_term() {
+        let mut ctx = IrContext::new();
+        let apply = product_apply(&mut ctx, 2);
+        let combos = analyze_apply(&ctx, apply).unwrap();
+        assert_eq!(combos.len(), 1);
+        let combo = &combos[0];
+        assert_eq!(combo.terms.len(), 1);
+        assert_eq!(combo.degree(), 2);
+        let term = &combo.terms[0];
+        assert_eq!(term.coeff, 1.0);
+        assert_eq!(term.offset, vec![0, 0, 0]);
+        assert_eq!(
+            term.factor2,
+            Some(Factor { input: 0, offset: vec![1, 0, 0] }),
+            "second access becomes the canonical second factor"
+        );
+        assert_eq!(combo.xy_radius(), 1, "radius accounts for the second factor");
+    }
+
+    #[test]
+    fn commuted_products_merge_via_canonical_factor_order() {
+        // a[1,0,0]*a[0,0,0] + a[0,0,0]*a[1,0,0] must merge into one term
+        // with coefficient 2.
+        let a = Term { input: 0, offset: vec![1, 0, 0], coeff: 1.0, factor2: None };
+        let b = Term { input: 0, offset: vec![0, 0, 0], coeff: 1.0, factor2: None };
+        let ab = product_term(&a, &b).unwrap();
+        let ba = product_term(&b, &a).unwrap();
+        assert_eq!(ab, ba);
+        let combo = LinearCombination { terms: vec![ab, ba], constant: 0.0 }.simplified();
+        assert_eq!(combo.terms.len(), 1);
+        assert_eq!(combo.terms[0].coeff, 2.0);
+    }
+
+    #[test]
+    fn degree_three_body_is_rejected_with_degree_code_and_op() {
+        let mut ctx = IrContext::new();
+        let apply = product_apply(&mut ctx, 3);
+        let err = analyze_apply(&ctx, apply).unwrap_err();
+        assert_eq!(err.kind, AnalysisErrorKind::NonLinearDegree);
+        assert_eq!(err.kind.code(), "non-linear-degree");
+        let op = err.op.expect("degree error points at the offending op");
+        assert_eq!(ctx.op_name(op), arith::MULF, "the mulf that exceeded the cap is blamed");
+    }
+
+    #[test]
+    fn degree_three_nested_under_adds_blames_the_inner_mulf() {
         use wse_dialects::{arith, builtin};
         use wse_ir::{OpBuilder, Type};
         let mut ctx = IrContext::new();
@@ -423,11 +608,19 @@ mod tests {
         let (apply, blk) = stencil::build_apply(&mut b, vec![input], vec![temp_ty]);
         let arg = ctx.block_args(blk)[0];
         let mut ab = OpBuilder::at_end(&mut ctx, blk);
-        let a = stencil::access(&mut ab, arg, &[0, 0, 0], Type::f32());
-        let c = stencil::access(&mut ab, arg, &[1, 0, 0], Type::f32());
-        let prod = arith::mulf(&mut ab, a, c);
-        stencil::build_return(&mut ctx, blk, vec![prod]);
+        // (a0 + a0*a1*a2) + a1 — the cubic product hides under two adds.
+        let a0 = stencil::access(&mut ab, arg, &[0, 0, 0], Type::f32());
+        let a1 = stencil::access(&mut ab, arg, &[1, 0, 0], Type::f32());
+        let a2 = stencil::access(&mut ab, arg, &[0, 1, 0], Type::f32());
+        let p2 = arith::mulf(&mut ab, a0, a1);
+        let p3 = arith::mulf(&mut ab, p2, a2);
+        let s = arith::addf(&mut ab, a0, p3);
+        let r = arith::addf(&mut ab, s, a1);
+        stencil::build_return(&mut ctx, blk, vec![r]);
         let err = analyze_apply(&ctx, apply).unwrap_err();
-        assert!(err.message.contains("non-linear"));
+        assert_eq!(err.kind, AnalysisErrorKind::NonLinearDegree);
+        let op = err.op.expect("degree error points at the offending op");
+        assert_eq!(op, ctx.defining_op(p3).expect("p3 is an op result"));
+        assert!(err.message.contains(arith::MULF), "message names the offending op");
     }
 }

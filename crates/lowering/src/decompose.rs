@@ -1,6 +1,10 @@
 //! Group 1 transformations: decomposition and data dependencies
 //! (Section 5.1 of the paper).
 //!
+//! * `decompose-products` rewrites degree-2 (product) terms of polynomial
+//!   stencil bodies into explicit elementwise-product applies over fresh
+//!   internal scratch fields, so every apply the rest of the pipeline sees
+//!   is either linear or a bare two-factor product.
 //! * `distribute-stencil` decomposes the x/y dimensions across the WSE's
 //!   2-D grid of PEs and inserts `dmp.swap` operations describing the halo
 //!   exchanges each `stencil.apply` requires.
@@ -12,12 +16,18 @@ use std::collections::HashMap;
 
 use wse_dialects::dmp::{Exchange, Topology};
 use wse_dialects::{arith, dmp, stencil, tensor};
-use wse_ir::{Attribute, FloatBits, IrContext, OpBuilder, OpId, Pass, PassResult, Type, ValueId};
+use wse_ir::{
+    Attribute, FloatBits, IrContext, OpBuilder, OpId, Pass, PassError, PassResult, Type, ValueId,
+};
 
-use crate::analysis::{analyze_apply, LinearCombination};
+use crate::analysis::{analyze_apply, Factor, LinearCombination, Term};
+use crate::opt_passes::{add_internal_field, emit_combination_body, enclosing_func};
 
-/// Encodes linear combinations as an attribute so later passes can reuse
-/// the analysis without re-deriving it from a rewritten body.
+/// Encodes polynomial combinations as an attribute so later passes can
+/// reuse the analysis without re-deriving it from a rewritten body.  Each
+/// term is `[input, offset, coeff]`, extended with `[input2, offset2]` for
+/// degree-2 product terms (the shorter form stays valid for linear terms,
+/// keeping the encoding backward compatible).
 pub fn combinations_to_attr(combos: &[LinearCombination]) -> Attribute {
     Attribute::Array(
         combos
@@ -26,11 +36,16 @@ pub fn combinations_to_attr(combos: &[LinearCombination]) -> Attribute {
                 Attribute::Array(
                     std::iter::once(Attribute::f32(combo.constant))
                         .chain(combo.terms.iter().map(|t| {
-                            Attribute::Array(vec![
+                            let mut parts = vec![
                                 Attribute::int(t.input as i64),
                                 Attribute::IndexArray(t.offset.clone()),
                                 Attribute::f32(t.coeff),
-                            ])
+                            ];
+                            if let Some(f2) = &t.factor2 {
+                                parts.push(Attribute::int(f2.input as i64));
+                                parts.push(Attribute::IndexArray(f2.offset.clone()));
+                            }
+                            Attribute::Array(parts)
                         }))
                         .collect(),
                 )
@@ -39,7 +54,7 @@ pub fn combinations_to_attr(combos: &[LinearCombination]) -> Attribute {
     )
 }
 
-/// Decodes linear combinations from their attribute form.
+/// Decodes polynomial combinations from their attribute form.
 pub fn combinations_from_attr(attr: &Attribute) -> Option<Vec<LinearCombination>> {
     let combos = attr.as_array()?;
     let mut out = Vec::new();
@@ -49,10 +64,18 @@ pub fn combinations_from_attr(attr: &Attribute) -> Option<Vec<LinearCombination>
         let mut terms = Vec::new();
         for item in &items[1..] {
             let parts = item.as_array()?;
+            let factor2 = match parts.get(3) {
+                Some(input2) => Some(Factor {
+                    input: input2.as_int()? as usize,
+                    offset: parts.get(4)?.as_index_array()?.to_vec(),
+                }),
+                None => None,
+            };
             terms.push(crate::analysis::Term {
                 input: parts.first()?.as_int()? as usize,
                 offset: parts.get(1)?.as_index_array()?.to_vec(),
                 coeff: parts.get(2)?.as_float()? as f32,
+                factor2,
             });
         }
         out.push(LinearCombination { terms, constant });
@@ -69,9 +92,9 @@ pub const COMBINATIONS_ATTR: &str = "stencil_terms";
 pub fn exchanges_for(combos: &[LinearCombination]) -> Vec<Exchange> {
     let mut widths = [0i64; 4]; // +x, -x, +y, -y
     for combo in combos {
-        for term in &combo.terms {
-            let dx = term.offset.first().copied().unwrap_or(0);
-            let dy = term.offset.get(1).copied().unwrap_or(0);
+        for factor in combo.terms.iter().flat_map(crate::analysis::Term::factors) {
+            let dx = factor.offset.first().copied().unwrap_or(0);
+            let dy = factor.offset.get(1).copied().unwrap_or(0);
             if dx > 0 {
                 widths[0] = widths[0].max(dx);
             }
@@ -105,6 +128,182 @@ pub fn exchanges_for(combos: &[LinearCombination]) -> Vec<Exchange> {
 }
 
 // --------------------------------------------------------------------------
+// decompose-products
+// --------------------------------------------------------------------------
+
+/// Rewrites polynomial stencil bodies into linear ones by hoisting every
+/// degree-2 term `coeff · a[off_a] · b[off_b]` into its own *product
+/// apply* — a bare `a[off_a] * b[off_b]` stored to a fresh internal
+/// scratch field — and replacing the term with `coeff · product[0]` in the
+/// consumer.  Downstream, the product apply lowers to an elementwise Mul
+/// kernel and the consumer stays on the existing linear Mac path; the
+/// scratch fields ride the `internal_fields` plumbing, so they are real PE
+/// buffers but not observable program state.
+///
+/// Applies whose analysis *fails* (degree > 2, unsupported ops) are left
+/// untouched: the error keeps surfacing at `distribute-stencil` with its
+/// own stable code.  Applies that already *are* bare products pass through
+/// unchanged — they need no scratch field.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DecomposeProducts;
+
+/// True for the shape a product apply itself has: one result computing a
+/// single unit-coefficient degree-2 term.  The actor lowering consumes
+/// this shape directly as an elementwise-product kernel.
+pub fn is_bare_product(combos: &[LinearCombination]) -> bool {
+    combos.len() == 1
+        && combos[0].constant == 0.0
+        && combos[0].terms.len() == 1
+        && combos[0].terms[0].coeff == 1.0
+        && combos[0].terms[0].factor2.is_some()
+}
+
+impl Pass for DecomposeProducts {
+    fn name(&self) -> &str {
+        "decompose-products"
+    }
+
+    fn run(&self, ctx: &mut IrContext, module: OpId) -> PassResult {
+        for apply in ctx.walk_named(module, stencil::APPLY) {
+            let Ok(combos) = analyze_apply(ctx, apply) else { continue };
+            if combos.iter().all(|c| c.degree() < 2) || is_bare_product(&combos) {
+                continue;
+            }
+            decompose_apply(ctx, apply, &combos)
+                .map_err(|m| PassError::new(self.name(), m).with_code("malformed-body"))?;
+        }
+        Ok(())
+    }
+}
+
+/// The first `stencil.store` consuming one of the apply's results.
+fn first_store_of(ctx: &IrContext, apply: OpId) -> Option<OpId> {
+    ctx.results(apply)
+        .iter()
+        .flat_map(|&r| ctx.uses_of(r))
+        .find(|(op, idx)| ctx.op_name(*op) == stencil::STORE && *idx == 0)
+        .map(|(store, _)| store)
+}
+
+/// The `field_names` entry for a kernel entry-block argument.
+fn field_arg_name(ctx: &IrContext, func_op: OpId, value: ValueId) -> Option<String> {
+    let entry = wse_dialects::func::func_body(ctx, func_op)?;
+    let idx = ctx.block_args(entry).iter().position(|&a| a == value)?;
+    ctx.attr(func_op, "field_names")
+        .and_then(Attribute::as_array)?
+        .get(idx)?
+        .as_str()
+        .map(str::to_string)
+}
+
+/// Splits every degree-2 term of `apply` out into a product apply + scratch
+/// store, then rebuilds `apply` with the now-linear combinations.
+fn decompose_apply(
+    ctx: &mut IrContext,
+    apply: OpId,
+    combos: &[LinearCombination],
+) -> Result<(), String> {
+    let func_op = enclosing_func(ctx, apply).ok_or("apply is not inside a kernel function")?;
+    let operands = ctx.operands(apply).to_vec();
+    let results = ctx.results(apply).to_vec();
+    let consumer_store = first_store_of(ctx, apply);
+
+    // Store bounds for the scratch fields: the consumer's own store when it
+    // has one, else the bounds encoded in its result temp type.
+    let bounds = consumer_store
+        .and_then(|store| stencil::store_bounds(ctx, store))
+        .or_else(|| stencil::type_bounds(ctx.value_type(results[0])))
+        .ok_or("cannot derive store bounds for product scratch fields")?;
+    let rank = bounds.rank();
+
+    // Scratch fields clone the storage type (and base name) of the field
+    // the consumer writes, falling back to a halo-free field over the
+    // consumer bounds — the product is only ever read at offset zero.
+    let store_target = consumer_store.map(|store| ctx.operand(store, 1));
+    let scratch_ty = store_target
+        .map(|f| ctx.value_type(f).clone())
+        .unwrap_or_else(|| stencil::field_type(&bounds, Type::f32()));
+    let base_name = store_target
+        .and_then(|f| field_arg_name(ctx, func_op, f))
+        .unwrap_or_else(|| "t".to_string());
+
+    // A distinct factor pair: (input a, offset a, input b, offset b).
+    type FactorPair = (usize, Vec<i64>, usize, Vec<i64>);
+    let mut new_operands = operands.clone();
+    let mut new_combos: Vec<LinearCombination> = Vec::new();
+    // One scratch field per distinct factor pair of this apply.
+    let mut made: Vec<(FactorPair, usize)> = Vec::new();
+    for combo in combos {
+        let mut terms = Vec::new();
+        for term in &combo.terms {
+            let Some(f2) = &term.factor2 else {
+                terms.push(term.clone());
+                continue;
+            };
+            let key = (term.input, term.offset.clone(), f2.input, f2.offset.clone());
+            let pos = match made.iter().find(|(k, _)| *k == key) {
+                Some((_, pos)) => *pos,
+                None => {
+                    let src_a = operands[term.input];
+                    let src_b = operands[f2.input];
+                    let (prod_operands, ia, ib) = if src_a == src_b {
+                        (vec![src_a], 0, 0)
+                    } else {
+                        (vec![src_a, src_b], 0, 1)
+                    };
+                    let (scratch_arg, _) =
+                        add_internal_field(ctx, func_op, scratch_ty.clone(), |n| {
+                            format!("{base_name}__prod{n}")
+                        })?;
+                    let temp_ty = stencil::temp_type(&bounds, Type::f32());
+                    let mut b = OpBuilder::before(ctx, apply);
+                    let (prod, body) = stencil::build_apply(&mut b, prod_operands, vec![temp_ty]);
+                    emit_combination_body(
+                        ctx,
+                        body,
+                        &[LinearCombination {
+                            terms: vec![Term {
+                                input: ia,
+                                offset: term.offset.clone(),
+                                coeff: 1.0,
+                                factor2: Some(Factor { input: ib, offset: f2.offset.clone() }),
+                            }],
+                            constant: 0.0,
+                        }],
+                    );
+                    let result = ctx.result(prod, 0);
+                    let mut b = OpBuilder::after(ctx, prod);
+                    stencil::store(&mut b, result, scratch_arg, &bounds);
+                    new_operands.push(result);
+                    let pos = new_operands.len() - 1;
+                    made.push((key, pos));
+                    pos
+                }
+            };
+            terms.push(Term {
+                input: pos,
+                offset: vec![0; rank],
+                coeff: term.coeff,
+                factor2: None,
+            });
+        }
+        new_combos.push(LinearCombination { terms, constant: combo.constant }.simplified());
+    }
+
+    // Rebuild the consumer linearly over the extended operand list.
+    let result_types: Vec<Type> = results.iter().map(|&r| ctx.value_type(r).clone()).collect();
+    let mut b = OpBuilder::before(ctx, apply);
+    let (new_apply, body) = stencil::build_apply(&mut b, new_operands, result_types);
+    emit_combination_body(ctx, body, &new_combos);
+    let new_results = ctx.results(new_apply).to_vec();
+    for (&old, &new) in results.iter().zip(&new_results) {
+        ctx.replace_all_uses(old, new);
+    }
+    ctx.erase_op(apply);
+    Ok(())
+}
+
+// --------------------------------------------------------------------------
 // distribute-stencil
 // --------------------------------------------------------------------------
 
@@ -132,11 +331,18 @@ impl Pass for DistributeStencil {
             if exchanges.is_empty() {
                 continue;
             }
-            // Operands that are accessed remotely get a dmp.swap.
+            // Operands that are accessed remotely get a dmp.swap.  An input
+            // counts as remote when *any factor* reads it at a non-zero x/y
+            // offset.
             let remote_inputs: Vec<usize> = {
                 let mut v: Vec<usize> = combos
                     .iter()
-                    .flat_map(|c| c.remote_terms().into_iter().map(|t| t.input))
+                    .flat_map(|c| c.terms.iter().flat_map(crate::analysis::Term::factors))
+                    .filter(|f| {
+                        f.offset.first().copied().unwrap_or(0) != 0
+                            || f.offset.get(1).copied().unwrap_or(0) != 0
+                    })
+                    .map(|f| f.input)
                     .collect();
                 v.sort_unstable();
                 v.dedup();
@@ -299,17 +505,27 @@ fn regenerate_tensorized_body(
     for combo in combos {
         let mut acc: Option<ValueId> = None;
         for term in &combo.terms {
-            let dx = term.offset.first().copied().unwrap_or(0);
-            let dy = term.offset.get(1).copied().unwrap_or(0);
-            let dz = term.offset.get(2).copied().unwrap_or(0);
-            let column_storage_ty = b.ctx_ref().value_type(args[term.input]).clone();
-            let storage_elem = stencil::type_element(&column_storage_ty)
-                .unwrap_or_else(|| Type::tensor(vec![z_interior + 2 * z_halo], Type::f32()));
-            // The operand's own z halo (forwarded interior temps have none).
-            let elem_len = storage_elem.shape().map(|s| s[0]).unwrap_or(z_interior);
-            let own_halo = (elem_len - z_interior) / 2;
-            let access = stencil::access(&mut b, args[term.input], &[dx, dy], storage_elem);
-            let window = tensor::extract_slice(&mut b, access, own_halo + dz, z_interior);
+            // One windowed read per factor; degree-2 terms multiply their
+            // two windows before the coefficient is applied.
+            let mut value: Option<ValueId> = None;
+            for factor in term.factors() {
+                let dx = factor.offset.first().copied().unwrap_or(0);
+                let dy = factor.offset.get(1).copied().unwrap_or(0);
+                let dz = factor.offset.get(2).copied().unwrap_or(0);
+                let column_storage_ty = b.ctx_ref().value_type(args[factor.input]).clone();
+                let storage_elem = stencil::type_element(&column_storage_ty)
+                    .unwrap_or_else(|| Type::tensor(vec![z_interior + 2 * z_halo], Type::f32()));
+                // The operand's own z halo (forwarded interior temps have none).
+                let elem_len = storage_elem.shape().map(|s| s[0]).unwrap_or(z_interior);
+                let own_halo = (elem_len - z_interior) / 2;
+                let access = stencil::access(&mut b, args[factor.input], &[dx, dy], storage_elem);
+                let window = tensor::extract_slice(&mut b, access, own_halo + dz, z_interior);
+                value = Some(match value {
+                    Some(prev) => arith::mulf(&mut b, prev, window),
+                    None => window,
+                });
+            }
+            let window = value.expect("term has at least one factor");
             let coeff = arith::constant_f32(&mut b, term.coeff, column_ty.clone());
             let scaled = arith::mulf(&mut b, window, coeff);
             acc = Some(match acc {
@@ -352,8 +568,36 @@ mod tests {
     #[test]
     fn combination_attr_roundtrip() {
         let combos = vec![LinearCombination {
-            terms: vec![crate::analysis::Term { input: 1, offset: vec![1, 0, -2], coeff: 0.25 }],
+            terms: vec![crate::analysis::Term {
+                input: 1,
+                offset: vec![1, 0, -2],
+                coeff: 0.25,
+                factor2: None,
+            }],
             constant: 0.5,
+        }];
+        let attr = combinations_to_attr(&combos);
+        assert_eq!(combinations_from_attr(&attr), Some(combos));
+    }
+
+    #[test]
+    fn product_term_attr_roundtrip() {
+        let combos = vec![LinearCombination {
+            terms: vec![
+                crate::analysis::Term {
+                    input: 0,
+                    offset: vec![0, 0, 0],
+                    coeff: -0.5,
+                    factor2: Some(Factor { input: 1, offset: vec![1, 0, -1] }),
+                },
+                crate::analysis::Term {
+                    input: 1,
+                    offset: vec![0, 1, 0],
+                    coeff: 2.0,
+                    factor2: None,
+                },
+            ],
+            constant: 0.0,
         }];
         let attr = combinations_to_attr(&combos);
         assert_eq!(combinations_from_attr(&attr), Some(combos));

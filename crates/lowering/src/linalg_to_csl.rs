@@ -26,6 +26,14 @@ impl Pass for LinalgFuseMultiplyAdd {
             if !ctx.op_is_live(mul) {
                 continue;
             }
+            // Only coefficient muls fuse.  A data×data multiply (product
+            // kernels from `decompose-products`) must stay a plain
+            // `@fmuls`: the fmac fallback lowering squares through its
+            // second operand in place, which is destructive when that
+            // operand is a live field column rather than a splat buffer.
+            if ctx.attr(mul, "coefficient").is_none() {
+                continue;
+            }
             let Some(block) = ctx.parent_block(mul) else { continue };
             let Some(index) = ctx.op_index_in_block(mul) else { continue };
             let Some(&add) = ctx.block_ops(block).get(index + 1) else { continue };

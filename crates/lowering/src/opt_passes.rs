@@ -227,6 +227,15 @@ fn fusion_plan(ctx: &IrContext, producer: OpId, consumer: OpId) -> FusionPlan {
     if p_idx >= c_idx {
         return FusionPlan::Unsafe;
     }
+    // Nonlinear bodies belong to decompose-products, not fusion:
+    // substituting a producer combination into a product factor (or fusing
+    // a degree-2 producer) would raise the polynomial degree past the cap.
+    // Analysis *errors* are also left alone so they keep surfacing at
+    // distribute-stencil with their own code instead of failing this pass.
+    let linear = |apply: OpId| matches!(analyze_apply(ctx, apply), Ok(combos) if combos.iter().all(|c| c.degree() < 2));
+    if !linear(producer) || !linear(consumer) {
+        return FusionPlan::Unsafe;
+    }
     let p_stores = stores_of(ctx, producer);
     let s_p: Vec<ValueId> = p_stores.iter().map(|&(_, f)| f).collect();
     let r_p: Vec<ValueId> =
@@ -356,7 +365,7 @@ fn backing_field(ctx: &IrContext, value: ValueId) -> Option<ValueId> {
 }
 
 /// The `func.func` ancestor of an op.
-fn enclosing_func(ctx: &IrContext, op: OpId) -> Option<OpId> {
+pub(crate) fn enclosing_func(ctx: &IrContext, op: OpId) -> Option<OpId> {
     let mut current = op;
     loop {
         if ctx.op_name(current) == func::FUNC {
@@ -364,6 +373,55 @@ fn enclosing_func(ctx: &IrContext, op: OpId) -> Option<OpId> {
         }
         current = ctx.parent_op(current)?;
     }
+}
+
+/// Appends a fresh *internal* field argument to a kernel function: a new
+/// entry block argument of `field_ty`, registered in `field_names`, in the
+/// [`INTERNAL_FIELDS_ATTR`] list and in the function type.  `make_name`
+/// receives the current internal-field count so callers can mint unique
+/// names.  Returns the new argument and its name.  Shared by the inliner's
+/// double-buffer renaming and by `decompose-products` scratch fields.
+pub(crate) fn add_internal_field(
+    ctx: &mut IrContext,
+    func_op: OpId,
+    field_ty: Type,
+    make_name: impl FnOnce(usize) -> String,
+) -> Result<(ValueId, String), String> {
+    let entry = func::func_body(ctx, func_op).ok_or("kernel function has no body")?;
+    let mut field_names: Vec<String> = ctx
+        .attr(func_op, "field_names")
+        .and_then(Attribute::as_array)
+        .map(|a| a.iter().filter_map(|x| x.as_str().map(str::to_string)).collect())
+        .unwrap_or_default();
+    let mut internal: Vec<String> = ctx
+        .attr(func_op, INTERNAL_FIELDS_ATTR)
+        .and_then(Attribute::as_array)
+        .map(|a| a.iter().filter_map(|x| x.as_str().map(str::to_string)).collect())
+        .unwrap_or_default();
+    let name = make_name(internal.len());
+    let new_arg = ctx.add_block_arg(entry, field_ty.clone());
+    while field_names.len() < ctx.block_args(entry).len() - 1 {
+        field_names.push(format!("field{}", field_names.len()));
+    }
+    field_names.push(name.clone());
+    internal.push(name.clone());
+    ctx.set_attr(
+        func_op,
+        "field_names",
+        Attribute::Array(field_names.into_iter().map(Attribute::str).collect()),
+    );
+    ctx.set_attr(
+        func_op,
+        INTERNAL_FIELDS_ATTR,
+        Attribute::Array(internal.into_iter().map(Attribute::str).collect()),
+    );
+    if let Some(Type::Function { mut inputs, results }) =
+        ctx.attr(func_op, "function_type").and_then(Attribute::as_type).cloned()
+    {
+        inputs.push(field_ty);
+        ctx.set_attr(func_op, "function_type", Attribute::Type(Type::Function { inputs, results }));
+    }
+    Ok((new_arg, name))
 }
 
 /// Renames the target of `store` into a fresh double-buffer field: a new
@@ -386,42 +444,14 @@ fn double_buffer_store(ctx: &mut IrContext, store: OpId) -> Result<(), String> {
         .ok_or("store target is not a kernel field argument")?;
 
     // Fresh field argument named after the original field.
-    let mut field_names: Vec<String> = ctx
+    let base_name = ctx
         .attr(func_op, "field_names")
         .and_then(Attribute::as_array)
-        .map(|a| a.iter().filter_map(|x| x.as_str().map(str::to_string)).collect())
-        .unwrap_or_default();
-    let base_name =
-        field_names.get(arg_index).cloned().unwrap_or_else(|| format!("field{arg_index}"));
-    let mut internal: Vec<String> = ctx
-        .attr(func_op, INTERNAL_FIELDS_ATTR)
-        .and_then(Attribute::as_array)
-        .map(|a| a.iter().filter_map(|x| x.as_str().map(str::to_string)).collect())
-        .unwrap_or_default();
-    let name = format!("{base_name}__dbuf{}", internal.len());
+        .and_then(|a| a.get(arg_index).and_then(|x| x.as_str().map(str::to_string)))
+        .unwrap_or_else(|| format!("field{arg_index}"));
     let field_ty = ctx.value_type(field).clone();
-    let new_arg = ctx.add_block_arg(entry, field_ty.clone());
-    while field_names.len() < ctx.block_args(entry).len() - 1 {
-        field_names.push(format!("field{}", field_names.len()));
-    }
-    field_names.push(name.clone());
-    internal.push(name);
-    ctx.set_attr(
-        func_op,
-        "field_names",
-        Attribute::Array(field_names.into_iter().map(Attribute::str).collect()),
-    );
-    ctx.set_attr(
-        func_op,
-        INTERNAL_FIELDS_ATTR,
-        Attribute::Array(internal.into_iter().map(Attribute::str).collect()),
-    );
-    if let Some(Type::Function { mut inputs, results }) =
-        ctx.attr(func_op, "function_type").and_then(Attribute::as_type).cloned()
-    {
-        inputs.push(field_ty);
-        ctx.set_attr(func_op, "function_type", Attribute::Type(Type::Function { inputs, results }));
-    }
+    let (new_arg, _) =
+        add_internal_field(ctx, func_op, field_ty, |n| format!("{base_name}__dbuf{n}"))?;
 
     // Retarget the write.
     let temp = ctx.operand(store, 0);
@@ -482,7 +512,7 @@ fn double_buffer_store(ctx: &mut IrContext, store: OpId) -> Result<(), String> {
             ctx,
             body,
             &[LinearCombination {
-                terms: vec![Term { input: 0, offset: vec![0; rank], coeff: 1.0 }],
+                terms: vec![Term { input: 0, offset: vec![0; rank], coeff: 1.0, factor2: None }],
                 constant: 0.0,
             }],
         );
@@ -544,10 +574,13 @@ fn fuse_applies(
                             .zip(term.offset.iter().chain(std::iter::repeat(&0)))
                             .map(|(a, b)| a + b)
                             .collect();
+                        // Both sides are linear here (fusion_plan refuses
+                        // nonlinear pairs), so no factor2 to propagate.
                         terms.push(Term {
                             input: inner.input,
                             offset,
                             coeff: inner.coeff * term.coeff,
+                            factor2: None,
                         });
                     }
                     constant += term.coeff * producer_combos[*res_idx].constant;
@@ -646,7 +679,8 @@ enum OperandSource {
     ProducerResult(usize),
 }
 
-/// Emits the scalar body of a `stencil.apply` from linear combinations.
+/// Emits the scalar body of a `stencil.apply` from polynomial combinations
+/// (degree-2 terms multiply their two accesses before the coefficient).
 pub fn emit_combination_body(
     ctx: &mut IrContext,
     body: wse_ir::BlockId,
@@ -659,8 +693,15 @@ pub fn emit_combination_body(
         let mut acc: Option<ValueId> = None;
         for term in &combo.terms {
             let access = stencil::access(&mut b, args[term.input], &term.offset, Type::f32());
+            let value = match &term.factor2 {
+                Some(f2) => {
+                    let access2 = stencil::access(&mut b, args[f2.input], &f2.offset, Type::f32());
+                    arith::mulf(&mut b, access, access2)
+                }
+                None => access,
+            };
             let coeff = arith::constant_f32(&mut b, term.coeff, Type::f32());
-            let scaled = arith::mulf(&mut b, access, coeff);
+            let scaled = arith::mulf(&mut b, value, coeff);
             acc = Some(match acc {
                 Some(prev) => arith::addf(&mut b, prev, scaled),
                 None => scaled,

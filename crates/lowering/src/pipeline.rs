@@ -9,7 +9,7 @@ use wse_csl::{print_csl, CommsLibraryConfig, CslSources};
 use wse_frontends::{emit_stencil_ir_into, StencilProgram};
 use wse_ir::{IrContext, OpId, PassError, PassManager};
 
-use crate::decompose::{DistributeStencil, TensorizeZ};
+use crate::decompose::{DecomposeProducts, DistributeStencil, TensorizeZ};
 use crate::linalg_to_csl::{ConvertLinalgToCsl, LinalgFuseMultiplyAdd};
 use crate::opt_passes::{ConvertArithToVarith, StencilInlining, VarithFuseRepeatedOperands};
 use crate::to_actors::{LowerCslStencilToActors, LowerCslWrapperToCsl};
@@ -116,6 +116,7 @@ pub fn build_pass_manager(program: &StencilProgram, options: &PipelineOptions) -
         pm.add_pass(Box::new(ConvertArithToVarith));
         pm.add_pass(Box::new(VarithFuseRepeatedOperands));
     }
+    pm.add_pass(Box::new(DecomposeProducts));
     pm.add_pass(Box::new(DistributeStencil { width, height }));
     pm.add_pass(Box::new(TensorizeZ));
     pm.add_pass(Box::new(ConvertStencilToCslStencil {
@@ -264,6 +265,79 @@ mod tests {
         assert_eq!(WseTarget::Wse2.name(), "WSE2");
         assert!(WseTarget::Wse2.requires_self_transmit());
         assert!(!WseTarget::Wse3.requires_self_transmit());
+    }
+
+    fn burgers_program() -> wse_frontends::StencilProgram {
+        use wse_frontends::ast::{Expr, Frontend, GridSpec, StencilEquation, StencilProgram};
+        // 1-D Burgers-style advection: u -= c·u·(u - u[x-1]) plus a
+        // diffusive linear part.
+        let expr = Expr::center("u")
+            + (Expr::center("u") * (Expr::center("u") - Expr::at("u", -1, 0, 0))).scale(-0.2)
+            + (Expr::at("u", 1, 0, 0) - Expr::center("u")).scale(0.05);
+        let program = StencilProgram {
+            name: "burgers".into(),
+            frontend: Frontend::Csl,
+            grid: GridSpec::new(4, 4, 6),
+            fields: vec!["u".into()],
+            equations: vec![StencilEquation::new("u", expr)],
+            timesteps: 3,
+            source: String::new(),
+        };
+        program.validate().expect("valid test program");
+        program
+    }
+
+    #[test]
+    fn nonlinear_program_lowers_end_to_end() {
+        let options =
+            PipelineOptions { verify_each: true, num_chunks: 2, ..PipelineOptions::default() };
+        let lowered = lower_program(&burgers_program(), &options).unwrap();
+        let errors = verify(&lowered.ctx, lowered.module, &wse_csl::register_all());
+        assert!(errors.is_empty(), "verification failed: {errors:?}");
+        // The decomposition introduced internal scratch fields for the
+        // products, excluded from observable state.
+        let program_module = lowered
+            .ctx
+            .walk_named(lowered.module, csl::MODULE)
+            .into_iter()
+            .find(|&m| lowered.ctx.attr_int(m, "z_dim").is_some())
+            .expect("program module");
+        let internal = lowered
+            .ctx
+            .attr(program_module, crate::opt_passes::INTERNAL_FIELDS_ATTR)
+            .and_then(wse_ir::Attribute::as_array)
+            .map(|a| a.len())
+            .unwrap_or(0);
+        assert!(internal >= 1, "product scratch fields must be internal");
+        // The data×data multiply survives fmac fusion as a plain @fmuls
+        // without a coefficient annotation.
+        let product_muls = lowered
+            .ctx
+            .walk_named(lowered.module, csl::FMULS)
+            .into_iter()
+            .filter(|&m| lowered.ctx.attr(m, "coefficient").is_none())
+            .count();
+        assert!(product_muls >= 1, "expected an unannotated data×data @fmuls");
+    }
+
+    #[test]
+    fn degree_three_program_is_rejected_with_stable_code() {
+        use wse_frontends::ast::{Expr, Frontend, GridSpec, StencilEquation, StencilProgram};
+        let cube = Expr::center("u") * Expr::center("u") * Expr::center("u");
+        let program = StencilProgram {
+            name: "cubic".into(),
+            frontend: Frontend::Csl,
+            grid: GridSpec::new(3, 3, 4),
+            fields: vec!["u".into()],
+            equations: vec![StencilEquation::new("u", cube + Expr::at("u", 1, 0, 0).scale(0.1))],
+            timesteps: 1,
+            source: String::new(),
+        };
+        program.validate().unwrap();
+        let err = lower_program(&program, &PipelineOptions::default()).unwrap_err();
+        let LowerError::Pass(pass_error) = err else { panic!("expected a pass error") };
+        assert_eq!(pass_error.code.as_deref(), Some("non-linear-degree"), "{pass_error}");
+        assert_eq!(pass_error.pass, "distribute-stencil");
     }
 
     #[test]

@@ -96,6 +96,51 @@ fn slot_groups(remote_terms: &[crate::analysis::Term], operand_fields: &[usize])
     groups
 }
 
+/// One factor of a bare product term, resolved against the kernel's
+/// operand fields.
+#[derive(Debug, Clone, Copy)]
+struct ProductFactor {
+    /// Field index backing the accessed operand.
+    field: usize,
+    /// Neighbor offset in x.
+    dx: i64,
+    /// Neighbor offset in y.
+    dy: i64,
+    /// z-shift of the access.
+    dz: i64,
+}
+
+impl ProductFactor {
+    fn is_remote(&self) -> bool {
+        self.dx != 0 || self.dy != 0
+    }
+}
+
+fn product_factors(term: &crate::analysis::Term, operand_fields: &[usize]) -> Vec<ProductFactor> {
+    term.factors()
+        .iter()
+        .map(|f| ProductFactor {
+            field: operand_fields.get(f.input).copied().unwrap_or(0),
+            dx: f.offset.first().copied().unwrap_or(0),
+            dy: f.offset.get(1).copied().unwrap_or(0),
+            dz: f.offset.get(2).copied().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Receive-slot assignment for a product kernel: one slot per distinct
+/// remote `(field, dx, dy)` neighbor column among the factors (a squared
+/// remote access shares one slot).
+fn product_slot_groups(factors: &[ProductFactor]) -> Vec<(usize, i64, i64)> {
+    let mut groups: Vec<(usize, i64, i64)> = Vec::new();
+    for f in factors.iter().filter(|f| f.is_remote()) {
+        if !groups.contains(&(f.field, f.dx, f.dy)) {
+            groups.push((f.field, f.dx, f.dy));
+        }
+    }
+    groups
+}
+
 fn lower_function(
     ctx: &mut IrContext,
     program_block: BlockId,
@@ -191,8 +236,13 @@ fn lower_function(
     for info in kernels.iter().filter(|k| k.communicates) {
         if let Some(combos) = apply_combinations(ctx, info.apply) {
             let combo = combos.first().cloned().unwrap_or_default();
-            let remote: Vec<_> = combo.remote_terms().into_iter().cloned().collect();
-            max_slots = max_slots.max(slot_groups(&remote, &info.operand_fields).len() as i64);
+            if let Some(term) = combo.terms.iter().find(|t| t.factor2.is_some()) {
+                let factors = product_factors(term, &info.operand_fields);
+                max_slots = max_slots.max(product_slot_groups(&factors).len() as i64);
+            } else {
+                let remote: Vec<_> = combo.remote_terms().into_iter().cloned().collect();
+                max_slots = max_slots.max(slot_groups(&remote, &info.operand_fields).len() as i64);
+            }
         }
     }
 
@@ -261,6 +311,37 @@ fn lower_function(
         let combos =
             apply_combinations(ctx, info.apply).ok_or("apply is missing its cached analysis")?;
         let combo = combos.first().cloned().unwrap_or_default();
+
+        if let Some(term) = combo.terms.iter().find(|t| t.factor2.is_some()).cloned() {
+            // `decompose-products` normalizes every degree-2 apply into a
+            // bare product (one unit-coefficient term, zero constant)
+            // feeding a linear consumer; anything else here is a pass
+            // ordering bug upstream.
+            if combo.terms.len() != 1 || combo.constant != 0.0 || term.coeff != 1.0 {
+                return Err(format!(
+                    "non-bare product combination reached the actor lowering \
+                     ({} terms, constant {}, coeff {}); degree-2 applies must be \
+                     normalized by decompose-products",
+                    combo.terms.len(),
+                    combo.constant,
+                    term.coeff
+                ));
+            }
+            emit_product_kernel(
+                ctx,
+                program_body,
+                info,
+                &term,
+                &continuation,
+                k,
+                ProductLayout { z_interior, z_halo, chunk_size },
+                &field_buffers,
+                acc_buf,
+                recv_buf,
+                comms,
+            )?;
+            continue;
+        }
 
         if info.communicates {
             let exchanges = csl_stencil::swaps_of(ctx, info.apply);
@@ -556,6 +637,208 @@ fn lower_function(
     Ok(())
 }
 
+/// Column geometry shared by the product-kernel emitter.
+#[derive(Debug, Clone, Copy)]
+struct ProductLayout {
+    /// Interior z extent of a PE column.
+    z_interior: i64,
+    /// Halo cells on each side of a field buffer.
+    z_halo: i64,
+    /// Receive-slot stride in the staging buffer.
+    chunk_size: i64,
+}
+
+/// Emits the actor kernel for a bare product apply (`out = A · B`
+/// elementwise, produced by `decompose-products`).
+///
+/// Unlike linear kernels, a product cannot reduce chunk-by-chunk against
+/// the accumulator: both whole factor columns must be present before the
+/// elementwise multiply.  So with chunking every receive slot stages its
+/// neighbor column (even without a z-shift) and the multiply runs once in
+/// the done-exchange callback, over the window where every remote factor
+/// is in range — outside it the neighbor column reads zero (the reference
+/// executor's zero halo), so the product is zero there and the zero-filled
+/// accumulator already holds the right value.
+#[allow(clippy::too_many_arguments)]
+fn emit_product_kernel(
+    ctx: &mut IrContext,
+    program_body: BlockId,
+    info: &KernelInfo,
+    term: &crate::analysis::Term,
+    continuation: &str,
+    k: usize,
+    layout: ProductLayout,
+    field_buffers: &[ValueId],
+    acc_buf: ValueId,
+    recv_buf: ValueId,
+    comms: ValueId,
+) -> Result<(), String> {
+    let ProductLayout { z_interior, z_halo, chunk_size } = layout;
+    let factors = product_factors(term, &info.operand_fields);
+    let groups = product_slot_groups(&factors);
+    // Slot index feeding each factor (None for PE-local factors).
+    let factor_slot: Vec<Option<usize>> =
+        factors.iter().map(|f| groups.iter().position(|&g| g == (f.field, f.dx, f.dy))).collect();
+
+    if !info.communicates {
+        // Both factors are PE-local: one seq_kernel does the whole update.
+        let mut mb = OpBuilder::at_end(ctx, program_body);
+        let (_f, body) = csl::build_func(&mut mb, &format!("seq_kernel{k}"), vec![]);
+        {
+            let mut fb = OpBuilder::at_end(ctx, body);
+            let zero = arith::constant_f32(&mut fb, 0.0, Type::f32());
+            linalg::fill(&mut fb, zero, acc_buf);
+            let mut views = Vec::with_capacity(2);
+            for f in &factors {
+                views.push(memref::subview(
+                    &mut fb,
+                    field_buffers[f.field],
+                    z_halo + f.dz,
+                    z_interior,
+                ));
+            }
+            linalg::mul(&mut fb, views[0], views[1], acc_buf);
+            let out_view =
+                memref::subview(&mut fb, field_buffers[info.output_field], z_halo, z_interior);
+            linalg::copy(&mut fb, acc_buf, out_view);
+            csl::call(&mut fb, continuation, vec![]);
+        }
+        csl::build_return(ctx, body, vec![]);
+        return Ok(());
+    }
+
+    let exchanges = csl_stencil::swaps_of(ctx, info.apply);
+    let num_chunks = csl_stencil::num_chunks(ctx, info.apply);
+    let chunk = ctx.attr_int(info.apply, "chunk_size").unwrap_or(z_interior);
+    let slot_fields: Vec<i64> = groups.iter().map(|&(f, _, _)| f as i64).collect();
+    let mut comm_fields: Vec<i64> = slot_fields.clone();
+    comm_fields.sort_unstable();
+    comm_fields.dedup();
+    let single_chunk = num_chunks == 1 && chunk == z_interior;
+
+    // With chunking every slot stages its full neighbor column; with a
+    // single chunk the receive buffer already holds it.
+    let mut staged_cols: HashMap<usize, ValueId> = HashMap::new();
+    if !single_chunk {
+        let mut mb = OpBuilder::at_end(ctx, program_body);
+        for g in 0..groups.len() {
+            let col = csl::zeros(
+                &mut mb,
+                &format!("remote_col{k}_{g}"),
+                Type::memref(vec![z_interior], Type::f32()),
+            );
+            staged_cols.insert(g, col);
+        }
+    }
+
+    // ---- seq_kernel{k}: reset accumulator, start the exchange.
+    let mut mb = OpBuilder::at_end(ctx, program_body);
+    let (_f, body) = csl::build_func(&mut mb, &format!("seq_kernel{k}"), vec![]);
+    {
+        let mut fb = OpBuilder::at_end(ctx, body);
+        let zero = arith::constant_f32(&mut fb, 0.0, Type::f32());
+        linalg::fill(&mut fb, zero, acc_buf);
+        let comm_operands: Vec<ValueId> =
+            comm_fields.iter().map(|&f| field_buffers[f as usize]).collect();
+        let call = csl::member_call(
+            &mut fb,
+            "communicate",
+            comms,
+            comm_operands,
+            &[&format!("receive_chunk_cb{k}"), &format!("done_exchange_cb{k}")],
+            vec![],
+        );
+        ctx.set_attr(call, "num_chunks", Attribute::int(num_chunks));
+        ctx.set_attr(call, "chunk_size", Attribute::int(chunk));
+        ctx.set_attr(call, "fields", Attribute::IndexArray(comm_fields));
+        ctx.set_attr(call, "swaps", csl_stencil::swaps_attr(&exchanges));
+        ctx.set_attr(
+            call,
+            "slot_neighbors",
+            Attribute::Array(
+                groups.iter().map(|&(_, dx, dy)| Attribute::IndexArray(vec![dx, dy])).collect(),
+            ),
+        );
+        ctx.set_attr(call, "slot_fields", Attribute::IndexArray(slot_fields));
+    }
+    csl::build_return(ctx, body, vec![]);
+
+    // ---- receive_chunk_cb{k}: stage each slot's chunk.
+    let mut mb = OpBuilder::at_end(ctx, program_body);
+    let (_t, recv_body) = csl::build_task(
+        &mut mb,
+        &format!("receive_chunk_cb{k}"),
+        csl::TaskKind::Local,
+        (4 + k as i64).min(23),
+        vec![Type::int(16)],
+    );
+    if !single_chunk {
+        let offset_arg = ctx.block_args(recv_body)[0];
+        let mut tb = OpBuilder::at_end(ctx, recv_body);
+        for g in 0..groups.len() {
+            if let Some(&col) = staged_cols.get(&g) {
+                let recv_view = memref::subview(&mut tb, recv_buf, g as i64 * chunk_size, chunk);
+                let col_view = memref::subview_dynamic(&mut tb, col, offset_arg, chunk);
+                linalg::copy(&mut tb, recv_view, col_view);
+            }
+        }
+    }
+    csl::build_return(ctx, recv_body, vec![]);
+
+    // ---- done_exchange_cb{k}: elementwise multiply, write-back, chain.
+    let mut mb = OpBuilder::at_end(ctx, program_body);
+    let (_t, done_body) = csl::build_task(
+        &mut mb,
+        &format!("done_exchange_cb{k}"),
+        csl::TaskKind::Local,
+        (10 + k as i64).min(23),
+        vec![],
+    );
+    {
+        let mut tb = OpBuilder::at_end(ctx, done_body);
+        // The window where every remote factor's column read is in range.
+        let mut lo = 0i64;
+        let mut hi = z_interior;
+        for f in factors.iter().filter(|f| f.is_remote()) {
+            lo = lo.max(-f.dz);
+            hi = hi.min(z_interior - f.dz);
+        }
+        if hi > lo {
+            let len = hi - lo;
+            let mut views = Vec::with_capacity(2);
+            for (f, slot) in factors.iter().zip(&factor_slot) {
+                let view = match slot {
+                    Some(g) => match staged_cols.get(g) {
+                        Some(&col) => memref::subview(&mut tb, col, lo + f.dz, len),
+                        None => memref::subview(
+                            &mut tb,
+                            recv_buf,
+                            *g as i64 * chunk_size + lo + f.dz,
+                            len,
+                        ),
+                    },
+                    None => {
+                        memref::subview(&mut tb, field_buffers[f.field], z_halo + f.dz + lo, len)
+                    }
+                };
+                views.push(view);
+            }
+            let dest = if len == z_interior {
+                acc_buf
+            } else {
+                memref::subview(&mut tb, acc_buf, lo, len)
+            };
+            linalg::mul(&mut tb, views[0], views[1], dest);
+        }
+        let out_view =
+            memref::subview(&mut tb, field_buffers[info.output_field], z_halo, z_interior);
+        linalg::copy(&mut tb, acc_buf, out_view);
+        csl::call(&mut tb, continuation, vec![]);
+    }
+    csl::build_return(ctx, done_body, vec![]);
+    Ok(())
+}
+
 /// Emits `dest += coeff * src` as DPS linalg operations using a scratch
 /// buffer; the `linalg-fuse-multiply-add` pass fuses the pair into a
 /// `linalg.fmac` when enabled.
@@ -661,7 +944,7 @@ impl Pass for LowerCslWrapperToCsl {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decompose::{DistributeStencil, TensorizeZ};
+    use crate::decompose::{DecomposeProducts, DistributeStencil, TensorizeZ};
     use crate::opt_passes::StencilInlining;
     use crate::to_csl_stencil::{ConvertStencilToCslStencil, CslStencilOptions, WrapInCslWrapper};
     use wse_frontends::{benchmarks::Benchmark, emit_stencil_ir};
@@ -678,6 +961,7 @@ mod tests {
         let ir = emit_stencil_ir(program).unwrap();
         let mut ctx = ir.ctx;
         StencilInlining.run(&mut ctx, ir.module).unwrap();
+        DecomposeProducts.run(&mut ctx, ir.module).unwrap();
         DistributeStencil { width: program.grid.x, height: program.grid.y }
             .run(&mut ctx, ir.module)
             .unwrap();
@@ -824,6 +1108,64 @@ mod tests {
             .filter(|n| n.starts_with("remote_col"))
             .count();
         assert_eq!(staged, 0, "single-chunk exchanges read the receive buffer directly");
+    }
+
+    fn product_program(dz: i64) -> wse_frontends::ast::StencilProgram {
+        use wse_frontends::ast::{Expr, Frontend, GridSpec, StencilEquation, StencilProgram};
+        // u · u[+1, 0, dz]: one local factor, one remote factor.
+        let expr =
+            (Expr::center("u") * Expr::at("u", 1, 0, dz)).scale(0.3) + Expr::center("u").scale(0.7);
+        let program = StencilProgram {
+            name: "prod".into(),
+            frontend: Frontend::Csl,
+            grid: GridSpec::new(3, 3, 6),
+            fields: vec!["u".into()],
+            equations: vec![StencilEquation::new("u", expr)],
+            timesteps: 2,
+            source: String::new(),
+        };
+        program.validate().expect("valid test program");
+        program
+    }
+
+    #[test]
+    fn product_kernel_multiplies_without_coefficient_annotation() {
+        let (ctx, module) = lower_program_to_actors(&product_program(1), 2);
+        assert!(verify(&ctx, module, &wse_csl::register_all()).is_empty());
+        // The decomposition produced two kernels: the product, then the
+        // linear consumer.
+        assert!(csl::find_callable(&ctx, module, "seq_kernel0").is_some());
+        assert!(csl::find_callable(&ctx, module, "seq_kernel1").is_some());
+        // Exactly one data×data multiply, with no coefficient attribute
+        // (so fmac fusion leaves it alone).
+        let product_muls: Vec<OpId> = ctx
+            .walk_named(module, linalg::MUL)
+            .into_iter()
+            .filter(|&m| ctx.attr(m, "coefficient").is_none())
+            .collect();
+        assert_eq!(product_muls.len(), 1, "one elementwise product multiply");
+        // Chunked exchange: the remote factor's column is staged in full
+        // before the multiply runs.
+        let staged: Vec<&str> = ctx
+            .walk_named(module, csl::ZEROS)
+            .into_iter()
+            .filter_map(|z| csl::symbol_name(&ctx, z))
+            .filter(|n| n.starts_with("remote_col"))
+            .collect();
+        assert_eq!(staged, vec!["remote_col0_0"], "product kernels stage their slots");
+    }
+
+    #[test]
+    fn single_chunk_product_reads_receive_buffer_directly() {
+        let (ctx, module) = lower_program_to_actors(&product_program(0), 1);
+        assert!(verify(&ctx, module, &wse_csl::register_all()).is_empty());
+        let staged = ctx
+            .walk_named(module, csl::ZEROS)
+            .into_iter()
+            .filter_map(|z| csl::symbol_name(&ctx, z))
+            .filter(|n| n.starts_with("remote_col"))
+            .count();
+        assert_eq!(staged, 0, "single-chunk product kernels skip staging");
     }
 
     #[test]

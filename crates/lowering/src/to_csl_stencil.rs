@@ -123,8 +123,46 @@ fn convert_apply(
             continue;
         }
 
+        // Each remote *factor* needs a staged column; product terms (bare
+        // two-factor products after decompose-products) contribute one
+        // entry per remote factor, with no coefficient promotion — their
+        // coefficient is 1 by construction.
+        struct SlotEntry {
+            input: usize,
+            dx: i64,
+            dy: i64,
+            coeff: f32,
+            promote: bool,
+        }
+        let mut slot_entries: Vec<SlotEntry> = Vec::new();
+        for term in &remote {
+            if term.factor2.is_some() {
+                for f in term.factors() {
+                    let dx = f.offset.first().copied().unwrap_or(0);
+                    let dy = f.offset.get(1).copied().unwrap_or(0);
+                    if dx != 0 || dy != 0 {
+                        slot_entries.push(SlotEntry {
+                            input: f.input,
+                            dx,
+                            dy,
+                            coeff: 1.0,
+                            promote: false,
+                        });
+                    }
+                }
+            } else {
+                slot_entries.push(SlotEntry {
+                    input: term.input,
+                    dx: term.offset.first().copied().unwrap_or(0),
+                    dy: term.offset.get(1).copied().unwrap_or(0),
+                    coeff: term.coeff,
+                    promote: options.promote_coefficients,
+                });
+            }
+        }
+
         let exchanges = exchanges_for(std::slice::from_ref(combo));
-        let slots = remote.len() as i64;
+        let slots = slot_entries.len() as i64;
         let chunk_buffer_ty = Type::tensor(vec![slots, chunk], Type::f32());
 
         let mut b = OpBuilder::before(ctx, apply);
@@ -154,7 +192,7 @@ fn convert_apply(
         ctx.set_attr(
             new_apply,
             "slot_inputs",
-            Attribute::IndexArray(remote.iter().map(|t| t.input as i64).collect()),
+            Attribute::IndexArray(slot_entries.iter().map(|e| e.input as i64).collect()),
         );
 
         // ------------------------------------------------- receive region
@@ -164,18 +202,17 @@ fn convert_apply(
             let chunk_ty = Type::tensor(vec![chunk], Type::f32());
             let mut rb = OpBuilder::at_end(ctx, recv_block);
             let mut partial: Option<ValueId> = None;
-            for (slot, term) in remote.iter().enumerate() {
-                let dx = term.offset.first().copied().unwrap_or(0);
-                let dy = term.offset.get(1).copied().unwrap_or(0);
-                let access = csl_stencil::access(&mut rb, buf, &[dx, dy], chunk_ty.clone());
+            for (slot, entry) in slot_entries.iter().enumerate() {
+                let access =
+                    csl_stencil::access(&mut rb, buf, &[entry.dx, entry.dy], chunk_ty.clone());
                 let access_op = rb.ctx_ref().defining_op(access).expect("access op");
                 rb.ctx().set_attr(access_op, "slot", Attribute::int(slot as i64));
-                rb.ctx().set_attr(access_op, "input", Attribute::int(term.input as i64));
-                let value = if options.promote_coefficients {
-                    let coeff = arith::constant_f32(&mut rb, term.coeff, chunk_ty.clone());
+                rb.ctx().set_attr(access_op, "input", Attribute::int(entry.input as i64));
+                let value = if entry.promote {
+                    let coeff = arith::constant_f32(&mut rb, entry.coeff, chunk_ty.clone());
                     let scaled = arith::mulf(&mut rb, access, coeff);
                     let op = rb.ctx_ref().defining_op(scaled).expect("mul op");
-                    rb.ctx().set_attr(op, "coefficient", Attribute::f32(term.coeff));
+                    rb.ctx().set_attr(op, "coefficient", Attribute::f32(entry.coeff));
                     scaled
                 } else {
                     access
@@ -228,21 +265,49 @@ fn emit_done_body(
     let mut b = OpBuilder::at_end(ctx, block);
     let mut value = acc;
     for term in local {
-        let dz = term.dz();
-        let input = args[term.input];
+        let window = emit_factor_windows(&mut b, term, &args, z_interior, z_halo, false);
+        let coeff = arith::constant_f32(&mut b, term.coeff, column_ty.clone());
+        let scaled = arith::mulf(&mut b, window, coeff);
+        if term.factor2.is_none() {
+            let op = b.ctx_ref().defining_op(scaled).expect("mul op");
+            b.ctx().set_attr(op, "coefficient", Attribute::f32(term.coeff));
+        }
+        value = arith::addf(&mut b, value, scaled);
+    }
+    csl_stencil::build_yield(ctx, block, vec![value]);
+}
+
+/// Emits one windowed column read per factor of `term` and multiplies them
+/// together (a single window for linear terms).  `use_stencil_access`
+/// selects `stencil.access` (local-only applies) over `csl_stencil.access`.
+fn emit_factor_windows(
+    b: &mut OpBuilder<'_>,
+    term: &crate::analysis::Term,
+    args: &[ValueId],
+    z_interior: i64,
+    z_halo: i64,
+    use_stencil_access: bool,
+) -> ValueId {
+    let mut value: Option<ValueId> = None;
+    for factor in term.factors() {
+        let dz = factor.offset.get(2).copied().unwrap_or(0);
+        let input = args[factor.input];
         let storage_elem = stencil::type_element(b.ctx_ref().value_type(input))
             .unwrap_or_else(|| Type::tensor(vec![z_interior + 2 * z_halo], Type::f32()));
         let elem_len = storage_elem.shape().map(|s| s[0]).unwrap_or(z_interior);
         let own_halo = (elem_len - z_interior) / 2;
-        let access = csl_stencil::access(&mut b, input, &[0, 0], storage_elem);
-        let window = tensor::extract_slice(&mut b, access, own_halo + dz, z_interior);
-        let coeff = arith::constant_f32(&mut b, term.coeff, column_ty.clone());
-        let scaled = arith::mulf(&mut b, window, coeff);
-        let op = b.ctx_ref().defining_op(scaled).expect("mul op");
-        b.ctx().set_attr(op, "coefficient", Attribute::f32(term.coeff));
-        value = arith::addf(&mut b, value, scaled);
+        let access = if use_stencil_access {
+            stencil::access(b, input, &[0, 0], storage_elem)
+        } else {
+            csl_stencil::access(b, input, &[0, 0], storage_elem)
+        };
+        let window = tensor::extract_slice(b, access, own_halo + dz, z_interior);
+        value = Some(match value {
+            Some(prev) => arith::mulf(b, prev, window),
+            None => window,
+        });
     }
-    csl_stencil::build_yield(ctx, block, vec![value]);
+    value.expect("term has at least one factor")
 }
 
 /// Emits a local-only apply body (used for outputs without remote terms).
@@ -259,14 +324,7 @@ fn emit_local_body(
     let mut b = OpBuilder::at_end(ctx, block);
     let mut value: Option<ValueId> = None;
     for term in local {
-        let dz = term.dz();
-        let input = args[term.input];
-        let storage_elem = stencil::type_element(b.ctx_ref().value_type(input))
-            .unwrap_or_else(|| Type::tensor(vec![z_interior + 2 * z_halo], Type::f32()));
-        let elem_len = storage_elem.shape().map(|s| s[0]).unwrap_or(z_interior);
-        let own_halo = (elem_len - z_interior) / 2;
-        let access = stencil::access(&mut b, input, &[0, 0], storage_elem);
-        let window = tensor::extract_slice(&mut b, access, own_halo + dz, z_interior);
+        let window = emit_factor_windows(&mut b, term, &args, z_interior, z_halo, true);
         let coeff = arith::constant_f32(&mut b, term.coeff, column_ty.clone());
         let scaled = arith::mulf(&mut b, window, coeff);
         value = Some(match value {

@@ -1,0 +1,68 @@
+//! Process-environment toggles, parsed in one place.
+//!
+//! Every `WSE_SIM_*` escape hatch goes through these helpers so that all
+//! toggles accept the same spellings: [`env_flag`] treats `1`, `true`,
+//! `yes`, and `on` (any case, surrounding whitespace ignored) as set, and
+//! everything else — including `0`, `false`, and the empty string — as
+//! unset.  Typed overrides like `WSE_SIM_HOST_GHZ` go through
+//! [`env_value`], which ignores unset, empty, and unparseable values
+//! instead of silently mixing per-call-site fallbacks.
+
+/// True when the environment variable `name` is set to a truthy spelling:
+/// `1`, `true`, `yes`, or `on`, case-insensitively, after trimming
+/// whitespace.  Unset variables and any other value (including `0`,
+/// `false`, and the empty string) read as false.
+pub fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| parse_flag(&v)).unwrap_or(false)
+}
+
+/// The truthiness rule behind [`env_flag`], exposed for tests.
+pub fn parse_flag(value: &str) -> bool {
+    matches!(value.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes" | "on")
+}
+
+/// Parses the environment variable `name` into `T`, returning `None` when
+/// it is unset, empty (after trimming), or fails to parse.
+pub fn env_value<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    trimmed.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepted_and_rejected_flag_spellings() {
+        for accepted in ["1", "true", "TRUE", "True", "yes", "YES", "on", "On", " 1 ", "\ttrue\n"] {
+            assert!(parse_flag(accepted), "{accepted:?} must read as set");
+        }
+        for rejected in ["", "0", "false", "FALSE", "no", "off", "2", "enabled", " ", "1 1"] {
+            assert!(!parse_flag(rejected), "{rejected:?} must read as unset");
+        }
+    }
+
+    #[test]
+    fn env_flag_and_value_read_the_process_environment() {
+        // Distinct variable names per assertion: the test process is
+        // shared, so never toggle a name another test could read.
+        std::env::set_var("WSE_SIM_TEST_FLAG_SET", "TRUE");
+        std::env::set_var("WSE_SIM_TEST_FLAG_ZERO", "0");
+        std::env::set_var("WSE_SIM_TEST_FLAG_EMPTY", "");
+        assert!(env_flag("WSE_SIM_TEST_FLAG_SET"));
+        assert!(!env_flag("WSE_SIM_TEST_FLAG_ZERO"));
+        assert!(!env_flag("WSE_SIM_TEST_FLAG_EMPTY"));
+        assert!(!env_flag("WSE_SIM_TEST_FLAG_UNSET"));
+
+        std::env::set_var("WSE_SIM_TEST_VALUE_GHZ", " 2.5 ");
+        std::env::set_var("WSE_SIM_TEST_VALUE_BAD", "fast");
+        assert_eq!(env_value::<f64>("WSE_SIM_TEST_VALUE_GHZ"), Some(2.5));
+        assert_eq!(env_value::<f64>("WSE_SIM_TEST_VALUE_BAD"), None);
+        assert_eq!(env_value::<f64>("WSE_SIM_TEST_VALUE_UNSET"), None);
+        assert_eq!(env_value::<f64>("WSE_SIM_TEST_FLAG_EMPTY"), None);
+    }
+}

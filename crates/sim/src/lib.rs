@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baselines;
+pub mod env;
 pub mod exec;
 pub mod interp;
 pub mod kernels;
@@ -42,6 +43,7 @@ pub mod plan;
 pub mod reference;
 pub mod roofline;
 
+pub use env::{env_flag, env_value};
 pub use exec::{ExecError, WseGridSim};
 pub use interp::InterpGridSim;
 pub use kernels::Isa;

@@ -112,16 +112,13 @@ impl LinkOptions {
     /// Reads the process-wide escape hatches: `WSE_SIM_NO_FUSE` disables
     /// the link-time optimizer, `WSE_SIM_NO_SIMD` forces the scalar
     /// kernel set, and `WSE_SIM_FAST_FMA` opts into contracted
-    /// multiply-adds (tolerance-path only).  Each is enabled by the value
-    /// `1` or `true`.
+    /// multiply-adds (tolerance-path only).  Truthiness follows
+    /// [`crate::env::env_flag`] (`1`/`true`/`yes`/`on`, any case).
     pub fn from_env() -> Self {
-        let flag = |name: &str| {
-            std::env::var(name).map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
-        };
         Self {
-            optimize: !flag("WSE_SIM_NO_FUSE"),
-            simd: !flag("WSE_SIM_NO_SIMD"),
-            fast_fma: flag("WSE_SIM_FAST_FMA"),
+            optimize: !crate::env::env_flag("WSE_SIM_NO_FUSE"),
+            simd: !crate::env::env_flag("WSE_SIM_NO_SIMD"),
+            fast_fma: crate::env::env_flag("WSE_SIM_FAST_FMA"),
         }
     }
 }
@@ -441,6 +438,17 @@ pub struct OptStats {
     /// spelling of a multiply-accumulate) rewritten into `Macs` because
     /// the multiplier is a constant-initialized, never-written buffer.
     pub binary_macs_fused: usize,
+    /// Data×data `Binary(Mul)` instructions in the pre-optimization
+    /// stream: both sources read written buffers rather than splat
+    /// coefficient constants.  These are the elementwise products the
+    /// `decompose-products` lowering emits for nonlinear stencil bodies,
+    /// so a non-zero count is the link-level evidence that product
+    /// decomposition fired for this program.
+    pub product_muls: usize,
+    /// Unfused `Binary` instructions whose result copy into the output
+    /// field was folded away by retargeting the binary at the copy's
+    /// destination (the product-kernel `mul` + write-back pair).
+    pub binary_copies_folded: usize,
     /// Writes to internal double-buffer fields removed because the cyclic
     /// liveness scan proved them dead (fully overwritten before any read).
     pub dead_writes_elided: usize,
@@ -887,6 +895,7 @@ fn optimize_program(linked: &mut LinkedProgram) {
     flatten_chunks(linked, &mut stats);
     merge_single_chunk_blocks(linked, &mut stats);
     fold_copies(linked, &mut stats);
+    fold_binary_copies(linked, &mut stats);
     elide_dead_internal_writes(linked, &mut stats);
     defer_commits(linked, &mut stats);
     coalesce_arena(linked, &mut stats);
@@ -932,6 +941,18 @@ fn fuse_mul_add_pairs(linked: &mut LinkedProgram, stats: &mut OptStats) {
         }
         Some(layouts[owner.0 as usize].init)
     };
+    // Count the data×data multiplies (product-decomposition evidence)
+    // before any rewriting; the coefficient muls below are excluded
+    // because one side reads a splat constant buffer.
+    for kernel in &linked.kernels {
+        for instr in kernel.pre.iter().chain(&kernel.recv).chain(&kernel.done) {
+            if let LinkedInstr::Binary { kind: BinKind::Mul, a, b, .. } = instr {
+                if constant_of(a).is_none() && constant_of(b).is_none() {
+                    stats.product_muls += 1;
+                }
+            }
+        }
+    }
     'rescan: loop {
         let (events, position) = program_events(linked);
         for k in 0..linked.kernels.len() {
@@ -1539,6 +1560,57 @@ fn fold_copies(linked: &mut LinkedProgram, stats: &mut OptStats) {
     }
 }
 
+/// Folds `Binary { dest: t, .. }` + `Copy { dest: out, src: t }` pairs by
+/// retargeting the binary at `out`, when both sources and `t` itself are
+/// disjoint from `out` and the eliminated write to `t` is provably dead.
+/// This is the write-back shape of a product kernel (`acc = a · b; out =
+/// acc`); per element the retargeted instruction performs the identical
+/// operation, so results are bitwise unchanged.
+fn fold_binary_copies(linked: &mut LinkedProgram, stats: &mut OptStats) {
+    'rescan: loop {
+        let (events, position) = program_events(linked);
+        for k in 0..linked.kernels.len() {
+            let max_dyn = max_dyn_of(&linked.kernels[k]);
+            for block_index in 0..3 {
+                let block = match block_index {
+                    0 => &linked.kernels[k].pre,
+                    1 => &linked.kernels[k].recv,
+                    _ => &linked.kernels[k].done,
+                };
+                for i in 0..block.len().saturating_sub(1) {
+                    let LinkedInstr::Binary { dest: t, a, b, .. } = &block[i] else { continue };
+                    let LinkedInstr::Copy { dest: out, src } = &block[i + 1] else { continue };
+                    if src != t {
+                        continue;
+                    }
+                    if !views_disjoint(a, out, max_dyn)
+                        || !views_disjoint(b, out, max_dyn)
+                        || !views_disjoint(t, out, max_dyn)
+                    {
+                        continue;
+                    }
+                    let copy_pos = position[&(k, block_index, i + 1)];
+                    if !write_is_dead(&events, copy_pos, view_span(t, max_dyn)) {
+                        continue;
+                    }
+                    let out = *out;
+                    let block = match block_index {
+                        0 => &mut linked.kernels[k].pre,
+                        1 => &mut linked.kernels[k].recv,
+                        _ => &mut linked.kernels[k].done,
+                    };
+                    let LinkedInstr::Binary { dest, .. } = &mut block[i] else { unreachable!() };
+                    *dest = out;
+                    block.remove(i + 1);
+                    stats.binary_copies_folded += 1;
+                    continue 'rescan;
+                }
+            }
+        }
+        return;
+    }
+}
+
 /// Every view an instruction touches (destination first).
 fn instr_views(instr: &LinkedInstr) -> Vec<&LinkedView> {
     match instr {
@@ -1985,6 +2057,88 @@ mod tests {
             link_program_with(&program, &LinkOptions { optimize: true, ..LinkOptions::default() })
                 .unwrap();
         assert_eq!(linked.stats.binary_macs_fused, 0, "aliased src/dest must not fuse");
+    }
+
+    #[test]
+    fn product_muls_are_counted_and_their_write_back_folds() {
+        // The product-kernel stream a decomposed nonlinear body produces:
+        // acc = b · b (both sources are data), then the write-back copy
+        // into the output field.
+        let mut program = program_with(
+            vec![decl("a", 6), decl("b", 6), decl("acc", 4)],
+            vec![
+                Instr::Movs { dest: view("acc", 0, 4), src: Src::Scalar(0.0) },
+                Instr::Binary {
+                    kind: BinKind::Mul,
+                    dest: view("acc", 0, 4),
+                    a: view("b", 1, 4),
+                    b: view("b", 1, 4),
+                },
+                Instr::Movs { dest: view("a", 1, 4), src: Src::View(view("acc", 0, 4)) },
+            ],
+        );
+        program.field_buffers = vec!["a".into(), "b".into()];
+        let linked =
+            link_program_with(&program, &LinkOptions { optimize: true, ..LinkOptions::default() })
+                .unwrap();
+        assert_eq!(linked.stats.product_muls, 1, "data×data mul is counted");
+        assert_eq!(linked.stats.binary_macs_fused, 0, "a product is not a coefficient mac");
+        assert_eq!(linked.stats.binary_copies_folded, 1, "write-back copy folds");
+        // The multiply now writes the field window directly.
+        let mul_dests: Vec<u32> = linked.kernels[0]
+            .pre
+            .iter()
+            .filter_map(|i| match i {
+                LinkedInstr::Binary { kind: BinKind::Mul, dest, .. } => Some(dest.base),
+                _ => None,
+            })
+            .collect();
+        let a_layout = linked.layouts.iter().find(|l| l.name == "a").unwrap();
+        assert_eq!(mul_dests, vec![a_layout.base as u32 + 1]);
+        assert!(!linked.kernels[0].pre.iter().any(|i| matches!(i, LinkedInstr::Copy { .. })));
+    }
+
+    #[test]
+    fn binary_copy_folding_respects_aliasing_and_windows() {
+        // (1) The write-back destination overlaps a multiply source
+        // (`u = u · u` written back into `u`): must not fold.
+        let mut program = program_with(
+            vec![decl("a", 6), decl("acc", 4)],
+            vec![
+                Instr::Movs { dest: view("acc", 0, 4), src: Src::Scalar(0.0) },
+                Instr::Binary {
+                    kind: BinKind::Mul,
+                    dest: view("acc", 0, 4),
+                    a: view("a", 1, 4),
+                    b: view("a", 1, 4),
+                },
+                Instr::Movs { dest: view("a", 1, 4), src: Src::View(view("acc", 0, 4)) },
+            ],
+        );
+        let linked =
+            link_program_with(&program, &LinkOptions { optimize: true, ..LinkOptions::default() })
+                .unwrap();
+        assert_eq!(linked.stats.product_muls, 1);
+        assert_eq!(linked.stats.binary_copies_folded, 0, "aliased write-back must not fold");
+
+        // (2) The multiply writes a window of the accumulator but the copy
+        // moves the whole buffer (z-shifted remote factor): must not fold.
+        program.field_buffers = vec!["a".into(), "b".into()];
+        program.buffers = vec![decl("a", 6), decl("b", 6), decl("acc", 4)];
+        program.kernels[0].pre = vec![
+            Instr::Movs { dest: view("acc", 0, 4), src: Src::Scalar(0.0) },
+            Instr::Binary {
+                kind: BinKind::Mul,
+                dest: view("acc", 1, 2),
+                a: view("b", 1, 2),
+                b: view("b", 2, 2),
+            },
+            Instr::Movs { dest: view("a", 1, 4), src: Src::View(view("acc", 0, 4)) },
+        ];
+        let linked =
+            link_program_with(&program, &LinkOptions { optimize: true, ..LinkOptions::default() })
+                .unwrap();
+        assert_eq!(linked.stats.binary_copies_folded, 0, "windowed product must keep its copy");
     }
 
     #[test]

@@ -7,12 +7,12 @@
 //! with a non-zero status.
 //!
 //! Usage: `conformance [--cases N] [--seed S] [--stress] [--soak]
-//! [--require-fusion] [--verbose]`
+//! [--require-fusion] [--require-products] [--verbose]`
 
 use testkit::{
-    case_fusion_evidence, generate_case_with, has_self_updating_chain, install_quiet_panic_hook,
-    reproducer, run_case_with_tolerance_via, shape_tolerance, shrink_case, GeneratorConfig,
-    Verdict, TOLERANCE,
+    case_fusion_evidence, case_product_evidence, has_product_term, has_self_updating_chain,
+    install_quiet_panic_hook, reproducer, run_case_with_tolerance_via, shape_tolerance,
+    shrink_case, try_generate_case_with, GeneratorConfig, Verdict, TOLERANCE,
 };
 
 fn main() {
@@ -21,6 +21,7 @@ fn main() {
     let mut verbose = false;
     let mut per_shape_bounds = false;
     let mut require_fusion = false;
+    let mut require_products = false;
     let mut through_service = false;
     let mut config = GeneratorConfig::default();
     let mut args = std::env::args().skip(1);
@@ -41,6 +42,14 @@ fn main() {
             // a guard against silently regressing to the conservative
             // refusal, which would stay green on pure conformance.
             "--require-fusion" => require_fusion = true,
+            // The nonlinear-biased profile: raises the generator's
+            // product bias and requires the decompose-products lowering
+            // (scratch `__prod` fields plus data×data multiplies in the
+            // linked stream, per `LinkedProgram::stats`) to actually fire
+            // on at least one conformant seed — a guard against silently
+            // regressing degree-2 bodies to the rejection path, which
+            // would stay green on pure conformance.
+            "--require-products" => require_products = true,
             // Wider workload space: larger grids/radii, more coupled
             // equations, longer runs.  Slower per case; used for deeper
             // local soaking, not the CI budget.
@@ -53,6 +62,7 @@ fn main() {
                     max_radius_xy: 4,
                     max_radius_z: 4,
                     max_timesteps: 4,
+                    ..GeneratorConfig::default()
                 };
             }
             // The nightly soak profile: large grids, deep timestep counts,
@@ -68,17 +78,21 @@ fn main() {
                     max_radius_xy: 4,
                     max_radius_z: 4,
                     max_timesteps: 8,
+                    ..GeneratorConfig::default()
                 };
             }
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: conformance [--cases N] [--seed S] [--stress] [--soak] \
-                     [--require-fusion] [--service] [--verbose]"
+                     [--require-fusion] [--require-products] [--service] [--verbose]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if require_products {
+        config.nonlinear_bias = config.nonlinear_bias.max(0.6);
     }
 
     install_quiet_panic_hook();
@@ -88,9 +102,18 @@ fn main() {
         std::collections::BTreeMap::new();
     let mut worst_deviation = 0.0f32;
     let (mut chain_cases, mut chain_renamed, mut chain_unlocked) = (0u64, 0u64, 0u64);
+    let (mut product_cases, mut product_decomposed) = (0u64, 0u64);
 
     for seed in base_seed..base_seed + cases {
-        let mut case = generate_case_with(seed, &config);
+        // A generator bug fails that seed, not the whole sweep.
+        let mut case = match try_generate_case_with(seed, &config) {
+            Ok(case) => case,
+            Err(error) => {
+                failed += 1;
+                println!("seed {seed}: GENERATOR FAILURE: {error}");
+                continue;
+            }
+        };
         if require_fusion {
             case.options.enable_inlining = true;
         }
@@ -108,6 +131,17 @@ fn main() {
                     {
                         chain_unlocked += 1;
                     }
+                }
+            }
+        }
+        if require_products
+            && matches!(verdict, Verdict::Pass { .. })
+            && has_product_term(&case.program)
+        {
+            product_cases += 1;
+            if let Some(evidence) = case_product_evidence(&case) {
+                if evidence.product_fields > 0 && evidence.stats.product_muls > 0 {
+                    product_decomposed += 1;
                 }
             }
         }
@@ -185,6 +219,24 @@ fn main() {
             println!(
                 "require-fusion: dependence-aware inlining never fired — the pass has \
                  regressed to the conservative refusal path"
+            );
+            std::process::exit(1);
+        }
+    }
+    if require_products {
+        println!(
+            "require-products: {product_cases} conformant product cases, {product_decomposed} \
+             with scratch-field decomposition evidence (loaded `__prod` fields + linked \
+             data×data multiplies)"
+        );
+        if product_cases == 0 {
+            println!("require-products: generator produced no product bodies — biasing lost");
+            std::process::exit(1);
+        }
+        if product_decomposed == 0 {
+            println!(
+                "require-products: product decomposition never fired — degree-2 bodies have \
+                 regressed to the rejection path"
             );
             std::process::exit(1);
         }

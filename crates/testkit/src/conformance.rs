@@ -386,6 +386,47 @@ pub fn case_fusion_evidence(case: &ConformanceCase) -> Option<FusionEvidence> {
     })
 }
 
+/// Evidence that product decomposition fired on a compiled case: the
+/// `__prod` scratch fields the `decompose-products` pass introduced plus
+/// the link-time optimizer's report (whose `product_muls` counts the
+/// data×data multiplies in the linked kernels).
+#[derive(Debug, Clone)]
+pub struct ProductEvidence {
+    /// Internal `__prod` scratch fields in the loaded program (non-zero
+    /// iff a degree-2 term was decomposed rather than rejected).
+    pub product_fields: usize,
+    /// The optimized stream's link-time report.
+    pub stats: wse_sim::OptStats,
+}
+
+/// Compiles a case (with its own options) and returns the product
+/// evidence, or `None` when the pipeline rejects the program.  Used by
+/// the `--require-products` conformance variant to assert that nonlinear
+/// lowering has not silently regressed to the rejection path.
+pub fn case_product_evidence(case: &ConformanceCase) -> Option<ProductEvidence> {
+    let compiler = Compiler::new()
+        .target(case.options.target)
+        .num_chunks(case.options.num_chunks)
+        .fmac_fusion(case.options.enable_fmac_fusion)
+        .inlining(case.options.enable_inlining)
+        .coefficient_promotion(case.options.promote_coefficients);
+    let artifact = compiler.compile(&case.program).ok()?;
+    let loaded = artifact.loaded_program();
+    let linked = wse_sim::link_program_with(
+        loaded,
+        &wse_sim::LinkOptions { optimize: true, ..LinkOptions::default() },
+    )
+    .ok()?;
+    Some(ProductEvidence {
+        product_fields: loaded
+            .internal_fields
+            .iter()
+            .filter(|name| name.contains("__prod"))
+            .count(),
+        stats: linked.stats().clone(),
+    })
+}
+
 /// Returns a description of the first bitwise difference between two grid
 /// states, or `None` when they are bit-for-bit identical.
 pub fn bitwise_difference(a: &GridState, b: &GridState) -> Option<String> {
@@ -449,18 +490,45 @@ mod tests {
     }
 
     #[test]
-    fn nonlinear_rejection_carries_a_machine_readable_code() {
+    fn degree_two_products_lower_and_conform() {
+        use wse_frontends::ast::{Expr, StencilEquation};
+        install_quiet_panic_hook();
+        // Burgers-style advection: the degree-2 body is decomposed onto a
+        // scratch field, not rejected, and must agree with the reference
+        // across all engine variants.
+        let mut program = Benchmark::Jacobian.tiny_program();
+        program.equations = vec![StencilEquation::new(
+            "a",
+            Expr::center("a")
+                + (Expr::center("a") * (Expr::center("a") - Expr::at("a", -1, 0, 0))).scale(-0.2),
+        )];
+        let case = ConformanceCase { seed: 0, program, options: PipelineOptions::default() };
+        match run_case(&case) {
+            Verdict::Pass { .. } => {}
+            other => panic!("expected the product body to pass, got {other:?}"),
+        }
+        let evidence = case_product_evidence(&case).expect("product case compiles");
+        assert!(evidence.product_fields > 0, "decomposition introduced a scratch field");
+        assert!(evidence.stats.product_muls > 0, "linked stream multiplies data by data");
+    }
+
+    #[test]
+    fn degree_above_the_cap_rejects_with_a_machine_readable_code() {
         use wse_frontends::ast::{Expr, StencilEquation};
         install_quiet_panic_hook();
         let mut program = Benchmark::Jacobian.tiny_program();
         program.equations.push(StencilEquation::new(
             "a",
-            Expr::Mul(Box::new(Expr::center("a")), Box::new(Expr::center("a"))),
+            Expr::center("a") * Expr::center("a") * Expr::center("a"),
         ));
         let case = ConformanceCase { seed: 0, program, options: PipelineOptions::default() };
         match run_case(&case) {
             Verdict::Rejected { code, .. } => {
-                assert_eq!(code.as_deref(), Some("non-linear"), "classified without text-matching");
+                assert_eq!(
+                    code.as_deref(),
+                    Some("non-linear-degree"),
+                    "classified without text-matching"
+                );
             }
             other => panic!("expected a typed rejection, got {other:?}"),
         }

@@ -36,6 +36,10 @@ pub struct GeneratorConfig {
     pub max_radius_z: i64,
     /// Maximum number of timesteps.
     pub max_timesteps: i64,
+    /// Per-equation probability of a degree-2 product term (the shapes
+    /// `decompose-products` lowers).  The CI nonlinear profile raises
+    /// this so most cases exercise the decomposition.
+    pub nonlinear_bias: f64,
 }
 
 impl Default for GeneratorConfig {
@@ -48,6 +52,7 @@ impl Default for GeneratorConfig {
             max_radius_xy: 3,
             max_radius_z: 3,
             max_timesteps: 3,
+            nonlinear_bias: 0.12,
         }
     }
 }
@@ -72,9 +77,36 @@ enum Shape {
     Box,
 }
 
+/// A seed produced a program that fails [`StencilProgram::validate`].
+///
+/// The sweep driver records this as a failure of *that seed* and keeps
+/// going; a generator bug must not abort a whole conformance run (and
+/// the shrinker must still get to run on any genuinely failing cases the
+/// rest of the sweep finds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerateError {
+    /// The seed whose program failed validation.
+    pub seed: u64,
+    /// The validation error.
+    pub message: String,
+}
+
+impl std::fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seed {} generated an invalid program: {}", self.seed, self.message)
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
 /// Generates the conformance case for `seed` under the default bounds.
 pub fn generate_case(seed: u64) -> ConformanceCase {
     generate_case_with(seed, &GeneratorConfig::default())
+}
+
+/// Fallible form of [`generate_case`].
+pub fn try_generate_case(seed: u64) -> Result<ConformanceCase, GenerateError> {
+    try_generate_case_with(seed, &GeneratorConfig::default())
 }
 
 /// True when the program contains the shape dependence-aware inlining
@@ -97,8 +129,36 @@ pub fn has_self_updating_chain(program: &StencilProgram) -> bool {
     })
 }
 
-/// Generates the conformance case for `seed` under explicit bounds.
+/// True when any equation contains a data×data product — a `Mul` whose
+/// operands are both non-constant, i.e. the nonlinear shape the
+/// `decompose-products` pass lowers into scratch-field Mul kernels.
+pub fn has_product_term(program: &StencilProgram) -> bool {
+    fn is_data(e: &Expr) -> bool {
+        !matches!(e, Expr::Const(_))
+    }
+    fn walk(e: &Expr) -> bool {
+        match e {
+            Expr::Mul(a, b) => (is_data(a) && is_data(b)) || walk(a) || walk(b),
+            Expr::Add(a, b) | Expr::Sub(a, b) => walk(a) || walk(b),
+            Expr::Const(_) | Expr::Access { .. } => false,
+        }
+    }
+    program.equations.iter().any(|eq| walk(&eq.expr))
+}
+
+/// Generates the conformance case for `seed` under explicit bounds,
+/// panicking if the seed produces an invalid program.  Sweeps over many
+/// seeds should prefer [`try_generate_case_with`], which reports the bad
+/// seed instead of aborting the whole run.
 pub fn generate_case_with(seed: u64, config: &GeneratorConfig) -> ConformanceCase {
+    try_generate_case_with(seed, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Generates the conformance case for `seed` under explicit bounds.
+pub fn try_generate_case_with(
+    seed: u64,
+    config: &GeneratorConfig,
+) -> Result<ConformanceCase, GenerateError> {
     let mut rng = Rng::new(seed);
 
     // Grid: occasionally degenerate (extent 1) to exercise local-only
@@ -137,7 +197,9 @@ pub fn generate_case_with(seed: u64, config: &GeneratorConfig) -> ConformanceCas
         timesteps,
         source: format!("# generated stencil workload, seed {seed}"),
     };
-    debug_assert!(program.validate().is_ok(), "generator produced an invalid program");
+    if let Err(message) = program.validate() {
+        return Err(GenerateError { seed, message });
+    }
 
     let options = PipelineOptions {
         target: if rng.chance(0.5) { WseTarget::Wse2 } else { WseTarget::Wse3 },
@@ -154,7 +216,7 @@ pub fn generate_case_with(seed: u64, config: &GeneratorConfig) -> ConformanceCas
         verify_each: true,
     };
 
-    ConformanceCase { seed, program, options }
+    Ok(ConformanceCase { seed, program, options })
 }
 
 /// Generates a self-updating producer → (optional sandwich) → centre-only
@@ -274,13 +336,43 @@ fn generate_equation(
     if expr_terms.is_empty() || rng.chance(0.15) {
         expr_terms.push(Expr::c(rng.float_in(-0.1, 0.1)));
     }
-    // Rarely emit a nonlinear term (access * access).  The pipeline only
-    // supports linear combinations, so these programs must be *rejected
-    // with a typed diagnostic* — a panic anywhere is a conformance
-    // failure.  This keeps the rejection path under continuous test.
-    if rng.chance(0.04) {
+    // Degree-2 product terms (access · access) are *supported* shapes:
+    // the decompose-products pass splits them onto scratch fields and the
+    // rest of the pipeline executes them.  Cover the distinct kernel
+    // shapes — a squared centre, a product of two (possibly distinct)
+    // fields, a z-shifted factor, and an in-plane remote factor — and
+    // sometimes place the product first so it lands in the
+    // accumulator-init slot rather than a later Mac.  Initial field
+    // values are O(0.1), so a modest coefficient keeps products tiny and
+    // the iteration contractive.
+    if rng.chance(config.nonlinear_bias) {
         let field = rng.pick(fields).clone();
-        expr_terms.push(Expr::Mul(Box::new(Expr::center(&field)), Box::new(Expr::center(&field))));
+        let coeff = rng.float_in(-0.4, 0.4);
+        let other: String = rng.pick(fields).clone();
+        let factor2 = match rng.int_in(0, 3) {
+            0 => Expr::center(&field),
+            1 => Expr::center(&other),
+            2 if nz > 1 => Expr::at(&field, 0, 0, if rng.chance(0.5) { 1 } else { -1 }),
+            _ if nx > 1 => {
+                let dz = if nz > 1 && rng.chance(0.5) { -1 } else { 0 };
+                Expr::at(&other, 1, 0, dz)
+            }
+            _ => Expr::center(&field),
+        };
+        let product = (Expr::center(&field) * factor2).scale(coeff);
+        if rng.chance(0.4) {
+            expr_terms.insert(0, product);
+        } else {
+            expr_terms.push(product);
+        }
+    }
+    // Degree 3 stays above the cap: these programs must be *rejected
+    // with the typed `non-linear-degree` diagnostic* — a panic anywhere
+    // is a conformance failure.  Rare, to keep the rejection path under
+    // continuous test without eating differential coverage.
+    if rng.chance(0.01) {
+        let field = rng.pick(fields).clone();
+        expr_terms.push(Expr::center(&field) * Expr::center(&field) * Expr::center(&field));
     }
     StencilEquation::new(output, Expr::sum(expr_terms))
 }
@@ -303,12 +395,23 @@ mod tests {
     #[test]
     fn generated_programs_validate() {
         for seed in 0..256u64 {
-            let case = generate_case(seed);
-            case.program
-                .validate()
-                .unwrap_or_else(|e| panic!("seed {seed} generated an invalid program: {e}"));
+            // A bad seed is a typed per-seed error, not a sweep abort.
+            let case = try_generate_case(seed).unwrap_or_else(|e| panic!("{e}"));
+            assert!(case.program.validate().is_ok());
             assert!(!case.program.equations.is_empty());
         }
+    }
+
+    #[test]
+    fn generate_errors_carry_the_seed() {
+        // No valid config reaches the error path (that is the point of
+        // `generated_programs_validate`); pin the report format the sweep
+        // driver prints when a generator bug does slip through.
+        let err = GenerateError { seed: 42, message: "timesteps must be positive".into() };
+        assert_eq!(
+            err.to_string(),
+            "seed 42 generated an invalid program: timesteps must be positive"
+        );
     }
 
     #[test]
@@ -334,6 +437,88 @@ mod tests {
             c.program.equations.iter().any(|eq| eq.expr.flops() == 0 || contains_const(&eq.expr))
         });
         assert!(has_constant);
+    }
+
+    #[test]
+    fn generator_covers_the_product_shapes() {
+        // Under a raised bias, a modest seed range must reach every
+        // degree-2 product shape the decomposition lowers: squared
+        // centres, products of two distinct fields, products with a
+        // shifted (remote or z-offset) factor, and a product in the
+        // accumulator-init (first-term) position — plus the rare degree-3
+        // body that must stay rejected.
+        let config = GeneratorConfig { nonlinear_bias: 0.6, ..GeneratorConfig::default() };
+        let cases: Vec<ConformanceCase> =
+            (0..512).map(|s| generate_case_with(s, &config)).collect();
+        let products: Vec<(Expr, Expr, bool)> = cases
+            .iter()
+            .flat_map(|c| c.program.equations.iter())
+            .flat_map(|eq| collect_products(&eq.expr))
+            .collect();
+        assert!(cases.iter().any(|c| has_product_term(&c.program)));
+        assert!(products.iter().any(|(a, b, _)| a == b), "squared terms must appear");
+        assert!(
+            products.iter().any(
+                |(a, b, _)| matches!((field_of(a), field_of(b)), (Some(x), Some(y)) if x != y)
+            ),
+            "distinct-field products must appear"
+        );
+        assert!(
+            products
+                .iter()
+                .any(|(_, b, _)| matches!(b, Expr::Access { offset, .. } if *offset != [0, 0, 0])),
+            "shifted product factors must appear"
+        );
+        assert!(products.iter().any(|(_, _, first)| *first), "acc-init products must appear");
+        assert!(
+            cases.iter().flat_map(|c| c.program.equations.iter()).any(|eq| degree(&eq.expr) > 2),
+            "rare degree-3 bodies must appear (the rejection path)"
+        );
+    }
+
+    /// Collects (factor1, factor2, is_first_term) for every data×data
+    /// product in a sum-of-terms expression.
+    fn collect_products(expr: &Expr) -> Vec<(Expr, Expr, bool)> {
+        fn product_of(term: &Expr) -> Option<(Expr, Expr)> {
+            match term {
+                Expr::Mul(a, b) => match (a.as_ref(), b.as_ref()) {
+                    (Expr::Const(_), other) | (other, Expr::Const(_)) => product_of(other),
+                    (a, b) => Some((a.clone(), b.clone())),
+                },
+                _ => None,
+            }
+        }
+        fn terms(e: &Expr, out: &mut Vec<Expr>) {
+            match e {
+                Expr::Add(a, b) => {
+                    terms(a, out);
+                    terms(b, out);
+                }
+                other => out.push(other.clone()),
+            }
+        }
+        let mut flat = Vec::new();
+        terms(expr, &mut flat);
+        flat.iter()
+            .enumerate()
+            .filter_map(|(i, t)| product_of(t).map(|(a, b)| (a, b, i == 0)))
+            .collect()
+    }
+
+    fn field_of(e: &Expr) -> Option<&str> {
+        match e {
+            Expr::Access { field, .. } => Some(field),
+            _ => None,
+        }
+    }
+
+    fn degree(e: &Expr) -> usize {
+        match e {
+            Expr::Const(_) => 0,
+            Expr::Access { .. } => 1,
+            Expr::Add(a, b) | Expr::Sub(a, b) => degree(a).max(degree(b)),
+            Expr::Mul(a, b) => degree(a) + degree(b),
+        }
     }
 
     fn contains_const(e: &Expr) -> bool {

@@ -32,11 +32,13 @@ pub mod rng;
 pub mod shrink;
 
 pub use conformance::{
-    case_fusion_evidence, install_quiet_panic_hook, run_case, run_case_with_tolerance,
-    run_case_with_tolerance_via, shape_tolerance, FusionEvidence, Verdict, TOLERANCE,
+    case_fusion_evidence, case_product_evidence, install_quiet_panic_hook, run_case,
+    run_case_with_tolerance, run_case_with_tolerance_via, shape_tolerance, FusionEvidence,
+    ProductEvidence, Verdict, TOLERANCE,
 };
 pub use generate::{
-    generate_case, generate_case_with, has_self_updating_chain, ConformanceCase, GeneratorConfig,
+    generate_case, generate_case_with, has_product_term, has_self_updating_chain,
+    try_generate_case, try_generate_case_with, ConformanceCase, GenerateError, GeneratorConfig,
 };
 pub use report::reproducer;
 pub use shrink::shrink_case;

@@ -139,13 +139,18 @@ fn inlining_propagates_the_producer_constant() {
     assert_passes(program((1, 1, 1), &["f1", "f2"], eqs, 1), PipelineOptions::default());
 }
 
-/// Nonlinear bodies must come back as typed diagnostics, never panics.
+/// Nonlinear bodies above the degree cap must come back as typed
+/// diagnostics, never panics.  (Degree-2 bodies are *lowered* — see the
+/// `nonlinear_products` module below.)
 #[test]
-fn nonlinear_bodies_are_rejected_with_a_typed_diagnostic() {
+fn degree_three_bodies_are_rejected_with_a_typed_diagnostic() {
     install_quiet_panic_hook();
     let eq = StencilEquation::new(
         "f0",
-        Expr::Mul(Box::new(Expr::center("f0")), Box::new(Expr::center("f0"))),
+        // Nested under an add, so the diagnostic has to walk to the
+        // offending multiply rather than blaming the whole body.
+        Expr::center("f0").scale(0.2)
+            + Expr::center("f0") * Expr::center("f0") * Expr::center("f0"),
     );
     let case = ConformanceCase {
         seed: 0,
@@ -157,7 +162,7 @@ fn nonlinear_bodies_are_rejected_with_a_typed_diagnostic() {
             assert_eq!(stage, "distribute-stencil");
             // Classified by the machine-readable code the analysis error
             // carries, not by string-matching the diagnostic text.
-            assert_eq!(code.as_deref(), Some("non-linear"));
+            assert_eq!(code.as_deref(), Some("non-linear-degree"));
         }
         other => panic!("expected a typed rejection, got {other:?}"),
     }
@@ -575,6 +580,125 @@ mod dependence_aware_inlining {
         assert!(
             stats.captures_elided > 0,
             "renamed producer no longer writes its transmitted field: {stats:?}"
+        );
+    }
+}
+
+// --------------------------------------------------------------------------
+// Nonlinear stencil bodies (decompose-products).  Degree-2 terms are
+// split onto `__prod` scratch fields and executed as elementwise Mul
+// kernels feeding the linear Mac accumulation; these pin the new path
+// end to end.  `assert_passes` (via `run_case`) cross-checks every case
+// bitwise across both stream variants — optimized vs `WSE_SIM_NO_FUSE`
+// and vector vs scalar kernel sets — and against the reference executor.
+// --------------------------------------------------------------------------
+
+mod nonlinear_products {
+    use super::{assert_passes, program};
+    use testkit::install_quiet_panic_hook;
+    use wse_frontends::ast::{Expr, StencilEquation, StencilProgram};
+    use wse_lowering::PipelineOptions;
+    use wse_sim::{LinkOptions, WseGridSim};
+    use wse_stencil::Compiler;
+
+    /// Burgers-style advection–diffusion: an upwind `u·(u - u[x-1])`
+    /// product plus a linear diffusion term.
+    fn burgers() -> StencilProgram {
+        let eq = StencilEquation::new(
+            "u",
+            Expr::center("u")
+                + (Expr::center("u") * (Expr::center("u") - Expr::at("u", -1, 0, 0))).scale(-0.2)
+                + (Expr::at("u", 1, 0, 0) - Expr::center("u")).scale(0.05),
+        );
+        program((4, 4, 6), &["u"], vec![eq], 3)
+    }
+
+    /// The Burgers body is conformant through both chunked and
+    /// single-chunk exchanges, and with the fmac peephole off (the
+    /// spelling where an unguarded fuse would destructively square a
+    /// live column through the `@fmuls` fallback).
+    #[test]
+    fn burgers_advection_is_conformant_across_stream_variants() {
+        install_quiet_panic_hook();
+        assert_passes(burgers(), PipelineOptions::default());
+        assert_passes(burgers(), PipelineOptions { num_chunks: 2, ..PipelineOptions::default() });
+        assert_passes(
+            burgers(),
+            PipelineOptions { enable_fmac_fusion: false, ..PipelineOptions::default() },
+        );
+    }
+
+    /// Proof the decomposition actually fired (not a silent linear
+    /// fallback): the loaded program carries a `__prod` scratch field
+    /// excluded from observable state, and the linked stream multiplies
+    /// data by data per `LinkedProgram::stats`.
+    #[test]
+    fn product_decomposition_fires_on_burgers() {
+        install_quiet_panic_hook();
+        let p = burgers();
+        let artifact =
+            Compiler::new().verify_each(true).num_chunks(2).compile(&p).expect("compiles");
+        let loaded = artifact.loaded_program().clone();
+        assert!(
+            loaded.internal_fields.iter().any(|f| f.contains("__prod")),
+            "scratch product field is internal: {:?}",
+            loaded.internal_fields
+        );
+        let sim = WseGridSim::with_options(
+            loaded.clone(),
+            LinkOptions { optimize: true, ..LinkOptions::default() },
+        )
+        .expect("links");
+        let stats = sim.linked().stats();
+        assert!(stats.product_muls > 0, "linked stream multiplies data by data: {stats:?}");
+
+        // Scratch products are not live-out state.
+        let mut sim = WseGridSim::new(loaded).unwrap();
+        sim.run(None).unwrap();
+        assert_eq!(sim.grid_state().unwrap().names, vec!["u".to_string()]);
+    }
+
+    /// A product whose second factor is both remote (x+1) and z-shifted
+    /// stages the neighbor's full column before multiplying; the window
+    /// clamp must agree with the reference's zero halo.
+    #[test]
+    fn remote_z_shifted_product_factors_are_conformant() {
+        install_quiet_panic_hook();
+        let eq = StencilEquation::new(
+            "u",
+            Expr::center("u").scale(0.6) + (Expr::center("u") * Expr::at("u", 1, 0, -1)).scale(0.3),
+        );
+        assert_passes(
+            program((3, 3, 5), &["u"], vec![eq], 2),
+            PipelineOptions { num_chunks: 2, ..PipelineOptions::default() },
+        );
+        // Single chunk: the done callback reads the receive buffer
+        // directly instead of a staged column.
+        let eq = StencilEquation::new(
+            "u",
+            Expr::center("u").scale(0.6) + (Expr::center("u") * Expr::at("u", 1, 0, 1)).scale(0.3),
+        );
+        assert_passes(
+            program((3, 3, 5), &["u"], vec![eq], 2),
+            PipelineOptions { num_chunks: 1, ..PipelineOptions::default() },
+        );
+    }
+
+    /// A product of two distinct fields placed first in the body, so it
+    /// seeds the accumulator-init slot rather than a later Mac.
+    #[test]
+    fn distinct_field_products_in_acc_init_position_are_conformant() {
+        install_quiet_panic_hook();
+        let eqs = vec![
+            StencilEquation::new(
+                "u",
+                (Expr::center("u") * Expr::center("v")).scale(0.3) + Expr::center("u").scale(0.5),
+            ),
+            StencilEquation::new("v", Expr::at("v", 0, 1, 0).scale(0.4)),
+        ];
+        assert_passes(
+            program((3, 3, 4), &["u", "v"], eqs, 2),
+            PipelineOptions { num_chunks: 2, ..PipelineOptions::default() },
         );
     }
 }

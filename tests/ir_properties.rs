@@ -169,7 +169,7 @@ proptest! {
         let n = coeffs.len().min(offsets.len());
         let combo = LinearCombination {
             terms: (0..n)
-                .map(|i| Term { input: 0, offset: vec![offsets[i], 0, 0], coeff: coeffs[i] })
+                .map(|i| Term { input: 0, offset: vec![offsets[i], 0, 0], coeff: coeffs[i], factor2: None })
                 .collect(),
             constant: 0.25,
         };
@@ -195,10 +195,10 @@ proptest! {
             terms: (1..=radius)
                 .flat_map(|r| {
                     vec![
-                        Term { input: 0, offset: vec![r, 0, 0], coeff: 1.0 },
-                        Term { input: 0, offset: vec![-r, 0, 0], coeff: 1.0 },
-                        Term { input: 0, offset: vec![0, r, 0], coeff: 1.0 },
-                        Term { input: 0, offset: vec![0, -r, 0], coeff: 1.0 },
+                        Term { input: 0, offset: vec![r, 0, 0], coeff: 1.0, factor2: None },
+                        Term { input: 0, offset: vec![-r, 0, 0], coeff: 1.0, factor2: None },
+                        Term { input: 0, offset: vec![0, r, 0], coeff: 1.0, factor2: None },
+                        Term { input: 0, offset: vec![0, -r, 0], coeff: 1.0, factor2: None },
                     ]
                 })
                 .collect(),
