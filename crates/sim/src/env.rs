@@ -7,6 +7,12 @@
 //! unset.  Typed overrides like `WSE_SIM_HOST_GHZ` go through
 //! [`env_value`], which ignores unset, empty, and unparseable values
 //! instead of silently mixing per-call-site fallbacks.
+//!
+//! Fault-tolerance toggles: `WSE_SIM_FAULTS=<seed>:<rate>` arms a seeded
+//! fault-injection campaign on the next run (see [`crate::fault`]), and
+//! `WSE_SIM_CHECKPOINT_EVERY` / `WSE_SIM_WATCHDOG_MS` /
+//! `WSE_SIM_MAX_ROLLBACKS` override the recovery defaults (see
+//! [`crate::checkpoint`]).
 
 /// True when the environment variable `name` is set to a truthy spelling:
 /// `1`, `true`, `yes`, or `on`, case-insensitively, after trimming

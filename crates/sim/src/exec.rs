@@ -37,8 +37,11 @@
 //! was written since the previous capture (tracked per buffer with write
 //! epochs from [`crate::link::LinkedKernel::writes`]).
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
 
+use crate::checkpoint::{checksum_f32, row_checksums, Checkpoint, RecoveryOptions, RecoveryStats};
+use crate::fault::{FaultKind, FaultOptions, FaultPlan, INJECTED_BAND_PANIC};
 use crate::kernels::{BatchTerm, Term, MAX_ARITY};
 use crate::link::{
     link_program_with, FusedInit, FusedTerm, LinkOptions, LinkedComm, LinkedKernel, LinkedProgram,
@@ -48,12 +51,54 @@ use crate::loader::LoadedProgram;
 use crate::plan::{plan_program, KernelPlan, PlannedOp, ProgramPlan, SweepGroup};
 use crate::reference::{initial_value, Field3D, GridState};
 
-/// Execution error (produced at link time: unknown buffers, out-of-bounds
-/// or mismatched views, malformed exchanges).
+/// What class of failure an [`ExecError`] reports — the typed failure
+/// paths the recovery loop dispatches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecErrorKind {
+    /// Link-time or API validation failure (unknown buffers,
+    /// out-of-bounds views, malformed exchanges, malformed options).
+    Invalid,
+    /// A worker band panicked mid-sweep; the panic was captured
+    /// (`catch_unwind`) instead of wedging the barrier.  Grid state is
+    /// partially written — roll back or restore before continuing.
+    BandPanicked,
+    /// Worker bands missed the watchdog deadline.  The wedged state was
+    /// quarantined (leaked, never freed under the stalled worker);
+    /// restore a checkpoint to continue.
+    Timeout,
+    /// An integrity checksum mismatched: per-row arena sums at a step
+    /// boundary, or halo delivery sums inside a kernel (ABFT detection).
+    Corruption,
+    /// Recovery itself failed: the rollback budget was exhausted or no
+    /// checkpoint existed to roll back to.
+    RecoveryFailed,
+    /// The engine state was lost to an earlier failure and has not been
+    /// restored from a checkpoint since.
+    Poisoned,
+}
+
+/// Execution error: link-time validation failures, plus the typed runtime
+/// failure paths of the hardened engine (see [`ExecErrorKind`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecError {
     /// Description.
     pub message: String,
+    /// Failure class.
+    pub kind: ExecErrorKind,
+}
+
+impl ExecError {
+    /// An error of the given kind.
+    pub fn new(kind: ExecErrorKind, message: impl Into<String>) -> Self {
+        ExecError { message: message.into(), kind }
+    }
+
+    /// A validation error ([`ExecErrorKind::Invalid`]), the pre-hardening
+    /// default class.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        Self::new(ExecErrorKind::Invalid, message)
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -65,7 +110,7 @@ impl std::fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 fn err(message: impl Into<String>) -> ExecError {
-    ExecError { message: message.into() }
+    ExecError::invalid(message)
 }
 
 /// Minimum elements of per-kernel work across the grid before the sweep is
@@ -80,10 +125,13 @@ const PARALLEL_WORK_THRESHOLD: usize = 400_000;
 #[derive(Debug)]
 pub struct WseGridSim {
     program: LoadedProgram,
-    linked: LinkedProgram,
+    /// Boxed so a watchdog quarantine can leak the old heap copy intact
+    /// while a stalled worker may still read it (see `quarantine`).
+    linked: Box<LinkedProgram>,
     /// The kernel plan: every linked instruction lowered to a
-    /// monomorphized SIMD kernel call (see [`crate::plan`]).
-    plan: ProgramPlan,
+    /// monomorphized SIMD kernel call (see [`crate::plan`]).  Boxed for
+    /// the same quarantine reason as `linked`.
+    plan: Box<ProgramPlan>,
     /// All PE arenas back to back; PE `(x, y)` owns
     /// `[(y * width + x) * arena_len ..][.. arena_len]`.
     arenas: Vec<f32>,
@@ -113,6 +161,33 @@ pub struct WseGridSim {
     hw_threads: usize,
     /// Lazily created persistent worker pool (never cloned).
     pool: Option<WorkerPool>,
+    /// Completed macro steps since construction or the last restore.
+    step: i64,
+    /// Fault configuration from `WSE_SIM_FAULTS` or
+    /// [`WseGridSim::inject_faults`]; `run` re-materializes `fault` from
+    /// it over each call's step range.
+    fault_options: Option<FaultOptions>,
+    /// The active fault schedule (events are consumed as they fire).
+    fault: Option<FaultPlan>,
+    /// Checkpoint/checksum recovery state; `None` runs the historical
+    /// fast path with zero overhead.
+    recovery: Option<RecoveryState>,
+    /// Watchdog deadline for parallel sweeps.
+    watchdog: Duration,
+    /// Set when grid state was lost to a failure (band panic, watchdog
+    /// quarantine, exhausted rollback budget) and not restored since.
+    poisoned: bool,
+}
+
+/// Private recovery bookkeeping behind [`WseGridSim::enable_recovery`].
+#[derive(Debug, Clone)]
+struct RecoveryState {
+    options: RecoveryOptions,
+    /// The rollback anchor (the latest checkpoint).
+    checkpoint: Option<Checkpoint>,
+    /// Per-PE-row arena checksums of the last verified-clean state.
+    row_sums: Vec<u64>,
+    stats: RecoveryStats,
 }
 
 impl Clone for WseGridSim {
@@ -135,6 +210,12 @@ impl Clone for WseGridSim {
             // Worker pools hold OS threads; the clone creates its own on
             // first parallel kernel.
             pool: None,
+            step: self.step,
+            fault_options: self.fault_options,
+            fault: self.fault.clone(),
+            recovery: self.recovery.clone(),
+            watchdog: self.watchdog,
+            poisoned: self.poisoned,
         }
     }
 }
@@ -197,10 +278,14 @@ impl WseGridSim {
             linked.kernels.iter().filter_map(|k| k.comm.as_ref()).map(|c| c.col_len).max();
         let zero_col = vec![0.0f32; max_col_len.unwrap_or(0)];
         let hw_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // A malformed WSE_SIM_FAULTS is a typed construction error, never
+        // a silently clean run.
+        let fault_options = FaultOptions::from_env()?;
+        let watchdog = RecoveryOptions::from_env().watchdog();
         Ok(Self {
             program,
-            linked,
-            plan,
+            linked: Box::new(linked),
+            plan: Box::new(plan),
             arenas,
             snapshot,
             snap_bases,
@@ -213,6 +298,12 @@ impl WseGridSim {
             threads: None,
             hw_threads,
             pool: None,
+            step: 0,
+            fault_options,
+            fault: None,
+            recovery: None,
+            watchdog,
+            poisoned: false,
         })
     }
 
@@ -238,14 +329,146 @@ impl WseGridSim {
         self.threads = Some(threads.max(1));
     }
 
-    /// Runs the program for `timesteps` steps (defaults to the program's
-    /// own timestep count).
+    /// Completed macro steps since construction or the last
+    /// [`WseGridSim::restore`].
+    pub fn steps_completed(&self) -> i64 {
+        self.step
+    }
+
+    /// True when grid state was lost to a failure (band panic, watchdog
+    /// quarantine, exhausted rollback budget) and not restored since.
+    /// A poisoned engine refuses to run or extract state.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Captures a bitwise-exact checkpoint of the current grid state and
+    /// step counter (independent of the periodic recovery cadence).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::capture(&self.arenas, self.step, None)
+    }
+
+    /// Restores a checkpoint: arenas bitwise, step counter, and all
+    /// snapshot/epoch bookkeeping reset to the fresh-construction state,
+    /// so a replay from the checkpoint is bitwise identical to an
+    /// uninterrupted run.  Clears the poisoned flag.
     ///
     /// # Errors
-    /// Never fails after a successful link; the `Result` is kept so the
-    /// signature survives future engine changes.
+    /// [`ExecErrorKind::Invalid`] when the checkpoint was captured from a
+    /// different arena shape.
+    pub fn restore(&mut self, checkpoint: &Checkpoint) -> Result<(), ExecError> {
+        if checkpoint.len() != self.arenas.len() {
+            return Err(err(format!(
+                "checkpoint holds {} arena elements, this engine has {}",
+                checkpoint.len(),
+                self.arenas.len()
+            )));
+        }
+        checkpoint.restore_into(&mut self.arenas);
+        self.step = checkpoint.step();
+        // Reset the incremental-snapshot bookkeeping to the
+        // fresh-construction state: every column recaptures before its
+        // next use, so replay cannot observe pre-restore snapshots.
+        self.write_epoch = 1;
+        self.buffer_epochs.iter_mut().for_each(|e| *e = 0);
+        for epochs in &mut self.snap_epochs {
+            epochs.iter_mut().for_each(|e| *e = u64::MAX);
+        }
+        self.poisoned = false;
+        let row_stride = self.linked.width as usize * self.linked.arena_len;
+        if let Some(recovery) = self.recovery.as_mut() {
+            recovery.checkpoint = Some(checkpoint.clone());
+            if recovery.options.verify {
+                recovery.row_sums = row_checksums(&self.arenas, row_stride);
+            }
+        }
+        Ok(())
+    }
+
+    /// Enables seeded fault injection (the API form of
+    /// `WSE_SIM_FAULTS=<seed>:<rate>`).  The next [`WseGridSim::run`]
+    /// materializes the fault schedule over its step range and
+    /// auto-enables recovery if it was not configured explicitly.
+    pub fn inject_faults(&mut self, options: FaultOptions) {
+        self.fault_options = Some(options);
+        self.fault = None;
+    }
+
+    /// Installs an explicit fault schedule (see
+    /// [`FaultPlan::from_events`]) — the test hook for precisely-placed
+    /// faults.  Events fire in [`WseGridSim::run`] and
+    /// [`WseGridSim::run_timestep`] and are consumed once.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+        self.fault_options = None;
+    }
+
+    /// Enables checkpoint/checksum recovery: periodic copy-on-write
+    /// checkpoints, rollback-and-replay on any transient failure, and —
+    /// with [`RecoveryOptions::verify`] on — per-row arena checksums
+    /// verified at every step boundary plus halo delivery checksums
+    /// inside capturing kernels (see the cost model on
+    /// [`crate::checkpoint`]).  With faults disabled the machinery is
+    /// bitwise-transparent (checksums and checkpoints never alter
+    /// state).
+    pub fn enable_recovery(&mut self, options: RecoveryOptions) {
+        self.watchdog = options.watchdog();
+        self.recovery = Some(RecoveryState {
+            options,
+            checkpoint: None,
+            row_sums: Vec::new(),
+            stats: RecoveryStats::default(),
+        });
+    }
+
+    /// What the recovery machinery did so far; `None` until recovery is
+    /// enabled (explicitly or by a fault campaign).
+    pub fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        self.recovery.as_ref().map(|r| &r.stats)
+    }
+
+    /// Runs the program for `timesteps` steps (defaults to the program's
+    /// own timestep count).  With faults or recovery enabled, runs the
+    /// detect-and-rollback loop; otherwise the historical zero-overhead
+    /// path.
+    ///
+    /// # Errors
+    /// [`ExecErrorKind::Poisoned`] when state was lost and not restored;
+    /// typed failures ([`ExecErrorKind::BandPanicked`],
+    /// [`ExecErrorKind::Timeout`], [`ExecErrorKind::Corruption`]) when a
+    /// failure strikes without recovery enabled to absorb it;
+    /// [`ExecErrorKind::RecoveryFailed`] when the rollback budget is
+    /// exhausted.
     pub fn run(&mut self, timesteps: Option<i64>) -> Result<(), ExecError> {
-        let steps = timesteps.unwrap_or(self.linked.timesteps);
+        if self.poisoned {
+            return Err(self.poisoned_error());
+        }
+        let steps = timesteps.unwrap_or(self.linked.timesteps).max(0);
+        if let Some(options) = self.fault_options {
+            // Per-step events are a pure function of (seed, step), so
+            // re-materializing over each call's range is equivalent to one
+            // plan over the whole campaign.
+            let stall = (self.watchdog.as_millis() as u64).saturating_mul(2).max(1);
+            self.fault = Some(FaultPlan::for_range(
+                options,
+                &self.linked,
+                self.step,
+                self.step + steps,
+                stall,
+            ));
+        }
+        if self.fault.as_ref().is_some_and(|f| !f.is_empty()) || self.recovery.is_some() {
+            if self.recovery.is_none() {
+                // Auto-enabled by a fault campaign: force full per-step
+                // verification — injecting faults without it would invite
+                // exactly the silent divergence recovery exists to prevent.
+                self.enable_recovery(RecoveryOptions {
+                    verify: true,
+                    ..RecoveryOptions::from_env()
+                });
+            }
+            return self.run_recovering(self.step + steps);
+        }
         for _ in 0..steps {
             self.run_timestep()?;
         }
@@ -255,16 +478,183 @@ impl WseGridSim {
     /// Runs a single timestep.
     ///
     /// # Errors
-    /// Never fails after a successful link (see [`WseGridSim::run`]).
+    /// See [`WseGridSim::run`]; without injected faults this never fails
+    /// after a successful link.
     pub fn run_timestep(&mut self) -> Result<(), ExecError> {
-        for k in 0..self.linked.kernels.len() {
-            self.run_kernel(k);
+        if self.poisoned {
+            return Err(self.poisoned_error());
         }
+        for k in 0..self.linked.kernels.len() {
+            self.run_kernel(k)?;
+        }
+        self.step += 1;
         Ok(())
     }
 
-    fn run_kernel(&mut self, kernel_index: usize) {
-        let linked = &self.linked;
+    fn poisoned_error(&self) -> ExecError {
+        ExecError::new(
+            ExecErrorKind::Poisoned,
+            "engine state was lost to an unrecovered failure; restore a checkpoint to continue",
+        )
+    }
+
+    /// The detect-and-rollback loop: verify per-row checksums at every
+    /// step boundary, checkpoint on cadence, convert transient failures
+    /// (band panics, watchdog timeouts, delivery corruption, arena
+    /// corruption) into rollback-and-replay, and give up with a typed
+    /// error once the rollback budget is spent.
+    fn run_recovering(&mut self, target: i64) -> Result<(), ExecError> {
+        let row_stride = self.linked.width as usize * self.linked.arena_len;
+        {
+            // Anchor checkpoint and baseline checksums of the entry state,
+            // so even the first step can roll back.
+            let recovery = self.recovery.as_mut().expect("recovery enabled");
+            if recovery.checkpoint.is_none() {
+                let ck = Checkpoint::capture(&self.arenas, self.step, None);
+                recovery.stats.checkpoints_saved += 1;
+                recovery.stats.checkpoint_pages_total += ck.page_count() as u64;
+                recovery.checkpoint = Some(ck);
+            }
+            if recovery.options.verify && recovery.row_sums.is_empty() {
+                recovery.row_sums = row_checksums(&self.arenas, row_stride);
+            }
+        }
+        loop {
+            // Integrity first, return second: corruption injected after
+            // the final step is still caught before the run reports clean.
+            if self.recovery.as_ref().expect("recovery enabled").options.verify {
+                let sums = row_checksums(&self.arenas, row_stride);
+                let recovery = self.recovery.as_mut().expect("recovery enabled");
+                if sums != recovery.row_sums {
+                    recovery.stats.checksum_failures += 1;
+                    self.rollback()?;
+                    continue;
+                }
+            }
+            if self.step >= target {
+                return Ok(());
+            }
+            match self.run_timestep() {
+                Ok(()) => {
+                    let recovery = self.recovery.as_mut().expect("recovery enabled");
+                    if recovery.options.verify {
+                        recovery.row_sums = row_checksums(&self.arenas, row_stride);
+                    }
+                    let due = match &recovery.checkpoint {
+                        Some(ck) => self.step - ck.step() >= recovery.options.checkpoint_every,
+                        None => true,
+                    };
+                    if due {
+                        let ck = Checkpoint::capture(
+                            &self.arenas,
+                            self.step,
+                            recovery.checkpoint.as_ref(),
+                        );
+                        recovery.stats.checkpoints_saved += 1;
+                        recovery.stats.checkpoint_pages_total += ck.page_count() as u64;
+                        if let Some(prev) = &recovery.checkpoint {
+                            recovery.stats.checkpoint_pages_shared +=
+                                ck.pages_shared_with(prev) as u64;
+                        }
+                        recovery.checkpoint = Some(ck);
+                    }
+                    // Transient bit-flips strike the boundary *after* the
+                    // step's checksums and checkpoint, so the next loop
+                    // iteration's integrity check detects them and rolls
+                    // back to a clean anchor.
+                    let flips = self
+                        .fault
+                        .as_mut()
+                        .map(|f| f.take_boundary_flips(self.step - 1))
+                        .unwrap_or_default();
+                    for (pe, offset, bit) in flips {
+                        let index = pe * self.linked.arena_len + offset;
+                        if index < self.arenas.len() {
+                            self.arenas[index] =
+                                f32::from_bits(self.arenas[index].to_bits() ^ (1 << bit));
+                            if let Some(recovery) = self.recovery.as_mut() {
+                                recovery.stats.faults.bit_flips += 1;
+                            }
+                        }
+                    }
+                }
+                Err(error) => {
+                    let recovery = self.recovery.as_mut().expect("recovery enabled");
+                    match error.kind {
+                        ExecErrorKind::Corruption => recovery.stats.delivery_failures += 1,
+                        ExecErrorKind::BandPanicked => recovery.stats.band_panics += 1,
+                        ExecErrorKind::Timeout => recovery.stats.band_timeouts += 1,
+                        // Anything else (validation, poisoning) is not a
+                        // transient fault: propagate.
+                        _ => return Err(error),
+                    }
+                    self.rollback()?;
+                }
+            }
+        }
+    }
+
+    /// Restores the latest checkpoint, charging the rollback budget.
+    fn rollback(&mut self) -> Result<(), ExecError> {
+        let recovery = self.recovery.as_mut().expect("recovery enabled");
+        recovery.stats.rollbacks += 1;
+        if recovery.stats.rollbacks > u64::from(recovery.options.max_rollbacks) {
+            self.poisoned = true;
+            return Err(ExecError::new(
+                ExecErrorKind::RecoveryFailed,
+                format!(
+                    "rollback budget exhausted after {} rollbacks — the fault is persistent, \
+                     not transient",
+                    recovery.options.max_rollbacks
+                ),
+            ));
+        }
+        let checkpoint = match recovery.checkpoint.clone() {
+            Some(ck) => ck,
+            None => {
+                self.poisoned = true;
+                return Err(ExecError::new(
+                    ExecErrorKind::RecoveryFailed,
+                    "no checkpoint to roll back to",
+                ));
+            }
+        };
+        let lost = (self.step - checkpoint.step()).max(0) as u64;
+        self.restore(&checkpoint)?;
+        self.recovery.as_mut().expect("recovery enabled").stats.steps_replayed += lost;
+        Ok(())
+    }
+
+    /// Abandons state a wedged worker may still touch.  The only sound
+    /// reclamation is none: the pool is detached without joining the
+    /// stalled thread, and every allocation reachable from the leaked
+    /// kernel context — arenas, snapshot, zero column, the linked program
+    /// and plan — is leaked intact and replaced with a fresh copy, so the
+    /// zombie's raw pointers stay valid forever while the engine itself
+    /// becomes restorable.
+    fn quarantine(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.abandon();
+        }
+        let arenas = vec![0.0f32; self.arenas.len()];
+        std::mem::forget(std::mem::replace(&mut self.arenas, arenas));
+        let snapshot = vec![0.0f32; self.snapshot.len()];
+        std::mem::forget(std::mem::replace(&mut self.snapshot, snapshot));
+        let zero_col = vec![0.0f32; self.zero_col.len()];
+        std::mem::forget(std::mem::replace(&mut self.zero_col, zero_col));
+        let linked = self.linked.clone();
+        std::mem::forget(std::mem::replace(&mut self.linked, linked));
+        let plan = self.plan.clone();
+        std::mem::forget(std::mem::replace(&mut self.plan, plan));
+        self.poisoned = true;
+    }
+
+    fn run_kernel(&mut self, kernel_index: usize) -> Result<(), ExecError> {
+        let step = self.step;
+        let kernel_fault =
+            self.fault.as_mut().and_then(|f| f.take_kernel_event(step, kernel_index));
+        let watchdog = self.watchdog;
+        let linked = &*self.linked;
         let kernel = &linked.kernels[kernel_index];
         let kplan = &self.plan.kernels[kernel_index];
         let n_pes = (linked.width * linked.height) as usize;
@@ -296,6 +686,10 @@ impl WseGridSim {
             None => self.hw_threads.min(height).max(1),
         };
         let row_stride = linked.width as usize * linked.arena_len;
+        // Band and delivery faults fire on the pool path, so a planned
+        // event forces parallel dispatch even below the work threshold
+        // (bitwise identical to serial execution either way).
+        let forced = kernel_fault.is_some();
 
         // SAFETY notes on `arenas_ptr`: kernels with an elided capture read
         // neighbor arena columns through this pointer while the sweep
@@ -313,7 +707,7 @@ impl WseGridSim {
         let max_dy = kernel.comm.as_ref().map(LinkedComm::max_dy).unwrap_or(0);
         let direct = kernel.comm.as_ref().is_some_and(|c| !c.capture);
 
-        if bands <= 1 || row_stride == 0 {
+        if row_stride == 0 || (bands <= 1 && !forced) {
             // Serial path: interleave snapshot and sweep as a row
             // wavefront.  A PE's sweep reads snapshot rows up to `max_dy`
             // ahead, so capturing just ahead of the sweep keeps each arena
@@ -405,7 +799,65 @@ impl WseGridSim {
                     }
                 }
             }
-            let ctx = KernelCtx::new(
+            // ABFT delivery integrity: checksum the kernel's snapshot
+            // region ("sent"), let a planned delivery fault tamper with a
+            // column, checksum again ("received"), and refuse to sweep on
+            // a mismatch.  Active only under recovery with verification,
+            // and only for kernels that actually capture halo columns.
+            let verify_deliveries = self.recovery.as_ref().is_some_and(|r| r.options.verify)
+                && kernel.comm.as_ref().is_some_and(|c| c.capture && !c.snap_fields.is_empty());
+            if verify_deliveries {
+                let comm = kernel.comm.as_ref().expect("verified deliveries imply an exchange");
+                let snap_len = comm.snap_len();
+                let sent =
+                    delivery_checksum(&self.snapshot, n_pes, snap_stride, snap_base, snap_len);
+                match kernel_fault {
+                    Some(FaultKind::DropDelivery { pe, field, .. }) => {
+                        let col = &mut self.snapshot
+                            [pe * snap_stride + snap_base + field * comm.col_len..][..comm.col_len];
+                        col.fill(0.0);
+                        if let Some(recovery) = self.recovery.as_mut() {
+                            recovery.stats.faults.drops += 1;
+                        }
+                    }
+                    Some(FaultKind::DuplicateDelivery { pe, field, .. }) => {
+                        let col = &mut self.snapshot
+                            [pe * snap_stride + snap_base + field * comm.col_len..][..comm.col_len];
+                        col.rotate_right(1);
+                        if let Some(recovery) = self.recovery.as_mut() {
+                            recovery.stats.faults.duplicates += 1;
+                        }
+                    }
+                    _ => {}
+                }
+                let received =
+                    delivery_checksum(&self.snapshot, n_pes, snap_stride, snap_base, snap_len);
+                if received != sent {
+                    return Err(ExecError::new(
+                        ExecErrorKind::Corruption,
+                        format!("halo delivery checksum mismatch in kernel {kernel_index}"),
+                    ));
+                }
+            }
+            let band_fault = match kernel_fault {
+                Some(FaultKind::BandPanic { band, .. }) => {
+                    if let Some(recovery) = self.recovery.as_mut() {
+                        recovery.stats.faults.band_panics += 1;
+                    }
+                    Some((band, BandFault::Panic))
+                }
+                Some(FaultKind::BandStall { band, millis, .. }) => {
+                    if let Some(recovery) = self.recovery.as_mut() {
+                        recovery.stats.faults.band_stalls += 1;
+                    }
+                    Some((band, BandFault::Stall(millis)))
+                }
+                _ => None,
+            };
+            // Boxed so the watchdog path can leak it: a stalled worker
+            // keeps reading the context past the timeout (see
+            // `quarantine`).
+            let ctx = Box::new(KernelCtx::new(
                 kernel,
                 kplan,
                 linked,
@@ -413,20 +865,63 @@ impl WseGridSim {
                 (snap_stride, snap_base),
                 &self.zero_col,
                 (arenas_ptr, n_arena_elems),
-            );
+            ));
             let rows_per_band = height.div_ceil(bands);
             let scratch_len = linked.max_view_len;
             let workers = self.hw_threads.max(1);
             let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers, scratch_len));
-            if direct {
+            let band_result = if direct {
                 // SAFETY: the bands must be siblings of the `arenas_ptr`
                 // reads the workers perform (see the invariants above), so
                 // the band slice is re-derived from the pointer instead of
                 // borrowing `self.arenas` afresh.
                 let all = unsafe { std::slice::from_raw_parts_mut(arenas_ptr, n_arena_elems) };
-                pool.run_bands(&ctx, all, rows_per_band * row_stride, rows_per_band);
+                pool.run_bands(
+                    &ctx,
+                    all,
+                    rows_per_band * row_stride,
+                    rows_per_band,
+                    watchdog,
+                    band_fault,
+                )
             } else {
-                pool.run_bands(&ctx, &mut self.arenas, rows_per_band * row_stride, rows_per_band);
+                pool.run_bands(
+                    &ctx,
+                    &mut self.arenas,
+                    rows_per_band * row_stride,
+                    rows_per_band,
+                    watchdog,
+                    band_fault,
+                )
+            };
+            match band_result {
+                Ok(()) => {}
+                Err(BandError::Panicked(detail)) => {
+                    // Every band acknowledged (the panic was caught), so no
+                    // worker holds pointers into the engine — but the sweep
+                    // is partially written.
+                    drop(ctx);
+                    self.poisoned = true;
+                    return Err(ExecError::new(
+                        ExecErrorKind::BandPanicked,
+                        format!("worker band panicked in kernel {kernel_index}: {detail}"),
+                    ));
+                }
+                Err(BandError::Timeout { missing }) => {
+                    // A wedged worker may still hold pointers into the
+                    // context and the engine's buffers: leak the context
+                    // and quarantine everything it can reach.
+                    let _ = Box::into_raw(ctx) as *const ();
+                    self.quarantine();
+                    return Err(ExecError::new(
+                        ExecErrorKind::Timeout,
+                        format!(
+                            "{missing} worker band(s) missed the {}ms watchdog deadline in \
+                             kernel {kernel_index}; wedged state quarantined",
+                            watchdog.as_millis()
+                        ),
+                    ));
+                }
             }
             if !kernel.commit.is_empty() {
                 // Commit pass: every sweep has completed (run_bands blocks),
@@ -443,6 +938,7 @@ impl WseGridSim {
             self.buffer_epochs[id.0 as usize] = self.write_epoch;
         }
         self.write_epoch += 1;
+        Ok(())
     }
 
     /// Extracts a field as a dense 3-D array (for comparison against the
@@ -452,6 +948,9 @@ impl WseGridSim {
     /// Returns an [`ExecError`] when `name` is not a field buffer of the
     /// program (previously a silent `None`).
     pub fn field(&self, name: &str) -> Result<Field3D, ExecError> {
+        if self.poisoned {
+            return Err(self.poisoned_error());
+        }
         let fi = self
             .program
             .field_buffers
@@ -525,6 +1024,25 @@ impl SnapshotPass<'_> {
             }
         }
     }
+}
+
+/// Combined checksum of one kernel's halo snapshot region across all PEs
+/// (per-PE columns folded FNV-style, position-salted), the "sent" and
+/// "received" sides of the ABFT delivery check.
+fn delivery_checksum(
+    snapshot: &[f32],
+    n_pes: usize,
+    snap_stride: usize,
+    snap_base: usize,
+    snap_len: usize,
+) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for pe in 0..n_pes {
+        let region = &snapshot[pe * snap_stride + snap_base..][..snap_len];
+        h ^= checksum_f32(region).rotate_left((pe % 63) as u32);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Shared read-only context of one kernel sweep (one instance per
@@ -630,34 +1148,85 @@ impl<'a> KernelCtx<'a> {
     }
 }
 
+/// An injected worker-band fault, attached to one job of one dispatch.
+#[derive(Debug, Clone, Copy)]
+enum BandFault {
+    /// Panic before touching the band (captured by the worker's
+    /// `catch_unwind`).
+    Panic,
+    /// Sleep this many milliseconds before running the band — sized past
+    /// the watchdog deadline to wedge the barrier.
+    Stall(u64),
+}
+
+/// Why a band dispatch failed.
+enum BandError {
+    /// At least one band panicked (all bands acknowledged; no worker
+    /// still holds pointers into the engine).
+    Panicked(String),
+    /// The watchdog deadline expired with this many bands outstanding —
+    /// the wedged workers may still hold pointers into the engine.
+    Timeout {
+        /// Bands that never acknowledged.
+        missing: usize,
+    },
+}
+
 /// One band dispatch: raw pointers into the dispatching thread's arena
 /// slice and kernel context.  The dispatcher blocks until every job is
-/// acknowledged, so the pointers never outlive their referents, and bands
-/// are disjoint `chunks_mut` slices so no two jobs alias.
+/// acknowledged (or the watchdog expires, after which the engine
+/// quarantines everything the job references), so the pointers never
+/// outlive their referents, and bands are disjoint `chunks_mut` slices so
+/// no two jobs alias.
 struct Job {
     ctx: *const (),
     band: *mut f32,
     band_len: usize,
     first_row: i64,
+    /// Dispatch generation, echoed in the acknowledgement so a stale ack
+    /// from a timed-out dispatch can never satisfy a later barrier.
+    generation: u64,
+    fault: Option<BandFault>,
 }
 
 // SAFETY: see the `Job` invariants above — the dispatcher owns the
-// referenced data and blocks on the completion barrier before returning.
+// referenced data and blocks on the completion barrier before returning
+// (quarantining the referents when the barrier times out).
 unsafe impl Send for Job {}
+
+/// One acknowledgement: the job's generation plus the captured panic
+/// message, if the band panicked.
+type BandAck = (u64, Result<(), String>);
 
 /// A persistent pool of band workers, created lazily by [`WseGridSim`]
 /// once a kernel's work crosses [`PARALLEL_WORK_THRESHOLD`] and reused for
 /// every subsequent macro step (the previous engine spawned fresh threads
-/// per kernel via `thread::scope`).
+/// per kernel via `thread::scope`).  Hardened: every job body runs under
+/// `catch_unwind`, the completion barrier has a watchdog deadline, and
+/// `Drop` bounds its joins so a dead or wedged worker can never hang the
+/// owner.
 struct WorkerPool {
     senders: Vec<Sender<Job>>,
-    done: Receiver<()>,
+    done: Receiver<BandAck>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    /// Bumped per dispatch; acks carrying an older generation are stale.
+    generation: u64,
 }
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool").field("workers", &self.senders.len()).finish()
+    }
+}
+
+/// Extracts a readable message from a captured panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "worker band panicked with a non-string payload".to_string()
     }
 }
 
@@ -672,31 +1241,55 @@ impl WorkerPool {
             handles.push(std::thread::spawn(move || {
                 let mut scratch = vec![0.0f32; scratch_len];
                 while let Ok(job) = rx.recv() {
-                    // SAFETY: per the `Job` invariants, the context and the
-                    // band slice are live for the duration of the job (the
-                    // dispatcher blocks on the barrier) and the band does
-                    // not alias any other job's band.
-                    let ctx = unsafe { &*(job.ctx as *const KernelCtx<'static>) };
-                    let band = unsafe { std::slice::from_raw_parts_mut(job.band, job.band_len) };
-                    ctx.run_band(band, job.first_row, &mut scratch);
-                    let _ = done_tx.send(());
+                    // A panicking band must still acknowledge, or the
+                    // barrier would wait for the watchdog on every panic:
+                    // capture the unwind and ship the message instead.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        match job.fault {
+                            Some(BandFault::Panic) => panic!("{INJECTED_BAND_PANIC}"),
+                            Some(BandFault::Stall(millis)) => {
+                                std::thread::sleep(Duration::from_millis(millis));
+                            }
+                            None => {}
+                        }
+                        // SAFETY: per the `Job` invariants, the context
+                        // and the band slice are live for the duration
+                        // of the job and the band does not alias any
+                        // other job's band.
+                        let ctx = unsafe { &*(job.ctx as *const KernelCtx<'static>) };
+                        let band =
+                            unsafe { std::slice::from_raw_parts_mut(job.band, job.band_len) };
+                        ctx.run_band(band, job.first_row, &mut scratch);
+                    }));
+                    let ack = result.map_err(panic_message);
+                    if done_tx.send((job.generation, ack)).is_err() {
+                        break;
+                    }
                 }
             }));
             senders.push(tx);
         }
-        Self { senders, done, handles }
+        Self { senders, done, handles, generation: 0 }
     }
 
     /// Executes the kernel over row bands of `arenas` on the pool, blocking
-    /// until every band completes (the barrier of the macro step).
+    /// until every band completes (the barrier of the macro step) or the
+    /// watchdog deadline expires.  `fault` attaches an injected fault to
+    /// one band (the index is taken modulo the job count).
     fn run_bands(
-        &self,
+        &mut self,
         ctx: &KernelCtx<'_>,
         arenas: &mut [f32],
         band_elems: usize,
         rows_per_band: usize,
-    ) {
+        watchdog: Duration,
+        fault: Option<(usize, BandFault)>,
+    ) -> Result<(), BandError> {
+        self.generation += 1;
+        let generation = self.generation;
         let ctx_ptr = ctx as *const KernelCtx<'_> as *const ();
+        let njobs = if band_elems == 0 { 0 } else { arenas.len().div_ceil(band_elems) };
+        let fault = fault.map(|(band, kind)| (band % njobs.max(1), kind));
         let mut jobs = 0usize;
         for (b, band) in arenas.chunks_mut(band_elems).enumerate() {
             let job = Job {
@@ -704,6 +1297,8 @@ impl WorkerPool {
                 band: band.as_mut_ptr(),
                 band_len: band.len(),
                 first_row: (b * rows_per_band) as i64,
+                generation,
+                fault: fault.and_then(|(target, kind)| (target == b).then_some(kind)),
             };
             // More bands than workers queue up round-robin; workers drain
             // their queue sequentially, which stays deterministic because
@@ -711,9 +1306,37 @@ impl WorkerPool {
             self.senders[b % self.senders.len()].send(job).expect("worker thread alive");
             jobs += 1;
         }
-        for _ in 0..jobs {
-            self.done.recv().expect("worker thread alive");
+        let deadline = Instant::now() + watchdog;
+        let mut received = 0usize;
+        let mut first_panic: Option<String> = None;
+        while received < jobs {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.done.recv_timeout(remaining) {
+                // Stale ack from a dispatch that timed out earlier: a
+                // later barrier must never count it.
+                Ok((g, _)) if g != generation => continue,
+                Ok((_, Ok(()))) => received += 1,
+                Ok((_, Err(detail))) => {
+                    received += 1;
+                    first_panic.get_or_insert(detail);
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    return Err(BandError::Timeout { missing: jobs - received });
+                }
+            }
         }
+        match first_panic {
+            Some(detail) => Err(BandError::Panicked(detail)),
+            None => Ok(()),
+        }
+    }
+
+    /// Detaches the pool without joining: closes the job channels (idle
+    /// workers exit on their own) and drops the handles, leaving any
+    /// wedged worker running against quarantined (leaked) memory.
+    fn abandon(mut self) {
+        self.senders.clear();
+        self.handles.clear();
     }
 }
 
@@ -721,8 +1344,19 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Closing the channels ends the worker loops.
         self.senders.clear();
+        // Bound the join: a healthy worker exits promptly once its
+        // channel closes, but a panicked-and-acknowledged or wedged one
+        // must not hang Drop forever — poll briefly, then detach.
+        let deadline = Instant::now() + Duration::from_secs(5);
         for handle in self.handles.drain(..) {
-            let _ = handle.join();
+            while !handle.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+            // Not finished in time: detach (dropping the handle) rather
+            // than hang — the engine quarantined anything it could touch.
         }
     }
 }

@@ -44,7 +44,7 @@ struct PeState {
 }
 
 fn err(message: impl Into<String>) -> ExecError {
-    ExecError { message: message.into() }
+    ExecError::invalid(message)
 }
 
 /// The legacy tree-walking simulation of a PE grid (see module docs).

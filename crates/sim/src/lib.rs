@@ -18,6 +18,11 @@
 //! * [`exec`] — lock-step execution of the planned program over the PE
 //!   grid (used to validate generated code against the reference
 //!   executor);
+//! * [`fault`] — deterministic, seeded fault injection (arena bit-flips,
+//!   dropped/duplicated halo deliveries, stalled or panicking bands);
+//! * [`checkpoint`] — copy-on-write checkpoints, ABFT-style row
+//!   checksums, and the recovery configuration behind the engine's
+//!   detect-and-rollback loop;
 //! * [`interp`] — the pre-refactor string-keyed interpreter, kept as the
 //!   baseline for the `sim_throughput` bench and engine-parity tests;
 //! * [`reference`] — a sequential reference executor over dense 3-D grids;
@@ -31,8 +36,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baselines;
+pub mod checkpoint;
 pub mod env;
 pub mod exec;
+pub mod fault;
 pub mod interp;
 pub mod kernels;
 pub mod link;
@@ -43,8 +50,10 @@ pub mod plan;
 pub mod reference;
 pub mod roofline;
 
+pub use checkpoint::{checksum_f32, row_checksums, Checkpoint, RecoveryOptions, RecoveryStats};
 pub use env::{env_flag, env_value};
-pub use exec::{ExecError, WseGridSim};
+pub use exec::{ExecError, ExecErrorKind, WseGridSim};
+pub use fault::{FaultCounts, FaultKind, FaultOptions, FaultPlan, INJECTED_BAND_PANIC};
 pub use interp::InterpGridSim;
 pub use kernels::Isa;
 pub use link::{link_program, link_program_with, LinkOptions, LinkedProgram, OptStats};

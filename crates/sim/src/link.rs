@@ -78,7 +78,7 @@ use crate::exec::ExecError;
 use crate::loader::{BinKind, CommSpec, Instr, LoadedProgram, Src, ViewRef};
 
 fn err(message: impl Into<String>) -> ExecError {
-    ExecError { message: message.into() }
+    ExecError::invalid(message)
 }
 
 /// Options controlling the link phase.

@@ -7,12 +7,13 @@
 //! with a non-zero status.
 //!
 //! Usage: `conformance [--cases N] [--seed S] [--stress] [--soak]
-//! [--require-fusion] [--require-products] [--verbose]`
+//! [--require-fusion] [--require-products] [--faults] [--verbose]`
 
 use testkit::{
     case_fusion_evidence, case_product_evidence, has_product_term, has_self_updating_chain,
-    install_quiet_panic_hook, reproducer, run_case_with_tolerance_via, shape_tolerance,
-    shrink_case, try_generate_case_with, GeneratorConfig, Verdict, TOLERANCE,
+    install_quiet_panic_hook, reproducer, run_case_with_tolerance_via, run_fault_case,
+    shape_tolerance, shrink_case, try_generate_case_with, FaultOutcome, GeneratorConfig, Verdict,
+    TOLERANCE,
 };
 
 fn main() {
@@ -23,6 +24,7 @@ fn main() {
     let mut require_fusion = false;
     let mut require_products = false;
     let mut through_service = false;
+    let mut faults = false;
     let mut config = GeneratorConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,6 +52,14 @@ fn main() {
             // regressing degree-2 bodies to the rejection path, which
             // would stay green on pure conformance.
             "--require-products" => require_products = true,
+            // The fault-injection campaign: every case runs three times
+            // (fault-free baseline, recovery-enabled transparency check,
+            // seeded fault plan with detect-and-rollback recovery).  A
+            // faulted run must end bitwise-identical to the baseline or
+            // surface a typed error — silent divergence fails the sweep,
+            // and so does a campaign that never actually exercised the
+            // recovery paths (see the aggregate assertions below).
+            "--faults" => faults = true,
             // Wider workload space: larger grids/radii, more coupled
             // equations, longer runs.  Slower per case; used for deeper
             // local soaking, not the CI budget.
@@ -85,7 +95,7 @@ fn main() {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: conformance [--cases N] [--seed S] [--stress] [--soak] \
-                     [--require-fusion] [--require-products] [--service] [--verbose]"
+                     [--require-fusion] [--require-products] [--service] [--faults] [--verbose]"
                 );
                 std::process::exit(2);
             }
@@ -93,6 +103,16 @@ fn main() {
     }
     if require_products {
         config.nonlinear_bias = config.nonlinear_bias.max(0.6);
+    }
+    if faults {
+        // Long horizons give checkpoints, rollbacks and replay room to
+        // land; slightly smaller grids keep the three-runs-per-case
+        // campaign within the CI budget.
+        config.fault_bias = config.fault_bias.max(0.75);
+        config.max_grid_xy = config.max_grid_xy.min(5);
+        config.max_grid_z = config.max_grid_z.min(12);
+        run_fault_sweep(cases, base_seed, verbose, &config);
+        return;
     }
 
     install_quiet_panic_hook();
@@ -249,6 +269,160 @@ fn main() {
         println!(
             "conformance: only {passed}/{cases} cases compiled and ran — differential \
              coverage has collapsed; treating the run as failed"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Per-step fault event probability for the `--faults` campaign.
+const FAULT_RATE: f64 = 0.12;
+
+/// The `--faults` sweep: every seed is run through
+/// [`testkit::run_fault_case`]; the sweep fails on any silent
+/// divergence, transparency break, panic or engine failure — and also
+/// when the campaign never exercised the machinery it claims to cover
+/// (zero injected faults of some class, zero rollbacks, zero detected
+/// checksum failures or band timeouts would all make a green sweep
+/// vacuous).
+fn run_fault_sweep(cases: u64, base_seed: u64, verbose: bool, config: &GeneratorConfig) {
+    install_quiet_panic_hook();
+    let start = std::time::Instant::now();
+    let (mut recovered, mut rejected, mut typed, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    let mut typed_kinds: std::collections::BTreeMap<String, u64> =
+        std::collections::BTreeMap::new();
+    let mut injected = wse_sim::FaultCounts::default();
+    let (mut rollbacks, mut steps_replayed) = (0u64, 0u64);
+    let (mut checksum_failures, mut delivery_failures) = (0u64, 0u64);
+    let (mut band_panics_detected, mut band_timeouts) = (0u64, 0u64);
+    let (mut checkpoints_saved, mut pages_shared) = (0u64, 0u64);
+
+    for seed in base_seed..base_seed + cases {
+        let case = match try_generate_case_with(seed, config) {
+            Ok(case) => case,
+            Err(error) => {
+                failed += 1;
+                println!("seed {seed}: GENERATOR FAILURE: {error}");
+                continue;
+            }
+        };
+        // A fault seed decorrelated from the case seed, so re-running a
+        // case seed under a different base does not replay the same plan.
+        let fault_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xFA17;
+        let report = run_fault_case(&case, fault_seed, FAULT_RATE);
+        if let Some(stats) = &report.stats {
+            injected.bit_flips += stats.faults.bit_flips;
+            injected.drops += stats.faults.drops;
+            injected.duplicates += stats.faults.duplicates;
+            injected.band_panics += stats.faults.band_panics;
+            injected.band_stalls += stats.faults.band_stalls;
+            rollbacks += stats.rollbacks;
+            steps_replayed += stats.steps_replayed;
+            checksum_failures += stats.checksum_failures;
+            delivery_failures += stats.delivery_failures;
+            band_panics_detected += stats.band_panics;
+            band_timeouts += stats.band_timeouts;
+            checkpoints_saved += stats.checkpoints_saved;
+            pages_shared += stats.checkpoint_pages_shared;
+        }
+        match &report.outcome {
+            FaultOutcome::Recovered => {
+                recovered += 1;
+                if verbose {
+                    println!("seed {seed}: recovered (fault seed {fault_seed:#x})");
+                }
+            }
+            FaultOutcome::Rejected { code } => {
+                rejected += 1;
+                if verbose {
+                    println!("seed {seed}: rejected ({code:?})");
+                }
+            }
+            FaultOutcome::TypedError { kind } => {
+                typed += 1;
+                *typed_kinds.entry(format!("{kind:?}")).or_default() += 1;
+                if verbose {
+                    println!("seed {seed}: typed error {kind:?} (fault seed {fault_seed:#x})");
+                }
+            }
+            FaultOutcome::SilentDivergence { detail } => {
+                failed += 1;
+                println!("seed {seed}: SILENT DIVERGENCE (fault seed {fault_seed:#x}): {detail}");
+            }
+            FaultOutcome::TransparencyBroken { detail } => {
+                failed += 1;
+                println!("seed {seed}: TRANSPARENCY BROKEN: {detail}");
+            }
+            FaultOutcome::Panicked { detail } => {
+                failed += 1;
+                println!("seed {seed}: PANIC: {detail}");
+            }
+            FaultOutcome::EngineFailure { detail } => {
+                failed += 1;
+                println!("seed {seed}: ENGINE FAILURE: {detail}");
+            }
+        }
+    }
+
+    println!(
+        "faults: {recovered} recovered, {typed} typed errors, {rejected} rejected, \
+         {failed} failed over {cases} cases in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    println!(
+        "injected: {} bit flips, {} drops, {} duplicates, {} band panics, {} band stalls",
+        injected.bit_flips,
+        injected.drops,
+        injected.duplicates,
+        injected.band_panics,
+        injected.band_stalls
+    );
+    println!(
+        "recovery: {rollbacks} rollbacks, {steps_replayed} steps replayed, \
+         {checksum_failures} checksum failures, {delivery_failures} delivery failures, \
+         {band_panics_detected} band panics, {band_timeouts} band timeouts, \
+         {checkpoints_saved} checkpoints ({pages_shared} COW pages shared)"
+    );
+    if !typed_kinds.is_empty() {
+        let kinds: Vec<String> = typed_kinds.iter().map(|(k, n)| format!("{k} x{n}")).collect();
+        println!("typed error kinds: {}", kinds.join(", "));
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+    // A green sweep that never injected or never recovered is vacuous.
+    let mut vacuous = Vec::new();
+    if injected.bit_flips == 0 {
+        vacuous.push("no bit flips injected");
+    }
+    if injected.drops == 0 && injected.duplicates == 0 {
+        vacuous.push("no delivery faults injected");
+    }
+    if injected.band_panics == 0 {
+        vacuous.push("no band panics injected");
+    }
+    if injected.band_stalls == 0 {
+        vacuous.push("no band stalls injected");
+    }
+    if rollbacks == 0 {
+        vacuous.push("no rollbacks occurred");
+    }
+    if checksum_failures == 0 {
+        vacuous.push("no checksum failures detected");
+    }
+    if band_timeouts == 0 {
+        vacuous.push("no band timeouts detected");
+    }
+    if recovered == 0 {
+        vacuous.push("no case recovered bitwise");
+    }
+    if !vacuous.is_empty() {
+        println!("faults: campaign was vacuous — {}", vacuous.join("; "));
+        std::process::exit(1);
+    }
+    if recovered < cases / 2 {
+        println!(
+            "faults: only {recovered}/{cases} cases recovered — coverage has collapsed; \
+             treating the run as failed"
         );
         std::process::exit(1);
     }

@@ -25,7 +25,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use wse_frontends::ast::StencilProgram;
 use wse_sim::{
-    max_abs_difference, run_reference, GridState, InterpGridSim, LinkOptions, WseGridSim,
+    max_abs_difference, run_reference, ExecErrorKind, FaultOptions, GridState, InterpGridSim,
+    LinkOptions, RecoveryOptions, RecoveryStats, WseGridSim, INJECTED_BAND_PANIC,
 };
 use wse_stencil::{CompileService, Compiler, CslArtifact, PipelineOptions};
 
@@ -105,16 +106,25 @@ pub fn install_quiet_panic_hook() {
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if !CAPTURING.with(|c| c.get()) {
-                previous(info);
-                return;
-            }
             let message = info
                 .payload()
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_string())
                 .or_else(|| info.payload().downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_string());
+            // Deliberately injected faults (engine band panics, compile
+            // service chaos panics) unwind on worker threads and are
+            // caught by their respective isolation boundaries; they are
+            // part of the fault campaign, not diagnostics worth printing.
+            if message.contains(INJECTED_BAND_PANIC)
+                || message.contains(wse_stencil::INJECTED_COMPILE_PANIC)
+            {
+                return;
+            }
+            if !CAPTURING.with(|c| c.get()) {
+                previous(info);
+                return;
+            }
             let location = info.location().map(|l| format!(" at {l}")).unwrap_or_default();
             LAST_PANIC.with(|p| *p.borrow_mut() = Some(format!("{message}{location}")));
         }));
@@ -208,11 +218,17 @@ fn run_case_inner(case: &ConformanceCase, tolerance: f32, through_service: bool)
     let artifact = match compiled {
         Ok(artifact) => artifact,
         Err(e) => {
+            // The service isolates mid-pipeline panics into typed
+            // `internal-panic` errors; for conformance purposes a panic is
+            // still a panic, whichever compile path caught it.
+            if e.code() == Some("internal-panic") {
+                return Verdict::Panicked { detail: e.message().to_string() };
+            }
             return Verdict::Rejected {
                 stage: e.stage().to_string(),
                 message: e.message().to_string(),
                 code: e.code().map(str::to_string),
-            }
+            };
         }
     };
 
@@ -450,6 +466,239 @@ pub fn bitwise_difference(a: &GridState, b: &GridState) -> Option<String> {
     None
 }
 
+/// The outcome of one fault-injection conformance case.
+///
+/// The invariant under test: a faulted run must either finish
+/// bitwise-identical to the fault-free stream (detect-and-rollback
+/// recovery worked) or surface a *typed* error — silent corruption is
+/// the one unacceptable outcome.  Additionally, with the recovery
+/// machinery enabled but no faults injected, the run must be
+/// bitwise-transparent (checksums and checkpoints must not perturb the
+/// computation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultOutcome {
+    /// The pipeline rejected the program with a typed diagnostic before
+    /// any execution — acceptable, same as plain conformance.
+    Rejected {
+        /// The rejection's machine-readable code, when attached.
+        code: Option<String>,
+    },
+    /// The faulted run recovered: it finished and its final state is
+    /// bitwise-identical to the fault-free stream.
+    Recovered,
+    /// The faulted run gave up with a typed [`wse_sim::ExecError`]
+    /// (e.g. rollback budget exhausted) — acceptable: the failure was
+    /// surfaced, not silently absorbed.
+    TypedError {
+        /// The error's typed discriminant.
+        kind: ExecErrorKind,
+    },
+    /// The faulted run "succeeded" but its final state differs from the
+    /// fault-free stream: a fault escaped detection.  Never acceptable.
+    SilentDivergence {
+        /// First differing element.
+        detail: String,
+    },
+    /// With recovery enabled and *no* faults injected, the run diverged
+    /// from the plain stream or rolled back spuriously.  Never
+    /// acceptable: the checksum/checkpoint machinery must be free of
+    /// observable effect when nothing goes wrong.
+    TransparencyBroken {
+        /// What broke.
+        detail: String,
+    },
+    /// Something panicked outside the engine's own isolation.
+    Panicked {
+        /// The captured panic payload.
+        detail: String,
+    },
+    /// A baseline (fault-free, recovery-free) execution failed — a
+    /// pipeline defect unrelated to the fault campaign.
+    EngineFailure {
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl FaultOutcome {
+    /// True for outcomes the fault campaign accepts: recovery, a typed
+    /// error, or a typed rejection.
+    pub fn is_conformant(&self) -> bool {
+        matches!(
+            self,
+            FaultOutcome::Rejected { .. }
+                | FaultOutcome::Recovered
+                | FaultOutcome::TypedError { .. }
+        )
+    }
+}
+
+/// The report for one fault-injection case: the outcome plus the faulted
+/// run's recovery counters (present whenever the faulted run was
+/// reached), so sweeps can assert faults were actually injected and
+/// recovery paths actually fired rather than vacuously passing.
+#[derive(Debug, Clone)]
+pub struct FaultCaseReport {
+    /// What happened.
+    pub outcome: FaultOutcome,
+    /// The faulted engine's recovery counters.
+    pub stats: Option<RecoveryStats>,
+}
+
+/// Runs one case through the fault-injection campaign: compile, run the
+/// fault-free baseline, prove the recovery machinery bitwise-transparent
+/// without faults, then run with a seeded [`FaultPlan`] injected and
+/// require bitwise recovery or a typed error (see [`FaultOutcome`]).
+///
+/// `fault_seed` seeds the deterministic fault plan; `rate` is the
+/// per-step event probability.
+///
+/// [`FaultPlan`]: wse_sim::FaultPlan
+pub fn run_fault_case(case: &ConformanceCase, fault_seed: u64, rate: f64) -> FaultCaseReport {
+    install_quiet_panic_hook();
+    CAPTURING.with(|c| c.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| run_fault_case_inner(case, fault_seed, rate)));
+    CAPTURING.with(|c| c.set(false));
+    match result {
+        Ok(report) => report,
+        Err(payload) => {
+            let detail = LAST_PANIC
+                .with(|p| p.borrow_mut().take())
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            FaultCaseReport { outcome: FaultOutcome::Panicked { detail }, stats: None }
+        }
+    }
+}
+
+fn run_fault_case_inner(case: &ConformanceCase, fault_seed: u64, rate: f64) -> FaultCaseReport {
+    let fail = |outcome: FaultOutcome| FaultCaseReport { outcome, stats: None };
+    // `verify_each` off: per-pass IR verification is plain conformance's
+    // job; the fault campaign's subject is the execution engine.
+    let compiler = Compiler::new()
+        .target(case.options.target)
+        .num_chunks(case.options.num_chunks)
+        .fmac_fusion(case.options.enable_fmac_fusion)
+        .inlining(case.options.enable_inlining)
+        .coefficient_promotion(case.options.promote_coefficients);
+    let artifact = match compiler.compile(&case.program) {
+        Ok(artifact) => artifact,
+        Err(e) => {
+            if e.code() == Some("internal-panic") {
+                return fail(FaultOutcome::Panicked { detail: e.message().to_string() });
+            }
+            return fail(FaultOutcome::Rejected { code: e.code().map(str::to_string) });
+        }
+    };
+    let loaded = artifact.loaded_program().clone();
+    let env = LinkOptions::from_env();
+    let options = LinkOptions { optimize: true, simd: env.simd, fast_fma: false };
+
+    // 1. Fault-free, recovery-free baseline: the stream every other run
+    //    must reproduce bit for bit.
+    let mut baseline = match WseGridSim::with_options(loaded.clone(), options) {
+        Ok(sim) => sim,
+        Err(e) => {
+            return fail(FaultOutcome::EngineFailure { detail: format!("link: {}", e.message) })
+        }
+    };
+    if let Err(e) = baseline.run(None) {
+        return fail(FaultOutcome::EngineFailure {
+            detail: format!("baseline run: {}", e.message),
+        });
+    }
+    let baseline_state = match baseline.grid_state() {
+        Ok(state) => state,
+        Err(e) => {
+            return fail(FaultOutcome::EngineFailure {
+                detail: format!("baseline extract: {}", e.message),
+            })
+        }
+    };
+
+    // 2. Recovery enabled (strict fault-campaign configuration: per-step
+    //    verification, tight checkpoint cadence), no faults: checksums
+    //    refresh and checkpoints are taken every few steps, and none of
+    //    it may be observable.
+    let mut transparent = match WseGridSim::with_options(loaded.clone(), options) {
+        Ok(sim) => sim,
+        Err(e) => {
+            return fail(FaultOutcome::EngineFailure { detail: format!("link: {}", e.message) })
+        }
+    };
+    transparent.enable_recovery(RecoveryOptions {
+        checkpoint_every: 4,
+        verify: true,
+        ..RecoveryOptions::default()
+    });
+    if let Err(e) = transparent.run(None) {
+        return fail(FaultOutcome::TransparencyBroken {
+            detail: format!("recovery-enabled fault-free run failed: {}", e.message),
+        });
+    }
+    match transparent.grid_state() {
+        Ok(state) => {
+            if let Some(detail) = bitwise_difference(&baseline_state, &state) {
+                return fail(FaultOutcome::TransparencyBroken {
+                    detail: format!("recovery-enabled fault-free state diverged: {detail}"),
+                });
+            }
+        }
+        Err(e) => {
+            return fail(FaultOutcome::TransparencyBroken {
+                detail: format!("recovery-enabled extract failed: {}", e.message),
+            })
+        }
+    }
+    if let Some(stats) = transparent.recovery_stats() {
+        if stats.rollbacks > 0 || stats.checksum_failures > 0 {
+            return fail(FaultOutcome::TransparencyBroken {
+                detail: format!(
+                    "spurious recovery without faults: {} rollbacks, {} checksum failures",
+                    stats.rollbacks, stats.checksum_failures
+                ),
+            });
+        }
+    }
+
+    // 3. The faulted run: a short watchdog keeps injected stalls cheap,
+    //    and a generous rollback budget gives dense campaigns room to
+    //    recover; exhausting it is still a *typed* outcome.  Linked with
+    //    the optimizer *off* so halo captures survive (capture elision
+    //    would remove the delivery-fault surface); the optimizer is
+    //    bitwise-transparent, so the baseline comparison is unaffected.
+    let mut faulted =
+        match WseGridSim::with_options(loaded, LinkOptions { optimize: false, ..options }) {
+            Ok(sim) => sim,
+            Err(e) => {
+                return fail(FaultOutcome::EngineFailure { detail: format!("link: {}", e.message) })
+            }
+        };
+    faulted.inject_faults(FaultOptions { seed: fault_seed, rate });
+    faulted.enable_recovery(RecoveryOptions {
+        checkpoint_every: 2,
+        verify: true,
+        max_rollbacks: 64,
+        watchdog_ms: 200,
+    });
+    let run = faulted.run(None);
+    let stats = faulted.recovery_stats().copied();
+    let outcome = match run {
+        Err(e) => FaultOutcome::TypedError { kind: e.kind },
+        Ok(()) => match faulted.grid_state() {
+            Err(e) => FaultOutcome::EngineFailure {
+                detail: format!("faulted extract after successful run: {}", e.message),
+            },
+            Ok(state) => match bitwise_difference(&baseline_state, &state) {
+                None => FaultOutcome::Recovered,
+                Some(detail) => FaultOutcome::SilentDivergence { detail },
+            },
+        },
+    };
+    FaultCaseReport { outcome, stats }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -532,6 +781,22 @@ mod tests {
             }
             other => panic!("expected a typed rejection, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_campaign_on_a_benchmark_recovers_or_types() {
+        install_quiet_panic_hook();
+        let mut program = Benchmark::Jacobian.tiny_program();
+        program.timesteps = 24;
+        let case = ConformanceCase {
+            seed: 0,
+            program,
+            options: PipelineOptions { num_chunks: 2, ..PipelineOptions::default() },
+        };
+        let report = run_fault_case(&case, 7, 0.5);
+        assert!(report.outcome.is_conformant(), "outcome: {:?}", report.outcome);
+        let stats = report.stats.expect("the faulted run was reached");
+        assert!(stats.faults.total() > 0, "the campaign injected nothing: {stats:?}");
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct GeneratorConfig {
     /// `decompose-products` lowers).  The CI nonlinear profile raises
     /// this so most cases exercise the decomposition.
     pub nonlinear_bias: f64,
+    /// Probability of a long-horizon case (≥ 32 timesteps instead of the
+    /// usual 1–`max_timesteps`).  Zero by default: the fault-injection
+    /// profile raises this so checkpoints, rollbacks and replay have
+    /// enough steps to land in.  When zero, the draw is skipped entirely
+    /// so existing seed streams are unchanged.
+    pub fault_bias: f64,
 }
 
 impl Default for GeneratorConfig {
@@ -53,6 +59,7 @@ impl Default for GeneratorConfig {
             max_radius_z: 3,
             max_timesteps: 3,
             nonlinear_bias: 0.12,
+            fault_bias: 0.0,
         }
     }
 }
@@ -166,7 +173,14 @@ pub fn try_generate_case_with(
     let nx = if rng.chance(0.08) { 1 } else { rng.int_in(2, config.max_grid_xy) };
     let ny = if rng.chance(0.08) { 1 } else { rng.int_in(2, config.max_grid_xy) };
     let nz = rng.int_in(4, config.max_grid_z);
-    let timesteps = rng.int_in(1, config.max_timesteps);
+    // Long-horizon draw first checks the bias so that `fault_bias: 0.0`
+    // (the default) consumes no randomness and leaves every pre-existing
+    // seed stream bit-identical.
+    let timesteps = if config.fault_bias > 0.0 && rng.chance(config.fault_bias) {
+        rng.int_in(32, 40)
+    } else {
+        rng.int_in(1, config.max_timesteps)
+    };
 
     let num_fields = rng.int_in(1, config.max_fields as i64) as usize;
     let fields: Vec<String> = (0..num_fields).map(|i| format!("f{i}")).collect();
@@ -474,6 +488,27 @@ mod tests {
             cases.iter().flat_map(|c| c.program.equations.iter()).any(|eq| degree(&eq.expr) > 2),
             "rare degree-3 bodies must appear (the rejection path)"
         );
+    }
+
+    #[test]
+    fn fault_bias_reaches_long_horizons_without_perturbing_default_streams() {
+        let config = GeneratorConfig { fault_bias: 0.75, ..GeneratorConfig::default() };
+        let biased: Vec<ConformanceCase> =
+            (0..64).map(|s| generate_case_with(s, &config)).collect();
+        assert!(
+            biased.iter().any(|c| c.program.timesteps >= 32),
+            "fault_bias must produce long-horizon cases"
+        );
+        assert!(
+            biased.iter().any(|c| c.program.timesteps < 32),
+            "short cases must still appear under the bias"
+        );
+        // The zero-bias draw consumes no randomness, so an explicit 0.0
+        // config generates exactly the default stream.
+        let zero = GeneratorConfig { fault_bias: 0.0, ..GeneratorConfig::default() };
+        for seed in 0..32u64 {
+            assert_eq!(generate_case(seed).program, generate_case_with(seed, &zero).program);
+        }
     }
 
     /// Collects (factor1, factor2, is_first_term) for every data×data

@@ -1,0 +1,62 @@
+//! Property tests: checkpoint/restore on the linked engine round-trips
+//! bitwise at arbitrary split points — save mid-run, run to the end,
+//! restore, re-run the tail, and require the replay (and the split run
+//! itself) to be bit-identical to an uninterrupted run.  Swept across
+//! grid sizes, chunk counts, and the optimizer/SIMD toggles (vendored
+//! proptest shim).
+
+use proptest::prelude::*;
+use wse_frontends::benchmarks::jacobian;
+use wse_lowering::{lower_program, PipelineOptions};
+use wse_sim::{load_program, GridState, LinkOptions, WseGridSim};
+
+fn assert_bitwise(label: &str, a: &GridState, b: &GridState) {
+    for ((name, fa), fb) in a.names.iter().zip(&a.fields).zip(&b.fields) {
+        for (i, (x, y)) in fa.data.iter().zip(&fb.data).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: {name}[{i}] differs: {x} vs {y}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Save at an arbitrary step, run on, restore, re-run: all three
+    /// states (uninterrupted, split, replayed) must be bit-identical.
+    #[test]
+    fn checkpoint_restore_replay_is_bitwise(
+        nx in 2i64..6,
+        ny in 2i64..6,
+        nz in 4i64..12,
+        chunks in 1i64..4,
+        optimize in 0i64..2,
+        simd in 0i64..2,
+        split in 1i64..6,
+    ) {
+        let steps = 8i64;
+        let program = jacobian(nx, ny, nz, steps);
+        let options = PipelineOptions { num_chunks: chunks, ..PipelineOptions::default() };
+        let lowered = lower_program(&program, &options).expect("lowering succeeds");
+        let loaded = load_program(&lowered.ctx, lowered.module).expect("loading succeeds");
+        let link = LinkOptions { optimize: optimize == 1, simd: simd == 1, fast_fma: false };
+
+        let mut straight = WseGridSim::with_options(loaded.clone(), link).expect("links");
+        straight.run(Some(steps)).expect("uninterrupted run");
+        let expected = straight.grid_state().expect("extracts");
+
+        let split = split.min(steps - 1);
+        let mut sim = WseGridSim::with_options(loaded, link).expect("links");
+        sim.run(Some(split)).expect("head run");
+        let checkpoint = sim.checkpoint();
+        prop_assert_eq!(checkpoint.step(), split);
+        sim.run(Some(steps - split)).expect("tail run");
+        let first = sim.grid_state().expect("extracts");
+        assert_bitwise("checkpointed run vs uninterrupted", &expected, &first);
+
+        sim.restore(&checkpoint).expect("restores");
+        prop_assert_eq!(sim.steps_completed(), split);
+        sim.run(Some(steps - split)).expect("replayed tail run");
+        let replayed = sim.grid_state().expect("extracts");
+        assert_bitwise("replay after restore vs uninterrupted", &expected, &replayed);
+    }
+}

@@ -106,6 +106,55 @@ fn service_errors_are_typed_and_recoverable() {
     assert!(matches!(err.kind(), CompileErrorKind::InvalidOptions { option: "num_chunks" }));
 }
 
+/// A mid-pipeline panic is isolated into a typed `internal-panic` error,
+/// the context it poisoned is discarded, and the service keeps serving;
+/// with a retry budget the caller never sees the transient at all.
+#[test]
+fn injected_panics_are_isolated_and_retriable() {
+    testkit::install_quiet_panic_hook();
+    let program = Benchmark::Jacobian.tiny_program();
+
+    let service = Compiler::new().num_chunks(2).service();
+    service.inject_panics(1);
+    let err = service.compile(&program).unwrap_err();
+    assert_eq!(err.kind(), &CompileErrorKind::Internal);
+    assert_eq!(err.code(), Some("internal-panic"));
+    let stats = service.stats();
+    assert_eq!((stats.panics_isolated, stats.contexts_discarded), (1, 1));
+    assert_eq!(stats.pooled_contexts, 0, "the poisoned context was not repooled");
+    // Still healthy.
+    assert!(service.compile(&program).is_ok());
+
+    let retrying = Compiler::new().num_chunks(2).service().retry(2, std::time::Duration::ZERO);
+    retrying.inject_panics(2);
+    let artifact = retrying.compile(&program).expect("the retry budget absorbs the transient");
+    assert_eq!(artifact.program().name, program.name);
+    assert_eq!(retrying.stats().retries_spent, 2);
+}
+
+/// An over-deadline compile fails with a typed `deadline-exceeded` error
+/// while the detached worker finishes and fills the cache for the next
+/// request.
+#[test]
+fn deadline_expiry_is_typed_and_work_is_not_wasted() {
+    testkit::install_quiet_panic_hook();
+    let program = Benchmark::Diffusion.tiny_program();
+    let service =
+        Compiler::new().num_chunks(2).service().deadline(std::time::Duration::from_millis(100));
+    service.inject_stall(std::time::Duration::from_millis(600));
+    let err = service.compile(&program).unwrap_err();
+    assert_eq!(err.kind(), &CompileErrorKind::DeadlineExceeded);
+    assert_eq!(err.code(), Some("deadline-exceeded"));
+    assert!(service.stats().deadlines_expired >= 1);
+    // The detached worker completes: poll until its artifact lands.
+    let bound = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while service.stats().cached_artifacts == 0 {
+        assert!(std::time::Instant::now() < bound, "detached compile never completed");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(service.compile(&program).is_ok(), "the late artifact serves the next request");
+}
+
 /// Generated conformance seeds give the same verdict through the service
 /// path as through the classic compiler (spot-check; the conformance bin
 /// runs the full sweep with `--service`).

@@ -1,0 +1,252 @@
+//! Fault-injection and recovery integration tests for the linked engine:
+//! precisely-placed faults (bit flips, dropped halo deliveries, band
+//! panics, band stalls) must either be detected and rolled back — with a
+//! final state bit-identical to the fault-free stream — or surface a
+//! typed [`wse_sim::ExecError`].  Silent corruption is the one outcome
+//! that must never happen.
+
+use std::sync::Once;
+
+use wse_frontends::benchmarks::jacobian;
+use wse_lowering::{lower_program, PipelineOptions};
+use wse_sim::{
+    load_program, ExecErrorKind, FaultKind, FaultOptions, FaultPlan, GridState, LinkOptions,
+    LoadedProgram, RecoveryOptions, WseGridSim, INJECTED_BAND_PANIC,
+};
+
+/// Suppresses the deliberately injected band-fault panics (they unwind
+/// on engine worker threads before the engine catches them) while
+/// forwarding every other panic to the default hook.
+fn quiet_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains(INJECTED_BAND_PANIC))
+                .unwrap_or(false)
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains(INJECTED_BAND_PANIC))
+                    .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn loaded_jacobian(nx: i64, ny: i64, nz: i64, steps: i64) -> LoadedProgram {
+    let program = jacobian(nx, ny, nz, steps);
+    let options = PipelineOptions { num_chunks: 2, ..PipelineOptions::default() };
+    let lowered = lower_program(&program, &options).expect("lowering succeeds");
+    load_program(&lowered.ctx, lowered.module).expect("loading succeeds")
+}
+
+fn state_of(loaded: &LoadedProgram, link: LinkOptions) -> GridState {
+    let mut sim = WseGridSim::with_options(loaded.clone(), link).expect("links");
+    sim.run(None).expect("fault-free run");
+    sim.grid_state().expect("extracts")
+}
+
+fn assert_bitwise(label: &str, a: &GridState, b: &GridState) {
+    for ((name, fa), fb) in a.names.iter().zip(&a.fields).zip(&b.fields) {
+        for (i, (x, y)) in fa.data.iter().zip(&fb.data).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: {name}[{i}] differs: {x} vs {y}");
+        }
+    }
+}
+
+const LINK: LinkOptions = LinkOptions { optimize: true, simd: true, fast_fma: false };
+
+#[test]
+fn bit_flips_are_detected_rolled_back_and_replayed_bitwise() {
+    let loaded = loaded_jacobian(4, 4, 8, 12);
+    let baseline = state_of(&loaded, LINK);
+
+    let mut sim = WseGridSim::with_options(loaded, LINK).expect("links");
+    // Flips at even boundaries land one step past the checkpoint cadence
+    // (every 2 steps, taken before the boundary injection), so each
+    // rollback must actually replay a lost step.
+    sim.set_fault_plan(FaultPlan::from_events(vec![
+        (2, FaultKind::ArenaBitFlip { pe: 0, offset: 5, bit: 7 }),
+        (8, FaultKind::ArenaBitFlip { pe: 3, offset: 2, bit: 30 }),
+    ]));
+    sim.enable_recovery(RecoveryOptions {
+        checkpoint_every: 2,
+        verify: true,
+        ..RecoveryOptions::default()
+    });
+    sim.run(None).expect("faulted run recovers");
+    let state = sim.grid_state().expect("extracts");
+    assert_bitwise("bit-flip recovery", &baseline, &state);
+
+    let stats = sim.recovery_stats().expect("recovery was enabled");
+    assert_eq!(stats.faults.bit_flips, 2, "both planned flips fired");
+    assert_eq!(stats.checksum_failures, 2, "both flips were detected by the row checksums");
+    assert_eq!(stats.rollbacks, 2, "each detection rolled back once");
+    assert!(stats.steps_replayed > 0, "rollback replayed lost steps");
+    assert!(stats.checkpoints_saved > 0, "the cadence saved checkpoints");
+}
+
+#[test]
+fn band_panic_without_recovery_is_typed_then_restorable() {
+    quiet_injected_panics();
+    let loaded = loaded_jacobian(4, 4, 8, 6);
+    let baseline = state_of(&loaded, LINK);
+
+    let mut sim = WseGridSim::with_options(loaded, LINK).expect("links");
+    sim.set_threads(2);
+    let checkpoint = sim.checkpoint();
+    sim.set_fault_plan(FaultPlan::from_events(vec![(
+        0,
+        FaultKind::BandPanic { kernel: 0, band: 0 },
+    )]));
+    // Single-step execution bypasses the recovery loop: the panic must
+    // surface as a typed error, never as an unwind or silent corruption.
+    let err = sim.run_timestep().expect_err("the injected panic surfaces");
+    assert_eq!(err.kind, ExecErrorKind::BandPanicked);
+    assert!(err.message.contains(INJECTED_BAND_PANIC), "payload is preserved: {}", err.message);
+    assert!(sim.poisoned(), "state was lost mid-sweep");
+    let err = sim.grid_state().expect_err("poisoned engines refuse extraction");
+    assert_eq!(err.kind, ExecErrorKind::Poisoned);
+
+    // Restoring the pre-fault checkpoint clears the poison; the re-run
+    // (the panic event was consumed) matches the fault-free stream.
+    sim.restore(&checkpoint).expect("restores");
+    sim.run(None).expect("clean re-run");
+    let state = sim.grid_state().expect("extracts");
+    assert_bitwise("post-restore re-run", &baseline, &state);
+}
+
+#[test]
+fn band_panic_under_recovery_rolls_back_and_recovers() {
+    quiet_injected_panics();
+    let loaded = loaded_jacobian(4, 4, 8, 6);
+    let baseline = state_of(&loaded, LINK);
+
+    let mut sim = WseGridSim::with_options(loaded, LINK).expect("links");
+    sim.set_threads(2);
+    sim.set_fault_plan(FaultPlan::from_events(vec![(
+        2,
+        FaultKind::BandPanic { kernel: 0, band: 1 },
+    )]));
+    sim.enable_recovery(RecoveryOptions { checkpoint_every: 2, ..RecoveryOptions::default() });
+    sim.run(None).expect("recovery absorbs the panic");
+    let state = sim.grid_state().expect("extracts");
+    assert_bitwise("band-panic recovery", &baseline, &state);
+    let stats = sim.recovery_stats().expect("recovery was enabled");
+    assert_eq!(stats.faults.band_panics, 1);
+    assert_eq!(stats.band_panics, 1, "the panic was detected");
+    assert!(stats.rollbacks >= 1);
+}
+
+#[test]
+fn stalled_band_hits_the_watchdog_and_recovery_replays() {
+    quiet_injected_panics();
+    let loaded = loaded_jacobian(4, 4, 8, 6);
+    let baseline = state_of(&loaded, LINK);
+
+    let mut sim = WseGridSim::with_options(loaded, LINK).expect("links");
+    sim.set_threads(2);
+    sim.set_fault_plan(FaultPlan::from_events(vec![(
+        1,
+        FaultKind::BandStall { kernel: 0, band: 0, millis: 1_500 },
+    )]));
+    sim.enable_recovery(RecoveryOptions {
+        checkpoint_every: 2,
+        watchdog_ms: 150,
+        ..RecoveryOptions::default()
+    });
+    sim.run(None).expect("the watchdog converts the stall into a rollback");
+    let state = sim.grid_state().expect("extracts");
+    assert_bitwise("stall recovery", &baseline, &state);
+    let stats = sim.recovery_stats().expect("recovery was enabled");
+    assert_eq!(stats.faults.band_stalls, 1);
+    assert_eq!(stats.band_timeouts, 1, "the watchdog fired");
+    assert!(stats.rollbacks >= 1);
+    assert!(!sim.poisoned(), "rollback restored the quarantined engine");
+}
+
+#[test]
+fn dropped_halo_delivery_is_caught_by_the_delivery_checksum() {
+    let loaded = loaded_jacobian(4, 4, 8, 6);
+    // Optimizer off so halo captures survive (capture elision removes
+    // the snapshot region the delivery checksum guards); the optimizer
+    // is bitwise-transparent, so the baseline comparison still holds.
+    let link = LinkOptions { optimize: false, ..LINK };
+    let baseline = state_of(&loaded, link);
+
+    let mut sim = WseGridSim::with_options(loaded, link).expect("links");
+    let kernel = sim
+        .linked()
+        .kernels
+        .iter()
+        .position(|k| k.comm.as_ref().is_some_and(|c| c.capture && !c.snap_fields.is_empty()))
+        .expect("an unoptimized halo exchange captures columns");
+    sim.set_fault_plan(FaultPlan::from_events(vec![
+        (1, FaultKind::DropDelivery { kernel, pe: 2, field: 0 }),
+        (3, FaultKind::DuplicateDelivery { kernel, pe: 5, field: 0 }),
+    ]));
+    sim.enable_recovery(RecoveryOptions {
+        checkpoint_every: 2,
+        verify: true,
+        ..RecoveryOptions::default()
+    });
+    sim.run(None).expect("recovery absorbs the delivery faults");
+    let state = sim.grid_state().expect("extracts");
+    assert_bitwise("delivery-fault recovery", &baseline, &state);
+    let stats = sim.recovery_stats().expect("recovery was enabled");
+    assert_eq!(stats.faults.drops, 1);
+    assert_eq!(stats.faults.duplicates, 1);
+    assert_eq!(stats.delivery_failures, 2, "both tampered exchanges were refused");
+    assert!(stats.rollbacks >= 2);
+}
+
+#[test]
+fn exhausted_rollback_budget_is_a_typed_recovery_failure() {
+    quiet_injected_panics();
+    let loaded = loaded_jacobian(3, 3, 6, 6);
+    let mut sim = WseGridSim::with_options(loaded, LINK).expect("links");
+    sim.set_threads(2);
+    // A persistent fault: every replay of step 0 panics again until the
+    // budget runs out.
+    sim.set_fault_plan(FaultPlan::from_events(vec![
+        (
+            0,
+            FaultKind::BandPanic { kernel: 0, band: 0 }
+        );
+        8
+    ]));
+    sim.enable_recovery(RecoveryOptions { max_rollbacks: 3, ..RecoveryOptions::default() });
+    let err = sim.run(None).expect_err("the budget is exhausted");
+    assert_eq!(err.kind, ExecErrorKind::RecoveryFailed);
+    assert!(sim.poisoned(), "giving up poisons the engine");
+    let stats = sim.recovery_stats().expect("recovery was enabled");
+    assert!(stats.rollbacks > 3, "the budget was spent before giving up");
+}
+
+#[test]
+fn seeded_campaign_from_options_recovers_bitwise() {
+    quiet_injected_panics();
+    let loaded = loaded_jacobian(4, 4, 8, 16);
+    let baseline = state_of(&loaded, LINK);
+
+    let mut sim = WseGridSim::with_options(loaded, LINK).expect("links");
+    sim.inject_faults(FaultOptions { seed: 0xFA17, rate: 0.6 });
+    sim.enable_recovery(RecoveryOptions {
+        checkpoint_every: 2,
+        verify: true,
+        max_rollbacks: 64,
+        watchdog_ms: 250,
+    });
+    sim.run(None).expect("the campaign recovers");
+    let state = sim.grid_state().expect("extracts");
+    assert_bitwise("seeded campaign", &baseline, &state);
+    let stats = sim.recovery_stats().expect("recovery was enabled");
+    assert!(stats.faults.total() > 0, "the campaign injected something: {stats:?}");
+    assert!(stats.rollbacks > 0, "recovery actually fired");
+}
