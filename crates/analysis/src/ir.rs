@@ -1,0 +1,64 @@
+//! Def-use analysis over stencil IR, driven by the dialect effect table.
+//!
+//! The other half of the analyzer works on the linked instruction stream;
+//! this half works on the SSA IR the front-ends emit, before lowering.
+//! It walks a module, classifies every operation through
+//! [`wse_dialects::effects::op_effects`] (so per-op knowledge lives with
+//! the dialects, not here), and follows SSA def-use chains to find pure
+//! operations whose results are never used — the IR-level analogue of the
+//! linked-stream dead-write elision.
+
+use wse_dialects::effects::{op_effects, OpEffects};
+use wse_ir::{Context, OpId};
+
+/// Summary of one module's memory behaviour and def-use structure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IrSummary {
+    /// Total operations walked.
+    pub ops: usize,
+    /// Operations with no memory effects.
+    pub pure_ops: usize,
+    /// Operations that read field/temp memory.
+    pub memory_reads: usize,
+    /// Operations that write field/temp memory.
+    pub memory_writes: usize,
+    /// Operations that move data between PEs.
+    pub communications: usize,
+    /// Names of ops the effect table has no model for (analysis must be
+    /// conservative around these).
+    pub unknown_ops: Vec<String>,
+    /// Pure operations none of whose results have any use: dead by
+    /// def-use chains alone, safe to erase.
+    pub dead_pure_ops: usize,
+}
+
+/// Walks `root` and summarizes it.  `Context::walk` visits nested regions,
+/// so passing a module covers every function and apply body inside.
+pub fn summarize(ctx: &Context, root: OpId) -> IrSummary {
+    let mut summary = IrSummary::default();
+    for op in ctx.walk(root) {
+        let name = ctx.op_name(op).to_string();
+        let effects = op_effects(&name);
+        summary.ops += 1;
+        if effects.is_pure() {
+            summary.pure_ops += 1;
+            let results = ctx.results(op);
+            if !results.is_empty() && results.iter().all(|&v| ctx.uses_of(v).is_empty()) {
+                summary.dead_pure_ops += 1;
+            }
+        }
+        if effects.reads {
+            summary.memory_reads += 1;
+        }
+        if effects.writes {
+            summary.memory_writes += 1;
+        }
+        if effects.communicates {
+            summary.communications += 1;
+        }
+        if effects == OpEffects::UNKNOWN {
+            summary.unknown_ops.push(name);
+        }
+    }
+    summary
+}

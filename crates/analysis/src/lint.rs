@@ -1,0 +1,157 @@
+//! Lints over the front-end stencil AST.
+//!
+//! These run before any lowering — on exactly what the user wrote — and
+//! report the `W00x`/`E00x` codes of the shared registry.  The error
+//! codes mirror conditions the pipeline enforces later (`E001` duplicates
+//! [`StencilProgram::validate`], `E003` duplicates the lowering's
+//! `non-linear-degree` rejection): the lint driver's job is to surface
+//! them *as a batch, with explanations, before compilation*, not to be
+//! the enforcement point.  The warning codes have no later twin — dead
+//! code and costly shapes compile fine, so this is the only place they
+//! are reported at all.
+
+use wse_frontends::{Expr, StencilProgram};
+
+use crate::Finding;
+
+/// The polynomial degree of an expression over field accesses:
+/// constants are degree 0, accesses degree 1, `Mul` sums, `Add`/`Sub`
+/// take the maximum.  Matches the lowering's normal-form extractor, which
+/// rejects degree >= 3 (`non-linear-degree`).
+pub fn degree(expr: &Expr) -> usize {
+    match expr {
+        Expr::Const(_) => 0,
+        Expr::Access { .. } => 1,
+        Expr::Add(a, b) | Expr::Sub(a, b) => degree(a).max(degree(b)),
+        Expr::Mul(a, b) => degree(a) + degree(b),
+    }
+}
+
+/// The largest halo radius the lowering's exchange patterns transmit
+/// (the 25-point star of the seismic benchmark).
+pub const MAX_EXCHANGE_RADIUS: i64 = 4;
+
+/// Runs every AST lint over `program`.
+pub fn lint_program(program: &StencilProgram) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let extents = [program.grid.x, program.grid.y, program.grid.z];
+    let dims = ["x", "y", "z"];
+
+    for (e, eq) in program.equations.iter().enumerate() {
+        let at = format!("equation {e} ({} = ...)", eq.output);
+
+        // E001: a constant offset at least the grid extent reads outside
+        // the grid on every application.
+        for (field, offset) in eq.expr.accesses() {
+            for d in 0..3 {
+                if offset[d].abs() >= extents[d] {
+                    findings.push(Finding::new(
+                        "E001",
+                        at.clone(),
+                        format!(
+                            "access {field}[{}, {}, {}] offsets {} in {} but the grid extent \
+                             is only {}",
+                            offset[0], offset[1], offset[2], offset[d], dims[d], extents[d]
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // E002: halo wider than any exchange pattern.
+        let radius = eq.xy_radius();
+        if radius > MAX_EXCHANGE_RADIUS {
+            findings.push(Finding::new(
+                "E002",
+                at.clone(),
+                format!(
+                    "equation needs a radius-{radius} halo; the exchange patterns transmit \
+                     at most radius {MAX_EXCHANGE_RADIUS}"
+                ),
+            ));
+        }
+
+        // E003 / W004: polynomial degree.
+        let deg = degree(&eq.expr);
+        if deg >= 3 {
+            findings.push(Finding::new(
+                "E003",
+                at.clone(),
+                format!(
+                    "stencil body has polynomial degree {deg}; lowering supports degree <= 2 \
+                     and rejects this with `non-linear-degree`"
+                ),
+            ));
+        } else if deg == 2 {
+            findings.push(Finding::new(
+                "W004",
+                at.clone(),
+                "degree-2 product terms decompose onto internal scratch fields with \
+                 full-column staging"
+                    .to_string(),
+            ));
+        }
+
+        // W003: the equation reads its own output at a shifted offset.
+        let self_aliasing = eq
+            .expr
+            .accesses()
+            .iter()
+            .any(|(field, offset)| *field == eq.output && *offset != [0, 0, 0]);
+        if self_aliasing {
+            findings.push(Finding::new(
+                "W003",
+                at.clone(),
+                format!(
+                    "reads its own output '{}' at a shifted offset: the inliner must \
+                     double-buffer the field",
+                    eq.output
+                ),
+            ));
+        }
+    }
+
+    // W001: fields no equation reads or writes.
+    for field in &program.fields {
+        let written = program.equations.iter().any(|eq| &eq.output == field);
+        let read =
+            program.equations.iter().any(|eq| eq.expr.accesses().iter().any(|(f, _)| f == field));
+        if !written && !read {
+            findings.push(Finding::new(
+                "W001",
+                format!("field '{field}'"),
+                "declared but never read or written by any equation".to_string(),
+            ));
+        }
+    }
+
+    // W002: a store overwritten by a later equation before any read.
+    // Reads *after* the last write of a timestep reach the next
+    // timestep's first write, so only intra-step shadowing counts: a
+    // later write to the same field with no intervening-or-simultaneous
+    // read in between.
+    for (i, eq) in program.equations.iter().enumerate() {
+        let Some(j) = program.equations[i + 1..]
+            .iter()
+            .position(|later| later.output == eq.output)
+            .map(|p| i + 1 + p)
+        else {
+            continue;
+        };
+        // A read of the field by any equation in (i, j] keeps the store
+        // live (equation j's own right-hand side reads the old value
+        // too, so it is included).
+        let read_between = program.equations[i + 1..=j]
+            .iter()
+            .any(|between| between.expr.accesses().iter().any(|(f, _)| f == &eq.output));
+        if !read_between {
+            findings.push(Finding::new(
+                "W002",
+                format!("equation {i} ({} = ...)", eq.output),
+                format!("store to '{}' is overwritten by equation {j} before any read", eq.output),
+            ));
+        }
+    }
+
+    findings
+}

@@ -1,0 +1,109 @@
+//! Analysis cost: what the static analyzer adds on top of a compile.
+//!
+//! The dependence-DAG build, the static race detector, and the AST lint
+//! all run inside developer loops (`wse-lint`) and the conformance
+//! harness (every seed), so their cost must stay a small fraction of a
+//! compile.  This bench prints an analysis-cost column next to the
+//! compile rate for each paper benchmark — microseconds per program for
+//! lint, DAG build, and race check, plus the DAG size — so a regression
+//! in the O(n²) interval pass shows up as a number, not a slow CI run.
+//! Run with `cargo bench -p wse-bench --bench analysis_cost`; CI
+//! smoke-runs it with `-- --test`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wse_analysis::Analyzer;
+use wse_frontends::benchmarks::Benchmark;
+use wse_sim::{link_program_with, LinkOptions};
+use wse_stencil::Compiler;
+
+/// Median seconds per call over `samples` timed batches of `iters`.
+fn secs_per_call(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let (samples, iters) = if criterion::is_test_mode() { (1, 1) } else { (5, 200) };
+    let compiler = Compiler::new().num_chunks(2);
+    let analyzer = Analyzer::new();
+
+    println!("\nanalysis_cost — static analyzer cost per paper benchmark");
+    for benchmark in Benchmark::ALL {
+        let program = benchmark.tiny_program();
+        let artifact = compiler.compile(&program).expect("benchmark compiles");
+        let loaded = artifact.loaded_program().clone();
+        let linked = link_program_with(
+            &loaded,
+            &LinkOptions { optimize: true, validate: false, ..LinkOptions::default() },
+        )
+        .expect("benchmark links");
+
+        let compile = secs_per_call(samples, iters.min(40), || {
+            criterion::black_box(compiler.compile(&program).expect("compile succeeds"));
+        });
+        let lint = secs_per_call(samples, iters, || {
+            criterion::black_box(analyzer.lint(&program));
+        });
+        let dag = secs_per_call(samples, iters, || {
+            criterion::black_box(analyzer.dependence_graph(&linked));
+        });
+        let race = secs_per_call(samples, iters, || {
+            criterion::black_box(analyzer.check_stream(&linked));
+        });
+        // The validator is the costly consumer (it abstractly executes the
+        // stream), so it is timed as a whole relink with validation on.
+        let validate = secs_per_call(samples, iters.min(40), || {
+            criterion::black_box(
+                link_program_with(
+                    &loaded,
+                    &LinkOptions { optimize: true, validate: true, ..LinkOptions::default() },
+                )
+                .expect("validated link succeeds"),
+            );
+        });
+
+        let counts = analyzer.dependence_graph(&linked).counts();
+        println!(
+            "  {:<12} compile {:>8.1}us | lint {:>6.1}us  dag {:>6.1}us  race {:>6.1}us  \
+             validated-link {:>8.1}us | dag {} nodes / {} edges ({:.1}% of compile)",
+            benchmark.name(),
+            compile * 1e6,
+            lint * 1e6,
+            dag * 1e6,
+            race * 1e6,
+            validate * 1e6,
+            counts.nodes,
+            counts.edges(),
+            (lint + dag + race) / compile * 100.0,
+        );
+    }
+
+    // Criterion-tracked timings for trend comparisons across PRs.
+    let mut group = c.benchmark_group("analysis_cost");
+    group.sample_size(samples.max(2));
+    let program = Benchmark::Seismic25.tiny_program();
+    let artifact = compiler.compile(&program).expect("seismic compiles");
+    let linked = link_program_with(
+        &artifact.loaded_program().clone(),
+        &LinkOptions { optimize: true, validate: false, ..LinkOptions::default() },
+    )
+    .expect("seismic links");
+    group.bench_function("lint_seismic", |b| b.iter(|| analyzer.lint(&program)));
+    group.bench_function("dag_seismic", |b| b.iter(|| analyzer.dependence_graph(&linked)));
+    group.bench_function("race_seismic", |b| b.iter(|| analyzer.check_stream(&linked)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Per-operation memory-effect and access-range descriptions.
+//!
+//! MLIR models these as op interfaces (`MemoryEffectsOpInterface`,
+//! `AccessRange`); here they are a static table keyed by the
+//! dialect-qualified operation name, consumed by the static analyzer to
+//! build def-use chains over stencil IR without hard-coding per-op
+//! knowledge at the use site.  Three questions are answered per op:
+//!
+//! * does it *read* memory (a field/temp), beyond its SSA operands?
+//! * does it *write* memory?
+//! * what is the access *range* relative to the iteration point —
+//!   [`AccessRange::Point`] for the current cell, [`AccessRange::Offset`]
+//!   for a constant-offset neighborhood (the op's attributes carry the
+//!   actual offsets), [`AccessRange::Region`] for a whole field/halo?
+//!
+//! Unlisted operations get [`OpEffects::UNKNOWN`], which claims every
+//! effect — the conservative default an analysis must assume for ops it
+//! has no model for.
+
+use crate::{dmp, stencil};
+
+/// How far from the current iteration point an op may touch data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessRange {
+    /// No memory access at all (pure SSA computation).
+    None,
+    /// Exactly the current cell.
+    Point,
+    /// A constant-offset neighborhood of the current cell (the op's
+    /// offset attribute gives the concrete vector).
+    Offset,
+    /// A whole field, temp, or halo region.
+    Region,
+}
+
+/// The memory behaviour of one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpEffects {
+    /// The op reads field/temp memory.
+    pub reads: bool,
+    /// The op writes field/temp memory.
+    pub writes: bool,
+    /// The op moves data between PEs (halo exchange).
+    pub communicates: bool,
+    /// How far from the iteration point accesses may reach.
+    pub range: AccessRange,
+}
+
+impl OpEffects {
+    /// A pure op: no memory effects.
+    pub const PURE: OpEffects =
+        OpEffects { reads: false, writes: false, communicates: false, range: AccessRange::None };
+
+    /// The conservative answer for unmodelled ops: assume everything.
+    pub const UNKNOWN: OpEffects =
+        OpEffects { reads: true, writes: true, communicates: true, range: AccessRange::Region };
+
+    /// True when the op has no memory effects at all.
+    pub fn is_pure(&self) -> bool {
+        !self.reads && !self.writes && !self.communicates
+    }
+}
+
+const fn read(range: AccessRange) -> OpEffects {
+    OpEffects { reads: true, writes: false, communicates: false, range }
+}
+
+const fn write(range: AccessRange) -> OpEffects {
+    OpEffects { reads: false, writes: true, communicates: false, range }
+}
+
+/// The effect table: `(op name, effects)`.
+const TABLE: &[(&str, OpEffects)] = &[
+    // Stencil dialect.
+    (stencil::LOAD, read(AccessRange::Region)),
+    (stencil::STORE, write(AccessRange::Region)),
+    // The apply itself only orchestrates: reads happen through the
+    // `stencil.access` ops of its body, the write through `stencil.store`
+    // on its results.
+    (stencil::APPLY, OpEffects::PURE),
+    (stencil::ACCESS, read(AccessRange::Offset)),
+    (stencil::RETURN, OpEffects::PURE),
+    // Halo exchange: reads the local interior, writes the halo cells of
+    // the same temp on the neighbor — both sides of a communication.
+    (
+        dmp::SWAP,
+        OpEffects { reads: true, writes: true, communicates: true, range: AccessRange::Region },
+    ),
+    // Pure compute dialects.
+    ("arith.constant", OpEffects::PURE),
+    ("arith.addf", OpEffects::PURE),
+    ("arith.subf", OpEffects::PURE),
+    ("arith.mulf", OpEffects::PURE),
+    ("varith.add", OpEffects::PURE),
+    ("varith.mul", OpEffects::PURE),
+];
+
+/// Looks up the effects of an operation by its dialect-qualified name.
+/// Returns [`OpEffects::UNKNOWN`] for ops outside the table.
+pub fn op_effects(name: &str) -> OpEffects {
+    TABLE.iter().find(|(n, _)| *n == name).map(|(_, e)| *e).unwrap_or(OpEffects::UNKNOWN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_dialect_semantics() {
+        assert!(op_effects(stencil::ACCESS).reads);
+        assert_eq!(op_effects(stencil::ACCESS).range, AccessRange::Offset);
+        assert!(op_effects(stencil::STORE).writes);
+        assert!(!op_effects(stencil::STORE).reads);
+        assert!(op_effects(dmp::SWAP).communicates);
+        assert!(op_effects("arith.addf").is_pure());
+        // Conservative default for unknown ops.
+        let unknown = op_effects("gpu.launch");
+        assert!(unknown.reads && unknown.writes && unknown.communicates);
+    }
+
+    #[test]
+    fn table_names_are_unique() {
+        for (i, (a, _)) in TABLE.iter().enumerate() {
+            for (b, _) in &TABLE[i + 1..] {
+                assert_ne!(a, b, "duplicate effects entry {a:?}");
+            }
+        }
+    }
+}

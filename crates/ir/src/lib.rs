@@ -43,6 +43,7 @@
 
 pub mod attributes;
 pub mod builder;
+pub mod diagnostics;
 pub mod fxhash;
 pub mod ir;
 pub mod parser;
@@ -54,6 +55,7 @@ pub mod verifier;
 
 pub use attributes::{AttrMap, Attribute, DialectAttr, FloatBits};
 pub use builder::{InsertPoint, OpBuilder, OpSpec};
+pub use diagnostics::{lookup as lookup_diagnostic, DiagnosticInfo, Severity};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use ir::{
     AttrRef, BlockId, BlockRef, Context, IrContext, IrError, IrResult, OpData, OpId, OpRef,

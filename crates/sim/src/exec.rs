@@ -86,12 +86,29 @@ pub struct ExecError {
     pub message: String,
     /// Failure class.
     pub kind: ExecErrorKind,
+    /// Stable rejection-class code from the [`wse_ir::diagnostics`]
+    /// registry (`link-*` for link-time validation failures), when the
+    /// failure site assigned one.  Harnesses classify on this instead of
+    /// parsing `message`.
+    pub code: Option<&'static str>,
 }
 
 impl ExecError {
     /// An error of the given kind.
     pub fn new(kind: ExecErrorKind, message: impl Into<String>) -> Self {
-        ExecError { message: message.into(), kind }
+        ExecError { message: message.into(), kind, code: None }
+    }
+
+    /// Attaches a stable rejection-class code (see
+    /// [`wse_ir::diagnostics`]).
+    pub fn with_code(mut self, code: &'static str) -> Self {
+        self.code = Some(code);
+        self
+    }
+
+    /// The stable rejection-class code, if one was assigned.
+    pub fn code(&self) -> Option<&'static str> {
+        self.code
     }
 
     /// A validation error ([`ExecErrorKind::Invalid`]), the pre-hardening

@@ -49,6 +49,7 @@ pub mod perf;
 pub mod plan;
 pub mod reference;
 pub mod roofline;
+pub mod validate;
 
 pub use checkpoint::{checksum_f32, row_checksums, Checkpoint, RecoveryOptions, RecoveryStats};
 pub use env::{env_flag, env_value};
@@ -56,10 +57,13 @@ pub use exec::{ExecError, ExecErrorKind, WseGridSim};
 pub use fault::{FaultCounts, FaultKind, FaultOptions, FaultPlan, INJECTED_BAND_PANIC};
 pub use interp::InterpGridSim;
 pub use kernels::Isa;
-pub use link::{link_program, link_program_with, LinkOptions, LinkedProgram, OptStats};
+pub use link::{
+    link_program, link_program_with, LinkMutation, LinkOptions, LinkedProgram, OptStats, SkipCounts,
+};
 pub use loader::{load_program, LoadError, LoadedProgram};
 pub use machine::{TargetMachine, WseGeneration, WseMachine, A100, EPYC_7742_NODE};
 pub use perf::{estimate_performance, fabric_profile, CycleBreakdown, FabricProfile, PerfEstimate};
 pub use plan::{plan_program, PlanCounts, ProgramPlan};
 pub use reference::{initial_state, max_abs_difference, run_reference, Field3D, GridState};
 pub use roofline::SimdPeak;
+pub use validate::{observable_summary, streams_equivalent};

@@ -77,8 +77,25 @@ use std::collections::HashMap;
 use crate::exec::ExecError;
 use crate::loader::{BinKind, CommSpec, Instr, LoadedProgram, Src, ViewRef};
 
-fn err(message: impl Into<String>) -> ExecError {
-    ExecError::invalid(message)
+/// A link-time rejection: an [`ExecError`] carrying the stable
+/// rejection-class `code` (one of the `link-*` entries of the
+/// [`wse_ir::diagnostics`] registry; a unit test enforces that every code
+/// used here is registered).
+fn err(code: &'static str, message: impl Into<String>) -> ExecError {
+    ExecError::invalid(message).with_code(code)
+}
+
+/// A deliberately broken rewrite, injectable through
+/// [`LinkOptions::mutate`] (or `WSE_SIM_MUTATE_LINK`) to prove the
+/// translation validator catches miscompilations *statically* rather than
+/// relying on the bitwise conformance net alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkMutation {
+    /// Drop the source/destination disjointness check in FMA-chain fusion
+    /// ([`fuse_block`]): aliasing chains then fuse into one-pass sweeps
+    /// that observe their own writes — a real miscompilation the
+    /// validator must reject (diagnostic `E201`).
+    DropAliasingCheck,
 }
 
 /// Options controlling the link phase.
@@ -100,25 +117,53 @@ pub struct LinkOptions {
     /// validated through the conformance tolerance path against the
     /// reference executor, never the bitwise path.
     pub fast_fma: bool,
+    /// Run the translation validator over every optimizer pass: the
+    /// observable dataflow of the instruction stream (see
+    /// [`crate::validate`]) is summarized before optimization and
+    /// re-checked after each pass unit; a pass that drops or reorders a
+    /// dependence is rejected and its rewrite reverted, counted in
+    /// [`OptStats::validator_rejections`] with the pass name recorded.
+    /// Defaults to on in debug builds; `WSE_SIM_VALIDATE_LINK=1` turns it
+    /// on anywhere (the conformance driver's CI sweep does).
+    pub validate: bool,
+    /// Deliberately break one rewrite (see [`LinkMutation`]) to exercise
+    /// the validator.  Never set outside tests and the
+    /// `WSE_SIM_MUTATE_LINK` escape hatch.
+    pub mutate: Option<LinkMutation>,
 }
 
 impl Default for LinkOptions {
     fn default() -> Self {
-        Self { optimize: true, simd: true, fast_fma: false }
+        Self {
+            optimize: true,
+            simd: true,
+            fast_fma: false,
+            validate: cfg!(debug_assertions),
+            mutate: None,
+        }
     }
 }
 
 impl LinkOptions {
     /// Reads the process-wide escape hatches: `WSE_SIM_NO_FUSE` disables
     /// the link-time optimizer, `WSE_SIM_NO_SIMD` forces the scalar
-    /// kernel set, and `WSE_SIM_FAST_FMA` opts into contracted
-    /// multiply-adds (tolerance-path only).  Truthiness follows
-    /// [`crate::env::env_flag`] (`1`/`true`/`yes`/`on`, any case).
+    /// kernel set, `WSE_SIM_FAST_FMA` opts into contracted multiply-adds
+    /// (tolerance-path only), `WSE_SIM_VALIDATE_LINK` forces the
+    /// translation validator on (it already defaults to on in debug
+    /// builds), and `WSE_SIM_MUTATE_LINK=drop-aliasing-check` injects the
+    /// broken rewrite the validator's mutation test hunts.  Truthiness
+    /// follows [`crate::env::env_flag`] (`1`/`true`/`yes`/`on`, any case).
     pub fn from_env() -> Self {
+        let mutate = match crate::env::env_value::<String>("WSE_SIM_MUTATE_LINK").as_deref() {
+            Some("drop-aliasing-check") => Some(LinkMutation::DropAliasingCheck),
+            _ => None,
+        };
         Self {
             optimize: !crate::env::env_flag("WSE_SIM_NO_FUSE"),
             simd: !crate::env::env_flag("WSE_SIM_NO_SIMD"),
             fast_fma: crate::env::env_flag("WSE_SIM_FAST_FMA"),
+            validate: cfg!(debug_assertions) || crate::env::env_flag("WSE_SIM_VALIDATE_LINK"),
+            mutate,
         }
     }
 }
@@ -470,6 +515,57 @@ pub struct OptStats {
     pub arena_bytes_after: usize,
     /// Buffers removed from the arena by coalescing.
     pub buffers_coalesced: usize,
+    /// Why candidate rewrites were *not* applied, at the optimizer's
+    /// fixed point (each counter reflects one final scan, so rescan
+    /// loops do not inflate it).  The static analyzer diffs these
+    /// against its own dependence-DAG verdicts.
+    pub skipped: SkipCounts,
+    /// Optimizer pass units checked by the translation validator (zero
+    /// when [`LinkOptions::validate`] is off).
+    pub validated_passes: usize,
+    /// Pass units the validator rejected: their rewrites changed the
+    /// observable dataflow summary and were reverted (diagnostic `E201`).
+    /// Always zero for a correct optimizer; non-zero only under an
+    /// injected [`LinkMutation`] or a real optimizer bug.
+    pub validator_rejections: usize,
+    /// Names of the rejected pass units, in pass order.
+    pub rejected_passes: Vec<&'static str>,
+}
+
+/// Counters for candidate rewrites the optimizer declined, by reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SkipCounts {
+    /// A source/accumulator/scratch view overlaps the rewrite's
+    /// destination, so the one-pass replacement would observe its own
+    /// writes (FMA-chain fusion, copy folding, binary-copy folding).
+    pub aliasing: usize,
+    /// A fusable `Macs` chain was cut short by an unrelated interposed
+    /// instruction even though more same-destination terms follow later
+    /// in the block — the adjacency-window fusion barrier the ROADMAP's
+    /// dependence-DAG scheduler item targets.
+    pub window_barrier: usize,
+    /// The eliminated scratch write is *not* dead: the cyclic liveness
+    /// scan found another consumer, so the value has more than one
+    /// result and the folding rewrite would drop an observable store.
+    pub multi_result: usize,
+    /// A `Binary(Mul)` whose operands both read written (data) buffers —
+    /// a decomposed product term — cannot become a coefficient `Macs`;
+    /// the fmac peephole fences these out.
+    pub product_fence: usize,
+}
+
+impl SkipCounts {
+    /// Total rewrites declined across all reasons.
+    pub fn total(&self) -> usize {
+        self.aliasing + self.window_barrier + self.multi_result + self.product_fence
+    }
+
+    fn merge(&mut self, other: &SkipCounts) {
+        self.aliasing += other.aliasing;
+        self.window_barrier += other.window_barrier;
+        self.multi_result += other.multi_result;
+        self.product_fence += other.product_fence;
+    }
 }
 
 impl OptStats {
@@ -490,19 +586,23 @@ pub fn validate_layouts(layouts: &[BufferLayout], arena_len: usize) -> Result<()
     let mut end = 0usize;
     for layout in sorted {
         if layout.base < end {
-            return Err(err(format!(
-                "buffer {} at [{}, {}) overlaps the previous buffer ending at {end}",
-                layout.name,
-                layout.base,
-                layout.base + layout.len
-            )));
+            return Err(err(
+                "link-layout",
+                format!(
+                    "buffer {} at [{}, {}) overlaps the previous buffer ending at {end}",
+                    layout.name,
+                    layout.base,
+                    layout.base + layout.len
+                ),
+            ));
         }
         end = layout.base + layout.len;
     }
     if end > arena_len {
-        return Err(err(format!(
-            "buffer layout ends at {end}, beyond the arena (len {arena_len})"
-        )));
+        return Err(err(
+            "link-layout",
+            format!("buffer layout ends at {end}, beyond the arena (len {arena_len})"),
+        ));
     }
     Ok(())
 }
@@ -523,10 +623,13 @@ pub fn link_program_with(
     options: &LinkOptions,
 ) -> Result<LinkedProgram, ExecError> {
     if program.width <= 0 || program.height <= 0 {
-        return Err(err(format!("invalid PE grid {}x{}", program.width, program.height)));
+        return Err(err(
+            "link-grid",
+            format!("invalid PE grid {}x{}", program.width, program.height),
+        ));
     }
     if program.z_dim < 0 || program.z_halo < 0 {
-        return Err(err("negative z_dim or z_halo"));
+        return Err(err("link-geometry", "negative z_dim or z_halo"));
     }
 
     // Arena layout: buffers back to back in declaration order.
@@ -535,13 +638,16 @@ pub fn link_program_with(
     let mut arena_len = 0usize;
     for decl in &program.buffers {
         if decl.len < 0 {
-            return Err(err(format!("buffer {} has negative length {}", decl.name, decl.len)));
+            return Err(err(
+                "link-buffer-decl",
+                format!("buffer {} has negative length {}", decl.name, decl.len),
+            ));
         }
         if by_name.insert(&decl.name, BufferId(layouts.len() as u32)).is_some() {
-            return Err(err(format!(
-                "duplicate buffer {}: two buffers may not share one layout",
-                decl.name
-            )));
+            return Err(err(
+                "link-buffer-decl",
+                format!("duplicate buffer {}: two buffers may not share one layout", decl.name),
+            ));
         }
         layouts.push(BufferLayout {
             name: decl.name.clone(),
@@ -559,14 +665,17 @@ pub fn link_program_with(
     for field in &program.field_buffers {
         let id = *by_name
             .get(field.as_str())
-            .ok_or_else(|| err(format!("unknown field buffer {field}")))?;
+            .ok_or_else(|| err("link-unknown-buffer", format!("unknown field buffer {field}")))?;
         let layout = &layouts[id.0 as usize];
         let needed = (program.z_halo + program.z_dim) as usize;
         if layout.len < needed {
-            return Err(err(format!(
-                "field buffer {field} (len {}) is shorter than halo + interior ({needed})",
-                layout.len
-            )));
+            return Err(err(
+                "link-geometry",
+                format!(
+                    "field buffer {field} (len {}) is shorter than halo + interior ({needed})",
+                    layout.len
+                ),
+            ));
         }
         field_ids.push(id);
     }
@@ -622,7 +731,7 @@ pub fn link_program_with(
     linked.stats.instrs_before = instr_count(&linked);
     linked.stats.arena_bytes_before = linked.arena_len * 4;
     if options.optimize {
-        optimize_program(&mut linked);
+        optimize_program(&mut linked, options);
     }
     finalize(&mut linked);
     Ok(linked)
@@ -712,24 +821,28 @@ fn link_comm(
     z_halo: usize,
 ) -> Result<LinkedComm, ExecError> {
     if comm.num_chunks < 1 || comm.chunk_size < 0 {
-        return Err(err(format!(
-            "invalid exchange: {} chunks of {} elements",
-            comm.num_chunks, comm.chunk_size
-        )));
+        return Err(err(
+            "link-exchange",
+            format!("invalid exchange: {} chunks of {} elements", comm.num_chunks, comm.chunk_size),
+        ));
     }
     let num_chunks = comm.num_chunks as usize;
     let chunk_size = comm.chunk_size as usize;
     let col_len = num_chunks * chunk_size;
 
-    let recv = *by_name.get("recv_buffer").ok_or_else(|| err("missing recv_buffer"))?;
+    let recv =
+        *by_name.get("recv_buffer").ok_or_else(|| err("link-exchange", "missing recv_buffer"))?;
     let recv_layout = &layouts[recv.0 as usize];
     if comm.slots.len() * chunk_size > recv_layout.len {
-        return Err(err(format!(
-            "receive buffer overflow: {} slots of {chunk_size} elements exceed recv_buffer \
+        return Err(err(
+            "link-exchange",
+            format!(
+                "receive buffer overflow: {} slots of {chunk_size} elements exceed recv_buffer \
              (len {})",
-            comm.slots.len(),
-            recv_layout.len
-        )));
+                comm.slots.len(),
+                recv_layout.len
+            ),
+        ));
     }
 
     let mut snap_fields = Vec::new();
@@ -739,11 +852,11 @@ fn link_comm(
         // Slots may only transmit declared field buffers — a slot naming
         // any other buffer (or an unknown one) is a malformed program.
         if !field_buffers.iter().any(|f| f == &spec.field) {
-            return Err(err(format!("unknown field buffer {}", spec.field)));
+            return Err(err("link-unknown-buffer", format!("unknown field buffer {}", spec.field)));
         }
-        let id = *by_name
-            .get(spec.field.as_str())
-            .ok_or_else(|| err(format!("unknown field buffer {}", spec.field)))?;
+        let id = *by_name.get(spec.field.as_str()).ok_or_else(|| {
+            err("link-unknown-buffer", format!("unknown field buffer {}", spec.field))
+        })?;
         let layout = &layouts[id.0 as usize];
         let snap_index = match snap_of.get(spec.field.as_str()) {
             Some(&i) => i,
@@ -814,10 +927,13 @@ fn link_block(
 fn require_same_len(dest: LinkedView, srcs: &[LinkedView]) -> Result<(), ExecError> {
     for src in srcs {
         if src.len != dest.len {
-            return Err(err(format!(
-                "operand length mismatch: destination has {} elements, source has {}",
-                dest.len, src.len
-            )));
+            return Err(err(
+                "link-view-bounds",
+                format!(
+                    "operand length mismatch: destination has {} elements, source has {}",
+                    dest.len, src.len
+                ),
+            ));
         }
     }
     Ok(())
@@ -831,21 +947,27 @@ fn link_view(
 ) -> Result<LinkedView, ExecError> {
     let id = *by_name
         .get(view.buffer.as_str())
-        .ok_or_else(|| err(format!("unknown buffer {}", view.buffer)))?;
+        .ok_or_else(|| err("link-unknown-buffer", format!("unknown buffer {}", view.buffer)))?;
     let layout = &layouts[id.0 as usize];
     if view.offset < 0 || view.len < 0 {
-        return Err(err(format!(
-            "negative view [offset {}, len {}] of buffer {}",
-            view.offset, view.len, view.buffer
-        )));
+        return Err(err(
+            "link-view-bounds",
+            format!(
+                "negative view [offset {}, len {}] of buffer {}",
+                view.offset, view.len, view.buffer
+            ),
+        ));
     }
     let (offset, len) = (view.offset as usize, view.len as usize);
     let reach = offset + if view.dynamic { max_dyn } else { 0 } + len;
     if reach > layout.len {
-        return Err(err(format!(
-            "view [{offset}, {reach}) out of bounds for buffer {} (len {})",
-            view.buffer, layout.len
-        )));
+        return Err(err(
+            "link-view-bounds",
+            format!(
+                "view [{offset}, {reach}) out of bounds for buffer {} (len {})",
+                view.buffer, layout.len
+            ),
+        ));
     }
     Ok(LinkedView { base: (layout.base + offset) as u32, len: len as u32, dynamic: view.dynamic })
 }
@@ -876,29 +998,63 @@ fn max_dyn_of(kernel: &LinkedKernel) -> usize {
 }
 
 /// Runs the optimizer rewrites over every kernel.
-fn optimize_program(linked: &mut LinkedProgram) {
+///
+/// With [`LinkOptions::validate`] set, every pass unit runs under the
+/// translation validator: the observable dataflow summary (see
+/// [`crate::validate`]) is computed once before any rewriting, recomputed
+/// after each pass, and a pass whose rewrite changed it — i.e. dropped or
+/// reordered a dependence — is *reverted* and counted in
+/// [`OptStats::validator_rejections`] (diagnostic `E201`).  Reverting
+/// keeps the emitted stream correct even when a rewrite (or an injected
+/// [`LinkMutation`]) is broken.
+fn optimize_program(linked: &mut LinkedProgram, options: &LinkOptions) {
     let mut stats = std::mem::take(&mut linked.stats);
     stats.optimized = true;
+    let baseline = options.validate.then(|| crate::validate::observable_summary(linked));
+    let mutate = options.mutate;
+    let pass = |linked: &mut LinkedProgram,
+                stats: &mut OptStats,
+                name: &'static str,
+                body: &dyn Fn(&mut LinkedProgram, &mut OptStats)| {
+        let Some(base) = &baseline else {
+            body(linked, stats);
+            return;
+        };
+        let saved = linked.clone();
+        let saved_stats = stats.clone();
+        body(linked, stats);
+        stats.validated_passes += 1;
+        if crate::validate::observable_summary(linked) != *base {
+            let validated = stats.validated_passes;
+            *linked = saved;
+            *stats = saved_stats;
+            stats.validated_passes = validated;
+            stats.validator_rejections += 1;
+            stats.rejected_passes.push(name);
+        }
+    };
     // First normalize `Binary(Mul)`+`Binary(Add)` accumulate pairs into
     // `Macs` so streams lowered with `enable_fmac_fusion=false` feed the
     // same chain fusion as fmacs-lowered ones.
-    fuse_mul_add_pairs(linked, &mut stats);
-    for kernel in &mut linked.kernels {
-        let max_dyn = max_dyn_of(kernel);
-        // Dynamic views only take a non-zero offset in the receive
-        // callback; pre/done always run at chunk offset 0.
-        kernel.pre = fuse_block(&kernel.pre, 0, &mut stats);
-        kernel.recv = fuse_block(&kernel.recv, max_dyn, &mut stats);
-        kernel.done = fuse_block(&kernel.done, 0, &mut stats);
-    }
-    elide_staging(linked, &mut stats);
-    flatten_chunks(linked, &mut stats);
-    merge_single_chunk_blocks(linked, &mut stats);
-    fold_copies(linked, &mut stats);
-    fold_binary_copies(linked, &mut stats);
-    elide_dead_internal_writes(linked, &mut stats);
-    defer_commits(linked, &mut stats);
-    coalesce_arena(linked, &mut stats);
+    pass(linked, &mut stats, "fuse-mul-add-pairs", &fuse_mul_add_pairs);
+    pass(linked, &mut stats, "fuse-block", &|linked, stats| {
+        for kernel in &mut linked.kernels {
+            let max_dyn = max_dyn_of(kernel);
+            // Dynamic views only take a non-zero offset in the receive
+            // callback; pre/done always run at chunk offset 0.
+            kernel.pre = fuse_block(&kernel.pre, 0, mutate, stats);
+            kernel.recv = fuse_block(&kernel.recv, max_dyn, mutate, stats);
+            kernel.done = fuse_block(&kernel.done, 0, mutate, stats);
+        }
+    });
+    pass(linked, &mut stats, "elide-staging", &elide_staging);
+    pass(linked, &mut stats, "flatten-chunks", &flatten_chunks);
+    pass(linked, &mut stats, "merge-single-chunk-blocks", &merge_single_chunk_blocks);
+    pass(linked, &mut stats, "fold-copies", &fold_copies);
+    pass(linked, &mut stats, "fold-binary-copies", &fold_binary_copies);
+    pass(linked, &mut stats, "elide-dead-internal-writes", &elide_dead_internal_writes);
+    pass(linked, &mut stats, "defer-commits", &defer_commits);
+    pass(linked, &mut stats, "coalesce-arena", &coalesce_arena);
     linked.stats = stats;
 }
 
@@ -954,6 +1110,10 @@ fn fuse_mul_add_pairs(linked: &mut LinkedProgram, stats: &mut OptStats) {
         }
     }
     'rescan: loop {
+        // Skip reasons accumulate into a scratch tally that is only
+        // merged at the fixed point (the iteration that rewrites
+        // nothing), so rescans do not double-count.
+        let mut skipped = SkipCounts::default();
         let (events, position) = program_events(linked);
         for k in 0..linked.kernels.len() {
             let max_dyn = max_dyn_of(&linked.kernels[k]);
@@ -982,17 +1142,24 @@ fn fuse_mul_add_pairs(linked: &mut LinkedProgram, stats: &mut OptStats) {
                     let (src, coeff) = match (constant_of(b), constant_of(a)) {
                         (Some(c), _) => (*a, c),
                         (_, Some(c)) => (*b, c),
-                        _ => continue,
+                        _ => {
+                            // Both operands read written (data) buffers: a
+                            // decomposed product term, fenced out.
+                            skipped.product_fence += 1;
+                            continue;
+                        }
                     };
                     if !views_disjoint(&src, d, max_dyn)
                         || !views_disjoint(t, d, max_dyn)
                         || !views_disjoint(t, &src, max_dyn)
                     {
+                        skipped.aliasing += 1;
                         continue;
                     }
                     // Dropping the scratch write requires it to be dead.
                     let pos = position[&(k, block_index, i + 1)];
                     if !write_is_dead(&events, pos, view_span(t, max_dyn)) {
+                        skipped.multi_result += 1;
                         continue;
                     }
                     let d = *d;
@@ -1008,6 +1175,7 @@ fn fuse_mul_add_pairs(linked: &mut LinkedProgram, stats: &mut OptStats) {
                 }
             }
         }
+        stats.skipped.merge(&skipped);
         return;
     }
 }
@@ -1321,7 +1489,17 @@ fn elide_staging(linked: &mut LinkedProgram, stats: &mut OptStats) {
 /// provably disjoint from `d`.  A single safe `Macs` also becomes an
 /// arity-1 sweep: it drops the scratch double-buffer the generic path
 /// needs for aliasing safety.
-fn fuse_block(instrs: &[LinkedInstr], max_dyn: usize, stats: &mut OptStats) -> Vec<LinkedInstr> {
+///
+/// `mutate` injects [`LinkMutation::DropAliasingCheck`]: the
+/// source/destination disjointness check is skipped, producing the broken
+/// fusions the translation validator's mutation test must catch.
+fn fuse_block(
+    instrs: &[LinkedInstr],
+    max_dyn: usize,
+    mutate: Option<LinkMutation>,
+    stats: &mut OptStats,
+) -> Vec<LinkedInstr> {
+    let ignore_aliasing = mutate == Some(LinkMutation::DropAliasingCheck);
     let mut out = Vec::with_capacity(instrs.len());
     let mut i = 0;
     while i < instrs.len() {
@@ -1337,8 +1515,26 @@ fn fuse_block(instrs: &[LinkedInstr], max_dyn: usize, stats: &mut OptStats) -> V
         let mut terms: Vec<FusedTerm> = Vec::new();
         let mut j = first_macs;
         while j < instrs.len() {
-            let LinkedInstr::Macs { dest: d, acc, src, coeff } = &instrs[j] else { break };
-            if *d != dest || !views_disjoint(src, &dest, max_dyn) {
+            let LinkedInstr::Macs { dest: d, acc, src, coeff } = &instrs[j] else {
+                // An unrelated instruction cut the chain; when more
+                // fusable same-destination terms follow later in the
+                // block, the adjacency window just cost a wider sweep —
+                // the fusion barrier the ROADMAP's DAG scheduler targets.
+                if !terms.is_empty()
+                    && instrs[j + 1..].iter().any(|later| {
+                        matches!(later, LinkedInstr::Macs { dest: d2, acc: a2, .. }
+                            if *d2 == dest && *a2 == dest)
+                    })
+                {
+                    stats.skipped.window_barrier += 1;
+                }
+                break;
+            };
+            if *d != dest {
+                break;
+            }
+            if !ignore_aliasing && !views_disjoint(src, &dest, max_dyn) {
+                stats.skipped.aliasing += 1;
                 break;
             }
             if terms.is_empty() && init.is_none() {
@@ -1347,6 +1543,7 @@ fn fuse_block(instrs: &[LinkedInstr], max_dyn: usize, stats: &mut OptStats) -> V
                 if *acc == dest || views_disjoint(acc, &dest, max_dyn) {
                     init = Some(FusedInit::Acc(*acc));
                 } else {
+                    stats.skipped.aliasing += 1;
                     break;
                 }
             } else if *acc != dest {
@@ -1507,6 +1704,7 @@ fn write_is_dead(events: &[Event], after: usize, range: (usize, usize)) -> bool 
 /// to `acc` is provably dead (see module docs).
 fn fold_copies(linked: &mut LinkedProgram, stats: &mut OptStats) {
     'rescan: loop {
+        let mut skipped = SkipCounts::default();
         let (events, position) = program_events(linked);
         for k in 0..linked.kernels.len() {
             let max_dyn = max_dyn_of(&linked.kernels[k]);
@@ -1536,10 +1734,12 @@ fn fold_copies(linked: &mut LinkedProgram, stats: &mut OptStats) {
                         FusedInit::Acc(a) => views_disjoint(a, out, max_dyn),
                     };
                     if !sources_safe || !init_safe {
+                        skipped.aliasing += 1;
                         continue;
                     }
                     let copy_pos = position[&(k, block_index, i + 1)];
                     if !write_is_dead(&events, copy_pos, view_span(dest, max_dyn)) {
+                        skipped.multi_result += 1;
                         continue;
                     }
                     let out = *out;
@@ -1556,6 +1756,7 @@ fn fold_copies(linked: &mut LinkedProgram, stats: &mut OptStats) {
                 }
             }
         }
+        stats.skipped.merge(&skipped);
         return;
     }
 }
@@ -1568,6 +1769,7 @@ fn fold_copies(linked: &mut LinkedProgram, stats: &mut OptStats) {
 /// operation, so results are bitwise unchanged.
 fn fold_binary_copies(linked: &mut LinkedProgram, stats: &mut OptStats) {
     'rescan: loop {
+        let mut skipped = SkipCounts::default();
         let (events, position) = program_events(linked);
         for k in 0..linked.kernels.len() {
             let max_dyn = max_dyn_of(&linked.kernels[k]);
@@ -1587,10 +1789,12 @@ fn fold_binary_copies(linked: &mut LinkedProgram, stats: &mut OptStats) {
                         || !views_disjoint(b, out, max_dyn)
                         || !views_disjoint(t, out, max_dyn)
                     {
+                        skipped.aliasing += 1;
                         continue;
                     }
                     let copy_pos = position[&(k, block_index, i + 1)];
                     if !write_is_dead(&events, copy_pos, view_span(t, max_dyn)) {
+                        skipped.multi_result += 1;
                         continue;
                     }
                     let out = *out;
@@ -1607,6 +1811,7 @@ fn fold_binary_copies(linked: &mut LinkedProgram, stats: &mut OptStats) {
                 }
             }
         }
+        stats.skipped.merge(&skipped);
         return;
     }
 }
@@ -1932,6 +2137,13 @@ mod tests {
                 "{label}: diagnostic {:?} does not mention {needle:?}",
                 error.message
             );
+            let code = error
+                .code()
+                .unwrap_or_else(|| panic!("{label}: rejection carries no diagnostic code"));
+            assert!(
+                wse_ir::lookup_diagnostic(code).is_some(),
+                "{label}: code {code:?} is not in the wse_ir::diagnostics registry"
+            );
         }
     }
 
@@ -2171,5 +2383,168 @@ mod tests {
         assert_eq!(comm.col_len, 4);
         assert_eq!(comm.snap_fields.len(), 1);
         assert_eq!(comm.snap_fields[0].copy_len, 4);
+    }
+
+    /// A program whose `Fill`/`Macs` chain reads one element *behind* its
+    /// own destination: safe under the generic scratch path, wrong under
+    /// an in-place fused sweep.  The aliasing check must refuse the fusion
+    /// — and with the check mutated away, the translation validator must
+    /// catch the broken rewrite.
+    fn aliasing_chain_program() -> LoadedProgram {
+        let mut program = program_with(
+            vec![decl("a", 6), BufferDecl { name: "acc".into(), len: 6, init: 1.5 }],
+            vec![
+                Instr::Movs { dest: view("acc", 1, 4), src: Src::Scalar(0.0) },
+                Instr::Macs {
+                    dest: view("acc", 1, 4),
+                    acc: view("acc", 1, 4),
+                    // Reads acc[0..4]: element j-1 of the sweep's own
+                    // destination window acc[1..5].
+                    src: view("acc", 0, 4),
+                    coeff: 2.0,
+                },
+                // Make the damage observable: the field interior a[1..5].
+                Instr::Movs { dest: view("a", 1, 4), src: Src::View(view("acc", 1, 4)) },
+            ],
+        );
+        program.timesteps = 1;
+        program
+    }
+
+    #[test]
+    fn aliasing_chains_are_skipped_and_counted() {
+        let program = aliasing_chain_program();
+        let linked = link_program_with(
+            &program,
+            &LinkOptions { optimize: true, validate: false, ..LinkOptions::default() },
+        )
+        .unwrap();
+        assert!(
+            linked.stats.skipped.aliasing >= 1,
+            "the aliasing break must be counted: {:?}",
+            linked.stats.skipped
+        );
+        assert_eq!(linked.stats.fused_chains, 0, "nothing fusable here: {:?}", linked.stats);
+    }
+
+    #[test]
+    fn window_barriers_are_counted() {
+        let program = program_with(
+            vec![decl("a", 6), decl("acc", 4), decl("b", 4), decl("x", 4), decl("y", 4)],
+            vec![
+                Instr::Movs { dest: view("acc", 0, 4), src: Src::Scalar(0.0) },
+                Instr::Macs {
+                    dest: view("acc", 0, 4),
+                    acc: view("acc", 0, 4),
+                    src: view("b", 0, 4),
+                    coeff: 2.0,
+                },
+                // Unrelated copy cuts the chain although a fusable term
+                // follows: the adjacency-window fusion barrier.
+                Instr::Movs { dest: view("x", 0, 4), src: Src::View(view("y", 0, 4)) },
+                Instr::Macs {
+                    dest: view("acc", 0, 4),
+                    acc: view("acc", 0, 4),
+                    src: view("b", 0, 4),
+                    coeff: 3.0,
+                },
+            ],
+        );
+        let linked = link_program_with(
+            &program,
+            &LinkOptions { optimize: true, validate: true, ..LinkOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(linked.stats.skipped.window_barrier, 1, "stats: {:?}", linked.stats.skipped);
+        assert_eq!(linked.stats.validator_rejections, 0, "stats: {:?}", linked.stats);
+        assert!(linked.stats.validated_passes >= 10, "stats: {:?}", linked.stats);
+    }
+
+    #[test]
+    fn validator_catches_a_dropped_aliasing_check() {
+        let program = aliasing_chain_program();
+        let reference =
+            link_program_with(&program, &LinkOptions { optimize: false, ..LinkOptions::default() })
+                .unwrap();
+
+        // Without validation the mutated optimizer emits a broken in-place
+        // sweep: the stream's dataflow diverges from the unoptimized one.
+        let broken = link_program_with(
+            &program,
+            &LinkOptions {
+                optimize: true,
+                validate: false,
+                mutate: Some(LinkMutation::DropAliasingCheck),
+                ..LinkOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            broken.stats.fused_chains >= 1,
+            "mutation must force the fusion: {:?}",
+            broken.stats
+        );
+        assert!(
+            !crate::validate::streams_equivalent(&reference, &broken),
+            "the dropped check must actually corrupt the stream"
+        );
+
+        // With validation on, the fuse-block pass is rejected and reverted:
+        // the final stream is equivalent to the unoptimized one again.
+        let guarded = link_program_with(
+            &program,
+            &LinkOptions {
+                optimize: true,
+                validate: true,
+                mutate: Some(LinkMutation::DropAliasingCheck),
+                ..LinkOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            guarded.stats.validator_rejections >= 1,
+            "the validator must reject the broken pass: {:?}",
+            guarded.stats
+        );
+        assert!(
+            guarded.stats.rejected_passes.contains(&"fuse-block"),
+            "the rejected pass must be named: {:?}",
+            guarded.stats.rejected_passes
+        );
+        assert!(
+            crate::validate::streams_equivalent(&reference, &guarded),
+            "the reverted stream must match the unoptimized dataflow"
+        );
+    }
+
+    #[test]
+    fn clean_optimization_passes_validation() {
+        let program = program_with(
+            vec![decl("a", 6), decl("acc", 4), decl("b", 4)],
+            vec![
+                Instr::Movs { dest: view("acc", 0, 4), src: Src::Scalar(0.25) },
+                Instr::Macs {
+                    dest: view("acc", 0, 4),
+                    acc: view("acc", 0, 4),
+                    src: view("b", 0, 4),
+                    coeff: 0.5,
+                },
+                Instr::Macs {
+                    dest: view("acc", 0, 4),
+                    acc: view("acc", 0, 4),
+                    src: view("a", 0, 4),
+                    coeff: -1.0,
+                },
+                Instr::Movs { dest: view("a", 1, 4), src: Src::View(view("acc", 0, 4)) },
+            ],
+        );
+        let linked = link_program_with(
+            &program,
+            &LinkOptions { optimize: true, validate: true, ..LinkOptions::default() },
+        )
+        .unwrap();
+        assert!(linked.stats.fused_chains >= 1, "stats: {:?}", linked.stats);
+        assert_eq!(linked.stats.validator_rejections, 0, "stats: {:?}", linked.stats);
+        assert!(linked.stats.rejected_passes.is_empty(), "stats: {:?}", linked.stats);
     }
 }

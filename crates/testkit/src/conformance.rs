@@ -235,6 +235,20 @@ fn run_case_inner(case: &ConformanceCase, tolerance: f32, through_service: bool)
     // From here on the compiler has accepted the program: any executor
     // failure on its own artifact is a conformance failure, not a typed
     // rejection of the input.
+
+    // Front-end lint cross-check: the lint error codes (`E00x`) model
+    // exactly the program classes the pipeline rejects, so a program the
+    // compiler just *accepted* must carry no error-severity lint finding.
+    // A divergence is an analyzer or pipeline bug, whichever side is
+    // wrong.
+    let lint = wse_analysis::Analyzer::new().lint(&case.program);
+    if let Some(first) = lint.iter().find(|f| f.severity == wse_analysis::Severity::Error) {
+        return Verdict::EngineFailure {
+            stage: "lint-crosscheck".into(),
+            message: format!("compiler accepted a program the linter rejects: {first}"),
+        };
+    }
+
     let loaded = artifact.loaded_program().clone();
     // Explicitly optimized (not `WseGridSim::new`, which honors
     // `WSE_SIM_NO_FUSE` from the environment): the cross-check below must
@@ -246,11 +260,43 @@ fn run_case_inner(case: &ConformanceCase, tolerance: f32, through_service: bool)
     // below always runs the opposite set, so a sweep under either setting
     // pins vector against scalar bits on every seed.
     let env = LinkOptions::from_env();
-    let options = LinkOptions { optimize: true, simd: env.simd, fast_fma: false };
+    // `validate` and `mutate` flow through from the environment so a
+    // `WSE_SIM_VALIDATE_LINK=1` (or mutated) sweep exercises the
+    // translation validator on every conformance seed.
+    let options = LinkOptions { optimize: true, simd: env.simd, fast_fma: false, ..env };
     let mut linked = match WseGridSim::with_options(loaded.clone(), options) {
         Ok(sim) => sim,
         Err(e) => return Verdict::EngineFailure { stage: "link".into(), message: e.message },
     };
+
+    // Static gates, before any execution.  A validator rejection means an
+    // optimizer pass changed observable dataflow — the stream that runs is
+    // the reverted (correct) one, but the pass itself is broken, and that
+    // must fail the seed rather than be silently papered over.  Likewise
+    // the static race detector must find no error-severity hazard in the
+    // stream the optimizer produced.
+    let stats = linked.linked().stats();
+    if stats.validator_rejections > 0 {
+        return Verdict::EngineFailure {
+            stage: "validate-link".into(),
+            message: format!(
+                "translation validator rejected optimizer pass(es) {:?} (E201)",
+                stats.rejected_passes
+            ),
+        };
+    }
+    let races: Vec<_> = wse_analysis::Analyzer::new()
+        .check_stream(linked.linked())
+        .into_iter()
+        .filter(|f| f.severity == wse_analysis::Severity::Error)
+        .collect();
+    if let Some(first) = races.first() {
+        return Verdict::EngineFailure {
+            stage: "race-detect".into(),
+            message: format!("{} static race finding(s); first: {first}", races.len()),
+        };
+    }
+
     if let Err(e) = linked.run(None) {
         return Verdict::EngineFailure { stage: "execute".into(), message: e.message };
     }
@@ -593,7 +639,10 @@ fn run_fault_case_inner(case: &ConformanceCase, fault_seed: u64, rate: f64) -> F
     };
     let loaded = artifact.loaded_program().clone();
     let env = LinkOptions::from_env();
-    let options = LinkOptions { optimize: true, simd: env.simd, fast_fma: false };
+    // `validate` and `mutate` flow through from the environment so a
+    // `WSE_SIM_VALIDATE_LINK=1` (or mutated) sweep exercises the
+    // translation validator on every conformance seed.
+    let options = LinkOptions { optimize: true, simd: env.simd, fast_fma: false, ..env };
 
     // 1. Fault-free, recovery-free baseline: the stream every other run
     //    must reproduce bit for bit.

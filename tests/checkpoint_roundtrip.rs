@@ -38,7 +38,11 @@ proptest! {
         let options = PipelineOptions { num_chunks: chunks, ..PipelineOptions::default() };
         let lowered = lower_program(&program, &options).expect("lowering succeeds");
         let loaded = load_program(&lowered.ctx, lowered.module).expect("loading succeeds");
-        let link = LinkOptions { optimize: optimize == 1, simd: simd == 1, fast_fma: false };
+        let link = LinkOptions {
+            optimize: optimize == 1,
+            simd: simd == 1,
+            ..LinkOptions::default()
+        };
 
         let mut straight = WseGridSim::with_options(loaded.clone(), link).expect("links");
         straight.run(Some(steps)).expect("uninterrupted run");

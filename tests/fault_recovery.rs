@@ -60,7 +60,13 @@ fn assert_bitwise(label: &str, a: &GridState, b: &GridState) {
     }
 }
 
-const LINK: LinkOptions = LinkOptions { optimize: true, simd: true, fast_fma: false };
+const LINK: LinkOptions = LinkOptions {
+    optimize: true,
+    simd: true,
+    fast_fma: false,
+    validate: cfg!(debug_assertions),
+    mutate: None,
+};
 
 #[test]
 fn bit_flips_are_detected_rolled_back_and_replayed_bitwise() {
